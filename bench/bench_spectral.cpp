@@ -1,0 +1,88 @@
+//===- bench/bench_spectral.cpp - Multiplier study (paper ref. [14]) ------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the methodology of Dyadkin & Hamilton, "A study of 128-bit
+// multipliers for congruential pseudorandom number generators" (the
+// paper's ref. [14]): the exact spectral test S_t = ν_t/(γ_t^{1/2} m^{1/t})
+// for t = 2..6 over candidate multipliers 5^k mod 2^128, plus reference
+// rows for classical generators. This is the theoretical justification
+// for A = 5^101 — and the table shows why naive choices (tiny multiplier,
+// RANDU) are catastrophic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/spectral/SpectralTest.h"
+
+#include "parmonc/rng/Lcg128.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace parmonc;
+
+namespace {
+
+void printRow(const char *Label, const std::vector<SpectralResult> &Results,
+              double PassThreshold) {
+  std::printf("  %-22s", Label);
+  bool AllPass = true;
+  for (const SpectralResult &Result : Results) {
+    std::printf(" %-8.4f", Result.NormalizedMerit);
+    AllPass &= Result.NormalizedMerit >= PassThreshold;
+  }
+  std::printf("  %s\n", AllPass ? "GOOD" : "POOR");
+}
+
+} // namespace
+
+int main() {
+  constexpr int MaxDimension = 6;
+  constexpr double Threshold = 0.1; // Knuth: S_t >= 0.1 is passable
+
+  std::printf("=== spectral test: normalized merits S_t "
+              "(1 = ideal lattice; >= 0.75 very good, < 0.1 reject) ===\n\n");
+  std::printf("  %-22s", "generator");
+  for (int Dimension = 2; Dimension <= MaxDimension; ++Dimension)
+    std::printf(" S_%-6d", Dimension);
+  std::printf("\n");
+
+  // Candidate 128-bit multipliers 5^k (odd k for maximal period), the
+  // Dyadkin–Hamilton family; the paper's library uses k = 101.
+  for (uint64_t Exponent : {33ull, 65ull, 101ull, 127ull}) {
+    const UInt128 Multiplier =
+        UInt128::powModPow2(UInt128(5), UInt128(Exponent), 128);
+    char Label[64];
+    std::snprintf(Label, sizeof(Label), "5^%llu mod 2^128%s",
+                  (unsigned long long)Exponent,
+                  Exponent == 101 ? " (*)" : "");
+    printRow(Label, runSpectralTestPow2(128, Multiplier, MaxDimension),
+             Threshold);
+  }
+
+  std::printf("\n");
+  // Classical references.
+  printRow("lcg40: 5^17, 2^40",
+           runSpectralTestPow2(40, UInt128::powModPow2(UInt128(5),
+                                                       UInt128(17), 40),
+                               MaxDimension),
+           Threshold);
+  printRow("randu: 65539, 2^31",
+           runSpectralTestPow2(31, UInt128(65539), MaxDimension,
+                               /*UseEffectiveModulus=*/false),
+           Threshold);
+  printRow("minstd: 16807, 2^31-1",
+           runSpectralTest(BigInt((int64_t(1) << 31) - 1), BigInt(16807),
+                           MaxDimension),
+           Threshold);
+  printRow("tiny a: 5, 2^128",
+           runSpectralTestPow2(128, UInt128(5), MaxDimension), Threshold);
+
+  std::printf("\n(*) the PARMONC multiplier. RANDU's S_3 collapse is the "
+              "15-planes defect;\nthe tiny multiplier collapses already "
+              "at S_2 — the spectral test is the design tool that rules "
+              "such choices out before any empirical testing.\n");
+  return 0;
+}

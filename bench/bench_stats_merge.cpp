@@ -1,0 +1,91 @@
+//===- bench/bench_stats_merge.cpp - Collector averaging cost -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// §2.2 ablation: the parallelization is optimal because the collector's
+// eq. (5) averaging is negligible against τ ≈ seconds. This bench pins
+// the numbers: merge cost vs matrix size (the paper's problem is 2000
+// entries ≈ the 120 KB message), accumulate cost per realization, full
+// snapshot encode/decode, and derived-matrix computation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/ResultsStore.h"
+#include "parmonc/stats/EstimatorMatrix.h"
+
+#include "benchmark/benchmark.h"
+
+#include <vector>
+
+namespace {
+
+using namespace parmonc;
+
+EstimatorMatrix makeFilled(size_t Entries) {
+  EstimatorMatrix Matrix(Entries, 1);
+  std::vector<double> Realization(Entries);
+  for (size_t Index = 0; Index < Entries; ++Index)
+    Realization[Index] = double(Index) * 0.001;
+  Matrix.accumulate(Realization);
+  return Matrix;
+}
+
+void BM_Merge(benchmark::State &State) {
+  const size_t Entries = size_t(State.range(0));
+  EstimatorMatrix Target = makeFilled(Entries);
+  const EstimatorMatrix Source = makeFilled(Entries);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Target.merge(Source));
+  }
+  State.SetBytesProcessed(State.iterations() * int64_t(Entries) * 16);
+}
+// 100 .. 1e6 entries; the paper's 1000x2 problem is the 2000 case.
+BENCHMARK(BM_Merge)->Arg(100)->Arg(2000)->Arg(100000)->Arg(1000000);
+
+void BM_Accumulate(benchmark::State &State) {
+  const size_t Entries = size_t(State.range(0));
+  EstimatorMatrix Matrix(Entries, 1);
+  std::vector<double> Realization(Entries, 1.5);
+  for (auto _ : State)
+    Matrix.accumulate(Realization.data());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_Accumulate)->Arg(1)->Arg(2000)->Arg(100000);
+
+void BM_Snapshot_Encode(benchmark::State &State) {
+  MomentSnapshot Snapshot;
+  Snapshot.Moments = makeFilled(size_t(State.range(0)));
+  for (auto _ : State) {
+    std::vector<uint8_t> Bytes = Snapshot.toBytes();
+    benchmark::DoNotOptimize(Bytes);
+  }
+}
+BENCHMARK(BM_Snapshot_Encode)->Arg(2000)->Arg(100000);
+
+void BM_Snapshot_Decode(benchmark::State &State) {
+  MomentSnapshot Snapshot;
+  Snapshot.Moments = makeFilled(size_t(State.range(0)));
+  const std::vector<uint8_t> Bytes = Snapshot.toBytes();
+  for (auto _ : State) {
+    Result<MomentSnapshot> Decoded = MomentSnapshot::fromBytes(Bytes);
+    benchmark::DoNotOptimize(Decoded);
+  }
+}
+BENCHMARK(BM_Snapshot_Decode)->Arg(2000)->Arg(100000);
+
+void BM_DerivedMatrices(benchmark::State &State) {
+  const size_t Entries = size_t(State.range(0));
+  EstimatorMatrix Matrix = makeFilled(Entries);
+  std::vector<double> Means, Abs, Rel, Var;
+  for (auto _ : State) {
+    Matrix.computeMatrices(&Means, &Abs, &Rel, &Var);
+    benchmark::DoNotOptimize(Means);
+  }
+}
+BENCHMARK(BM_DerivedMatrices)->Arg(2000)->Arg(100000);
+
+} // namespace
+
+BENCHMARK_MAIN();

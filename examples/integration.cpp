@@ -1,0 +1,131 @@
+//===- examples/integration.cpp - High-dimensional quadrature + VR --------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Monte Carlo's bread and butter: a 10-dimensional integral
+//
+//   I = ∫_[0,1]^10  Π_i (12/(10+i)) x_i^(2/(10+i)) dx  =  Π_i 12/(12+i)
+//
+// (a Genz-style product integrand with a known closed form). The example
+// estimates it three ways — plain, antithetic and with a control variate
+// (the first coordinate) — under the PARMONC engine, and prints the
+// variance each method needs per unit of accuracy. It demonstrates how
+// the vr/ toolkit composes with runSimulation: the estimator trick lives
+// entirely inside the realization routine.
+//
+// Run:  ./integration [processors] [realizations]
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/Runner.h"
+#include "parmonc/vr/VarianceReduction.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace parmonc;
+
+namespace {
+
+constexpr int Dimension = 10;
+
+double integrand(const double *Point) {
+  double Product = 1.0;
+  for (int Axis = 0; Axis < Dimension; ++Axis) {
+    const double Power = 2.0 / double(10 + Axis);
+    Product *= 12.0 / double(10 + Axis) * std::pow(Point[Axis], Power);
+  }
+  return Product;
+}
+
+double exactValue() {
+  // ∫ x^p dx = 1/(p+1): each factor contributes (12/(10+i)) / (p+1)
+  // with p = 2/(10+i), i.e. 12/(12+i).
+  double Product = 1.0;
+  for (int Axis = 0; Axis < Dimension; ++Axis)
+    Product *= 12.0 / double(12 + Axis);
+  return Product;
+}
+
+/// Column 0: plain estimator. Column 1: antithetic pair average (mirrors
+/// the same uniforms). Column 2/3: value and control for a control-variate
+/// post-step (control = first coordinate, E = 1/2).
+void integralRealization(RandomSource &Source, double *Out) {
+  double Point[Dimension], Mirrored[Dimension];
+  for (int Axis = 0; Axis < Dimension; ++Axis) {
+    Point[Axis] = Source.nextUniform();
+    Mirrored[Axis] = 1.0 - Point[Axis];
+  }
+  const double Plain = integrand(Point);
+  Out[0] = Plain;
+  Out[1] = 0.5 * (Plain + integrand(Mirrored));
+  Out[2] = Plain;
+  Out[3] = Point[0];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  RunConfig Config;
+  Config.Rows = 1;
+  Config.Columns = 4;
+  Config.ProcessorCount = Argc > 1 ? std::atoi(Argv[1]) : 4;
+  Config.MaxSampleVolume = Argc > 2 ? std::atoll(Argv[2]) : 400000;
+  Config.AveragePeriodNanos = 100'000'000;
+
+  const double Exact = exactValue();
+  std::printf("10-D product integral, exact value %.8f; %lld realizations "
+              "on %d processors...\n",
+              Exact, (long long)Config.MaxSampleVolume,
+              Config.ProcessorCount);
+
+  Result<RunReport> Outcome = runSimulation(integralRealization, Config);
+  if (!Outcome) {
+    std::fprintf(stderr, "integration: %s\n",
+                 Outcome.status().toString().c_str());
+    return 1;
+  }
+
+  ResultsStore Store(Config.WorkDir);
+  const std::vector<double> Means = Store.readMeans(1, 4).value();
+
+  // Control-variate post-step from the saved moments: beta estimated on a
+  // fresh small pilot (the saved files keep only first/second moments, not
+  // the cross-moment, so the example re-derives beta from a pilot run —
+  // in production one would put the adjusted value in its own column).
+  Lcg128 Pilot;
+  double SumValueControl = 0.0, SumControl = 0.0, SumControl2 = 0.0,
+         SumValue = 0.0;
+  const int PilotDraws = 20000;
+  double Buffer[4];
+  for (int Draw = 0; Draw < PilotDraws; ++Draw) {
+    integralRealization(Pilot, Buffer);
+    SumValue += Buffer[2];
+    SumValueControl += Buffer[2] * Buffer[3];
+    SumControl += Buffer[3];
+    SumControl2 += Buffer[3] * Buffer[3];
+  }
+  const double MeanValue = SumValue / PilotDraws;
+  const double MeanControl = SumControl / PilotDraws;
+  const double Beta =
+      (SumValueControl / PilotDraws - MeanValue * MeanControl) /
+      (SumControl2 / PilotDraws - MeanControl * MeanControl);
+  const double Controlled = Means[2] - Beta * (Means[3] - 0.5);
+
+  std::printf("\n  %-18s %-12s %-10s\n", "method", "estimate", "|error|");
+  std::printf("  %-18s %-12.8f %-10.2e\n", "plain", Means[0],
+              std::fabs(Means[0] - Exact));
+  std::printf("  %-18s %-12.8f %-10.2e\n", "antithetic", Means[1],
+              std::fabs(Means[1] - Exact));
+  std::printf("  %-18s %-12.8f %-10.2e (beta=%.3f)\n", "control variate",
+              Controlled, std::fabs(Controlled - Exact), Beta);
+  std::printf("\n  reported 3-sigma bound on the plain column: %.2e\n",
+              Outcome.value().MaxAbsoluteError);
+  std::printf("  volume = %lld, elapsed = %.2f s\n",
+              (long long)Outcome.value().TotalSampleVolume,
+              Outcome.value().ElapsedSeconds);
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- examples/transport.cpp - Radiation transfer via the C API ----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Monte Carlo's original domain (§2.1): particle transport. A mono-
+// directional photon beam hits a 1-D slab of optical thickness T with
+// scattering albedo c; free paths are exponential, scattering is
+// isotropic. Each realization is one photon history yielding the
+// indicator triple
+//
+//   [ transmitted | reflected | absorbed ]
+//
+// This example deliberately uses the *paper's C interface*: a realization
+// routine with signature void(double*) that draws its randomness by
+// calling rnd128(), run under parmoncc with pointer arguments — exactly
+// the §4 calling pattern.
+//
+// Run:  PARMONC_NP=4 ./transport
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/CApi.h"
+#include "parmonc/core/ResultsStore.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+const double SlabThickness = 2.0;    // optical depths
+const double ScatteringAlbedo = 0.7; // scatter probability per collision
+
+/// One photon history, written against the C API: only rnd128() inside.
+extern "C" void photonHistory(double *Out) {
+  Out[0] = Out[1] = Out[2] = 0.0;
+  double Depth = 0.0;
+  double Direction = 1.0; // cosine of the angle to the slab normal
+
+  for (;;) {
+    const double FreePath = -std::log(rnd128());
+    Depth += Direction * FreePath;
+    if (Depth >= SlabThickness) {
+      Out[0] = 1.0; // transmitted
+      return;
+    }
+    if (Depth < 0.0) {
+      Out[1] = 1.0; // reflected
+      return;
+    }
+    if (rnd128() >= ScatteringAlbedo) {
+      Out[2] = 1.0; // absorbed
+      return;
+    }
+    // Isotropic scattering: new direction cosine uniform on (-1, 1).
+    Direction = 2.0 * rnd128() - 1.0;
+    if (Direction == 0.0)
+      Direction = 1e-12; // avoid a trapped photon
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int NRow = 1, NCol = 3, Res = 0, SeqNum = 0, PerPass = 0, PerAver = 0;
+  long long MaxSv = Argc > 1 ? std::atoll(Argv[1]) : 2000000;
+
+  std::printf("1-D slab transport: thickness %.1f mfp, albedo %.1f, "
+              "%lld photon histories (paper C API)...\n",
+              SlabThickness, ScatteringAlbedo, MaxSv);
+
+  if (parmoncc(photonHistory, &NRow, &NCol, &MaxSv, &Res, &SeqNum, &PerPass,
+               &PerAver) != 0) {
+    std::fprintf(stderr, "transport: parmoncc failed\n");
+    return 1;
+  }
+
+  const char *WorkDirEnv = std::getenv("PARMONC_WORKDIR");
+  parmonc::ResultsStore Store(WorkDirEnv && *WorkDirEnv ? WorkDirEnv : ".");
+  const std::vector<double> Means = Store.readMeans(1, 3).value();
+
+  std::printf("\n  transmission = %.4f\n", Means[0]);
+  std::printf("  reflection   = %.4f\n", Means[1]);
+  std::printf("  absorption   = %.4f\n", Means[2]);
+  std::printf("  (sum = %.4f, must be 1)\n", Means[0] + Means[1] + Means[2]);
+  std::printf("\n  sanity: unscattered direct beam alone would transmit "
+              "e^-T = %.4f;\n  scattering adds to that, so transmission "
+              "must exceed it.\n",
+              std::exp(-SlabThickness));
+  return 0;
+}

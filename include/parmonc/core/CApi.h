@@ -1,0 +1,85 @@
+//===- parmonc/core/CApi.h - The paper's C calling convention -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C-callable entry points with the paper's signatures (§3.2, §3.3, §4):
+///
+///   parmoncc(difftraj, &nrow, &ncol, &maxsv, &res, &seqnum,
+///            &perpass, &peraver);
+///   a = rnd128();
+///
+/// The realization routine takes only the output buffer; inside it the
+/// user draws base random numbers with rnd128(), which transparently reads
+/// from the stream the engine assigned to the current realization on the
+/// current simulated processor. Arguments are passed by pointer exactly as
+/// in the paper (a FORTRAN-compatible convention).
+///
+/// Knobs MPI would normally provide are taken from the environment:
+/// PARMONC_NP (processor count, default: hardware concurrency) and
+/// PARMONC_WORKDIR (default ".").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_CORE_CAPI_H
+#define PARMONC_CORE_CAPI_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/// A user routine computing one realization of the random object: fills
+/// \p out with nrow*ncol values, row-major, drawing randomness via
+/// rnd128().
+typedef void (*parmonc_realization_fn)(double *out);
+
+/// Runs the parallel simulation (the paper's main subroutine for C
+/// programs). perpass and peraver are in minutes, as in the paper.
+/// Returns 0 on success, nonzero on error (a diagnostic is printed to
+/// stderr).
+int parmoncc(parmonc_realization_fn realization, const int *nrow,
+             const int *ncol, const long long *maxsv, const int *res,
+             const int *seqnum, const int *perpass, const int *peraver);
+
+/// The FORTRAN-convention entry point (§3.2, parmoncf): identical
+/// semantics to parmoncc with gfortran's external naming (trailing
+/// underscore) and by-reference argument passing — which the C signature
+/// already uses, so a FORTRAN caller compiled with the usual conventions
+/// links directly against this symbol:
+///
+///   call parmoncf(difftraj, nrow, ncol, maxsv, res, seqnum,
+///  &              perpass, peraver)
+///
+/// The realization subroutine receives the output array address, exactly
+/// like the C routine. rnd128() is likewise callable from FORTRAN via the
+/// rnd128_() alias below.
+int parmoncf_(parmonc_realization_fn realization, const int *nrow,
+              const int *ncol, const long long *maxsv, const int *res,
+              const int *seqnum, const int *perpass, const int *peraver);
+
+/// FORTRAN-conventions alias of rnd128() (gfortran name mangling).
+double rnd128_(void);
+
+/// The parallel generator (§3.3): the next base random number, uniform on
+/// (0,1), from the current realization's subsequence. Must be called from
+/// inside a realization routine invoked by parmoncc; calling it elsewhere
+/// draws from a fallback whole-sequence stream (useful for quick
+/// sequential experiments, exactly like using the raw generator).
+double rnd128(void);
+
+#ifdef __cplusplus
+} // extern "C"
+
+namespace parmonc {
+class RandomSource;
+
+/// Binds rnd128() on this thread to \p Source (null restores the fallback
+/// stream). The engine wraps every realization with this; exposed so tests
+/// and custom drivers can do the same.
+void setThreadRandomSource(RandomSource *Source);
+} // namespace parmonc
+#endif
+
+#endif // PARMONC_CORE_CAPI_H

@@ -1,0 +1,153 @@
+//===- parmonc/core/ResultsStore.h - Result & checkpoint files (§3.6) -----===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk layout the paper describes in §3.6, rooted at the user's
+/// working directory:
+///
+///   parmonc_data/
+///     parmonc_exp.dat        – registry of every experiment started
+///     base.dat               – moment sums inherited at run start (resume)
+///     checkpoint.dat         – merged moment sums at the last save-point
+///     subtotals/rank_<m>.dat – each worker's own latest subtotal
+///     results/func.dat       – matrix of sample means
+///     results/func_ci.dat    – means + absolute/relative errors + variances
+///     results/func_log.dat   – run log (volume, mean τ, error bounds, ...)
+///
+/// All moment files store raw sums (Σζ, Σζ², l) at full precision, which is
+/// what makes resumption and manaver averaging exact. base.dat plus the
+/// rank subtotal files exist precisely so manaver can rebuild results that
+/// are *fresher* than the collector's last save after a killed job (§3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_CORE_RESULTSSTORE_H
+#define PARMONC_CORE_RESULTSSTORE_H
+
+#include "parmonc/core/RunConfig.h"
+#include "parmonc/stats/EstimatorMatrix.h"
+#include "parmonc/stats/HistogramEstimator.h"
+#include "parmonc/support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parmonc {
+
+/// A set of moment sums together with its provenance — the unit of both
+/// checkpointing and worker-to-collector messages.
+struct MomentSnapshot {
+  /// The experiment subsequence number the sums were produced under.
+  uint64_t SequenceNumber = 0;
+
+  /// Total compute seconds spent on the accumulated realizations (for the
+  /// mean-τ statistic in func_log.dat).
+  double ComputeSeconds = 0.0;
+
+  /// The raw moment sums.
+  EstimatorMatrix Moments;
+
+  /// Optional distribution observables (one histogram per configured
+  /// RunConfig::Histograms entry, in the same order). Like the moment
+  /// sums, these are raw counts: merging and resumption are exact.
+  std::vector<HistogramEstimator> Histograms;
+
+  /// Serializes to the text snapshot format (checkpoint/base/subtotal
+  /// files).
+  std::string toFileContents() const;
+
+  /// Parses the text snapshot format.
+  static Result<MomentSnapshot> fromFileContents(std::string_view Contents);
+
+  /// Serializes to the compact binary form used for mailbox messages.
+  std::vector<uint8_t> toBytes() const;
+
+  /// Parses the binary message form.
+  static Result<MomentSnapshot> fromBytes(const std::vector<uint8_t> &Bytes);
+};
+
+/// The per-run log block written to func_log.dat.
+struct RunLogInfo {
+  int64_t TotalSampleVolume = 0;
+  int64_t NewSampleVolume = 0;
+  double MeanRealizationSeconds = 0.0;
+  double ElapsedSeconds = 0.0;
+  double MaxAbsoluteError = 0.0;
+  double MaxRelativeErrorPercent = 0.0;
+  double MaxVariance = 0.0;
+  int ProcessorCount = 0;
+  uint64_t SequenceNumber = 0;
+  bool Resumed = false;
+};
+
+/// Owns the parmonc_data/ tree under one working directory.
+class ResultsStore {
+public:
+  explicit ResultsStore(std::string WorkDir);
+
+  /// Creates parmonc_data/, results/ and subtotals/. Idempotent.
+  Status prepareDirectories() const;
+
+  // Paths (all absolute or relative to the process CWD, derived from
+  // WorkDir).
+  std::string dataDir() const;
+  std::string resultsDir() const;
+  std::string subtotalsDir() const;
+  std::string checkpointPath() const;
+  std::string basePath() const;
+  std::string subtotalPath(int Rank) const;
+  std::string meansPath() const;       ///< results/func.dat
+  std::string confidencePath() const;  ///< results/func_ci.dat
+  std::string logPath() const;         ///< results/func_log.dat
+  std::string experimentLogPath() const;
+  /// parmonc_genparam.dat lives in the working directory itself (§3.5).
+  std::string genparamPath() const;
+
+  /// Writes one snapshot file atomically.
+  Status writeSnapshot(const std::string &Path,
+                       const MomentSnapshot &Snapshot) const;
+
+  /// Reads one snapshot file.
+  Result<MomentSnapshot> readSnapshot(const std::string &Path) const;
+
+  /// Writes func.dat, func_ci.dat and func_log.dat from the merged moments.
+  Status writeResults(const EstimatorMatrix &Merged, const RunLogInfo &Log,
+                      double ErrorMultiplier) const;
+
+  /// Appends one line to parmonc_exp.dat describing a started experiment.
+  Status appendExperimentLog(const RunLogInfo &Log) const;
+
+  /// Reads the means matrix back from func.dat (tests, manaver, tools).
+  Result<std::vector<double>> readMeans(size_t Rows, size_t Columns) const;
+
+  /// Lists the rank subtotal files currently present, as (rank, path).
+  std::vector<std::pair<int, std::string>> listSubtotalFiles() const;
+
+  /// Removes checkpoint/base/subtotal/result files from a previous
+  /// simulation (the res=0 "brand new files" behaviour).
+  Status clearPreviousRun() const;
+
+  const std::string &workDir() const { return WorkDir; }
+
+private:
+  std::string WorkDir;
+};
+
+/// Writes/reads the per-observable histogram files under results/
+/// (hist_r<row>_c<col>.dat).
+std::string histogramPath(const ResultsStore &Store, size_t Row,
+                          size_t Column);
+
+/// The manaver command's core (§3.4): rebuilds merged results from
+/// base.dat plus every subtotal file in the store and writes result files
+/// and a fresh checkpoint. Returns the merged snapshot.
+Result<MomentSnapshot> runManualAverage(const ResultsStore &Store,
+                                        double ErrorMultiplier = 3.0);
+
+} // namespace parmonc
+
+#endif // PARMONC_CORE_RESULTSSTORE_H

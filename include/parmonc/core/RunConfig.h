@@ -1,0 +1,153 @@
+//===- parmonc/core/RunConfig.h - Simulation run configuration ------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parameters of a PARMONC run — the C++ face of the parmoncc argument
+/// list (§3.2): matrix shape (nrow, ncol), maximal sample volume (maxsv),
+/// resumption flag (res), experiment subsequence number (seqnum), and the
+/// data-passing / averaging periods (perpass, peraver). Extended with the
+/// knobs the paper leaves to the cluster environment: processor count
+/// (mpirun -np equivalent), working directory, optional stopping targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_CORE_RUNCONFIG_H
+#define PARMONC_CORE_RUNCONFIG_H
+
+#include "parmonc/rng/StreamHierarchy.h"
+#include "parmonc/support/Status.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace parmonc {
+
+/// A save-point progress report, delivered to RunConfig::OnSavePoint.
+struct RunProgress {
+  int64_t TotalSampleVolume = 0;           ///< merged volume so far
+  double MaxAbsoluteError = 0.0;           ///< ε_max at this save-point
+  double MaxRelativeErrorPercent = 0.0;    ///< ρ_max at this save-point
+  double ElapsedSeconds = 0.0;
+  int SavePointCount = 0;                  ///< 1-based index of this save
+};
+
+/// Requests a distribution estimate (fixed-grid histogram) of one entry
+/// of the realization matrix, accumulated alongside the moments with the
+/// same exact merge/resume semantics.
+struct HistogramSpec {
+  size_t Row = 0;       ///< matrix row of the observable (0-based)
+  size_t Column = 0;    ///< matrix column of the observable (0-based)
+  double Low = 0.0;     ///< left edge of the binned range
+  double High = 1.0;    ///< right edge (exclusive)
+  size_t BinCount = 64; ///< equal-width bins over [Low, High)
+};
+
+/// Configuration of one stochastic experiment run.
+struct RunConfig {
+  /// Realization matrix shape [ζ_ij]: nrow x ncol (§2.1). Scalar estimators
+  /// use 1 x 1.
+  size_t Rows = 1;
+  size_t Columns = 1;
+
+  /// Maximal total sample volume to simulate (the paper's maxsv). Choose a
+  /// huge value for an "endless" run bounded by TimeLimitNanos instead.
+  int64_t MaxSampleVolume = 0;
+
+  /// Resumption flag (res): false = brand-new simulation, true = load the
+  /// previous checkpoint and average into it per eq. (5).
+  bool Resume = false;
+
+  /// The "experiments" subsequence number (seqnum). When resuming, it must
+  /// differ from the previous run's number (§3.2) — enforced.
+  uint64_t SequenceNumber = 0;
+
+  /// Number of simulated processors M. Rank 0 both simulates and collects,
+  /// as in the paper's performance test.
+  int ProcessorCount = 1;
+
+  /// Period with which each worker passes its subtotal to rank 0
+  /// (perpass). The paper expresses this in minutes; the engine takes
+  /// nanoseconds so tests can compress time. 0 = send after every
+  /// realization (the paper's "strictest conditions").
+  int64_t PassPeriodNanos = 0;
+
+  /// Period with which rank 0 averages and saves results (peraver);
+  /// 0 = at every collector poll.
+  int64_t AveragePeriodNanos = 0;
+
+  /// Directory that receives the parmonc_data/ tree (§3.6).
+  std::string WorkDir = ".";
+
+  /// Leap configuration of the stream hierarchy. Callers normally leave
+  /// the default; the engine overrides it from parmonc_genparam.dat when
+  /// that file exists in WorkDir (§3.5).
+  LeapConfig Leaps;
+
+  /// Error multiplier γ for reported absolute errors (§2.1; 3 ≙ λ=0.997).
+  double ErrorMultiplier = 3.0;
+
+  /// Optional: stop early once the max absolute error over all entries
+  /// falls below this bound (0 = disabled). Checked at save-points.
+  double TargetMaxAbsoluteError = 0.0;
+
+  /// Optional: stop early once the max relative error (percent) falls
+  /// below this bound (0 = disabled).
+  double TargetMaxRelativeErrorPercent = 0.0;
+
+  /// Optional wall-clock budget for the run (0 = unlimited) — the cluster
+  /// job time limit the paper relies on for "endless" simulations.
+  int64_t TimeLimitNanos = 0;
+
+  /// Optional distribution observables: one histogram per entry, written
+  /// to results/hist_r<row>_c<col>.dat at every save-point.
+  std::vector<HistogramSpec> Histograms;
+
+  /// Optional observer invoked on rank 0's thread at every save-point,
+  /// after result files are written. Must be fast and thread-agnostic;
+  /// it runs concurrently with the other workers.
+  std::function<void(const RunProgress &)> OnSavePoint;
+
+  /// Checks ranges and cross-field constraints.
+  Status validate() const;
+};
+
+/// Summary of a finished run, mirroring what func_log.dat records.
+struct RunReport {
+  /// Total accumulated sample volume (including any resumed volume).
+  int64_t TotalSampleVolume = 0;
+
+  /// Volume contributed by this run only.
+  int64_t NewSampleVolume = 0;
+
+  /// Mean compute time per realization in seconds (this run).
+  double MeanRealizationSeconds = 0.0;
+
+  /// Wall-clock duration of the run in seconds.
+  double ElapsedSeconds = 0.0;
+
+  /// ε_max, ρ_max, σ²_max at the end of the run.
+  double MaxAbsoluteError = 0.0;
+  double MaxRelativeErrorPercent = 0.0;
+  double MaxVariance = 0.0;
+
+  /// Save-points written (periodic + final).
+  int SavePointCount = 0;
+
+  /// Final per-processor volumes l_m (eq. 4); diverge under jitter.
+  std::vector<int64_t> PerProcessorVolumes;
+
+  /// True if the run stopped because an error target was met.
+  bool StoppedOnErrorTarget = false;
+
+  /// True if the run stopped on the time limit.
+  bool StoppedOnTimeLimit = false;
+};
+
+} // namespace parmonc
+
+#endif // PARMONC_CORE_RUNCONFIG_H

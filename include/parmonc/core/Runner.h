@@ -1,0 +1,50 @@
+//===- parmonc/core/Runner.h - The parallel simulation engine (§3.2) ------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// runSimulation() is the C++ equivalent of the paper's parmoncc: it takes
+/// a user routine that computes a single realization of a matrix-valued
+/// random object, and does everything else — initializes the parallel RNG
+/// hierarchy, distributes realizations over M asynchronous processors,
+/// periodically passes subtotals to rank 0, averages them by eq. (5),
+/// saves results and checkpoints, and supports exact resumption.
+///
+/// The user routine receives a RandomSource positioned at the start of its
+/// own realization subsequence — calling Source.nextUniform() inside it is
+/// the paper's `a = rnd128();` line. The routine must be thread-safe in
+/// the weak sense that it only touches its arguments (it runs concurrently
+/// on every simulated processor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_CORE_RUNNER_H
+#define PARMONC_CORE_RUNNER_H
+
+#include "parmonc/core/ResultsStore.h"
+#include "parmonc/core/RunConfig.h"
+#include "parmonc/rng/RandomSource.h"
+#include "parmonc/support/Clock.h"
+
+#include <functional>
+
+namespace parmonc {
+
+/// A user routine computing one realization of the random object: fills
+/// \p Out (row-major, Rows x Columns doubles) using only randomness drawn
+/// from \p Source.
+using RealizationFn =
+    std::function<void(RandomSource &Source, double *Out)>;
+
+/// Runs one stochastic experiment. Returns the run report, or a Status on
+/// configuration/IO errors. \p ClockOverride injects a test clock; null
+/// uses real time.
+Result<RunReport> runSimulation(const RealizationFn &Realization,
+                                const RunConfig &Config,
+                                Clock *ClockOverride = nullptr);
+
+} // namespace parmonc
+
+#endif // PARMONC_CORE_RUNNER_H

@@ -1,0 +1,233 @@
+//===- parmonc/int128/UInt128.h - Portable 128-bit unsigned integer -------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 128-bit unsigned integer built from two 64-bit limbs, with wrapping
+/// arithmetic mod 2^128. This is the numeric substrate of the paper's RNG:
+///
+///   u_{k+1} = u_k * A (mod 2^128),  A = 5^101 (mod 2^128)        (eq. 6)
+///   A(n)    = A^n (mod 2^128)                                    (leaps)
+///
+/// Implemented without compiler __int128 so the generator is portable and
+/// the arithmetic is auditable. Division and decimal conversion exist for
+/// the genparam/manaver file formats and for tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_INT128_UINT128_H
+#define PARMONC_INT128_UINT128_H
+
+#include "parmonc/support/Status.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parmonc {
+
+/// Unsigned 128-bit integer with wrapping (mod 2^128) arithmetic.
+class UInt128 {
+public:
+  /// Zero.
+  constexpr UInt128() : Lo(0), Hi(0) {}
+
+  /// Zero-extends a 64-bit value.
+  constexpr UInt128(uint64_t Low) : Lo(Low), Hi(0) {}
+
+  /// Builds a value from explicit high and low limbs.
+  constexpr UInt128(uint64_t High, uint64_t Low) : Lo(Low), Hi(High) {}
+
+  constexpr uint64_t low() const { return Lo; }
+  constexpr uint64_t high() const { return Hi; }
+
+  constexpr bool isZero() const { return Lo == 0 && Hi == 0; }
+
+  /// Bit \p Index (0 = least significant). \p Index must be < 128.
+  constexpr bool bit(unsigned Index) const {
+    assert(Index < 128 && "bit index out of range");
+    return Index < 64 ? ((Lo >> Index) & 1u) != 0
+                      : ((Hi >> (Index - 64)) & 1u) != 0;
+  }
+
+  /// Number of leading zero bits; 128 for zero.
+  unsigned countLeadingZeros() const;
+
+  /// Number of trailing zero bits; 128 for zero.
+  unsigned countTrailingZeros() const;
+
+  /// Position of the most significant set bit plus one; 0 for zero.
+  unsigned bitWidth() const { return 128 - countLeadingZeros(); }
+
+  // -------------------------------------------------------------------------
+  // Wrapping arithmetic (mod 2^128).
+  // -------------------------------------------------------------------------
+
+  friend constexpr UInt128 operator+(UInt128 A, UInt128 B) {
+    uint64_t Low = A.Lo + B.Lo;
+    uint64_t Carry = Low < A.Lo ? 1 : 0;
+    return UInt128(A.Hi + B.Hi + Carry, Low);
+  }
+
+  friend constexpr UInt128 operator-(UInt128 A, UInt128 B) {
+    uint64_t Low = A.Lo - B.Lo;
+    uint64_t Borrow = A.Lo < B.Lo ? 1 : 0;
+    return UInt128(A.Hi - B.Hi - Borrow, Low);
+  }
+
+  /// Wrapping product mod 2^128 (exactly the congruential-generator step).
+  friend UInt128 operator*(UInt128 A, UInt128 B);
+
+  /// Truncating division. \p B must be nonzero.
+  friend UInt128 operator/(UInt128 A, UInt128 B);
+
+  /// Remainder. \p B must be nonzero.
+  friend UInt128 operator%(UInt128 A, UInt128 B);
+
+  UInt128 &operator+=(UInt128 B) { return *this = *this + B; }
+  UInt128 &operator-=(UInt128 B) { return *this = *this - B; }
+  UInt128 &operator*=(UInt128 B) { return *this = *this * B; }
+  UInt128 &operator/=(UInt128 B) { return *this = *this / B; }
+  UInt128 &operator%=(UInt128 B) { return *this = *this % B; }
+
+  // -------------------------------------------------------------------------
+  // Shifts and bitwise operators.
+  // -------------------------------------------------------------------------
+
+  /// Left shift; \p Amount >= 128 yields zero.
+  friend constexpr UInt128 operator<<(UInt128 A, unsigned Amount) {
+    if (Amount == 0)
+      return A;
+    if (Amount >= 128)
+      return UInt128();
+    if (Amount >= 64)
+      return UInt128(A.Lo << (Amount - 64), 0);
+    return UInt128((A.Hi << Amount) | (A.Lo >> (64 - Amount)),
+                   A.Lo << Amount);
+  }
+
+  /// Logical right shift; \p Amount >= 128 yields zero.
+  friend constexpr UInt128 operator>>(UInt128 A, unsigned Amount) {
+    if (Amount == 0)
+      return A;
+    if (Amount >= 128)
+      return UInt128();
+    if (Amount >= 64)
+      return UInt128(0, A.Hi >> (Amount - 64));
+    return UInt128(A.Hi >> Amount,
+                   (A.Lo >> Amount) | (A.Hi << (64 - Amount)));
+  }
+
+  UInt128 &operator<<=(unsigned Amount) { return *this = *this << Amount; }
+  UInt128 &operator>>=(unsigned Amount) { return *this = *this >> Amount; }
+
+  friend constexpr UInt128 operator&(UInt128 A, UInt128 B) {
+    return UInt128(A.Hi & B.Hi, A.Lo & B.Lo);
+  }
+  friend constexpr UInt128 operator|(UInt128 A, UInt128 B) {
+    return UInt128(A.Hi | B.Hi, A.Lo | B.Lo);
+  }
+  friend constexpr UInt128 operator^(UInt128 A, UInt128 B) {
+    return UInt128(A.Hi ^ B.Hi, A.Lo ^ B.Lo);
+  }
+  friend constexpr UInt128 operator~(UInt128 A) {
+    return UInt128(~A.Hi, ~A.Lo);
+  }
+
+  UInt128 &operator&=(UInt128 B) { return *this = *this & B; }
+  UInt128 &operator|=(UInt128 B) { return *this = *this | B; }
+  UInt128 &operator^=(UInt128 B) { return *this = *this ^ B; }
+
+  // -------------------------------------------------------------------------
+  // Comparisons.
+  // -------------------------------------------------------------------------
+
+  friend constexpr bool operator==(UInt128 A, UInt128 B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+  friend constexpr bool operator!=(UInt128 A, UInt128 B) { return !(A == B); }
+  friend constexpr bool operator<(UInt128 A, UInt128 B) {
+    return A.Hi != B.Hi ? A.Hi < B.Hi : A.Lo < B.Lo;
+  }
+  friend constexpr bool operator>(UInt128 A, UInt128 B) { return B < A; }
+  friend constexpr bool operator<=(UInt128 A, UInt128 B) { return !(B < A); }
+  friend constexpr bool operator>=(UInt128 A, UInt128 B) { return !(A < B); }
+
+  // -------------------------------------------------------------------------
+  // Wide and modular operations.
+  // -------------------------------------------------------------------------
+
+  /// Keeps the low \p Bits bits (reduction mod 2^Bits). \p Bits <= 128;
+  /// 128 is the identity.
+  static constexpr UInt128 truncateToBits(UInt128 Value, unsigned Bits) {
+    assert(Bits <= 128 && "bit count out of range");
+    if (Bits == 128)
+      return Value;
+    if (Bits == 0)
+      return UInt128();
+    // Mask = 2^Bits - 1.
+    UInt128 Mask = (UInt128(1) << Bits) - UInt128(1);
+    return Value & Mask;
+  }
+
+  /// Computes Base^Exponent mod 2^Bits by square-and-multiply. This is the
+  /// genparam primitive: A(n) = A^n (mod 2^r) with n itself up to 2^115.
+  static UInt128 powModPow2(UInt128 Base, UInt128 Exponent, unsigned Bits);
+
+  /// Computes 2^Exponent as a UInt128. \p Exponent must be < 128.
+  static constexpr UInt128 powerOfTwo(unsigned Exponent) {
+    assert(Exponent < 128 && "2^Exponent does not fit in 128 bits");
+    return UInt128(1) << Exponent;
+  }
+
+  // -------------------------------------------------------------------------
+  // Conversions.
+  // -------------------------------------------------------------------------
+
+  /// Rounds to the nearest double. Exact for values < 2^53.
+  double toDouble() const;
+
+  /// Base-10 rendering with no leading zeros ("0" for zero).
+  std::string toDecimalString() const;
+
+  /// Fixed-width base-16 rendering: "0x" + 32 hex digits.
+  std::string toHexString() const;
+
+  /// Parses a base-10 string; fails on empty input, non-digits or overflow.
+  static Result<UInt128> fromDecimalString(std::string_view Text);
+
+  /// Parses a base-16 string with optional "0x" prefix.
+  static Result<UInt128> fromHexString(std::string_view Text);
+
+private:
+  uint64_t Lo;
+  uint64_t Hi;
+};
+
+/// Portable 64x64 -> 128-bit multiply (no __int128), exposed because the
+/// RNG's double conversion and the tests use it directly.
+UInt128 mulWide64(uint64_t A, uint64_t B);
+
+/// Full 128x128 -> 256-bit product, as {high 128 bits, low 128 bits}.
+struct WideProduct128 {
+  UInt128 High;
+  UInt128 Low;
+};
+WideProduct128 mulFull128(UInt128 A, UInt128 B);
+
+/// Quotient and remainder of a truncating division.
+struct DivMod128 {
+  UInt128 Quotient;
+  UInt128 Remainder;
+};
+
+/// Divides, returning quotient and remainder in one pass. \p Divisor must
+/// be nonzero.
+DivMod128 divMod128(UInt128 Dividend, UInt128 Divisor);
+
+} // namespace parmonc
+
+#endif // PARMONC_INT128_UINT128_H

@@ -1,0 +1,57 @@
+//===- parmonc/mpsim/Collectives.h - Collective operations ----------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collective operations over a Communicator, mirroring the MPI calls a
+/// Monte Carlo code occasionally needs around the core asynchronous
+/// pattern: broadcasting a configuration from rank 0, reducing final
+/// scalars, gathering per-rank volumes. All are implemented on the tagged
+/// point-to-point layer with a dedicated tag namespace (high tags), so
+/// they can interleave with user traffic. Every rank of the communicator
+/// must call the collective (standard MPI semantics); they are blocking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_MPSIM_COLLECTIVES_H
+#define PARMONC_MPSIM_COLLECTIVES_H
+
+#include "parmonc/mpsim/Communicator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parmonc {
+
+/// Tags reserved for collectives; user code must stay below this range.
+inline constexpr int FirstCollectiveTag = 1 << 20;
+
+/// Broadcasts \p Values from rank \p Root to every rank. On non-root
+/// ranks the vector is resized and overwritten.
+void broadcast(Communicator &Comm, std::vector<double> &Values, int Root = 0);
+
+/// Element-wise sum-reduction of \p Values onto rank \p Root. On the root
+/// the vector holds the totals afterwards; elsewhere it is unchanged.
+/// All ranks must pass vectors of identical length.
+void reduceSum(Communicator &Comm, std::vector<double> &Values,
+               int Root = 0);
+
+/// All-reduce: every rank ends with the element-wise sum.
+void allReduceSum(Communicator &Comm, std::vector<double> &Values);
+
+/// Gathers each rank's \p Value into \p GatheredOut (size() entries, rank
+/// order) on rank \p Root; elsewhere GatheredOut is left empty.
+void gather(Communicator &Comm, double Value,
+            std::vector<double> &GatheredOut, int Root = 0);
+
+/// Gathers variable-length vectors; on the root, \p GatheredOut[r] is
+/// rank r's contribution.
+void gatherVectors(Communicator &Comm, const std::vector<double> &Values,
+                   std::vector<std::vector<double>> &GatheredOut,
+                   int Root = 0);
+
+} // namespace parmonc
+
+#endif // PARMONC_MPSIM_COLLECTIVES_H

@@ -1,0 +1,138 @@
+//===- parmonc/mpsim/Communicator.h - In-process message passing ----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MPI substitute (DESIGN.md §2): a fabric of per-rank mailboxes with
+/// tagged, asynchronous point-to-point messages. This is deliberately the
+/// subset PARMONC's parallelization technique needs — asynchronous send,
+/// non-blocking probe/receive, a barrier — nothing more. The run engine is
+/// written against Communicator exactly the way PARMONC is written against
+/// MPI, and user code never sees either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_MPSIM_COMMUNICATOR_H
+#define PARMONC_MPSIM_COMMUNICATOR_H
+
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace parmonc {
+
+/// A tagged point-to-point message.
+struct Message {
+  int Source = -1;
+  int Tag = 0;
+  std::vector<uint8_t> Payload;
+};
+
+/// One rank's incoming queue. Thread-safe multi-producer/single-consumer.
+class Mailbox {
+public:
+  /// Enqueues a message (called by any sender thread).
+  void push(Message Incoming);
+
+  /// Removes and returns the oldest message whose tag matches \p Tag, or
+  /// any message when \p Tag is negative. Non-blocking; empty optional if
+  /// nothing matches.
+  std::optional<Message> tryPop(int Tag = -1);
+
+  /// Blocking variant with a deadline; empty optional on timeout.
+  std::optional<Message> popWait(int Tag, int64_t TimeoutNanos);
+
+  /// Number of queued messages (any tag).
+  size_t pendingCount() const;
+
+  /// True if a message with \p Tag (-1 = any) is queued, without removing
+  /// anything.
+  bool contains(int Tag = -1) const;
+
+private:
+  mutable std::mutex Mutex;
+  std::condition_variable Available;
+  std::deque<Message> Queue;
+};
+
+/// The shared state connecting all ranks of one run.
+class Fabric {
+public:
+  explicit Fabric(int RankCount);
+
+  int rankCount() const { return int(Mailboxes.size()); }
+
+  Mailbox &mailboxOf(int Rank) {
+    assert(Rank >= 0 && Rank < rankCount() && "rank out of range");
+    return *Mailboxes[size_t(Rank)];
+  }
+
+  /// Cumulative bytes pushed through the fabric (for the benches that
+  /// account exchange volume, e.g. the paper's ~120 KB per message figure).
+  uint64_t bytesTransferred() const;
+  void addBytesTransferred(uint64_t Bytes);
+
+  /// Rendezvous of all ranks; generation-counted so it is reusable.
+  void arriveAtBarrier();
+
+private:
+  std::vector<std::unique_ptr<Mailbox>> Mailboxes;
+  std::mutex BarrierMutex;
+  std::condition_variable BarrierRelease;
+  int BarrierWaiting = 0;
+  uint64_t BarrierGeneration = 0;
+  std::atomic<uint64_t> TotalBytes{0};
+};
+
+/// A rank's handle to the fabric: the MPI-communicator equivalent.
+class Communicator {
+public:
+  Communicator(Fabric &SharedFabric, int Rank)
+      : SharedFabric(SharedFabric), Rank(Rank) {
+    assert(Rank >= 0 && Rank < SharedFabric.rankCount());
+  }
+
+  int rank() const { return Rank; }
+  int size() const { return SharedFabric.rankCount(); }
+
+  /// Asynchronous send: enqueues into the destination mailbox and returns
+  /// immediately (the paper's workers never wait on the collector).
+  void send(int Destination, int Tag, std::vector<uint8_t> Payload);
+
+  /// Non-blocking receive of the oldest message with \p Tag (-1 = any).
+  std::optional<Message> tryReceive(int Tag = -1);
+
+  /// Blocking receive with timeout; empty on timeout.
+  std::optional<Message> receiveWait(int Tag, int64_t TimeoutNanos);
+
+  /// True if a message with \p Tag is waiting.
+  bool probe(int Tag = -1);
+
+  /// Blocks until every rank has arrived.
+  void barrier() { SharedFabric.arriveAtBarrier(); }
+
+  Fabric &fabric() { return SharedFabric; }
+
+private:
+  Fabric &SharedFabric;
+  int Rank;
+};
+
+/// Runs \p RankCount copies of \p Body concurrently, one thread per rank,
+/// over a fresh fabric. Returns after every rank finishes. This is the
+/// "launch as an MPI job" substitute: rank 0 plays the collector role
+/// exactly as in §2.2.
+void runThreadEngine(int RankCount,
+                     const std::function<void(Communicator &)> &Body);
+
+} // namespace parmonc
+
+#endif // PARMONC_MPSIM_COMMUNICATOR_H

@@ -1,0 +1,101 @@
+//===- parmonc/rng/Lcg128.h - The paper's 128-bit congruential RNG --------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PARMONC base generator (§2.4, eq. 6–7):
+///
+///   u_0 = 1,  u_{k+1} = u_k * A (mod 2^128),  alpha_k = u_k * 2^-128,
+///   A = 5^101 (mod 2^128), period 2^126.
+///
+/// Because A ≡ 5 (mod 8) and the seed is odd, the sequence cycles over the
+/// full set of residues ≡ u_0 in the odd multiplicative group, giving the
+/// maximal period 2^(r-2) = 2^126 (Dyadkin & Hamilton, 2000). Leaping is a
+/// single multiplication by A^n (mod 2^128), which is what makes the
+/// paper's three-level stream hierarchy cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_RNG_LCG128_H
+#define PARMONC_RNG_LCG128_H
+
+#include "parmonc/int128/UInt128.h"
+#include "parmonc/rng/RandomSource.h"
+
+namespace parmonc {
+
+/// The paper's multiplicative congruential generator modulo 2^128.
+class Lcg128 final : public RandomSource {
+public:
+  /// Starts at the canonical initial number u_0 = 1 with the default
+  /// multiplier A = 5^101 (mod 2^128). Note the first *output* is u_1.
+  Lcg128() : Lcg128(defaultMultiplier(), UInt128(1)) {}
+
+  /// Starts from an explicit state, e.g. a subsequence initial number
+  /// produced by the stream hierarchy. \p InitialNumber must be odd —
+  /// even states fall out of the maximal-period orbit.
+  Lcg128(UInt128 Multiplier, UInt128 InitialNumber)
+      : Multiplier(Multiplier), State(InitialNumber) {
+    assert(InitialNumber.bit(0) && "LCG state must be odd");
+    assert(Multiplier.low() % 8 == 5 &&
+           "multiplier must be congruent to 5 mod 8 for period 2^126");
+  }
+
+  /// The default multiplier A = 5^101 (mod 2^128), computed once.
+  static UInt128 defaultMultiplier();
+
+  /// Advances one step and returns the new raw state u_{k+1}.
+  UInt128 nextRaw() {
+    State = State * Multiplier;
+    return State;
+  }
+
+  /// alpha_k = u_k * 2^-128 mapped to the open unit interval. Uses the top
+  /// 52 bits of the 128-bit state — the high bits are the statistically
+  /// strongest part of a power-of-two-modulus LCG.
+  double nextUniform() override { return bitsToUnitOpen(nextRaw().high()); }
+
+  uint64_t nextBits64() override { return nextRaw().high(); }
+
+  const char *name() const override { return "lcg128"; }
+
+  /// Jumps the stream forward by \p Steps positions in O(log Steps) limb
+  /// multiplies: u <- u * A^Steps (mod 2^128).
+  void skip(UInt128 Steps) {
+    State = State * UInt128::powModPow2(Multiplier, Steps, 128);
+  }
+
+  /// Jumps forward by a precomputed leap multiplier A(n): u <- u * LeapA.
+  /// This is the per-realization fast path of the stream hierarchy.
+  void skipWithMultiplier(UInt128 LeapMultiplier) {
+    State = State * LeapMultiplier;
+  }
+
+  /// Current raw state u_k.
+  UInt128 state() const { return State; }
+
+  /// Resets the state. \p NewState must be odd.
+  void setState(UInt128 NewState) {
+    assert(NewState.bit(0) && "LCG state must be odd");
+    State = NewState;
+  }
+
+  UInt128 multiplier() const { return Multiplier; }
+
+  /// log2 of the generator period: 2^126.
+  static constexpr unsigned PeriodLog2 = 126;
+
+  /// log2 of the usable prefix: the paper recommends consuming only the
+  /// first half of the period (2^125 numbers).
+  static constexpr unsigned UsableLog2 = 125;
+
+private:
+  UInt128 Multiplier;
+  UInt128 State;
+};
+
+} // namespace parmonc
+
+#endif // PARMONC_RNG_LCG128_H

@@ -1,0 +1,90 @@
+//===- parmonc/rng/LcgPow2.h - Generic power-of-two-modulus LCG -----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The general multiplicative congruential family of §2.4 with a modulus
+/// 2^r for any r in [4,128]. Two members matter for the reproduction:
+///
+///  - r=40, A=5^17: the classical generator the paper calls out as having
+///    a period (2^38 ≈ 2.75e11) too short for modern runs — the short-period
+///    baseline in the quality and error-convergence benches;
+///  - r=128, A=5^101: equivalent to Lcg128 (used to cross-check it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_RNG_LCGPOW2_H
+#define PARMONC_RNG_LCGPOW2_H
+
+#include "parmonc/int128/UInt128.h"
+#include "parmonc/rng/RandomSource.h"
+
+namespace parmonc {
+
+/// Multiplicative congruential generator u <- u*A (mod 2^ModulusBits),
+/// alpha = u * 2^-ModulusBits.
+class LcgPow2 final : public RandomSource {
+public:
+  /// \p ModulusBits is r in [4,128]. \p Multiplier must satisfy A ≡ 3 or 5
+  /// (mod 8) so the period is maximal (2^(r-2)); \p InitialNumber must be
+  /// odd.
+  LcgPow2(unsigned ModulusBits, UInt128 Multiplier,
+          UInt128 InitialNumber = UInt128(1))
+      : ModulusBits(ModulusBits),
+        Multiplier(UInt128::truncateToBits(Multiplier, ModulusBits)),
+        State(UInt128::truncateToBits(InitialNumber, ModulusBits)) {
+    assert(ModulusBits >= 4 && ModulusBits <= 128 && "unsupported modulus");
+    uint64_t Low3 = this->Multiplier.low() % 8;
+    assert((Low3 == 3 || Low3 == 5) &&
+           "multiplier must be 3 or 5 mod 8 for maximal period");
+    (void)Low3;
+    assert(InitialNumber.bit(0) && "LCG state must be odd");
+  }
+
+  /// The paper's short-period example: r=40, A=5^17, period 2^38.
+  static LcgPow2 makeClassic40();
+
+  /// Advances one step; returns the new state (already reduced mod 2^r).
+  UInt128 nextRaw() {
+    State = UInt128::truncateToBits(State * Multiplier, ModulusBits);
+    return State;
+  }
+
+  double nextUniform() override { return bitsToUnitOpen(nextBits64()); }
+
+  /// Top 64 bits of the fixed-point fraction u * 2^-r: shifts the state up
+  /// so its most significant modulus bit becomes bit 63. For r < 64 the low
+  /// bits are zero-padded — exactly the resolution the real generator has.
+  uint64_t nextBits64() override {
+    UInt128 Raw = nextRaw();
+    return ModulusBits >= 64 ? (Raw >> (ModulusBits - 64)).low()
+                             : Raw.low() << (64 - ModulusBits);
+  }
+
+  const char *name() const override { return "lcg-pow2"; }
+
+  /// Jumps forward \p Steps positions via A^Steps (mod 2^r).
+  void skip(UInt128 Steps) {
+    State = UInt128::truncateToBits(
+        State * UInt128::powModPow2(Multiplier, Steps, ModulusBits),
+        ModulusBits);
+  }
+
+  UInt128 state() const { return State; }
+  UInt128 multiplier() const { return Multiplier; }
+  unsigned modulusBits() const { return ModulusBits; }
+
+  /// log2 of the period of a maximal member: r - 2.
+  unsigned periodLog2() const { return ModulusBits - 2; }
+
+private:
+  unsigned ModulusBits;
+  UInt128 Multiplier;
+  UInt128 State;
+};
+
+} // namespace parmonc
+
+#endif // PARMONC_RNG_LCGPOW2_H

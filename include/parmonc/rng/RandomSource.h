@@ -1,0 +1,50 @@
+//===- parmonc/rng/RandomSource.h - Uniform random number interface -------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface every generator in this library implements. The paper's
+/// contract (§2.3) is a function returning a base random number uniform on
+/// the *open* interval (0,1); user realization routines are written against
+/// exactly that. Baseline generators used in comparison benches implement
+/// the same interface so workloads are generator-agnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_RNG_RANDOMSOURCE_H
+#define PARMONC_RNG_RANDOMSOURCE_H
+
+#include <cstdint>
+
+namespace parmonc {
+
+/// Abstract stream of uniform random numbers.
+class RandomSource {
+public:
+  virtual ~RandomSource() = default;
+
+  /// Next base random number, uniform on the open interval (0,1). Being
+  /// strictly inside the interval matters: realization routines routinely
+  /// compute log(alpha) (exponential sampling) and log(1-alpha).
+  virtual double nextUniform() = 0;
+
+  /// Next 64 uniformly distributed bits. Statistical tests operate on bits
+  /// rather than doubles so that low-order behaviour is visible too.
+  virtual uint64_t nextBits64() = 0;
+
+  /// Stable identifier for reports and benches, e.g. "lcg128".
+  virtual const char *name() const = 0;
+};
+
+/// Maps 64 random bits onto the open unit interval: the top 52 bits select
+/// one of 2^52 equal cells and the result is that cell's midpoint, so the
+/// value is uniform and never exactly 0 or 1.
+inline double bitsToUnitOpen(uint64_t Bits) {
+  return (double(Bits >> 12) + 0.5) * 0x1p-52;
+}
+
+} // namespace parmonc
+
+#endif // PARMONC_RNG_RANDOMSOURCE_H

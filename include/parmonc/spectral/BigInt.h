@@ -1,0 +1,130 @@
+//===- parmonc/spectral/BigInt.h - Arbitrary-precision signed integers ----===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sign-magnitude arbitrary-precision integers for the spectral test's
+/// exact lattice arithmetic. Intermediate values in integral LLL grow like
+/// (max |b|²)^k — far beyond 128 bits for the m = 2^128 lattices we
+/// reduce — so fixed-width types do not suffice. Performance is a
+/// non-goal: the spectral test runs offline on a handful of multipliers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_SPECTRAL_BIGINT_H
+#define PARMONC_SPECTRAL_BIGINT_H
+
+#include "parmonc/int128/UInt128.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parmonc {
+
+/// Arbitrary-precision signed integer, sign + little-endian 64-bit limbs.
+/// Zero is canonical: empty limb vector, non-negative sign.
+class BigInt {
+public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a signed 64-bit value.
+  BigInt(int64_t Value);
+
+  /// From an unsigned 128-bit value (always non-negative).
+  static BigInt fromUInt128(UInt128 Value);
+
+  bool isZero() const { return Limbs.empty(); }
+  bool isNegative() const { return Negative; }
+
+  /// Number of significant bits of the magnitude; 0 for zero.
+  unsigned bitWidth() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  friend BigInt operator+(const BigInt &A, const BigInt &B);
+  friend BigInt operator-(const BigInt &A, const BigInt &B);
+  friend BigInt operator*(const BigInt &A, const BigInt &B);
+
+  BigInt &operator+=(const BigInt &B) { return *this = *this + B; }
+  BigInt &operator-=(const BigInt &B) { return *this = *this - B; }
+  BigInt &operator*=(const BigInt &B) { return *this = *this * B; }
+
+  /// Truncating division (toward zero) and the matching remainder
+  /// (same sign as the dividend). \p Divisor must be nonzero.
+  struct DivModResult;
+  static DivModResult divMod(const BigInt &Dividend, const BigInt &Divisor);
+
+  friend BigInt operator/(const BigInt &A, const BigInt &B);
+  friend BigInt operator%(const BigInt &A, const BigInt &B);
+
+  /// Division rounded to the nearest integer (ties away from zero) —
+  /// the rounding LLL's size-reduction step needs.
+  static BigInt divRound(const BigInt &Dividend, const BigInt &Divisor);
+
+  /// Left shift by \p Bits.
+  BigInt shiftLeft(unsigned Bits) const;
+
+  /// Three-way comparison: negative, zero or positive.
+  static int compare(const BigInt &A, const BigInt &B);
+
+  friend bool operator==(const BigInt &A, const BigInt &B) {
+    return compare(A, B) == 0;
+  }
+  friend bool operator!=(const BigInt &A, const BigInt &B) {
+    return compare(A, B) != 0;
+  }
+  friend bool operator<(const BigInt &A, const BigInt &B) {
+    return compare(A, B) < 0;
+  }
+  friend bool operator>(const BigInt &A, const BigInt &B) {
+    return compare(A, B) > 0;
+  }
+  friend bool operator<=(const BigInt &A, const BigInt &B) {
+    return compare(A, B) <= 0;
+  }
+  friend bool operator>=(const BigInt &A, const BigInt &B) {
+    return compare(A, B) >= 0;
+  }
+
+  /// Nearest double (rounded through limb accumulation; may overflow to
+  /// +-inf for gigantic values, which callers treat as "huge").
+  double toDouble() const;
+
+  /// Exact conversion when the value fits in int64; asserts otherwise.
+  int64_t toInt64() const;
+
+  /// True if the value fits in a signed 64-bit integer.
+  bool fitsInt64() const;
+
+  /// Base-10 rendering with a leading '-' when negative.
+  std::string toDecimalString() const;
+
+private:
+  /// Magnitude comparison only.
+  static int compareMagnitude(const BigInt &A, const BigInt &B);
+  /// Magnitude addition/subtraction (B's magnitude must not exceed A's
+  /// for subtraction).
+  static std::vector<uint64_t> addMagnitude(const std::vector<uint64_t> &A,
+                                            const std::vector<uint64_t> &B);
+  static std::vector<uint64_t> subMagnitude(const std::vector<uint64_t> &A,
+                                            const std::vector<uint64_t> &B);
+  void trim();
+
+  bool Negative = false;
+  std::vector<uint64_t> Limbs; // little-endian, no trailing zero limbs
+};
+
+struct BigInt::DivModResult {
+  BigInt Quotient;
+  BigInt Remainder;
+};
+
+} // namespace parmonc
+
+#endif // PARMONC_SPECTRAL_BIGINT_H

@@ -1,0 +1,91 @@
+//===- parmonc/spectral/SpectralTest.h - Knuth spectral test --------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spectral test (Knuth TAOCP §3.3.4) for multiplicative congruential
+/// generators — the theoretical lattice test Dyadkin & Hamilton (the
+/// paper's ref. [14]) used to select 128-bit multipliers like 5^101.
+///
+/// Overlapping t-tuples of an LCG with modulus m and multiplier a fall on
+/// the lattice dual to
+///
+///   L*_t = { x ∈ Z^t : x₁ + a x₂ + ... + a^{t-1} x_t ≡ 0 (mod m) } .
+///
+/// ν_t = length of the shortest nonzero vector of L*_t is the reciprocal
+/// of the largest inter-hyperplane distance: small ν_t = coarse planes
+/// (RANDU: ν₃² = 118). We compute ν_t exactly: an exact-integer LLL
+/// reduction of the standard basis of L*_t followed by Fincke–Pohst
+/// enumeration with exact integer norm evaluation.
+///
+/// The normalized figure of merit S_t = ν_t / (γ_t^{1/2} m^{1/t}), with
+/// γ_t the Hermite constants, lies in (0, 1]; Knuth calls S_t >= 0.1
+/// passable and S_t >= 0.75 very good.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_SPECTRAL_SPECTRALTEST_H
+#define PARMONC_SPECTRAL_SPECTRALTEST_H
+
+#include "parmonc/spectral/BigInt.h"
+#include "parmonc/support/Status.h"
+
+#include <vector>
+
+namespace parmonc {
+
+/// A lattice basis: row vectors of exact integers.
+using LatticeBasis = std::vector<std::vector<BigInt>>;
+
+/// Builds the standard basis of the dual lattice L*_t for modulus \p M
+/// and multiplier \p A: rows (m,0,...), (-a,1,0,...), (-a²,0,1,...), ...
+/// \p Dimension >= 2.
+LatticeBasis makeDualLatticeBasis(const BigInt &M, const BigInt &A,
+                                  int Dimension);
+
+/// Exact integral LLL reduction (Cohen, Algorithm 2.6.3) with the
+/// standard parameter δ = 3/4. \p Basis is reduced in place.
+void reduceLll(LatticeBasis &Basis);
+
+/// Exact squared Euclidean norm of an integer vector.
+BigInt squaredNorm(const std::vector<BigInt> &Vector);
+
+/// Shortest nonzero vector of the lattice spanned by \p Basis
+/// (Fincke–Pohst enumeration over an LLL-reduced copy; exact result).
+/// Practical for Dimension <= 8.
+struct ShortestVectorResult {
+  BigInt SquaredLength;
+  std::vector<BigInt> Vector;
+};
+ShortestVectorResult findShortestVector(const LatticeBasis &Basis);
+
+/// Spectral figures for one generator and one dimension.
+struct SpectralResult {
+  int Dimension = 0;
+  BigInt SquaredNu;      ///< ν_t² exactly
+  double Nu = 0.0;       ///< sqrt of the above
+  double NormalizedMerit = 0.0; ///< S_t in (0, 1]
+};
+
+/// Runs the spectral test for t = 2..\p MaxDimension on the generator
+/// u <- a u mod m. \p MaxDimension in [2, 8].
+std::vector<SpectralResult> runSpectralTest(const BigInt &M, const BigInt &A,
+                                            int MaxDimension);
+
+/// Convenience for this library's power-of-two-modulus generators. For a
+/// maximal-period *multiplicative* generator mod 2^e (a ≡ 5 mod 8, odd
+/// states) the visited t-tuples live on a sublattice of index 4, so Knuth
+/// prescribes running the test with the effective modulus 2^(e-2);
+/// \p UseEffectiveModulus selects that correction (default on).
+std::vector<SpectralResult> runSpectralTestPow2(
+    unsigned ModulusBits, UInt128 Multiplier, int MaxDimension,
+    bool UseEffectiveModulus = true);
+
+/// Hermite constant γ_t for t in [1, 8] (exact known values).
+double hermiteConstant(int Dimension);
+
+} // namespace parmonc
+
+#endif // PARMONC_SPECTRAL_SPECTRALTEST_H

@@ -1,0 +1,52 @@
+//===- parmonc/statest/SpecialFunctions.h - p-value machinery -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Special functions needed to turn test statistics into p-values:
+/// regularized incomplete gamma (chi-square tails), the Kolmogorov
+/// distribution, and Poisson tail sums. Self-contained (series + continued
+/// fraction, Numerical-Recipes style) so the battery has no external
+/// dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_STATEST_SPECIALFUNCTIONS_H
+#define PARMONC_STATEST_SPECIALFUNCTIONS_H
+
+#include <cstdint>
+
+namespace parmonc {
+
+/// Regularized lower incomplete gamma P(s, x) = γ(s,x)/Γ(s), for s > 0,
+/// x >= 0. Monotone from 0 to 1 in x.
+double regularizedGammaP(double S, double X);
+
+/// Regularized upper incomplete gamma Q(s, x) = 1 - P(s, x).
+double regularizedGammaQ(double S, double X);
+
+/// Survival function of the chi-square distribution with \p DegreesOfFreedom
+/// degrees of freedom: P(X² >= Statistic) = Q(k/2, x/2).
+double chiSquareSurvival(double Statistic, double DegreesOfFreedom);
+
+/// Kolmogorov distribution complement Q_KS(λ) = 2 Σ_{j>=1} (-1)^{j-1}
+/// exp(-2 j² λ²); the asymptotic p-value of the KS statistic
+/// λ = (sqrt(n) + 0.12 + 0.11/sqrt(n)) · D_n.
+double kolmogorovQ(double Lambda);
+
+/// P(Poisson(Mean) <= Count) = Q(Count+1, Mean); accurate in both tails.
+double poissonCdf(int64_t Count, double Mean);
+
+/// P(Poisson(Mean) >= Count) = P(Count, Mean); accurate in both tails
+/// (1 - cdf would floor at ~2e-16).
+double poissonSurvival(int64_t Count, double Mean);
+
+/// Two-sided Poisson p-value: 2·min(P(X <= Count), P(X >= Count)), capped
+/// at 1. Used by the collision and birthday-spacings tests.
+double poissonTwoSidedPValue(int64_t Count, double Mean);
+
+} // namespace parmonc
+
+#endif // PARMONC_STATEST_SPECIALFUNCTIONS_H

@@ -1,0 +1,119 @@
+//===- parmonc/statest/Tests.h - RNG statistical test battery -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "rigorous statistical testing" of §2.4, reconstructed: a battery of
+/// classical empirical tests (Knuth TAOCP §3.3.2 and the Marsaglia
+/// tradition). Each test consumes numbers from a RandomSource and returns
+/// a statistic plus an asymptotic p-value. A sound generator yields p
+/// roughly uniform on (0,1); structural defects drive p toward 0.
+///
+/// The deliberately defective generators in rng/Baselines.h (RANDU, the
+/// short-period LCG40) are the battery's negative controls; the tests on
+/// the battery itself assert that they fail here while lcg128 passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_STATEST_TESTS_H
+#define PARMONC_STATEST_TESTS_H
+
+#include "parmonc/rng/RandomSource.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parmonc {
+
+/// Outcome of one statistical test.
+struct TestResult {
+  std::string Name;     ///< e.g. "chi2-uniformity"
+  double Statistic = 0; ///< the raw test statistic
+  double PValue = 1;    ///< asymptotic p-value in [0,1]
+
+  /// Conventional verdict at significance \p Alpha (two-sided tests fold
+  /// both tails into PValue already).
+  bool passesAt(double Alpha = 1e-4) const { return PValue >= Alpha; }
+};
+
+/// Chi-square goodness of fit of \p SampleCount uniforms against \p Bins
+/// equal cells. df = Bins - 1.
+TestResult chiSquareUniformityTest(RandomSource &Source,
+                                   int64_t SampleCount, int Bins = 64);
+
+/// One-sample Kolmogorov–Smirnov test of \p SampleCount uniforms against
+/// U(0,1), with Stephens' small-sample correction.
+TestResult kolmogorovSmirnovTest(RandomSource &Source, int64_t SampleCount);
+
+/// Serial (pairs) test: chi-square of \p SampleCount consecutive
+/// non-overlapping pairs on a BinsPerAxis x BinsPerAxis grid.
+/// df = BinsPerAxis² - 1. Detects 2-D lattice structure.
+TestResult serialPairsTest(RandomSource &Source, int64_t PairCount,
+                           int BinsPerAxis = 16);
+
+/// Serial (triples) test on a 3-D grid; df = BinsPerAxis³ - 1. This is the
+/// test RANDU fails catastrophically (its triples lie on 15 planes).
+TestResult serialTriplesTest(RandomSource &Source, int64_t TripleCount,
+                             int BinsPerAxis = 8);
+
+/// Runs above/below 1/2: the number of maximal same-side runs is
+/// asymptotically normal; returns the two-sided p-value of the z-score.
+TestResult runsTest(RandomSource &Source, int64_t SampleCount);
+
+/// Gap test (Knuth 3.3.2D): lengths of gaps between visits to
+/// [\p Low, \p High); chi-square over gap lengths 0..MaxGap with a pooled
+/// tail. df = MaxGap + 1.
+TestResult gapTest(RandomSource &Source, int64_t GapCount, double Low = 0.0,
+                   double High = 0.5, int MaxGap = 15);
+
+/// Lag-\p Lag serial correlation of \p SampleCount uniforms; the
+/// normalized coefficient is asymptotically N(0, 1/n) under independence;
+/// two-sided p-value.
+TestResult autocorrelationTest(RandomSource &Source, int64_t SampleCount,
+                               int Lag = 1);
+
+/// Collision test: throw \p BallCount values into \p CellCountLog2 bits of
+/// cells; the collision count is approximately Poisson(n²/2m). Two-sided
+/// Poisson p-value.
+TestResult collisionTest(RandomSource &Source, int64_t BallCount = 1 << 14,
+                         int CellCountLog2 = 20);
+
+/// Birthday-spacings test (Marsaglia): \p BirthdayCount birthdays in
+/// 2^\p DayCountLog2 days; the number of duplicate spacings is
+/// approximately Poisson(n³/4m). Two-sided Poisson p-value.
+TestResult birthdaySpacingsTest(RandomSource &Source,
+                                int64_t BirthdayCount = 4096,
+                                int DayCountLog2 = 32);
+
+/// Maximum-of-t test (Knuth 3.3.2C): max of t consecutive uniforms has CDF
+/// x^t; chi-square of the transformed maxima. df = Bins - 1.
+TestResult maximumOfTTest(RandomSource &Source, int64_t GroupCount,
+                          int GroupSize = 5, int Bins = 32);
+
+/// Poker (partition) test (Knuth 3.3.2B): hands of \p HandSize digits in
+/// base \p DigitBase, classified by the number of distinct digits;
+/// chi-square against the Stirling-number probabilities.
+/// df = HandSize - 1.
+TestResult pokerTest(RandomSource &Source, int64_t HandCount,
+                     int HandSize = 5, int DigitBase = 10);
+
+/// Coupon-collector test (Knuth 3.3.2E): lengths of segments needed to
+/// collect all \p DigitBase digits, chi-square over lengths d..MaxLength
+/// with a pooled tail.
+TestResult couponCollectorTest(RandomSource &Source, int64_t SegmentCount,
+                               int DigitBase = 5, int MaxLength = 25);
+
+/// Runs the whole battery with default parameters sized around
+/// \p SampleCount total draws per test.
+std::vector<TestResult> runBattery(RandomSource &Source,
+                                   int64_t SampleCount = 1 << 20);
+
+/// True if every result passes at \p Alpha.
+bool allPass(const std::vector<TestResult> &Results, double Alpha = 1e-4);
+
+} // namespace parmonc
+
+#endif // PARMONC_STATEST_TESTS_H

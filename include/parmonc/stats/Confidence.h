@@ -1,0 +1,57 @@
+//===- parmonc/stats/Confidence.h - Normal quantiles & intervals ----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Confidence-interval support for §2.1, eq. (3): the half-width of the
+/// level-λ interval is γ(λ) * σ * L^-1/2 where γ(λ) is the (1+λ)/2
+/// standard-normal quantile. PARMONC's reported "absolute error" fixes
+/// λ = 0.997, γ = 3; this module generalizes to arbitrary levels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_STATS_CONFIDENCE_H
+#define PARMONC_STATS_CONFIDENCE_H
+
+namespace parmonc {
+
+/// The confidence level and multiplier PARMONC reports by default:
+/// λ = 0.997 with γ(λ) rounded to 3, per §2.1.
+inline constexpr double DefaultConfidenceLevel = 0.997;
+inline constexpr double DefaultErrorMultiplier = 3.0;
+
+/// Standard normal cumulative distribution function Φ(x).
+double normalCdf(double X);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation with
+/// one Halley refinement; relative error well below 1e-12 on (0,1)).
+/// \p Probability must be strictly inside (0,1).
+double normalQuantile(double Probability);
+
+/// γ(λ) = Φ⁻¹((1+λ)/2), the two-sided multiplier for confidence level
+/// \p Level in (0,1). γ(0.997) ≈ 2.9677 (the paper rounds it to 3).
+double confidenceMultiplier(double Level);
+
+/// A symmetric confidence interval [Center - HalfWidth, Center + HalfWidth].
+struct ConfidenceInterval {
+  double Center = 0.0;
+  double HalfWidth = 0.0;
+
+  double lower() const { return Center - HalfWidth; }
+  double upper() const { return Center + HalfWidth; }
+  bool contains(double Value) const {
+    return Value >= lower() && Value <= upper();
+  }
+};
+
+/// Interval for an expectation given its sample mean, sample standard
+/// deviation and sample volume: half-width γ(Level)·σ·L^-1/2.
+ConfidenceInterval makeMeanInterval(double Mean, double StdDev,
+                                    double SampleVolume,
+                                    double Level = DefaultConfidenceLevel);
+
+} // namespace parmonc
+
+#endif // PARMONC_STATS_CONFIDENCE_H

@@ -1,0 +1,101 @@
+//===- parmonc/stats/RunningStat.h - Welford scalar accumulator -----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A numerically stable scalar mean/variance accumulator (Welford). The
+/// run engine uses it for the per-realization timing statistics reported
+/// in func_log.dat (the paper's "mean computer time per realization"), and
+/// tests use it as an independent cross-check of EstimatorMatrix, whose
+/// sum-based formulas are dictated by the mergeability requirement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_STATS_RUNNINGSTAT_H
+#define PARMONC_STATS_RUNNINGSTAT_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace parmonc {
+
+/// Single-pass mean / variance / min / max of a scalar sample.
+class RunningStat {
+public:
+  void add(double Value) {
+    ++Count;
+    const double Delta = Value - Mean;
+    Mean += Delta / double(Count);
+    SumSquaredDeltas += Delta * (Value - Mean);
+    if (Count == 1 || Value < Minimum)
+      Minimum = Value;
+    if (Count == 1 || Value > Maximum)
+      Maximum = Value;
+  }
+
+  int64_t count() const { return Count; }
+
+  double mean() const {
+    assert(Count > 0 && "mean of an empty sample");
+    return Mean;
+  }
+
+  /// Population (biased) variance, matching the paper's σ² convention.
+  double variance() const {
+    assert(Count > 0 && "variance of an empty sample");
+    return SumSquaredDeltas / double(Count);
+  }
+
+  /// Unbiased (n-1) variance, for tests that need it.
+  double sampleVariance() const {
+    assert(Count > 1 && "sample variance needs at least two points");
+    return SumSquaredDeltas / double(Count - 1);
+  }
+
+  double stdDev() const { return std::sqrt(variance()); }
+
+  double min() const {
+    assert(Count > 0 && "min of an empty sample");
+    return Minimum;
+  }
+
+  double max() const {
+    assert(Count > 0 && "max of an empty sample");
+    return Maximum;
+  }
+
+  /// Combines two disjoint samples (Chan et al. parallel update).
+  void merge(const RunningStat &Other) {
+    if (Other.Count == 0)
+      return;
+    if (Count == 0) {
+      *this = Other;
+      return;
+    }
+    const double TotalCount = double(Count + Other.Count);
+    const double Delta = Other.Mean - Mean;
+    SumSquaredDeltas += Other.SumSquaredDeltas +
+                        Delta * Delta * double(Count) * double(Other.Count) /
+                            TotalCount;
+    Mean += Delta * double(Other.Count) / TotalCount;
+    Count += Other.Count;
+    Minimum = std::fmin(Minimum, Other.Minimum);
+    Maximum = std::fmax(Maximum, Other.Maximum);
+  }
+
+  void reset() { *this = RunningStat(); }
+
+private:
+  int64_t Count = 0;
+  double Mean = 0.0;
+  double SumSquaredDeltas = 0.0;
+  double Minimum = 0.0;
+  double Maximum = 0.0;
+};
+
+} // namespace parmonc
+
+#endif // PARMONC_STATS_RUNNINGSTAT_H

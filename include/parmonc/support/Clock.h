@@ -1,0 +1,76 @@
+//===- parmonc/support/Clock.h - Injectable time sources ------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Time abstraction used by the run engine so that the perpass/peraver
+/// periodic behaviour (the paper expresses both in minutes) is testable
+/// without real waiting: production code uses WallClock, tests and the
+/// discrete-event cluster use ManualClock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_SUPPORT_CLOCK_H
+#define PARMONC_SUPPORT_CLOCK_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace parmonc {
+
+/// Abstract monotonic clock measured in nanoseconds from an arbitrary epoch.
+class Clock {
+public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds since the clock's epoch. Monotonic.
+  virtual int64_t nowNanos() const = 0;
+
+  /// Convenience: current time in (floating) seconds since the epoch.
+  double nowSeconds() const { return double(nowNanos()) * 1e-9; }
+};
+
+/// Real time, backed by std::chrono::steady_clock.
+class WallClock final : public Clock {
+public:
+  int64_t nowNanos() const override {
+    auto Now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count();
+  }
+};
+
+/// A clock advanced explicitly by the caller. Thread-safe: readers may run
+/// concurrently with a single advancing writer.
+class ManualClock final : public Clock {
+public:
+  explicit ManualClock(int64_t StartNanos = 0) : Nanos(StartNanos) {}
+
+  int64_t nowNanos() const override {
+    return Nanos.load(std::memory_order_acquire);
+  }
+
+  /// Moves the clock forward by \p DeltaNanos (>= 0).
+  void advanceNanos(int64_t DeltaNanos) {
+    Nanos.fetch_add(DeltaNanos, std::memory_order_acq_rel);
+  }
+
+  /// Moves the clock forward by \p Seconds.
+  void advanceSeconds(double Seconds) {
+    advanceNanos(int64_t(Seconds * 1e9));
+  }
+
+  /// Sets the absolute time. Must not move backwards in correct usage.
+  void setNanos(int64_t NewNanos) {
+    Nanos.store(NewNanos, std::memory_order_release);
+  }
+
+private:
+  std::atomic<int64_t> Nanos;
+};
+
+} // namespace parmonc
+
+#endif // PARMONC_SUPPORT_CLOCK_H

@@ -1,0 +1,73 @@
+//===- parmonc/support/Text.h - Small text/formatting helpers -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting and parsing helpers shared by the result-file writer, the CLI
+/// tools and the benches. All number formatting funnels through here so the
+/// on-disk formats stay byte-stable across the codebase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_SUPPORT_TEXT_H
+#define PARMONC_SUPPORT_TEXT_H
+
+#include "parmonc/support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+
+/// Formats \p Value in scientific notation with \p Precision significant
+/// digits after the point (e.g. "1.234567890123456e+02"). This is the
+/// canonical representation used in all result files; it round-trips
+/// doubles exactly at Precision >= 17.
+std::string formatScientific(double Value, int Precision = 17);
+
+/// Formats \p Value with a fixed number of decimals, for human-facing logs.
+std::string formatFixed(double Value, int Decimals);
+
+/// Parses a double. Fails on trailing garbage or empty input.
+Result<double> parseDouble(std::string_view Text);
+
+/// Parses a signed 64-bit integer in base 10. Fails on trailing garbage,
+/// empty input or overflow.
+Result<int64_t> parseInt64(std::string_view Text);
+
+/// Parses an unsigned 64-bit integer in base 10.
+Result<uint64_t> parseUInt64(std::string_view Text);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view Text);
+
+/// Splits \p Text on runs of ASCII whitespace; no empty fields are produced.
+std::vector<std::string_view> splitWhitespace(std::string_view Text);
+
+/// Splits \p Text on each occurrence of \p Separator; empty fields are kept.
+std::vector<std::string_view> splitChar(std::string_view Text, char Separator);
+
+/// True if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Reads a whole file into a string.
+Result<std::string> readFileToString(const std::string &Path);
+
+/// Writes \p Contents to \p Path atomically (write to a sibling temp file,
+/// then rename). Used for save-points so a crash mid-write never corrupts
+/// previous results — a requirement for the paper's resumption feature.
+Status writeFileAtomic(const std::string &Path, std::string_view Contents);
+
+/// Creates \p Path and any missing parents. Ok if it already exists.
+Status createDirectories(const std::string &Path);
+
+/// True if a regular file exists at \p Path.
+bool fileExists(const std::string &Path);
+
+} // namespace parmonc
+
+#endif // PARMONC_SUPPORT_TEXT_H

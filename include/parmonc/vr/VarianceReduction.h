@@ -1,0 +1,217 @@
+//===- parmonc/vr/VarianceReduction.h - Variance-reduction toolkit --------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classical variance-reduction techniques packaged over RandomSource, so
+/// they compose with PARMONC realization routines. §2.2 observes that the
+/// sample volume needed for a target error is proportional to Var ζ;
+/// these tools attack exactly that constant:
+///
+///  - antithetic variates: pair each realization with its mirrored-stream
+///    twin; for monotone integrands the pair average has lower variance,
+///  - control variates: subtract β(C - E C) for a correlated control C
+///    with known expectation, with the optimal β estimated from the data,
+///  - stratified sampling: split the first uniform into equal strata,
+///  - importance sampling helpers: likelihood-ratio bookkeeping for
+///    exponential tilting of uniform/exponential draws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_VR_VARIANCEREDUCTION_H
+#define PARMONC_VR_VARIANCEREDUCTION_H
+
+#include "parmonc/rng/RandomSource.h"
+#include "parmonc/support/Status.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace parmonc {
+
+/// A RandomSource adaptor that either passes the base stream through or
+/// mirrors it (u -> 1-u). The antithetic estimator evaluates the same
+/// realization routine once on the plain stream and once on the mirrored
+/// *replay* of the identical underlying numbers.
+class MirroredSource final : public RandomSource {
+public:
+  /// \p Base must outlive this adaptor.
+  explicit MirroredSource(RandomSource &Base, bool Mirror)
+      : Base(Base), Mirror(Mirror) {}
+
+  double nextUniform() override {
+    const double Value = Base.nextUniform();
+    return Mirror ? 1.0 - Value : Value;
+  }
+
+  uint64_t nextBits64() override {
+    const uint64_t Bits = Base.nextBits64();
+    return Mirror ? ~Bits : Bits;
+  }
+
+  const char *name() const override {
+    return Mirror ? "mirrored" : "pass-through";
+  }
+
+private:
+  RandomSource &Base;
+  bool Mirror;
+};
+
+/// A RandomSource that records every uniform drawn from a base source, so
+/// the identical sequence can be replayed (mirrored or not).
+class RecordingSource final : public RandomSource {
+public:
+  explicit RecordingSource(RandomSource &Base) : Base(Base) {}
+
+  double nextUniform() override {
+    const double Value = Base.nextUniform();
+    Recorded.push_back(Value);
+    return Value;
+  }
+
+  uint64_t nextBits64() override {
+    // Recorded replay is defined over uniforms; derive bits from one so
+    // mirrored replay stays meaningful.
+    const double Value = nextUniform();
+    return uint64_t(Value * 9007199254740992.0) << 11;
+  }
+
+  const char *name() const override { return "recording"; }
+
+  const std::vector<double> &recorded() const { return Recorded; }
+  void clear() { Recorded.clear(); }
+
+private:
+  RandomSource &Base;
+  std::vector<double> Recorded;
+};
+
+/// Replays a recorded uniform sequence, optionally mirrored. Drawing past
+/// the end asserts — the antithetic twin must consume exactly as many
+/// numbers as the original realization.
+class ReplaySource final : public RandomSource {
+public:
+  ReplaySource(const std::vector<double> &Values, bool Mirror)
+      : Values(Values), Mirror(Mirror) {}
+
+  double nextUniform() override {
+    assert(Cursor < Values.size() &&
+           "antithetic replay consumed more numbers than the original");
+    const double Value = Values[Cursor++];
+    return Mirror ? 1.0 - Value : Value;
+  }
+
+  uint64_t nextBits64() override {
+    const double Value = nextUniform();
+    return uint64_t(Value * 9007199254740992.0) << 11;
+  }
+
+  const char *name() const override { return "replay"; }
+
+  size_t consumed() const { return Cursor; }
+
+private:
+  const std::vector<double> &Values;
+  bool Mirror;
+  size_t Cursor = 0;
+};
+
+/// Scalar estimate with its variance bookkeeping.
+struct VrEstimate {
+  double Mean = 0.0;
+  double Variance = 0.0;       ///< per-sample variance of the estimator
+  double StandardError = 0.0;  ///< sqrt(Variance / SampleCount)
+  int64_t SampleCount = 0;
+};
+
+/// A scalar-realization routine for the toolkit's drivers.
+using ScalarRealization = double (*)(RandomSource &);
+
+/// Plain Monte Carlo baseline: \p Pairs * 2 independent realizations
+/// (same budget as the antithetic estimator, for fair comparison).
+VrEstimate estimatePlain(ScalarRealization Realization,
+                         RandomSource &Source, int64_t Pairs);
+
+/// Antithetic variates: for each pair, run the realization on a recorded
+/// stream and again on its mirror; average the two. Effective when the
+/// realization is monotone in its uniforms.
+VrEstimate estimateAntithetic(ScalarRealization Realization,
+                              RandomSource &Source, int64_t Pairs);
+
+/// Control variates: realizations return (value, control); the control's
+/// exact expectation is known. Computes the optimal coefficient
+/// β* = Cov(Y,C)/Var(C) from the sample and returns the adjusted
+/// estimator Y - β*(C - E C). The β* estimation bias is O(1/n) and
+/// ignored, as is standard.
+struct ValueWithControl {
+  double Value;
+  double Control;
+};
+using ControlledRealization = ValueWithControl (*)(RandomSource &);
+
+VrEstimate estimateWithControlVariate(ControlledRealization Realization,
+                                      RandomSource &Source,
+                                      int64_t SampleCount,
+                                      double ControlExpectation);
+
+/// Stratified sampling over the realization's *first* uniform: stratum s
+/// of K receives the first uniform from ((s + u)/K); remaining draws pass
+/// through. Proportional allocation (equal samples per stratum).
+/// \p SamplesPerStratum >= 2 so the within-stratum variance is estimable.
+VrEstimate estimateStratified(ScalarRealization Realization,
+                              RandomSource &Source, int StrataCount,
+                              int64_t SamplesPerStratum);
+
+/// A RandomSource adaptor that confines the FIRST uniform drawn to a
+/// stratum and passes everything else through. Exposed for tests.
+class StratifiedFirstDraw final : public RandomSource {
+public:
+  StratifiedFirstDraw(RandomSource &Base, int Stratum, int StrataCount)
+      : Base(Base), Stratum(Stratum), StrataCount(StrataCount) {
+    assert(Stratum >= 0 && Stratum < StrataCount && "stratum out of range");
+  }
+
+  double nextUniform() override {
+    const double Value = Base.nextUniform();
+    if (FirstDrawDone)
+      return Value;
+    FirstDrawDone = true;
+    return (double(Stratum) + Value) / double(StrataCount);
+  }
+
+  uint64_t nextBits64() override { return Base.nextBits64(); }
+
+  const char *name() const override { return "stratified-first"; }
+
+private:
+  RandomSource &Base;
+  int Stratum;
+  int StrataCount;
+  bool FirstDrawDone = false;
+};
+
+/// Importance sampling for exponential tilting of U(0,1): draws X with
+/// density g(x) = θ e^{θx}/(e^θ - 1) on (0,1) and accumulates the
+/// likelihood ratio f/g = (e^θ - 1)/(θ e^{θX}). Positive θ pushes mass
+/// toward 1 (rare events near 1), negative toward 0.
+class TiltedUniform {
+public:
+  explicit TiltedUniform(double Theta);
+
+  /// One tilted draw; \p LikelihoodRatio receives f(X)/g(X).
+  double sample(RandomSource &Source, double *LikelihoodRatio) const;
+
+  double theta() const { return Theta; }
+
+private:
+  double Theta;
+  double Normalizer; ///< e^θ - 1
+};
+
+} // namespace parmonc
+
+#endif // PARMONC_VR_VARIANCEREDUCTION_H

@@ -1,0 +1,113 @@
+//===- core/CApi.cpp - The paper's C calling convention -------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/CApi.h"
+
+#include "parmonc/core/Runner.h"
+#include "parmonc/rng/Lcg128.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace parmonc {
+
+namespace {
+
+/// The stream rnd128() reads on this thread. Set by the engine around each
+/// realization; null outside of one.
+thread_local RandomSource *ThreadStream = nullptr;
+
+/// Fallback stream for rnd128() outside a parmoncc run: the plain general
+/// sequence, one instance per thread so standalone sequential programs
+/// behave like the paper's sequential example.
+Lcg128 &fallbackStream() {
+  thread_local Lcg128 Fallback;
+  return Fallback;
+}
+
+int readEnvironmentInt(const char *Name, int Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  const long Parsed = std::strtol(Value, nullptr, 10);
+  return Parsed >= 1 ? int(Parsed) : Default;
+}
+
+} // namespace
+
+void setThreadRandomSource(RandomSource *Source) { ThreadStream = Source; }
+
+} // namespace parmonc
+
+extern "C" {
+
+double rnd128(void) {
+  using namespace parmonc;
+  RandomSource *Stream = ThreadStream;
+  return Stream ? Stream->nextUniform() : fallbackStream().nextUniform();
+}
+
+int parmoncc(parmonc_realization_fn realization, const int *nrow,
+             const int *ncol, const long long *maxsv, const int *res,
+             const int *seqnum, const int *perpass, const int *peraver) {
+  using namespace parmonc;
+  if (!realization || !nrow || !ncol || !maxsv || !res || !seqnum ||
+      !perpass || !peraver) {
+    std::fprintf(stderr, "parmoncc: null argument\n");
+    return 1;
+  }
+  if (*nrow < 1 || *ncol < 1 || *maxsv < 1 || *perpass < 0 || *peraver < 0 ||
+      *seqnum < 0) {
+    std::fprintf(stderr, "parmoncc: argument out of range\n");
+    return 1;
+  }
+
+  RunConfig Config;
+  Config.Rows = size_t(*nrow);
+  Config.Columns = size_t(*ncol);
+  Config.MaxSampleVolume = *maxsv;
+  Config.Resume = *res != 0;
+  Config.SequenceNumber = uint64_t(*seqnum);
+  // perpass/peraver are minutes in the paper's interface.
+  Config.PassPeriodNanos = int64_t(*perpass) * 60'000'000'000;
+  Config.AveragePeriodNanos = int64_t(*peraver) * 60'000'000'000;
+  const unsigned HardwareThreads = std::thread::hardware_concurrency();
+  Config.ProcessorCount = readEnvironmentInt(
+      "PARMONC_NP", HardwareThreads > 0 ? int(HardwareThreads) : 1);
+  if (const char *WorkDir = std::getenv("PARMONC_WORKDIR");
+      WorkDir && *WorkDir)
+    Config.WorkDir = WorkDir;
+
+  // Bind the engine-provided stream to rnd128() for the duration of each
+  // realization call.
+  RealizationFn Wrapped = [realization](RandomSource &Source, double *Out) {
+    setThreadRandomSource(&Source);
+    realization(Out);
+    setThreadRandomSource(nullptr);
+  };
+
+  Result<RunReport> Outcome = runSimulation(Wrapped, Config);
+  if (!Outcome) {
+    std::fprintf(stderr, "parmoncc: %s\n",
+                 Outcome.status().toString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int parmoncf_(parmonc_realization_fn realization, const int *nrow,
+              const int *ncol, const long long *maxsv, const int *res,
+              const int *seqnum, const int *perpass, const int *peraver) {
+  // The FORTRAN binding is the same engine behind a mangled symbol; the
+  // by-reference convention already matches.
+  return parmoncc(realization, nrow, ncol, maxsv, res, seqnum, perpass,
+                  peraver);
+}
+
+double rnd128_(void) { return rnd128(); }
+
+} // extern "C"

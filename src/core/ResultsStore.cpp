@@ -1,0 +1,491 @@
+//===- core/ResultsStore.cpp - Result & checkpoint files (§3.6) ----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/ResultsStore.h"
+
+#include "parmonc/mpsim/Serialize.h"
+#include "parmonc/support/Text.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace parmonc {
+
+std::string MomentSnapshot::toFileContents() const {
+  std::string Text;
+  Text += "# PARMONC moment snapshot: raw sums, full precision\n";
+  Text += "seqnum " + std::to_string(SequenceNumber) + "\n";
+  Text += "shape " + std::to_string(Moments.rows()) + " " +
+          std::to_string(Moments.columns()) + "\n";
+  Text += "volume " + std::to_string(Moments.sampleVolume()) + "\n";
+  Text += "compute_seconds " + formatScientific(ComputeSeconds) + "\n";
+  Text += "sums";
+  for (double Sum : Moments.valueSums())
+    Text += " " + formatScientific(Sum);
+  Text += "\nsquares";
+  for (double Square : Moments.squareSums())
+    Text += " " + formatScientific(Square);
+  Text += "\n";
+  for (const HistogramEstimator &Histogram : Histograms) {
+    Text += "histogram " + formatScientific(Histogram.low()) + " " +
+            formatScientific(Histogram.high()) + " " +
+            std::to_string(Histogram.binCount()) + " " +
+            std::to_string(Histogram.underflowCount()) + " " +
+            std::to_string(Histogram.overflowCount());
+    for (size_t Index = 0; Index < Histogram.binCount(); ++Index)
+      Text += " " + std::to_string(Histogram.countOf(Index));
+    Text += "\n";
+  }
+  return Text;
+}
+
+/// Parses one "histogram <low> <high> <bins> <under> <over> <counts...>"
+/// line back into an estimator.
+static Result<HistogramEstimator> parseHistogramLine(
+    const std::vector<std::string_view> &Fields) {
+  if (Fields.size() < 6)
+    return parseError("malformed histogram line in snapshot");
+  Result<double> Low = parseDouble(Fields[1]);
+  Result<double> High = parseDouble(Fields[2]);
+  Result<uint64_t> Bins = parseUInt64(Fields[3]);
+  Result<int64_t> Under = parseInt64(Fields[4]);
+  Result<int64_t> Over = parseInt64(Fields[5]);
+  if (!Low || !High || !Bins || !Under || !Over)
+    return parseError("malformed histogram header in snapshot");
+  if (Low.value() >= High.value() || Bins.value() == 0 ||
+      Under.value() < 0 || Over.value() < 0)
+    return parseError("invalid histogram geometry in snapshot");
+  if (Fields.size() != 6 + Bins.value())
+    return parseError("histogram count list does not match bin count");
+  // Rebuild via the histogram's own text format so all invariants are
+  // enforced in one place.
+  std::string Text = "range " + std::string(Fields[1]) + " " +
+                     std::string(Fields[2]) + "\n" + "bins " +
+                     std::to_string(Bins.value()) + "\n" + "underflow " +
+                     std::to_string(Under.value()) + "\n" + "overflow " +
+                     std::to_string(Over.value()) + "\ncounts";
+  for (size_t Index = 6; Index < Fields.size(); ++Index)
+    Text += " " + std::string(Fields[Index]);
+  Text += "\n";
+  return HistogramEstimator::fromFileContents(Text);
+}
+
+Result<MomentSnapshot> MomentSnapshot::fromFileContents(
+    std::string_view Contents) {
+  uint64_t SequenceNumber = 0;
+  size_t Rows = 0, Columns = 0;
+  int64_t Volume = -1;
+  double ComputeSeconds = 0.0;
+  std::vector<double> Sums, Squares;
+  std::vector<HistogramEstimator> PendingHistograms;
+  bool HaveShape = false, HaveVolume = false, HaveSums = false,
+       HaveSquares = false;
+
+  for (std::string_view Line : splitChar(Contents, '\n')) {
+    std::string_view Stripped = trim(Line);
+    if (Stripped.empty() || Stripped[0] == '#')
+      continue;
+    auto Fields = splitWhitespace(Stripped);
+    const std::string_view Key = Fields[0];
+    if (Key == "seqnum" && Fields.size() == 2) {
+      Result<uint64_t> Value = parseUInt64(Fields[1]);
+      if (!Value)
+        return Value.status();
+      SequenceNumber = Value.value();
+    } else if (Key == "shape" && Fields.size() == 3) {
+      Result<uint64_t> RowsValue = parseUInt64(Fields[1]);
+      Result<uint64_t> ColumnsValue = parseUInt64(Fields[2]);
+      if (!RowsValue || !ColumnsValue)
+        return parseError("bad shape line in snapshot");
+      Rows = RowsValue.value();
+      Columns = ColumnsValue.value();
+      HaveShape = true;
+    } else if (Key == "volume" && Fields.size() == 2) {
+      Result<int64_t> Value = parseInt64(Fields[1]);
+      if (!Value)
+        return Value.status();
+      Volume = Value.value();
+      HaveVolume = true;
+    } else if (Key == "compute_seconds" && Fields.size() == 2) {
+      Result<double> Value = parseDouble(Fields[1]);
+      if (!Value)
+        return Value.status();
+      ComputeSeconds = Value.value();
+    } else if (Key == "sums") {
+      for (size_t Index = 1; Index < Fields.size(); ++Index) {
+        Result<double> Value = parseDouble(Fields[Index]);
+        if (!Value)
+          return Value.status();
+        Sums.push_back(Value.value());
+      }
+      HaveSums = true;
+    } else if (Key == "histogram") {
+      Result<HistogramEstimator> Histogram = parseHistogramLine(Fields);
+      if (!Histogram)
+        return Histogram.status();
+      // Collected below once the snapshot object exists.
+      PendingHistograms.push_back(std::move(Histogram).value());
+    } else if (Key == "squares") {
+      for (size_t Index = 1; Index < Fields.size(); ++Index) {
+        Result<double> Value = parseDouble(Fields[Index]);
+        if (!Value)
+          return Value.status();
+        Squares.push_back(Value.value());
+      }
+      HaveSquares = true;
+    } else {
+      return parseError("unknown snapshot directive '" + std::string(Key) +
+                        "'");
+    }
+  }
+
+  if (!HaveShape || !HaveVolume || !HaveSums || !HaveSquares)
+    return parseError("snapshot file is missing required entries");
+
+  Result<EstimatorMatrix> Moments = EstimatorMatrix::fromRawSums(
+      Rows, Columns, std::move(Sums), std::move(Squares), Volume);
+  if (!Moments)
+    return Moments.status();
+
+  MomentSnapshot Snapshot;
+  Snapshot.SequenceNumber = SequenceNumber;
+  Snapshot.ComputeSeconds = ComputeSeconds;
+  Snapshot.Moments = std::move(Moments).value();
+  Snapshot.Histograms = std::move(PendingHistograms);
+  return Snapshot;
+}
+
+std::vector<uint8_t> MomentSnapshot::toBytes() const {
+  ByteWriter Writer;
+  Writer.writeU64(SequenceNumber);
+  Writer.writeU64(Moments.rows());
+  Writer.writeU64(Moments.columns());
+  Writer.writeI64(Moments.sampleVolume());
+  Writer.writeDouble(ComputeSeconds);
+  Writer.writeDoubleVector(Moments.valueSums());
+  Writer.writeDoubleVector(Moments.squareSums());
+  Writer.writeU64(Histograms.size());
+  for (const HistogramEstimator &Histogram : Histograms)
+    Writer.writeString(Histogram.toFileContents());
+  return Writer.takeBytes();
+}
+
+Result<MomentSnapshot> MomentSnapshot::fromBytes(
+    const std::vector<uint8_t> &Bytes) {
+  ByteReader Reader(Bytes);
+  Result<uint64_t> SequenceNumber = Reader.readU64();
+  Result<uint64_t> Rows = Reader.readU64();
+  Result<uint64_t> Columns = Reader.readU64();
+  Result<int64_t> Volume = Reader.readI64();
+  Result<double> ComputeSeconds = Reader.readDouble();
+  if (!SequenceNumber || !Rows || !Columns || !Volume || !ComputeSeconds)
+    return parseError("truncated snapshot message header");
+  Result<std::vector<double>> Sums = Reader.readDoubleVector();
+  if (!Sums)
+    return Sums.status();
+  Result<std::vector<double>> Squares = Reader.readDoubleVector();
+  if (!Squares)
+    return Squares.status();
+  Result<uint64_t> HistogramCount = Reader.readU64();
+  if (!HistogramCount)
+    return HistogramCount.status();
+  std::vector<HistogramEstimator> Histograms;
+  for (uint64_t Index = 0; Index < HistogramCount.value(); ++Index) {
+    Result<std::string> Text = Reader.readString();
+    if (!Text)
+      return Text.status();
+    Result<HistogramEstimator> Histogram =
+        HistogramEstimator::fromFileContents(Text.value());
+    if (!Histogram)
+      return Histogram.status();
+    Histograms.push_back(std::move(Histogram).value());
+  }
+  if (!Reader.atEnd())
+    return parseError("trailing bytes in snapshot message");
+
+  Result<EstimatorMatrix> Moments = EstimatorMatrix::fromRawSums(
+      Rows.value(), Columns.value(), std::move(Sums).value(),
+      std::move(Squares).value(), Volume.value());
+  if (!Moments)
+    return Moments.status();
+
+  MomentSnapshot Snapshot;
+  Snapshot.SequenceNumber = SequenceNumber.value();
+  Snapshot.ComputeSeconds = ComputeSeconds.value();
+  Snapshot.Moments = std::move(Moments).value();
+  Snapshot.Histograms = std::move(Histograms);
+  return Snapshot;
+}
+
+ResultsStore::ResultsStore(std::string WorkDir)
+    : WorkDir(std::move(WorkDir)) {
+  assert(!this->WorkDir.empty() && "work directory must not be empty");
+}
+
+Status ResultsStore::prepareDirectories() const {
+  if (Status Created = createDirectories(resultsDir()); !Created)
+    return Created;
+  return createDirectories(subtotalsDir());
+}
+
+std::string ResultsStore::dataDir() const {
+  return WorkDir + "/parmonc_data";
+}
+std::string ResultsStore::resultsDir() const {
+  return dataDir() + "/results";
+}
+std::string ResultsStore::subtotalsDir() const {
+  return dataDir() + "/subtotals";
+}
+std::string ResultsStore::checkpointPath() const {
+  return dataDir() + "/checkpoint.dat";
+}
+std::string ResultsStore::basePath() const { return dataDir() + "/base.dat"; }
+std::string ResultsStore::subtotalPath(int Rank) const {
+  return subtotalsDir() + "/rank_" + std::to_string(Rank) + ".dat";
+}
+std::string ResultsStore::meansPath() const {
+  return resultsDir() + "/func.dat";
+}
+std::string ResultsStore::confidencePath() const {
+  return resultsDir() + "/func_ci.dat";
+}
+std::string ResultsStore::logPath() const {
+  return resultsDir() + "/func_log.dat";
+}
+std::string ResultsStore::experimentLogPath() const {
+  return dataDir() + "/parmonc_exp.dat";
+}
+std::string ResultsStore::genparamPath() const {
+  return WorkDir + "/parmonc_genparam.dat";
+}
+
+Status ResultsStore::writeSnapshot(const std::string &Path,
+                                   const MomentSnapshot &Snapshot) const {
+  return writeFileAtomic(Path, Snapshot.toFileContents());
+}
+
+Result<MomentSnapshot> ResultsStore::readSnapshot(
+    const std::string &Path) const {
+  Result<std::string> Contents = readFileToString(Path);
+  if (!Contents)
+    return Contents.status();
+  return MomentSnapshot::fromFileContents(Contents.value());
+}
+
+Status ResultsStore::writeResults(const EstimatorMatrix &Merged,
+                                  const RunLogInfo &Log,
+                                  double ErrorMultiplier) const {
+  if (Merged.sampleVolume() <= 0)
+    return failedPrecondition("cannot write results with zero volume");
+
+  std::vector<double> Means, AbsoluteErrors, RelativeErrors, Variances;
+  Merged.computeMatrices(&Means, &AbsoluteErrors, &RelativeErrors,
+                         &Variances, ErrorMultiplier);
+
+  // func.dat: one row of the mean matrix per line.
+  std::string MeansText;
+  for (size_t Row = 0; Row < Merged.rows(); ++Row) {
+    for (size_t Column = 0; Column < Merged.columns(); ++Column) {
+      if (Column > 0)
+        MeansText += " ";
+      MeansText += formatScientific(Means[Row * Merged.columns() + Column]);
+    }
+    MeansText += "\n";
+  }
+  if (Status Written = writeFileAtomic(meansPath(), MeansText); !Written)
+    return Written;
+
+  // func_ci.dat: one entry per line with all four statistics.
+  std::string ConfidenceText =
+      "# row col mean abs_error rel_error_percent variance\n";
+  for (size_t Row = 0; Row < Merged.rows(); ++Row) {
+    for (size_t Column = 0; Column < Merged.columns(); ++Column) {
+      const size_t Index = Row * Merged.columns() + Column;
+      ConfidenceText += std::to_string(Row + 1) + " " +
+                        std::to_string(Column + 1) + " " +
+                        formatScientific(Means[Index]) + " " +
+                        formatScientific(AbsoluteErrors[Index]) + " " +
+                        formatScientific(RelativeErrors[Index]) + " " +
+                        formatScientific(Variances[Index]) + "\n";
+    }
+  }
+  if (Status Written = writeFileAtomic(confidencePath(), ConfidenceText);
+      !Written)
+    return Written;
+
+  // func_log.dat: the run summary of §3.6.
+  std::string LogText;
+  LogText += "total_sample_volume " + std::to_string(Log.TotalSampleVolume) +
+             "\n";
+  LogText += "new_sample_volume " + std::to_string(Log.NewSampleVolume) +
+             "\n";
+  LogText += "mean_time_per_realization_seconds " +
+             formatScientific(Log.MeanRealizationSeconds, 6) + "\n";
+  LogText += "elapsed_seconds " + formatScientific(Log.ElapsedSeconds, 6) +
+             "\n";
+  LogText += "max_absolute_error " +
+             formatScientific(Log.MaxAbsoluteError, 6) + "\n";
+  LogText += "max_relative_error_percent " +
+             formatScientific(Log.MaxRelativeErrorPercent, 6) + "\n";
+  LogText += "max_variance " + formatScientific(Log.MaxVariance, 6) + "\n";
+  LogText += "processors " + std::to_string(Log.ProcessorCount) + "\n";
+  LogText += "experiment " + std::to_string(Log.SequenceNumber) + "\n";
+  LogText += std::string("resumed ") + (Log.Resumed ? "1" : "0") + "\n";
+  return writeFileAtomic(logPath(), LogText);
+}
+
+Status ResultsStore::appendExperimentLog(const RunLogInfo &Log) const {
+  std::string Line = "experiment " + std::to_string(Log.SequenceNumber) +
+                     " resumed " + (Log.Resumed ? "1" : "0") +
+                     " processors " + std::to_string(Log.ProcessorCount) +
+                     " start_volume " +
+                     std::to_string(Log.TotalSampleVolume) + "\n";
+  // Append (not atomic-replace): the registry accumulates one line per
+  // started experiment across the directory's lifetime.
+  std::string Existing;
+  if (fileExists(experimentLogPath())) {
+    Result<std::string> Current = readFileToString(experimentLogPath());
+    if (!Current)
+      return Current.status();
+    Existing = Current.value();
+  }
+  return writeFileAtomic(experimentLogPath(), Existing + Line);
+}
+
+Result<std::vector<double>> ResultsStore::readMeans(size_t Rows,
+                                                    size_t Columns) const {
+  Result<std::string> Contents = readFileToString(meansPath());
+  if (!Contents)
+    return Contents.status();
+  std::vector<double> Means;
+  Means.reserve(Rows * Columns);
+  for (std::string_view Field : splitWhitespace(Contents.value())) {
+    Result<double> Value = parseDouble(Field);
+    if (!Value)
+      return Value.status();
+    Means.push_back(Value.value());
+  }
+  if (Means.size() != Rows * Columns)
+    return parseError("func.dat holds " + std::to_string(Means.size()) +
+                      " entries, expected " +
+                      std::to_string(Rows * Columns));
+  return Means;
+}
+
+std::vector<std::pair<int, std::string>>
+ResultsStore::listSubtotalFiles() const {
+  std::vector<std::pair<int, std::string>> Files;
+  std::error_code Error;
+  std::filesystem::directory_iterator Directory(subtotalsDir(), Error);
+  if (Error)
+    return Files;
+  for (const auto &Entry : Directory) {
+    const std::string Name = Entry.path().filename().string();
+    if (!startsWith(Name, "rank_") || Entry.path().extension() != ".dat")
+      continue;
+    Result<int64_t> Rank =
+        parseInt64(Name.substr(5, Name.size() - 5 - 4));
+    if (!Rank)
+      continue;
+    Files.emplace_back(int(Rank.value()), Entry.path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+Status ResultsStore::clearPreviousRun() const {
+  std::error_code Error;
+  for (const std::string &Path :
+       {checkpointPath(), basePath(), meansPath(), confidencePath(),
+        logPath()})
+    std::filesystem::remove(Path, Error); // missing files are fine
+  for (const auto &[Rank, Path] : listSubtotalFiles())
+    std::filesystem::remove(Path, Error);
+  return Status::ok();
+}
+
+std::string histogramPath(const ResultsStore &Store, size_t Row,
+                          size_t Column) {
+  return Store.resultsDir() + "/hist_r" + std::to_string(Row + 1) + "_c" +
+         std::to_string(Column + 1) + ".dat";
+}
+
+Result<MomentSnapshot> runManualAverage(const ResultsStore &Store,
+                                        double ErrorMultiplier) {
+  // Start from the base (resumed) moments if present, else from scratch
+  // with the shape of the first subtotal.
+  const auto SubtotalFiles = Store.listSubtotalFiles();
+  if (SubtotalFiles.empty() && !fileExists(Store.basePath()))
+    return notFound("no base.dat and no subtotal files under " +
+                    Store.subtotalsDir());
+
+  MomentSnapshot Merged;
+  bool HaveShape = false;
+  if (fileExists(Store.basePath())) {
+    Result<MomentSnapshot> Base = Store.readSnapshot(Store.basePath());
+    if (!Base)
+      return Base.status();
+    Merged = std::move(Base).value();
+    HaveShape = true;
+  }
+
+  for (const auto &[Rank, Path] : SubtotalFiles) {
+    Result<MomentSnapshot> Part = Store.readSnapshot(Path);
+    if (!Part)
+      return Part.status();
+    if (!HaveShape) {
+      Merged.Moments = EstimatorMatrix(Part.value().Moments.rows(),
+                                       Part.value().Moments.columns());
+      Merged.SequenceNumber = Part.value().SequenceNumber;
+      HaveShape = true;
+    }
+    if (Status MergedOk = Merged.Moments.merge(Part.value().Moments);
+        !MergedOk)
+      return MergedOk;
+    if (Merged.Histograms.empty() && !Part.value().Histograms.empty() &&
+        Merged.Moments.sampleVolume() == Part.value().Moments.sampleVolume())
+      // First contribution defines the histogram set (no base file case).
+      Merged.Histograms = Part.value().Histograms;
+    else if (Part.value().Histograms.size() != Merged.Histograms.size())
+      return failedPrecondition(
+          "subtotal files disagree on histogram observables");
+    else
+      for (size_t Index = 0; Index < Merged.Histograms.size(); ++Index)
+        if (Status HistogramOk = Merged.Histograms[Index].merge(
+                Part.value().Histograms[Index]);
+            !HistogramOk)
+          return HistogramOk;
+    Merged.ComputeSeconds += Part.value().ComputeSeconds;
+    Merged.SequenceNumber = Part.value().SequenceNumber;
+  }
+
+  if (Merged.Moments.sampleVolume() <= 0)
+    return failedPrecondition("manual average found zero sample volume");
+
+  RunLogInfo Log;
+  Log.TotalSampleVolume = Merged.Moments.sampleVolume();
+  Log.NewSampleVolume = 0; // unknown after a crash; manaver reports totals
+  Log.MeanRealizationSeconds =
+      Merged.ComputeSeconds / double(Merged.Moments.sampleVolume());
+  Log.SequenceNumber = Merged.SequenceNumber;
+  Log.ProcessorCount = int(SubtotalFiles.size());
+  const ErrorBounds Bounds = Merged.Moments.errorBounds(ErrorMultiplier);
+  Log.MaxAbsoluteError = Bounds.MaxAbsoluteError;
+  Log.MaxRelativeErrorPercent = Bounds.MaxRelativeError;
+  Log.MaxVariance = Bounds.MaxVariance;
+
+  if (Status Written =
+          Store.writeResults(Merged.Moments, Log, ErrorMultiplier);
+      !Written)
+    return Written;
+  if (Status Written = Store.writeSnapshot(Store.checkpointPath(), Merged);
+      !Written)
+    return Written;
+  return Merged;
+}
+
+} // namespace parmonc

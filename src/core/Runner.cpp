@@ -1,0 +1,438 @@
+//===- core/Runner.cpp - The parallel simulation engine (§3.2) -----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Roles follow §2.2 exactly: every rank simulates realizations
+// asynchronously; every rank periodically sends its *cumulative* moment
+// sums to rank 0; rank 0 additionally keeps the latest snapshot per rank,
+// merges them with the resumed base by eq. (5), and saves results at
+// save-points. Cumulative (rather than incremental) subtotals make the
+// collector idempotent: a lost or reordered message can only delay
+// freshness, never corrupt the average.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/Runner.h"
+
+#include "parmonc/mpsim/Communicator.h"
+#include "parmonc/rng/StreamHierarchy.h"
+#include "parmonc/support/Text.h"
+
+#include <atomic>
+#include <vector>
+
+namespace parmonc {
+
+namespace {
+
+/// Message tags of the collector protocol.
+enum ProtocolTag : int {
+  TagSubtotal = 1, ///< periodic cumulative snapshot
+  TagFinal = 2,    ///< last snapshot of a finished worker
+};
+
+/// Everything the worker/collector closures share. Plain atomics; the
+/// snapshot vectors are touched only by rank 0.
+struct SharedRunState {
+  std::atomic<int64_t> ClaimedVolume{0};
+  std::atomic<bool> StopRequested{false};
+  std::atomic<bool> StoppedOnTimeLimit{false};
+  std::atomic<bool> StoppedOnErrorTarget{false};
+};
+
+/// Collector-side bookkeeping (rank 0 only).
+struct CollectorState {
+  std::vector<MomentSnapshot> LatestFromRank;
+  std::vector<bool> HaveSnapshot;
+  std::vector<bool> FinalReceived;
+  int FinalsOutstanding = 0;
+  int SavePointCount = 0;
+  int64_t LastSaveNanos = 0;
+
+  /// Merges base + every received rank snapshot (eq. 5).
+  MomentSnapshot mergeAll(const MomentSnapshot &Base) const {
+    MomentSnapshot Merged = Base;
+    for (size_t Rank = 0; Rank < LatestFromRank.size(); ++Rank) {
+      if (!HaveSnapshot[Rank])
+        continue;
+      Status MergedOk = Merged.Moments.merge(LatestFromRank[Rank].Moments);
+      assert(MergedOk.isOk() && "rank snapshot shape mismatch");
+      (void)MergedOk;
+      Merged.ComputeSeconds += LatestFromRank[Rank].ComputeSeconds;
+      assert(Merged.Histograms.size() ==
+                 LatestFromRank[Rank].Histograms.size() &&
+             "rank snapshot histogram count mismatch");
+      for (size_t Index = 0; Index < Merged.Histograms.size(); ++Index) {
+        Status HistogramOk = Merged.Histograms[Index].merge(
+            LatestFromRank[Rank].Histograms[Index]);
+        assert(HistogramOk.isOk() && "histogram geometry mismatch");
+        (void)HistogramOk;
+      }
+    }
+    return Merged;
+  }
+};
+
+} // namespace
+
+Status RunConfig::validate() const {
+  if (Rows < 1 || Columns < 1)
+    return invalidArgument("realization matrix must be at least 1x1");
+  if (MaxSampleVolume < 1)
+    return invalidArgument("maximal sample volume must be >= 1");
+  if (ProcessorCount < 1)
+    return invalidArgument("processor count must be >= 1");
+  if (Status LeapsOk = Leaps.validate(); !LeapsOk)
+    return LeapsOk;
+  const unsigned MaxProcessorsLog2 = Leaps.maxProcessorsLog2();
+  if (MaxProcessorsLog2 < 63 &&
+      uint64_t(ProcessorCount) > (uint64_t(1) << MaxProcessorsLog2))
+    return invalidArgument(
+        "processor count exceeds the hierarchy capacity 2^" +
+        std::to_string(MaxProcessorsLog2));
+  const unsigned MaxExperimentsLog2 = Leaps.maxExperimentsLog2();
+  if (MaxExperimentsLog2 < 63 &&
+      SequenceNumber >= (uint64_t(1) << MaxExperimentsLog2))
+    return invalidArgument(
+        "experiment number exceeds the hierarchy capacity 2^" +
+        std::to_string(MaxExperimentsLog2));
+  if (PassPeriodNanos < 0 || AveragePeriodNanos < 0 || TimeLimitNanos < 0)
+    return invalidArgument("periods must be non-negative");
+  if (ErrorMultiplier <= 0.0)
+    return invalidArgument("error multiplier must be positive");
+  if (TargetMaxAbsoluteError < 0.0 || TargetMaxRelativeErrorPercent < 0.0)
+    return invalidArgument("error targets must be non-negative");
+  if (WorkDir.empty())
+    return invalidArgument("work directory must not be empty");
+  for (const HistogramSpec &Spec : Histograms) {
+    if (Spec.Row >= Rows || Spec.Column >= Columns)
+      return invalidArgument("histogram observable outside the matrix");
+    if (Spec.Low >= Spec.High)
+      return invalidArgument("histogram range is empty");
+    if (Spec.BinCount < 1)
+      return invalidArgument("histogram needs at least one bin");
+  }
+  return Status::ok();
+}
+
+/// Fresh (empty) histograms matching the configured specs.
+static std::vector<HistogramEstimator>
+makeHistograms(const RunConfig &Config) {
+  std::vector<HistogramEstimator> Histograms;
+  Histograms.reserve(Config.Histograms.size());
+  for (const HistogramSpec &Spec : Config.Histograms)
+    Histograms.emplace_back(Spec.Low, Spec.High, Spec.BinCount);
+  return Histograms;
+}
+
+Result<RunReport> runSimulation(const RealizationFn &Realization,
+                                const RunConfig &Config,
+                                Clock *ClockOverride) {
+  if (!Realization)
+    return invalidArgument("realization routine must be set");
+  if (Status Valid = Config.validate(); !Valid)
+    return Valid;
+
+  static WallClock DefaultClock;
+  Clock &Time = ClockOverride ? *ClockOverride : DefaultClock;
+
+  ResultsStore Store(Config.WorkDir);
+  if (Status Prepared = Store.prepareDirectories(); !Prepared)
+    return Prepared;
+
+  // Leap table: an explicit parmonc_genparam.dat in the working directory
+  // overrides the configured exponents (§3.5).
+  LeapTable Table(Lcg128::defaultMultiplier(), Config.Leaps);
+  if (fileExists(Store.genparamPath())) {
+    Result<LeapTable> Loaded = LeapTable::loadOrDefault(Store.genparamPath());
+    if (!Loaded)
+      return Loaded.status();
+    Table = std::move(Loaded).value();
+  }
+  const StreamHierarchy Hierarchy(Table);
+
+  // Resumption (§3.2): res=1 loads the previous checkpoint as the base;
+  // res=0 starts from clean files.
+  MomentSnapshot Base;
+  Base.Moments = EstimatorMatrix(Config.Rows, Config.Columns);
+  Base.Histograms = makeHistograms(Config);
+  Base.SequenceNumber = Config.SequenceNumber;
+  if (Config.Resume) {
+    if (!fileExists(Store.checkpointPath()))
+      return failedPrecondition(
+          "resume requested but no checkpoint exists at " +
+          Store.checkpointPath());
+    Result<MomentSnapshot> Previous =
+        Store.readSnapshot(Store.checkpointPath());
+    if (!Previous)
+      return Previous.status();
+    if (Previous.value().Moments.rows() != Config.Rows ||
+        Previous.value().Moments.columns() != Config.Columns)
+      return failedPrecondition(
+          "checkpoint shape does not match the configured matrix shape");
+    if (Previous.value().SequenceNumber == Config.SequenceNumber)
+      return failedPrecondition(
+          "resumed run must use a different experiment subsequence number "
+          "than the previous run (paper §3.2); previous used " +
+          std::to_string(Previous.value().SequenceNumber));
+    if (Previous.value().Histograms.size() != Config.Histograms.size())
+      return failedPrecondition(
+          "checkpoint histogram count does not match the configuration");
+    for (size_t Index = 0; Index < Config.Histograms.size(); ++Index) {
+      const HistogramEstimator &Saved = Previous.value().Histograms[Index];
+      const HistogramSpec &Spec = Config.Histograms[Index];
+      if (Saved.low() != Spec.Low || Saved.high() != Spec.High ||
+          Saved.binCount() != Spec.BinCount)
+        return failedPrecondition(
+            "checkpoint histogram geometry does not match the "
+            "configuration");
+    }
+    Base = std::move(Previous).value();
+    // The merged results of this run belong to the *new* experiment.
+    Base.SequenceNumber = Config.SequenceNumber;
+  } else {
+    if (Status Cleared = Store.clearPreviousRun(); !Cleared)
+      return Cleared;
+  }
+  if (Status Written = Store.writeSnapshot(Store.basePath(), Base); !Written)
+    return Written;
+
+  RunLogInfo StartLog;
+  StartLog.SequenceNumber = Config.SequenceNumber;
+  StartLog.Resumed = Config.Resume;
+  StartLog.ProcessorCount = Config.ProcessorCount;
+  StartLog.TotalSampleVolume = Base.Moments.sampleVolume();
+  if (Status Logged = Store.appendExperimentLog(StartLog); !Logged)
+    return Logged;
+
+  const int64_t StartNanos = Time.nowNanos();
+  const int RankCount = Config.ProcessorCount;
+  const size_t EntryCount = Config.Rows * Config.Columns;
+
+  SharedRunState Shared;
+  CollectorState Collector;
+  Collector.LatestFromRank.assign(size_t(RankCount), MomentSnapshot{});
+  Collector.HaveSnapshot.assign(size_t(RankCount), false);
+  Collector.FinalReceived.assign(size_t(RankCount), false);
+  Collector.FinalsOutstanding = RankCount;
+  Collector.LastSaveNanos = StartNanos;
+
+  Status CollectorFailure; // first IO failure seen by rank 0
+  RunReport Report;
+
+  // --- Collector helpers (rank 0 only) -----------------------------------
+
+  auto buildLog = [&](const MomentSnapshot &Merged,
+                      int64_t NowNanos) -> RunLogInfo {
+    RunLogInfo Log;
+    Log.TotalSampleVolume = Merged.Moments.sampleVolume();
+    Log.NewSampleVolume =
+        Merged.Moments.sampleVolume() - Base.Moments.sampleVolume();
+    const double NewComputeSeconds =
+        Merged.ComputeSeconds - Base.ComputeSeconds;
+    Log.MeanRealizationSeconds =
+        Log.NewSampleVolume > 0
+            ? NewComputeSeconds / double(Log.NewSampleVolume)
+            : 0.0;
+    Log.ElapsedSeconds = double(NowNanos - StartNanos) * 1e-9;
+    Log.ProcessorCount = RankCount;
+    Log.SequenceNumber = Config.SequenceNumber;
+    Log.Resumed = Config.Resume;
+    if (Merged.Moments.sampleVolume() > 0) {
+      const ErrorBounds Bounds =
+          Merged.Moments.errorBounds(Config.ErrorMultiplier);
+      Log.MaxAbsoluteError = Bounds.MaxAbsoluteError;
+      Log.MaxRelativeErrorPercent = Bounds.MaxRelativeError;
+      Log.MaxVariance = Bounds.MaxVariance;
+    }
+    return Log;
+  };
+
+  auto savePoint = [&](int64_t NowNanos) {
+    const MomentSnapshot Merged = Collector.mergeAll(Base);
+    if (Merged.Moments.sampleVolume() <= 0)
+      return; // nothing to report yet
+    const RunLogInfo Log = buildLog(Merged, NowNanos);
+    if (Status Written =
+            Store.writeResults(Merged.Moments, Log, Config.ErrorMultiplier);
+        !Written && CollectorFailure.isOk())
+      CollectorFailure = Written;
+    if (Status Written = Store.writeSnapshot(Store.checkpointPath(), Merged);
+        !Written && CollectorFailure.isOk())
+      CollectorFailure = Written;
+    for (size_t Index = 0; Index < Config.Histograms.size(); ++Index) {
+      const HistogramSpec &Spec = Config.Histograms[Index];
+      if (Status Written = writeFileAtomic(
+              histogramPath(Store, Spec.Row, Spec.Column),
+              Merged.Histograms[Index].toFileContents());
+          !Written && CollectorFailure.isOk())
+        CollectorFailure = Written;
+    }
+    ++Collector.SavePointCount;
+    Collector.LastSaveNanos = NowNanos;
+
+    if (Config.OnSavePoint) {
+      RunProgress Progress;
+      Progress.TotalSampleVolume = Log.TotalSampleVolume;
+      Progress.MaxAbsoluteError = Log.MaxAbsoluteError;
+      Progress.MaxRelativeErrorPercent = Log.MaxRelativeErrorPercent;
+      Progress.ElapsedSeconds = Log.ElapsedSeconds;
+      Progress.SavePointCount = Collector.SavePointCount;
+      Config.OnSavePoint(Progress);
+    }
+
+    // Early-stop targets are evaluated on saved (i.e. reported) bounds.
+    const bool AbsoluteMet =
+        Config.TargetMaxAbsoluteError > 0.0 &&
+        Log.MaxAbsoluteError <= Config.TargetMaxAbsoluteError;
+    const bool RelativeMet =
+        Config.TargetMaxRelativeErrorPercent > 0.0 &&
+        Log.MaxRelativeErrorPercent <= Config.TargetMaxRelativeErrorPercent;
+    if (AbsoluteMet || RelativeMet) {
+      Shared.StoppedOnErrorTarget.store(true, std::memory_order_relaxed);
+      Shared.StopRequested.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  auto handleMessage = [&](const Message &Incoming) {
+    Result<MomentSnapshot> Snapshot =
+        MomentSnapshot::fromBytes(Incoming.Payload);
+    if (!Snapshot) {
+      if (CollectorFailure.isOk())
+        CollectorFailure = Snapshot.status();
+      return;
+    }
+    const size_t Rank = size_t(Incoming.Source);
+    Collector.LatestFromRank[Rank] = std::move(Snapshot).value();
+    Collector.HaveSnapshot[Rank] = true;
+    if (Incoming.Tag == TagFinal && !Collector.FinalReceived[Rank]) {
+      Collector.FinalReceived[Rank] = true;
+      --Collector.FinalsOutstanding;
+    }
+  };
+
+  auto collectorPoll = [&](Communicator &Comm, bool ForceSave) {
+    while (std::optional<Message> Incoming = Comm.tryReceive())
+      handleMessage(*Incoming);
+    const int64_t Now = Time.nowNanos();
+    if (ForceSave ||
+        Now - Collector.LastSaveNanos >= Config.AveragePeriodNanos)
+      savePoint(Now);
+  };
+
+  // --- Worker body (every rank, including 0) ------------------------------
+
+  auto body = [&](Communicator &Comm) {
+    const int Rank = Comm.rank();
+    RealizationCursor Cursor(
+        Hierarchy,
+        StreamCoordinates{Config.SequenceNumber, uint64_t(Rank), 0});
+
+    MomentSnapshot Local;
+    Local.SequenceNumber = Config.SequenceNumber;
+    Local.Moments = EstimatorMatrix(Config.Rows, Config.Columns);
+    Local.Histograms = makeHistograms(Config);
+    std::vector<double> Out(EntryCount);
+
+    int64_t LastPassNanos = Time.nowNanos();
+    int64_t LastPersistNanos = LastPassNanos;
+    // The on-disk subtotal freshness manaver needs (§3.4) is bounded by
+    // the pass period, but in send-every-realization mode (PassPeriod 0)
+    // writing a file per realization would swamp fast workloads — persist
+    // at most every 250 ms there.
+    const int64_t PersistPeriodNanos =
+        Config.PassPeriodNanos > 0 ? Config.PassPeriodNanos : 250'000'000;
+
+    auto sendSubtotal = [&](int Tag) {
+      Comm.send(0, Tag, Local.toBytes());
+      // The worker's own on-disk subtotal is what manaver recovers after a
+      // killed job (§3.4).
+      const int64_t Now = Time.nowNanos();
+      if (Tag == TagFinal || Now - LastPersistNanos >= PersistPeriodNanos) {
+        (void)Store.writeSnapshot(Store.subtotalPath(Rank), Local);
+        LastPersistNanos = Now;
+      }
+    };
+
+    while (!Shared.StopRequested.load(std::memory_order_relaxed)) {
+      const int64_t Claimed =
+          Shared.ClaimedVolume.fetch_add(1, std::memory_order_relaxed);
+      if (Claimed >= Config.MaxSampleVolume)
+        break;
+
+      Lcg128 Stream = Cursor.beginRealization();
+      const int64_t ComputeStart = Time.nowNanos();
+      Realization(Stream, Out.data());
+      const int64_t ComputeEnd = Time.nowNanos();
+      Local.ComputeSeconds += double(ComputeEnd - ComputeStart) * 1e-9;
+      Local.Moments.accumulate(Out.data());
+      for (size_t Index = 0; Index < Config.Histograms.size(); ++Index) {
+        const HistogramSpec &Spec = Config.Histograms[Index];
+        Local.Histograms[Index].add(
+            Out[Spec.Row * Config.Columns + Spec.Column]);
+      }
+
+      const int64_t Now = ComputeEnd;
+      if (Config.TimeLimitNanos > 0 &&
+          Now - StartNanos >= Config.TimeLimitNanos) {
+        Shared.StoppedOnTimeLimit.store(true, std::memory_order_relaxed);
+        Shared.StopRequested.store(true, std::memory_order_relaxed);
+      }
+      if (Config.PassPeriodNanos == 0 ||
+          Now - LastPassNanos >= Config.PassPeriodNanos) {
+        sendSubtotal(TagSubtotal);
+        LastPassNanos = Now;
+      }
+      if (Rank == 0)
+        collectorPoll(Comm, /*ForceSave=*/false);
+    }
+
+    sendSubtotal(TagFinal);
+
+    if (Rank == 0) {
+      // Keep collecting until every rank's final snapshot has arrived.
+      while (Collector.FinalsOutstanding > 0) {
+        if (std::optional<Message> Incoming =
+                Comm.receiveWait(-1, /*TimeoutNanos=*/2'000'000))
+          handleMessage(*Incoming);
+        // Periodic save-points continue while stragglers finish.
+        const int64_t Now = Time.nowNanos();
+        if (Config.AveragePeriodNanos > 0 &&
+            Now - Collector.LastSaveNanos >= Config.AveragePeriodNanos)
+          savePoint(Now);
+      }
+      savePoint(Time.nowNanos()); // final save covers everything
+
+      const MomentSnapshot Merged = Collector.mergeAll(Base);
+      const RunLogInfo Log = buildLog(Merged, Time.nowNanos());
+      Report.TotalSampleVolume = Log.TotalSampleVolume;
+      Report.NewSampleVolume = Log.NewSampleVolume;
+      Report.MeanRealizationSeconds = Log.MeanRealizationSeconds;
+      Report.ElapsedSeconds = Log.ElapsedSeconds;
+      Report.MaxAbsoluteError = Log.MaxAbsoluteError;
+      Report.MaxRelativeErrorPercent = Log.MaxRelativeErrorPercent;
+      Report.MaxVariance = Log.MaxVariance;
+      Report.SavePointCount = Collector.SavePointCount;
+      Report.StoppedOnErrorTarget =
+          Shared.StoppedOnErrorTarget.load(std::memory_order_relaxed);
+      Report.StoppedOnTimeLimit =
+          Shared.StoppedOnTimeLimit.load(std::memory_order_relaxed);
+      Report.PerProcessorVolumes.clear();
+      for (size_t RankIndex = 0; RankIndex < size_t(RankCount); ++RankIndex)
+        Report.PerProcessorVolumes.push_back(
+            Collector.HaveSnapshot[RankIndex]
+                ? Collector.LatestFromRank[RankIndex].Moments.sampleVolume()
+                : 0);
+    }
+  };
+
+  runThreadEngine(RankCount, body);
+
+  if (!CollectorFailure.isOk())
+    return CollectorFailure;
+  return Report;
+}
+
+} // namespace parmonc

@@ -1,0 +1,226 @@
+//===- int128/UInt128.cpp - Portable 128-bit unsigned integer ------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/int128/UInt128.h"
+
+#include "parmonc/support/Text.h"
+
+#include <algorithm>
+#include <array>
+
+namespace parmonc {
+
+static unsigned countLeadingZeros64(uint64_t Value) {
+  if (Value == 0)
+    return 64;
+  unsigned Count = 0;
+  for (unsigned Shift = 32; Shift > 0; Shift /= 2) {
+    uint64_t Top = Value >> (64 - Shift);
+    if (Top == 0) {
+      Count += Shift;
+      Value <<= Shift;
+    }
+  }
+  return Count;
+}
+
+static unsigned countTrailingZeros64(uint64_t Value) {
+  if (Value == 0)
+    return 64;
+  unsigned Count = 0;
+  for (unsigned Shift = 32; Shift > 0; Shift /= 2) {
+    uint64_t Bottom = Value << (64 - Shift);
+    if (Bottom == 0) {
+      Count += Shift;
+      Value >>= Shift;
+    }
+  }
+  return Count;
+}
+
+unsigned UInt128::countLeadingZeros() const {
+  return Hi != 0 ? countLeadingZeros64(Hi) : 64 + countLeadingZeros64(Lo);
+}
+
+unsigned UInt128::countTrailingZeros() const {
+  return Lo != 0 ? countTrailingZeros64(Lo) : 64 + countTrailingZeros64(Hi);
+}
+
+UInt128 mulWide64(uint64_t A, uint64_t B) {
+  // Split into 32-bit halves; accumulate the four partial products with
+  // explicit carries. Standard schoolbook multiply.
+  const uint64_t AL = A & 0xffffffffu;
+  const uint64_t AH = A >> 32;
+  const uint64_t BL = B & 0xffffffffu;
+  const uint64_t BH = B >> 32;
+
+  const uint64_t LL = AL * BL;
+  const uint64_t LH = AL * BH;
+  const uint64_t HL = AH * BL;
+  const uint64_t HH = AH * BH;
+
+  // Middle column: (LL >> 32) + low(LH) + low(HL); its carry feeds the top.
+  const uint64_t Middle = (LL >> 32) + (LH & 0xffffffffu) + (HL & 0xffffffffu);
+  const uint64_t Low = (Middle << 32) | (LL & 0xffffffffu);
+  const uint64_t High = HH + (LH >> 32) + (HL >> 32) + (Middle >> 32);
+  return UInt128(High, Low);
+}
+
+UInt128 operator*(UInt128 A, UInt128 B) {
+  // (AHi*2^64 + ALo) * (BHi*2^64 + BLo) mod 2^128:
+  // only ALo*BLo contributes to both limbs; the cross terms land in the
+  // high limb; AHi*BHi*2^128 vanishes.
+  UInt128 Product = mulWide64(A.Lo, B.Lo);
+  uint64_t HighExtra = A.Lo * B.Hi + A.Hi * B.Lo;
+  return UInt128(Product.high() + HighExtra, Product.low());
+}
+
+WideProduct128 mulFull128(UInt128 A, UInt128 B) {
+  // Schoolbook with 64-bit limbs: A = a1*2^64 + a0, B = b1*2^64 + b0.
+  UInt128 P00 = mulWide64(A.low(), B.low());   // weight 2^0
+  UInt128 P01 = mulWide64(A.low(), B.high());  // weight 2^64
+  UInt128 P10 = mulWide64(A.high(), B.low());  // weight 2^64
+  UInt128 P11 = mulWide64(A.high(), B.high()); // weight 2^128
+
+  // Low 128 bits: P00 + ((P01 + P10) << 64), carries promoted to High.
+  UInt128 Mid = UInt128(P01.low()) + UInt128(P10.low()) + UInt128(P00.high());
+  UInt128 Low(Mid.low(), P00.low());
+  UInt128 High = P11 + UInt128(P01.high()) + UInt128(P10.high()) +
+                 UInt128(Mid.high());
+  return {High, Low};
+}
+
+DivMod128 divMod128(UInt128 Dividend, UInt128 Divisor) {
+  assert(!Divisor.isZero() && "division by zero");
+  if (Dividend < Divisor)
+    return {UInt128(), Dividend};
+  if (Divisor == UInt128(1))
+    return {Dividend, UInt128()};
+
+  // Binary long division: align the divisor under the dividend's top bit,
+  // then subtract-and-shift. At most 128 iterations.
+  unsigned Shift = Divisor.countLeadingZeros() - Dividend.countLeadingZeros();
+  UInt128 Denominator = Divisor << Shift;
+  UInt128 Quotient;
+  UInt128 Remainder = Dividend;
+  for (unsigned Step = 0; Step <= Shift; ++Step) {
+    Quotient <<= 1;
+    if (Remainder >= Denominator) {
+      Remainder -= Denominator;
+      Quotient |= UInt128(1);
+    }
+    Denominator >>= 1;
+  }
+  return {Quotient, Remainder};
+}
+
+UInt128 operator/(UInt128 A, UInt128 B) {
+  return divMod128(A, B).Quotient;
+}
+
+UInt128 operator%(UInt128 A, UInt128 B) {
+  return divMod128(A, B).Remainder;
+}
+
+UInt128 UInt128::powModPow2(UInt128 Base, UInt128 Exponent, unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 128 && "modulus 2^Bits out of range");
+  UInt128 Accumulator(1);
+  UInt128 Square = truncateToBits(Base, Bits);
+  // Square-and-multiply over every exponent bit. Wrapping multiplication is
+  // already mod 2^128; narrower moduli only need a final truncation per step
+  // to keep intermediates canonical.
+  for (unsigned Index = 0; Index < 128; ++Index) {
+    if (Exponent.bit(Index))
+      Accumulator = truncateToBits(Accumulator * Square, Bits);
+    // Skip the last squaring; it cannot influence the result.
+    if (Index + 1 < 128)
+      Square = truncateToBits(Square * Square, Bits);
+  }
+  return Accumulator;
+}
+
+double UInt128::toDouble() const {
+  // Hi*2^64 + Lo, rounded by the double additions themselves. Good to one
+  // ulp, which is all callers need (diagnostics and RNG output scaling).
+  return double(Hi) * 18446744073709551616.0 + double(Lo);
+}
+
+std::string UInt128::toDecimalString() const {
+  if (isZero())
+    return "0";
+  std::string Digits;
+  UInt128 Value = *this;
+  const UInt128 Ten(10);
+  while (!Value.isZero()) {
+    DivMod128 Split = divMod128(Value, Ten);
+    Digits.push_back(char('0' + Split.Remainder.low()));
+    Value = Split.Quotient;
+  }
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+std::string UInt128::toHexString() const {
+  static const char HexDigits[] = "0123456789abcdef";
+  std::string Text = "0x";
+  for (int Nibble = 31; Nibble >= 0; --Nibble) {
+    uint64_t Limb = Nibble >= 16 ? Hi : Lo;
+    unsigned Shift = unsigned(Nibble % 16) * 4;
+    Text.push_back(HexDigits[(Limb >> Shift) & 0xf]);
+  }
+  return Text;
+}
+
+Result<UInt128> UInt128::fromDecimalString(std::string_view Text) {
+  std::string_view Trimmed = trim(Text);
+  if (Trimmed.empty())
+    return parseError("empty 128-bit decimal");
+  UInt128 Value;
+  const UInt128 Ten(10);
+  // Overflow check: Value * 10 + Digit must not wrap. The largest safe
+  // pre-multiply value is floor((2^128 - 1) / 10).
+  const UInt128 MaxBeforeMul = divMod128(~UInt128(), Ten).Quotient;
+  for (char Character : Trimmed) {
+    if (Character < '0' || Character > '9')
+      return parseError(std::string("invalid decimal digit '") + Character +
+                        "'");
+    uint64_t Digit = uint64_t(Character - '0');
+    if (Value > MaxBeforeMul)
+      return parseError("128-bit decimal overflow");
+    UInt128 Scaled = Value * Ten;
+    UInt128 Next = Scaled + UInt128(Digit);
+    if (Next < Scaled)
+      return parseError("128-bit decimal overflow");
+    Value = Next;
+  }
+  return Value;
+}
+
+Result<UInt128> UInt128::fromHexString(std::string_view Text) {
+  std::string_view Trimmed = trim(Text);
+  if (startsWith(Trimmed, "0x") || startsWith(Trimmed, "0X"))
+    Trimmed.remove_prefix(2);
+  if (Trimmed.empty())
+    return parseError("empty 128-bit hex");
+  if (Trimmed.size() > 32)
+    return parseError("128-bit hex overflow");
+  UInt128 Value;
+  for (char Character : Trimmed) {
+    uint64_t Digit;
+    if (Character >= '0' && Character <= '9')
+      Digit = uint64_t(Character - '0');
+    else if (Character >= 'a' && Character <= 'f')
+      Digit = uint64_t(Character - 'a' + 10);
+    else if (Character >= 'A' && Character <= 'F')
+      Digit = uint64_t(Character - 'A' + 10);
+    else
+      return parseError(std::string("invalid hex digit '") + Character + "'");
+    Value = (Value << 4) | UInt128(Digit);
+  }
+  return Value;
+}
+
+} // namespace parmonc

@@ -1,0 +1,128 @@
+//===- mpsim/Collectives.cpp - Collective operations ----------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Each collective finishes with a barrier, which is what keeps
+// back-to-back collectives of the same kind from interleaving their
+// point-to-point traffic (a rank cannot enter round k+1 before every rank
+// has drained round k).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/mpsim/Collectives.h"
+
+#include "parmonc/mpsim/Serialize.h"
+
+#include <cassert>
+
+namespace parmonc {
+
+namespace {
+
+enum CollectiveTag : int {
+  TagBroadcast = FirstCollectiveTag + 1,
+  TagReduce = FirstCollectiveTag + 2,
+  TagGather = FirstCollectiveTag + 3,
+  TagAllReduceDown = FirstCollectiveTag + 4,
+};
+
+constexpr int64_t CollectiveTimeoutNanos = 60'000'000'000; // 60 s
+
+std::vector<uint8_t> encodeDoubles(const std::vector<double> &Values) {
+  ByteWriter Writer;
+  Writer.writeDoubleVector(Values);
+  return Writer.takeBytes();
+}
+
+std::vector<double> decodeDoubles(const Message &Incoming) {
+  ByteReader Reader(Incoming.Payload);
+  Result<std::vector<double>> Values = Reader.readDoubleVector();
+  assert(Values.isOk() && "malformed collective payload");
+  return std::move(Values).value();
+}
+
+Message receiveOrDie(Communicator &Comm, int Tag) {
+  std::optional<Message> Incoming =
+      Comm.receiveWait(Tag, CollectiveTimeoutNanos);
+  assert(Incoming && "collective timed out: a rank did not participate");
+  return std::move(*Incoming);
+}
+
+} // namespace
+
+void broadcast(Communicator &Comm, std::vector<double> &Values, int Root) {
+  assert(Root >= 0 && Root < Comm.size() && "root rank out of range");
+  if (Comm.rank() == Root) {
+    std::vector<uint8_t> Payload = encodeDoubles(Values);
+    for (int Destination = 0; Destination < Comm.size(); ++Destination)
+      if (Destination != Root)
+        Comm.send(Destination, TagBroadcast, Payload);
+  } else {
+    Values = decodeDoubles(receiveOrDie(Comm, TagBroadcast));
+  }
+  Comm.barrier();
+}
+
+void reduceSum(Communicator &Comm, std::vector<double> &Values, int Root) {
+  assert(Root >= 0 && Root < Comm.size() && "root rank out of range");
+  if (Comm.rank() == Root) {
+    for (int Contribution = 0; Contribution < Comm.size() - 1;
+         ++Contribution) {
+      const std::vector<double> Part =
+          decodeDoubles(receiveOrDie(Comm, TagReduce));
+      assert(Part.size() == Values.size() &&
+             "reduce contributions must have equal length");
+      for (size_t Index = 0; Index < Values.size(); ++Index)
+        Values[Index] += Part[Index];
+    }
+  } else {
+    Comm.send(Root, TagReduce, encodeDoubles(Values));
+  }
+  Comm.barrier();
+}
+
+void allReduceSum(Communicator &Comm, std::vector<double> &Values) {
+  // Reduce to rank 0, then broadcast back down on a distinct tag.
+  reduceSum(Comm, Values, 0);
+  if (Comm.rank() == 0) {
+    std::vector<uint8_t> Payload = encodeDoubles(Values);
+    for (int Destination = 1; Destination < Comm.size(); ++Destination)
+      Comm.send(Destination, TagAllReduceDown, Payload);
+  } else {
+    Values = decodeDoubles(receiveOrDie(Comm, TagAllReduceDown));
+  }
+  Comm.barrier();
+}
+
+void gather(Communicator &Comm, double Value,
+            std::vector<double> &GatheredOut, int Root) {
+  std::vector<std::vector<double>> Vectors;
+  gatherVectors(Comm, {Value}, Vectors, Root);
+  GatheredOut.clear();
+  if (Comm.rank() == Root)
+    for (const std::vector<double> &Part : Vectors)
+      GatheredOut.push_back(Part.at(0));
+}
+
+void gatherVectors(Communicator &Comm, const std::vector<double> &Values,
+                   std::vector<std::vector<double>> &GatheredOut,
+                   int Root) {
+  assert(Root >= 0 && Root < Comm.size() && "root rank out of range");
+  GatheredOut.clear();
+  if (Comm.rank() == Root) {
+    GatheredOut.resize(size_t(Comm.size()));
+    GatheredOut[size_t(Root)] = Values;
+    for (int Contribution = 0; Contribution < Comm.size() - 1;
+         ++Contribution) {
+      Message Incoming = receiveOrDie(Comm, TagGather);
+      GatheredOut[size_t(Incoming.Source)] = decodeDoubles(Incoming);
+    }
+  } else {
+    Comm.send(Root, TagGather, encodeDoubles(Values));
+  }
+  Comm.barrier();
+}
+
+} // namespace parmonc

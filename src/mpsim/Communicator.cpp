@@ -1,0 +1,145 @@
+//===- mpsim/Communicator.cpp - In-process message passing ---------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/mpsim/Communicator.h"
+
+#include <chrono>
+#include <thread>
+
+namespace parmonc {
+
+void Mailbox::push(Message Incoming) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Incoming));
+  }
+  Available.notify_all();
+}
+
+std::optional<Message> Mailbox::tryPop(int Tag) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto Iterator = Queue.begin(); Iterator != Queue.end(); ++Iterator) {
+    if (Tag < 0 || Iterator->Tag == Tag) {
+      Message Found = std::move(*Iterator);
+      Queue.erase(Iterator);
+      return Found;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Mailbox::popWait(int Tag, int64_t TimeoutNanos) {
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(TimeoutNanos);
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    for (auto Iterator = Queue.begin(); Iterator != Queue.end();
+         ++Iterator) {
+      if (Tag < 0 || Iterator->Tag == Tag) {
+        Message Found = std::move(*Iterator);
+        Queue.erase(Iterator);
+        return Found;
+      }
+    }
+    if (Available.wait_until(Lock, Deadline) == std::cv_status::timeout) {
+      // One final scan: a message may have arrived with the deadline.
+      for (auto Iterator = Queue.begin(); Iterator != Queue.end();
+           ++Iterator) {
+        if (Tag < 0 || Iterator->Tag == Tag) {
+          Message Found = std::move(*Iterator);
+          Queue.erase(Iterator);
+          return Found;
+        }
+      }
+      return std::nullopt;
+    }
+  }
+}
+
+size_t Mailbox::pendingCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size();
+}
+
+bool Mailbox::contains(int Tag) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const Message &Queued : Queue)
+    if (Tag < 0 || Queued.Tag == Tag)
+      return true;
+  return false;
+}
+
+Fabric::Fabric(int RankCount) {
+  assert(RankCount >= 1 && "fabric needs at least one rank");
+  Mailboxes.reserve(size_t(RankCount));
+  for (int Rank = 0; Rank < RankCount; ++Rank)
+    Mailboxes.push_back(std::make_unique<Mailbox>());
+}
+
+uint64_t Fabric::bytesTransferred() const {
+  return TotalBytes.load(std::memory_order_relaxed);
+}
+
+void Fabric::addBytesTransferred(uint64_t Bytes) {
+  TotalBytes.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+void Fabric::arriveAtBarrier() {
+  std::unique_lock<std::mutex> Lock(BarrierMutex);
+  const uint64_t MyGeneration = BarrierGeneration;
+  if (++BarrierWaiting == rankCount()) {
+    BarrierWaiting = 0;
+    ++BarrierGeneration;
+    BarrierRelease.notify_all();
+    return;
+  }
+  BarrierRelease.wait(Lock, [this, MyGeneration] {
+    return BarrierGeneration != MyGeneration;
+  });
+}
+
+void Communicator::send(int Destination, int Tag,
+                        std::vector<uint8_t> Payload) {
+  assert(Destination >= 0 && Destination < size() &&
+         "destination rank out of range");
+  SharedFabric.addBytesTransferred(Payload.size());
+  Message Outgoing;
+  Outgoing.Source = Rank;
+  Outgoing.Tag = Tag;
+  Outgoing.Payload = std::move(Payload);
+  SharedFabric.mailboxOf(Destination).push(std::move(Outgoing));
+}
+
+std::optional<Message> Communicator::tryReceive(int Tag) {
+  return SharedFabric.mailboxOf(Rank).tryPop(Tag);
+}
+
+std::optional<Message> Communicator::receiveWait(int Tag,
+                                                 int64_t TimeoutNanos) {
+  return SharedFabric.mailboxOf(Rank).popWait(Tag, TimeoutNanos);
+}
+
+bool Communicator::probe(int Tag) {
+  return SharedFabric.mailboxOf(Rank).contains(Tag);
+}
+
+void runThreadEngine(int RankCount,
+                     const std::function<void(Communicator &)> &Body) {
+  assert(RankCount >= 1 && "need at least one rank");
+  Fabric SharedFabric(RankCount);
+  std::vector<std::thread> Threads;
+  Threads.reserve(size_t(RankCount));
+  for (int Rank = 0; Rank < RankCount; ++Rank) {
+    Threads.emplace_back([&SharedFabric, &Body, Rank] {
+      Communicator Self(SharedFabric, Rank);
+      Body(Self);
+    });
+  }
+  for (std::thread &Thread : Threads)
+    Thread.join();
+}
+
+} // namespace parmonc

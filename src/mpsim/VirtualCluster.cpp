@@ -1,0 +1,231 @@
+//===- mpsim/VirtualCluster.cpp - Discrete-event cluster model -----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/mpsim/VirtualCluster.h"
+
+#include "parmonc/rng/Baselines.h"
+#include "parmonc/sde/Distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace parmonc {
+
+Status VirtualClusterConfig::validate() const {
+  if (ProcessorCount < 1)
+    return invalidArgument("processor count must be >= 1");
+  if (MeanRealizationSeconds <= 0.0)
+    return invalidArgument("mean realization time must be positive");
+  if (RealizationJitter < 0.0 || RealizationJitter > 0.5)
+    return invalidArgument("realization jitter must be in [0, 0.5]");
+  if (MessageBytes < 0.0 || LinkLatencySeconds < 0.0)
+    return invalidArgument("message cost parameters must be non-negative");
+  if (LinkBandwidthBytesPerSecond <= 0.0)
+    return invalidArgument("bandwidth must be positive");
+  if (CollectorProcessSeconds < 0.0 || SaveSeconds < 0.0)
+    return invalidArgument("collector costs must be non-negative");
+  if (RealizationsPerSend < 1)
+    return invalidArgument("realizations per send must be >= 1");
+  if (!SpeedFactors.empty()) {
+    if (SpeedFactors.size() != size_t(ProcessorCount))
+      return invalidArgument(
+          "speed factor count must equal the processor count");
+    for (double Factor : SpeedFactors)
+      if (Factor <= 0.0)
+        return invalidArgument("speed factors must be positive");
+  }
+  return Status::ok();
+}
+
+namespace {
+
+/// A subtotal message in flight: sent by \p Worker covering \p NewCount
+/// realizations not previously reported, arriving at \p ArrivalSeconds.
+struct SubtotalArrival {
+  double ArrivalSeconds;
+  int Worker;
+  int64_t NewCount;
+
+  bool operator>(const SubtotalArrival &Other) const {
+    return ArrivalSeconds > Other.ArrivalSeconds;
+  }
+};
+
+/// A worker's next-realization-completion event.
+struct WorkerCompletion {
+  double CompletionSeconds;
+  int Worker;
+
+  bool operator>(const WorkerCompletion &Other) const {
+    return CompletionSeconds > Other.CompletionSeconds;
+  }
+};
+
+} // namespace
+
+Result<VirtualClusterResult>
+runVirtualCluster(const VirtualClusterConfig &Config,
+                  const std::vector<int64_t> &TargetVolumes) {
+  if (Status Valid = Config.validate(); !Valid)
+    return Valid;
+  if (TargetVolumes.empty())
+    return invalidArgument("no target volumes requested");
+  for (int64_t Target : TargetVolumes)
+    if (Target < 1)
+      return invalidArgument("target volumes must be >= 1");
+
+  const int64_t LargestTarget =
+      *std::max_element(TargetVolumes.begin(), TargetVolumes.end());
+  const int WorkerCount = Config.ProcessorCount;
+  const double TransferSeconds =
+      Config.LinkLatencySeconds +
+      Config.MessageBytes / Config.LinkBandwidthBytesPerSecond;
+
+  // Per-worker jitter streams: deterministic and worker-independent so the
+  // model replays identically for any M.
+  std::vector<SplitMix64> JitterStreams;
+  JitterStreams.reserve(size_t(WorkerCount));
+  for (int Worker = 0; Worker < WorkerCount; ++Worker)
+    JitterStreams.emplace_back(Config.Seed * 0x9e3779b97f4a7c15ull +
+                               uint64_t(Worker) + 1);
+
+  auto drawRealizationSeconds = [&](int Worker) {
+    double Seconds = Config.MeanRealizationSeconds;
+    if (!Config.SpeedFactors.empty())
+      Seconds *= Config.SpeedFactors[size_t(Worker)];
+    if (Config.RealizationJitter > 0.0) {
+      const double Normal =
+          sampleStandardNormal(JitterStreams[size_t(Worker)]);
+      Seconds *= 1.0 + Config.RealizationJitter * Normal;
+      // Keep the cost physical under extreme draws.
+      Seconds = std::max(Seconds, 0.1 * Config.MeanRealizationSeconds);
+    }
+    return Seconds;
+  };
+
+  // Phase 1: generate worker completions in global time order until the
+  // cluster as a whole has produced the largest target volume, emitting a
+  // subtotal message every RealizationsPerSend completions per worker.
+  std::priority_queue<WorkerCompletion, std::vector<WorkerCompletion>,
+                      std::greater<WorkerCompletion>>
+      Completions;
+  for (int Worker = 0; Worker < WorkerCount; ++Worker)
+    Completions.push({drawRealizationSeconds(Worker), Worker});
+
+  std::vector<int64_t> WorkerVolume(size_t(WorkerCount), 0);
+  std::vector<int64_t> UnsentVolume(size_t(WorkerCount), 0);
+  std::vector<SubtotalArrival> Arrivals;
+  Arrivals.reserve(size_t(LargestTarget / Config.RealizationsPerSend +
+                          WorkerCount + 1));
+  int64_t ProducedTotal = 0;
+
+  while (ProducedTotal < LargestTarget) {
+    WorkerCompletion Done = Completions.top();
+    Completions.pop();
+    const int Worker = Done.Worker;
+    ++WorkerVolume[size_t(Worker)];
+    ++UnsentVolume[size_t(Worker)];
+    ++ProducedTotal;
+
+    const bool LastEverywhere = ProducedTotal == LargestTarget;
+    if (UnsentVolume[size_t(Worker)] >= Config.RealizationsPerSend ||
+        LastEverywhere) {
+      Arrivals.push_back({Done.CompletionSeconds + TransferSeconds, Worker,
+                          UnsentVolume[size_t(Worker)]});
+      UnsentVolume[size_t(Worker)] = 0;
+    }
+    if (!LastEverywhere)
+      Completions.push(
+          {Done.CompletionSeconds + drawRealizationSeconds(Worker), Worker});
+  }
+
+  // Flush any worker subtotals that were still unsent when the run ended
+  // (only possible with RealizationsPerSend > 1).
+  // Note: their send time is the worker's last completion; approximate it
+  // with the global end of production, which is when the engine would tell
+  // workers to finalize.
+  // (With RealizationsPerSend == 1 this loop never fires.)
+  double LastProduction = Arrivals.empty() ? 0.0
+                                           : Arrivals.back().ArrivalSeconds -
+                                                 TransferSeconds;
+  for (int Worker = 0; Worker < WorkerCount; ++Worker) {
+    if (UnsentVolume[size_t(Worker)] > 0) {
+      Arrivals.push_back({LastProduction + TransferSeconds, Worker,
+                          UnsentVolume[size_t(Worker)]});
+      UnsentVolume[size_t(Worker)] = 0;
+    }
+  }
+
+  std::sort(Arrivals.begin(), Arrivals.end(),
+            [](const SubtotalArrival &A, const SubtotalArrival &B) {
+              return A.ArrivalSeconds < B.ArrivalSeconds;
+            });
+
+  // Phase 2: the collector is a single FIFO server; after processing a
+  // message it has "received and averaged" the realizations it covers. A
+  // target volume L is complete once coverage reaches L and the save cost
+  // has been paid (the paper measures Tcomp after save).
+  std::vector<int64_t> SortedTargets(TargetVolumes);
+  std::sort(SortedTargets.begin(), SortedTargets.end());
+
+  VirtualClusterResult Outcome;
+  Outcome.CompletionSeconds.assign(TargetVolumes.size(), 0.0);
+  std::vector<double> CompletionBySortedTarget(SortedTargets.size(), 0.0);
+
+  double CollectorFreeAt = 0.0;
+  double BusySeconds = 0.0;
+  double QueueDelaySum = 0.0;
+  int64_t Covered = 0;
+  size_t NextTarget = 0;
+
+  for (const SubtotalArrival &Arrival : Arrivals) {
+    const double Start = std::max(Arrival.ArrivalSeconds, CollectorFreeAt);
+    const double Finish = Start + Config.CollectorProcessSeconds;
+    QueueDelaySum += Start - Arrival.ArrivalSeconds;
+    BusySeconds += Config.CollectorProcessSeconds;
+    CollectorFreeAt = Finish;
+    Covered += Arrival.NewCount;
+    ++Outcome.MessagesProcessed;
+    Outcome.BytesTransferred += Config.MessageBytes;
+
+    while (NextTarget < SortedTargets.size() &&
+           Covered >= SortedTargets[NextTarget]) {
+      // Saving happens at the save-point that covers this volume.
+      CompletionBySortedTarget[NextTarget] = Finish + Config.SaveSeconds;
+      ++NextTarget;
+    }
+    if (NextTarget == SortedTargets.size())
+      break;
+  }
+
+  if (NextTarget < SortedTargets.size())
+    return internalError("virtual cluster under-produced realizations");
+
+  // Map completions back to the caller's ordering.
+  for (size_t Index = 0; Index < TargetVolumes.size(); ++Index) {
+    const auto Position =
+        std::lower_bound(SortedTargets.begin(), SortedTargets.end(),
+                         TargetVolumes[Index]);
+    Outcome.CompletionSeconds[Index] =
+        CompletionBySortedTarget[size_t(Position - SortedTargets.begin())];
+  }
+
+  const double FinalTime =
+      *std::max_element(CompletionBySortedTarget.begin(),
+                        CompletionBySortedTarget.end());
+  Outcome.CollectorBusyFraction =
+      FinalTime > 0.0 ? BusySeconds / FinalTime : 0.0;
+  Outcome.MeanCollectorQueueDelay =
+      Outcome.MessagesProcessed > 0
+          ? QueueDelaySum / double(Outcome.MessagesProcessed)
+          : 0.0;
+  Outcome.PerWorkerVolumes = std::move(WorkerVolume);
+  return Outcome;
+}
+
+} // namespace parmonc

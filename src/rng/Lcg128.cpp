@@ -1,0 +1,24 @@
+//===- rng/Lcg128.cpp - The paper's 128-bit congruential RNG -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/rng/LcgPow2.h"
+
+namespace parmonc {
+
+UInt128 Lcg128::defaultMultiplier() {
+  // A = 5^101 (mod 2^128). The odd exponent makes A ≡ 5 (mod 8), the
+  // maximal-period class; computed once on first use.
+  static const UInt128 Multiplier =
+      UInt128::powModPow2(UInt128(5), UInt128(101), 128);
+  return Multiplier;
+}
+
+LcgPow2 LcgPow2::makeClassic40() {
+  return LcgPow2(40, UInt128::powModPow2(UInt128(5), UInt128(17), 40));
+}
+
+} // namespace parmonc

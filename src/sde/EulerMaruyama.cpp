@@ -1,0 +1,160 @@
+//===- sde/EulerMaruyama.cpp - SDE integration (eq. 9) -------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/sde/EulerMaruyama.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parmonc {
+
+SdeSystem LinearSdeSystem::toSystem() const {
+  assert(!InitialState.empty() && "linear system has no state");
+  assert(DriftVector.size() == dimension() && "drift dimension mismatch");
+  assert(DiffusionMatrix.size() == dimension() * NoiseDimension &&
+         "diffusion shape mismatch");
+  SdeSystem System;
+  System.Dimension = dimension();
+  System.NoiseDimension = NoiseDimension;
+  // Copy the coefficient vectors into the closures: the SdeSystem must not
+  // dangle if the LinearSdeSystem goes out of scope.
+  std::vector<double> Drift = DriftVector;
+  System.Drift = [Drift](double, const double *, double *DriftOut) {
+    std::copy(Drift.begin(), Drift.end(), DriftOut);
+  };
+  std::vector<double> Diffusion = DiffusionMatrix;
+  System.Diffusion = [Diffusion](double, const double *,
+                                 double *DiffusionOut) {
+    std::copy(Diffusion.begin(), Diffusion.end(), DiffusionOut);
+  };
+  return System;
+}
+
+double LinearSdeSystem::exactMean(size_t Component, double Time) const {
+  assert(Component < dimension() && "component out of range");
+  return InitialState[Component] + DriftVector[Component] * Time;
+}
+
+double LinearSdeSystem::exactVariance(size_t Component, double Time) const {
+  assert(Component < dimension() && "component out of range");
+  double RowNormSquared = 0.0;
+  for (size_t Noise = 0; Noise < NoiseDimension; ++Noise) {
+    const double Entry = DiffusionMatrix[Component * NoiseDimension + Noise];
+    RowNormSquared += Entry * Entry;
+  }
+  return RowNormSquared * Time;
+}
+
+EulerMaruyama::EulerMaruyama(SdeSystem System, double StepSize)
+    : System(std::move(System)), StepSize(StepSize) {
+  assert(StepSize > 0.0 && "mesh size must be positive");
+  assert(this->System.Dimension >= 1 && "system has no state");
+  assert(this->System.NoiseDimension >= 1 && "system has no noise");
+  assert(this->System.Drift && this->System.Diffusion &&
+         "system callbacks must be set");
+}
+
+void EulerMaruyama::simulateTrajectory(
+    RandomSource &Source, const double *InitialState, double EndTime,
+    const std::vector<double> &OutputTimes, double *Samples) const {
+  assert(EndTime > 0.0 && "end time must be positive");
+  assert(Samples && InitialState);
+
+  const size_t Dimension = System.Dimension;
+  const size_t NoiseDimension = System.NoiseDimension;
+  const double SqrtStep = std::sqrt(StepSize);
+
+  std::vector<double> State(InitialState, InitialState + Dimension);
+  std::vector<double> Drift(Dimension);
+  std::vector<double> Diffusion(Dimension * NoiseDimension);
+  std::vector<double> Noise(NoiseDimension);
+
+  size_t NextOutput = 0;
+  const size_t OutputCount = OutputTimes.size();
+  double Time = 0.0;
+  const int64_t StepCount = int64_t(std::ceil(EndTime / StepSize - 1e-9));
+
+  for (int64_t Step = 0; Step < StepCount && NextOutput < OutputCount;
+       ++Step) {
+    // Draw the noise vector pairwise to use both Box–Muller outputs.
+    size_t NoiseIndex = 0;
+    while (NoiseIndex + 1 < NoiseDimension) {
+      NormalPair Pair = sampleStandardNormalPair(Source);
+      Noise[NoiseIndex++] = Pair.First;
+      Noise[NoiseIndex++] = Pair.Second;
+    }
+    if (NoiseIndex < NoiseDimension)
+      Noise[NoiseIndex] = sampleStandardNormal(Source);
+
+    System.Drift(Time, State.data(), Drift.data());
+    System.Diffusion(Time, State.data(), Diffusion.data());
+    for (size_t Component = 0; Component < Dimension; ++Component) {
+      double Increment = StepSize * Drift[Component];
+      const double *DiffusionRow = &Diffusion[Component * NoiseDimension];
+      for (size_t NoiseComponent = 0; NoiseComponent < NoiseDimension;
+           ++NoiseComponent)
+        Increment += SqrtStep * DiffusionRow[NoiseComponent] *
+                     Noise[NoiseComponent];
+      State[Component] += Increment;
+    }
+    Time = double(Step + 1) * StepSize;
+
+    // Emit every output time that this mesh point has reached.
+    while (NextOutput < OutputCount &&
+           Time >= OutputTimes[NextOutput] - 1e-12) {
+      std::copy(State.begin(), State.end(),
+                Samples + NextOutput * Dimension);
+      ++NextOutput;
+    }
+  }
+
+  // Requested times beyond the integration horizon get the final state.
+  while (NextOutput < OutputCount) {
+    std::copy(State.begin(), State.end(), Samples + NextOutput * Dimension);
+    ++NextOutput;
+  }
+}
+
+std::vector<double> EulerMaruyama::simulateToEnd(
+    RandomSource &Source, const std::vector<double> &InitialState,
+    double EndTime) const {
+  assert(InitialState.size() == System.Dimension &&
+         "initial state has wrong dimension");
+  std::vector<double> Sample(System.Dimension);
+  std::vector<double> OutputTimes{EndTime};
+  simulateTrajectory(Source, InitialState.data(), EndTime, OutputTimes,
+                     Sample.data());
+  return Sample;
+}
+
+LinearSdeSystem PaperDiffusionProblem::makeSystem() {
+  LinearSdeSystem System;
+  System.InitialState = {1.0, -1.0};
+  System.DriftVector = {1.0, -0.5};
+  System.DiffusionMatrix = {1.0, 0.2, //
+                            0.2, 1.0};
+  System.NoiseDimension = 2;
+  return System;
+}
+
+std::vector<double> PaperDiffusionProblem::outputTimes() {
+  std::vector<double> Times(OutputCount);
+  for (size_t Index = 0; Index < OutputCount; ++Index)
+    Times[Index] = double(Index + 1) * 0.1;
+  return Times;
+}
+
+void PaperDiffusionProblem::simulateRealization(RandomSource &Source,
+                                                double StepSize,
+                                                double *Out) {
+  static const LinearSdeSystem Linear = makeSystem();
+  static const std::vector<double> Times = outputTimes();
+  const EulerMaruyama Integrator(Linear.toSystem(), StepSize);
+  Integrator.simulateTrajectory(Source, Linear.InitialState.data(), EndTime,
+                                Times, Out);
+}
+
+} // namespace parmonc

@@ -1,0 +1,301 @@
+//===- spectral/BigInt.cpp - Arbitrary-precision signed integers ---------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/spectral/BigInt.h"
+
+#include <algorithm>
+
+namespace parmonc {
+
+BigInt::BigInt(int64_t Value) {
+  if (Value == 0)
+    return;
+  Negative = Value < 0;
+  // Careful with INT64_MIN: negate in unsigned space.
+  const uint64_t Magnitude =
+      Negative ? ~uint64_t(Value) + 1 : uint64_t(Value);
+  Limbs.push_back(Magnitude);
+}
+
+BigInt BigInt::fromUInt128(UInt128 Value) {
+  BigInt Result;
+  if (Value.low() != 0 || Value.high() != 0) {
+    Result.Limbs.push_back(Value.low());
+    if (Value.high() != 0)
+      Result.Limbs.push_back(Value.high());
+  }
+  return Result;
+}
+
+void BigInt::trim() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  if (Limbs.empty())
+    Negative = false;
+}
+
+unsigned BigInt::bitWidth() const {
+  if (Limbs.empty())
+    return 0;
+  uint64_t Top = Limbs.back();
+  unsigned TopBits = 0;
+  while (Top != 0) {
+    ++TopBits;
+    Top >>= 1;
+  }
+  return unsigned(Limbs.size() - 1) * 64 + TopBits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt Result = *this;
+  if (!Result.isZero())
+    Result.Negative = !Result.Negative;
+  return Result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt Result = *this;
+  Result.Negative = false;
+  return Result;
+}
+
+int BigInt::compareMagnitude(const BigInt &A, const BigInt &B) {
+  if (A.Limbs.size() != B.Limbs.size())
+    return A.Limbs.size() < B.Limbs.size() ? -1 : 1;
+  for (size_t Index = A.Limbs.size(); Index-- > 0;) {
+    if (A.Limbs[Index] != B.Limbs[Index])
+      return A.Limbs[Index] < B.Limbs[Index] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::compare(const BigInt &A, const BigInt &B) {
+  if (A.Negative != B.Negative)
+    return A.Negative ? -1 : 1;
+  const int Magnitude = compareMagnitude(A, B);
+  return A.Negative ? -Magnitude : Magnitude;
+}
+
+std::vector<uint64_t> BigInt::addMagnitude(const std::vector<uint64_t> &A,
+                                           const std::vector<uint64_t> &B) {
+  std::vector<uint64_t> Sum;
+  Sum.reserve(std::max(A.size(), B.size()) + 1);
+  uint64_t Carry = 0;
+  for (size_t Index = 0; Index < std::max(A.size(), B.size()); ++Index) {
+    const uint64_t LimbA = Index < A.size() ? A[Index] : 0;
+    const uint64_t LimbB = Index < B.size() ? B[Index] : 0;
+    uint64_t Partial = LimbA + LimbB;
+    const uint64_t CarryOut1 = Partial < LimbA ? 1 : 0;
+    uint64_t Total = Partial + Carry;
+    const uint64_t CarryOut2 = Total < Partial ? 1 : 0;
+    Sum.push_back(Total);
+    Carry = CarryOut1 | CarryOut2;
+  }
+  if (Carry)
+    Sum.push_back(Carry);
+  return Sum;
+}
+
+std::vector<uint64_t> BigInt::subMagnitude(const std::vector<uint64_t> &A,
+                                           const std::vector<uint64_t> &B) {
+  // Precondition: |A| >= |B|.
+  std::vector<uint64_t> Difference;
+  Difference.reserve(A.size());
+  uint64_t Borrow = 0;
+  for (size_t Index = 0; Index < A.size(); ++Index) {
+    const uint64_t LimbA = A[Index];
+    const uint64_t LimbB = Index < B.size() ? B[Index] : 0;
+    const uint64_t Partial = LimbA - LimbB;
+    const uint64_t BorrowOut1 = LimbA < LimbB ? 1 : 0;
+    const uint64_t Total = Partial - Borrow;
+    const uint64_t BorrowOut2 = Partial < Borrow ? 1 : 0;
+    Difference.push_back(Total);
+    Borrow = BorrowOut1 | BorrowOut2;
+  }
+  assert(Borrow == 0 && "subMagnitude underflow");
+  return Difference;
+}
+
+BigInt operator+(const BigInt &A, const BigInt &B) {
+  BigInt Result;
+  if (A.Negative == B.Negative) {
+    Result.Negative = A.Negative;
+    Result.Limbs = BigInt::addMagnitude(A.Limbs, B.Limbs);
+  } else {
+    const int Magnitude = BigInt::compareMagnitude(A, B);
+    if (Magnitude == 0)
+      return BigInt();
+    if (Magnitude > 0) {
+      Result.Negative = A.Negative;
+      Result.Limbs = BigInt::subMagnitude(A.Limbs, B.Limbs);
+    } else {
+      Result.Negative = B.Negative;
+      Result.Limbs = BigInt::subMagnitude(B.Limbs, A.Limbs);
+    }
+  }
+  Result.trim();
+  return Result;
+}
+
+BigInt operator-(const BigInt &A, const BigInt &B) { return A + (-B); }
+
+BigInt operator*(const BigInt &A, const BigInt &B) {
+  if (A.isZero() || B.isZero())
+    return BigInt();
+  BigInt Result;
+  Result.Negative = A.Negative != B.Negative;
+  Result.Limbs.assign(A.Limbs.size() + B.Limbs.size(), 0);
+  for (size_t IndexA = 0; IndexA < A.Limbs.size(); ++IndexA) {
+    uint64_t Carry = 0;
+    for (size_t IndexB = 0; IndexB < B.Limbs.size(); ++IndexB) {
+      // 64x64 -> 128 partial product plus running column and carry.
+      UInt128 Product = mulWide64(A.Limbs[IndexA], B.Limbs[IndexB]);
+      UInt128 Column = Product + UInt128(Result.Limbs[IndexA + IndexB]) +
+                       UInt128(Carry);
+      Result.Limbs[IndexA + IndexB] = Column.low();
+      Carry = Column.high();
+    }
+    size_t Overflow = IndexA + B.Limbs.size();
+    while (Carry != 0) {
+      UInt128 Column = UInt128(Result.Limbs[Overflow]) + UInt128(Carry);
+      Result.Limbs[Overflow] = Column.low();
+      Carry = Column.high();
+      ++Overflow;
+    }
+  }
+  Result.trim();
+  return Result;
+}
+
+BigInt BigInt::shiftLeft(unsigned Bits) const {
+  if (isZero() || Bits == 0)
+    return *this;
+  BigInt Result;
+  Result.Negative = Negative;
+  const unsigned LimbShift = Bits / 64;
+  const unsigned BitShift = Bits % 64;
+  Result.Limbs.assign(LimbShift, 0);
+  uint64_t Carry = 0;
+  for (uint64_t Limb : Limbs) {
+    if (BitShift == 0) {
+      Result.Limbs.push_back(Limb);
+    } else {
+      Result.Limbs.push_back((Limb << BitShift) | Carry);
+      Carry = Limb >> (64 - BitShift);
+    }
+  }
+  if (Carry)
+    Result.Limbs.push_back(Carry);
+  Result.trim();
+  return Result;
+}
+
+BigInt::DivModResult BigInt::divMod(const BigInt &Dividend,
+                                    const BigInt &Divisor) {
+  assert(!Divisor.isZero() && "division by zero");
+  // Magnitude long division, bit by bit from the top. O(bits²) worst case,
+  // acceptable at spectral-test scales.
+  const int Magnitude = compareMagnitude(Dividend, Divisor);
+  if (Magnitude < 0)
+    return {BigInt(), Dividend};
+
+  BigInt AbsDividend = Dividend.abs();
+  BigInt AbsDivisor = Divisor.abs();
+  const unsigned Shift = AbsDividend.bitWidth() - AbsDivisor.bitWidth();
+  BigInt Denominator = AbsDivisor.shiftLeft(Shift);
+
+  BigInt Quotient;
+  Quotient.Limbs.assign(Shift / 64 + 1, 0);
+  BigInt Remainder = AbsDividend;
+  for (unsigned Step = 0; Step <= Shift; ++Step) {
+    const unsigned BitIndex = Shift - Step;
+    if (compareMagnitude(Remainder, Denominator) >= 0) {
+      Remainder.Limbs =
+          subMagnitude(Remainder.Limbs, Denominator.Limbs);
+      Remainder.trim();
+      Quotient.Limbs[BitIndex / 64] |= uint64_t(1) << (BitIndex % 64);
+    }
+    // Shift denominator right by one bit.
+    uint64_t Carry = 0;
+    for (size_t Index = Denominator.Limbs.size(); Index-- > 0;) {
+      const uint64_t Limb = Denominator.Limbs[Index];
+      Denominator.Limbs[Index] = (Limb >> 1) | (Carry << 63);
+      Carry = Limb & 1;
+    }
+    Denominator.trim();
+  }
+  Quotient.trim();
+
+  Quotient.Negative = !Quotient.isZero() &&
+                      (Dividend.Negative != Divisor.Negative);
+  Remainder.Negative = !Remainder.isZero() && Dividend.Negative;
+  return {Quotient, Remainder};
+}
+
+BigInt operator/(const BigInt &A, const BigInt &B) {
+  return BigInt::divMod(A, B).Quotient;
+}
+
+BigInt operator%(const BigInt &A, const BigInt &B) {
+  return BigInt::divMod(A, B).Remainder;
+}
+
+BigInt BigInt::divRound(const BigInt &Dividend, const BigInt &Divisor) {
+  DivModResult Split = divMod(Dividend, Divisor);
+  if (Split.Remainder.isZero())
+    return Split.Quotient;
+  // Round to nearest, ties away from zero: |2r| >= |d| bumps the
+  // magnitude by one in the quotient's direction.
+  BigInt TwiceRemainder = Split.Remainder.abs() + Split.Remainder.abs();
+  if (compare(TwiceRemainder, Divisor.abs()) >= 0) {
+    const bool ResultNegative = Dividend.Negative != Divisor.Negative;
+    Split.Quotient += ResultNegative ? BigInt(-1) : BigInt(1);
+  }
+  return Split.Quotient;
+}
+
+double BigInt::toDouble() const {
+  double Value = 0.0;
+  for (size_t Index = Limbs.size(); Index-- > 0;)
+    Value = Value * 18446744073709551616.0 + double(Limbs[Index]);
+  return Negative ? -Value : Value;
+}
+
+bool BigInt::fitsInt64() const {
+  if (Limbs.size() > 1)
+    return false;
+  if (Limbs.empty())
+    return true;
+  if (Negative)
+    return Limbs[0] <= uint64_t(1) << 63;
+  return Limbs[0] < uint64_t(1) << 63;
+}
+
+int64_t BigInt::toInt64() const {
+  assert(fitsInt64() && "value does not fit in int64");
+  if (Limbs.empty())
+    return 0;
+  return Negative ? -int64_t(Limbs[0] - 1) - 1 : int64_t(Limbs[0]);
+}
+
+std::string BigInt::toDecimalString() const {
+  if (isZero())
+    return "0";
+  std::string Digits;
+  BigInt Value = abs();
+  const BigInt Ten(10);
+  while (!Value.isZero()) {
+    DivModResult Split = divMod(Value, Ten);
+    Digits.push_back(char('0' + Split.Remainder.toInt64()));
+    Value = Split.Quotient;
+  }
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+} // namespace parmonc

@@ -1,0 +1,352 @@
+//===- spectral/SpectralTest.cpp - Knuth spectral test --------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// LLL here is the exact integral variant (Cohen, "A Course in
+// Computational Algebraic Number Theory", Algorithm 2.6.3): the
+// Gram–Schmidt data is carried as integers d_i and λ_{i,j} = d_j μ_{i,j},
+// so no rounding ever occurs during reduction. The shortest vector is
+// then found by Fincke–Pohst enumeration that prunes with floating-point
+// bounds (inflated by a slack factor) but accepts candidates only on
+// exact integer norms — the result is exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/spectral/SpectralTest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parmonc {
+
+LatticeBasis makeDualLatticeBasis(const BigInt &M, const BigInt &A,
+                                  int Dimension) {
+  assert(Dimension >= 2 && "spectral test starts at dimension 2");
+  LatticeBasis Basis(static_cast<size_t>(Dimension),
+                     std::vector<BigInt>(static_cast<size_t>(Dimension)));
+  // Row 0: (m, 0, ..., 0). Row i>0: (-a^i mod m reduced to -a^i, e_i).
+  // Using the unreduced -a^i would explode; reduce mod m (same lattice).
+  Basis[0][0] = M;
+  BigInt PowerOfA(1);
+  for (int Row = 1; Row < Dimension; ++Row) {
+    PowerOfA = (PowerOfA * A) % M;
+    Basis[size_t(Row)][0] = -PowerOfA;
+    Basis[size_t(Row)][size_t(Row)] = BigInt(1);
+  }
+  return Basis;
+}
+
+BigInt squaredNorm(const std::vector<BigInt> &Vector) {
+  BigInt Sum;
+  for (const BigInt &Entry : Vector)
+    Sum += Entry * Entry;
+  return Sum;
+}
+
+static BigInt dotProduct(const std::vector<BigInt> &A,
+                         const std::vector<BigInt> &B) {
+  assert(A.size() == B.size());
+  BigInt Sum;
+  for (size_t Index = 0; Index < A.size(); ++Index)
+    Sum += A[Index] * B[Index];
+  return Sum;
+}
+
+/// Exact division helper: asserts divisibility (guaranteed by the
+/// integral-LLL invariants).
+static BigInt exactDiv(const BigInt &Dividend, const BigInt &Divisor) {
+  BigInt::DivModResult Split = BigInt::divMod(Dividend, Divisor);
+  assert(Split.Remainder.isZero() && "integral LLL invariant violated");
+  return Split.Quotient;
+}
+
+namespace {
+
+/// Integral-LLL working state (Cohen 2.6.3), 0-indexed.
+class IntegralLll {
+public:
+  explicit IntegralLll(LatticeBasis &Basis)
+      : Basis(Basis), Count(int(Basis.size())) {
+    D.assign(size_t(Count) + 1, BigInt());
+    D[0] = BigInt(1);
+    Lambda.assign(size_t(Count), std::vector<BigInt>(size_t(Count)));
+  }
+
+  void run() {
+    incrementalGramSchmidt(0);
+    int K = 1;
+    int KMax = 0;
+    while (K < Count) {
+      if (K > KMax) {
+        KMax = K;
+        incrementalGramSchmidt(K);
+      }
+      sizeReduce(K, K - 1);
+      // Lovász (δ = 3/4) in integer form:
+      // 4 d_{k+1} d_{k-1} < 3 d_k² - 4 λ_{k,k-1}².
+      const BigInt Lhs = BigInt(4) * D[size_t(K) + 1] * D[size_t(K) - 1];
+      const BigInt Rhs = BigInt(3) * D[size_t(K)] * D[size_t(K)] -
+                         BigInt(4) * Lambda[size_t(K)][size_t(K) - 1] *
+                             Lambda[size_t(K)][size_t(K) - 1];
+      if (Lhs < Rhs) {
+        swapRows(K, KMax);
+        K = std::max(1, K - 1);
+      } else {
+        for (int L = K - 2; L >= 0; --L)
+          sizeReduce(K, L);
+        ++K;
+      }
+    }
+  }
+
+private:
+  /// Computes λ_{k,j} for j < k and d_{k+1} from the current basis.
+  void incrementalGramSchmidt(int K) {
+    for (int J = 0; J <= K; ++J) {
+      BigInt U = dotProduct(Basis[size_t(K)], Basis[size_t(J)]);
+      for (int I = 0; I < J; ++I)
+        U = exactDiv(D[size_t(I) + 1] * U -
+                         Lambda[size_t(K)][size_t(I)] *
+                             Lambda[size_t(J)][size_t(I)],
+                     D[size_t(I)]);
+      if (J < K)
+        Lambda[size_t(K)][size_t(J)] = U;
+      else
+        D[size_t(K) + 1] = U;
+    }
+    assert(!D[size_t(K) + 1].isZero() && "basis vectors are dependent");
+  }
+
+  /// RED(k, l): makes |μ_{k,l}| <= 1/2.
+  void sizeReduce(int K, int L) {
+    const BigInt &Scale = D[size_t(L) + 1];
+    BigInt TwiceLambda =
+        Lambda[size_t(K)][size_t(L)] + Lambda[size_t(K)][size_t(L)];
+    if (BigInt::compare(TwiceLambda.abs(), Scale.abs()) <= 0)
+      return;
+    const BigInt Q = BigInt::divRound(Lambda[size_t(K)][size_t(L)], Scale);
+    for (size_t Column = 0; Column < Basis[size_t(K)].size(); ++Column)
+      Basis[size_t(K)][Column] -= Q * Basis[size_t(L)][Column];
+    Lambda[size_t(K)][size_t(L)] -= Q * Scale;
+    for (int I = 0; I < L; ++I)
+      Lambda[size_t(K)][size_t(I)] -= Q * Lambda[size_t(L)][size_t(I)];
+  }
+
+  /// SWAP(k): exchanges rows k and k-1 and fixes the GS data.
+  void swapRows(int K, int KMax) {
+    std::swap(Basis[size_t(K)], Basis[size_t(K) - 1]);
+    for (int J = 0; J <= K - 2; ++J)
+      std::swap(Lambda[size_t(K)][size_t(J)],
+                Lambda[size_t(K) - 1][size_t(J)]);
+    const BigInt Lam = Lambda[size_t(K)][size_t(K) - 1];
+    const BigInt NewD = exactDiv(
+        D[size_t(K) - 1] * D[size_t(K) + 1] + Lam * Lam, D[size_t(K)]);
+    for (int I = K + 1; I <= KMax; ++I) {
+      const BigInt T = Lambda[size_t(I)][size_t(K)];
+      Lambda[size_t(I)][size_t(K)] =
+          exactDiv(D[size_t(K) + 1] * Lambda[size_t(I)][size_t(K) - 1] -
+                       Lam * T,
+                   D[size_t(K)]);
+      Lambda[size_t(I)][size_t(K) - 1] =
+          exactDiv(NewD * T + Lam * Lambda[size_t(I)][size_t(K)],
+                   D[size_t(K) + 1]);
+    }
+    D[size_t(K)] = NewD;
+  }
+
+  LatticeBasis &Basis;
+  int Count;
+  std::vector<BigInt> D;                   // d_0..d_n, d_0 = 1
+  std::vector<std::vector<BigInt>> Lambda; // λ_{i,j}, j < i
+};
+
+/// Fincke–Pohst shortest-vector enumeration over an LLL-reduced basis.
+class ShortestVectorSearch {
+public:
+  explicit ShortestVectorSearch(const LatticeBasis &Basis)
+      : Basis(Basis), Count(int(Basis.size())) {
+    buildFloatingGramSchmidt();
+    // Initial bound: the shortest basis vector (exact).
+    Best.SquaredLength = squaredNorm(Basis[0]);
+    Best.Vector = Basis[0];
+    for (int Row = 1; Row < Count; ++Row) {
+      BigInt RowNorm = squaredNorm(Basis[size_t(Row)]);
+      if (RowNorm < Best.SquaredLength) {
+        Best.SquaredLength = RowNorm;
+        Best.Vector = Basis[size_t(Row)];
+      }
+    }
+    Coefficients.assign(static_cast<size_t>(Count), 0);
+  }
+
+  ShortestVectorResult run() {
+    enumerate(Count - 1, 0.0);
+    return Best;
+  }
+
+private:
+  void buildFloatingGramSchmidt() {
+    Mu.assign(size_t(Count), std::vector<double>(size_t(Count), 0.0));
+    StarNorms.assign(size_t(Count), 0.0);
+    std::vector<std::vector<double>> Star(
+        static_cast<size_t>(Count),
+        std::vector<double>(static_cast<size_t>(Count)));
+    for (int Row = 0; Row < Count; ++Row) {
+      for (int Column = 0; Column < Count; ++Column)
+        Star[size_t(Row)][size_t(Column)] =
+            Basis[size_t(Row)][size_t(Column)].toDouble();
+      for (int Previous = 0; Previous < Row; ++Previous) {
+        double Projection = 0.0;
+        for (int Column = 0; Column < Count; ++Column)
+          Projection += Basis[size_t(Row)][size_t(Column)].toDouble() *
+                        Star[size_t(Previous)][size_t(Column)];
+        Projection /= StarNorms[size_t(Previous)];
+        Mu[size_t(Row)][size_t(Previous)] = Projection;
+        for (int Column = 0; Column < Count; ++Column)
+          Star[size_t(Row)][size_t(Column)] -=
+              Projection * Star[size_t(Previous)][size_t(Column)];
+      }
+      double Norm = 0.0;
+      for (int Column = 0; Column < Count; ++Column)
+        Norm += Star[size_t(Row)][size_t(Column)] *
+                Star[size_t(Row)][size_t(Column)];
+      StarNorms[size_t(Row)] = Norm;
+    }
+  }
+
+  /// Depth-first over coefficient levels from Count-1 down to 0;
+  /// \p PartialNorm is the squared norm contributed by levels above.
+  void enumerate(int Level, double PartialNorm) {
+    const double Bound = Best.SquaredLength.toDouble() * (1.0 + 1e-9);
+    if (Level < 0) {
+      evaluateCandidate();
+      return;
+    }
+    // Center of the admissible interval at this level.
+    double Center = 0.0;
+    for (int Upper = Level + 1; Upper < Count; ++Upper)
+      Center -= double(Coefficients[size_t(Upper)]) *
+                Mu[size_t(Upper)][size_t(Level)];
+    const double Radius =
+        std::sqrt(std::max(0.0, (Bound - PartialNorm) /
+                                    StarNorms[size_t(Level)]));
+    const int64_t Low = int64_t(std::ceil(Center - Radius - 1e-9));
+    const int64_t High = int64_t(std::floor(Center + Radius + 1e-9));
+    for (int64_t Coefficient = Low; Coefficient <= High; ++Coefficient) {
+      Coefficients[size_t(Level)] = Coefficient;
+      const double Offset = double(Coefficient) - Center;
+      const double NewPartial =
+          PartialNorm + Offset * Offset * StarNorms[size_t(Level)];
+      if (NewPartial <= Bound)
+        enumerate(Level - 1, NewPartial);
+    }
+    Coefficients[size_t(Level)] = 0;
+  }
+
+  void evaluateCandidate() {
+    bool AllZero = true;
+    for (int64_t Coefficient : Coefficients)
+      AllZero &= Coefficient == 0;
+    if (AllZero)
+      return;
+    std::vector<BigInt> Candidate(static_cast<size_t>(Count));
+    for (int Row = 0; Row < Count; ++Row) {
+      if (Coefficients[size_t(Row)] == 0)
+        continue;
+      const BigInt Scale(Coefficients[size_t(Row)]);
+      for (int Column = 0; Column < Count; ++Column)
+        Candidate[size_t(Column)] +=
+            Scale * Basis[size_t(Row)][size_t(Column)];
+    }
+    BigInt Norm = squaredNorm(Candidate);
+    if (!Norm.isZero() && Norm < Best.SquaredLength) {
+      Best.SquaredLength = Norm;
+      Best.Vector = std::move(Candidate);
+    }
+  }
+
+  const LatticeBasis &Basis;
+  int Count;
+  std::vector<std::vector<double>> Mu;
+  std::vector<double> StarNorms;
+  std::vector<int64_t> Coefficients;
+  ShortestVectorResult Best;
+};
+
+} // namespace
+
+void reduceLll(LatticeBasis &Basis) {
+  assert(Basis.size() >= 2 && "nothing to reduce");
+  IntegralLll Reducer(Basis);
+  Reducer.run();
+}
+
+ShortestVectorResult findShortestVector(const LatticeBasis &Basis) {
+  LatticeBasis Reduced = Basis;
+  reduceLll(Reduced);
+  ShortestVectorSearch Search(Reduced);
+  return Search.run();
+}
+
+double hermiteConstant(int Dimension) {
+  assert(Dimension >= 1 && Dimension <= 8 &&
+         "Hermite constants tabulated up to dimension 8");
+  switch (Dimension) {
+  case 1:
+    return 1.0;
+  case 2:
+    return 2.0 / std::sqrt(3.0);
+  case 3:
+    return std::pow(2.0, 1.0 / 3.0);
+  case 4:
+    return std::sqrt(2.0);
+  case 5:
+    return std::pow(8.0, 1.0 / 5.0);
+  case 6:
+    return std::pow(64.0 / 3.0, 1.0 / 6.0);
+  case 7:
+    return std::pow(64.0, 1.0 / 7.0);
+  case 8:
+    return 2.0;
+  }
+  return 0.0;
+}
+
+std::vector<SpectralResult> runSpectralTest(const BigInt &M, const BigInt &A,
+                                            int MaxDimension) {
+  assert(MaxDimension >= 2 && MaxDimension <= 8 &&
+         "supported dimensions: 2..8");
+  std::vector<SpectralResult> Results;
+  const double ModulusAsDouble = M.toDouble();
+  for (int Dimension = 2; Dimension <= MaxDimension; ++Dimension) {
+    LatticeBasis Basis = makeDualLatticeBasis(M, A, Dimension);
+    ShortestVectorResult Shortest = findShortestVector(Basis);
+
+    SpectralResult Result;
+    Result.Dimension = Dimension;
+    Result.SquaredNu = Shortest.SquaredLength;
+    Result.Nu = std::sqrt(Shortest.SquaredLength.toDouble());
+    const double Gamma = hermiteConstant(Dimension);
+    Result.NormalizedMerit =
+        Result.Nu /
+        (std::sqrt(Gamma) * std::pow(ModulusAsDouble, 1.0 / Dimension));
+    Results.push_back(std::move(Result));
+  }
+  return Results;
+}
+
+std::vector<SpectralResult> runSpectralTestPow2(unsigned ModulusBits,
+                                                UInt128 Multiplier,
+                                                int MaxDimension,
+                                                bool UseEffectiveModulus) {
+  assert(ModulusBits >= 4 && ModulusBits <= 128);
+  const unsigned EffectiveBits =
+      UseEffectiveModulus ? ModulusBits - 2 : ModulusBits;
+  BigInt M = BigInt(1).shiftLeft(EffectiveBits);
+  return runSpectralTest(M, BigInt::fromUInt128(Multiplier), MaxDimension);
+}
+
+} // namespace parmonc

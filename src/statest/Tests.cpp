@@ -1,0 +1,432 @@
+//===- statest/Tests.cpp - RNG statistical test battery ------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/statest/Tests.h"
+
+#include "parmonc/statest/SpecialFunctions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace parmonc {
+
+/// Chi-square statistic of observed counts against per-cell expectations.
+static double chiSquareStatistic(const std::vector<int64_t> &Observed,
+                                 const std::vector<double> &Expected) {
+  assert(Observed.size() == Expected.size());
+  double Statistic = 0.0;
+  for (size_t Cell = 0; Cell < Observed.size(); ++Cell) {
+    assert(Expected[Cell] > 0.0 && "cell with zero expectation");
+    const double Delta = double(Observed[Cell]) - Expected[Cell];
+    Statistic += Delta * Delta / Expected[Cell];
+  }
+  return Statistic;
+}
+
+TestResult chiSquareUniformityTest(RandomSource &Source,
+                                   int64_t SampleCount, int Bins) {
+  assert(Bins >= 2 && SampleCount >= 10 * Bins &&
+         "need >= 10 expected entries per bin");
+  std::vector<int64_t> Observed(size_t(Bins), 0);
+  for (int64_t Draw = 0; Draw < SampleCount; ++Draw) {
+    int Bin = int(Source.nextUniform() * Bins);
+    if (Bin == Bins) // cannot happen with open-interval sources; be safe
+      Bin = Bins - 1;
+    ++Observed[size_t(Bin)];
+  }
+  std::vector<double> Expected(size_t(Bins),
+                               double(SampleCount) / double(Bins));
+  const double Statistic = chiSquareStatistic(Observed, Expected);
+  return {"chi2-uniformity", Statistic,
+          chiSquareSurvival(Statistic, double(Bins - 1))};
+}
+
+TestResult kolmogorovSmirnovTest(RandomSource &Source, int64_t SampleCount) {
+  assert(SampleCount >= 10 && "KS test needs a reasonable sample");
+  std::vector<double> Sample(static_cast<size_t>(SampleCount));
+  for (double &Value : Sample)
+    Value = Source.nextUniform();
+  std::sort(Sample.begin(), Sample.end());
+
+  double MaxDeviation = 0.0;
+  for (size_t Index = 0; Index < Sample.size(); ++Index) {
+    const double EmpiricalHigh = double(Index + 1) / double(SampleCount);
+    const double EmpiricalLow = double(Index) / double(SampleCount);
+    MaxDeviation = std::max(MaxDeviation,
+                            std::fabs(EmpiricalHigh - Sample[Index]));
+    MaxDeviation = std::max(MaxDeviation,
+                            std::fabs(Sample[Index] - EmpiricalLow));
+  }
+  const double SqrtN = std::sqrt(double(SampleCount));
+  const double Lambda = (SqrtN + 0.12 + 0.11 / SqrtN) * MaxDeviation;
+  return {"kolmogorov-smirnov", MaxDeviation, kolmogorovQ(Lambda)};
+}
+
+TestResult serialPairsTest(RandomSource &Source, int64_t PairCount,
+                           int BinsPerAxis) {
+  assert(BinsPerAxis >= 2);
+  const int CellCount = BinsPerAxis * BinsPerAxis;
+  assert(PairCount >= 10 * CellCount && "need >= 10 per cell");
+  std::vector<int64_t> Observed(size_t(CellCount), 0);
+  for (int64_t Pair = 0; Pair < PairCount; ++Pair) {
+    const int X = std::min(int(Source.nextUniform() * BinsPerAxis),
+                           BinsPerAxis - 1);
+    const int Y = std::min(int(Source.nextUniform() * BinsPerAxis),
+                           BinsPerAxis - 1);
+    ++Observed[size_t(X * BinsPerAxis + Y)];
+  }
+  std::vector<double> Expected(size_t(CellCount),
+                               double(PairCount) / double(CellCount));
+  const double Statistic = chiSquareStatistic(Observed, Expected);
+  return {"serial-pairs", Statistic,
+          chiSquareSurvival(Statistic, double(CellCount - 1))};
+}
+
+TestResult serialTriplesTest(RandomSource &Source, int64_t TripleCount,
+                             int BinsPerAxis) {
+  assert(BinsPerAxis >= 2);
+  const int CellCount = BinsPerAxis * BinsPerAxis * BinsPerAxis;
+  assert(TripleCount >= 10 * CellCount && "need >= 10 per cell");
+  std::vector<int64_t> Observed(size_t(CellCount), 0);
+  for (int64_t Triple = 0; Triple < TripleCount; ++Triple) {
+    const int X = std::min(int(Source.nextUniform() * BinsPerAxis),
+                           BinsPerAxis - 1);
+    const int Y = std::min(int(Source.nextUniform() * BinsPerAxis),
+                           BinsPerAxis - 1);
+    const int Z = std::min(int(Source.nextUniform() * BinsPerAxis),
+                           BinsPerAxis - 1);
+    ++Observed[size_t((X * BinsPerAxis + Y) * BinsPerAxis + Z)];
+  }
+  std::vector<double> Expected(size_t(CellCount),
+                               double(TripleCount) / double(CellCount));
+  const double Statistic = chiSquareStatistic(Observed, Expected);
+  return {"serial-triples", Statistic,
+          chiSquareSurvival(Statistic, double(CellCount - 1))};
+}
+
+TestResult runsTest(RandomSource &Source, int64_t SampleCount) {
+  assert(SampleCount >= 100);
+  // Count maximal runs of values on one side of 1/2.
+  int64_t Runs = 1;
+  int64_t AboveCount = 0;
+  bool PreviousAbove = Source.nextUniform() >= 0.5;
+  AboveCount += PreviousAbove;
+  for (int64_t Draw = 1; Draw < SampleCount; ++Draw) {
+    const bool Above = Source.nextUniform() >= 0.5;
+    AboveCount += Above;
+    if (Above != PreviousAbove)
+      ++Runs;
+    PreviousAbove = Above;
+  }
+  const double N1 = double(AboveCount);
+  const double N2 = double(SampleCount - AboveCount);
+  const double N = double(SampleCount);
+  if (N1 == 0.0 || N2 == 0.0) {
+    // Every value on one side of 1/2: maximally non-random.
+    return {"runs", double(Runs), 0.0};
+  }
+  const double ExpectedRuns = 2.0 * N1 * N2 / N + 1.0;
+  const double VarianceRuns =
+      2.0 * N1 * N2 * (2.0 * N1 * N2 - N) / (N * N * (N - 1.0));
+  const double Z = (double(Runs) - ExpectedRuns) / std::sqrt(VarianceRuns);
+  const double PValue = std::erfc(std::fabs(Z) / std::sqrt(2.0));
+  return {"runs", Z, PValue};
+}
+
+TestResult gapTest(RandomSource &Source, int64_t GapCount, double Low,
+                   double High, int MaxGap) {
+  assert(Low < High && High <= 1.0 && Low >= 0.0);
+  assert(MaxGap >= 1 && GapCount >= 100 * MaxGap);
+  const double HitProbability = High - Low;
+
+  // Record the gap length (number of misses before a hit), pooling >= MaxGap.
+  std::vector<int64_t> Observed(size_t(MaxGap) + 1, 0);
+  for (int64_t Gap = 0; Gap < GapCount; ++Gap) {
+    int Length = 0;
+    for (;;) {
+      const double Value = Source.nextUniform();
+      if (Value >= Low && Value < High)
+        break;
+      ++Length;
+      if (Length >= MaxGap)
+        break;
+    }
+    ++Observed[size_t(std::min(Length, MaxGap))];
+  }
+
+  // P(gap = r) = p (1-p)^r; pooled tail P(gap >= MaxGap) = (1-p)^MaxGap.
+  std::vector<double> Expected(size_t(MaxGap) + 1);
+  for (int Length = 0; Length < MaxGap; ++Length)
+    Expected[size_t(Length)] = double(GapCount) * HitProbability *
+                               std::pow(1.0 - HitProbability, Length);
+  Expected[size_t(MaxGap)] =
+      double(GapCount) * std::pow(1.0 - HitProbability, MaxGap);
+
+  const double Statistic = chiSquareStatistic(Observed, Expected);
+  return {"gap", Statistic, chiSquareSurvival(Statistic, double(MaxGap))};
+}
+
+TestResult autocorrelationTest(RandomSource &Source, int64_t SampleCount,
+                               int Lag) {
+  assert(Lag >= 1 && SampleCount > 100 * Lag);
+  std::vector<double> Sample(static_cast<size_t>(SampleCount));
+  for (double &Value : Sample)
+    Value = Source.nextUniform();
+
+  double Mean = 0.0;
+  for (double Value : Sample)
+    Mean += Value;
+  Mean /= double(SampleCount);
+
+  double Numerator = 0.0, Denominator = 0.0;
+  for (int64_t Index = 0; Index < SampleCount; ++Index) {
+    const double Centered = Sample[size_t(Index)] - Mean;
+    Denominator += Centered * Centered;
+    if (Index + Lag < SampleCount)
+      Numerator += Centered * (Sample[size_t(Index + Lag)] - Mean);
+  }
+  const double Coefficient = Numerator / Denominator;
+  const double Z = Coefficient * std::sqrt(double(SampleCount));
+  const double PValue = std::erfc(std::fabs(Z) / std::sqrt(2.0));
+  return {"autocorrelation-lag" + std::to_string(Lag), Z, PValue};
+}
+
+TestResult collisionTest(RandomSource &Source, int64_t BallCount,
+                         int CellCountLog2) {
+  assert(CellCountLog2 >= 8 && CellCountLog2 <= 30);
+  assert(BallCount >= 1000);
+  const uint64_t CellCount = uint64_t(1) << CellCountLog2;
+  // Expected collisions ≈ n²/2m; keep it in a Poisson-friendly range.
+  const double ExpectedCollisions =
+      double(BallCount) * double(BallCount) / (2.0 * double(CellCount));
+
+  std::unordered_set<uint64_t> Occupied;
+  Occupied.reserve(size_t(BallCount) * 2);
+  int64_t Collisions = 0;
+  for (int64_t Ball = 0; Ball < BallCount; ++Ball) {
+    const uint64_t Cell = Source.nextBits64() >> (64 - CellCountLog2);
+    if (!Occupied.insert(Cell).second)
+      ++Collisions;
+  }
+  return {"collision", double(Collisions),
+          poissonTwoSidedPValue(Collisions, ExpectedCollisions)};
+}
+
+TestResult birthdaySpacingsTest(RandomSource &Source, int64_t BirthdayCount,
+                                int DayCountLog2) {
+  assert(DayCountLog2 >= 16 && DayCountLog2 <= 62);
+  assert(BirthdayCount >= 16);
+  const double DayCount = std::pow(2.0, DayCountLog2);
+  const double Lambda = double(BirthdayCount) * double(BirthdayCount) *
+                        double(BirthdayCount) / (4.0 * DayCount);
+
+  std::vector<uint64_t> Birthdays(static_cast<size_t>(BirthdayCount));
+  for (uint64_t &Day : Birthdays)
+    Day = Source.nextBits64() >> (64 - DayCountLog2);
+  std::sort(Birthdays.begin(), Birthdays.end());
+
+  std::vector<uint64_t> Spacings(Birthdays.size() - 1);
+  for (size_t Index = 0; Index + 1 < Birthdays.size(); ++Index)
+    Spacings[Index] = Birthdays[Index + 1] - Birthdays[Index];
+  std::sort(Spacings.begin(), Spacings.end());
+
+  // Count values that appear more than once (each extra occurrence counts).
+  int64_t Duplicates = 0;
+  for (size_t Index = 0; Index + 1 < Spacings.size(); ++Index)
+    Duplicates += Spacings[Index] == Spacings[Index + 1];
+
+  return {"birthday-spacings", double(Duplicates),
+          poissonTwoSidedPValue(Duplicates, Lambda)};
+}
+
+TestResult maximumOfTTest(RandomSource &Source, int64_t GroupCount,
+                          int GroupSize, int Bins) {
+  assert(GroupSize >= 2 && Bins >= 2 && GroupCount >= 10 * Bins);
+  // max(U_1..U_t)^t is U(0,1); chi-square the transformed maxima.
+  std::vector<int64_t> Observed(size_t(Bins), 0);
+  for (int64_t Group = 0; Group < GroupCount; ++Group) {
+    double Maximum = 0.0;
+    for (int Member = 0; Member < GroupSize; ++Member)
+      Maximum = std::max(Maximum, Source.nextUniform());
+    const double Transformed = std::pow(Maximum, GroupSize);
+    const int Bin = std::min(int(Transformed * Bins), Bins - 1);
+    ++Observed[size_t(Bin)];
+  }
+  std::vector<double> Expected(size_t(Bins),
+                               double(GroupCount) / double(Bins));
+  const double Statistic = chiSquareStatistic(Observed, Expected);
+  return {"maximum-of-" + std::to_string(GroupSize), Statistic,
+          chiSquareSurvival(Statistic, double(Bins - 1))};
+}
+
+/// Stirling numbers of the second kind S(n, k) for n, k <= MaxIndex,
+/// computed by the triangle recurrence in doubles (exact well past the
+/// sizes the tests use).
+static std::vector<std::vector<double>> stirlingTable(int MaxIndex) {
+  std::vector<std::vector<double>> Table(
+      size_t(MaxIndex) + 1, std::vector<double>(size_t(MaxIndex) + 1, 0.0));
+  Table[0][0] = 1.0;
+  for (int N = 1; N <= MaxIndex; ++N)
+    for (int K = 1; K <= N; ++K)
+      Table[size_t(N)][size_t(K)] =
+          double(K) * Table[size_t(N - 1)][size_t(K)] +
+          Table[size_t(N - 1)][size_t(K - 1)];
+  return Table;
+}
+
+/// Falling factorial d (d-1) ... (d-r+1).
+static double fallingFactorial(int Base, int Count) {
+  double Product = 1.0;
+  for (int Step = 0; Step < Count; ++Step)
+    Product *= double(Base - Step);
+  return Product;
+}
+
+TestResult pokerTest(RandomSource &Source, int64_t HandCount, int HandSize,
+                     int DigitBase) {
+  assert(HandSize >= 2 && HandSize <= 10 && "unsupported hand size");
+  assert(DigitBase >= 2 && "digit base too small");
+  assert(HandCount >= 100 * HandSize && "sample too small for poker test");
+
+  const auto Stirling = stirlingTable(HandSize);
+  // P(r distinct) = fall(d, r) * S(k, r) / d^k.
+  std::vector<double> Probability(size_t(HandSize) + 1, 0.0);
+  const double TotalHands = std::pow(double(DigitBase), HandSize);
+  for (int Distinct = 1; Distinct <= HandSize; ++Distinct)
+    Probability[size_t(Distinct)] =
+        fallingFactorial(DigitBase, Distinct) *
+        Stirling[size_t(HandSize)][size_t(Distinct)] / TotalHands;
+
+  std::vector<int64_t> Observed(size_t(HandSize) + 1, 0);
+  std::vector<bool> Seen(static_cast<size_t>(DigitBase));
+  for (int64_t Hand = 0; Hand < HandCount; ++Hand) {
+    std::fill(Seen.begin(), Seen.end(), false);
+    int Distinct = 0;
+    for (int Draw = 0; Draw < HandSize; ++Draw) {
+      int Digit = std::min(int(Source.nextUniform() * DigitBase),
+                           DigitBase - 1);
+      if (!Seen[size_t(Digit)]) {
+        Seen[size_t(Digit)] = true;
+        ++Distinct;
+      }
+    }
+    ++Observed[size_t(Distinct)];
+  }
+
+  // Pool sparse low-distinct categories upward until every cell expects
+  // at least ~10 counts (Knuth's recommendation for the chi-square).
+  std::vector<int64_t> PooledObserved;
+  std::vector<double> PooledExpected;
+  int64_t CarryObserved = 0;
+  double CarryExpected = 0.0;
+  for (int Distinct = 1; Distinct <= HandSize; ++Distinct) {
+    CarryObserved += Observed[size_t(Distinct)];
+    CarryExpected += double(HandCount) * Probability[size_t(Distinct)];
+    if (CarryExpected >= 10.0 || Distinct == HandSize) {
+      PooledObserved.push_back(CarryObserved);
+      PooledExpected.push_back(CarryExpected);
+      CarryObserved = 0;
+      CarryExpected = 0.0;
+    }
+  }
+  // A trailing underfull cell merges backward.
+  if (PooledExpected.size() >= 2 && PooledExpected.back() < 10.0) {
+    PooledExpected[PooledExpected.size() - 2] += PooledExpected.back();
+    PooledObserved[PooledObserved.size() - 2] += PooledObserved.back();
+    PooledExpected.pop_back();
+    PooledObserved.pop_back();
+  }
+
+  const double Statistic =
+      chiSquareStatistic(PooledObserved, PooledExpected);
+  return {"poker", Statistic,
+          chiSquareSurvival(Statistic,
+                            double(PooledObserved.size()) - 1.0)};
+}
+
+TestResult couponCollectorTest(RandomSource &Source, int64_t SegmentCount,
+                               int DigitBase, int MaxLength) {
+  assert(DigitBase >= 2 && MaxLength > DigitBase &&
+         "need room for lengths beyond the minimum");
+  assert(SegmentCount >= 100 * (MaxLength - DigitBase) &&
+         "sample too small for coupon test");
+
+  const auto Stirling = stirlingTable(MaxLength);
+  // P(L = l) = d!/d^l * S(l-1, d-1), l = d .. MaxLength-1; pooled tail.
+  const int CellCount = MaxLength - DigitBase + 1;
+  std::vector<double> Probability(static_cast<size_t>(CellCount), 0.0);
+  double CumulativeBelowTail = 0.0;
+  const double FactorialBase = fallingFactorial(DigitBase, DigitBase);
+  for (int Length = DigitBase; Length < MaxLength; ++Length) {
+    const double Mass =
+        FactorialBase / std::pow(double(DigitBase), Length) *
+        Stirling[size_t(Length - 1)][size_t(DigitBase - 1)];
+    Probability[size_t(Length - DigitBase)] = Mass;
+    CumulativeBelowTail += Mass;
+  }
+  Probability[size_t(CellCount - 1)] = 1.0 - CumulativeBelowTail;
+
+  std::vector<int64_t> Observed(size_t(CellCount), 0);
+  std::vector<bool> Seen(static_cast<size_t>(DigitBase));
+  for (int64_t Segment = 0; Segment < SegmentCount; ++Segment) {
+    std::fill(Seen.begin(), Seen.end(), false);
+    int Collected = 0;
+    int Length = 0;
+    while (Collected < DigitBase && Length < MaxLength) {
+      int Digit = std::min(int(Source.nextUniform() * DigitBase),
+                           DigitBase - 1);
+      ++Length;
+      if (!Seen[size_t(Digit)]) {
+        Seen[size_t(Digit)] = true;
+        ++Collected;
+      }
+    }
+    // Segments that hit MaxLength before completion land in the tail.
+    const int Cell =
+        Collected < DigitBase ? CellCount - 1 : Length - DigitBase;
+    ++Observed[size_t(std::min(Cell, CellCount - 1))];
+  }
+
+  std::vector<double> Expected(static_cast<size_t>(CellCount));
+  for (int Cell = 0; Cell < CellCount; ++Cell)
+    Expected[size_t(Cell)] =
+        double(SegmentCount) * Probability[size_t(Cell)];
+
+  const double Statistic = chiSquareStatistic(Observed, Expected);
+  return {"coupon-collector", Statistic,
+          chiSquareSurvival(Statistic, double(CellCount) - 1.0)};
+}
+
+std::vector<TestResult> runBattery(RandomSource &Source,
+                                   int64_t SampleCount) {
+  assert(SampleCount >= (1 << 16) && "battery needs a reasonable sample");
+  std::vector<TestResult> Results;
+  Results.push_back(chiSquareUniformityTest(Source, SampleCount));
+  Results.push_back(kolmogorovSmirnovTest(
+      Source, std::min<int64_t>(SampleCount, 1 << 16)));
+  Results.push_back(serialPairsTest(Source, SampleCount / 2));
+  Results.push_back(serialTriplesTest(Source, SampleCount / 3));
+  Results.push_back(runsTest(Source, SampleCount));
+  Results.push_back(gapTest(Source, SampleCount / 16));
+  Results.push_back(autocorrelationTest(Source, SampleCount));
+  Results.push_back(collisionTest(Source));
+  Results.push_back(birthdaySpacingsTest(Source));
+  Results.push_back(maximumOfTTest(Source, SampleCount / 5));
+  Results.push_back(pokerTest(Source, SampleCount / 5));
+  Results.push_back(couponCollectorTest(Source, SampleCount / 16));
+  return Results;
+}
+
+bool allPass(const std::vector<TestResult> &Results, double Alpha) {
+  for (const TestResult &Result : Results)
+    if (!Result.passesAt(Alpha))
+      return false;
+  return true;
+}
+
+} // namespace parmonc

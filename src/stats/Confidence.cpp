@@ -1,0 +1,80 @@
+//===- stats/Confidence.cpp - Normal quantiles & intervals ---------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/stats/Confidence.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace parmonc {
+
+double normalCdf(double X) {
+  // Φ(x) = erfc(-x/√2)/2; std::erfc is accurate in both tails.
+  return 0.5 * std::erfc(-X / std::sqrt(2.0));
+}
+
+double normalQuantile(double Probability) {
+  assert(Probability > 0.0 && Probability < 1.0 &&
+         "quantile requires probability strictly inside (0,1)");
+
+  // Acklam's rational approximation, three regions.
+  static const double A[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double B[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double C[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double D[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double LowBreak = 0.02425;
+
+  double Quantile;
+  if (Probability < LowBreak) {
+    double Q = std::sqrt(-2.0 * std::log(Probability));
+    Quantile = (((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+                C[5]) /
+               ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1.0);
+  } else if (Probability <= 1.0 - LowBreak) {
+    double Q = Probability - 0.5;
+    double R = Q * Q;
+    Quantile = (((((A[0] * R + A[1]) * R + A[2]) * R + A[3]) * R + A[4]) * R +
+                A[5]) *
+               Q /
+               (((((B[0] * R + B[1]) * R + B[2]) * R + B[3]) * R + B[4]) * R +
+                1.0);
+  } else {
+    double Q = std::sqrt(-2.0 * std::log(1.0 - Probability));
+    Quantile = -(((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+                 C[5]) /
+               ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1.0);
+  }
+
+  // One Halley refinement against the accurate CDF pushes the error from
+  // ~1e-9 to ~1e-15 over the central region.
+  double Error = normalCdf(Quantile) - Probability;
+  double Density =
+      std::exp(-0.5 * Quantile * Quantile) / std::sqrt(2.0 * M_PI);
+  double Update = Error / Density;
+  Quantile -= Update / (1.0 + Quantile * Update / 2.0);
+  return Quantile;
+}
+
+double confidenceMultiplier(double Level) {
+  assert(Level > 0.0 && Level < 1.0 && "confidence level must be in (0,1)");
+  return normalQuantile(0.5 * (1.0 + Level));
+}
+
+ConfidenceInterval makeMeanInterval(double Mean, double StdDev,
+                                    double SampleVolume, double Level) {
+  assert(SampleVolume > 0.0 && "interval requires a positive sample volume");
+  assert(StdDev >= 0.0 && "negative standard deviation");
+  return {Mean, confidenceMultiplier(Level) * StdDev / std::sqrt(SampleVolume)};
+}
+
+} // namespace parmonc

@@ -1,0 +1,147 @@
+//===- stats/EstimatorMatrix.cpp - Matrix moment accumulation ------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/stats/EstimatorMatrix.h"
+
+#include <cmath>
+#include <limits>
+
+namespace parmonc {
+
+EstimatorMatrix::EstimatorMatrix(size_t Rows, size_t Columns)
+    : Rows(Rows), Columns(Columns), SumValues(Rows * Columns, 0.0),
+      SumSquares(Rows * Columns, 0.0) {
+  assert(Rows >= 1 && Columns >= 1 && "estimator matrix must be non-empty");
+}
+
+void EstimatorMatrix::accumulate(const double *Realization) {
+  assert(Realization && "null realization");
+  const size_t Count = entryCount();
+  for (size_t Index = 0; Index < Count; ++Index) {
+    const double Value = Realization[Index];
+    SumValues[Index] += Value;
+    SumSquares[Index] += Value * Value;
+  }
+  ++Volume;
+}
+
+Status EstimatorMatrix::merge(const EstimatorMatrix &Other) {
+  if (Other.Rows != Rows || Other.Columns != Columns)
+    return invalidArgument(
+        "cannot merge estimator matrices of different shapes (" +
+        std::to_string(Rows) + "x" + std::to_string(Columns) + " vs " +
+        std::to_string(Other.Rows) + "x" + std::to_string(Other.Columns) +
+        ")");
+  const size_t Count = entryCount();
+  for (size_t Index = 0; Index < Count; ++Index) {
+    SumValues[Index] += Other.SumValues[Index];
+    SumSquares[Index] += Other.SumSquares[Index];
+  }
+  Volume += Other.Volume;
+  return Status::ok();
+}
+
+Result<EstimatorMatrix> EstimatorMatrix::fromRawSums(
+    size_t Rows, size_t Columns, std::vector<double> ValueSums,
+    std::vector<double> SquareSums, int64_t Volume) {
+  if (Rows < 1 || Columns < 1)
+    return invalidArgument("estimator matrix must be non-empty");
+  if (ValueSums.size() != Rows * Columns ||
+      SquareSums.size() != Rows * Columns)
+    return invalidArgument("raw sum vectors do not match the matrix shape");
+  if (Volume < 0)
+    return invalidArgument("negative sample volume");
+  for (size_t Index = 0; Index < SquareSums.size(); ++Index) {
+    if (SquareSums[Index] < 0.0)
+      return invalidArgument("negative square sum at entry " +
+                             std::to_string(Index));
+  }
+  EstimatorMatrix Matrix(Rows, Columns);
+  Matrix.SumValues = std::move(ValueSums);
+  Matrix.SumSquares = std::move(SquareSums);
+  Matrix.Volume = Volume;
+  return Matrix;
+}
+
+EntryStatistics EstimatorMatrix::entryStatistics(
+    size_t Row, size_t Column, double ErrorMultiplier) const {
+  assert(Row < Rows && Column < Columns && "entry index out of range");
+  assert(Volume > 0 && "statistics require at least one realization");
+
+  const size_t Index = Row * Columns + Column;
+  const double VolumeAsDouble = double(Volume);
+
+  EntryStatistics Stats;
+  Stats.Mean = SumValues[Index] / VolumeAsDouble;
+  // σ² = ξ̄ - ζ̄² (the paper's biased sample variance); clamp tiny negative
+  // values produced by cancellation.
+  const double SecondMoment = SumSquares[Index] / VolumeAsDouble;
+  Stats.Variance = std::max(0.0, SecondMoment - Stats.Mean * Stats.Mean);
+  Stats.AbsoluteError =
+      ErrorMultiplier * std::sqrt(Stats.Variance / VolumeAsDouble);
+  Stats.RelativeError =
+      Stats.Mean != 0.0
+          ? Stats.AbsoluteError / std::fabs(Stats.Mean) * 100.0
+          : std::numeric_limits<double>::infinity();
+  return Stats;
+}
+
+void EstimatorMatrix::computeMatrices(std::vector<double> *Means,
+                                      std::vector<double> *AbsoluteErrors,
+                                      std::vector<double> *RelativeErrors,
+                                      std::vector<double> *Variances,
+                                      double ErrorMultiplier) const {
+  const size_t Count = entryCount();
+  if (Means)
+    Means->resize(Count);
+  if (AbsoluteErrors)
+    AbsoluteErrors->resize(Count);
+  if (RelativeErrors)
+    RelativeErrors->resize(Count);
+  if (Variances)
+    Variances->resize(Count);
+
+  for (size_t Row = 0; Row < Rows; ++Row) {
+    for (size_t Column = 0; Column < Columns; ++Column) {
+      const size_t Index = Row * Columns + Column;
+      const EntryStatistics Stats =
+          entryStatistics(Row, Column, ErrorMultiplier);
+      if (Means)
+        (*Means)[Index] = Stats.Mean;
+      if (AbsoluteErrors)
+        (*AbsoluteErrors)[Index] = Stats.AbsoluteError;
+      if (RelativeErrors)
+        (*RelativeErrors)[Index] = Stats.RelativeError;
+      if (Variances)
+        (*Variances)[Index] = Stats.Variance;
+    }
+  }
+}
+
+ErrorBounds EstimatorMatrix::errorBounds(double ErrorMultiplier) const {
+  ErrorBounds Bounds;
+  for (size_t Row = 0; Row < Rows; ++Row) {
+    for (size_t Column = 0; Column < Columns; ++Column) {
+      const EntryStatistics Stats =
+          entryStatistics(Row, Column, ErrorMultiplier);
+      Bounds.MaxAbsoluteError =
+          std::max(Bounds.MaxAbsoluteError, Stats.AbsoluteError);
+      if (std::isfinite(Stats.RelativeError))
+        Bounds.MaxRelativeError =
+            std::max(Bounds.MaxRelativeError, Stats.RelativeError);
+      Bounds.MaxVariance = std::max(Bounds.MaxVariance, Stats.Variance);
+    }
+  }
+  return Bounds;
+}
+
+void EstimatorMatrix::reset() {
+  Volume = 0;
+  std::fill(SumValues.begin(), SumValues.end(), 0.0);
+  std::fill(SumSquares.begin(), SumSquares.end(), 0.0);
+}
+
+} // namespace parmonc

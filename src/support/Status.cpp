@@ -1,0 +1,66 @@
+//===- support/Status.cpp - Error handling without exceptions ------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/support/Status.h"
+
+namespace parmonc {
+
+const char *statusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::InvalidArgument:
+    return "invalid-argument";
+  case StatusCode::NotFound:
+    return "not-found";
+  case StatusCode::IoError:
+    return "io-error";
+  case StatusCode::ParseError:
+    return "parse-error";
+  case StatusCode::FailedPrecondition:
+    return "failed-precondition";
+  case StatusCode::OutOfRange:
+    return "out-of-range";
+  case StatusCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::toString() const {
+  if (isOk())
+    return "ok";
+  std::string Text = statusCodeName(Code);
+  if (!Message.empty()) {
+    Text += ": ";
+    Text += Message;
+  }
+  return Text;
+}
+
+Status invalidArgument(std::string Message) {
+  return Status(StatusCode::InvalidArgument, std::move(Message));
+}
+Status notFound(std::string Message) {
+  return Status(StatusCode::NotFound, std::move(Message));
+}
+Status ioError(std::string Message) {
+  return Status(StatusCode::IoError, std::move(Message));
+}
+Status parseError(std::string Message) {
+  return Status(StatusCode::ParseError, std::move(Message));
+}
+Status failedPrecondition(std::string Message) {
+  return Status(StatusCode::FailedPrecondition, std::move(Message));
+}
+Status outOfRange(std::string Message) {
+  return Status(StatusCode::OutOfRange, std::move(Message));
+}
+Status internalError(std::string Message) {
+  return Status(StatusCode::Internal, std::move(Message));
+}
+
+} // namespace parmonc

@@ -1,0 +1,169 @@
+//===- support/Text.cpp - Small text/formatting helpers ------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/support/Text.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace parmonc {
+
+std::string formatScientific(double Value, int Precision) {
+  assert(Precision >= 1 && Precision <= 17 && "unsupported precision");
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*e", Precision, Value);
+  return Buffer;
+}
+
+std::string formatFixed(double Value, int Decimals) {
+  assert(Decimals >= 0 && Decimals <= 17 && "unsupported decimal count");
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+Result<double> parseDouble(std::string_view Text) {
+  std::string Copy(trim(Text));
+  if (Copy.empty())
+    return parseError("empty number");
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Copy.c_str(), &End);
+  if (End != Copy.c_str() + Copy.size())
+    return parseError("trailing characters in number '" + Copy + "'");
+  if (errno == ERANGE && (Value == HUGE_VAL || Value == -HUGE_VAL))
+    return parseError("number out of double range '" + Copy + "'");
+  return Value;
+}
+
+Result<int64_t> parseInt64(std::string_view Text) {
+  std::string Copy(trim(Text));
+  if (Copy.empty())
+    return parseError("empty integer");
+  errno = 0;
+  char *End = nullptr;
+  long long Value = std::strtoll(Copy.c_str(), &End, 10);
+  if (End != Copy.c_str() + Copy.size())
+    return parseError("trailing characters in integer '" + Copy + "'");
+  if (errno == ERANGE)
+    return parseError("integer out of int64 range '" + Copy + "'");
+  return int64_t(Value);
+}
+
+Result<uint64_t> parseUInt64(std::string_view Text) {
+  std::string Copy(trim(Text));
+  if (Copy.empty())
+    return parseError("empty integer");
+  if (Copy[0] == '-')
+    return parseError("negative value for unsigned integer '" + Copy + "'");
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Copy.c_str(), &End, 10);
+  if (End != Copy.c_str() + Copy.size())
+    return parseError("trailing characters in integer '" + Copy + "'");
+  if (errno == ERANGE)
+    return parseError("integer out of uint64 range '" + Copy + "'");
+  return uint64_t(Value);
+}
+
+std::string_view trim(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> splitWhitespace(std::string_view Text) {
+  std::vector<std::string_view> Fields;
+  size_t Index = 0;
+  while (Index < Text.size()) {
+    while (Index < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Index])))
+      ++Index;
+    size_t Begin = Index;
+    while (Index < Text.size() &&
+           !std::isspace(static_cast<unsigned char>(Text[Index])))
+      ++Index;
+    if (Index > Begin)
+      Fields.push_back(Text.substr(Begin, Index - Begin));
+  }
+  return Fields;
+}
+
+std::vector<std::string_view> splitChar(std::string_view Text, char Separator) {
+  std::vector<std::string_view> Fields;
+  size_t Begin = 0;
+  for (size_t Index = 0; Index <= Text.size(); ++Index) {
+    if (Index == Text.size() || Text[Index] == Separator) {
+      Fields.push_back(Text.substr(Begin, Index - Begin));
+      Begin = Index + 1;
+    }
+  }
+  return Fields;
+}
+
+bool startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+Result<std::string> readFileToString(const std::string &Path) {
+  std::ifstream Stream(Path, std::ios::binary);
+  if (!Stream)
+    return ioError("cannot open '" + Path + "' for reading");
+  std::ostringstream Contents;
+  Contents << Stream.rdbuf();
+  if (Stream.bad())
+    return ioError("read failure on '" + Path + "'");
+  return Contents.str();
+}
+
+Status writeFileAtomic(const std::string &Path, std::string_view Contents) {
+  const std::string TempPath = Path + ".tmp";
+  {
+    std::ofstream Stream(TempPath, std::ios::binary | std::ios::trunc);
+    if (!Stream)
+      return ioError("cannot open '" + TempPath + "' for writing");
+    Stream.write(Contents.data(), std::streamsize(Contents.size()));
+    Stream.flush();
+    if (!Stream)
+      return ioError("write failure on '" + TempPath + "'");
+  }
+  std::error_code Error;
+  std::filesystem::rename(TempPath, Path, Error);
+  if (Error)
+    return ioError("cannot rename '" + TempPath + "' to '" + Path +
+                   "': " + Error.message());
+  return Status::ok();
+}
+
+Status createDirectories(const std::string &Path) {
+  std::error_code Error;
+  std::filesystem::create_directories(Path, Error);
+  if (Error)
+    return ioError("cannot create directory '" + Path +
+                   "': " + Error.message());
+  return Status::ok();
+}
+
+bool fileExists(const std::string &Path) {
+  std::error_code Error;
+  return std::filesystem::is_regular_file(Path, Error);
+}
+
+} // namespace parmonc

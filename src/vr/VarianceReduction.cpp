@@ -1,0 +1,137 @@
+//===- vr/VarianceReduction.cpp - Variance-reduction toolkit -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/vr/VarianceReduction.h"
+
+#include "parmonc/stats/RunningStat.h"
+
+#include <cmath>
+
+namespace parmonc {
+
+static VrEstimate finalize(const RunningStat &Stats) {
+  VrEstimate Estimate;
+  Estimate.SampleCount = Stats.count();
+  Estimate.Mean = Stats.mean();
+  Estimate.Variance = Stats.count() > 1 ? Stats.sampleVariance() : 0.0;
+  Estimate.StandardError =
+      std::sqrt(Estimate.Variance / double(Stats.count()));
+  return Estimate;
+}
+
+VrEstimate estimatePlain(ScalarRealization Realization,
+                         RandomSource &Source, int64_t Pairs) {
+  assert(Pairs >= 1 && "need at least one pair");
+  // Same budget as the antithetic estimator: average per *pair* of
+  // independent realizations, so the variances compare like for like.
+  RunningStat Stats;
+  for (int64_t Pair = 0; Pair < Pairs; ++Pair) {
+    const double First = Realization(Source);
+    const double Second = Realization(Source);
+    Stats.add(0.5 * (First + Second));
+  }
+  return finalize(Stats);
+}
+
+VrEstimate estimateAntithetic(ScalarRealization Realization,
+                              RandomSource &Source, int64_t Pairs) {
+  assert(Pairs >= 1 && "need at least one pair");
+  RunningStat Stats;
+  RecordingSource Recorder(Source);
+  for (int64_t Pair = 0; Pair < Pairs; ++Pair) {
+    Recorder.clear();
+    const double Plain = Realization(Recorder);
+    ReplaySource Mirrored(Recorder.recorded(), /*Mirror=*/true);
+    const double Twin = Realization(Mirrored);
+    assert(Mirrored.consumed() == Recorder.recorded().size() &&
+           "antithetic twin consumed fewer numbers than the original");
+    Stats.add(0.5 * (Plain + Twin));
+  }
+  return finalize(Stats);
+}
+
+VrEstimate estimateWithControlVariate(ControlledRealization Realization,
+                                      RandomSource &Source,
+                                      int64_t SampleCount,
+                                      double ControlExpectation) {
+  assert(SampleCount >= 2 && "need at least two samples");
+  std::vector<ValueWithControl> Samples;
+  Samples.reserve(size_t(SampleCount));
+  RunningStat ValueStats, ControlStats;
+  for (int64_t Index = 0; Index < SampleCount; ++Index) {
+    const ValueWithControl Sample = Realization(Source);
+    Samples.push_back(Sample);
+    ValueStats.add(Sample.Value);
+    ControlStats.add(Sample.Control);
+  }
+
+  // β* = Cov(Y, C) / Var(C); fall back to β = 0 for a degenerate control.
+  double Covariance = 0.0;
+  for (const ValueWithControl &Sample : Samples)
+    Covariance += (Sample.Value - ValueStats.mean()) *
+                  (Sample.Control - ControlStats.mean());
+  Covariance /= double(SampleCount - 1);
+  const double ControlVariance = ControlStats.sampleVariance();
+  const double Beta =
+      ControlVariance > 0.0 ? Covariance / ControlVariance : 0.0;
+
+  RunningStat Adjusted;
+  for (const ValueWithControl &Sample : Samples)
+    Adjusted.add(Sample.Value -
+                 Beta * (Sample.Control - ControlExpectation));
+  return finalize(Adjusted);
+}
+
+VrEstimate estimateStratified(ScalarRealization Realization,
+                              RandomSource &Source, int StrataCount,
+                              int64_t SamplesPerStratum) {
+  assert(StrataCount >= 1 && "need at least one stratum");
+  assert(SamplesPerStratum >= 2 &&
+         "need two samples per stratum to estimate its variance");
+
+  // Proportional allocation: the estimator is the mean of stratum means;
+  // its variance is (1/K²) Σ s_k²/n_k.
+  double MeanOfStrata = 0.0;
+  double VarianceOfEstimator = 0.0;
+  for (int Stratum = 0; Stratum < StrataCount; ++Stratum) {
+    RunningStat StratumStats;
+    for (int64_t Index = 0; Index < SamplesPerStratum; ++Index) {
+      StratifiedFirstDraw Confined(Source, Stratum, StrataCount);
+      StratumStats.add(Realization(Confined));
+    }
+    MeanOfStrata += StratumStats.mean();
+    VarianceOfEstimator +=
+        StratumStats.sampleVariance() / double(SamplesPerStratum);
+  }
+  const double K = double(StrataCount);
+
+  VrEstimate Estimate;
+  Estimate.SampleCount = int64_t(StrataCount) * SamplesPerStratum;
+  Estimate.Mean = MeanOfStrata / K;
+  Estimate.StandardError = std::sqrt(VarianceOfEstimator) / K;
+  // Report variance on the per-sample scale so it is comparable with the
+  // plain estimator's: Var_per_sample = SE² * n.
+  Estimate.Variance = Estimate.StandardError * Estimate.StandardError *
+                      double(Estimate.SampleCount);
+  return Estimate;
+}
+
+TiltedUniform::TiltedUniform(double Theta) : Theta(Theta) {
+  assert(Theta != 0.0 && "theta 0 is the untilted distribution");
+  Normalizer = std::expm1(Theta); // e^θ - 1, accurate for small θ
+}
+
+double TiltedUniform::sample(RandomSource &Source,
+                             double *LikelihoodRatio) const {
+  assert(LikelihoodRatio && "likelihood ratio output required");
+  // Inversion of G(x) = (e^{θx} - 1)/(e^θ - 1).
+  const double U = Source.nextUniform();
+  const double X = std::log1p(U * Normalizer) / Theta;
+  *LikelihoodRatio = Normalizer / (Theta * std::exp(Theta * X));
+  return X;
+}
+
+} // namespace parmonc

@@ -1,0 +1,197 @@
+//===- tests/core/FailureInjectionTest.cpp - Crash & corruption paths -----===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The resumption/manaver machinery exists for jobs that die (§3.4); these
+// tests inject the failure modes that design must survive: corrupted or
+// truncated checkpoints, stale results after a simulated kill, partial
+// subtotal sets, and hostile bytes in every file format.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/Runner.h"
+
+#include "parmonc/support/Text.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <limits>
+
+namespace parmonc {
+namespace {
+
+class ScratchDir {
+public:
+  explicit ScratchDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("parmonc_fail_" + Name + "_" + std::to_string(Counter++)))
+               .string();
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+  const std::string &path() const { return Path; }
+
+private:
+  static inline int Counter = 0;
+  std::string Path;
+};
+
+void uniformRealization(RandomSource &Source, double *Out) {
+  Out[0] = Source.nextUniform();
+}
+
+RunConfig smallConfig(const std::string &WorkDir) {
+  RunConfig Config;
+  Config.MaxSampleVolume = 500;
+  Config.WorkDir = WorkDir;
+  return Config;
+}
+
+TEST(FailureInjection, ResumeRejectsCorruptedCheckpoint) {
+  ScratchDir Dir("corrupt");
+  ASSERT_TRUE(runSimulation(uniformRealization, smallConfig(Dir.path()))
+                  .isOk());
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(
+      writeFileAtomic(Store.checkpointPath(), "not a snapshot\n").isOk());
+
+  RunConfig Resume = smallConfig(Dir.path());
+  Resume.Resume = true;
+  Resume.SequenceNumber = 1;
+  Result<RunReport> Report = runSimulation(uniformRealization, Resume);
+  ASSERT_FALSE(Report.isOk());
+  EXPECT_EQ(Report.status().code(), StatusCode::ParseError);
+}
+
+TEST(FailureInjection, ResumeRejectsTruncatedCheckpoint) {
+  ScratchDir Dir("truncated");
+  ASSERT_TRUE(runSimulation(uniformRealization, smallConfig(Dir.path()))
+                  .isOk());
+  ResultsStore Store(Dir.path());
+  std::string Contents =
+      readFileToString(Store.checkpointPath()).value();
+  ASSERT_TRUE(writeFileAtomic(Store.checkpointPath(),
+                              Contents.substr(0, Contents.size() / 3))
+                  .isOk());
+
+  RunConfig Resume = smallConfig(Dir.path());
+  Resume.Resume = true;
+  Resume.SequenceNumber = 1;
+  EXPECT_FALSE(runSimulation(uniformRealization, Resume).isOk());
+}
+
+TEST(FailureInjection, CheckpointWithNegativeVolumeIsRejected) {
+  ScratchDir Dir("negvolume");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(writeFileAtomic(Store.checkpointPath(),
+                              "seqnum 0\nshape 1 1\nvolume -5\n"
+                              "compute_seconds 0.0\nsums 1.0\nsquares 1.0\n")
+                  .isOk());
+  RunConfig Resume = smallConfig(Dir.path());
+  Resume.Resume = true;
+  Resume.SequenceNumber = 1;
+  EXPECT_FALSE(runSimulation(uniformRealization, Resume).isOk());
+}
+
+TEST(FailureInjection, ManaverRecoversAKilledJob) {
+  // Simulate a kill: run normally (which leaves base + subtotals +
+  // checkpoint), then delete the results files and the checkpoint — as if
+  // the collector died before its final save. manaver must rebuild
+  // everything from base.dat + rank subtotals.
+  ScratchDir Dir("killed");
+  RunConfig Config = smallConfig(Dir.path());
+  Config.ProcessorCount = 3;
+  Config.MaxSampleVolume = 900;
+  ASSERT_TRUE(runSimulation(uniformRealization, Config).isOk());
+
+  ResultsStore Store(Dir.path());
+  const std::string MeansBefore =
+      readFileToString(Store.meansPath()).value();
+  std::filesystem::remove(Store.meansPath());
+  std::filesystem::remove(Store.confidencePath());
+  std::filesystem::remove(Store.logPath());
+  std::filesystem::remove(Store.checkpointPath());
+
+  Result<MomentSnapshot> Recovered = runManualAverage(Store);
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  EXPECT_EQ(Recovered.value().Moments.sampleVolume(), 900);
+  // The rebuilt means must equal the pre-kill means: the subtotal files
+  // contain the full final state of each rank.
+  EXPECT_EQ(readFileToString(Store.meansPath()).value(), MeansBefore);
+  EXPECT_TRUE(fileExists(Store.checkpointPath()));
+}
+
+TEST(FailureInjection, ManaverSkipsCorruptedSubtotalGracefully) {
+  ScratchDir Dir("badsubtotal");
+  RunConfig Config = smallConfig(Dir.path());
+  Config.ProcessorCount = 2;
+  ASSERT_TRUE(runSimulation(uniformRealization, Config).isOk());
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(
+      writeFileAtomic(Store.subtotalPath(1), "garbage bytes\n").isOk());
+  // A corrupted subtotal is a hard error (silently dropping volume would
+  // corrupt the statistics); manaver must refuse.
+  EXPECT_FALSE(runManualAverage(Store).isOk());
+}
+
+TEST(FailureInjection, ManaverRejectsMixedShapes) {
+  ScratchDir Dir("mixedshape");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  MomentSnapshot Narrow;
+  Narrow.Moments = EstimatorMatrix(1, 1);
+  Narrow.Moments.accumulate(std::vector<double>{1.0});
+  MomentSnapshot Wide;
+  Wide.Moments = EstimatorMatrix(1, 2);
+  Wide.Moments.accumulate(std::vector<double>{1.0, 2.0});
+  ASSERT_TRUE(Store.writeSnapshot(Store.subtotalPath(0), Narrow).isOk());
+  ASSERT_TRUE(Store.writeSnapshot(Store.subtotalPath(1), Wide).isOk());
+  EXPECT_FALSE(runManualAverage(Store).isOk());
+}
+
+TEST(FailureInjection, FreshRunAfterCorruptionStartsClean) {
+  // Even with a corrupted checkpoint lying around, res = 0 must succeed:
+  // the engine clears previous state rather than reading it.
+  ScratchDir Dir("freshclean");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(
+      writeFileAtomic(Store.checkpointPath(), "corrupted\n").isOk());
+  Result<RunReport> Report =
+      runSimulation(uniformRealization, smallConfig(Dir.path()));
+  ASSERT_TRUE(Report.isOk());
+  EXPECT_EQ(Report.value().TotalSampleVolume, 500);
+}
+
+TEST(FailureInjection, RealizationWritingNanStillCompletes) {
+  // A user routine emitting NaN must not wedge the engine; the NaN
+  // propagates into the statistics (visible to the user) but the run
+  // machinery completes and files are written.
+  ScratchDir Dir("nan");
+  auto NanRealization = [](RandomSource &Source, double *Out) {
+    Out[0] = Source.nextUniform() < 0.5
+                 ? std::numeric_limits<double>::quiet_NaN()
+                 : 1.0;
+  };
+  Result<RunReport> Report =
+      runSimulation(NanRealization, smallConfig(Dir.path()));
+  ASSERT_TRUE(Report.isOk());
+  EXPECT_EQ(Report.value().TotalSampleVolume, 500);
+  ResultsStore Store(Dir.path());
+  EXPECT_TRUE(fileExists(Store.meansPath()));
+}
+
+TEST(FailureInjection, UnwritableWorkDirFailsCleanly) {
+  Result<RunReport> Report = runSimulation(
+      uniformRealization, smallConfig("/proc/definitely/not/writable"));
+  ASSERT_FALSE(Report.isOk());
+  EXPECT_EQ(Report.status().code(), StatusCode::IoError);
+}
+
+} // namespace
+} // namespace parmonc

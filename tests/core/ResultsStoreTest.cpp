@@ -1,0 +1,273 @@
+//===- tests/core/ResultsStoreTest.cpp - File format tests ----------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/ResultsStore.h"
+
+#include "parmonc/support/Text.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+
+namespace parmonc {
+namespace {
+
+/// A fresh scratch working directory per test, removed on destruction.
+class ScratchDir {
+public:
+  explicit ScratchDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("parmonc_test_" + Name + "_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + std::to_string(Counter++)))
+               .string();
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+  const std::string &path() const { return Path; }
+
+private:
+  static inline int Counter = 0;
+  std::string Path;
+};
+
+MomentSnapshot makeSnapshot() {
+  MomentSnapshot Snapshot;
+  Snapshot.SequenceNumber = 7;
+  Snapshot.ComputeSeconds = 12.25;
+  Snapshot.Moments = EstimatorMatrix(2, 3);
+  Snapshot.Moments.accumulate(
+      std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  Snapshot.Moments.accumulate(
+      std::vector<double>{1.5, 2.5, 3.5, 4.5, 5.5, 6.5});
+  return Snapshot;
+}
+
+TEST(MomentSnapshot, FileRoundTripIsExact) {
+  MomentSnapshot Original = makeSnapshot();
+  Result<MomentSnapshot> Parsed =
+      MomentSnapshot::fromFileContents(Original.toFileContents());
+  ASSERT_TRUE(Parsed.isOk()) << Parsed.status().toString();
+  EXPECT_EQ(Parsed.value().SequenceNumber, 7u);
+  EXPECT_DOUBLE_EQ(Parsed.value().ComputeSeconds, 12.25);
+  EXPECT_EQ(Parsed.value().Moments.sampleVolume(), 2);
+  // Raw sums must round-trip bit-exactly (17 significant digits).
+  EXPECT_EQ(Parsed.value().Moments.valueSums(),
+            Original.Moments.valueSums());
+  EXPECT_EQ(Parsed.value().Moments.squareSums(),
+            Original.Moments.squareSums());
+}
+
+TEST(MomentSnapshot, BytesRoundTripIsExact) {
+  MomentSnapshot Original = makeSnapshot();
+  Result<MomentSnapshot> Parsed =
+      MomentSnapshot::fromBytes(Original.toBytes());
+  ASSERT_TRUE(Parsed.isOk());
+  EXPECT_EQ(Parsed.value().Moments.valueSums(),
+            Original.Moments.valueSums());
+  EXPECT_EQ(Parsed.value().Moments.sampleVolume(), 2);
+}
+
+TEST(MomentSnapshot, RejectsCorruptedFile) {
+  EXPECT_FALSE(MomentSnapshot::fromFileContents("").isOk());
+  EXPECT_FALSE(MomentSnapshot::fromFileContents("volume 3\n").isOk());
+  EXPECT_FALSE(
+      MomentSnapshot::fromFileContents("bogus directive\n").isOk());
+  // Sum count not matching the shape.
+  std::string Bad = "shape 1 2\nvolume 1\nsums 1.0\nsquares 1.0 2.0\n";
+  EXPECT_FALSE(MomentSnapshot::fromFileContents(Bad).isOk());
+}
+
+TEST(MomentSnapshot, RejectsTruncatedBytes) {
+  std::vector<uint8_t> Bytes = makeSnapshot().toBytes();
+  Bytes.resize(Bytes.size() / 2);
+  EXPECT_FALSE(MomentSnapshot::fromBytes(Bytes).isOk());
+}
+
+TEST(MomentSnapshot, RejectsTrailingBytes) {
+  std::vector<uint8_t> Bytes = makeSnapshot().toBytes();
+  Bytes.push_back(0);
+  EXPECT_FALSE(MomentSnapshot::fromBytes(Bytes).isOk());
+}
+
+TEST(ResultsStore, PathsFollowPaperLayout) {
+  ResultsStore Store("/work");
+  EXPECT_EQ(Store.dataDir(), "/work/parmonc_data");
+  EXPECT_EQ(Store.resultsDir(), "/work/parmonc_data/results");
+  EXPECT_EQ(Store.meansPath(), "/work/parmonc_data/results/func.dat");
+  EXPECT_EQ(Store.confidencePath(),
+            "/work/parmonc_data/results/func_ci.dat");
+  EXPECT_EQ(Store.logPath(), "/work/parmonc_data/results/func_log.dat");
+  EXPECT_EQ(Store.experimentLogPath(),
+            "/work/parmonc_data/parmonc_exp.dat");
+  EXPECT_EQ(Store.genparamPath(), "/work/parmonc_genparam.dat");
+  EXPECT_EQ(Store.subtotalPath(3),
+            "/work/parmonc_data/subtotals/rank_3.dat");
+}
+
+TEST(ResultsStore, SnapshotFileRoundTripOnDisk) {
+  ScratchDir Dir("snapshot");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  MomentSnapshot Original = makeSnapshot();
+  ASSERT_TRUE(Store.writeSnapshot(Store.checkpointPath(), Original).isOk());
+  Result<MomentSnapshot> Read = Store.readSnapshot(Store.checkpointPath());
+  ASSERT_TRUE(Read.isOk());
+  EXPECT_EQ(Read.value().Moments.valueSums(), Original.Moments.valueSums());
+}
+
+TEST(ResultsStore, WriteResultsProducesAllThreeFiles) {
+  ScratchDir Dir("results");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  MomentSnapshot Snapshot = makeSnapshot();
+  RunLogInfo Log;
+  Log.TotalSampleVolume = 2;
+  Log.ProcessorCount = 4;
+  Log.SequenceNumber = 7;
+  ASSERT_TRUE(Store.writeResults(Snapshot.Moments, Log, 3.0).isOk());
+  EXPECT_TRUE(fileExists(Store.meansPath()));
+  EXPECT_TRUE(fileExists(Store.confidencePath()));
+  EXPECT_TRUE(fileExists(Store.logPath()));
+
+  // Means file parses back to the correct values.
+  Result<std::vector<double>> Means = Store.readMeans(2, 3);
+  ASSERT_TRUE(Means.isOk()) << Means.status().toString();
+  EXPECT_DOUBLE_EQ(Means.value()[0], 1.25);
+  EXPECT_DOUBLE_EQ(Means.value()[5], 6.25);
+
+  // func_log.dat carries the volume and processor count.
+  std::string Log1 = readFileToString(Store.logPath()).value();
+  EXPECT_NE(Log1.find("total_sample_volume 2"), std::string::npos);
+  EXPECT_NE(Log1.find("processors 4"), std::string::npos);
+  EXPECT_NE(Log1.find("experiment 7"), std::string::npos);
+}
+
+TEST(ResultsStore, WriteResultsRejectsEmptyMoments) {
+  ScratchDir Dir("empty");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  EstimatorMatrix Empty(1, 1);
+  RunLogInfo Log;
+  EXPECT_FALSE(Store.writeResults(Empty, Log, 3.0).isOk());
+}
+
+TEST(ResultsStore, ReadMeansValidatesShape) {
+  ScratchDir Dir("shape");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(writeFileAtomic(Store.meansPath(), "1.0 2.0\n").isOk());
+  EXPECT_TRUE(Store.readMeans(1, 2).isOk());
+  EXPECT_FALSE(Store.readMeans(2, 2).isOk());
+}
+
+TEST(ResultsStore, ExperimentLogAccumulates) {
+  ScratchDir Dir("explog");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  RunLogInfo First;
+  First.SequenceNumber = 1;
+  RunLogInfo Second;
+  Second.SequenceNumber = 2;
+  Second.Resumed = true;
+  ASSERT_TRUE(Store.appendExperimentLog(First).isOk());
+  ASSERT_TRUE(Store.appendExperimentLog(Second).isOk());
+  std::string Contents =
+      readFileToString(Store.experimentLogPath()).value();
+  EXPECT_NE(Contents.find("experiment 1 resumed 0"), std::string::npos);
+  EXPECT_NE(Contents.find("experiment 2 resumed 1"), std::string::npos);
+}
+
+TEST(ResultsStore, ListSubtotalFilesFindsAndSortsRanks) {
+  ScratchDir Dir("subtotals");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  MomentSnapshot Snapshot = makeSnapshot();
+  ASSERT_TRUE(Store.writeSnapshot(Store.subtotalPath(2), Snapshot).isOk());
+  ASSERT_TRUE(Store.writeSnapshot(Store.subtotalPath(0), Snapshot).isOk());
+  ASSERT_TRUE(Store.writeSnapshot(Store.subtotalPath(10), Snapshot).isOk());
+  // A stray file must be ignored.
+  ASSERT_TRUE(
+      writeFileAtomic(Store.subtotalsDir() + "/README.txt", "x").isOk());
+  auto Files = Store.listSubtotalFiles();
+  ASSERT_EQ(Files.size(), 3u);
+  EXPECT_EQ(Files[0].first, 0);
+  EXPECT_EQ(Files[1].first, 2);
+  EXPECT_EQ(Files[2].first, 10);
+}
+
+TEST(ResultsStore, ClearPreviousRunRemovesArtifacts) {
+  ScratchDir Dir("clear");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  MomentSnapshot Snapshot = makeSnapshot();
+  ASSERT_TRUE(Store.writeSnapshot(Store.checkpointPath(), Snapshot).isOk());
+  ASSERT_TRUE(Store.writeSnapshot(Store.subtotalPath(0), Snapshot).isOk());
+  ASSERT_TRUE(writeFileAtomic(Store.meansPath(), "1.0\n").isOk());
+  ASSERT_TRUE(Store.clearPreviousRun().isOk());
+  EXPECT_FALSE(fileExists(Store.checkpointPath()));
+  EXPECT_FALSE(fileExists(Store.subtotalPath(0)));
+  EXPECT_FALSE(fileExists(Store.meansPath()));
+}
+
+TEST(ManualAverage, MergesBaseAndSubtotals) {
+  ScratchDir Dir("manaver");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+
+  // Base: 2 realizations. Two ranks: 1 realization each.
+  MomentSnapshot Base;
+  Base.SequenceNumber = 3;
+  Base.ComputeSeconds = 1.0;
+  Base.Moments = EstimatorMatrix(1, 1);
+  Base.Moments.accumulate(std::vector<double>{1.0});
+  Base.Moments.accumulate(std::vector<double>{3.0});
+  ASSERT_TRUE(Store.writeSnapshot(Store.basePath(), Base).isOk());
+
+  for (int Rank = 0; Rank < 2; ++Rank) {
+    MomentSnapshot Part;
+    Part.SequenceNumber = 3;
+    Part.ComputeSeconds = 0.5;
+    Part.Moments = EstimatorMatrix(1, 1);
+    Part.Moments.accumulate(std::vector<double>{double(Rank + 4)}); // 4, 5
+    ASSERT_TRUE(Store.writeSnapshot(Store.subtotalPath(Rank), Part).isOk());
+  }
+
+  Result<MomentSnapshot> Merged = runManualAverage(Store);
+  ASSERT_TRUE(Merged.isOk()) << Merged.status().toString();
+  EXPECT_EQ(Merged.value().Moments.sampleVolume(), 4);
+  // Mean of {1, 3, 4, 5} = 3.25.
+  EXPECT_DOUBLE_EQ(Merged.value().Moments.entryStatistics(0, 0).Mean, 3.25);
+  EXPECT_DOUBLE_EQ(Merged.value().ComputeSeconds, 2.0);
+
+  // Results and a fresh checkpoint are on disk.
+  EXPECT_TRUE(fileExists(Store.meansPath()));
+  Result<MomentSnapshot> Checkpoint =
+      Store.readSnapshot(Store.checkpointPath());
+  ASSERT_TRUE(Checkpoint.isOk());
+  EXPECT_EQ(Checkpoint.value().Moments.sampleVolume(), 4);
+}
+
+TEST(ManualAverage, WorksWithoutBaseFile) {
+  ScratchDir Dir("manaver_nobase");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  MomentSnapshot Part = makeSnapshot();
+  ASSERT_TRUE(Store.writeSnapshot(Store.subtotalPath(0), Part).isOk());
+  Result<MomentSnapshot> Merged = runManualAverage(Store);
+  ASSERT_TRUE(Merged.isOk());
+  EXPECT_EQ(Merged.value().Moments.sampleVolume(), 2);
+}
+
+TEST(ManualAverage, FailsWithNothingToAverage) {
+  ScratchDir Dir("manaver_empty");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  EXPECT_FALSE(runManualAverage(Store).isOk());
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,34 @@
+//===- tests/core/UmbrellaHeaderTest.cpp - Umbrella header sanity ---------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/parmonc.h"
+
+#include "gtest/gtest.h"
+
+namespace parmonc {
+namespace {
+
+// Compiling this file is most of the test: the umbrella must be
+// self-contained and conflict-free. Touch one symbol per module so the
+// includes cannot be optimized away by a future refactor.
+TEST(UmbrellaHeader, ExposesEveryModule) {
+  EXPECT_TRUE(Status::ok().isOk());                        // support
+  EXPECT_EQ(UInt128(2) * UInt128(3), UInt128(6));          // int128
+  EXPECT_EQ(Lcg128::PeriodLog2, 126u);                     // rng
+  EXPECT_EQ(EstimatorMatrix(1, 1).sampleVolume(), 0);      // stats
+  EXPECT_GT(kolmogorovQ(0.5), 0.9);                        // statest
+  EXPECT_TRUE(VirtualClusterConfig().validate().isOk());   // mpsim
+  Lcg128 Source;
+  EXPECT_GT(sampleExponential(Source, 1.0), 0.0);          // sde
+  EXPECT_GT(TiltedUniform(1.0).theta(), 0.0);              // vr
+  EXPECT_FALSE(BigInt(7).isZero());                        // spectral
+  RunConfig Config;                                        // core
+  EXPECT_FALSE(Config.Resume);
+  EXPECT_GT(rnd128(), 0.0);                                // C API
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,430 @@
+//===- tests/int128/UInt128Test.cpp - UInt128 unit & property tests -------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/int128/UInt128.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace parmonc {
+namespace {
+
+TEST(UInt128, DefaultConstructsToZero) {
+  UInt128 Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_EQ(Zero.low(), 0u);
+  EXPECT_EQ(Zero.high(), 0u);
+}
+
+TEST(UInt128, ConstructsFromUint64) {
+  UInt128 Value(0xdeadbeefcafebabeull);
+  EXPECT_EQ(Value.low(), 0xdeadbeefcafebabeull);
+  EXPECT_EQ(Value.high(), 0u);
+}
+
+TEST(UInt128, AdditionCarriesAcrossLimbs) {
+  UInt128 AlmostCarry(0, ~0ull);
+  UInt128 Sum = AlmostCarry + UInt128(1);
+  EXPECT_EQ(Sum.high(), 1u);
+  EXPECT_EQ(Sum.low(), 0u);
+}
+
+TEST(UInt128, AdditionWrapsAtModulus) {
+  UInt128 Max = ~UInt128();
+  UInt128 Sum = Max + UInt128(1);
+  EXPECT_TRUE(Sum.isZero());
+}
+
+TEST(UInt128, SubtractionBorrowsAcrossLimbs) {
+  UInt128 Value(1, 0);
+  UInt128 Difference = Value - UInt128(1);
+  EXPECT_EQ(Difference.high(), 0u);
+  EXPECT_EQ(Difference.low(), ~0ull);
+}
+
+TEST(UInt128, SubtractionWrapsBelowZero) {
+  UInt128 Difference = UInt128(0) - UInt128(1);
+  EXPECT_EQ(Difference, ~UInt128());
+}
+
+TEST(UInt128, MulWide64MatchesKnownProduct) {
+  // 0xffffffffffffffff^2 = 0xfffffffffffffffe0000000000000001.
+  UInt128 Product = mulWide64(~0ull, ~0ull);
+  EXPECT_EQ(Product.high(), 0xfffffffffffffffeull);
+  EXPECT_EQ(Product.low(), 1u);
+}
+
+TEST(UInt128, MulWide64AgainstNativeInt128) {
+  // Cross-check the portable multiply against the compiler's __int128 on
+  // random operands. The library itself never uses __int128; the test may.
+  std::mt19937_64 Rng(42);
+  for (int Trial = 0; Trial < 1000; ++Trial) {
+    uint64_t A = Rng();
+    uint64_t B = Rng();
+    unsigned __int128 Expected = (unsigned __int128)A * B;
+    UInt128 Actual = mulWide64(A, B);
+    EXPECT_EQ(Actual.low(), uint64_t(Expected));
+    EXPECT_EQ(Actual.high(), uint64_t(Expected >> 64));
+  }
+}
+
+TEST(UInt128, MultiplyWrapsMod2To128) {
+  // (2^64)*(2^64) = 2^128 ≡ 0.
+  UInt128 TwoTo64(1, 0);
+  EXPECT_TRUE((TwoTo64 * TwoTo64).isZero());
+}
+
+TEST(UInt128, MultiplyByOneIsIdentity) {
+  UInt128 Value(0x0123456789abcdefull, 0xfedcba9876543210ull);
+  EXPECT_EQ(Value * UInt128(1), Value);
+  EXPECT_EQ(UInt128(1) * Value, Value);
+}
+
+TEST(UInt128, MultiplyIsCommutativeOnRandomOperands) {
+  std::mt19937_64 Rng(7);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    UInt128 A(Rng(), Rng());
+    UInt128 B(Rng(), Rng());
+    EXPECT_EQ(A * B, B * A);
+  }
+}
+
+TEST(UInt128, MultiplyDistributesOverAddition) {
+  std::mt19937_64 Rng(13);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    UInt128 A(Rng(), Rng());
+    UInt128 B(Rng(), Rng());
+    UInt128 C(Rng(), Rng());
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+  }
+}
+
+TEST(UInt128, MulFullHighOfSquareOfMax) {
+  // (2^128-1)^2 = 2^256 - 2^129 + 1: high = 2^128 - 2 and low = 1.
+  WideProduct128 Product = mulFull128(~UInt128(), ~UInt128());
+  EXPECT_EQ(Product.High, ~UInt128() - UInt128(1));
+  EXPECT_EQ(Product.Low, UInt128(1));
+}
+
+TEST(UInt128, MulFullLowMatchesWrappingMultiply) {
+  std::mt19937_64 Rng(99);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    UInt128 A(Rng(), Rng());
+    UInt128 B(Rng(), Rng());
+    EXPECT_EQ(mulFull128(A, B).Low, A * B);
+  }
+}
+
+TEST(UInt128, ShiftLeftAndRightAreInverseForSmallValues) {
+  UInt128 Value(0, 0x1234u);
+  for (unsigned Amount = 0; Amount < 116; ++Amount) {
+    UInt128 Shifted = Value << Amount;
+    EXPECT_EQ(Shifted >> Amount, Value) << "amount " << Amount;
+  }
+}
+
+TEST(UInt128, ShiftByWidthOrMoreYieldsZero) {
+  UInt128 Value(~0ull, ~0ull);
+  EXPECT_TRUE((Value << 128).isZero());
+  EXPECT_TRUE((Value >> 128).isZero());
+  EXPECT_TRUE((Value << 200).isZero());
+}
+
+TEST(UInt128, ShiftAcrossLimbBoundary) {
+  UInt128 Value(0, 0x8000000000000000ull);
+  UInt128 Shifted = Value << 1;
+  EXPECT_EQ(Shifted.high(), 1u);
+  EXPECT_EQ(Shifted.low(), 0u);
+  EXPECT_EQ(Shifted >> 1, Value);
+}
+
+TEST(UInt128, ComparisonOrdersByHighLimbFirst) {
+  EXPECT_LT(UInt128(0, ~0ull), UInt128(1, 0));
+  EXPECT_GT(UInt128(2, 0), UInt128(1, ~0ull));
+  EXPECT_LE(UInt128(1, 5), UInt128(1, 5));
+  EXPECT_GE(UInt128(1, 5), UInt128(1, 5));
+  EXPECT_NE(UInt128(1, 5), UInt128(1, 6));
+}
+
+TEST(UInt128, BitAccessMatchesLimbLayout) {
+  UInt128 Value(0x8000000000000001ull, 0x2ull);
+  EXPECT_FALSE(Value.bit(0));
+  EXPECT_TRUE(Value.bit(1));
+  EXPECT_TRUE(Value.bit(64));
+  EXPECT_TRUE(Value.bit(127));
+  EXPECT_FALSE(Value.bit(126));
+}
+
+TEST(UInt128, CountLeadingZeros) {
+  EXPECT_EQ(UInt128().countLeadingZeros(), 128u);
+  EXPECT_EQ(UInt128(1).countLeadingZeros(), 127u);
+  EXPECT_EQ(UInt128(1, 0).countLeadingZeros(), 63u);
+  EXPECT_EQ((~UInt128()).countLeadingZeros(), 0u);
+}
+
+TEST(UInt128, CountTrailingZeros) {
+  EXPECT_EQ(UInt128().countTrailingZeros(), 128u);
+  EXPECT_EQ(UInt128(1).countTrailingZeros(), 0u);
+  EXPECT_EQ(UInt128(1, 0).countTrailingZeros(), 64u);
+  EXPECT_EQ(UInt128::powerOfTwo(100).countTrailingZeros(), 100u);
+}
+
+TEST(UInt128, BitWidth) {
+  EXPECT_EQ(UInt128().bitWidth(), 0u);
+  EXPECT_EQ(UInt128(1).bitWidth(), 1u);
+  EXPECT_EQ(UInt128(255).bitWidth(), 8u);
+  EXPECT_EQ(UInt128::powerOfTwo(127).bitWidth(), 128u);
+}
+
+TEST(UInt128, DivModSmallValues) {
+  DivMod128 Result = divMod128(UInt128(100), UInt128(7));
+  EXPECT_EQ(Result.Quotient, UInt128(14));
+  EXPECT_EQ(Result.Remainder, UInt128(2));
+}
+
+TEST(UInt128, DivModDividendSmallerThanDivisor) {
+  DivMod128 Result = divMod128(UInt128(3), UInt128(10));
+  EXPECT_TRUE(Result.Quotient.isZero());
+  EXPECT_EQ(Result.Remainder, UInt128(3));
+}
+
+TEST(UInt128, DivModByOne) {
+  UInt128 Value(0xabcdull, 0x1234ull);
+  DivMod128 Result = divMod128(Value, UInt128(1));
+  EXPECT_EQ(Result.Quotient, Value);
+  EXPECT_TRUE(Result.Remainder.isZero());
+}
+
+TEST(UInt128, DivModReconstructsDividend) {
+  // Property: Dividend == Quotient*Divisor + Remainder, Remainder < Divisor.
+  std::mt19937_64 Rng(2024);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    UInt128 Dividend(Rng(), Rng());
+    UInt128 Divisor(Trial % 3 == 0 ? 0 : Rng(), Rng());
+    if (Divisor.isZero())
+      Divisor = UInt128(1);
+    DivMod128 Result = divMod128(Dividend, Divisor);
+    EXPECT_LT(Result.Remainder, Divisor);
+    EXPECT_EQ(Result.Quotient * Divisor + Result.Remainder, Dividend);
+  }
+}
+
+TEST(UInt128, TruncateToBitsMasksHighBits) {
+  UInt128 Value = ~UInt128();
+  EXPECT_EQ(UInt128::truncateToBits(Value, 1), UInt128(1));
+  EXPECT_EQ(UInt128::truncateToBits(Value, 40),
+            UInt128::powerOfTwo(40) - UInt128(1));
+  EXPECT_EQ(UInt128::truncateToBits(Value, 128), Value);
+  EXPECT_TRUE(UInt128::truncateToBits(Value, 0).isZero());
+}
+
+TEST(UInt128, PowModPow2KnownValues) {
+  // 5^17 mod 2^40 = 762939453125 mod 2^40 (5^17 = 762939453125 < 2^40).
+  UInt128 Result = UInt128::powModPow2(UInt128(5), UInt128(17), 40);
+  EXPECT_EQ(Result, UInt128(762939453125ull));
+  // 3^0 = 1 under any modulus.
+  EXPECT_EQ(UInt128::powModPow2(UInt128(3), UInt128(0), 128), UInt128(1));
+  // 2^128 mod 2^128 = 0.
+  EXPECT_TRUE(
+      UInt128::powModPow2(UInt128(2), UInt128(128), 128).isZero());
+}
+
+TEST(UInt128, PowModPow2MatchesRepeatedMultiplication) {
+  std::mt19937_64 Rng(5);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    UInt128 Base(Rng(), Rng() | 1);
+    uint64_t Exponent = Rng() % 200;
+    UInt128 Expected(1);
+    for (uint64_t Step = 0; Step < Exponent; ++Step)
+      Expected = Expected * Base;
+    EXPECT_EQ(UInt128::powModPow2(Base, UInt128(Exponent), 128), Expected);
+  }
+}
+
+TEST(UInt128, PowModPow2ExponentAdditionLaw) {
+  // Property: A^(m+n) == A^m * A^n (mod 2^128).
+  std::mt19937_64 Rng(77);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    UInt128 Base(Rng(), Rng() | 1);
+    UInt128 ExponentM(Rng() % 1000000);
+    UInt128 ExponentN(Rng() % 1000000);
+    UInt128 Combined =
+        UInt128::powModPow2(Base, ExponentM + ExponentN, 128);
+    UInt128 Split = UInt128::powModPow2(Base, ExponentM, 128) *
+                    UInt128::powModPow2(Base, ExponentN, 128);
+    EXPECT_EQ(Combined, Split);
+  }
+}
+
+TEST(UInt128, PowModPow2HugeExponent) {
+  // A^(2^115) under mod 2^128 must equal squaring A 115 times.
+  UInt128 Base = UInt128::powModPow2(UInt128(5), UInt128(101), 128);
+  UInt128 Expected = Base;
+  for (int Squaring = 0; Squaring < 115; ++Squaring)
+    Expected = Expected * Expected;
+  EXPECT_EQ(
+      UInt128::powModPow2(Base, UInt128::powerOfTwo(115), 128), Expected);
+}
+
+TEST(UInt128, PowerOfTwo) {
+  EXPECT_EQ(UInt128::powerOfTwo(0), UInt128(1));
+  EXPECT_EQ(UInt128::powerOfTwo(64), UInt128(1, 0));
+  EXPECT_EQ(UInt128::powerOfTwo(127), UInt128(0x8000000000000000ull, 0));
+}
+
+TEST(UInt128, ToDoubleExactBelow2To53) {
+  EXPECT_DOUBLE_EQ(UInt128(0).toDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(UInt128(1).toDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(UInt128((1ull << 53) - 1).toDouble(),
+                   9007199254740991.0);
+  EXPECT_DOUBLE_EQ(UInt128(1, 0).toDouble(), 18446744073709551616.0);
+}
+
+TEST(UInt128, DecimalRoundTrip) {
+  std::vector<UInt128> Cases = {
+      UInt128(),
+      UInt128(1),
+      UInt128(9),
+      UInt128(10),
+      UInt128(1234567890123456789ull),
+      UInt128(1, 0),
+      ~UInt128(),
+  };
+  for (UInt128 Value : Cases) {
+    Result<UInt128> Parsed =
+        UInt128::fromDecimalString(Value.toDecimalString());
+    ASSERT_TRUE(Parsed.isOk()) << Parsed.status().toString();
+    EXPECT_EQ(Parsed.value(), Value);
+  }
+}
+
+TEST(UInt128, DecimalKnownValues) {
+  EXPECT_EQ((~UInt128()).toDecimalString(),
+            "340282366920938463463374607431768211455");
+  EXPECT_EQ(UInt128(1, 0).toDecimalString(), "18446744073709551616");
+}
+
+TEST(UInt128, DecimalParseRejectsBadInput) {
+  EXPECT_FALSE(UInt128::fromDecimalString("").isOk());
+  EXPECT_FALSE(UInt128::fromDecimalString("12a").isOk());
+  EXPECT_FALSE(UInt128::fromDecimalString("-1").isOk());
+  // 2^128 exactly: one past the maximum.
+  EXPECT_FALSE(
+      UInt128::fromDecimalString("340282366920938463463374607431768211456")
+          .isOk());
+}
+
+TEST(UInt128, DecimalParseAcceptsMaximum) {
+  Result<UInt128> Parsed = UInt128::fromDecimalString(
+      "340282366920938463463374607431768211455");
+  ASSERT_TRUE(Parsed.isOk());
+  EXPECT_EQ(Parsed.value(), ~UInt128());
+}
+
+TEST(UInt128, HexRoundTrip) {
+  std::mt19937_64 Rng(31337);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    UInt128 Value(Rng(), Rng());
+    Result<UInt128> Parsed = UInt128::fromHexString(Value.toHexString());
+    ASSERT_TRUE(Parsed.isOk());
+    EXPECT_EQ(Parsed.value(), Value);
+  }
+}
+
+TEST(UInt128, HexFixedWidth) {
+  EXPECT_EQ(UInt128(0xabull).toHexString(),
+            "0x000000000000000000000000000000ab");
+  EXPECT_EQ(UInt128().toHexString(),
+            "0x00000000000000000000000000000000");
+}
+
+TEST(UInt128, HexParseRejectsBadInput) {
+  EXPECT_FALSE(UInt128::fromHexString("").isOk());
+  EXPECT_FALSE(UInt128::fromHexString("0x").isOk());
+  EXPECT_FALSE(UInt128::fromHexString("0xg").isOk());
+  // 33 hex digits overflow.
+  EXPECT_FALSE(
+      UInt128::fromHexString("0x100000000000000000000000000000000").isOk());
+}
+
+TEST(UInt128, BitwiseOperators) {
+  UInt128 A(0xff00ff00ff00ff00ull, 0x0f0f0f0f0f0f0f0full);
+  UInt128 B(0x0ff00ff00ff00ff0ull, 0xf0f0f0f0f0f0f0f0ull);
+  EXPECT_EQ((A & B).high(), 0x0f000f000f000f00ull);
+  EXPECT_EQ((A | B).low(), ~0ull);
+  EXPECT_EQ(A ^ A, UInt128());
+  EXPECT_EQ(~(~A), A);
+}
+
+TEST(UInt128, DivModAgainstNativeInt128) {
+  // Cross-check the binary long division against the compiler runtime's
+  // 128-bit division on random operands of mixed widths.
+  std::mt19937_64 Rng(777);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    const unsigned WidthChoice = unsigned(Rng() % 4);
+    UInt128 Dividend(Rng(), Rng());
+    UInt128 Divisor =
+        WidthChoice == 0   ? UInt128(Rng() % 1000 + 1)
+        : WidthChoice == 1 ? UInt128(Rng() | 1)
+        : WidthChoice == 2 ? UInt128(Rng() % 16, Rng())
+                           : UInt128(Rng(), Rng());
+    if (Divisor.isZero())
+      Divisor = UInt128(3);
+    unsigned __int128 NativeDividend =
+        ((unsigned __int128)Dividend.high() << 64) | Dividend.low();
+    unsigned __int128 NativeDivisor =
+        ((unsigned __int128)Divisor.high() << 64) | Divisor.low();
+    DivMod128 Ours = divMod128(Dividend, Divisor);
+    unsigned __int128 NativeQuotient = NativeDividend / NativeDivisor;
+    unsigned __int128 NativeRemainder = NativeDividend % NativeDivisor;
+    EXPECT_EQ(Ours.Quotient.low(), uint64_t(NativeQuotient));
+    EXPECT_EQ(Ours.Quotient.high(), uint64_t(NativeQuotient >> 64));
+    EXPECT_EQ(Ours.Remainder.low(), uint64_t(NativeRemainder));
+    EXPECT_EQ(Ours.Remainder.high(), uint64_t(NativeRemainder >> 64));
+  }
+}
+
+TEST(UInt128, WrappingMultiplyAgainstNativeInt128) {
+  std::mt19937_64 Rng(888);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    UInt128 A(Rng(), Rng());
+    UInt128 B(Rng(), Rng());
+    unsigned __int128 NativeA =
+        ((unsigned __int128)A.high() << 64) | A.low();
+    unsigned __int128 NativeB =
+        ((unsigned __int128)B.high() << 64) | B.low();
+    unsigned __int128 NativeProduct = NativeA * NativeB;
+    UInt128 Product = A * B;
+    EXPECT_EQ(Product.low(), uint64_t(NativeProduct));
+    EXPECT_EQ(Product.high(), uint64_t(NativeProduct >> 64));
+  }
+}
+
+// Parameterized decimal round-trip sweep over bit positions: 2^k, 2^k - 1,
+// 2^k + 1 for every k — exercises carries in the base-10 conversion at all
+// widths.
+class UInt128DecimalSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UInt128DecimalSweep, PowerOfTwoNeighborhoodRoundTrips) {
+  unsigned Exponent = GetParam();
+  UInt128 Power = UInt128::powerOfTwo(Exponent);
+  for (UInt128 Value :
+       {Power, Power - UInt128(1), Power + UInt128(1)}) {
+    Result<UInt128> Parsed =
+        UInt128::fromDecimalString(Value.toDecimalString());
+    ASSERT_TRUE(Parsed.isOk());
+    EXPECT_EQ(Parsed.value(), Value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitPositions, UInt128DecimalSweep,
+                         ::testing::Range(0u, 128u, 7u));
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,152 @@
+//===- tests/mpsim/CollectivesTest.cpp - Collective operation tests -------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/mpsim/Collectives.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace parmonc {
+namespace {
+
+TEST(Broadcast, DeliversRootValuesToEveryRank) {
+  std::atomic<int> Matches{0};
+  runThreadEngine(6, [&Matches](Communicator &Comm) {
+    std::vector<double> Values;
+    if (Comm.rank() == 0)
+      Values = {1.5, 2.5, 3.5};
+    broadcast(Comm, Values);
+    if (Values == std::vector<double>{1.5, 2.5, 3.5})
+      Matches.fetch_add(1);
+  });
+  EXPECT_EQ(Matches.load(), 6);
+}
+
+TEST(Broadcast, WorksFromNonZeroRoot) {
+  std::atomic<int> Matches{0};
+  runThreadEngine(4, [&Matches](Communicator &Comm) {
+    std::vector<double> Values;
+    if (Comm.rank() == 2)
+      Values = {42.0};
+    broadcast(Comm, Values, /*Root=*/2);
+    if (Values == std::vector<double>{42.0})
+      Matches.fetch_add(1);
+  });
+  EXPECT_EQ(Matches.load(), 4);
+}
+
+TEST(Broadcast, SingleRankIsANoOp) {
+  runThreadEngine(1, [](Communicator &Comm) {
+    std::vector<double> Values{7.0};
+    broadcast(Comm, Values);
+    EXPECT_EQ(Values, std::vector<double>{7.0});
+  });
+}
+
+TEST(ReduceSum, SumsElementWiseOntoRoot) {
+  std::vector<double> RootResult;
+  std::mutex ResultMutex;
+  runThreadEngine(5, [&](Communicator &Comm) {
+    // Rank r contributes (r, 10r).
+    std::vector<double> Values{double(Comm.rank()),
+                               10.0 * double(Comm.rank())};
+    reduceSum(Comm, Values);
+    if (Comm.rank() == 0) {
+      std::lock_guard<std::mutex> Lock(ResultMutex);
+      RootResult = Values;
+    }
+  });
+  ASSERT_EQ(RootResult.size(), 2u);
+  EXPECT_DOUBLE_EQ(RootResult[0], 0 + 1 + 2 + 3 + 4);
+  EXPECT_DOUBLE_EQ(RootResult[1], 10.0 * (0 + 1 + 2 + 3 + 4));
+}
+
+TEST(ReduceSum, BackToBackRoundsDoNotInterleave) {
+  // Two reductions in a row: each must see only its own round's data.
+  std::vector<double> FirstResult, SecondResult;
+  runThreadEngine(8, [&](Communicator &Comm) {
+    std::vector<double> First{1.0};
+    reduceSum(Comm, First);
+    std::vector<double> Second{100.0};
+    reduceSum(Comm, Second);
+    if (Comm.rank() == 0) {
+      FirstResult = First;
+      SecondResult = Second;
+    }
+  });
+  EXPECT_DOUBLE_EQ(FirstResult.at(0), 8.0);
+  EXPECT_DOUBLE_EQ(SecondResult.at(0), 800.0);
+}
+
+TEST(AllReduceSum, EveryRankGetsTheTotal) {
+  std::atomic<int> Matches{0};
+  runThreadEngine(6, [&Matches](Communicator &Comm) {
+    std::vector<double> Values{double(Comm.rank() + 1)};
+    allReduceSum(Comm, Values);
+    if (Values.at(0) == 21.0) // 1+2+...+6
+      Matches.fetch_add(1);
+  });
+  EXPECT_EQ(Matches.load(), 6);
+}
+
+TEST(Gather, CollectsInRankOrder) {
+  std::vector<double> Gathered;
+  runThreadEngine(5, [&Gathered](Communicator &Comm) {
+    std::vector<double> Out;
+    gather(Comm, double(Comm.rank()) * 2.0, Out);
+    if (Comm.rank() == 0)
+      Gathered = Out;
+    else
+      EXPECT_TRUE(Out.empty());
+  });
+  ASSERT_EQ(Gathered.size(), 5u);
+  for (size_t Rank = 0; Rank < 5; ++Rank)
+    EXPECT_DOUBLE_EQ(Gathered[Rank], double(Rank) * 2.0);
+}
+
+TEST(GatherVectors, HandlesVariableLengths) {
+  std::vector<std::vector<double>> Gathered;
+  runThreadEngine(4, [&Gathered](Communicator &Comm) {
+    // Rank r sends r+1 copies of r.
+    std::vector<double> Values(size_t(Comm.rank()) + 1,
+                               double(Comm.rank()));
+    std::vector<std::vector<double>> Out;
+    gatherVectors(Comm, Values, Out);
+    if (Comm.rank() == 0)
+      Gathered = Out;
+  });
+  ASSERT_EQ(Gathered.size(), 4u);
+  for (size_t Rank = 0; Rank < 4; ++Rank) {
+    ASSERT_EQ(Gathered[Rank].size(), Rank + 1);
+    for (double Value : Gathered[Rank])
+      EXPECT_DOUBLE_EQ(Value, double(Rank));
+  }
+}
+
+TEST(Collectives, ComposeWithUserTraffic) {
+  // User point-to-point messages on low tags must survive a collective
+  // passing through the same mailboxes.
+  std::atomic<int> UserMessagesSeen{0};
+  runThreadEngine(4, [&UserMessagesSeen](Communicator &Comm) {
+    if (Comm.rank() != 0)
+      Comm.send(0, /*Tag=*/5, std::vector<uint8_t>{1});
+    std::vector<double> Values{1.0};
+    allReduceSum(Comm, Values);
+    EXPECT_DOUBLE_EQ(Values.at(0), 4.0);
+    if (Comm.rank() == 0) {
+      int Seen = 0;
+      while (Comm.tryReceive(5))
+        ++Seen;
+      UserMessagesSeen.store(Seen);
+    }
+  });
+  EXPECT_EQ(UserMessagesSeen.load(), 3);
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,198 @@
+//===- tests/mpsim/CommunicatorTest.cpp - Message-passing runtime tests ---===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/mpsim/Communicator.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+namespace parmonc {
+namespace {
+
+std::vector<uint8_t> bytesOf(std::initializer_list<uint8_t> Values) {
+  return std::vector<uint8_t>(Values);
+}
+
+TEST(Mailbox, FifoWithinTag) {
+  Mailbox Box;
+  Box.push({0, 7, bytesOf({1})});
+  Box.push({0, 7, bytesOf({2})});
+  auto First = Box.tryPop(7);
+  auto Second = Box.tryPop(7);
+  ASSERT_TRUE(First && Second);
+  EXPECT_EQ(First->Payload[0], 1);
+  EXPECT_EQ(Second->Payload[0], 2);
+  EXPECT_FALSE(Box.tryPop(7).has_value());
+}
+
+TEST(Mailbox, TagFilteringSkipsOtherTags) {
+  Mailbox Box;
+  Box.push({0, 1, bytesOf({10})});
+  Box.push({0, 2, bytesOf({20})});
+  auto Tagged = Box.tryPop(2);
+  ASSERT_TRUE(Tagged);
+  EXPECT_EQ(Tagged->Payload[0], 20);
+  EXPECT_EQ(Box.pendingCount(), 1u);
+  // The tag-1 message is still there, in order.
+  auto Remaining = Box.tryPop(-1);
+  ASSERT_TRUE(Remaining);
+  EXPECT_EQ(Remaining->Tag, 1);
+}
+
+TEST(Mailbox, ContainsDoesNotConsume) {
+  Mailbox Box;
+  Box.push({3, 9, bytesOf({1})});
+  EXPECT_TRUE(Box.contains(9));
+  EXPECT_TRUE(Box.contains(-1));
+  EXPECT_FALSE(Box.contains(8));
+  EXPECT_EQ(Box.pendingCount(), 1u);
+}
+
+TEST(Mailbox, PopWaitTimesOutOnEmptyBox) {
+  Mailbox Box;
+  auto Nothing = Box.popWait(5, 5'000'000); // 5 ms
+  EXPECT_FALSE(Nothing.has_value());
+}
+
+TEST(Mailbox, PopWaitWakesOnPush) {
+  Mailbox Box;
+  std::thread Producer([&Box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Box.push({1, 4, bytesOf({42})});
+  });
+  auto Received = Box.popWait(4, 2'000'000'000);
+  Producer.join();
+  ASSERT_TRUE(Received);
+  EXPECT_EQ(Received->Payload[0], 42);
+  EXPECT_EQ(Received->Source, 1);
+}
+
+TEST(Fabric, TracksBytesTransferred) {
+  Fabric Net(2);
+  Communicator Sender(Net, 1);
+  Sender.send(0, 1, std::vector<uint8_t>(100));
+  Sender.send(0, 1, std::vector<uint8_t>(20));
+  EXPECT_EQ(Net.bytesTransferred(), 120u);
+}
+
+TEST(Communicator, SendDeliversToDestinationOnly) {
+  Fabric Net(3);
+  Communicator Rank0(Net, 0), Rank1(Net, 1), Rank2(Net, 2);
+  Rank0.send(2, 5, bytesOf({9}));
+  EXPECT_FALSE(Rank1.probe());
+  ASSERT_TRUE(Rank2.probe(5));
+  auto Received = Rank2.tryReceive(5);
+  ASSERT_TRUE(Received);
+  EXPECT_EQ(Received->Source, 0);
+  EXPECT_EQ(Received->Payload[0], 9);
+}
+
+TEST(Communicator, RankAndSize) {
+  Fabric Net(4);
+  Communicator Comm(Net, 2);
+  EXPECT_EQ(Comm.rank(), 2);
+  EXPECT_EQ(Comm.size(), 4);
+}
+
+TEST(ThreadEngine, RunsEveryRankExactlyOnce) {
+  std::atomic<int> Mask{0};
+  runThreadEngine(8, [&Mask](Communicator &Comm) {
+    Mask.fetch_or(1 << Comm.rank());
+  });
+  EXPECT_EQ(Mask.load(), 0xff);
+}
+
+TEST(ThreadEngine, GatherToRankZero) {
+  // The paper's pattern: every rank sends to 0; rank 0 sums.
+  std::atomic<int64_t> Total{0};
+  const int Ranks = 6;
+  runThreadEngine(Ranks, [&Total](Communicator &Comm) {
+    if (Comm.rank() != 0) {
+      std::vector<uint8_t> Payload{uint8_t(Comm.rank())};
+      Comm.send(0, 1, std::move(Payload));
+      return;
+    }
+    int Received = 0;
+    int64_t Sum = 0;
+    while (Received < Ranks - 1) {
+      if (auto Incoming = Comm.receiveWait(1, 1'000'000'000)) {
+        Sum += Incoming->Payload[0];
+        ++Received;
+      }
+    }
+    Total.store(Sum);
+  });
+  EXPECT_EQ(Total.load(), 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(ThreadEngine, BarrierSynchronizesPhases) {
+  // After the barrier, every rank must observe every other rank's phase-1
+  // message — a barrier that releases early would break this.
+  const int Ranks = 5;
+  std::atomic<int> Failures{0};
+  runThreadEngine(Ranks, [&Failures](Communicator &Comm) {
+    for (int Destination = 0; Destination < Comm.size(); ++Destination)
+      if (Destination != Comm.rank())
+        Comm.send(Destination, 42, std::vector<uint8_t>{1});
+    Comm.barrier();
+    int Seen = 0;
+    while (Comm.tryReceive(42))
+      ++Seen;
+    if (Seen != Comm.size() - 1)
+      Failures.fetch_add(1);
+  });
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(ThreadEngine, BarrierIsReusable) {
+  std::atomic<int> Counter{0};
+  runThreadEngine(4, [&Counter](Communicator &Comm) {
+    for (int Round = 0; Round < 10; ++Round) {
+      Counter.fetch_add(1);
+      Comm.barrier();
+    }
+  });
+  EXPECT_EQ(Counter.load(), 40);
+}
+
+TEST(ThreadEngine, SingleRankWorks) {
+  int Calls = 0;
+  runThreadEngine(1, [&Calls](Communicator &Comm) {
+    EXPECT_EQ(Comm.size(), 1);
+    Comm.barrier();
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(ThreadEngine, ManyToOneStress) {
+  // Hammer rank 0 from 7 senders x 200 messages; nothing may be lost.
+  const int Ranks = 8;
+  const int PerSender = 200;
+  std::atomic<int64_t> Received{0};
+  runThreadEngine(Ranks, [&Received](Communicator &Comm) {
+    if (Comm.rank() != 0) {
+      for (int Index = 0; Index < PerSender; ++Index)
+        Comm.send(0, 3, std::vector<uint8_t>{uint8_t(Index & 0xff)});
+      return;
+    }
+    int64_t Count = 0;
+    while (Count < int64_t(Ranks - 1) * PerSender) {
+      if (auto Incoming = Comm.receiveWait(3, 1'000'000'000))
+        ++Count;
+      else
+        break; // timeout: fail below
+    }
+    Received.store(Count);
+  });
+  EXPECT_EQ(Received.load(), int64_t(Ranks - 1) * PerSender);
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,235 @@
+//===- tests/mpsim/VirtualClusterTest.cpp - DES cluster model tests -------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/mpsim/VirtualCluster.h"
+
+#include "gtest/gtest.h"
+
+#include <numeric>
+
+namespace parmonc {
+namespace {
+
+VirtualClusterConfig paperConfig(int Processors) {
+  VirtualClusterConfig Config;
+  Config.ProcessorCount = Processors;
+  return Config; // defaults are the paper calibration
+}
+
+TEST(VirtualClusterConfig, DefaultsMatchPaperCalibration) {
+  VirtualClusterConfig Config;
+  EXPECT_DOUBLE_EQ(Config.MeanRealizationSeconds, 7.7);
+  EXPECT_DOUBLE_EQ(Config.MessageBytes, 120.0e3);
+  EXPECT_EQ(Config.RealizationsPerSend, 1);
+  EXPECT_TRUE(Config.validate().isOk());
+}
+
+TEST(VirtualClusterConfig, RejectsBadValues) {
+  VirtualClusterConfig Config;
+  Config.ProcessorCount = 0;
+  EXPECT_FALSE(Config.validate().isOk());
+  Config = VirtualClusterConfig();
+  Config.MeanRealizationSeconds = -1;
+  EXPECT_FALSE(Config.validate().isOk());
+  Config = VirtualClusterConfig();
+  Config.RealizationJitter = 0.9;
+  EXPECT_FALSE(Config.validate().isOk());
+  Config = VirtualClusterConfig();
+  Config.RealizationsPerSend = 0;
+  EXPECT_FALSE(Config.validate().isOk());
+}
+
+TEST(VirtualCluster, RejectsEmptyOrInvalidTargets) {
+  EXPECT_FALSE(runVirtualCluster(paperConfig(1), {}).isOk());
+  EXPECT_FALSE(runVirtualCluster(paperConfig(1), {0}).isOk());
+  EXPECT_FALSE(runVirtualCluster(paperConfig(1), {100, -5}).isOk());
+}
+
+TEST(VirtualCluster, SingleProcessorNoJitterIsArithmetic) {
+  VirtualClusterConfig Config = paperConfig(1);
+  Config.RealizationJitter = 0.0;
+  Result<VirtualClusterResult> Outcome = runVirtualCluster(Config, {10});
+  ASSERT_TRUE(Outcome.isOk());
+  // 10 realizations at 7.7 s, plus transfer + processing + save of the
+  // last message: the dominant term is 77 s and overhead is < 0.2 s in
+  // total; collector processing of earlier messages overlaps compute.
+  EXPECT_GT(Outcome.value().CompletionSeconds[0], 77.0);
+  EXPECT_LT(Outcome.value().CompletionSeconds[0], 77.5);
+  EXPECT_EQ(Outcome.value().MessagesProcessed, 10);
+}
+
+TEST(VirtualCluster, CompletionTimeIsMonotoneInVolume) {
+  Result<VirtualClusterResult> Outcome =
+      runVirtualCluster(paperConfig(8), {100, 400, 700, 1000});
+  ASSERT_TRUE(Outcome.isOk());
+  const auto &Times = Outcome.value().CompletionSeconds;
+  for (size_t Index = 1; Index < Times.size(); ++Index)
+    EXPECT_GT(Times[Index], Times[Index - 1]);
+}
+
+TEST(VirtualCluster, TargetOrderDoesNotMatter) {
+  Result<VirtualClusterResult> Ascending =
+      runVirtualCluster(paperConfig(8), {100, 1000});
+  Result<VirtualClusterResult> Descending =
+      runVirtualCluster(paperConfig(8), {1000, 100});
+  ASSERT_TRUE(Ascending.isOk() && Descending.isOk());
+  EXPECT_DOUBLE_EQ(Ascending.value().CompletionSeconds[0],
+                   Descending.value().CompletionSeconds[1]);
+  EXPECT_DOUBLE_EQ(Ascending.value().CompletionSeconds[1],
+                   Descending.value().CompletionSeconds[0]);
+}
+
+TEST(VirtualCluster, IsDeterministicForASeed) {
+  Result<VirtualClusterResult> First =
+      runVirtualCluster(paperConfig(32), {5000});
+  Result<VirtualClusterResult> Second =
+      runVirtualCluster(paperConfig(32), {5000});
+  ASSERT_TRUE(First.isOk() && Second.isOk());
+  EXPECT_DOUBLE_EQ(First.value().CompletionSeconds[0],
+                   Second.value().CompletionSeconds[0]);
+}
+
+TEST(VirtualCluster, SpeedupIsNearlyLinear) {
+  // The paper's headline claim (Fig. 2): Tcomp scales ~1/M even when every
+  // realization triggers an exchange. Check 1 -> 8 -> 64 at fixed L.
+  const std::vector<int64_t> Volume{2048};
+  Result<VirtualClusterResult> M1 = runVirtualCluster(paperConfig(1), Volume);
+  Result<VirtualClusterResult> M8 = runVirtualCluster(paperConfig(8), Volume);
+  Result<VirtualClusterResult> M64 =
+      runVirtualCluster(paperConfig(64), Volume);
+  ASSERT_TRUE(M1.isOk() && M8.isOk() && M64.isOk());
+  const double Speedup8 =
+      M1.value().CompletionSeconds[0] / M8.value().CompletionSeconds[0];
+  const double Speedup64 =
+      M1.value().CompletionSeconds[0] / M64.value().CompletionSeconds[0];
+  EXPECT_NEAR(Speedup8, 8.0, 0.5);
+  EXPECT_NEAR(Speedup64, 64.0, 5.0);
+}
+
+TEST(VirtualCluster, CollectorStaysUnsaturatedAtPaperScale) {
+  // 512 processors, send-per-realization: the collector must still be idle
+  // most of the time (processing 512 messages per 7.7 s at 2 ms each is
+  // ~13% duty cycle), or the paper's "neglect the exchanges" would break.
+  Result<VirtualClusterResult> Outcome =
+      runVirtualCluster(paperConfig(512), {20000});
+  ASSERT_TRUE(Outcome.isOk());
+  EXPECT_LT(Outcome.value().CollectorBusyFraction, 0.35);
+  EXPECT_LT(Outcome.value().MeanCollectorQueueDelay, 0.1);
+}
+
+TEST(VirtualCluster, PerWorkerVolumesRoughlyBalance) {
+  Result<VirtualClusterResult> Outcome =
+      runVirtualCluster(paperConfig(16), {16000});
+  ASSERT_TRUE(Outcome.isOk());
+  const auto &Volumes = Outcome.value().PerWorkerVolumes;
+  ASSERT_EQ(Volumes.size(), 16u);
+  const int64_t Total =
+      std::accumulate(Volumes.begin(), Volumes.end(), int64_t(0));
+  EXPECT_EQ(Total, 16000);
+  for (int64_t PerWorker : Volumes) {
+    EXPECT_GT(PerWorker, 900);
+    EXPECT_LT(PerWorker, 1100);
+  }
+}
+
+TEST(VirtualCluster, JitterMakesVolumesDiverge) {
+  // §2.2: "the sample volumes l_m may be different ... different
+  // performances of processors". With jitter on, the final volumes must
+  // not all be exactly equal.
+  VirtualClusterConfig Config = paperConfig(8);
+  Config.RealizationJitter = 0.2;
+  Result<VirtualClusterResult> Outcome = runVirtualCluster(Config, {4001});
+  ASSERT_TRUE(Outcome.isOk());
+  const auto &Volumes = Outcome.value().PerWorkerVolumes;
+  const bool AllEqual =
+      std::all_of(Volumes.begin(), Volumes.end(),
+                  [&](int64_t Volume) { return Volume == Volumes[0]; });
+  EXPECT_FALSE(AllEqual);
+}
+
+TEST(VirtualCluster, BatchedSendsReduceMessageCount) {
+  VirtualClusterConfig Batched = paperConfig(8);
+  Batched.RealizationsPerSend = 10;
+  Result<VirtualClusterResult> PerRealization =
+      runVirtualCluster(paperConfig(8), {4000});
+  Result<VirtualClusterResult> PerTen = runVirtualCluster(Batched, {4000});
+  ASSERT_TRUE(PerRealization.isOk() && PerTen.isOk());
+  EXPECT_EQ(PerRealization.value().MessagesProcessed, 4000);
+  EXPECT_LE(PerTen.value().MessagesProcessed, 4000 / 10 + 8);
+  // Batching must not slow completion down.
+  EXPECT_LE(PerTen.value().CompletionSeconds[0],
+            PerRealization.value().CompletionSeconds[0] * 1.02);
+}
+
+TEST(VirtualCluster, BytesAccountingMatchesMessageCount) {
+  Result<VirtualClusterResult> Outcome =
+      runVirtualCluster(paperConfig(4), {1000});
+  ASSERT_TRUE(Outcome.isOk());
+  EXPECT_DOUBLE_EQ(Outcome.value().BytesTransferred,
+                   double(Outcome.value().MessagesProcessed) * 120.0e3);
+}
+
+TEST(VirtualCluster, SlowCollectorBecomesTheBottleneck) {
+  // Ablation guard: if collector processing cost exceeded τ/M the linear
+  // speedup must break down — the model has to show that, or it could not
+  // be credited for showing the opposite.
+  VirtualClusterConfig Saturated = paperConfig(64);
+  Saturated.CollectorProcessSeconds = 1.0; // 64 msgs per 7.7 s >> capacity
+  Result<VirtualClusterResult> Slow = runVirtualCluster(Saturated, {2000});
+  Result<VirtualClusterResult> Fast =
+      runVirtualCluster(paperConfig(64), {2000});
+  ASSERT_TRUE(Slow.isOk() && Fast.isOk());
+  EXPECT_GT(Slow.value().CompletionSeconds[0],
+            Fast.value().CompletionSeconds[0] * 5.0);
+  EXPECT_GT(Slow.value().CollectorBusyFraction, 0.9);
+}
+
+TEST(VirtualCluster, SpeedFactorsValidate) {
+  VirtualClusterConfig Config = paperConfig(4);
+  Config.SpeedFactors = {1.0, 1.0}; // wrong count
+  EXPECT_FALSE(Config.validate().isOk());
+  Config.SpeedFactors = {1.0, 1.0, -1.0, 1.0};
+  EXPECT_FALSE(Config.validate().isOk());
+  Config.SpeedFactors = {1.0, 1.0, 2.0, 0.5};
+  EXPECT_TRUE(Config.validate().isOk());
+}
+
+TEST(VirtualCluster, SlowProcessorsContributeProportionallyLess) {
+  // §2.2: volumes l_m diverge with processor performance, and the
+  // asynchronous design absorbs it without load balancing. Make half the
+  // processors 2x slower: they should produce about half as much, and the
+  // cluster must still beat the homogeneous-slow configuration.
+  VirtualClusterConfig Mixed = paperConfig(8);
+  Mixed.RealizationJitter = 0.0;
+  Mixed.SpeedFactors = {1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0};
+  Result<VirtualClusterResult> Outcome = runVirtualCluster(Mixed, {6000});
+  ASSERT_TRUE(Outcome.isOk());
+  const auto &Volumes = Outcome.value().PerWorkerVolumes;
+  double FastTotal = 0.0, SlowTotal = 0.0;
+  for (int Worker = 0; Worker < 8; ++Worker)
+    (Worker < 4 ? FastTotal : SlowTotal) += double(Volumes[size_t(Worker)]);
+  EXPECT_NEAR(FastTotal / SlowTotal, 2.0, 0.05);
+
+  // Effective throughput equals the sum of speeds (4*1 + 4*0.5 = 6
+  // processor-equivalents): completion sits between all-fast (8) and
+  // all-slow (4) homogeneous clusters.
+  VirtualClusterConfig AllFast = paperConfig(8);
+  AllFast.RealizationJitter = 0.0;
+  VirtualClusterConfig AllSlow = paperConfig(4);
+  AllSlow.RealizationJitter = 0.0;
+  const double MixedTime = Outcome.value().CompletionSeconds[0];
+  const double FastTime =
+      runVirtualCluster(AllFast, {6000}).value().CompletionSeconds[0];
+  const double SlowTime =
+      runVirtualCluster(AllSlow, {6000}).value().CompletionSeconds[0];
+  EXPECT_GT(MixedTime, FastTime);
+  EXPECT_LT(MixedTime, SlowTime);
+  // Quantitatively: ~ (8/6) * FastTime.
+  EXPECT_NEAR(MixedTime, FastTime * 8.0 / 6.0, FastTime * 0.05);
+}
+
+} // namespace
+} // namespace parmonc

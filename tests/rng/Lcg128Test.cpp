@@ -1,0 +1,208 @@
+//===- tests/rng/Lcg128Test.cpp - Base generator tests --------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/rng/LcgPow2.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <set>
+
+namespace parmonc {
+namespace {
+
+TEST(Lcg128, DefaultMultiplierIs5To101) {
+  // Independently recompute 5^101 mod 2^128 by repeated multiplication.
+  UInt128 Expected(1);
+  for (int Step = 0; Step < 101; ++Step)
+    Expected = Expected * UInt128(5);
+  EXPECT_EQ(Lcg128::defaultMultiplier(), Expected);
+}
+
+TEST(Lcg128, MultiplierIsFiveMod8) {
+  // A ≡ 5 (mod 8) is what gives the maximal period 2^126.
+  EXPECT_EQ(Lcg128::defaultMultiplier().low() % 8, 5u);
+}
+
+TEST(Lcg128, FirstStateIsTheMultiplier) {
+  // u_0 = 1, so u_1 = A.
+  Lcg128 Generator;
+  EXPECT_EQ(Generator.nextRaw(), Lcg128::defaultMultiplier());
+}
+
+TEST(Lcg128, StateStaysOdd) {
+  // Odd * odd is odd: the orbit never leaves the odd residues.
+  Lcg128 Generator;
+  for (int Step = 0; Step < 1000; ++Step)
+    EXPECT_TRUE(Generator.nextRaw().bit(0)) << "step " << Step;
+}
+
+TEST(Lcg128, UniformOutputsAreInOpenUnitInterval) {
+  Lcg128 Generator;
+  for (int Step = 0; Step < 100000; ++Step) {
+    double Value = Generator.nextUniform();
+    EXPECT_GT(Value, 0.0);
+    EXPECT_LT(Value, 1.0);
+  }
+}
+
+TEST(Lcg128, UniformMeanIsNearHalf) {
+  Lcg128 Generator;
+  double Sum = 0.0;
+  const int Count = 1000000;
+  for (int Step = 0; Step < Count; ++Step)
+    Sum += Generator.nextUniform();
+  double Mean = Sum / Count;
+  // Std error of the mean is ~0.289/1000 ≈ 2.9e-4; allow 5 sigma.
+  EXPECT_NEAR(Mean, 0.5, 1.5e-3);
+}
+
+TEST(Lcg128, UniformSecondMomentIsNearOneThird) {
+  Lcg128 Generator;
+  double Sum = 0.0;
+  const int Count = 1000000;
+  for (int Step = 0; Step < Count; ++Step) {
+    double Value = Generator.nextUniform();
+    Sum += Value * Value;
+  }
+  EXPECT_NEAR(Sum / Count, 1.0 / 3.0, 2e-3);
+}
+
+TEST(Lcg128, SkipMatchesStepping) {
+  // Leap-ahead property: skip(n) must land exactly where n sequential
+  // steps land. This is the correctness anchor of the whole stream design.
+  for (uint64_t Steps : {0ull, 1ull, 2ull, 3ull, 17ull, 1000ull, 65536ull}) {
+    Lcg128 Skipped;
+    Skipped.skip(UInt128(Steps));
+    Lcg128 Stepped;
+    for (uint64_t Step = 0; Step < Steps; ++Step)
+      Stepped.nextRaw();
+    EXPECT_EQ(Skipped.state(), Stepped.state()) << "steps " << Steps;
+  }
+}
+
+TEST(Lcg128, SkipComposes) {
+  // skip(m); skip(n) == skip(m+n).
+  Lcg128 Composed;
+  Composed.skip(UInt128(123456789));
+  Composed.skip(UInt128(987654321));
+  Lcg128 Direct;
+  Direct.skip(UInt128(123456789 + 987654321ull));
+  EXPECT_EQ(Composed.state(), Direct.state());
+}
+
+TEST(Lcg128, SkipWithMultiplierMatchesSkip) {
+  UInt128 LeapMultiplier = UInt128::powModPow2(
+      Lcg128::defaultMultiplier(), UInt128(424242), 128);
+  Lcg128 ViaMultiplier;
+  ViaMultiplier.skipWithMultiplier(LeapMultiplier);
+  Lcg128 ViaSkip;
+  ViaSkip.skip(UInt128(424242));
+  EXPECT_EQ(ViaMultiplier.state(), ViaSkip.state());
+}
+
+TEST(Lcg128, HugeSkipIsConsistentWithSquaring) {
+  // skip(2^100) twice == skip(2^101).
+  Lcg128 Twice;
+  Twice.skip(UInt128::powerOfTwo(100));
+  Twice.skip(UInt128::powerOfTwo(100));
+  Lcg128 Once;
+  Once.skip(UInt128::powerOfTwo(101));
+  EXPECT_EQ(Twice.state(), Once.state());
+}
+
+TEST(Lcg128, NoShortCycleInPrefix) {
+  // The first million states must be distinct (period is 2^126).
+  Lcg128 Generator;
+  std::set<std::pair<uint64_t, uint64_t>> Seen;
+  for (int Step = 0; Step < 1000000; ++Step) {
+    UInt128 State = Generator.nextRaw();
+    ASSERT_TRUE(Seen.emplace(State.high(), State.low()).second)
+        << "cycle detected at step " << Step;
+  }
+}
+
+TEST(Lcg128, SetStateRestoresSequence) {
+  Lcg128 Generator;
+  for (int Step = 0; Step < 10; ++Step)
+    Generator.nextRaw();
+  UInt128 Saved = Generator.state();
+  double Expected = Generator.nextUniform();
+  Generator.setState(Saved);
+  EXPECT_DOUBLE_EQ(Generator.nextUniform(), Expected);
+}
+
+TEST(Lcg128, PeriodConstantsMatchPaper) {
+  EXPECT_EQ(Lcg128::PeriodLog2, 126u);
+  EXPECT_EQ(Lcg128::UsableLog2, 125u);
+}
+
+TEST(LcgPow2, Classic40HasPaperParameters) {
+  LcgPow2 Generator = LcgPow2::makeClassic40();
+  EXPECT_EQ(Generator.modulusBits(), 40u);
+  EXPECT_EQ(Generator.multiplier(), UInt128(762939453125ull)); // 5^17
+  EXPECT_EQ(Generator.periodLog2(), 38u);
+}
+
+TEST(LcgPow2, Classic40StaysBelowModulus) {
+  LcgPow2 Generator = LcgPow2::makeClassic40();
+  const UInt128 Modulus = UInt128::powerOfTwo(40);
+  for (int Step = 0; Step < 10000; ++Step)
+    EXPECT_LT(Generator.nextRaw(), Modulus);
+}
+
+TEST(LcgPow2, At128BitsMatchesLcg128) {
+  LcgPow2 Wide(128, Lcg128::defaultMultiplier());
+  Lcg128 Reference;
+  for (int Step = 0; Step < 1000; ++Step)
+    ASSERT_EQ(Wide.nextRaw(), Reference.nextRaw()) << "step " << Step;
+}
+
+TEST(LcgPow2, SkipMatchesSteppingAtNarrowModulus) {
+  LcgPow2 Skipped = LcgPow2::makeClassic40();
+  Skipped.skip(UInt128(12345));
+  LcgPow2 Stepped = LcgPow2::makeClassic40();
+  for (int Step = 0; Step < 12345; ++Step)
+    Stepped.nextRaw();
+  EXPECT_EQ(Skipped.state(), Stepped.state());
+}
+
+TEST(LcgPow2, UniformOutputsAreInOpenUnitInterval) {
+  LcgPow2 Generator = LcgPow2::makeClassic40();
+  for (int Step = 0; Step < 100000; ++Step) {
+    double Value = Generator.nextUniform();
+    EXPECT_GT(Value, 0.0);
+    EXPECT_LT(Value, 1.0);
+  }
+}
+
+TEST(LcgPow2, Classic40PeriodOfLowBitsIsShort) {
+  // In a 2^r-modulus LCG, bit b of the state has period dividing 2^(b+1)
+  // beyond the two fixed low bits. Demonstrate the well-known defect: the
+  // third-lowest state bit (index 2) cycles with period 2.
+  LcgPow2 Generator = LcgPow2::makeClassic40();
+  bool First = Generator.nextRaw().bit(2);
+  bool Second = Generator.nextRaw().bit(2);
+  bool Third = Generator.nextRaw().bit(2);
+  bool Fourth = Generator.nextRaw().bit(2);
+  EXPECT_EQ(First, Third);
+  EXPECT_EQ(Second, Fourth);
+}
+
+TEST(BitsToUnitOpen, MapsExtremesInsideInterval) {
+  EXPECT_GT(bitsToUnitOpen(0), 0.0);
+  EXPECT_LT(bitsToUnitOpen(~0ull), 1.0);
+  EXPECT_NEAR(bitsToUnitOpen(1ull << 63), 0.5, 1e-15);
+}
+
+TEST(BitsToUnitOpen, IsMonotoneInTheTopBits) {
+  EXPECT_LT(bitsToUnitOpen(0x1000000000000000ull),
+            bitsToUnitOpen(0x2000000000000000ull));
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,100 @@
+//===- tests/rng/LcgPow2SweepTest.cpp - Generic-modulus property sweep ----===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property sweep of the LcgPow2 family over modulus widths: the leap
+// identity, state confinement, output range and period structure must
+// hold at every r, not just the paper's 40 and 128.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/LcgPow2.h"
+
+#include "gtest/gtest.h"
+
+namespace parmonc {
+namespace {
+
+/// A maximal-period multiplier for each width: 5^k with odd k, reduced.
+UInt128 multiplierFor(unsigned Bits) {
+  // 5^(Bits/2 | 1): an odd exponent keeps A ≡ 5 (mod 8) at every width.
+  return UInt128::powModPow2(UInt128(5), UInt128((Bits / 2) | 1), Bits);
+}
+
+class LcgPow2Sweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LcgPow2Sweep, StateStaysWithinModulus) {
+  const unsigned Bits = GetParam();
+  LcgPow2 Generator(Bits, multiplierFor(Bits));
+  const UInt128 Modulus = Bits == 128 ? UInt128() : UInt128::powerOfTwo(Bits);
+  for (int Step = 0; Step < 5000; ++Step) {
+    const UInt128 State = Generator.nextRaw();
+    if (Bits < 128) {
+      ASSERT_LT(State, Modulus) << "width " << Bits;
+    }
+    ASSERT_TRUE(State.bit(0)) << "state must stay odd";
+  }
+}
+
+TEST_P(LcgPow2Sweep, SkipMatchesStepping) {
+  const unsigned Bits = GetParam();
+  LcgPow2 Skipped(Bits, multiplierFor(Bits));
+  Skipped.skip(UInt128(777));
+  LcgPow2 Stepped(Bits, multiplierFor(Bits));
+  for (int Step = 0; Step < 777; ++Step)
+    Stepped.nextRaw();
+  EXPECT_EQ(Skipped.state(), Stepped.state()) << "width " << Bits;
+}
+
+TEST_P(LcgPow2Sweep, FullPeriodLeapIsIdentity) {
+  const unsigned Bits = GetParam();
+  LcgPow2 Generator(Bits, multiplierFor(Bits));
+  const UInt128 Start = Generator.state();
+  Generator.skip(UInt128::powerOfTwo(Generator.periodLog2()));
+  EXPECT_EQ(Generator.state(), Start)
+      << "period 2^" << Generator.periodLog2() << " must wrap";
+}
+
+TEST_P(LcgPow2Sweep, HalfPeriodLeapIsNotIdentity) {
+  const unsigned Bits = GetParam();
+  LcgPow2 Generator(Bits, multiplierFor(Bits));
+  const UInt128 Start = Generator.state();
+  Generator.skip(UInt128::powerOfTwo(Generator.periodLog2() - 1));
+  EXPECT_NE(Generator.state(), Start)
+      << "half the period must not wrap (maximality)";
+}
+
+TEST_P(LcgPow2Sweep, UniformOutputsInOpenInterval) {
+  const unsigned Bits = GetParam();
+  LcgPow2 Generator(Bits, multiplierFor(Bits));
+  double Sum = 0.0;
+  const int Count = 20000;
+  for (int Step = 0; Step < Count; ++Step) {
+    const double Value = Generator.nextUniform();
+    ASSERT_GT(Value, 0.0);
+    ASSERT_LT(Value, 1.0);
+    Sum += Value;
+  }
+  // Coarse mean check; small widths have few distinct values but the
+  // mean is still ~1/2.
+  EXPECT_NEAR(Sum / Count, 0.5, 0.05) << "width " << Bits;
+}
+
+TEST_P(LcgPow2Sweep, SkipComposesAdditively) {
+  const unsigned Bits = GetParam();
+  LcgPow2 Composed(Bits, multiplierFor(Bits));
+  Composed.skip(UInt128(12345));
+  Composed.skip(UInt128(67890));
+  LcgPow2 Direct(Bits, multiplierFor(Bits));
+  Direct.skip(UInt128(12345 + 67890));
+  EXPECT_EQ(Composed.state(), Direct.state()) << "width " << Bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(ModulusWidths, LcgPow2Sweep,
+                         ::testing::Values(8u, 16u, 24u, 32u, 40u, 48u,
+                                           64u, 80u, 96u, 112u, 128u));
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,105 @@
+//===- tests/rng/StdAdapterTest.cpp - <random> interop tests --------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/StdAdapter.h"
+
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/stats/RunningStat.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace parmonc {
+namespace {
+
+TEST(StdBitGenerator, SatisfiesUrbgRequirements) {
+  static_assert(StdBitGenerator::min() == 0);
+  static_assert(StdBitGenerator::max() == ~0ull);
+  Lcg128 Source;
+  StdBitGenerator Generator(Source);
+  // Values come from the wrapped source.
+  Lcg128 Reference;
+  EXPECT_EQ(Generator(), Reference.nextBits64());
+  EXPECT_EQ(Generator(), Reference.nextBits64());
+}
+
+TEST(StdBitGenerator, DrivesStdNormalDistribution) {
+  Lcg128 Source;
+  StdBitGenerator Generator(Source);
+  std::normal_distribution<double> Normal(5.0, 2.0);
+  RunningStat Stats;
+  for (int Draw = 0; Draw < 200000; ++Draw)
+    Stats.add(Normal(Generator));
+  EXPECT_NEAR(Stats.mean(), 5.0, 0.03);
+  EXPECT_NEAR(Stats.stdDev(), 2.0, 0.03);
+}
+
+TEST(StdBitGenerator, DrivesStdShuffle) {
+  Lcg128 Source;
+  StdBitGenerator Generator(Source);
+  std::vector<int> Values(100);
+  std::iota(Values.begin(), Values.end(), 0);
+  std::vector<int> Original = Values;
+  std::shuffle(Values.begin(), Values.end(), Generator);
+  EXPECT_NE(Values, Original); // astronomically unlikely to be identity
+  std::sort(Values.begin(), Values.end());
+  EXPECT_EQ(Values, Original); // it is a permutation
+}
+
+TEST(StdBitGenerator, DrivesStdUniformInt) {
+  Lcg128 Source;
+  StdBitGenerator Generator(Source);
+  std::uniform_int_distribution<int> Die(1, 6);
+  std::vector<int64_t> Counts(7, 0);
+  const int Draws = 600000;
+  for (int Draw = 0; Draw < Draws; ++Draw)
+    ++Counts[size_t(Die(Generator))];
+  for (int Face = 1; Face <= 6; ++Face)
+    EXPECT_NEAR(double(Counts[size_t(Face)]) / Draws, 1.0 / 6.0, 0.005)
+        << "face " << Face;
+}
+
+TEST(UrbgSource, WrapsMersenneTwister) {
+  UrbgSource<std::mt19937_64> Source(std::mt19937_64(42));
+  RunningStat Stats;
+  for (int Draw = 0; Draw < 200000; ++Draw) {
+    const double Value = Source.nextUniform();
+    ASSERT_GT(Value, 0.0);
+    ASSERT_LT(Value, 1.0);
+    Stats.add(Value);
+  }
+  EXPECT_NEAR(Stats.mean(), 0.5, 0.005);
+  EXPECT_STREQ(Source.name(), "std-urbg");
+}
+
+TEST(UrbgSource, MatchesUnderlyingGeneratorBits) {
+  std::mt19937_64 Reference(7);
+  UrbgSource<std::mt19937_64> Source(std::mt19937_64(7));
+  for (int Draw = 0; Draw < 100; ++Draw)
+    EXPECT_EQ(Source.nextBits64(), Reference());
+}
+
+TEST(FillUniforms, FillsExactlyAndInOrder) {
+  Lcg128 Bulk, Reference;
+  std::vector<double> Values(1000, -1.0);
+  fillUniforms(Bulk, Values.data(), Values.size());
+  for (double Value : Values) {
+    EXPECT_DOUBLE_EQ(Value, Reference.nextUniform());
+  }
+}
+
+TEST(FillUniforms, ZeroCountIsANoOp) {
+  Lcg128 Source;
+  const UInt128 Before = Source.state();
+  fillUniforms(Source, nullptr, 0);
+  EXPECT_EQ(Source.state(), Before);
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,283 @@
+//===- tests/rng/StreamHierarchyTest.cpp - Stream partition tests ---------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/StreamHierarchy.h"
+
+#include "parmonc/support/Text.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <set>
+#include <vector>
+
+namespace parmonc {
+namespace {
+
+TEST(LeapConfig, DefaultsMatchPaper) {
+  LeapConfig Config;
+  EXPECT_EQ(Config.ExperimentLog2, 115u);
+  EXPECT_EQ(Config.ProcessorLog2, 98u);
+  EXPECT_EQ(Config.RealizationLog2, 43u);
+  EXPECT_TRUE(Config.validate().isOk());
+}
+
+TEST(LeapConfig, CapacitiesMatchPaper) {
+  // §2.4: ~2^10 experiments, 2^17 processors each, 2^55 realizations each.
+  LeapConfig Config;
+  EXPECT_EQ(Config.maxExperimentsLog2(), 10u);
+  EXPECT_EQ(Config.maxProcessorsLog2(), 17u);
+  EXPECT_EQ(Config.maxRealizationsLog2(), 55u);
+}
+
+TEST(LeapConfig, RejectsUnorderedLeaps) {
+  LeapConfig Equal;
+  Equal.ExperimentLog2 = 50;
+  Equal.ProcessorLog2 = 50;
+  Equal.RealizationLog2 = 10;
+  EXPECT_FALSE(Equal.validate().isOk());
+
+  LeapConfig Inverted;
+  Inverted.ExperimentLog2 = 50;
+  Inverted.ProcessorLog2 = 60;
+  Inverted.RealizationLog2 = 10;
+  EXPECT_FALSE(Inverted.validate().isOk());
+}
+
+TEST(LeapConfig, RejectsLeapBeyondUsablePeriod) {
+  LeapConfig TooBig;
+  TooBig.ExperimentLog2 = 126;
+  EXPECT_FALSE(TooBig.validate().isOk());
+}
+
+TEST(LeapTable, MultipliersArePowersOfBase) {
+  LeapTable Table;
+  UInt128 Base = Lcg128::defaultMultiplier();
+  EXPECT_EQ(Table.experimentLeap(),
+            UInt128::powModPow2(Base, UInt128::powerOfTwo(115), 128));
+  EXPECT_EQ(Table.processorLeap(),
+            UInt128::powModPow2(Base, UInt128::powerOfTwo(98), 128));
+  EXPECT_EQ(Table.realizationLeap(),
+            UInt128::powModPow2(Base, UInt128::powerOfTwo(43), 128));
+}
+
+TEST(LeapTable, LeapAlgebraIsConsistent) {
+  // A(n_p)^(2^(ne-np)) == A(n_e): processor leaps tile an experiment leap.
+  LeapTable Table;
+  LeapConfig Config = Table.config();
+  UInt128 Tiled = UInt128::powModPow2(
+      Table.processorLeap(),
+      UInt128::powerOfTwo(Config.ExperimentLog2 - Config.ProcessorLog2), 128);
+  EXPECT_EQ(Tiled, Table.experimentLeap());
+
+  UInt128 TiledRealizations = UInt128::powModPow2(
+      Table.realizationLeap(),
+      UInt128::powerOfTwo(Config.ProcessorLog2 - Config.RealizationLog2),
+      128);
+  EXPECT_EQ(TiledRealizations, Table.processorLeap());
+}
+
+TEST(LeapTable, FileRoundTrip) {
+  LeapTable Table;
+  Result<LeapTable> Parsed = LeapTable::fromFileContents(
+      Table.toFileContents());
+  ASSERT_TRUE(Parsed.isOk()) << Parsed.status().toString();
+  EXPECT_EQ(Parsed.value().experimentLeap(), Table.experimentLeap());
+  EXPECT_EQ(Parsed.value().processorLeap(), Table.processorLeap());
+  EXPECT_EQ(Parsed.value().realizationLeap(), Table.realizationLeap());
+  EXPECT_EQ(Parsed.value().baseMultiplier(), Table.baseMultiplier());
+}
+
+TEST(LeapTable, FileRoundTripWithCustomExponents) {
+  LeapConfig Config;
+  Config.ExperimentLog2 = 60;
+  Config.ProcessorLog2 = 40;
+  Config.RealizationLog2 = 20;
+  LeapTable Table(Lcg128::defaultMultiplier(), Config);
+  Result<LeapTable> Parsed =
+      LeapTable::fromFileContents(Table.toFileContents());
+  ASSERT_TRUE(Parsed.isOk());
+  EXPECT_EQ(Parsed.value().config().ExperimentLog2, 60u);
+  EXPECT_EQ(Parsed.value().realizationLeap(), Table.realizationLeap());
+}
+
+TEST(LeapTable, ParseRejectsMissingEntries) {
+  EXPECT_FALSE(LeapTable::fromFileContents("ne 115 0x1\n").isOk());
+  EXPECT_FALSE(LeapTable::fromFileContents("").isOk());
+}
+
+TEST(LeapTable, ParseRejectsCorruptedMultiplier) {
+  // Base not ≡ 5 mod 8.
+  std::string Bad = "base 0x00000000000000000000000000000001\n"
+                    "ne 115 0x1\nnp 98 0x1\nnr 43 0x1\n";
+  EXPECT_FALSE(LeapTable::fromFileContents(Bad).isOk());
+}
+
+TEST(LeapTable, ParseRejectsUnknownDirective) {
+  LeapTable Table;
+  std::string Contents = Table.toFileContents() + "bogus 1 2\n";
+  EXPECT_FALSE(LeapTable::fromFileContents(Contents).isOk());
+}
+
+TEST(LeapTable, ParseIgnoresCommentsAndBlankLines) {
+  LeapTable Table;
+  std::string Contents =
+      "# comment\n\n" + Table.toFileContents() + "\n# trailing\n";
+  EXPECT_TRUE(LeapTable::fromFileContents(Contents).isOk());
+}
+
+TEST(LeapTable, LoadOrDefaultReturnsDefaultWhenMissing) {
+  Result<LeapTable> Loaded =
+      LeapTable::loadOrDefault("/nonexistent/parmonc_genparam.dat");
+  ASSERT_TRUE(Loaded.isOk());
+  EXPECT_EQ(Loaded.value().experimentLeap(), LeapTable().experimentLeap());
+}
+
+TEST(LeapTable, LoadOrDefaultReadsExistingFile) {
+  LeapConfig Config;
+  Config.ExperimentLog2 = 80;
+  Config.ProcessorLog2 = 50;
+  Config.RealizationLog2 = 30;
+  LeapTable Table(Lcg128::defaultMultiplier(), Config);
+  std::string Path =
+      (std::filesystem::temp_directory_path() / "parmonc_genparam_test.dat")
+          .string();
+  ASSERT_TRUE(writeFileAtomic(Path, Table.toFileContents()).isOk());
+  Result<LeapTable> Loaded = LeapTable::loadOrDefault(Path);
+  ASSERT_TRUE(Loaded.isOk());
+  EXPECT_EQ(Loaded.value().config().ProcessorLog2, 50u);
+  std::filesystem::remove(Path);
+}
+
+// The central independence guarantee: the initial number of stream
+// (e, p, k) must equal the state of the base generator after exactly
+// e*n_e + p*n_p + k*n_r steps. Verified with a small custom hierarchy so
+// stepping is feasible.
+TEST(StreamHierarchy, InitialNumbersSitAtExactSequencePositions) {
+  LeapConfig Config;
+  Config.ExperimentLog2 = 12; // n_e = 4096
+  Config.ProcessorLog2 = 8;   // n_p = 256
+  Config.RealizationLog2 = 4; // n_r = 16
+  StreamHierarchy Hierarchy(
+      LeapTable(Lcg128::defaultMultiplier(), Config));
+
+  struct Case {
+    uint64_t Experiment, Processor, Realization;
+  };
+  for (Case Where : std::vector<Case>{{0, 0, 0},
+                                      {0, 0, 1},
+                                      {0, 1, 0},
+                                      {1, 0, 0},
+                                      {1, 2, 3},
+                                      {3, 7, 15}}) {
+    uint64_t Position = Where.Experiment * 4096 + Where.Processor * 256 +
+                        Where.Realization * 16;
+    Lcg128 Reference;
+    for (uint64_t Step = 0; Step < Position; ++Step)
+      Reference.nextRaw();
+    UInt128 Initial = Hierarchy.initialNumber(
+        {Where.Experiment, Where.Processor, Where.Realization});
+    EXPECT_EQ(Initial, Reference.state())
+        << "(" << Where.Experiment << "," << Where.Processor << ","
+        << Where.Realization << ")";
+  }
+}
+
+TEST(StreamHierarchy, StreamsWithinProcessorDoNotOverlap) {
+  // With n_r = 16, realization k owns positions [16k, 16k+16). Drawing 16
+  // numbers from consecutive realization streams must reproduce the base
+  // sequence with no gaps or overlaps.
+  LeapConfig Config;
+  Config.ExperimentLog2 = 12;
+  Config.ProcessorLog2 = 8;
+  Config.RealizationLog2 = 4;
+  StreamHierarchy Hierarchy(
+      LeapTable(Lcg128::defaultMultiplier(), Config));
+
+  Lcg128 Reference;
+  RealizationCursor Cursor(Hierarchy, {0, 0, 0});
+  for (int Realization = 0; Realization < 16; ++Realization) {
+    Lcg128 Stream = Cursor.beginRealization();
+    for (int Draw = 0; Draw < 16; ++Draw)
+      ASSERT_EQ(Stream.nextRaw(), Reference.nextRaw())
+          << "realization " << Realization << " draw " << Draw;
+  }
+}
+
+TEST(StreamHierarchy, DistinctCoordinatesGiveDistinctInitialNumbers) {
+  StreamHierarchy Hierarchy{LeapTable()};
+  std::set<std::pair<uint64_t, uint64_t>> Seen;
+  for (uint64_t Experiment = 0; Experiment < 4; ++Experiment) {
+    for (uint64_t Processor = 0; Processor < 8; ++Processor) {
+      for (uint64_t Realization = 0; Realization < 8; ++Realization) {
+        UInt128 Initial =
+            Hierarchy.initialNumber({Experiment, Processor, Realization});
+        EXPECT_TRUE(Seen.emplace(Initial.high(), Initial.low()).second)
+            << "collision at (" << Experiment << "," << Processor << ","
+            << Realization << ")";
+      }
+    }
+  }
+}
+
+TEST(StreamHierarchy, MakeStreamStartsAtInitialNumber) {
+  StreamHierarchy Hierarchy{LeapTable()};
+  StreamCoordinates Where{2, 5, 9};
+  Lcg128 Stream = Hierarchy.makeStream(Where);
+  EXPECT_EQ(Stream.state(), Hierarchy.initialNumber(Where));
+}
+
+TEST(RealizationCursor, BeginAdvancesByOneRealizationLeap) {
+  StreamHierarchy Hierarchy{LeapTable()};
+  RealizationCursor Cursor(Hierarchy, {0, 3, 0});
+  EXPECT_EQ(Cursor.nextRealizationIndex(), 0u);
+  Lcg128 First = Cursor.beginRealization();
+  Lcg128 Second = Cursor.beginRealization();
+  EXPECT_EQ(Cursor.nextRealizationIndex(), 2u);
+  EXPECT_EQ(First.state(), Hierarchy.initialNumber({0, 3, 0}));
+  EXPECT_EQ(Second.state(), Hierarchy.initialNumber({0, 3, 1}));
+}
+
+TEST(RealizationCursor, ConsumptionDoesNotAffectNextRealization) {
+  // Drawing a varying number of values inside realization k must not move
+  // the start of realization k+1 — the engine's independence guarantee.
+  StreamHierarchy Hierarchy{LeapTable()};
+  RealizationCursor Consuming(Hierarchy, {0, 0, 0});
+  Lcg128 Stream = Consuming.beginRealization();
+  for (int Draw = 0; Draw < 12345; ++Draw)
+    Stream.nextUniform();
+  Lcg128 AfterConsuming = Consuming.beginRealization();
+
+  RealizationCursor Fresh(Hierarchy, {0, 0, 0});
+  Fresh.beginRealization(); // untouched
+  Lcg128 AfterFresh = Fresh.beginRealization();
+
+  EXPECT_EQ(AfterConsuming.state(), AfterFresh.state());
+}
+
+TEST(RealizationCursor, SkipRealizationsMatchesRepeatedBegin) {
+  StreamHierarchy Hierarchy{LeapTable()};
+  RealizationCursor Skipping(Hierarchy, {1, 2, 0});
+  Skipping.skipRealizations(1000);
+  EXPECT_EQ(Skipping.nextRealizationIndex(), 1000u);
+
+  RealizationCursor Stepping(Hierarchy, {1, 2, 0});
+  for (int Step = 0; Step < 1000; ++Step)
+    Stepping.beginRealization();
+
+  EXPECT_EQ(Skipping.beginRealization().state(),
+            Stepping.beginRealization().state());
+}
+
+TEST(RealizationCursor, MatchesDirectCoordinateConstruction) {
+  StreamHierarchy Hierarchy{LeapTable()};
+  RealizationCursor Cursor(Hierarchy, {0, 0, 500});
+  EXPECT_EQ(Cursor.beginRealization().state(),
+            Hierarchy.initialNumber({0, 0, 500}));
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,216 @@
+//===- tests/sde/DistributionsTest.cpp - Sampler tests --------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/sde/Distributions.h"
+
+#include "parmonc/rng/Baselines.h"
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/stats/RunningStat.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+namespace parmonc {
+namespace {
+
+TEST(SampleUniform, StaysInRange) {
+  Lcg128 Source;
+  for (int Draw = 0; Draw < 10000; ++Draw) {
+    double Value = sampleUniform(Source, -3.0, 7.0);
+    EXPECT_GE(Value, -3.0);
+    EXPECT_LT(Value, 7.0);
+  }
+}
+
+TEST(SampleUniform, MatchesMomentsOfRange) {
+  Lcg128 Source;
+  RunningStat Stats;
+  for (int Draw = 0; Draw < 200000; ++Draw)
+    Stats.add(sampleUniform(Source, 2.0, 6.0));
+  EXPECT_NEAR(Stats.mean(), 4.0, 0.02);
+  // Var of U(2,6) = 16/12.
+  EXPECT_NEAR(Stats.variance(), 16.0 / 12.0, 0.03);
+}
+
+TEST(SampleStandardNormal, MomentsMatch) {
+  Lcg128 Source;
+  RunningStat Stats;
+  for (int Draw = 0; Draw < 400000; ++Draw)
+    Stats.add(sampleStandardNormal(Source));
+  EXPECT_NEAR(Stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(Stats.variance(), 1.0, 0.02);
+}
+
+TEST(SampleStandardNormal, TailProbabilitiesMatch) {
+  Lcg128 Source;
+  const int Count = 400000;
+  int Beyond1 = 0, Beyond2 = 0, Beyond3 = 0;
+  for (int Draw = 0; Draw < Count; ++Draw) {
+    double Value = std::fabs(sampleStandardNormal(Source));
+    Beyond1 += Value > 1.0;
+    Beyond2 += Value > 2.0;
+    Beyond3 += Value > 3.0;
+  }
+  EXPECT_NEAR(double(Beyond1) / Count, 0.3173, 0.01);
+  EXPECT_NEAR(double(Beyond2) / Count, 0.0455, 0.004);
+  EXPECT_NEAR(double(Beyond3) / Count, 0.0027, 0.001);
+}
+
+TEST(SampleStandardNormalPair, ComponentsAreUncorrelated) {
+  Lcg128 Source;
+  RunningStat Product;
+  for (int Draw = 0; Draw < 200000; ++Draw) {
+    NormalPair Pair = sampleStandardNormalPair(Source);
+    Product.add(Pair.First * Pair.Second);
+  }
+  // E[XY] = 0 for independent standard normals.
+  EXPECT_NEAR(Product.mean(), 0.0, 0.02);
+}
+
+TEST(SampleNormal, ScalesAndShifts) {
+  Lcg128 Source;
+  RunningStat Stats;
+  for (int Draw = 0; Draw < 200000; ++Draw)
+    Stats.add(sampleNormal(Source, 10.0, 0.5));
+  EXPECT_NEAR(Stats.mean(), 10.0, 0.01);
+  EXPECT_NEAR(Stats.stdDev(), 0.5, 0.01);
+}
+
+TEST(SampleExponential, MomentsMatch) {
+  Lcg128 Source;
+  RunningStat Stats;
+  const double Rate = 2.5;
+  for (int Draw = 0; Draw < 300000; ++Draw)
+    Stats.add(sampleExponential(Source, Rate));
+  EXPECT_NEAR(Stats.mean(), 1.0 / Rate, 0.005);
+  EXPECT_NEAR(Stats.variance(), 1.0 / (Rate * Rate), 0.01);
+  EXPECT_GT(Stats.min(), 0.0);
+}
+
+TEST(SampleExponential, MemorylessTail) {
+  // P(X > 1/rate) = e^-1.
+  Lcg128 Source;
+  const double Rate = 1.7;
+  const int Count = 300000;
+  int Beyond = 0;
+  for (int Draw = 0; Draw < Count; ++Draw)
+    Beyond += sampleExponential(Source, Rate) > 1.0 / Rate;
+  EXPECT_NEAR(double(Beyond) / Count, std::exp(-1.0), 0.01);
+}
+
+TEST(SampleBernoulli, FrequencyMatches) {
+  Lcg128 Source;
+  const int Count = 300000;
+  int Successes = 0;
+  for (int Draw = 0; Draw < Count; ++Draw)
+    Successes += sampleBernoulli(Source, 0.3);
+  EXPECT_NEAR(double(Successes) / Count, 0.3, 0.01);
+}
+
+TEST(SampleBernoulli, DegenerateProbabilities) {
+  Lcg128 Source;
+  for (int Draw = 0; Draw < 1000; ++Draw) {
+    EXPECT_FALSE(sampleBernoulli(Source, 0.0));
+    EXPECT_TRUE(sampleBernoulli(Source, 1.0));
+  }
+}
+
+// Poisson must hold for both the Knuth branch (mean < 30) and the
+// rejection branch (mean >= 30).
+class PoissonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonSweep, MeanAndVarianceMatch) {
+  const double Mean = GetParam();
+  Lcg128 Source;
+  RunningStat Stats;
+  const int Count = Mean < 30 ? 200000 : 60000;
+  for (int Draw = 0; Draw < Count; ++Draw)
+    Stats.add(double(samplePoisson(Source, Mean)));
+  EXPECT_NEAR(Stats.mean(), Mean, 5.0 * std::sqrt(Mean / Count));
+  EXPECT_NEAR(Stats.variance(), Mean, 0.08 * Mean + 0.05);
+  EXPECT_GE(Stats.min(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonSweep,
+                         ::testing::Values(0.3, 1.0, 4.0, 12.0, 29.0, 30.0,
+                                           45.0, 150.0, 1000.0));
+
+TEST(SampleGeometric, MatchesDistribution) {
+  Lcg128 Source;
+  const double Probability = 0.25;
+  RunningStat Stats;
+  int64_t Zeros = 0;
+  const int Count = 300000;
+  for (int Draw = 0; Draw < Count; ++Draw) {
+    int64_t Value = sampleGeometric(Source, Probability);
+    Stats.add(double(Value));
+    Zeros += Value == 0;
+  }
+  // E = (1-p)/p = 3; P(X=0) = p.
+  EXPECT_NEAR(Stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(double(Zeros) / Count, Probability, 0.005);
+}
+
+TEST(SampleGeometric, CertainSuccessIsZero) {
+  Lcg128 Source;
+  for (int Draw = 0; Draw < 100; ++Draw)
+    EXPECT_EQ(sampleGeometric(Source, 1.0), 0);
+}
+
+TEST(AliasTable, SingleOutcomeAlwaysWins) {
+  AliasTable Table(std::vector<double>{5.0});
+  Lcg128 Source;
+  for (int Draw = 0; Draw < 100; ++Draw)
+    EXPECT_EQ(Table.sample(Source), 0u);
+}
+
+TEST(AliasTable, NormalizesWeights) {
+  AliasTable Table(std::vector<double>{1.0, 3.0});
+  EXPECT_DOUBLE_EQ(Table.probabilityOf(0), 0.25);
+  EXPECT_DOUBLE_EQ(Table.probabilityOf(1), 0.75);
+}
+
+TEST(AliasTable, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> Weights = {0.5, 0.1, 0.25, 0.05, 0.1};
+  AliasTable Table(Weights);
+  Lcg128 Source;
+  std::vector<int64_t> Counts(Weights.size(), 0);
+  const int Draws = 500000;
+  for (int Draw = 0; Draw < Draws; ++Draw)
+    ++Counts[Table.sample(Source)];
+  for (size_t Outcome = 0; Outcome < Weights.size(); ++Outcome)
+    EXPECT_NEAR(double(Counts[Outcome]) / Draws,
+                Table.probabilityOf(Outcome), 0.005)
+        << "outcome " << Outcome;
+}
+
+TEST(AliasTable, HandlesZeroWeightOutcomes) {
+  AliasTable Table(std::vector<double>{1.0, 0.0, 1.0});
+  Lcg128 Source;
+  for (int Draw = 0; Draw < 20000; ++Draw)
+    EXPECT_NE(Table.sample(Source), 1u);
+}
+
+TEST(AliasTable, UniformWeightsAreUniform) {
+  AliasTable Table(std::vector<double>(8, 1.0));
+  SplitMix64 Source(5);
+  std::vector<int64_t> Counts(8, 0);
+  const int Draws = 400000;
+  for (int Draw = 0; Draw < Draws; ++Draw)
+    ++Counts[Table.sample(Source)];
+  for (int64_t Count : Counts)
+    EXPECT_NEAR(double(Count) / Draws, 0.125, 0.005);
+}
+
+TEST(Samplers, AreDeterministicGivenSameStream) {
+  Lcg128 A, B;
+  for (int Draw = 0; Draw < 100; ++Draw)
+    EXPECT_DOUBLE_EQ(sampleStandardNormal(A), sampleStandardNormal(B));
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,211 @@
+//===- tests/sde/EulerMaruyamaTest.cpp - SDE integrator tests -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/sde/EulerMaruyama.h"
+
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/stats/EstimatorMatrix.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+namespace parmonc {
+namespace {
+
+LinearSdeSystem makeSimple1D() {
+  LinearSdeSystem System;
+  System.InitialState = {2.0};
+  System.DriftVector = {0.5};
+  System.DiffusionMatrix = {1.5};
+  System.NoiseDimension = 1;
+  return System;
+}
+
+TEST(LinearSdeSystem, ExactMomentsFormula) {
+  LinearSdeSystem System = PaperDiffusionProblem::makeSystem();
+  EXPECT_DOUBLE_EQ(System.exactMean(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(System.exactMean(0, 10.0), 11.0);
+  EXPECT_DOUBLE_EQ(System.exactMean(1, 10.0), -6.0);
+  // Row norms of D: 1^2 + 0.2^2 = 1.04 per unit time.
+  EXPECT_DOUBLE_EQ(System.exactVariance(0, 1.0), 1.04);
+  EXPECT_DOUBLE_EQ(System.exactVariance(1, 5.0), 5.2);
+}
+
+TEST(LinearSdeSystem, ToSystemCopiesCoefficients) {
+  SdeSystem System;
+  {
+    LinearSdeSystem Linear = makeSimple1D();
+    System = Linear.toSystem();
+    // Linear dies here; the closures must have copied its vectors.
+  }
+  double Drift = 0.0, Diffusion = 0.0;
+  double State = 0.0;
+  System.Drift(0.0, &State, &Drift);
+  System.Diffusion(0.0, &State, &Diffusion);
+  EXPECT_DOUBLE_EQ(Drift, 0.5);
+  EXPECT_DOUBLE_EQ(Diffusion, 1.5);
+}
+
+TEST(EulerMaruyama, DeterministicDriftIsIntegratedExactly) {
+  // With zero diffusion the scheme is the exact Euler solution of the
+  // linear ODE: y(t) = y0 + C t (no mesh error for constant drift).
+  LinearSdeSystem Linear = makeSimple1D();
+  Linear.DiffusionMatrix = {0.0};
+  EulerMaruyama Integrator(Linear.toSystem(), 0.01);
+  Lcg128 Source;
+  std::vector<double> Final =
+      Integrator.simulateToEnd(Source, Linear.InitialState, 1.0);
+  EXPECT_NEAR(Final[0], 2.5, 1e-9);
+}
+
+TEST(EulerMaruyama, SampleAtIntermediateTimes) {
+  LinearSdeSystem Linear = makeSimple1D();
+  Linear.DiffusionMatrix = {0.0};
+  EulerMaruyama Integrator(Linear.toSystem(), 0.01);
+  Lcg128 Source;
+  std::vector<double> Times{0.25, 0.5, 1.0};
+  std::vector<double> Samples(3);
+  Integrator.simulateTrajectory(Source, Linear.InitialState.data(), 1.0,
+                                Times, Samples.data());
+  EXPECT_NEAR(Samples[0], 2.125, 1e-9);
+  EXPECT_NEAR(Samples[1], 2.25, 1e-9);
+  EXPECT_NEAR(Samples[2], 2.5, 1e-9);
+}
+
+TEST(EulerMaruyama, WeakExactnessOfMeanForAdditiveNoise) {
+  // For dy = C dt + D dw, E y(t) is reproduced without bias by Euler (the
+  // noise increments have zero mean), so the sample mean must converge to
+  // y0 + C t at the Monte Carlo rate.
+  LinearSdeSystem Linear = makeSimple1D();
+  EulerMaruyama Integrator(Linear.toSystem(), 0.05);
+  Lcg128 Source;
+  EstimatorMatrix Estimate(1, 1);
+  const int Trajectories = 20000;
+  for (int Trajectory = 0; Trajectory < Trajectories; ++Trajectory) {
+    std::vector<double> Final =
+        Integrator.simulateToEnd(Source, Linear.InitialState, 2.0);
+    Estimate.accumulate(Final.data());
+  }
+  EntryStatistics Stats = Estimate.entryStatistics(0, 0);
+  const double Exact = Linear.exactMean(0, 2.0); // 3.0
+  EXPECT_NEAR(Stats.Mean, Exact, Stats.AbsoluteError)
+      << "3-sigma interval missed the exact mean";
+}
+
+TEST(EulerMaruyama, VarianceGrowsLinearlyInTime) {
+  LinearSdeSystem Linear = makeSimple1D();
+  EulerMaruyama Integrator(Linear.toSystem(), 0.02);
+  Lcg128 Source;
+  EstimatorMatrix Estimate(1, 1);
+  const int Trajectories = 20000;
+  const double EndTime = 1.0;
+  for (int Trajectory = 0; Trajectory < Trajectories; ++Trajectory) {
+    std::vector<double> Final =
+        Integrator.simulateToEnd(Source, Linear.InitialState, EndTime);
+    Estimate.accumulate(Final.data());
+  }
+  const double Exact = Linear.exactVariance(0, EndTime); // 2.25
+  EXPECT_NEAR(Estimate.entryStatistics(0, 0).Variance, Exact, 0.08);
+}
+
+TEST(EulerMaruyama, CorrelatedNoiseProducesCrossCovariance) {
+  // 2-D system with D = [[1, 0.5], [0, 1]]: Cov(y1,y2)(t) = (D Dᵀ)_{01} t
+  // = 0.5 t.
+  LinearSdeSystem Linear;
+  Linear.InitialState = {0.0, 0.0};
+  Linear.DriftVector = {0.0, 0.0};
+  Linear.DiffusionMatrix = {1.0, 0.5, 0.0, 1.0};
+  Linear.NoiseDimension = 2;
+  EulerMaruyama Integrator(Linear.toSystem(), 0.05);
+  Lcg128 Source;
+  double CrossSum = 0.0;
+  const int Trajectories = 30000;
+  for (int Trajectory = 0; Trajectory < Trajectories; ++Trajectory) {
+    std::vector<double> Final =
+        Integrator.simulateToEnd(Source, Linear.InitialState, 1.0);
+    CrossSum += Final[0] * Final[1];
+  }
+  EXPECT_NEAR(CrossSum / Trajectories, 0.5, 0.05);
+}
+
+TEST(EulerMaruyama, StateDependentDriftConvergesToOuMean) {
+  // Ornstein–Uhlenbeck dy = -θ y dt + σ dw: E y(t) = y0 e^{-θ t}. Euler has
+  // O(h) weak bias here, so use a fine mesh and a loose tolerance.
+  SdeSystem System;
+  System.Dimension = 1;
+  System.NoiseDimension = 1;
+  const double Theta = 1.0, Sigma = 0.5;
+  System.Drift = [Theta](double, const double *State, double *Out) {
+    Out[0] = -Theta * State[0];
+  };
+  System.Diffusion = [Sigma](double, const double *, double *Out) {
+    Out[0] = Sigma;
+  };
+  EulerMaruyama Integrator(System, 0.002);
+  Lcg128 Source;
+  EstimatorMatrix Estimate(1, 1);
+  const std::vector<double> Initial{2.0};
+  for (int Trajectory = 0; Trajectory < 4000; ++Trajectory) {
+    std::vector<double> Final =
+        Integrator.simulateToEnd(Source, Initial, 1.0);
+    Estimate.accumulate(Final.data());
+  }
+  EXPECT_NEAR(Estimate.entryStatistics(0, 0).Mean, 2.0 * std::exp(-1.0),
+              0.03);
+}
+
+TEST(PaperDiffusionProblem, OutputTimesMatchPaper) {
+  std::vector<double> Times = PaperDiffusionProblem::outputTimes();
+  ASSERT_EQ(Times.size(), 1000u);
+  EXPECT_DOUBLE_EQ(Times.front(), 0.1);
+  EXPECT_DOUBLE_EQ(Times.back(), 100.0);
+  EXPECT_DOUBLE_EQ(Times[499], 50.0);
+}
+
+TEST(PaperDiffusionProblem, RealizationHasPaperShape) {
+  Lcg128 Source;
+  std::vector<double> Realization(PaperDiffusionProblem::OutputCount *
+                                  PaperDiffusionProblem::Dimension);
+  PaperDiffusionProblem::simulateRealization(Source, 0.01,
+                                             Realization.data());
+  // Values must be finite and not absurdly far from the drift line.
+  for (size_t Row = 0; Row < 1000; Row += 111) {
+    const double Time = double(Row + 1) * 0.1;
+    EXPECT_TRUE(std::isfinite(Realization[Row * 2 + 0]));
+    EXPECT_TRUE(std::isfinite(Realization[Row * 2 + 1]));
+    // Component 1 drifts like 1 - 0.5 t with noise sd ~ sqrt(1.04 t).
+    EXPECT_NEAR(Realization[Row * 2 + 1], -1.0 - 0.5 * Time,
+                8.0 * std::sqrt(1.04 * Time) + 1.0);
+  }
+}
+
+TEST(PaperDiffusionProblem, AveragedRealizationsMatchExactMeans) {
+  // The §4 experiment end-to-end, small scale: after averaging, entry
+  // (i, j) must estimate E y_j(t_i) within the reported error.
+  LinearSdeSystem Linear = PaperDiffusionProblem::makeSystem();
+  Lcg128 Source;
+  EstimatorMatrix Estimate(PaperDiffusionProblem::OutputCount,
+                           PaperDiffusionProblem::Dimension);
+  std::vector<double> Realization(Estimate.entryCount());
+  for (int Trajectory = 0; Trajectory < 400; ++Trajectory) {
+    PaperDiffusionProblem::simulateRealization(Source, 0.02,
+                                               Realization.data());
+    Estimate.accumulate(Realization);
+  }
+  for (size_t Row : {0u, 99u, 499u, 999u}) {
+    const double Time = double(Row + 1) * 0.1;
+    for (size_t Column = 0; Column < 2; ++Column) {
+      EntryStatistics Stats = Estimate.entryStatistics(Row, Column);
+      const double Exact = Linear.exactMean(Column, Time);
+      EXPECT_NEAR(Stats.Mean, Exact, Stats.AbsoluteError + 1e-6)
+          << "entry (" << Row << "," << Column << ")";
+    }
+  }
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,256 @@
+//===- tests/sde/ExtendedDistributionsTest.cpp - Extended samplers --------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/sde/Distributions.h"
+
+#include "parmonc/rng/Baselines.h"
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/stats/RunningStat.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+namespace parmonc {
+namespace {
+
+// Gamma must hold in both branches: shape < 1 (boosting) and >= 1
+// (Marsaglia-Tsang).
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, MomentsMatch) {
+  const double Shape = GetParam();
+  const double Scale = 2.0;
+  Lcg128 Source;
+  RunningStat Stats;
+  for (int Draw = 0; Draw < 300000; ++Draw)
+    Stats.add(sampleGamma(Source, Shape, Scale));
+  // E = k*theta, Var = k*theta^2.
+  EXPECT_NEAR(Stats.mean(), Shape * Scale, 0.03 * Shape * Scale + 0.01);
+  EXPECT_NEAR(Stats.variance(), Shape * Scale * Scale,
+              0.08 * Shape * Scale * Scale + 0.02);
+  EXPECT_GT(Stats.min(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaSweep,
+                         ::testing::Values(0.3, 0.9, 1.0, 2.5, 10.0,
+                                           100.0));
+
+TEST(SampleGamma, ShapeOneIsExponential) {
+  // Gamma(1, theta) is Exponential(1/theta): P(X > theta) = e^-1.
+  Lcg128 Source;
+  const double Scale = 3.0;
+  const int Count = 200000;
+  int Beyond = 0;
+  for (int Draw = 0; Draw < Count; ++Draw)
+    Beyond += sampleGamma(Source, 1.0, Scale) > Scale;
+  EXPECT_NEAR(double(Beyond) / Count, std::exp(-1.0), 0.01);
+}
+
+class BetaSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(BetaSweep, MomentsMatch) {
+  const auto [Alpha, Beta] = GetParam();
+  Lcg128 Source;
+  RunningStat Stats;
+  for (int Draw = 0; Draw < 200000; ++Draw) {
+    const double Value = sampleBeta(Source, Alpha, Beta);
+    EXPECT_GT(Value, 0.0);
+    EXPECT_LT(Value, 1.0);
+    Stats.add(Value);
+  }
+  const double ExactMean = Alpha / (Alpha + Beta);
+  const double ExactVariance = Alpha * Beta /
+                               ((Alpha + Beta) * (Alpha + Beta) *
+                                (Alpha + Beta + 1.0));
+  EXPECT_NEAR(Stats.mean(), ExactMean, 0.01);
+  EXPECT_NEAR(Stats.variance(), ExactVariance, 0.05 * ExactVariance + 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parameters, BetaSweep,
+    ::testing::Values(std::make_pair(1.0, 1.0), std::make_pair(2.0, 5.0),
+                      std::make_pair(0.5, 0.5), std::make_pair(10.0, 2.0)));
+
+TEST(SampleBeta, UniformSpecialCase) {
+  // Beta(1,1) is U(0,1): check the CDF at a few points.
+  Lcg128 Source;
+  const int Count = 200000;
+  int BelowQuarter = 0;
+  for (int Draw = 0; Draw < Count; ++Draw)
+    BelowQuarter += sampleBeta(Source, 1.0, 1.0) < 0.25;
+  EXPECT_NEAR(double(BelowQuarter) / Count, 0.25, 0.01);
+}
+
+// Binomial must hold in both branches: direct summation (n <= 64) and the
+// beta-splitting recursion (n > 64), and across the p > 1/2 reflection.
+struct BinomialCase {
+  int64_t Trials;
+  double Probability;
+};
+
+class BinomialSweep : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialSweep, MomentsMatch) {
+  const auto [Trials, Probability] = GetParam();
+  Lcg128 Source;
+  RunningStat Stats;
+  const int Count = 100000;
+  for (int Draw = 0; Draw < Count; ++Draw) {
+    const int64_t Value = sampleBinomial(Source, Trials, Probability);
+    ASSERT_GE(Value, 0);
+    ASSERT_LE(Value, Trials);
+    Stats.add(double(Value));
+  }
+  const double ExactMean = double(Trials) * Probability;
+  const double ExactVariance = ExactMean * (1.0 - Probability);
+  EXPECT_NEAR(Stats.mean(), ExactMean,
+              5.0 * std::sqrt(ExactVariance / Count) + 1e-9);
+  if (ExactVariance > 0.0) {
+    EXPECT_NEAR(Stats.variance(), ExactVariance, 0.05 * ExactVariance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BinomialSweep,
+    ::testing::Values(BinomialCase{10, 0.3}, BinomialCase{64, 0.5},
+                      BinomialCase{65, 0.2}, BinomialCase{1000, 0.01},
+                      BinomialCase{1000, 0.99}, BinomialCase{100000, 0.37}));
+
+TEST(SampleBinomial, DegenerateCases) {
+  Lcg128 Source;
+  EXPECT_EQ(sampleBinomial(Source, 0, 0.5), 0);
+  EXPECT_EQ(sampleBinomial(Source, 100, 0.0), 0);
+  EXPECT_EQ(sampleBinomial(Source, 100, 1.0), 100);
+}
+
+TEST(SampleChiSquare, MomentsMatch) {
+  Lcg128 Source;
+  RunningStat Stats;
+  const double Df = 7.0;
+  for (int Draw = 0; Draw < 200000; ++Draw)
+    Stats.add(sampleChiSquare(Source, Df));
+  EXPECT_NEAR(Stats.mean(), Df, 0.05);
+  EXPECT_NEAR(Stats.variance(), 2.0 * Df, 0.4);
+}
+
+TEST(SampleStudentT, IsSymmetricWithHeavyTails) {
+  Lcg128 Source;
+  RunningStat Stats;
+  const double Df = 5.0;
+  const int Count = 300000;
+  int Beyond3 = 0;
+  for (int Draw = 0; Draw < Count; ++Draw) {
+    const double Value = sampleStudentT(Source, Df);
+    Stats.add(Value);
+    Beyond3 += std::fabs(Value) > 3.0;
+  }
+  EXPECT_NEAR(Stats.mean(), 0.0, 0.02);
+  // Var of t_5 is 5/3.
+  EXPECT_NEAR(Stats.variance(), 5.0 / 3.0, 0.1);
+  // t_5 has ~3.0% mass beyond |3|; the normal has 0.27% — heavy tails.
+  EXPECT_GT(double(Beyond3) / Count, 0.02);
+}
+
+TEST(SampleLognormal, MedianAndMeanMatch) {
+  Lcg128 Source;
+  RunningStat Stats;
+  const double MeanLog = 0.5, SdLog = 0.75;
+  const int Count = 300000;
+  int BelowMedian = 0;
+  for (int Draw = 0; Draw < Count; ++Draw) {
+    const double Value = sampleLognormal(Source, MeanLog, SdLog);
+    Stats.add(Value);
+    BelowMedian += Value < std::exp(MeanLog);
+  }
+  EXPECT_NEAR(double(BelowMedian) / Count, 0.5, 0.01);
+  EXPECT_NEAR(Stats.mean(), std::exp(MeanLog + 0.5 * SdLog * SdLog), 0.03);
+}
+
+TEST(CholeskyFactor, ReproducesKnownFactor) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  std::vector<double> Matrix = {4.0, 2.0, 2.0, 3.0};
+  ASSERT_TRUE(choleskyFactor(Matrix, 2).isOk());
+  EXPECT_DOUBLE_EQ(Matrix[0], 2.0);
+  EXPECT_DOUBLE_EQ(Matrix[1], 0.0);
+  EXPECT_DOUBLE_EQ(Matrix[2], 1.0);
+  EXPECT_NEAR(Matrix[3], std::sqrt(2.0), 1e-15);
+}
+
+TEST(CholeskyFactor, LLTransposedReconstructsInput) {
+  const std::vector<double> Original = {9.0, 3.0, 1.0, //
+                                        3.0, 5.0, 2.0, //
+                                        1.0, 2.0, 6.0};
+  std::vector<double> Factor = Original;
+  ASSERT_TRUE(choleskyFactor(Factor, 3).isOk());
+  for (size_t Row = 0; Row < 3; ++Row) {
+    for (size_t Column = 0; Column < 3; ++Column) {
+      double Sum = 0.0;
+      for (size_t Inner = 0; Inner < 3; ++Inner)
+        Sum += Factor[Row * 3 + Inner] * Factor[Column * 3 + Inner];
+      EXPECT_NEAR(Sum, Original[Row * 3 + Column], 1e-12);
+    }
+  }
+}
+
+TEST(CholeskyFactor, RejectsNonPositiveDefinite) {
+  std::vector<double> Indefinite = {1.0, 2.0, 2.0, 1.0}; // eigenvalue -1
+  EXPECT_FALSE(choleskyFactor(Indefinite, 2).isOk());
+  std::vector<double> WrongSize = {1.0, 2.0};
+  EXPECT_FALSE(choleskyFactor(WrongSize, 2).isOk());
+}
+
+TEST(MultivariateNormal, MatchesMeanAndCovariance) {
+  const std::vector<double> Mean = {1.0, -2.0, 0.5};
+  const std::vector<double> Covariance = {2.0, 0.8, 0.2, //
+                                          0.8, 1.5, -0.3, //
+                                          0.2, -0.3, 1.0};
+  MultivariateNormal Sampler(Mean, Covariance);
+  ASSERT_TRUE(Sampler.isValid());
+  ASSERT_EQ(Sampler.dimension(), 3u);
+
+  Lcg128 Source;
+  const int Count = 200000;
+  std::vector<double> Sample(3);
+  std::vector<double> SumVector(3, 0.0);
+  std::vector<double> SumOuter(9, 0.0);
+  for (int Draw = 0; Draw < Count; ++Draw) {
+    Sampler.sample(Source, Sample.data());
+    for (size_t Row = 0; Row < 3; ++Row) {
+      SumVector[Row] += Sample[Row];
+      for (size_t Column = 0; Column < 3; ++Column)
+        SumOuter[Row * 3 + Column] += Sample[Row] * Sample[Column];
+    }
+  }
+  for (size_t Row = 0; Row < 3; ++Row) {
+    const double MeanRow = SumVector[Row] / Count;
+    EXPECT_NEAR(MeanRow, Mean[Row], 0.02) << "component " << Row;
+    for (size_t Column = 0; Column < 3; ++Column) {
+      const double MeanColumn = SumVector[Column] / Count;
+      const double Cov =
+          SumOuter[Row * 3 + Column] / Count - MeanRow * MeanColumn;
+      EXPECT_NEAR(Cov, Covariance[Row * 3 + Column], 0.04)
+          << "entry (" << Row << "," << Column << ")";
+    }
+  }
+}
+
+TEST(MultivariateNormal, OneDimensionalReducesToNormal) {
+  MultivariateNormal Sampler({5.0}, {4.0});
+  Lcg128 Source;
+  RunningStat Stats;
+  double Sample = 0.0;
+  for (int Draw = 0; Draw < 200000; ++Draw) {
+    Sampler.sample(Source, &Sample);
+    Stats.add(Sample);
+  }
+  EXPECT_NEAR(Stats.mean(), 5.0, 0.02);
+  EXPECT_NEAR(Stats.stdDev(), 2.0, 0.02);
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,142 @@
+//===- tests/spectral/BigIntTest.cpp - BigInt unit & property tests -------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/spectral/BigInt.h"
+
+#include "gtest/gtest.h"
+
+#include <limits>
+#include <random>
+
+namespace parmonc {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_FALSE(Zero.isNegative());
+  EXPECT_EQ(Zero.bitWidth(), 0u);
+  EXPECT_EQ(Zero.toDecimalString(), "0");
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (int64_t Value : {int64_t(0), int64_t(1), int64_t(-1), int64_t(42),
+                        int64_t(-9223372036854775807ll - 1),
+                        std::numeric_limits<int64_t>::max()}) {
+    BigInt Big(Value);
+    ASSERT_TRUE(Big.fitsInt64()) << Value;
+    EXPECT_EQ(Big.toInt64(), Value);
+  }
+}
+
+TEST(BigInt, FromUInt128) {
+  BigInt Big = BigInt::fromUInt128(UInt128(0xdeadull, 0xbeefull));
+  EXPECT_EQ(Big.bitWidth(), 64u + 16u);
+  EXPECT_FALSE(Big.isNegative());
+  EXPECT_FALSE(Big.fitsInt64());
+}
+
+TEST(BigInt, SmallArithmeticAgainstInt64) {
+  std::mt19937_64 Rng(9);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    const int64_t A = int64_t(Rng() % 2000001) - 1000000;
+    const int64_t B = int64_t(Rng() % 2000001) - 1000000;
+    EXPECT_EQ((BigInt(A) + BigInt(B)).toInt64(), A + B);
+    EXPECT_EQ((BigInt(A) - BigInt(B)).toInt64(), A - B);
+    EXPECT_EQ((BigInt(A) * BigInt(B)).toInt64(), A * B);
+    if (B != 0) {
+      EXPECT_EQ((BigInt(A) / BigInt(B)).toInt64(), A / B);
+      EXPECT_EQ((BigInt(A) % BigInt(B)).toInt64(), A % B);
+    }
+  }
+}
+
+TEST(BigInt, LargeMultiplicationKnownValue) {
+  // (2^64)² = 2^128.
+  BigInt TwoTo64 = BigInt::fromUInt128(UInt128(1, 0));
+  BigInt Square = TwoTo64 * TwoTo64;
+  EXPECT_EQ(Square.bitWidth(), 129u);
+  EXPECT_EQ(Square.toDecimalString(),
+            "340282366920938463463374607431768211456");
+}
+
+TEST(BigInt, DivModReconstructsLargeValues) {
+  std::mt19937_64 Rng(4);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    BigInt Dividend = BigInt::fromUInt128(UInt128(Rng(), Rng())) *
+                      BigInt::fromUInt128(UInt128(Rng(), Rng()));
+    if (Trial % 2)
+      Dividend = -Dividend;
+    BigInt Divisor = BigInt::fromUInt128(UInt128(Rng() % 1024, Rng()));
+    if (Divisor.isZero())
+      Divisor = BigInt(7);
+    if (Trial % 3 == 0)
+      Divisor = -Divisor;
+    BigInt::DivModResult Split = BigInt::divMod(Dividend, Divisor);
+    EXPECT_EQ(Split.Quotient * Divisor + Split.Remainder, Dividend);
+    EXPECT_LT(Split.Remainder.abs(), Divisor.abs());
+    // Truncation: remainder carries the dividend's sign.
+    if (!Split.Remainder.isZero()) {
+      EXPECT_EQ(Split.Remainder.isNegative(), Dividend.isNegative());
+    }
+  }
+}
+
+TEST(BigInt, DivRoundMatchesNearestInteger) {
+  // 7/2 -> 4 (ties away from zero), -7/2 -> -4, 7/3 -> 2, 8/3 -> 3.
+  EXPECT_EQ(BigInt::divRound(BigInt(7), BigInt(2)).toInt64(), 4);
+  EXPECT_EQ(BigInt::divRound(BigInt(-7), BigInt(2)).toInt64(), -4);
+  EXPECT_EQ(BigInt::divRound(BigInt(7), BigInt(-2)).toInt64(), -4);
+  EXPECT_EQ(BigInt::divRound(BigInt(7), BigInt(3)).toInt64(), 2);
+  EXPECT_EQ(BigInt::divRound(BigInt(8), BigInt(3)).toInt64(), 3);
+  EXPECT_EQ(BigInt::divRound(BigInt(-8), BigInt(3)).toInt64(), -3);
+  EXPECT_EQ(BigInt::divRound(BigInt(6), BigInt(3)).toInt64(), 2);
+  EXPECT_EQ(BigInt::divRound(BigInt(0), BigInt(5)).toInt64(), 0);
+}
+
+TEST(BigInt, ShiftLeft) {
+  EXPECT_EQ(BigInt(1).shiftLeft(10).toInt64(), 1024);
+  EXPECT_EQ(BigInt(-3).shiftLeft(2).toInt64(), -12);
+  EXPECT_EQ(BigInt(1).shiftLeft(128).toDecimalString(),
+            "340282366920938463463374607431768211456");
+  EXPECT_TRUE(BigInt(0).shiftLeft(50).isZero());
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  std::vector<BigInt> Ordered = {
+      -BigInt(1).shiftLeft(100), BigInt(-5), BigInt(0), BigInt(3),
+      BigInt(1).shiftLeft(64),   BigInt(1).shiftLeft(100)};
+  for (size_t I = 0; I < Ordered.size(); ++I) {
+    for (size_t J = 0; J < Ordered.size(); ++J) {
+      EXPECT_EQ(Ordered[I] < Ordered[J], I < J) << I << " " << J;
+      EXPECT_EQ(Ordered[I] == Ordered[J], I == J);
+    }
+  }
+}
+
+TEST(BigInt, ToDoubleTracksMagnitude) {
+  EXPECT_DOUBLE_EQ(BigInt(12345).toDouble(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(-7).toDouble(), -7.0);
+  EXPECT_NEAR(BigInt(1).shiftLeft(100).toDouble(), std::pow(2.0, 100),
+              std::pow(2.0, 48));
+}
+
+TEST(BigInt, DecimalStringsOfNegatives) {
+  EXPECT_EQ(BigInt(-12345).toDecimalString(), "-12345");
+  EXPECT_EQ((-BigInt(1).shiftLeft(70)).toDecimalString(),
+            "-1180591620717411303424");
+}
+
+TEST(BigInt, AdditionCancelsToZeroCleanly) {
+  BigInt Big = BigInt(1).shiftLeft(200);
+  BigInt Zero = Big - Big;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_FALSE(Zero.isNegative());
+  EXPECT_TRUE((Zero + Zero).isZero());
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,112 @@
+//===- tests/statest/SpecialFunctionsTest.cpp - p-value machinery tests ---===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/statest/SpecialFunctions.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+namespace parmonc {
+namespace {
+
+TEST(RegularizedGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularizedGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(RegularizedGamma, PAndQAreComplements) {
+  for (double S : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double X : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+      EXPECT_NEAR(regularizedGammaP(S, X) + regularizedGammaQ(S, X), 1.0,
+                  1e-12)
+          << "s=" << S << " x=" << X;
+    }
+  }
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^-x.
+  for (double X : {0.1, 0.5, 1.0, 3.0, 10.0})
+    EXPECT_NEAR(regularizedGammaP(1.0, X), 1.0 - std::exp(-X), 1e-12);
+}
+
+TEST(RegularizedGamma, HalfIntegerSpecialCase) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double X : {0.2, 1.0, 2.0, 6.0})
+    EXPECT_NEAR(regularizedGammaP(0.5, X), std::erf(std::sqrt(X)), 1e-12);
+}
+
+TEST(RegularizedGamma, MonotoneInX) {
+  double Previous = 0.0;
+  for (double X = 0.1; X < 30.0; X += 0.37) {
+    double Current = regularizedGammaP(4.0, X);
+    EXPECT_GE(Current, Previous);
+    Previous = Current;
+  }
+}
+
+TEST(ChiSquareSurvival, KnownQuantiles) {
+  // Median of chi2(1) ≈ 0.4549; 95th percentile of chi2(10) ≈ 18.307.
+  EXPECT_NEAR(chiSquareSurvival(0.4549364, 1.0), 0.5, 1e-5);
+  EXPECT_NEAR(chiSquareSurvival(18.307, 10.0), 0.05, 1e-4);
+  EXPECT_NEAR(chiSquareSurvival(31.410, 20.0), 0.05, 1e-4);
+}
+
+TEST(ChiSquareSurvival, DegenerateStatistic) {
+  EXPECT_DOUBLE_EQ(chiSquareSurvival(0.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(chiSquareSurvival(-1.0, 5.0), 1.0);
+  EXPECT_LT(chiSquareSurvival(1000.0, 5.0), 1e-100);
+}
+
+TEST(ChiSquareSurvival, MeanIsRoughlyMedianForLargeDf) {
+  // For large df the chi-square is nearly symmetric around df.
+  EXPECT_NEAR(chiSquareSurvival(1000.0, 1000.0), 0.5, 0.01);
+}
+
+TEST(KolmogorovQ, KnownValues) {
+  // Q(0.83) ≈ 0.4993, Q(1.36) ≈ 0.0505 (classical critical values).
+  EXPECT_NEAR(kolmogorovQ(1.3581), 0.05, 0.001);
+  EXPECT_NEAR(kolmogorovQ(1.6276), 0.01, 0.0005);
+  EXPECT_DOUBLE_EQ(kolmogorovQ(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorovQ(-1.0), 1.0);
+}
+
+TEST(KolmogorovQ, MonotoneDecreasing) {
+  double Previous = 1.0;
+  for (double Lambda = 0.2; Lambda < 3.0; Lambda += 0.1) {
+    double Current = kolmogorovQ(Lambda);
+    EXPECT_LE(Current, Previous);
+    Previous = Current;
+  }
+  EXPECT_LT(kolmogorovQ(3.0), 1e-7);
+}
+
+TEST(PoissonCdf, SmallMeanByHand) {
+  // Poisson(1): P(X<=0) = e^-1, P(X<=1) = 2e^-1.
+  EXPECT_NEAR(poissonCdf(0, 1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(poissonCdf(1, 1.0), 2.0 * std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(poissonCdf(-1, 1.0), 0.0);
+}
+
+TEST(PoissonCdf, ApproachesOne) {
+  EXPECT_NEAR(poissonCdf(100, 4.0), 1.0, 1e-12);
+}
+
+TEST(PoissonTwoSidedPValue, CenterIsLarge) {
+  // At the mode the p-value must be large; in the far tail tiny.
+  EXPECT_GT(poissonTwoSidedPValue(4, 4.0), 0.5);
+  EXPECT_LT(poissonTwoSidedPValue(40, 4.0), 1e-20);
+  EXPECT_LT(poissonTwoSidedPValue(0, 40.0), 1e-10);
+}
+
+TEST(PoissonTwoSidedPValue, IsCappedAtOne) {
+  for (int64_t Count = 0; Count < 20; ++Count)
+    EXPECT_LE(poissonTwoSidedPValue(Count, 5.0), 1.0);
+}
+
+} // namespace
+} // namespace parmonc

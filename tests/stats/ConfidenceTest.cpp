@@ -1,0 +1,106 @@
+//===- tests/stats/ConfidenceTest.cpp - Normal quantile tests -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/stats/Confidence.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+namespace parmonc {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(normalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalCdf, IsSymmetric) {
+  for (double X : {0.1, 0.7, 1.3, 2.9, 4.5})
+    EXPECT_NEAR(normalCdf(X) + normalCdf(-X), 1.0, 1e-14);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normalQuantile(0.9986501019683699), 3.0, 1e-9);
+  EXPECT_NEAR(normalQuantile(0.8413447460685429), 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, InvertsTheCdf) {
+  for (double Probability = 0.001; Probability < 0.9995;
+       Probability += 0.0013)
+    EXPECT_NEAR(normalCdf(normalQuantile(Probability)), Probability, 1e-11)
+        << "p = " << Probability;
+}
+
+TEST(NormalQuantile, TailsAreFiniteAndOrdered) {
+  double FarLeft = normalQuantile(1e-12);
+  double FarRight = normalQuantile(1.0 - 1e-12);
+  EXPECT_TRUE(std::isfinite(FarLeft));
+  EXPECT_TRUE(std::isfinite(FarRight));
+  EXPECT_LT(FarLeft, -6.0);
+  EXPECT_GT(FarRight, 6.0);
+}
+
+TEST(NormalQuantile, IsMonotone) {
+  double Previous = normalQuantile(0.01);
+  for (double Probability = 0.02; Probability < 1.0;
+       Probability += 0.01) {
+    double Current = normalQuantile(Probability);
+    EXPECT_GT(Current, Previous);
+    Previous = Current;
+  }
+}
+
+TEST(ConfidenceMultiplier, PaperLevelGivesRoughlyThree) {
+  // §2.1: γ(0.997) — the paper rounds to 3; the exact value is ≈ 2.9677.
+  double Gamma = confidenceMultiplier(0.997);
+  EXPECT_NEAR(Gamma, 2.9677379253417833, 1e-8);
+  EXPECT_NEAR(Gamma, 3.0, 0.05);
+}
+
+TEST(ConfidenceMultiplier, CommonLevels) {
+  EXPECT_NEAR(confidenceMultiplier(0.95), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(confidenceMultiplier(0.99), 2.5758293035489004, 1e-9);
+  EXPECT_NEAR(confidenceMultiplier(0.9973002039367398), 3.0, 1e-9);
+}
+
+TEST(ConfidenceInterval, GeometryHelpers) {
+  ConfidenceInterval Interval{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(Interval.lower(), 8.0);
+  EXPECT_DOUBLE_EQ(Interval.upper(), 12.0);
+  EXPECT_TRUE(Interval.contains(10.0));
+  EXPECT_TRUE(Interval.contains(8.0));
+  EXPECT_TRUE(Interval.contains(12.0));
+  EXPECT_FALSE(Interval.contains(7.999));
+  EXPECT_FALSE(Interval.contains(12.001));
+}
+
+TEST(MakeMeanInterval, MatchesFormula) {
+  // Half-width = γ(λ) σ / sqrt(L).
+  ConfidenceInterval Interval = makeMeanInterval(5.0, 2.0, 400.0, 0.95);
+  EXPECT_DOUBLE_EQ(Interval.Center, 5.0);
+  EXPECT_NEAR(Interval.HalfWidth, 1.959963984540054 * 2.0 / 20.0, 1e-12);
+}
+
+TEST(MakeMeanInterval, DefaultLevelIsPaperLevel) {
+  ConfidenceInterval Interval = makeMeanInterval(0.0, 1.0, 1.0);
+  EXPECT_NEAR(Interval.HalfWidth, 2.9677379253417833, 1e-8);
+}
+
+TEST(MakeMeanInterval, ZeroVarianceGivesPointInterval) {
+  ConfidenceInterval Interval = makeMeanInterval(3.0, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(Interval.HalfWidth, 0.0);
+  EXPECT_TRUE(Interval.contains(3.0));
+  EXPECT_FALSE(Interval.contains(3.0000001));
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,280 @@
+//===- tests/stats/EstimatorMatrixTest.cpp - Estimator algebra tests ------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/stats/EstimatorMatrix.h"
+
+#include "parmonc/stats/RunningStat.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace parmonc {
+namespace {
+
+TEST(EstimatorMatrix, StartsEmpty) {
+  EstimatorMatrix Matrix(3, 2);
+  EXPECT_EQ(Matrix.rows(), 3u);
+  EXPECT_EQ(Matrix.columns(), 2u);
+  EXPECT_EQ(Matrix.entryCount(), 6u);
+  EXPECT_EQ(Matrix.sampleVolume(), 0);
+}
+
+TEST(EstimatorMatrix, SingleRealizationStatistics) {
+  EstimatorMatrix Matrix(1, 1);
+  Matrix.accumulate(std::vector<double>{4.0});
+  EntryStatistics Stats = Matrix.entryStatistics(0, 0);
+  EXPECT_DOUBLE_EQ(Stats.Mean, 4.0);
+  EXPECT_DOUBLE_EQ(Stats.Variance, 0.0);
+  EXPECT_DOUBLE_EQ(Stats.AbsoluteError, 0.0);
+  EXPECT_DOUBLE_EQ(Stats.RelativeError, 0.0);
+}
+
+TEST(EstimatorMatrix, TwoPointMeanAndVariance) {
+  EstimatorMatrix Matrix(1, 1);
+  Matrix.accumulate(std::vector<double>{1.0});
+  Matrix.accumulate(std::vector<double>{3.0});
+  EntryStatistics Stats = Matrix.entryStatistics(0, 0);
+  EXPECT_DOUBLE_EQ(Stats.Mean, 2.0);
+  // Biased variance of {1,3}: ((1-2)^2 + (3-2)^2)/2 = 1.
+  EXPECT_DOUBLE_EQ(Stats.Variance, 1.0);
+  // ε = 3 * sqrt(1/2).
+  EXPECT_DOUBLE_EQ(Stats.AbsoluteError, 3.0 * std::sqrt(0.5));
+  // ρ = ε/2 * 100%.
+  EXPECT_DOUBLE_EQ(Stats.RelativeError, Stats.AbsoluteError / 2.0 * 100.0);
+}
+
+TEST(EstimatorMatrix, EntriesAreIndependent) {
+  EstimatorMatrix Matrix(2, 2);
+  Matrix.accumulate(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  Matrix.accumulate(std::vector<double>{1.0, 4.0, 9.0, 16.0});
+  EXPECT_DOUBLE_EQ(Matrix.entryStatistics(0, 0).Mean, 1.0);
+  EXPECT_DOUBLE_EQ(Matrix.entryStatistics(0, 1).Mean, 3.0);
+  EXPECT_DOUBLE_EQ(Matrix.entryStatistics(1, 0).Mean, 6.0);
+  EXPECT_DOUBLE_EQ(Matrix.entryStatistics(1, 1).Mean, 10.0);
+}
+
+TEST(EstimatorMatrix, ZeroMeanEntryHasInfiniteRelativeError) {
+  EstimatorMatrix Matrix(1, 1);
+  Matrix.accumulate(std::vector<double>{1.0});
+  Matrix.accumulate(std::vector<double>{-1.0});
+  EntryStatistics Stats = Matrix.entryStatistics(0, 0);
+  EXPECT_DOUBLE_EQ(Stats.Mean, 0.0);
+  EXPECT_TRUE(std::isinf(Stats.RelativeError));
+}
+
+TEST(EstimatorMatrix, MergeEqualsPooledAccumulation) {
+  // The eq. (5) guarantee: merging per-processor subtotals gives the
+  // statistics of the pooled sample (equal up to floating-point summation
+  // order, hence the 1e-12-relative tolerances).
+  std::mt19937_64 Rng(11);
+  std::normal_distribution<double> Normal(2.0, 3.0);
+
+  EstimatorMatrix Pooled(2, 3);
+  std::vector<EstimatorMatrix> Parts;
+  for (int Part = 0; Part < 4; ++Part)
+    Parts.emplace_back(2, 3);
+
+  for (int Realization = 0; Realization < 1000; ++Realization) {
+    std::vector<double> Values(6);
+    for (double &Value : Values)
+      Value = Normal(Rng);
+    Pooled.accumulate(Values);
+    Parts[size_t(Realization) % 4].accumulate(Values);
+  }
+
+  EstimatorMatrix Merged(2, 3);
+  for (const EstimatorMatrix &Part : Parts)
+    ASSERT_TRUE(Merged.merge(Part).isOk());
+
+  EXPECT_EQ(Merged.sampleVolume(), Pooled.sampleVolume());
+  for (size_t Row = 0; Row < 2; ++Row) {
+    for (size_t Column = 0; Column < 3; ++Column) {
+      EntryStatistics A = Merged.entryStatistics(Row, Column);
+      EntryStatistics B = Pooled.entryStatistics(Row, Column);
+      EXPECT_NEAR(A.Mean, B.Mean, 1e-12 * std::fabs(B.Mean));
+      EXPECT_NEAR(A.Variance, B.Variance, 1e-12 * B.Variance);
+      EXPECT_NEAR(A.AbsoluteError, B.AbsoluteError,
+                  1e-12 * B.AbsoluteError);
+    }
+  }
+}
+
+TEST(EstimatorMatrix, MergeRejectsShapeMismatch) {
+  EstimatorMatrix A(2, 2), B(2, 3);
+  EXPECT_FALSE(A.merge(B).isOk());
+  EXPECT_EQ(A.sampleVolume(), 0);
+}
+
+TEST(EstimatorMatrix, MergeOfEmptyIsNoOp) {
+  EstimatorMatrix A(1, 1), Empty(1, 1);
+  A.accumulate(std::vector<double>{5.0});
+  ASSERT_TRUE(A.merge(Empty).isOk());
+  EXPECT_EQ(A.sampleVolume(), 1);
+  EXPECT_DOUBLE_EQ(A.entryStatistics(0, 0).Mean, 5.0);
+}
+
+TEST(EstimatorMatrix, MergeIsCommutative) {
+  EstimatorMatrix A(1, 2), B(1, 2);
+  A.accumulate(std::vector<double>{1.0, 2.0});
+  B.accumulate(std::vector<double>{3.0, 4.0});
+  B.accumulate(std::vector<double>{5.0, 6.0});
+
+  EstimatorMatrix AB(1, 2), BA(1, 2);
+  ASSERT_TRUE(AB.merge(A).isOk());
+  ASSERT_TRUE(AB.merge(B).isOk());
+  ASSERT_TRUE(BA.merge(B).isOk());
+  ASSERT_TRUE(BA.merge(A).isOk());
+  for (size_t Column = 0; Column < 2; ++Column) {
+    EXPECT_DOUBLE_EQ(AB.entryStatistics(0, Column).Mean,
+                     BA.entryStatistics(0, Column).Mean);
+    EXPECT_DOUBLE_EQ(AB.entryStatistics(0, Column).Variance,
+                     BA.entryStatistics(0, Column).Variance);
+  }
+}
+
+TEST(EstimatorMatrix, AgreesWithWelfordAccumulator) {
+  // Cross-check the sum-based formulas against a numerically independent
+  // implementation.
+  std::mt19937_64 Rng(3);
+  std::uniform_real_distribution<double> Uniform(-10.0, 10.0);
+  EstimatorMatrix Matrix(1, 1);
+  RunningStat Reference;
+  for (int Step = 0; Step < 50000; ++Step) {
+    double Value = Uniform(Rng);
+    Matrix.accumulate(&Value);
+    Reference.add(Value);
+  }
+  EntryStatistics Stats = Matrix.entryStatistics(0, 0);
+  EXPECT_NEAR(Stats.Mean, Reference.mean(), 1e-10);
+  EXPECT_NEAR(Stats.Variance, Reference.variance(), 1e-7);
+}
+
+TEST(EstimatorMatrix, RawSumRoundTrip) {
+  EstimatorMatrix Matrix(2, 2);
+  Matrix.accumulate(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  Matrix.accumulate(std::vector<double>{2.0, 3.0, 4.0, 5.0});
+
+  Result<EstimatorMatrix> Rebuilt = EstimatorMatrix::fromRawSums(
+      2, 2, Matrix.valueSums(), Matrix.squareSums(), Matrix.sampleVolume());
+  ASSERT_TRUE(Rebuilt.isOk());
+  for (size_t Row = 0; Row < 2; ++Row) {
+    for (size_t Column = 0; Column < 2; ++Column) {
+      EXPECT_DOUBLE_EQ(Rebuilt.value().entryStatistics(Row, Column).Mean,
+                       Matrix.entryStatistics(Row, Column).Mean);
+    }
+  }
+}
+
+TEST(EstimatorMatrix, FromRawSumsValidatesInput) {
+  EXPECT_FALSE(EstimatorMatrix::fromRawSums(2, 2, {1.0}, {1.0}, 1).isOk());
+  EXPECT_FALSE(EstimatorMatrix::fromRawSums(1, 1, {1.0}, {1.0}, -1).isOk());
+  EXPECT_FALSE(EstimatorMatrix::fromRawSums(1, 1, {1.0}, {-1.0}, 1).isOk());
+  EXPECT_FALSE(EstimatorMatrix::fromRawSums(0, 1, {}, {}, 0).isOk());
+  EXPECT_TRUE(EstimatorMatrix::fromRawSums(1, 1, {1.0}, {1.0}, 1).isOk());
+}
+
+TEST(EstimatorMatrix, ErrorBoundsTrackWorstEntry) {
+  EstimatorMatrix Matrix(1, 2);
+  // Entry 0: constant 10 (no error). Entry 1: alternating 0/2 (variance 1).
+  Matrix.accumulate(std::vector<double>{10.0, 0.0});
+  Matrix.accumulate(std::vector<double>{10.0, 2.0});
+  ErrorBounds Bounds = Matrix.errorBounds();
+  EntryStatistics Noisy = Matrix.entryStatistics(0, 1);
+  EXPECT_DOUBLE_EQ(Bounds.MaxAbsoluteError, Noisy.AbsoluteError);
+  EXPECT_DOUBLE_EQ(Bounds.MaxRelativeError, Noisy.RelativeError);
+  EXPECT_DOUBLE_EQ(Bounds.MaxVariance, Noisy.Variance);
+}
+
+TEST(EstimatorMatrix, ErrorBoundsIgnoreInfiniteRelativeErrors) {
+  EstimatorMatrix Matrix(1, 2);
+  Matrix.accumulate(std::vector<double>{1.0, 1.0});
+  Matrix.accumulate(std::vector<double>{-1.0, 3.0});
+  // Entry 0 has zero mean -> infinite ρ; the bound must come from entry 1.
+  ErrorBounds Bounds = Matrix.errorBounds();
+  EXPECT_TRUE(std::isfinite(Bounds.MaxRelativeError));
+  EXPECT_DOUBLE_EQ(Bounds.MaxRelativeError,
+                   Matrix.entryStatistics(0, 1).RelativeError);
+}
+
+TEST(EstimatorMatrix, ResetForgetsEverything) {
+  EstimatorMatrix Matrix(1, 1);
+  Matrix.accumulate(std::vector<double>{1.0});
+  Matrix.reset();
+  EXPECT_EQ(Matrix.sampleVolume(), 0);
+  Matrix.accumulate(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(Matrix.entryStatistics(0, 0).Mean, 7.0);
+}
+
+TEST(EstimatorMatrix, CustomErrorMultiplier) {
+  EstimatorMatrix Matrix(1, 1);
+  Matrix.accumulate(std::vector<double>{0.0});
+  Matrix.accumulate(std::vector<double>{2.0});
+  // With γ = 2 the error is two thirds of the default γ = 3 value.
+  EntryStatistics Wide = Matrix.entryStatistics(0, 0, 3.0);
+  EntryStatistics Narrow = Matrix.entryStatistics(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(Narrow.AbsoluteError, Wide.AbsoluteError * 2.0 / 3.0);
+}
+
+TEST(EstimatorMatrix, ComputeMatricesFillsRequestedOutputs) {
+  EstimatorMatrix Matrix(2, 2);
+  Matrix.accumulate(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  Matrix.accumulate(std::vector<double>{3.0, 2.0, 1.0, 4.0});
+  std::vector<double> Means, Variances;
+  Matrix.computeMatrices(&Means, nullptr, nullptr, &Variances);
+  ASSERT_EQ(Means.size(), 4u);
+  ASSERT_EQ(Variances.size(), 4u);
+  EXPECT_DOUBLE_EQ(Means[0], 2.0);
+  EXPECT_DOUBLE_EQ(Means[3], 4.0);
+  EXPECT_DOUBLE_EQ(Variances[0], 1.0);
+  EXPECT_DOUBLE_EQ(Variances[1], 0.0);
+}
+
+// Statistical property: for an i.i.d. sample from U(0,1), the λ=0.997
+// confidence interval ζ̄ ± ε must contain the true mean 0.5 in roughly 99.7%
+// of repetitions. With 400 repetitions, P(≥6 misses) is < 1%; we allow 8.
+TEST(EstimatorMatrix, ConfidenceIntervalCoversTrueMean) {
+  std::mt19937_64 Rng(12345);
+  std::uniform_real_distribution<double> Uniform(0.0, 1.0);
+  int Misses = 0;
+  for (int Repetition = 0; Repetition < 400; ++Repetition) {
+    EstimatorMatrix Matrix(1, 1);
+    for (int Draw = 0; Draw < 2000; ++Draw) {
+      double Value = Uniform(Rng);
+      Matrix.accumulate(&Value);
+    }
+    EntryStatistics Stats = Matrix.entryStatistics(0, 0);
+    if (std::fabs(Stats.Mean - 0.5) > Stats.AbsoluteError)
+      ++Misses;
+  }
+  EXPECT_LE(Misses, 8);
+}
+
+// Parameterized sweep: the absolute error must shrink like L^-1/2 — §2.1.
+class ErrorScalingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErrorScalingSweep, AbsoluteErrorScalesAsInverseSquareRoot) {
+  const int Volume = GetParam();
+  std::mt19937_64 Rng(99);
+  std::uniform_real_distribution<double> Uniform(0.0, 1.0);
+  EstimatorMatrix Matrix(1, 1);
+  for (int Draw = 0; Draw < Volume; ++Draw) {
+    double Value = Uniform(Rng);
+    Matrix.accumulate(&Value);
+  }
+  EntryStatistics Stats = Matrix.entryStatistics(0, 0);
+  // σ of U(0,1) is sqrt(1/12) ≈ 0.2887, so ε ≈ 3*0.2887/sqrt(L).
+  double Expected = 3.0 * std::sqrt(1.0 / 12.0) / std::sqrt(double(Volume));
+  EXPECT_NEAR(Stats.AbsoluteError, Expected, 0.15 * Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Volumes, ErrorScalingSweep,
+                         ::testing::Values(1000, 4000, 16000, 64000));
+
+} // namespace
+} // namespace parmonc

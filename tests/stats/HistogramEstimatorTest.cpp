@@ -1,0 +1,169 @@
+//===- tests/stats/HistogramEstimatorTest.cpp - Histogram tests -----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/stats/HistogramEstimator.h"
+
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/sde/Distributions.h"
+#include "parmonc/stats/Confidence.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+namespace parmonc {
+namespace {
+
+TEST(HistogramEstimator, StartsEmpty) {
+  HistogramEstimator Histogram(0.0, 1.0, 10);
+  EXPECT_EQ(Histogram.totalCount(), 0);
+  EXPECT_EQ(Histogram.binCount(), 10u);
+  EXPECT_DOUBLE_EQ(Histogram.binWidth(), 0.1);
+}
+
+TEST(HistogramEstimator, BinsByValue) {
+  HistogramEstimator Histogram(0.0, 1.0, 4);
+  Histogram.add(0.1);  // bin 0
+  Histogram.add(0.3);  // bin 1
+  Histogram.add(0.30); // bin 1
+  Histogram.add(0.99); // bin 3
+  EXPECT_EQ(Histogram.countOf(0), 1);
+  EXPECT_EQ(Histogram.countOf(1), 2);
+  EXPECT_EQ(Histogram.countOf(2), 0);
+  EXPECT_EQ(Histogram.countOf(3), 1);
+  EXPECT_EQ(Histogram.totalCount(), 4);
+}
+
+TEST(HistogramEstimator, EdgeValuesLandCorrectly) {
+  HistogramEstimator Histogram(0.0, 1.0, 4);
+  Histogram.add(0.0);   // left edge: bin 0
+  Histogram.add(0.25);  // boundary: bin 1 (half-open bins)
+  Histogram.add(1.0);   // right edge: overflow
+  Histogram.add(-1e-12); // underflow
+  EXPECT_EQ(Histogram.countOf(0), 1);
+  EXPECT_EQ(Histogram.countOf(1), 1);
+  EXPECT_EQ(Histogram.overflowCount(), 1);
+  EXPECT_EQ(Histogram.underflowCount(), 1);
+  EXPECT_EQ(Histogram.totalCount(), 4);
+}
+
+TEST(HistogramEstimator, MassAndDensityNormalize) {
+  HistogramEstimator Histogram(0.0, 2.0, 8);
+  Lcg128 Source;
+  for (int Draw = 0; Draw < 100000; ++Draw)
+    Histogram.add(2.0 * Source.nextUniform());
+  double TotalMass = 0.0;
+  for (size_t Index = 0; Index < Histogram.binCount(); ++Index) {
+    TotalMass += Histogram.massOf(Index);
+    // Uniform density on [0,2] is 0.5.
+    EXPECT_NEAR(Histogram.densityOf(Index), 0.5, 0.02);
+  }
+  EXPECT_NEAR(TotalMass, 1.0, 1e-12);
+}
+
+TEST(HistogramEstimator, EstimatesNormalDensity) {
+  HistogramEstimator Histogram(-4.0, 4.0, 64);
+  Lcg128 Source;
+  const int Draws = 400000;
+  for (int Draw = 0; Draw < Draws; ++Draw)
+    Histogram.add(sampleStandardNormal(Source));
+  // Compare bin masses against the exact normal CDF differences.
+  int Misses = 0;
+  for (size_t Index = 0; Index < Histogram.binCount(); ++Index) {
+    const double LeftEdge = Histogram.binLeftEdge(Index);
+    const double Exact =
+        normalCdf(LeftEdge + Histogram.binWidth()) - normalCdf(LeftEdge);
+    const double Error = Histogram.massErrorOf(Index);
+    if (std::fabs(Histogram.massOf(Index) - Exact) > Error + 1e-9)
+      ++Misses;
+  }
+  // 64 bins at 3 sigma: expect ~0.3% misses; allow a couple.
+  EXPECT_LE(Misses, 2);
+  // Tail mass beyond +-4 is ~6e-5: side bins nearly empty.
+  EXPECT_LT(Histogram.underflowCount() + Histogram.overflowCount(),
+            Draws / 2000);
+}
+
+TEST(HistogramEstimator, MergeIsExact) {
+  HistogramEstimator A(0.0, 1.0, 16), B(0.0, 1.0, 16), Pooled(0.0, 1.0, 16);
+  Lcg128 Source;
+  for (int Draw = 0; Draw < 10000; ++Draw) {
+    const double Value = Source.nextUniform();
+    (Draw % 2 ? A : B).add(Value);
+    Pooled.add(Value);
+  }
+  ASSERT_TRUE(A.merge(B).isOk());
+  EXPECT_EQ(A.totalCount(), Pooled.totalCount());
+  for (size_t Index = 0; Index < 16; ++Index)
+    EXPECT_EQ(A.countOf(Index), Pooled.countOf(Index));
+}
+
+TEST(HistogramEstimator, MergeRejectsGeometryMismatch) {
+  HistogramEstimator A(0.0, 1.0, 16);
+  HistogramEstimator DifferentBins(0.0, 1.0, 8);
+  HistogramEstimator DifferentRange(0.0, 2.0, 16);
+  EXPECT_FALSE(A.merge(DifferentBins).isOk());
+  EXPECT_FALSE(A.merge(DifferentRange).isOk());
+}
+
+TEST(HistogramEstimator, FileRoundTrip) {
+  HistogramEstimator Histogram(-1.5, 2.5, 12);
+  Lcg128 Source;
+  for (int Draw = 0; Draw < 5000; ++Draw)
+    Histogram.add(sampleNormal(Source, 0.5, 1.0));
+  Result<HistogramEstimator> Parsed =
+      HistogramEstimator::fromFileContents(Histogram.toFileContents());
+  ASSERT_TRUE(Parsed.isOk()) << Parsed.status().toString();
+  EXPECT_EQ(Parsed.value().totalCount(), Histogram.totalCount());
+  EXPECT_EQ(Parsed.value().underflowCount(), Histogram.underflowCount());
+  EXPECT_EQ(Parsed.value().overflowCount(), Histogram.overflowCount());
+  for (size_t Index = 0; Index < 12; ++Index)
+    EXPECT_EQ(Parsed.value().countOf(Index), Histogram.countOf(Index));
+}
+
+TEST(HistogramEstimator, FileParseRejectsCorruption) {
+  EXPECT_FALSE(HistogramEstimator::fromFileContents("").isOk());
+  EXPECT_FALSE(
+      HistogramEstimator::fromFileContents("range 0 1\nbins 2\n").isOk());
+  EXPECT_FALSE(HistogramEstimator::fromFileContents(
+                   "range 1 0\nbins 1\ncounts 1\n")
+                   .isOk());
+  EXPECT_FALSE(HistogramEstimator::fromFileContents(
+                   "range 0 1\nbins 3\ncounts 1 2\n")
+                   .isOk());
+  EXPECT_FALSE(HistogramEstimator::fromFileContents(
+                   "range 0 1\nbins 1\ncounts -4\n")
+                   .isOk());
+}
+
+TEST(HistogramEstimator, CdfIsMonotoneAndMatchesUniform) {
+  HistogramEstimator Histogram(0.0, 1.0, 100);
+  Lcg128 Source;
+  for (int Draw = 0; Draw < 200000; ++Draw)
+    Histogram.add(Source.nextUniform());
+  double Previous = 0.0;
+  for (double Value = 0.05; Value <= 1.0; Value += 0.05) {
+    const double Cdf = Histogram.cdfAt(Value);
+    EXPECT_GE(Cdf, Previous);
+    // Tolerance: one bin of granularity (0.01) + sampling noise.
+    EXPECT_NEAR(Cdf, Value, 0.015);
+    Previous = Cdf;
+  }
+  EXPECT_DOUBLE_EQ(Histogram.cdfAt(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram.cdfAt(2.0), 1.0);
+}
+
+TEST(HistogramEstimator, ResetForgets) {
+  HistogramEstimator Histogram(0.0, 1.0, 4);
+  Histogram.add(0.5);
+  Histogram.add(5.0);
+  Histogram.reset();
+  EXPECT_EQ(Histogram.totalCount(), 0);
+  EXPECT_EQ(Histogram.overflowCount(), 0);
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,81 @@
+//===- tools/genparam.cpp - Compute leap multipliers (§3.5) ---------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage, exactly as in the paper:
+//
+//   $ genparam ne np nr
+//
+// where ne, np, nr are the exponents of two of the experiment, processor
+// and realization leap lengths (ne > np > nr). Writes the multipliers
+// A(2^ne), A(2^np), A(2^nr) to parmonc_genparam.dat in the current
+// directory; subsequent PARMONC runs in this directory use them instead of
+// the defaults.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/StreamHierarchy.h"
+#include "parmonc/support/Text.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace parmonc;
+
+static int printUsage(const char *Program) {
+  std::fprintf(stderr,
+               "usage: %s ne np nr\n"
+               "  ne, np, nr: leap exponents of two with "
+               "125 > ne > np > nr >= 1\n"
+               "  (defaults used when no parmonc_genparam.dat exists: "
+               "ne=115 np=98 nr=43)\n",
+               Program);
+  return 2;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc != 4)
+    return printUsage(Argv[0]);
+
+  LeapConfig Config;
+  unsigned *Slots[3] = {&Config.ExperimentLog2, &Config.ProcessorLog2,
+                        &Config.RealizationLog2};
+  for (int Index = 0; Index < 3; ++Index) {
+    Result<uint64_t> Parsed = parseUInt64(Argv[Index + 1]);
+    if (!Parsed || Parsed.value() >= 128) {
+      std::fprintf(stderr, "genparam: bad exponent '%s'\n", Argv[Index + 1]);
+      return printUsage(Argv[0]);
+    }
+    *Slots[Index] = unsigned(Parsed.value());
+  }
+
+  if (Status Valid = Config.validate(); !Valid) {
+    std::fprintf(stderr, "genparam: %s\n", Valid.toString().c_str());
+    return 1;
+  }
+
+  const LeapTable Table(Lcg128::defaultMultiplier(), Config);
+  const std::string Path = "parmonc_genparam.dat";
+  if (Status Written = writeFileAtomic(Path, Table.toFileContents());
+      !Written) {
+    std::fprintf(stderr, "genparam: %s\n", Written.toString().c_str());
+    return 1;
+  }
+
+  std::printf("wrote %s\n", Path.c_str());
+  std::printf("  base A        = %s\n",
+              Table.baseMultiplier().toHexString().c_str());
+  std::printf("  A(2^%-3u)      = %s\n", Config.ExperimentLog2,
+              Table.experimentLeap().toHexString().c_str());
+  std::printf("  A(2^%-3u)      = %s\n", Config.ProcessorLog2,
+              Table.processorLeap().toHexString().c_str());
+  std::printf("  A(2^%-3u)      = %s\n", Config.RealizationLog2,
+              Table.realizationLeap().toHexString().c_str());
+  std::printf("  capacity: 2^%u experiments x 2^%u processors x 2^%u "
+              "realizations\n",
+              Config.maxExperimentsLog2(), Config.maxProcessorsLog2(),
+              Config.maxRealizationsLog2());
+  return 0;
+}
