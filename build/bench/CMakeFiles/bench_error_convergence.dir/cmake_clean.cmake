@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_convergence.dir/bench_error_convergence.cpp.o"
+  "CMakeFiles/bench_error_convergence.dir/bench_error_convergence.cpp.o.d"
+  "bench_error_convergence"
+  "bench_error_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

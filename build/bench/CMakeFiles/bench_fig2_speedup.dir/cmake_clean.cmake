@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_speedup.dir/bench_fig2_speedup.cpp.o"
+  "CMakeFiles/bench_fig2_speedup.dir/bench_fig2_speedup.cpp.o.d"
+  "bench_fig2_speedup"
+  "bench_fig2_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leap_setup.dir/bench_leap_setup.cpp.o"
+  "CMakeFiles/bench_leap_setup.dir/bench_leap_setup.cpp.o.d"
+  "bench_leap_setup"
+  "bench_leap_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leap_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rng_throughput.dir/bench_rng_throughput.cpp.o"
+  "CMakeFiles/bench_rng_throughput.dir/bench_rng_throughput.cpp.o.d"
+  "bench_rng_throughput"
+  "bench_rng_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rng_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

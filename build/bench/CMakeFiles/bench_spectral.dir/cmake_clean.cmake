@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spectral.dir/bench_spectral.cpp.o"
+  "CMakeFiles/bench_spectral.dir/bench_spectral.cpp.o.d"
+  "bench_spectral"
+  "bench_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_merge.dir/bench_stats_merge.cpp.o"
+  "CMakeFiles/bench_stats_merge.dir/bench_stats_merge.cpp.o.d"
+  "bench_stats_merge"
+  "bench_stats_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

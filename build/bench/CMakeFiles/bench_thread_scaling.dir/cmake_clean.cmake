@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thread_scaling.dir/bench_thread_scaling.cpp.o"
+  "CMakeFiles/bench_thread_scaling.dir/bench_thread_scaling.cpp.o.d"
+  "bench_thread_scaling"
+  "bench_thread_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thread_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

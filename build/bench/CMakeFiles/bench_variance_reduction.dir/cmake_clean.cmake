@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variance_reduction.dir/bench_variance_reduction.cpp.o"
+  "CMakeFiles/bench_variance_reduction.dir/bench_variance_reduction.cpp.o.d"
+  "bench_variance_reduction"
+  "bench_variance_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variance_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

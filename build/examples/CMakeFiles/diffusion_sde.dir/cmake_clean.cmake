@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_sde.dir/diffusion_sde.cpp.o"
+  "CMakeFiles/diffusion_sde.dir/diffusion_sde.cpp.o.d"
+  "diffusion_sde"
+  "diffusion_sde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_sde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diffusion_sde.
+# This may be replaced when dependencies are built.

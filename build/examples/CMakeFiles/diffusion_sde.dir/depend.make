@@ -1,0 +1,2 @@
+# Empty dependencies file for diffusion_sde.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration.dir/integration.cpp.o"
+  "CMakeFiles/integration.dir/integration.cpp.o.d"
+  "integration"
+  "integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

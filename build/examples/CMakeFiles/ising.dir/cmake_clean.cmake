@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ising.dir/ising.cpp.o"
+  "CMakeFiles/ising.dir/ising.cpp.o.d"
+  "ising"
+  "ising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ising.
+# This may be replaced when dependencies are built.

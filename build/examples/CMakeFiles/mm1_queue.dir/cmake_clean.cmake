@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm1_queue.dir/mm1_queue.cpp.o"
+  "CMakeFiles/mm1_queue.dir/mm1_queue.cpp.o.d"
+  "mm1_queue"
+  "mm1_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm1_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population.dir/population.cpp.o"
+  "CMakeFiles/population.dir/population.cpp.o.d"
+  "population"
+  "population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

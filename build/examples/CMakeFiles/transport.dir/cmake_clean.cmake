@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport.dir/transport.cpp.o"
+  "CMakeFiles/transport.dir/transport.cpp.o.d"
+  "transport"
+  "transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "2")
+set_tests_properties(example_quickstart PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke_quickstart" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;23;parmonc_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_diffusion_sde "/root/repo/build/examples/diffusion_sde" "2" "40")
+set_tests_properties(example_diffusion_sde PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke_diffusion_sde" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;24;parmonc_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mm1_queue "/root/repo/build/examples/mm1_queue" "2" "200")
+set_tests_properties(example_mm1_queue PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke_mm1_queue" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;25;parmonc_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_population "/root/repo/build/examples/population" "2" "1000")
+set_tests_properties(example_population PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke_population" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;26;parmonc_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ising "/root/repo/build/examples/ising" "2" "100")
+set_tests_properties(example_ising PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke_ising" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;27;parmonc_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_integration "/root/repo/build/examples/integration" "2" "20000")
+set_tests_properties(example_integration PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke_integration" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;28;parmonc_example_smoke;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_transport "/root/repo/build/examples/transport" "50000")
+set_tests_properties(example_transport PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples/smoke_transport" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;29;parmonc_example_smoke;/root/repo/examples/CMakeLists.txt;0;")

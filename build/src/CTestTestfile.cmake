@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("int128")
+subdirs("rng")
+subdirs("stats")
+subdirs("statest")
+subdirs("mpsim")
+subdirs("sde")
+subdirs("vr")
+subdirs("spectral")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_core.dir/CApi.cpp.o"
+  "CMakeFiles/parmonc_core.dir/CApi.cpp.o.d"
+  "CMakeFiles/parmonc_core.dir/ResultsStore.cpp.o"
+  "CMakeFiles/parmonc_core.dir/ResultsStore.cpp.o.d"
+  "CMakeFiles/parmonc_core.dir/Runner.cpp.o"
+  "CMakeFiles/parmonc_core.dir/Runner.cpp.o.d"
+  "libparmonc_core.a"
+  "libparmonc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

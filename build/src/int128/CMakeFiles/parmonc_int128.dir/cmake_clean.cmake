@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_int128.dir/UInt128.cpp.o"
+  "CMakeFiles/parmonc_int128.dir/UInt128.cpp.o.d"
+  "libparmonc_int128.a"
+  "libparmonc_int128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_int128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for parmonc_int128.
+# This may be replaced when dependencies are built.

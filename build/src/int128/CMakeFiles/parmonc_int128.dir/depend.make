@@ -1,0 +1,2 @@
+# Empty dependencies file for parmonc_int128.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpsim/Collectives.cpp" "src/mpsim/CMakeFiles/parmonc_mpsim.dir/Collectives.cpp.o" "gcc" "src/mpsim/CMakeFiles/parmonc_mpsim.dir/Collectives.cpp.o.d"
+  "/root/repo/src/mpsim/Communicator.cpp" "src/mpsim/CMakeFiles/parmonc_mpsim.dir/Communicator.cpp.o" "gcc" "src/mpsim/CMakeFiles/parmonc_mpsim.dir/Communicator.cpp.o.d"
+  "/root/repo/src/mpsim/VirtualCluster.cpp" "src/mpsim/CMakeFiles/parmonc_mpsim.dir/VirtualCluster.cpp.o" "gcc" "src/mpsim/CMakeFiles/parmonc_mpsim.dir/VirtualCluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parmonc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sde/CMakeFiles/parmonc_sde.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/parmonc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/int128/CMakeFiles/parmonc_int128.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_mpsim.dir/Collectives.cpp.o"
+  "CMakeFiles/parmonc_mpsim.dir/Collectives.cpp.o.d"
+  "CMakeFiles/parmonc_mpsim.dir/Communicator.cpp.o"
+  "CMakeFiles/parmonc_mpsim.dir/Communicator.cpp.o.d"
+  "CMakeFiles/parmonc_mpsim.dir/VirtualCluster.cpp.o"
+  "CMakeFiles/parmonc_mpsim.dir/VirtualCluster.cpp.o.d"
+  "libparmonc_mpsim.a"
+  "libparmonc_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/Baselines.cpp" "src/rng/CMakeFiles/parmonc_rng.dir/Baselines.cpp.o" "gcc" "src/rng/CMakeFiles/parmonc_rng.dir/Baselines.cpp.o.d"
+  "/root/repo/src/rng/Lcg128.cpp" "src/rng/CMakeFiles/parmonc_rng.dir/Lcg128.cpp.o" "gcc" "src/rng/CMakeFiles/parmonc_rng.dir/Lcg128.cpp.o.d"
+  "/root/repo/src/rng/StreamHierarchy.cpp" "src/rng/CMakeFiles/parmonc_rng.dir/StreamHierarchy.cpp.o" "gcc" "src/rng/CMakeFiles/parmonc_rng.dir/StreamHierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/int128/CMakeFiles/parmonc_int128.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmonc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_rng.dir/Baselines.cpp.o"
+  "CMakeFiles/parmonc_rng.dir/Baselines.cpp.o.d"
+  "CMakeFiles/parmonc_rng.dir/Lcg128.cpp.o"
+  "CMakeFiles/parmonc_rng.dir/Lcg128.cpp.o.d"
+  "CMakeFiles/parmonc_rng.dir/StreamHierarchy.cpp.o"
+  "CMakeFiles/parmonc_rng.dir/StreamHierarchy.cpp.o.d"
+  "libparmonc_rng.a"
+  "libparmonc_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_sde.dir/Distributions.cpp.o"
+  "CMakeFiles/parmonc_sde.dir/Distributions.cpp.o.d"
+  "CMakeFiles/parmonc_sde.dir/EulerMaruyama.cpp.o"
+  "CMakeFiles/parmonc_sde.dir/EulerMaruyama.cpp.o.d"
+  "libparmonc_sde.a"
+  "libparmonc_sde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_sde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_spectral.dir/BigInt.cpp.o"
+  "CMakeFiles/parmonc_spectral.dir/BigInt.cpp.o.d"
+  "CMakeFiles/parmonc_spectral.dir/SpectralTest.cpp.o"
+  "CMakeFiles/parmonc_spectral.dir/SpectralTest.cpp.o.d"
+  "libparmonc_spectral.a"
+  "libparmonc_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_statest.dir/SpecialFunctions.cpp.o"
+  "CMakeFiles/parmonc_statest.dir/SpecialFunctions.cpp.o.d"
+  "CMakeFiles/parmonc_statest.dir/Tests.cpp.o"
+  "CMakeFiles/parmonc_statest.dir/Tests.cpp.o.d"
+  "libparmonc_statest.a"
+  "libparmonc_statest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_statest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parmonc_statest.
+# This may be replaced when dependencies are built.

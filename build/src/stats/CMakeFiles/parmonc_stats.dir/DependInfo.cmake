@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/Confidence.cpp" "src/stats/CMakeFiles/parmonc_stats.dir/Confidence.cpp.o" "gcc" "src/stats/CMakeFiles/parmonc_stats.dir/Confidence.cpp.o.d"
+  "/root/repo/src/stats/EstimatorMatrix.cpp" "src/stats/CMakeFiles/parmonc_stats.dir/EstimatorMatrix.cpp.o" "gcc" "src/stats/CMakeFiles/parmonc_stats.dir/EstimatorMatrix.cpp.o.d"
+  "/root/repo/src/stats/HistogramEstimator.cpp" "src/stats/CMakeFiles/parmonc_stats.dir/HistogramEstimator.cpp.o" "gcc" "src/stats/CMakeFiles/parmonc_stats.dir/HistogramEstimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parmonc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

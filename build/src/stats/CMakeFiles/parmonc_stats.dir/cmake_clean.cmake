@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_stats.dir/Confidence.cpp.o"
+  "CMakeFiles/parmonc_stats.dir/Confidence.cpp.o.d"
+  "CMakeFiles/parmonc_stats.dir/EstimatorMatrix.cpp.o"
+  "CMakeFiles/parmonc_stats.dir/EstimatorMatrix.cpp.o.d"
+  "CMakeFiles/parmonc_stats.dir/HistogramEstimator.cpp.o"
+  "CMakeFiles/parmonc_stats.dir/HistogramEstimator.cpp.o.d"
+  "libparmonc_stats.a"
+  "libparmonc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

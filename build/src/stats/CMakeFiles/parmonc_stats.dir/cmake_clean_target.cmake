@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparmonc_stats.a"
+)

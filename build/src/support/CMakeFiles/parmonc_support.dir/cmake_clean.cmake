@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_support.dir/Status.cpp.o"
+  "CMakeFiles/parmonc_support.dir/Status.cpp.o.d"
+  "CMakeFiles/parmonc_support.dir/Text.cpp.o"
+  "CMakeFiles/parmonc_support.dir/Text.cpp.o.d"
+  "libparmonc_support.a"
+  "libparmonc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmonc_vr.dir/VarianceReduction.cpp.o"
+  "CMakeFiles/parmonc_vr.dir/VarianceReduction.cpp.o.d"
+  "libparmonc_vr.a"
+  "libparmonc_vr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmonc_vr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

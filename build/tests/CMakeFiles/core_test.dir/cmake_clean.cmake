@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/CApiTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/CApiTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/FailureInjectionTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/FailureInjectionTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ResultsStoreTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/ResultsStoreTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/RunnerHistogramTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/RunnerHistogramTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/RunnerTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/RunnerTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/UmbrellaHeaderTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/UmbrellaHeaderTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int128_test.dir/int128/UInt128Test.cpp.o"
+  "CMakeFiles/int128_test.dir/int128/UInt128Test.cpp.o.d"
+  "int128_test"
+  "int128_test.pdb"
+  "int128_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int128_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpsim/CollectivesTest.cpp" "tests/CMakeFiles/mpsim_test.dir/mpsim/CollectivesTest.cpp.o" "gcc" "tests/CMakeFiles/mpsim_test.dir/mpsim/CollectivesTest.cpp.o.d"
+  "/root/repo/tests/mpsim/CommunicatorTest.cpp" "tests/CMakeFiles/mpsim_test.dir/mpsim/CommunicatorTest.cpp.o" "gcc" "tests/CMakeFiles/mpsim_test.dir/mpsim/CommunicatorTest.cpp.o.d"
+  "/root/repo/tests/mpsim/SerializeTest.cpp" "tests/CMakeFiles/mpsim_test.dir/mpsim/SerializeTest.cpp.o" "gcc" "tests/CMakeFiles/mpsim_test.dir/mpsim/SerializeTest.cpp.o.d"
+  "/root/repo/tests/mpsim/VirtualClusterTest.cpp" "tests/CMakeFiles/mpsim_test.dir/mpsim/VirtualClusterTest.cpp.o" "gcc" "tests/CMakeFiles/mpsim_test.dir/mpsim/VirtualClusterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpsim/CMakeFiles/parmonc_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sde/CMakeFiles/parmonc_sde.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/parmonc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/int128/CMakeFiles/parmonc_int128.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmonc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_test.dir/mpsim/CollectivesTest.cpp.o"
+  "CMakeFiles/mpsim_test.dir/mpsim/CollectivesTest.cpp.o.d"
+  "CMakeFiles/mpsim_test.dir/mpsim/CommunicatorTest.cpp.o"
+  "CMakeFiles/mpsim_test.dir/mpsim/CommunicatorTest.cpp.o.d"
+  "CMakeFiles/mpsim_test.dir/mpsim/SerializeTest.cpp.o"
+  "CMakeFiles/mpsim_test.dir/mpsim/SerializeTest.cpp.o.d"
+  "CMakeFiles/mpsim_test.dir/mpsim/VirtualClusterTest.cpp.o"
+  "CMakeFiles/mpsim_test.dir/mpsim/VirtualClusterTest.cpp.o.d"
+  "mpsim_test"
+  "mpsim_test.pdb"
+  "mpsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

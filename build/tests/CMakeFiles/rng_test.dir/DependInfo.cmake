@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rng/BaselinesTest.cpp" "tests/CMakeFiles/rng_test.dir/rng/BaselinesTest.cpp.o" "gcc" "tests/CMakeFiles/rng_test.dir/rng/BaselinesTest.cpp.o.d"
+  "/root/repo/tests/rng/Lcg128Test.cpp" "tests/CMakeFiles/rng_test.dir/rng/Lcg128Test.cpp.o" "gcc" "tests/CMakeFiles/rng_test.dir/rng/Lcg128Test.cpp.o.d"
+  "/root/repo/tests/rng/LcgPow2SweepTest.cpp" "tests/CMakeFiles/rng_test.dir/rng/LcgPow2SweepTest.cpp.o" "gcc" "tests/CMakeFiles/rng_test.dir/rng/LcgPow2SweepTest.cpp.o.d"
+  "/root/repo/tests/rng/StdAdapterTest.cpp" "tests/CMakeFiles/rng_test.dir/rng/StdAdapterTest.cpp.o" "gcc" "tests/CMakeFiles/rng_test.dir/rng/StdAdapterTest.cpp.o.d"
+  "/root/repo/tests/rng/StreamHierarchyTest.cpp" "tests/CMakeFiles/rng_test.dir/rng/StreamHierarchyTest.cpp.o" "gcc" "tests/CMakeFiles/rng_test.dir/rng/StreamHierarchyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rng/CMakeFiles/parmonc_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/int128/CMakeFiles/parmonc_int128.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parmonc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_test.dir/rng/BaselinesTest.cpp.o"
+  "CMakeFiles/rng_test.dir/rng/BaselinesTest.cpp.o.d"
+  "CMakeFiles/rng_test.dir/rng/Lcg128Test.cpp.o"
+  "CMakeFiles/rng_test.dir/rng/Lcg128Test.cpp.o.d"
+  "CMakeFiles/rng_test.dir/rng/LcgPow2SweepTest.cpp.o"
+  "CMakeFiles/rng_test.dir/rng/LcgPow2SweepTest.cpp.o.d"
+  "CMakeFiles/rng_test.dir/rng/StdAdapterTest.cpp.o"
+  "CMakeFiles/rng_test.dir/rng/StdAdapterTest.cpp.o.d"
+  "CMakeFiles/rng_test.dir/rng/StreamHierarchyTest.cpp.o"
+  "CMakeFiles/rng_test.dir/rng/StreamHierarchyTest.cpp.o.d"
+  "rng_test"
+  "rng_test.pdb"
+  "rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

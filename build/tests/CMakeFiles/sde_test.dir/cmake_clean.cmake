@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sde_test.dir/sde/DistributionsTest.cpp.o"
+  "CMakeFiles/sde_test.dir/sde/DistributionsTest.cpp.o.d"
+  "CMakeFiles/sde_test.dir/sde/EulerMaruyamaTest.cpp.o"
+  "CMakeFiles/sde_test.dir/sde/EulerMaruyamaTest.cpp.o.d"
+  "CMakeFiles/sde_test.dir/sde/ExtendedDistributionsTest.cpp.o"
+  "CMakeFiles/sde_test.dir/sde/ExtendedDistributionsTest.cpp.o.d"
+  "sde_test"
+  "sde_test.pdb"
+  "sde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

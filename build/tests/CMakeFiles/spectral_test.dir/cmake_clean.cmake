@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_test.dir/spectral/BigIntTest.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/BigIntTest.cpp.o.d"
+  "CMakeFiles/spectral_test.dir/spectral/SpectralTestTest.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/SpectralTestTest.cpp.o.d"
+  "spectral_test"
+  "spectral_test.pdb"
+  "spectral_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

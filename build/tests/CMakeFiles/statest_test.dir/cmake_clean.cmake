@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statest_test.dir/statest/BatteryTest.cpp.o"
+  "CMakeFiles/statest_test.dir/statest/BatteryTest.cpp.o.d"
+  "CMakeFiles/statest_test.dir/statest/SpecialFunctionsTest.cpp.o"
+  "CMakeFiles/statest_test.dir/statest/SpecialFunctionsTest.cpp.o.d"
+  "statest_test"
+  "statest_test.pdb"
+  "statest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/ConfidenceTest.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/ConfidenceTest.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/EstimatorMatrixTest.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/EstimatorMatrixTest.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/HistogramEstimatorTest.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/HistogramEstimatorTest.cpp.o.d"
+  "stats_test"
+  "stats_test.pdb"
+  "stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

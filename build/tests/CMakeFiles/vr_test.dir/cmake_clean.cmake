@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_test.dir/vr/VarianceReductionTest.cpp.o"
+  "CMakeFiles/vr_test.dir/vr/VarianceReductionTest.cpp.o.d"
+  "vr_test"
+  "vr_test.pdb"
+  "vr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genparam.dir/genparam.cpp.o"
+  "CMakeFiles/genparam.dir/genparam.cpp.o.d"
+  "genparam"
+  "genparam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genparam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

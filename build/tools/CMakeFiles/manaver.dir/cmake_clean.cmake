@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manaver.dir/manaver.cpp.o"
+  "CMakeFiles/manaver.dir/manaver.cpp.o.d"
+  "manaver"
+  "manaver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manaver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(genparam_cli_writes_file "/root/repo/build/tools/genparam" "60" "40" "20")
+set_tests_properties(genparam_cli_writes_file PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools/smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(genparam_cli_rejects_bad_exponents "/root/repo/build/tools/genparam" "10" "40" "20")
+set_tests_properties(genparam_cli_rejects_bad_exponents PROPERTIES  WILL_FAIL "TRUE" WORKING_DIRECTORY "/root/repo/build/tools/smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(genparam_cli_usage "/root/repo/build/tools/genparam")
+set_tests_properties(genparam_cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(manaver_cli_fails_without_data "/root/repo/build/tools/manaver" "/root/repo/build/tools/smoke")
+set_tests_properties(manaver_cli_fails_without_data PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
