@@ -1,0 +1,92 @@
+//===- bench/bench_obs.cpp - Observability hot-path micro-costs -----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The instrumentation budget: every per-realization metric update must be
+// a handful of relaxed atomics so permanently-on metrics keep the engine's
+// exchange overhead negligible (§2.2). These micro-benchmarks pin down the
+// cost of each primitive — counter add, latency record, trace span — and
+// of a full registry snapshot, so a regression in any of them shows up
+// before it shows up in bench_thread_scaling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/obs/Metrics.h"
+#include "parmonc/obs/Stopwatch.h"
+#include "parmonc/obs/Trace.h"
+#include "parmonc/support/Clock.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace parmonc;
+
+static void BM_CounterAdd(benchmark::State &State) {
+  obs::MetricsRegistry Registry;
+  obs::Counter &Events = Registry.counter("bench.events");
+  for (auto _ : State)
+    Events.add();
+  benchmark::DoNotOptimize(Events.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+static void BM_GaugeSet(benchmark::State &State) {
+  obs::MetricsRegistry Registry;
+  obs::Gauge &Level = Registry.gauge("bench.level");
+  double Value = 0.0;
+  for (auto _ : State)
+    Level.set(Value += 1.0);
+  benchmark::DoNotOptimize(Level.value());
+}
+BENCHMARK(BM_GaugeSet);
+
+static void BM_LatencyRecord(benchmark::State &State) {
+  obs::MetricsRegistry Registry;
+  obs::LatencyHistogram &Latency = Registry.latency("bench.latency");
+  int64_t Nanos = 1;
+  for (auto _ : State) {
+    Latency.recordNanos(Nanos);
+    Nanos = (Nanos * 2) & 0xffffff; // walk the buckets
+  }
+  benchmark::DoNotOptimize(Latency.count());
+}
+BENCHMARK(BM_LatencyRecord);
+
+static void BM_TraceCompleteSpan(benchmark::State &State) {
+  ManualClock Frozen;
+  obs::TraceWriter Trace(&Frozen);
+  int64_t Ts = 0;
+  for (auto _ : State) {
+    Trace.completeSpan("bench.span", 0, Ts, Ts + 100);
+    Ts += 100;
+  }
+  benchmark::DoNotOptimize(Trace.eventCount());
+}
+BENCHMARK(BM_TraceCompleteSpan);
+
+static void BM_ScopedSpanDisabled(benchmark::State &State) {
+  // The engine's common case: no trace sink attached. Must be ~free.
+  WallClock Time;
+  for (auto _ : State) {
+    obs::ScopedSpan Span(Time, "bench.noop", 0, /*Trace=*/nullptr);
+    benchmark::DoNotOptimize(&Span);
+  }
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+static void BM_RegistrySnapshot(benchmark::State &State) {
+  obs::MetricsRegistry Registry;
+  for (int Index = 0; Index < 32; ++Index) {
+    Registry.counter("bench.counter" + std::to_string(Index)).add(Index);
+    Registry.latency("bench.latency" + std::to_string(Index))
+        .recordNanos(Index * 1000);
+  }
+  for (auto _ : State) {
+    obs::MetricsSnapshot Snapshot = Registry.snapshot();
+    benchmark::DoNotOptimize(Snapshot.Counters.size());
+  }
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+BENCHMARK_MAIN();

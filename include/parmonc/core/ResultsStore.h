@@ -28,8 +28,11 @@
 #define PARMONC_CORE_RESULTSSTORE_H
 
 #include "parmonc/core/RunConfig.h"
+#include "parmonc/obs/Metrics.h"
+#include "parmonc/obs/Trace.h"
 #include "parmonc/stats/EstimatorMatrix.h"
 #include "parmonc/stats/HistogramEstimator.h"
+#include "parmonc/support/Clock.h"
 #include "parmonc/support/Status.h"
 
 #include <cstdint>
@@ -104,8 +107,17 @@ public:
   std::string confidencePath() const;  ///< results/func_ci.dat
   std::string logPath() const;         ///< results/func_log.dat
   std::string experimentLogPath() const;
+  std::string metricsPath() const; ///< results/metrics.dat
+  std::string tracePath() const;   ///< results/trace.json
   /// parmonc_genparam.dat lives in the working directory itself (§3.5).
   std::string genparamPath() const;
+
+  /// Attaches observability sinks: checkpoint/subtotal writes and reads
+  /// get "store.snapshot_write"/"store.snapshot_read" spans and latency
+  /// histograms plus snapshots-written/read and bytes counters. All three
+  /// pointers may be null independently; timing needs \p TimeSource.
+  void attachObservers(obs::MetricsRegistry *Metrics,
+                       obs::TraceWriter *Trace, const Clock *TimeSource);
 
   /// Writes one snapshot file atomically.
   Status writeSnapshot(const std::string &Path,
@@ -135,6 +147,10 @@ public:
 
 private:
   std::string WorkDir;
+  // Observability (attachObservers); null = uninstrumented.
+  obs::MetricsRegistry *Metrics = nullptr;
+  obs::TraceWriter *Trace = nullptr;
+  const Clock *Time = nullptr;
 };
 
 /// Writes/reads the per-observable histogram files under results/

@@ -17,6 +17,8 @@
 #ifndef PARMONC_CORE_RUNCONFIG_H
 #define PARMONC_CORE_RUNCONFIG_H
 
+#include "parmonc/obs/Metrics.h"
+#include "parmonc/obs/Trace.h"
 #include "parmonc/rng/StreamHierarchy.h"
 #include "parmonc/support/Status.h"
 
@@ -112,6 +114,19 @@ struct RunConfig {
   /// it runs concurrently with the other workers.
   std::function<void(const RunProgress &)> OnSavePoint;
 
+  /// Optional external metrics registry. When null the engine uses a
+  /// private registry; either way RunReport::Metrics carries the final
+  /// snapshot and results/metrics.dat is written. Supplying one lets
+  /// callers share a registry across runs or pre-register extra metrics.
+  obs::MetricsRegistry *Metrics = nullptr;
+
+  /// Optional trace sink. When set, the engine emits Chrome-trace spans
+  /// (per-realization compute, subtotal sends, collector merges, saves,
+  /// checkpoint I/O) and writes results/trace.json at the end. Tracing
+  /// never perturbs simulation results; with an injected deterministic
+  /// clock the emitted JSON is byte-identical across runs (tested).
+  obs::TraceWriter *Trace = nullptr;
+
   /// Checks ranges and cross-field constraints.
   Status validate() const;
 };
@@ -146,6 +161,10 @@ struct RunReport {
 
   /// True if the run stopped on the time limit.
   bool StoppedOnTimeLimit = false;
+
+  /// Final values of every engine metric (runner.*, rng.*, comm.*,
+  /// store.*), also persisted to results/metrics.dat for mcstat.
+  obs::MetricsSnapshot Metrics;
 };
 
 } // namespace parmonc

@@ -17,6 +17,8 @@
 #ifndef PARMONC_MPSIM_COMMUNICATOR_H
 #define PARMONC_MPSIM_COMMUNICATOR_H
 
+#include "parmonc/obs/Metrics.h"
+
 #include <cassert>
 #include <condition_variable>
 #include <cstdint>
@@ -83,8 +85,23 @@ public:
   /// Rendezvous of all ranks; generation-counted so it is reusable.
   void arriveAtBarrier();
 
+  /// Attaches observability counters ("comm.messages_sent",
+  /// "comm.bytes_sent") and the "comm.collector_queue_depth" gauge
+  /// (sampled at every send to rank 0 — the §2.2 collector-congestion
+  /// signal). Call before any rank starts sending.
+  void attachMetrics(obs::MetricsRegistry &Registry);
+
+  obs::Counter *messagesSentCounter() const { return MessagesSent; }
+  obs::Counter *bytesSentCounter() const { return BytesSent; }
+  obs::Gauge *collectorQueueDepthGauge() const {
+    return CollectorQueueDepth;
+  }
+
 private:
   std::vector<std::unique_ptr<Mailbox>> Mailboxes;
+  obs::Counter *MessagesSent = nullptr;
+  obs::Counter *BytesSent = nullptr;
+  obs::Gauge *CollectorQueueDepth = nullptr;
   std::mutex BarrierMutex;
   std::condition_variable BarrierRelease;
   int BarrierWaiting = 0;
@@ -131,7 +148,8 @@ private:
 /// "launch as an MPI job" substitute: rank 0 plays the collector role
 /// exactly as in §2.2.
 void runThreadEngine(int RankCount,
-                     const std::function<void(Communicator &)> &Body);
+                     const std::function<void(Communicator &)> &Body,
+                     obs::MetricsRegistry *Metrics = nullptr);
 
 } // namespace parmonc
 

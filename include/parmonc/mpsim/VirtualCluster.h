@@ -25,6 +25,8 @@
 #ifndef PARMONC_MPSIM_VIRTUALCLUSTER_H
 #define PARMONC_MPSIM_VIRTUALCLUSTER_H
 
+#include "parmonc/obs/Metrics.h"
+#include "parmonc/obs/Trace.h"
 #include "parmonc/support/Status.h"
 
 #include <cstdint>
@@ -74,6 +76,15 @@ struct VirtualClusterConfig {
   /// MeanRealizationSeconds * SpeedFactors[m]. Empty = homogeneous.
   /// When non-empty, must have ProcessorCount positive entries.
   std::vector<double> SpeedFactors;
+
+  /// Optional observability sinks. Metrics receives the collector
+  /// busy/queue-delay gauges and message/byte counters; Trace receives
+  /// per-message collector-processing spans stamped in *virtual* time
+  /// (nanoseconds = virtual seconds * 1e9), so the resulting Chrome trace
+  /// is fully deterministic for a fixed Seed. Attaching either sink must
+  /// not — and does not — perturb the simulated results (tested).
+  obs::MetricsRegistry *Metrics = nullptr;
+  obs::TraceWriter *Trace = nullptr;
 
   /// Sanity-checks ranges.
   Status validate() const;

@@ -1,0 +1,97 @@
+//===- parmonc/obs/Trace.h - Chrome-trace-format span recording -----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability layer. TraceWriter records
+/// complete spans ("ph":"X") and instant events ("ph":"i") and renders
+/// them as Chrome trace format JSON (load in chrome://tracing or
+/// https://ui.perfetto.dev). Timestamps are nanoseconds from the run
+/// clock's epoch, emitted as microseconds with 0.001 us resolution — the
+/// unit Chrome expects.
+///
+/// Determinism contract (what the obs test harness checks): toJson()
+/// sorts events by (timestamp, tid, per-writer sequence). Under an
+/// injected ManualClock a single-rank run therefore produces a
+/// byte-identical trace on every execution; multi-rank runs are
+/// deterministic per thread lane. Events may also be recorded with
+/// explicit timestamps (no clock at all), which is how the virtual-time
+/// cluster model emits spans in simulated seconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_OBS_TRACE_H
+#define PARMONC_OBS_TRACE_H
+
+#include "parmonc/support/Clock.h"
+#include "parmonc/support/Status.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+namespace obs {
+
+/// Collects trace events; thread-safe (one mutex per record — tracing is
+/// opt-in, so runs that do not attach a writer pay nothing at all).
+class TraceWriter {
+public:
+  /// \p TimeSource is used by nowNanos()/ScopedSpan; it may be null when
+  /// every event carries explicit timestamps (virtual-time producers).
+  explicit TraceWriter(const Clock *TimeSource = nullptr)
+      : Time(TimeSource) {}
+
+  TraceWriter(const TraceWriter &) = delete;
+  TraceWriter &operator=(const TraceWriter &) = delete;
+
+  bool hasClock() const { return Time != nullptr; }
+
+  /// Current time on the attached clock. Requires hasClock().
+  int64_t nowNanos() const {
+    assert(Time && "TraceWriter has no clock attached");
+    return Time->nowNanos();
+  }
+
+  /// Records a complete span [\p StartNanos, \p EndNanos] on lane \p Tid.
+  void completeSpan(std::string_view Name, int Tid, int64_t StartNanos,
+                    int64_t EndNanos);
+
+  /// Records an instant event at \p TsNanos on lane \p Tid.
+  void instantAt(std::string_view Name, int Tid, int64_t TsNanos);
+
+  /// Records an instant event at the attached clock's current time.
+  void instant(std::string_view Name, int Tid) {
+    instantAt(Name, Tid, nowNanos());
+  }
+
+  size_t eventCount() const;
+
+  /// Renders the Chrome trace JSON document: one event per line inside
+  /// "traceEvents", deterministically ordered (see file comment).
+  std::string toJson() const;
+
+private:
+  struct Event {
+    std::string Name;
+    int Tid = 0;
+    int64_t TsNanos = 0;
+    int64_t DurNanos = 0;
+    uint64_t Seq = 0; ///< per-writer record order (tie-break within a lane)
+    char Phase = 'X';
+  };
+
+  mutable std::mutex Mutex;
+  std::vector<Event> Events;
+  uint64_t NextSeq = 0;
+  const Clock *Time;
+};
+
+} // namespace obs
+} // namespace parmonc
+
+#endif // PARMONC_OBS_TRACE_H

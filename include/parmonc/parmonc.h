@@ -23,6 +23,9 @@
 #include "parmonc/mpsim/Communicator.h"
 #include "parmonc/mpsim/Serialize.h"
 #include "parmonc/mpsim/VirtualCluster.h"
+#include "parmonc/obs/Metrics.h"
+#include "parmonc/obs/Stopwatch.h"
+#include "parmonc/obs/Trace.h"
 #include "parmonc/rng/Baselines.h"
 #include "parmonc/rng/Lcg128.h"
 #include "parmonc/rng/LcgPow2.h"

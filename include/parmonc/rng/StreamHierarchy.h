@@ -29,6 +29,7 @@
 #define PARMONC_RNG_STREAMHIERARCHY_H
 
 #include "parmonc/int128/UInt128.h"
+#include "parmonc/obs/Metrics.h"
 #include "parmonc/rng/Lcg128.h"
 #include "parmonc/support/Status.h"
 
@@ -128,8 +129,18 @@ public:
 
   const LeapTable &leapTable() const { return Table; }
 
+  /// Attaches the "rng.streams_issued" counter from \p Registry: every
+  /// makeStream()/beginRealization() afterwards increments it (cursors
+  /// created from this hierarchy inherit the counter). Cheap: one relaxed
+  /// atomic add per stream.
+  void attachMetrics(obs::MetricsRegistry &Registry);
+
+  /// The attached streams-issued counter, or null.
+  obs::Counter *streamsIssuedCounter() const { return StreamsIssued; }
+
 private:
   LeapTable Table;
+  obs::Counter *StreamsIssued = nullptr;
 };
 
 /// Iterates the realization subsequences of one processor. The cursor keeps
@@ -145,7 +156,8 @@ public:
   RealizationCursor(const StreamHierarchy &Hierarchy, StreamCoordinates Start)
       : Table(Hierarchy.leapTable()),
         StartState(Hierarchy.initialNumber(Start)),
-        NextRealization(Start.Realization) {}
+        NextRealization(Start.Realization),
+        StreamsIssued(Hierarchy.streamsIssuedCounter()) {}
 
   /// Index of the realization the next beginRealization() call will start.
   uint64_t nextRealizationIndex() const { return NextRealization; }
@@ -156,6 +168,8 @@ public:
     Lcg128 Stream(Table.baseMultiplier(), StartState);
     StartState = StartState * Table.realizationLeap();
     ++NextRealization;
+    if (StreamsIssued)
+      StreamsIssued->add();
     return Stream;
   }
 
@@ -172,6 +186,7 @@ private:
   LeapTable Table;
   UInt128 StartState;
   uint64_t NextRealization;
+  obs::Counter *StreamsIssued = nullptr;
 };
 
 } // namespace parmonc

@@ -7,6 +7,7 @@
 #include "parmonc/core/ResultsStore.h"
 
 #include "parmonc/mpsim/Serialize.h"
+#include "parmonc/obs/Stopwatch.h"
 #include "parmonc/support/Text.h"
 
 #include <algorithm>
@@ -262,18 +263,56 @@ std::string ResultsStore::experimentLogPath() const {
 std::string ResultsStore::genparamPath() const {
   return WorkDir + "/parmonc_genparam.dat";
 }
+std::string ResultsStore::metricsPath() const {
+  return resultsDir() + "/metrics.dat";
+}
+std::string ResultsStore::tracePath() const {
+  return resultsDir() + "/trace.json";
+}
+
+void ResultsStore::attachObservers(obs::MetricsRegistry *Metrics,
+                                   obs::TraceWriter *Trace,
+                                   const Clock *TimeSource) {
+  this->Metrics = Metrics;
+  this->Trace = Trace;
+  this->Time = TimeSource;
+}
 
 Status ResultsStore::writeSnapshot(const std::string &Path,
                                    const MomentSnapshot &Snapshot) const {
-  return writeFileAtomic(Path, Snapshot.toFileContents());
+  const int64_t Start = Time ? Time->nowNanos() : 0;
+  std::string Contents = Snapshot.toFileContents();
+  Status Written = writeFileAtomic(Path, Contents);
+  if (Metrics && Written) {
+    Metrics->counter("store.snapshots_written").add();
+    Metrics->counter("store.snapshot_bytes_written")
+        .add(int64_t(Contents.size()));
+    if (Time)
+      Metrics->latency("store.snapshot_write")
+          .recordNanos(Time->nowNanos() - Start);
+  }
+  if (Trace && Time)
+    Trace->completeSpan("store.snapshot_write", 0, Start, Time->nowNanos());
+  return Written;
 }
 
 Result<MomentSnapshot> ResultsStore::readSnapshot(
     const std::string &Path) const {
+  const int64_t Start = Time ? Time->nowNanos() : 0;
   Result<std::string> Contents = readFileToString(Path);
   if (!Contents)
     return Contents.status();
-  return MomentSnapshot::fromFileContents(Contents.value());
+  Result<MomentSnapshot> Parsed =
+      MomentSnapshot::fromFileContents(Contents.value());
+  if (Parsed && Metrics) {
+    Metrics->counter("store.snapshots_read").add();
+    if (Time)
+      Metrics->latency("store.snapshot_read")
+          .recordNanos(Time->nowNanos() - Start);
+  }
+  if (Trace && Time)
+    Trace->completeSpan("store.snapshot_read", 0, Start, Time->nowNanos());
+  return Parsed;
 }
 
 Status ResultsStore::writeResults(const EstimatorMatrix &Merged,
@@ -401,7 +440,7 @@ Status ResultsStore::clearPreviousRun() const {
   std::error_code Error;
   for (const std::string &Path :
        {checkpointPath(), basePath(), meansPath(), confidencePath(),
-        logPath()})
+        logPath(), metricsPath(), tracePath()})
     std::filesystem::remove(Path, Error); // missing files are fine
   for (const auto &[Rank, Path] : listSubtotalFiles())
     std::filesystem::remove(Path, Error);

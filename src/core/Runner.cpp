@@ -17,6 +17,7 @@
 #include "parmonc/core/Runner.h"
 
 #include "parmonc/mpsim/Communicator.h"
+#include "parmonc/obs/Stopwatch.h"
 #include "parmonc/rng/StreamHierarchy.h"
 #include "parmonc/support/Text.h"
 
@@ -138,12 +139,22 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   static WallClock DefaultClock;
   Clock &Time = ClockOverride ? *ClockOverride : DefaultClock;
 
+  // Observability: callers may supply a shared registry; otherwise the run
+  // keeps a private one. Either way the final snapshot lands in
+  // RunReport::Metrics and results/metrics.dat.
+  obs::MetricsRegistry LocalRegistry;
+  obs::MetricsRegistry &Registry =
+      Config.Metrics ? *Config.Metrics : LocalRegistry;
+  obs::TraceWriter *Trace = Config.Trace;
+
   ResultsStore Store(Config.WorkDir);
+  Store.attachObservers(&Registry, Trace, &Time);
   if (Status Prepared = Store.prepareDirectories(); !Prepared)
     return Prepared;
 
   // Leap table: an explicit parmonc_genparam.dat in the working directory
   // overrides the configured exponents (§3.5).
+  const int64_t LeapSetupStart = Time.nowNanos();
   LeapTable Table(Lcg128::defaultMultiplier(), Config.Leaps);
   if (fileExists(Store.genparamPath())) {
     Result<LeapTable> Loaded = LeapTable::loadOrDefault(Store.genparamPath());
@@ -151,7 +162,13 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
       return Loaded.status();
     Table = std::move(Loaded).value();
   }
-  const StreamHierarchy Hierarchy(Table);
+  StreamHierarchy Hierarchy(Table);
+  Hierarchy.attachMetrics(Registry);
+  Registry.latency("rng.leap_setup")
+      .recordNanos(Time.nowNanos() - LeapSetupStart);
+  if (Trace)
+    Trace->completeSpan("rng.leap_setup", 0, LeapSetupStart,
+                        Time.nowNanos());
 
   // Resumption (§3.2): res=1 loads the previous checkpoint as the base;
   // res=0 starts from clean files.
@@ -222,6 +239,23 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   Status CollectorFailure; // first IO failure seen by rank 0
   RunReport Report;
 
+  // Pre-register every hot-path metric on the cold path: workers then only
+  // touch relaxed atomics through stable references.
+  obs::Counter &RealizationsTotal = Registry.counter("runner.realizations");
+  obs::Counter &SubtotalsSent = Registry.counter("runner.subtotals_sent");
+  obs::Counter &SavePoints = Registry.counter("runner.save_points");
+  obs::LatencyHistogram &RealizationLatency =
+      Registry.latency("runner.realization");
+  obs::LatencyHistogram &MergeLatency =
+      Registry.latency("runner.subtotal_merge");
+  obs::LatencyHistogram &SavePointLatency =
+      Registry.latency("runner.save_point");
+  std::vector<obs::Counter *> RankRealizations;
+  RankRealizations.reserve(size_t(RankCount));
+  for (int Rank = 0; Rank < RankCount; ++Rank)
+    RankRealizations.push_back(&Registry.counter(
+        "runner.rank" + std::to_string(Rank) + ".realizations"));
+
   // --- Collector helpers (rank 0 only) -----------------------------------
 
   auto buildLog = [&](const MomentSnapshot &Merged,
@@ -251,9 +285,14 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   };
 
   auto savePoint = [&](int64_t NowNanos) {
+    const int64_t MergeStart = Time.nowNanos();
     const MomentSnapshot Merged = Collector.mergeAll(Base);
+    const int64_t MergeEnd = Time.nowNanos();
     if (Merged.Moments.sampleVolume() <= 0)
       return; // nothing to report yet
+    MergeLatency.recordNanos(MergeEnd - MergeStart);
+    if (Trace)
+      Trace->completeSpan("runner.subtotal_merge", 0, MergeStart, MergeEnd);
     const RunLogInfo Log = buildLog(Merged, NowNanos);
     if (Status Written =
             Store.writeResults(Merged.Moments, Log, Config.ErrorMultiplier);
@@ -272,6 +311,11 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     }
     ++Collector.SavePointCount;
     Collector.LastSaveNanos = NowNanos;
+    SavePoints.add();
+    const int64_t SaveEnd = Time.nowNanos();
+    SavePointLatency.recordNanos(SaveEnd - MergeStart);
+    if (Trace)
+      Trace->completeSpan("runner.save_point", 0, MergeStart, SaveEnd);
 
     if (Config.OnSavePoint) {
       RunProgress Progress;
@@ -293,6 +337,8 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     if (AbsoluteMet || RelativeMet) {
       Shared.StoppedOnErrorTarget.store(true, std::memory_order_relaxed);
       Shared.StopRequested.store(true, std::memory_order_relaxed);
+      if (Trace)
+        Trace->instantAt("runner.stop.error_target", 0, SaveEnd);
     }
   };
 
@@ -346,7 +392,9 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
         Config.PassPeriodNanos > 0 ? Config.PassPeriodNanos : 250'000'000;
 
     auto sendSubtotal = [&](int Tag) {
+      const int64_t SendStart = Trace ? Time.nowNanos() : 0;
       Comm.send(0, Tag, Local.toBytes());
+      SubtotalsSent.add();
       // The worker's own on-disk subtotal is what manaver recovers after a
       // killed job (§3.4).
       const int64_t Now = Time.nowNanos();
@@ -354,6 +402,9 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
         (void)Store.writeSnapshot(Store.subtotalPath(Rank), Local);
         LastPersistNanos = Now;
       }
+      if (Trace)
+        Trace->completeSpan("runner.subtotal_send", Rank, SendStart,
+                            Time.nowNanos());
     };
 
     while (!Shared.StopRequested.load(std::memory_order_relaxed)) {
@@ -367,6 +418,14 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
       Realization(Stream, Out.data());
       const int64_t ComputeEnd = Time.nowNanos();
       Local.ComputeSeconds += double(ComputeEnd - ComputeStart) * 1e-9;
+      // Reuses the ComputeStart/ComputeEnd reads the engine takes anyway,
+      // so per-realization metrics cost two relaxed atomic updates.
+      RealizationsTotal.add();
+      RankRealizations[size_t(Rank)]->add();
+      RealizationLatency.recordNanos(ComputeEnd - ComputeStart);
+      if (Trace)
+        Trace->completeSpan("runner.realization", Rank, ComputeStart,
+                            ComputeEnd);
       Local.Moments.accumulate(Out.data());
       for (size_t Index = 0; Index < Config.Histograms.size(); ++Index) {
         const HistogramSpec &Spec = Config.Histograms[Index];
@@ -379,6 +438,8 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
           Now - StartNanos >= Config.TimeLimitNanos) {
         Shared.StoppedOnTimeLimit.store(true, std::memory_order_relaxed);
         Shared.StopRequested.store(true, std::memory_order_relaxed);
+        if (Trace)
+          Trace->instantAt("runner.stop.time_limit", Rank, Now);
       }
       if (Config.PassPeriodNanos == 0 ||
           Now - LastPassNanos >= Config.PassPeriodNanos) {
@@ -428,7 +489,18 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     }
   };
 
-  runThreadEngine(RankCount, body);
+  runThreadEngine(RankCount, body, &Registry);
+
+  Registry.gauge("runner.elapsed_seconds").set(Report.ElapsedSeconds);
+  Report.Metrics = Registry.snapshot();
+  if (Status Written = writeFileAtomic(Store.metricsPath(),
+                                       Report.Metrics.toFileContents());
+      !Written && CollectorFailure.isOk())
+    CollectorFailure = Written;
+  if (Trace)
+    if (Status Written = writeFileAtomic(Store.tracePath(), Trace->toJson());
+        !Written && CollectorFailure.isOk())
+      CollectorFailure = Written;
 
   if (!CollectorFailure.isOk())
     return CollectorFailure;

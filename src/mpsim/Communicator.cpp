@@ -87,6 +87,12 @@ void Fabric::addBytesTransferred(uint64_t Bytes) {
   TotalBytes.fetch_add(Bytes, std::memory_order_relaxed);
 }
 
+void Fabric::attachMetrics(obs::MetricsRegistry &Registry) {
+  MessagesSent = &Registry.counter("comm.messages_sent");
+  BytesSent = &Registry.counter("comm.bytes_sent");
+  CollectorQueueDepth = &Registry.gauge("comm.collector_queue_depth");
+}
+
 void Fabric::arriveAtBarrier() {
   std::unique_lock<std::mutex> Lock(BarrierMutex);
   const uint64_t MyGeneration = BarrierGeneration;
@@ -106,11 +112,20 @@ void Communicator::send(int Destination, int Tag,
   assert(Destination >= 0 && Destination < size() &&
          "destination rank out of range");
   SharedFabric.addBytesTransferred(Payload.size());
+  if (obs::Counter *Messages = SharedFabric.messagesSentCounter())
+    Messages->add();
+  if (obs::Counter *Bytes = SharedFabric.bytesSentCounter())
+    Bytes->add(int64_t(Payload.size()));
   Message Outgoing;
   Outgoing.Source = Rank;
   Outgoing.Tag = Tag;
   Outgoing.Payload = std::move(Payload);
   SharedFabric.mailboxOf(Destination).push(std::move(Outgoing));
+  // Queue-delay signal: depth of the collector's mailbox right after a
+  // subtotal lands there. The §2.2 claim is that this stays near zero.
+  if (Destination == 0)
+    if (obs::Gauge *Depth = SharedFabric.collectorQueueDepthGauge())
+      Depth->set(double(SharedFabric.mailboxOf(0).pendingCount()));
 }
 
 std::optional<Message> Communicator::tryReceive(int Tag) {
@@ -127,9 +142,12 @@ bool Communicator::probe(int Tag) {
 }
 
 void runThreadEngine(int RankCount,
-                     const std::function<void(Communicator &)> &Body) {
+                     const std::function<void(Communicator &)> &Body,
+                     obs::MetricsRegistry *Metrics) {
   assert(RankCount >= 1 && "need at least one rank");
   Fabric SharedFabric(RankCount);
+  if (Metrics)
+    SharedFabric.attachMetrics(*Metrics);
   std::vector<std::thread> Threads;
   Threads.reserve(size_t(RankCount));
   for (int Rank = 0; Rank < RankCount; ++Rank) {

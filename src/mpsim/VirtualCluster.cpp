@@ -183,6 +183,10 @@ runVirtualCluster(const VirtualClusterConfig &Config,
   int64_t Covered = 0;
   size_t NextTarget = 0;
 
+  // Virtual seconds -> trace nanoseconds. Purely arithmetic, so traces of
+  // the virtual cluster are deterministic for a fixed Seed.
+  auto virtualNanos = [](double Seconds) { return int64_t(Seconds * 1e9); };
+
   for (const SubtotalArrival &Arrival : Arrivals) {
     const double Start = std::max(Arrival.ArrivalSeconds, CollectorFreeAt);
     const double Finish = Start + Config.CollectorProcessSeconds;
@@ -192,11 +196,18 @@ runVirtualCluster(const VirtualClusterConfig &Config,
     Covered += Arrival.NewCount;
     ++Outcome.MessagesProcessed;
     Outcome.BytesTransferred += Config.MessageBytes;
+    if (Config.Trace)
+      Config.Trace->completeSpan("vcluster.collector.process", 0,
+                                 virtualNanos(Start), virtualNanos(Finish));
 
     while (NextTarget < SortedTargets.size() &&
            Covered >= SortedTargets[NextTarget]) {
       // Saving happens at the save-point that covers this volume.
       CompletionBySortedTarget[NextTarget] = Finish + Config.SaveSeconds;
+      if (Config.Trace)
+        Config.Trace->completeSpan(
+            "vcluster.collector.save", 0, virtualNanos(Finish),
+            virtualNanos(Finish + Config.SaveSeconds));
       ++NextTarget;
     }
     if (NextTarget == SortedTargets.size())
@@ -225,6 +236,18 @@ runVirtualCluster(const VirtualClusterConfig &Config,
           ? QueueDelaySum / double(Outcome.MessagesProcessed)
           : 0.0;
   Outcome.PerWorkerVolumes = std::move(WorkerVolume);
+
+  if (Config.Metrics) {
+    obs::MetricsRegistry &Registry = *Config.Metrics;
+    Registry.gauge("vcluster.collector_busy_fraction")
+        .set(Outcome.CollectorBusyFraction);
+    Registry.gauge("vcluster.collector_queue_delay_seconds")
+        .set(Outcome.MeanCollectorQueueDelay);
+    Registry.counter("vcluster.messages_processed")
+        .add(Outcome.MessagesProcessed);
+    Registry.counter("vcluster.bytes_transferred")
+        .add(int64_t(Outcome.BytesTransferred));
+  }
   return Outcome;
 }
 

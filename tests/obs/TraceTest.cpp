@@ -1,0 +1,146 @@
+//===- tests/obs/TraceTest.cpp - TraceWriter unit tests -------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/obs/Stopwatch.h"
+#include "parmonc/obs/Trace.h"
+#include "parmonc/support/Clock.h"
+
+#include <gtest/gtest.h>
+
+namespace parmonc {
+namespace obs {
+namespace {
+
+/// A clock that counts how often it is read: proves disabled probes are
+/// inert.
+class CountingClock final : public Clock {
+public:
+  int64_t nowNanos() const override {
+    ++Reads;
+    return 0;
+  }
+  mutable int Reads = 0;
+};
+
+TEST(TraceWriter, GoldenJsonDocument) {
+  // The exact bytes the Chrome trace renderer must produce for a small,
+  // fully specified event sequence. Any formatting change (field order,
+  // timestamp precision, separators) must be a conscious one.
+  TraceWriter Trace;
+  Trace.completeSpan("alpha", 0, 0, 1500);
+  Trace.instantAt("mark", 1, 500);
+  Trace.completeSpan("beta", 0, 2000, 2000);
+
+  const std::string Expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"alpha\",\"cat\":\"parmonc\",\"ph\":\"X\",\"ts\":0.000,"
+      "\"dur\":1.500,\"pid\":0,\"tid\":0},\n"
+      "{\"name\":\"mark\",\"cat\":\"parmonc\",\"ph\":\"i\",\"ts\":0.500,"
+      "\"s\":\"t\",\"pid\":0,\"tid\":1},\n"
+      "{\"name\":\"beta\",\"cat\":\"parmonc\",\"ph\":\"X\",\"ts\":2.000,"
+      "\"dur\":0.000,\"pid\":0,\"tid\":0}\n"
+      "]}\n";
+  EXPECT_EQ(Trace.toJson(), Expected);
+}
+
+TEST(TraceWriter, EventsAreSortedByTimeThenLaneThenOrder) {
+  TraceWriter Trace;
+  Trace.completeSpan("late", 0, 900, 1000);
+  Trace.completeSpan("early", 1, 100, 200);
+  Trace.completeSpan("tie.lane1", 1, 500, 500);
+  Trace.completeSpan("tie.lane0", 0, 500, 500);
+  Trace.completeSpan("tie.lane0.second", 0, 500, 500);
+
+  const std::string Json = Trace.toJson();
+  const size_t Early = Json.find("early");
+  const size_t TieLane0 = Json.find("tie.lane0");
+  const size_t TieLane0Second = Json.find("tie.lane0.second");
+  const size_t TieLane1 = Json.find("tie.lane1");
+  const size_t Late = Json.find("late");
+  ASSERT_NE(Early, std::string::npos);
+  EXPECT_LT(Early, TieLane0);       // time order first
+  EXPECT_LT(TieLane0, TieLane0Second); // record order within a lane
+  EXPECT_LT(TieLane0Second, TieLane1); // lane order breaks timestamp ties
+  EXPECT_LT(TieLane1, Late);
+}
+
+TEST(TraceWriter, IdenticalSequencesRenderIdenticalBytes) {
+  auto record = [](TraceWriter &Trace) {
+    for (int Index = 0; Index < 100; ++Index)
+      Trace.completeSpan("span", Index % 3, Index * 10, Index * 10 + 5);
+    Trace.instantAt("stop", 0, 12345);
+  };
+  TraceWriter First, Second;
+  record(First);
+  record(Second);
+  EXPECT_EQ(First.toJson(), Second.toJson());
+  EXPECT_EQ(First.eventCount(), 101u);
+}
+
+TEST(TraceWriter, EscapesHostileNames) {
+  TraceWriter Trace;
+  Trace.instantAt("quote\" slash\\ newline\n tab\t", 0, 0);
+  const std::string Json = Trace.toJson();
+  EXPECT_NE(Json.find("quote\\\" slash\\\\ newline\\n tab\\t"),
+            std::string::npos);
+}
+
+TEST(TraceWriter, InstantUsesAttachedClock) {
+  ManualClock Time(42'000);
+  TraceWriter Trace(&Time);
+  ASSERT_TRUE(Trace.hasClock());
+  Trace.instant("now", 2);
+  EXPECT_NE(Trace.toJson().find("\"ts\":42.000"), std::string::npos);
+}
+
+TEST(TraceWriter, EmptyWriterRendersEmptyDocument) {
+  TraceWriter Trace;
+  EXPECT_EQ(Trace.eventCount(), 0u);
+  EXPECT_EQ(Trace.toJson(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+TEST(ScopedSpan, EmitsSpanAndLatency) {
+  ManualClock Time(1'000);
+  TraceWriter Trace(&Time);
+  MetricsRegistry Registry;
+  LatencyHistogram &Latency = Registry.latency("probe");
+  {
+    ScopedSpan Span(Time, "probe", 3, &Trace, &Latency);
+    Time.advanceNanos(500);
+  }
+  EXPECT_EQ(Trace.eventCount(), 1u);
+  EXPECT_NE(Trace.toJson().find(
+                "\"name\":\"probe\",\"cat\":\"parmonc\",\"ph\":\"X\","
+                "\"ts\":1.000,\"dur\":0.500,\"pid\":0,\"tid\":3"),
+            std::string::npos);
+  EXPECT_EQ(Latency.count(), 1);
+  EXPECT_EQ(Latency.sumNanos(), 500);
+}
+
+TEST(ScopedSpan, DisabledProbeNeverReadsTheClock) {
+  CountingClock Time;
+  {
+    ScopedSpan Span(Time, "inert", 0, /*Trace=*/nullptr,
+                    /*Latency=*/nullptr);
+  }
+  EXPECT_EQ(Time.Reads, 0);
+}
+
+TEST(Stopwatch, MeasuresOnInjectedClock) {
+  ManualClock Time(5'000);
+  Stopwatch Watch(Time);
+  EXPECT_EQ(Watch.startNanos(), 5'000);
+  Time.advanceNanos(2'500);
+  EXPECT_EQ(Watch.elapsedNanos(), 2'500);
+  EXPECT_DOUBLE_EQ(Watch.elapsedSeconds(), 2.5e-6);
+  Watch.restart();
+  EXPECT_EQ(Watch.elapsedNanos(), 0);
+}
+
+} // namespace
+} // namespace obs
+} // namespace parmonc

@@ -1,0 +1,89 @@
+//===- tests/rng/LeapGoldenTest.cpp - Golden leap-ahead multipliers -------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regression-pins the leap-ahead arithmetic (§2.4) against constants
+// computed with an independent big-integer implementation (Python's
+// pow(A, n, 2**128)). The whole stream partition rests on A(n) = A^n mod
+// 2^128 being exact: a silent off-by-one in the square-and-multiply would
+// produce overlapping "disjoint" subsequences, which no statistical test
+// downstream would reliably catch. These are the paper's default leaps
+// n_e = 2^115, n_p = 2^98, n_r = 2^43 for A = 5^101.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/StreamHierarchy.h"
+
+#include <gtest/gtest.h>
+
+using namespace parmonc;
+
+namespace {
+
+// Independently computed: pow(5, 101, 2**128) and its leap powers.
+constexpr UInt128 GoldenA(0xbc1b60742c6a5846ull, 0xf557b4f2b48e8cb5ull);
+constexpr UInt128 GoldenA115(0x7760000000000000ull, 0x0000000000000001ull);
+constexpr UInt128 GoldenA98(0xb424bbb000000000ull, 0x0000000000000001ull);
+constexpr UInt128 GoldenA43(0x402b44410f553568ull, 0x4977600000000001ull);
+constexpr UInt128 GoldenA20(0xbe6112e74cc17fe3ull, 0x433f9892eec00001ull);
+// pow(A, 12345 * 2**20, 2**128): a composite, non-power-of-two leap count.
+constexpr UInt128 GoldenA20x12345(0x616f91dc6297bafbull,
+                                  0xd062457b28c00001ull);
+
+TEST(LeapGolden, BaseMultiplierIsFiveToThe101) {
+  EXPECT_EQ(Lcg128::defaultMultiplier(), GoldenA);
+}
+
+TEST(LeapGolden, DefaultLeapTableMatchesIndependentComputation) {
+  const LeapTable Table;
+  EXPECT_EQ(Table.experimentLeap(), GoldenA115)
+      << "A(2^115) = " << Table.experimentLeap().toHexString();
+  EXPECT_EQ(Table.processorLeap(), GoldenA98)
+      << "A(2^98) = " << Table.processorLeap().toHexString();
+  EXPECT_EQ(Table.realizationLeap(), GoldenA43)
+      << "A(2^43) = " << Table.realizationLeap().toHexString();
+}
+
+TEST(LeapGolden, PowModPow2MatchesGoldenPowers) {
+  const UInt128 A = Lcg128::defaultMultiplier();
+  EXPECT_EQ(UInt128::powModPow2(A, UInt128(1) << 115, 128), GoldenA115);
+  EXPECT_EQ(UInt128::powModPow2(A, UInt128(1) << 98, 128), GoldenA98);
+  EXPECT_EQ(UInt128::powModPow2(A, UInt128(1) << 43, 128), GoldenA43);
+  EXPECT_EQ(UInt128::powModPow2(A, UInt128(1) << 20, 128), GoldenA20);
+}
+
+TEST(LeapGolden, NonPowerOfTwoExponent) {
+  // Exercises the general square-and-multiply path (several set bits).
+  const UInt128 A = Lcg128::defaultMultiplier();
+  const UInt128 Exponent = UInt128(12345) << 20;
+  EXPECT_EQ(UInt128::powModPow2(A, Exponent, 128), GoldenA20x12345);
+  EXPECT_EQ(UInt128::powModPow2(GoldenA20, UInt128(12345), 128),
+            GoldenA20x12345);
+}
+
+TEST(LeapGolden, LeapCompositionIdentity) {
+  // A(n*m) = A(n)^m: the hierarchy's levels must compose exactly —
+  // (2^43)-leaps taken 2^55 times land on the (2^98)-leap, and (2^98)-leaps
+  // taken 2^17 times land on the (2^115)-leap. These exponents are the
+  // per-level capacities (realizations per processor, processors per
+  // experiment).
+  EXPECT_EQ(UInt128::powModPow2(GoldenA43, UInt128(1) << 55, 128), GoldenA98);
+  EXPECT_EQ(UInt128::powModPow2(GoldenA98, UInt128(1) << 17, 128),
+            GoldenA115);
+}
+
+TEST(LeapGolden, HierarchyInitialNumbersUseGoldenLeaps) {
+  // initialNumber composes the golden multipliers directly:
+  // u(e, p, k) = A115^e * A98^p * A43^k (u(0,0,0) = 1).
+  const StreamHierarchy Hierarchy{LeapTable()};
+  EXPECT_EQ(Hierarchy.initialNumber({0, 0, 0}), UInt128(1));
+  EXPECT_EQ(Hierarchy.initialNumber({1, 0, 0}), GoldenA115);
+  EXPECT_EQ(Hierarchy.initialNumber({0, 1, 0}), GoldenA98);
+  EXPECT_EQ(Hierarchy.initialNumber({0, 0, 1}), GoldenA43);
+  EXPECT_EQ(Hierarchy.initialNumber({1, 1, 1}),
+            GoldenA115 * GoldenA98 * GoldenA43);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+//===- tools/mcstat.cpp - Run-metrics inspector ---------------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage:
+//
+//   $ mcstat [workdir] [--trace] [--json]
+//
+// Pretty-prints the observability metrics a finished run left under
+// <workdir>/parmonc_data/results/metrics.dat: realization counters per
+// rank, collector merge/save latencies, communication volume, and the
+// collector-congestion gauges that back the paper's §2.2 claim that
+// exchange expenses stay negligible. With --trace, additionally dumps the
+// Chrome-trace JSON (results/trace.json, present when the run had a
+// TraceWriter attached) to stdout — load it in a trace viewer via
+// about:tracing or ui.perfetto.dev. With --json, prints the metrics as a
+// JSON object instead of the table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/ResultsStore.h"
+#include "parmonc/support/Text.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace parmonc;
+
+int main(int Argc, char **Argv) {
+  std::string WorkDir = ".";
+  bool DumpTrace = false;
+  bool AsJson = false;
+  bool HaveWorkDir = false;
+  for (int Index = 1; Index < Argc; ++Index) {
+    if (std::strcmp(Argv[Index], "--trace") == 0) {
+      DumpTrace = true;
+    } else if (std::strcmp(Argv[Index], "--json") == 0) {
+      AsJson = true;
+    } else if (!HaveWorkDir && Argv[Index][0] != '-') {
+      WorkDir = Argv[Index];
+      HaveWorkDir = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [workdir] [--trace] [--json]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  ResultsStore Store(WorkDir);
+  Result<std::string> Contents = readFileToString(Store.metricsPath());
+  if (!Contents) {
+    std::fprintf(stderr,
+                 "mcstat: no metrics at %s (%s)\n"
+                 "mcstat: run a simulation in this directory first\n",
+                 Store.metricsPath().c_str(),
+                 Contents.status().toString().c_str());
+    return 1;
+  }
+  Result<obs::MetricsSnapshot> Snapshot =
+      obs::MetricsSnapshot::fromFileContents(Contents.value());
+  if (!Snapshot) {
+    std::fprintf(stderr, "mcstat: %s is corrupt: %s\n",
+                 Store.metricsPath().c_str(),
+                 Snapshot.status().toString().c_str());
+    return 1;
+  }
+
+  if (AsJson)
+    std::fputs(Snapshot.value().toJson().c_str(), stdout);
+  else {
+    std::printf("metrics of the run under %s\n", Store.dataDir().c_str());
+    std::fputs(Snapshot.value().toPrettyText().c_str(), stdout);
+  }
+
+  if (DumpTrace) {
+    Result<std::string> TraceJson = readFileToString(Store.tracePath());
+    if (!TraceJson) {
+      std::fprintf(stderr,
+                   "mcstat: no trace at %s — the run had no TraceWriter "
+                   "attached (%s)\n",
+                   Store.tracePath().c_str(),
+                   TraceJson.status().toString().c_str());
+      return 1;
+    }
+    std::fputs(TraceJson.value().c_str(), stdout);
+  }
+  return 0;
+}
