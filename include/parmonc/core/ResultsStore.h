@@ -64,13 +64,13 @@ struct MomentSnapshot {
   std::string toFileContents() const;
 
   /// Parses the text snapshot format.
-  static Result<MomentSnapshot> fromFileContents(std::string_view Contents);
+  [[nodiscard]] static Result<MomentSnapshot> fromFileContents(std::string_view Contents);
 
   /// Serializes to the compact binary form used for mailbox messages.
   std::vector<uint8_t> toBytes() const;
 
   /// Parses the binary message form.
-  static Result<MomentSnapshot> fromBytes(const std::vector<uint8_t> &Bytes);
+  [[nodiscard]] static Result<MomentSnapshot> fromBytes(const std::vector<uint8_t> &Bytes);
 };
 
 /// The per-run log block written to func_log.dat.
@@ -93,7 +93,7 @@ public:
   explicit ResultsStore(std::string WorkDir);
 
   /// Creates parmonc_data/, results/ and subtotals/. Idempotent.
-  Status prepareDirectories() const;
+  [[nodiscard]] Status prepareDirectories() const;
 
   // Paths (all absolute or relative to the process CWD, derived from
   // WorkDir).
@@ -120,28 +120,28 @@ public:
                        obs::TraceWriter *Trace, const Clock *TimeSource);
 
   /// Writes one snapshot file atomically.
-  Status writeSnapshot(const std::string &Path,
+  [[nodiscard]] Status writeSnapshot(const std::string &Path,
                        const MomentSnapshot &Snapshot) const;
 
   /// Reads one snapshot file.
-  Result<MomentSnapshot> readSnapshot(const std::string &Path) const;
+  [[nodiscard]] Result<MomentSnapshot> readSnapshot(const std::string &Path) const;
 
   /// Writes func.dat, func_ci.dat and func_log.dat from the merged moments.
-  Status writeResults(const EstimatorMatrix &Merged, const RunLogInfo &Log,
+  [[nodiscard]] Status writeResults(const EstimatorMatrix &Merged, const RunLogInfo &Log,
                       double ErrorMultiplier) const;
 
   /// Appends one line to parmonc_exp.dat describing a started experiment.
-  Status appendExperimentLog(const RunLogInfo &Log) const;
+  [[nodiscard]] Status appendExperimentLog(const RunLogInfo &Log) const;
 
   /// Reads the means matrix back from func.dat (tests, manaver, tools).
-  Result<std::vector<double>> readMeans(size_t Rows, size_t Columns) const;
+  [[nodiscard]] Result<std::vector<double>> readMeans(size_t Rows, size_t Columns) const;
 
   /// Lists the rank subtotal files currently present, as (rank, path).
   std::vector<std::pair<int, std::string>> listSubtotalFiles() const;
 
   /// Removes checkpoint/base/subtotal/result files from a previous
   /// simulation (the res=0 "brand new files" behaviour).
-  Status clearPreviousRun() const;
+  [[nodiscard]] Status clearPreviousRun() const;
 
   const std::string &workDir() const { return WorkDir; }
 
@@ -161,7 +161,7 @@ std::string histogramPath(const ResultsStore &Store, size_t Row,
 /// The manaver command's core (§3.4): rebuilds merged results from
 /// base.dat plus every subtotal file in the store and writes result files
 /// and a fresh checkpoint. Returns the merged snapshot.
-Result<MomentSnapshot> runManualAverage(const ResultsStore &Store,
+[[nodiscard]] Result<MomentSnapshot> runManualAverage(const ResultsStore &Store,
                                         double ErrorMultiplier = 3.0);
 
 } // namespace parmonc

@@ -128,7 +128,7 @@ struct RunConfig {
   obs::TraceWriter *Trace = nullptr;
 
   /// Checks ranges and cross-field constraints.
-  Status validate() const;
+  [[nodiscard]] Status validate() const;
 };
 
 /// Summary of a finished run, mirroring what func_log.dat records.

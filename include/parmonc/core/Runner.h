@@ -41,7 +41,7 @@ using RealizationFn =
 /// Runs one stochastic experiment. Returns the run report, or a Status on
 /// configuration/IO errors. \p ClockOverride injects a test clock; null
 /// uses real time.
-Result<RunReport> runSimulation(const RealizationFn &Realization,
+[[nodiscard]] Result<RunReport> runSimulation(const RealizationFn &Realization,
                                 const RunConfig &Config,
                                 Clock *ClockOverride = nullptr);
 

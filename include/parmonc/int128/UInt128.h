@@ -197,10 +197,10 @@ public:
   std::string toHexString() const;
 
   /// Parses a base-10 string; fails on empty input, non-digits or overflow.
-  static Result<UInt128> fromDecimalString(std::string_view Text);
+  [[nodiscard]] static Result<UInt128> fromDecimalString(std::string_view Text);
 
   /// Parses a base-16 string with optional "0x" prefix.
-  static Result<UInt128> fromHexString(std::string_view Text);
+  [[nodiscard]] static Result<UInt128> fromHexString(std::string_view Text);
 
 private:
   uint64_t Lo;

@@ -1,0 +1,52 @@
+//===- parmonc/lint/Analyzer.h - Project-wide lint driver -----------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver behind the mclint tool: collects source files under the
+/// given roots, builds the cross-file LintContext, runs the requested
+/// rules and returns deterministic, sorted diagnostics. The library form
+/// exists so the lint test suite can run the analyzer in-process against
+/// fixture trees and assert exact findings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_LINT_ANALYZER_H
+#define PARMONC_LINT_ANALYZER_H
+
+#include "parmonc/lint/Diagnostic.h"
+#include "parmonc/support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+
+/// What to lint and how strictly.
+struct AnalyzerOptions {
+  /// Files and/or directories; directories are walked recursively for
+  /// .h/.hpp/.cpp/.cc/.cxx files. Build trees (build*/) and dot
+  /// directories are skipped.
+  std::vector<std::string> Paths;
+
+  /// Rule ids to run ("R1".."R5"); empty means all rules.
+  std::vector<std::string> RuleIds;
+};
+
+/// Outcome of one analyzer run.
+struct LintReport {
+  std::vector<Diagnostic> Diagnostics;
+  size_t FileCount = 0; ///< Source files scanned.
+};
+
+/// Runs the analyzer. Fails (as a Status) only on environmental errors —
+/// unknown rule id, unreadable path; rule findings are data, not errors.
+[[nodiscard]] Result<LintReport> runAnalyzer(const AnalyzerOptions &Options);
+
+} // namespace lint
+} // namespace parmonc
+
+#endif // PARMONC_LINT_ANALYZER_H

@@ -1,0 +1,47 @@
+//===- parmonc/lint/Diagnostic.h - Lint findings --------------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The finding type produced by mclint rules and its rendering. One
+/// diagnostic pins one rule violation to a file and line; the textual form
+///
+///   <path>:<line>: warning: <message> [R3:raw-concurrency]
+///
+/// is byte-stable so the lint test fixtures can assert exact output and CI
+/// logs stay greppable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_LINT_DIAGNOSTIC_H
+#define PARMONC_LINT_DIAGNOSTIC_H
+
+#include <string>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+
+/// One rule violation at a specific source location.
+struct Diagnostic {
+  std::string Path;   ///< File path as given to the analyzer.
+  unsigned Line = 0;  ///< 1-based line number.
+  std::string RuleId; ///< "R1".."R5".
+  std::string RuleName; ///< e.g. "discarded-status".
+  std::string Message;  ///< Human-readable explanation.
+};
+
+/// Renders one diagnostic. \p AsError selects "error:" over "warning:"
+/// (mclint --werror).
+std::string formatDiagnostic(const Diagnostic &Diag, bool AsError);
+
+/// Sorts by (path, line, rule id) so output order is deterministic
+/// regardless of rule execution order.
+void sortDiagnostics(std::vector<Diagnostic> &Diags);
+
+} // namespace lint
+} // namespace parmonc
+
+#endif // PARMONC_LINT_DIAGNOSTIC_H

@@ -1,0 +1,88 @@
+//===- parmonc/lint/Rules.h - The enforced project invariants -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-checkable invariants mclint enforces. Each rule guards one
+/// way a Monte Carlo run can go silently wrong (see DESIGN.md, "Enforced
+/// invariants"):
+///
+///   R1 discarded-status    — no fallible call may drop its Status/Result;
+///                            a swallowed save-point failure corrupts the
+///                            eq. (5) merged results undetectably.
+///   R2 nondeterminism      — no wall-clock/entropy sources outside the
+///                            support/Clock.h seam; reproducibility of the
+///                            §2.4 stream hierarchy depends on it.
+///   R3 raw-concurrency     — thread/mutex/atomic primitives only inside
+///                            mpsim/ and obs/ (and the Clock seam), so all
+///                            cross-rank communication flows through the
+///                            idempotent collector protocol.
+///   R4 include-hygiene     — canonical PARMONC_* header guards, quoted
+///                            includes only for project headers, no
+///                            <bits/...>, no using-namespace in headers.
+///   R5 narrowing-estimator — no float in stats/ and core/: the eq. (5)
+///                            moment sums must stay double end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_LINT_RULES_H
+#define PARMONC_LINT_RULES_H
+
+#include "parmonc/lint/Diagnostic.h"
+#include "parmonc/lint/SourceFile.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+
+/// Cross-file facts rules may consult. Built by the analyzer in a pre-pass
+/// over every scanned file, before any rule runs.
+struct LintContext {
+  /// Names of functions whose return value must not be discarded: the
+  /// project's known fallible APIs plus every function declared
+  /// [[nodiscard]] in the scanned files.
+  std::set<std::string, std::less<>> NodiscardFunctions;
+};
+
+/// One enforced invariant.
+class Rule {
+public:
+  virtual ~Rule() = default;
+
+  /// Stable identifier, "R1".."R5".
+  virtual std::string_view id() const = 0;
+
+  /// Short kebab-case name, e.g. "discarded-status".
+  virtual std::string_view name() const = 0;
+
+  /// One-line description for `mclint --list-rules`.
+  virtual std::string_view summary() const = 0;
+
+  /// Appends a diagnostic to \p Out for every violation in \p File.
+  /// Implementations must honour File.isWaived(line, id()).
+  virtual void check(const SourceFile &File, const LintContext &Context,
+                     std::vector<Diagnostic> &Out) const = 0;
+};
+
+/// All rules, in id order.
+std::vector<std::unique_ptr<Rule>> makeAllRules();
+
+/// The project's fallible APIs that R1 knows about even when their headers
+/// are outside the scanned roots.
+std::set<std::string, std::less<>> builtinFallibleFunctions();
+
+/// Adds every function \p File declares [[nodiscard]] to \p Names.
+void harvestNodiscardFunctions(const SourceFile &File,
+                               std::set<std::string, std::less<>> &Names);
+
+} // namespace lint
+} // namespace parmonc
+
+#endif // PARMONC_LINT_RULES_H

@@ -1,0 +1,75 @@
+//===- parmonc/lint/SourceFile.h - Lexed view of one source file ----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight lexical model of a C++ source file for the mclint rules.
+/// The file is split into lines twice: the raw text, and a "scrubbed" copy
+/// in which comments, string literals and character literals are blanked
+/// out (replaced by spaces, preserving column positions). Rules match on
+/// the scrubbed text so that `std::thread` in a comment or a string never
+/// triggers, while preprocessor-oriented checks (include hygiene, header
+/// guards) read the raw lines.
+///
+/// Waivers: a comment containing `mclint: allow(R3)` suppresses the named
+/// rule(s) on that line — or on the next line when the comment stands
+/// alone — and `mclint: allow-file(R3)` suppresses them for the whole
+/// file. Waivers are the escape hatch for reviewed exceptions (e.g. the
+/// engine-internal atomics in core/Runner.cpp) and are themselves grep-able.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_LINT_SOURCEFILE_H
+#define PARMONC_LINT_SOURCEFILE_H
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+
+/// One source file, lexed for rule matching.
+class SourceFile {
+public:
+  /// Builds the lexed view from in-memory contents (the analyzer reads the
+  /// file; tests can lint synthetic buffers).
+  SourceFile(std::string Path, std::string_view Contents);
+
+  const std::string &path() const { return Path; }
+
+  /// True for .h/.hpp files.
+  bool isHeader() const;
+
+  size_t lineCount() const { return RawLines.size(); }
+
+  /// Raw text of 0-based line \p Index, without the trailing newline.
+  std::string_view rawLine(size_t Index) const { return RawLines[Index]; }
+
+  /// Scrubbed text of 0-based line \p Index: comments and string/char
+  /// literal bodies replaced by spaces.
+  std::string_view scrubbedLine(size_t Index) const {
+    return ScrubbedLines[Index];
+  }
+
+  /// True when \p RuleId is waived on 0-based line \p Index (line waiver,
+  /// stand-alone-comment waiver on the preceding line, or file waiver).
+  bool isWaived(size_t Index, std::string_view RuleId) const;
+
+private:
+  std::string Path;
+  std::vector<std::string> RawLines;
+  std::vector<std::string> ScrubbedLines;
+  /// Rule ids waived per 0-based line.
+  std::vector<std::set<std::string>> LineWaivers;
+  /// Rule ids waived for the entire file.
+  std::set<std::string> FileWaivers;
+};
+
+} // namespace lint
+} // namespace parmonc
+
+#endif // PARMONC_LINT_SOURCEFILE_H

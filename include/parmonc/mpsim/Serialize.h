@@ -71,7 +71,7 @@ public:
   explicit ByteReader(const std::vector<uint8_t> &Buffer)
       : Buffer(Buffer) {}
 
-  Result<uint64_t> readU64() {
+  [[nodiscard]] Result<uint64_t> readU64() {
     if (Cursor + 8 > Buffer.size())
       return parseError("message truncated reading u64");
     uint64_t Value = 0;
@@ -81,14 +81,14 @@ public:
     return Value;
   }
 
-  Result<int64_t> readI64() {
+  [[nodiscard]] Result<int64_t> readI64() {
     Result<uint64_t> Raw = readU64();
     if (!Raw)
       return Raw.status();
     return int64_t(Raw.value());
   }
 
-  Result<uint32_t> readU32() {
+  [[nodiscard]] Result<uint32_t> readU32() {
     if (Cursor + 4 > Buffer.size())
       return parseError("message truncated reading u32");
     uint32_t Value = 0;
@@ -98,7 +98,7 @@ public:
     return Value;
   }
 
-  Result<double> readDouble() {
+  [[nodiscard]] Result<double> readDouble() {
     Result<uint64_t> Raw = readU64();
     if (!Raw)
       return Raw.status();
@@ -108,7 +108,7 @@ public:
     return Value;
   }
 
-  Result<std::vector<double>> readDoubleVector() {
+  [[nodiscard]] Result<std::vector<double>> readDoubleVector() {
     Result<uint64_t> Count = readU64();
     if (!Count)
       return Count.status();
@@ -125,7 +125,7 @@ public:
     return Values;
   }
 
-  Result<std::string> readString() {
+  [[nodiscard]] Result<std::string> readString() {
     Result<uint64_t> Count = readU64();
     if (!Count)
       return Count.status();

@@ -87,7 +87,7 @@ struct VirtualClusterConfig {
   obs::TraceWriter *Trace = nullptr;
 
   /// Sanity-checks ranges.
-  Status validate() const;
+  [[nodiscard]] Status validate() const;
 };
 
 /// Output of one virtual run.
@@ -115,7 +115,7 @@ struct VirtualClusterResult {
 
 /// Runs the discrete-event model until the collector has covered the
 /// largest volume in \p TargetVolumes (each >= 1, need not be sorted).
-Result<VirtualClusterResult>
+[[nodiscard]] Result<VirtualClusterResult>
 runVirtualCluster(const VirtualClusterConfig &Config,
                   const std::vector<int64_t> &TargetVolumes);
 

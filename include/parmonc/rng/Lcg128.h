@@ -23,6 +23,7 @@
 
 #include "parmonc/int128/UInt128.h"
 #include "parmonc/rng/RandomSource.h"
+#include "parmonc/support/Contract.h"
 
 namespace parmonc {
 
@@ -38,9 +39,12 @@ public:
   /// even states fall out of the maximal-period orbit.
   Lcg128(UInt128 Multiplier, UInt128 InitialNumber)
       : Multiplier(Multiplier), State(InitialNumber) {
-    assert(InitialNumber.bit(0) && "LCG state must be odd");
-    assert(Multiplier.low() % 8 == 5 &&
-           "multiplier must be congruent to 5 mod 8 for period 2^126");
+    // Always-on contracts: an even state or a multiplier outside 5 (mod 8)
+    // silently drops the period from 2^126 and breaks stream disjointness.
+    PARMONC_ASSERT(InitialNumber.bit(0), "LCG state must be odd");
+    PARMONC_ASSERT(Multiplier.low() % 8 == 5,
+                   "multiplier must be congruent to 5 mod 8 for period "
+                   "2^126");
   }
 
   /// The default multiplier A = 5^101 (mod 2^128), computed once.
@@ -78,7 +82,7 @@ public:
 
   /// Resets the state. \p NewState must be odd.
   void setState(UInt128 NewState) {
-    assert(NewState.bit(0) && "LCG state must be odd");
+    PARMONC_ASSERT(NewState.bit(0), "LCG state must be odd");
     State = NewState;
   }
 

@@ -54,7 +54,7 @@ struct LeapConfig {
 
   /// Checks the paper's ordering requirement n_e > n_p > n_r and that the
   /// experiment subsequences fit in the usable half of the period.
-  Status validate() const;
+  [[nodiscard]] Status validate() const;
 
   /// Capacity at each level implied by the exponents, as log2 counts:
   /// usable half / n_e experiments, n_e / n_p processors per experiment,
@@ -90,11 +90,11 @@ public:
   /// Parses a parmonc_genparam.dat and revalidates the multipliers against
   /// the recorded exponents, so a corrupted file cannot silently produce
   /// overlapping streams.
-  static Result<LeapTable> fromFileContents(std::string_view Contents);
+  [[nodiscard]] static Result<LeapTable> fromFileContents(std::string_view Contents);
 
   /// Loads from \p Path if the file exists, otherwise returns the default
   /// table — matching the library behaviour described in §3.5.
-  static Result<LeapTable> loadOrDefault(const std::string &Path);
+  [[nodiscard]] static Result<LeapTable> loadOrDefault(const std::string &Path);
 
 private:
   LeapConfig Config;

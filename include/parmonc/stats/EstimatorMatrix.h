@@ -74,14 +74,14 @@ public:
   /// Adds another accumulator's raw sums into this one — eq. (5), used both
   /// for collecting processor subtotals on rank 0 and for resumption.
   /// Shapes must match.
-  Status merge(const EstimatorMatrix &Other);
+  [[nodiscard]] Status merge(const EstimatorMatrix &Other);
 
   /// Raw moment sums (needed by the checkpoint format).
   const std::vector<double> &valueSums() const { return SumValues; }
   const std::vector<double> &squareSums() const { return SumSquares; }
 
   /// Rebuilds an accumulator from checkpointed raw sums.
-  static Result<EstimatorMatrix> fromRawSums(size_t Rows, size_t Columns,
+  [[nodiscard]] static Result<EstimatorMatrix> fromRawSums(size_t Rows, size_t Columns,
                                              std::vector<double> ValueSums,
                                              std::vector<double> SquareSums,
                                              int64_t Volume);

@@ -67,14 +67,14 @@ public:
   double massErrorOf(size_t Index, double ErrorMultiplier = 3.0) const;
 
   /// Exact merge of another histogram with identical geometry.
-  Status merge(const HistogramEstimator &Other);
+  [[nodiscard]] Status merge(const HistogramEstimator &Other);
 
   /// Serializes to a line-oriented text format (same conventions as the
   /// snapshot files).
   std::string toFileContents() const;
 
   /// Parses the text format back.
-  static Result<HistogramEstimator> fromFileContents(
+  [[nodiscard]] static Result<HistogramEstimator> fromFileContents(
       std::string_view Contents);
 
   /// Empirical CDF at \p Value (fraction of observations <= Value,

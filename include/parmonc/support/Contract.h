@@ -1,0 +1,59 @@
+//===- parmonc/support/Contract.h - Invariant checking macros -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contract macros guarding the library's statistical-correctness
+/// invariants. The leap-ahead stream hierarchy (§2.4, eq. 6–8) and the
+/// eq.-(5) merge are only trustworthy if structural invariants — odd LCG
+/// state, multiplier ≡ 5 (mod 8), matching merge shapes, monotone sample
+/// volume — hold at every step; a silent violation corrupts results
+/// undetectably (Mertens, "Random Number Generators: A Survival Guide").
+///
+///   PARMONC_ASSERT(Cond, Msg)  — always on, in every build type. Use on
+///     cold paths and for invariants whose violation would silently poison
+///     statistics (stream state, merge shapes).
+///   PARMONC_DCHECK(Cond, Msg)  — compiled out under NDEBUG. Use on hot
+///     paths or for redundant checks that are too expensive to always run.
+///
+/// Both print `file:line: contract violated: <condition> (<message>)` to
+/// stderr and abort. They deliberately do not throw: the library is
+/// exception-free, and a broken invariant means results can no longer be
+/// trusted, so the only safe response is to stop the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_SUPPORT_CONTRACT_H
+#define PARMONC_SUPPORT_CONTRACT_H
+
+namespace parmonc {
+namespace detail {
+
+/// Reports a violated contract and aborts. Out of line so the macro
+/// expansion stays small at every check site.
+[[noreturn]] void contractFailure(const char *File, int Line,
+                                  const char *Condition, const char *Message);
+
+} // namespace detail
+} // namespace parmonc
+
+/// Always-on invariant check.
+#define PARMONC_ASSERT(Cond, Msg)                                            \
+  do {                                                                       \
+    if (!(Cond))                                                             \
+      ::parmonc::detail::contractFailure(__FILE__, __LINE__, #Cond, Msg);    \
+  } while (false)
+
+/// Debug-only invariant check; compiled out (condition not evaluated)
+/// under NDEBUG.
+#ifdef NDEBUG
+#define PARMONC_DCHECK(Cond, Msg)                                            \
+  do {                                                                       \
+  } while (false)
+#else
+#define PARMONC_DCHECK(Cond, Msg) PARMONC_ASSERT(Cond, Msg)
+#endif
+
+#endif // PARMONC_SUPPORT_CONTRACT_H

@@ -37,8 +37,12 @@ enum class StatusCode {
 /// Returns a stable human-readable name for \p Code ("ok", "io-error", ...).
 const char *statusCodeName(StatusCode Code);
 
-/// A success/failure value with an optional diagnostic message.
-class Status {
+/// A success/failure value with an optional diagnostic message. The type is
+/// [[nodiscard]]: a fallible call whose Status is dropped is a correctness
+/// bug (a failed save-point or merge would silently corrupt results), so
+/// the compiler — and mclint rule R1 — reject it. Deliberate discards must
+/// be spelled `(void)call(...)`.
+class [[nodiscard]] Status {
 public:
   /// Constructs a success status.
   Status() : Code(StatusCode::Ok) {}
@@ -79,8 +83,9 @@ Status outOfRange(std::string Message);
 Status internalError(std::string Message);
 
 /// A value-or-error type. Holds either a T (success) or a failure Status.
-/// Accessing value() on a failed Result asserts.
-template <typename T> class Result {
+/// Accessing value() on a failed Result asserts. [[nodiscard]] for the same
+/// reason as Status: dropping one drops an error.
+template <typename T> class [[nodiscard]] Result {
 public:
   /// Success: wraps the payload.
   Result(T Value) : Value(std::move(Value)) {}

@@ -33,14 +33,14 @@ std::string formatScientific(double Value, int Precision = 17);
 std::string formatFixed(double Value, int Decimals);
 
 /// Parses a double. Fails on trailing garbage or empty input.
-Result<double> parseDouble(std::string_view Text);
+[[nodiscard]] Result<double> parseDouble(std::string_view Text);
 
 /// Parses a signed 64-bit integer in base 10. Fails on trailing garbage,
 /// empty input or overflow.
-Result<int64_t> parseInt64(std::string_view Text);
+[[nodiscard]] Result<int64_t> parseInt64(std::string_view Text);
 
 /// Parses an unsigned 64-bit integer in base 10.
-Result<uint64_t> parseUInt64(std::string_view Text);
+[[nodiscard]] Result<uint64_t> parseUInt64(std::string_view Text);
 
 /// Strips ASCII whitespace from both ends.
 std::string_view trim(std::string_view Text);
@@ -55,15 +55,15 @@ std::vector<std::string_view> splitChar(std::string_view Text, char Separator);
 bool startsWith(std::string_view Text, std::string_view Prefix);
 
 /// Reads a whole file into a string.
-Result<std::string> readFileToString(const std::string &Path);
+[[nodiscard]] Result<std::string> readFileToString(const std::string &Path);
 
 /// Writes \p Contents to \p Path atomically (write to a sibling temp file,
 /// then rename). Used for save-points so a crash mid-write never corrupts
 /// previous results — a requirement for the paper's resumption feature.
-Status writeFileAtomic(const std::string &Path, std::string_view Contents);
+[[nodiscard]] Status writeFileAtomic(const std::string &Path, std::string_view Contents);
 
 /// Creates \p Path and any missing parents. Ok if it already exists.
-Status createDirectories(const std::string &Path);
+[[nodiscard]] Status createDirectories(const std::string &Path);
 
 /// True if a regular file exists at \p Path.
 bool fileExists(const std::string &Path);

@@ -11,7 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <thread>
+#include <thread> // mclint: allow(R3): hardware_concurrency query only
 
 namespace parmonc {
 
@@ -75,6 +75,7 @@ int parmoncc(parmonc_realization_fn realization, const int *nrow,
   // perpass/peraver are minutes in the paper's interface.
   Config.PassPeriodNanos = int64_t(*perpass) * 60'000'000'000;
   Config.AveragePeriodNanos = int64_t(*peraver) * 60'000'000'000;
+  // mclint: allow(R3): read-only core-count query, no threads are created
   const unsigned HardwareThreads = std::thread::hardware_concurrency();
   Config.ProcessorCount = readEnvironmentInt(
       "PARMONC_NP", HardwareThreads > 0 ? int(HardwareThreads) : 1);

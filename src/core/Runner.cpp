@@ -19,8 +19,13 @@
 #include "parmonc/mpsim/Communicator.h"
 #include "parmonc/obs/Stopwatch.h"
 #include "parmonc/rng/StreamHierarchy.h"
+#include "parmonc/support/Contract.h"
 #include "parmonc/support/Text.h"
 
+// mclint: allow-file(R3): the engine's stop/claim flags are the one
+// reviewed lock-free seam outside mpsim/ — workers and the collector share
+// them by reference inside a single runThreadEngine() invocation, and all
+// cross-rank *data* still flows through the communicator protocol.
 #include <atomic>
 #include <vector>
 
@@ -58,18 +63,19 @@ struct CollectorState {
     for (size_t Rank = 0; Rank < LatestFromRank.size(); ++Rank) {
       if (!HaveSnapshot[Rank])
         continue;
+      // Shape mismatches here mean a rank deserialized a snapshot from a
+      // different run configuration — merging it would corrupt the eq. (5)
+      // average, so these contracts stay on in release builds.
       Status MergedOk = Merged.Moments.merge(LatestFromRank[Rank].Moments);
-      assert(MergedOk.isOk() && "rank snapshot shape mismatch");
-      (void)MergedOk;
+      PARMONC_ASSERT(MergedOk.isOk(), "rank snapshot shape mismatch");
       Merged.ComputeSeconds += LatestFromRank[Rank].ComputeSeconds;
-      assert(Merged.Histograms.size() ==
-                 LatestFromRank[Rank].Histograms.size() &&
-             "rank snapshot histogram count mismatch");
+      PARMONC_ASSERT(Merged.Histograms.size() ==
+                         LatestFromRank[Rank].Histograms.size(),
+                     "rank snapshot histogram count mismatch");
       for (size_t Index = 0; Index < Merged.Histograms.size(); ++Index) {
         Status HistogramOk = Merged.Histograms[Index].merge(
             LatestFromRank[Rank].Histograms[Index]);
-        assert(HistogramOk.isOk() && "histogram geometry mismatch");
-        (void)HistogramOk;
+        PARMONC_ASSERT(HistogramOk.isOk(), "histogram geometry mismatch");
       }
     }
     return Merged;
@@ -264,6 +270,10 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     Log.TotalSampleVolume = Merged.Moments.sampleVolume();
     Log.NewSampleVolume =
         Merged.Moments.sampleVolume() - Base.Moments.sampleVolume();
+    // Workers only ever add realizations to the resumed base, so the
+    // merged volume can never shrink; if it does, a snapshot went bad.
+    PARMONC_ASSERT(Log.NewSampleVolume >= 0,
+                   "sample volume must be monotone across save-points");
     const double NewComputeSeconds =
         Merged.ComputeSeconds - Base.ComputeSeconds;
     Log.MeanRealizationSeconds =

@@ -1,0 +1,126 @@
+//===- lint/Analyzer.cpp - Project-wide lint driver -----------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Analyzer.h"
+
+#include "parmonc/lint/Rules.h"
+#include "parmonc/lint/SourceFile.h"
+#include "parmonc/support/Text.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+namespace parmonc {
+namespace lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool isSourceExtension(const fs::path &Path) {
+  const std::string Ext = Path.extension().string();
+  return Ext == ".h" || Ext == ".hpp" || Ext == ".cpp" || Ext == ".cc" ||
+         Ext == ".cxx";
+}
+
+/// Directories never worth linting: build trees and VCS/tooling state.
+bool isSkippedDirectory(const fs::path &Path) {
+  const std::string Name = Path.filename().string();
+  return startsWith(Name, "build") || startsWith(Name, ".");
+}
+
+/// Collects every source file under \p Root (or \p Root itself when it is
+/// a file) into \p Files, sorted later for determinism.
+Status collectFiles(const std::string &Root, std::vector<std::string> &Files) {
+  std::error_code Error;
+  const fs::file_status RootStatus = fs::status(Root, Error);
+  if (Error)
+    return ioError("cannot stat '" + Root + "': " + Error.message());
+  if (fs::is_regular_file(RootStatus)) {
+    Files.push_back(Root);
+    return Status::ok();
+  }
+  if (!fs::is_directory(RootStatus))
+    return invalidArgument("'" + Root + "' is neither a file nor a directory");
+
+  fs::recursive_directory_iterator It(Root, Error), End;
+  if (Error)
+    return ioError("cannot open '" + Root + "': " + Error.message());
+  for (; It != End; It.increment(Error)) {
+    if (Error)
+      return ioError("error walking '" + Root + "': " + Error.message());
+    const fs::directory_entry &Entry = *It;
+    if (Entry.is_directory()) {
+      if (isSkippedDirectory(Entry.path()))
+        It.disable_recursion_pending();
+      continue;
+    }
+    if (Entry.is_regular_file() && isSourceExtension(Entry.path()))
+      Files.push_back(Entry.path().generic_string());
+  }
+  return Status::ok();
+}
+
+} // namespace
+
+Result<LintReport> runAnalyzer(const AnalyzerOptions &Options) {
+  if (Options.Paths.empty())
+    return invalidArgument("no paths to lint");
+
+  // Resolve the rule subset.
+  std::vector<std::unique_ptr<Rule>> AllRules = makeAllRules();
+  std::vector<const Rule *> Active;
+  if (Options.RuleIds.empty()) {
+    for (const auto &RulePtr : AllRules)
+      Active.push_back(RulePtr.get());
+  } else {
+    for (const std::string &Id : Options.RuleIds) {
+      const Rule *Found = nullptr;
+      for (const auto &RulePtr : AllRules)
+        if (RulePtr->id() == Id || RulePtr->name() == Id)
+          Found = RulePtr.get();
+      if (!Found)
+        return invalidArgument("unknown lint rule '" + Id + "'");
+      Active.push_back(Found);
+    }
+  }
+
+  // Gather the file set.
+  std::vector<std::string> Paths;
+  for (const std::string &Root : Options.Paths)
+    if (Status Collected = collectFiles(Root, Paths); !Collected)
+      return Collected;
+  std::sort(Paths.begin(), Paths.end());
+  Paths.erase(std::unique(Paths.begin(), Paths.end()), Paths.end());
+
+  // Load and lex every file once.
+  std::vector<SourceFile> Files;
+  Files.reserve(Paths.size());
+  for (const std::string &Path : Paths) {
+    Result<std::string> Contents = readFileToString(Path);
+    if (!Contents)
+      return Contents.status();
+    Files.emplace_back(Path, Contents.value());
+  }
+
+  // Pre-pass: the cross-file context (R1's nodiscard function set).
+  LintContext Context;
+  Context.NodiscardFunctions = builtinFallibleFunctions();
+  for (const SourceFile &File : Files)
+    harvestNodiscardFunctions(File, Context.NodiscardFunctions);
+
+  LintReport Report;
+  Report.FileCount = Files.size();
+  for (const SourceFile &File : Files)
+    for (const Rule *ActiveRule : Active)
+      ActiveRule->check(File, Context, Report.Diagnostics);
+  sortDiagnostics(Report.Diagnostics);
+  return Report;
+}
+
+} // namespace lint
+} // namespace parmonc

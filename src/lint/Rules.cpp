@@ -1,0 +1,680 @@
+//===- lint/Rules.cpp - The enforced project invariants -------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The rules work on the scrubbed lexical view of each file (comments and
+// literals blanked), with a light statement reconstruction for R1. They are
+// deliberately heuristic — this is a project linter, not a compiler — but
+// every heuristic errs toward silence on idiomatic code and each rule has
+// an explicit, grep-able waiver escape hatch (see SourceFile.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Rules.h"
+
+#include "parmonc/support/Text.h"
+
+#include <array>
+#include <cctype>
+
+namespace parmonc {
+namespace lint {
+
+namespace {
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// True when \p Text contains \p Token bounded by non-identifier chars.
+/// Returns the offset of the first such occurrence, or npos.
+size_t findWordToken(std::string_view Text, std::string_view Token) {
+  size_t Pos = 0;
+  while ((Pos = Text.find(Token, Pos)) != std::string_view::npos) {
+    const bool LeftOk = Pos == 0 || !isIdentChar(Text[Pos - 1]);
+    const size_t End = Pos + Token.size();
+    const bool RightOk = End >= Text.size() || !isIdentChar(Text[End]);
+    if (LeftOk && RightOk)
+      return Pos;
+    Pos += 1;
+  }
+  return std::string_view::npos;
+}
+
+/// Normalizes a path to forward slashes for suffix/substring matching.
+std::string normalizedPath(std::string_view Path) {
+  std::string Normal(Path);
+  for (char &C : Normal)
+    if (C == '\\')
+      C = '/';
+  return Normal;
+}
+
+bool pathContainsComponent(std::string_view Path, std::string_view Dir) {
+  const std::string Normal = normalizedPath(Path);
+  const std::string Needle = "/" + std::string(Dir) + "/";
+  return Normal.find(Needle) != std::string::npos ||
+         startsWith(Normal, std::string(Dir) + "/");
+}
+
+bool pathEndsWith(std::string_view Path, std::string_view Suffix) {
+  const std::string Normal = normalizedPath(Path);
+  return Normal.size() >= Suffix.size() &&
+         Normal.compare(Normal.size() - Suffix.size(), Suffix.size(),
+                        Suffix) == 0;
+}
+
+/// One reconstructed statement: the scrubbed text joined across lines and
+/// the 0-based line its first token appeared on.
+struct Statement {
+  std::string Text;
+  size_t FirstLine = 0;
+};
+
+/// Splits the scrubbed file into approximate statements. Boundaries are
+/// `;`, `{` and `}` at parenthesis/bracket depth zero; preprocessor lines
+/// are skipped entirely. Good enough to see whether a call's result is
+/// consumed, which is all R1 needs.
+template <typename Callback>
+void forEachStatement(const SourceFile &File, Callback &&OnStatement) {
+  Statement Current;
+  bool HaveToken = false;
+  int Depth = 0;
+  for (size_t LineIndex = 0; LineIndex < File.lineCount(); ++LineIndex) {
+    std::string_view Line = File.scrubbedLine(LineIndex);
+    if (startsWith(trim(Line), "#"))
+      continue; // preprocessor
+    for (char C : Line) {
+      if (C == '(' || C == '[')
+        ++Depth;
+      else if (C == ')' || C == ']')
+        --Depth;
+      if (Depth <= 0 && (C == ';' || C == '{' || C == '}')) {
+        Current.Text.push_back(C);
+        if (HaveToken)
+          OnStatement(static_cast<const Statement &>(Current));
+        Current = Statement{};
+        HaveToken = false;
+        Depth = 0;
+        continue;
+      }
+      if (!HaveToken && !std::isspace(static_cast<unsigned char>(C))) {
+        HaveToken = true;
+        Current.FirstLine = LineIndex;
+      }
+      Current.Text.push_back(C);
+    }
+    Current.Text.push_back(' '); // line break separates tokens
+  }
+}
+
+/// True if the statement contains a top-level `=` that is an assignment
+/// or initialization (not ==, !=, <=, >=).
+bool hasTopLevelAssignment(std::string_view Text) {
+  int Depth = 0;
+  for (size_t I = 0; I < Text.size(); ++I) {
+    const char C = Text[I];
+    if (C == '(' || C == '[')
+      ++Depth;
+    else if (C == ')' || C == ']')
+      --Depth;
+    else if (C == '=' && Depth == 0) {
+      const char Prev = I > 0 ? Text[I - 1] : '\0';
+      const char Next = I + 1 < Text.size() ? Text[I + 1] : '\0';
+      if (Prev != '=' && Prev != '!' && Prev != '<' && Prev != '>' &&
+          Next != '=')
+        return true;
+    }
+  }
+  return false;
+}
+
+/// Keywords that can begin a statement whose leading call is consumed or
+/// is not a call at all.
+bool startsWithStatementKeyword(std::string_view Text) {
+  static constexpr std::array<std::string_view, 18> Keywords = {
+      "return",   "if",       "while",    "for",     "switch",
+      "else",     "do",       "case",     "goto",    "co_return",
+      "co_yield", "co_await", "throw",    "using",   "typedef",
+      "template", "delete",   "static_assert"};
+  for (std::string_view Keyword : Keywords)
+    if (startsWith(Text, Keyword) &&
+        (Text.size() == Keyword.size() ||
+         !isIdentChar(Text[Keyword.size()])))
+      return true;
+  return false;
+}
+
+/// If the statement begins with a plain call chain — `name(...)`,
+/// `ns::name(...)`, `obj.name(...)`, `obj->name(...)` — returns the final
+/// callee name; empty otherwise.
+std::string_view leadingCalleeName(std::string_view Text) {
+  size_t I = 0;
+  size_t NameBegin = 0, NameEnd = 0;
+  while (I < Text.size()) {
+    if (!isIdentChar(Text[I]))
+      return {};
+    NameBegin = I;
+    while (I < Text.size() && isIdentChar(Text[I]))
+      ++I;
+    NameEnd = I;
+    if (I >= Text.size())
+      return {};
+    if (Text[I] == '(')
+      return Text.substr(NameBegin, NameEnd - NameBegin);
+    if (Text.compare(I, 2, "::") == 0 || Text.compare(I, 2, "->") == 0) {
+      I += 2;
+      continue;
+    }
+    if (Text[I] == '.') {
+      I += 1;
+      continue;
+    }
+    return {};
+  }
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// R1: discarded-status
+//===----------------------------------------------------------------------===//
+
+class DiscardedStatusRule final : public Rule {
+public:
+  std::string_view id() const override { return "R1"; }
+  std::string_view name() const override { return "discarded-status"; }
+  std::string_view summary() const override {
+    return "fallible calls must not discard their Status/Result";
+  }
+
+  void check(const SourceFile &File, const LintContext &Context,
+             std::vector<Diagnostic> &Out) const override {
+    forEachStatement(File, [&](const Statement &Stmt) {
+      std::string_view Text = trim(Stmt.Text);
+      if (Text.empty() || Text.back() != ';')
+        return; // only expression statements can discard
+      if (startsWith(Text, "(void)"))
+        return; // explicit, reviewed discard
+      if (startsWithStatementKeyword(Text))
+        return;
+      if (hasTopLevelAssignment(Text))
+        return;
+      std::string_view Callee = leadingCalleeName(Text);
+      if (Callee.empty() ||
+          Context.NodiscardFunctions.find(Callee) ==
+              Context.NodiscardFunctions.end())
+        return;
+      if (File.isWaived(Stmt.FirstLine, id()))
+        return;
+      Out.push_back({File.path(), unsigned(Stmt.FirstLine + 1),
+                     std::string(id()), std::string(name()),
+                     "result of fallible call '" + std::string(Callee) +
+                         "' is discarded; handle the Status or spell the "
+                         "discard '(void)'"});
+    });
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R2: nondeterminism
+//===----------------------------------------------------------------------===//
+
+class NondeterminismRule final : public Rule {
+public:
+  std::string_view id() const override { return "R2"; }
+  std::string_view name() const override { return "nondeterminism"; }
+  std::string_view summary() const override {
+    return "no entropy/wall-clock sources outside support/Clock.h";
+  }
+
+  void check(const SourceFile &File, const LintContext &,
+             std::vector<Diagnostic> &Out) const override {
+    if (pathEndsWith(File.path(), "support/Clock.h"))
+      return; // the one approved seam
+    static constexpr std::array<std::string_view, 3> BannedTypes = {
+        "std::random_device", "std::chrono::system_clock",
+        "std::chrono::high_resolution_clock"};
+    static constexpr std::array<std::string_view, 10> BannedCalls = {
+        "rand",      "srand",        "random",       "drand48", "lrand48",
+        "time",      "gettimeofday", "clock_gettime", "localtime", "gmtime"};
+    for (size_t Index = 0; Index < File.lineCount(); ++Index) {
+      std::string_view Line = File.scrubbedLine(Index);
+      for (std::string_view Banned : BannedTypes) {
+        if (findWordToken(Line, Banned) == std::string_view::npos)
+          continue;
+        if (!File.isWaived(Index, id()))
+          Out.push_back({File.path(), unsigned(Index + 1),
+                         std::string(id()), std::string(name()),
+                         "'" + std::string(Banned) +
+                             "' is a nondeterminism source; inject time "
+                             "through parmonc::Clock "
+                             "(support/Clock.h) instead"});
+        break;
+      }
+      for (std::string_view Banned : BannedCalls) {
+        if (!isBannedCall(Line, Banned))
+          continue;
+        if (!File.isWaived(Index, id()))
+          Out.push_back({File.path(), unsigned(Index + 1),
+                         std::string(id()), std::string(name()),
+                         "call to '" + std::string(Banned) +
+                             "()' injects nondeterminism; use the "
+                             "parmonc::Clock seam or the stream "
+                             "hierarchy instead"});
+        break;
+      }
+    }
+  }
+
+private:
+  /// Matches `name(`, `std::name(` and global `::name(` but not member
+  /// calls `.name(` / `->name(` or names qualified by a project scope.
+  static bool isBannedCall(std::string_view Line, std::string_view Name) {
+    size_t Pos = 0;
+    while ((Pos = Line.find(Name, Pos)) != std::string_view::npos) {
+      const size_t End = Pos + Name.size();
+      size_t After = End;
+      while (After < Line.size() && Line[After] == ' ')
+        ++After;
+      if (After >= Line.size() || Line[After] != '(' ||
+          (End < Line.size() && isIdentChar(Line[End]))) {
+        Pos = End;
+        continue;
+      }
+      bool Flag = true;
+      if (Pos > 0) {
+        const char Prev = Line[Pos - 1];
+        if (isIdentChar(Prev) || Prev == '.') {
+          Flag = false;
+        } else if (Prev == '>' && Pos >= 2 && Line[Pos - 2] == '-') {
+          Flag = false;
+        } else if (Prev == ':') {
+          // Qualified name: only std:: and the global :: are the C/C++
+          // library versions; Foo::time(...) is project code.
+          Flag = false;
+          if (Pos >= 2 && Line[Pos - 2] == ':') {
+            std::string_view Before = Line.substr(0, Pos - 2);
+            size_t Begin = Before.size();
+            while (Begin > 0 && isIdentChar(Before[Begin - 1]))
+              --Begin;
+            std::string_view Qualifier = Before.substr(Begin);
+            Flag = Qualifier.empty() || Qualifier == "std";
+          }
+        }
+      }
+      if (Flag)
+        return true;
+      Pos = End;
+    }
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R3: raw-concurrency
+//===----------------------------------------------------------------------===//
+
+class RawConcurrencyRule final : public Rule {
+public:
+  std::string_view id() const override { return "R3"; }
+  std::string_view name() const override { return "raw-concurrency"; }
+  std::string_view summary() const override {
+    return "thread/mutex/atomic primitives only in mpsim/ and obs/";
+  }
+
+  void check(const SourceFile &File, const LintContext &,
+             std::vector<Diagnostic> &Out) const override {
+    if (pathContainsComponent(File.path(), "mpsim") ||
+        pathContainsComponent(File.path(), "obs") ||
+        pathEndsWith(File.path(), "support/Clock.h"))
+      return;
+    static constexpr std::array<std::string_view, 21> BannedTypes = {
+        "std::thread",         "std::jthread",
+        "std::mutex",          "std::timed_mutex",
+        "std::recursive_mutex", "std::shared_mutex",
+        "std::condition_variable", "std::atomic",
+        "std::lock_guard",     "std::unique_lock",
+        "std::scoped_lock",    "std::shared_lock",
+        "std::future",         "std::promise",
+        "std::async",          "std::call_once",
+        "std::once_flag",      "std::counting_semaphore",
+        "std::binary_semaphore", "std::latch",
+        "std::memory_order"};
+    static constexpr std::array<std::string_view, 10> BannedIncludes = {
+        "<thread>", "<mutex>",     "<atomic>", "<condition_variable>",
+        "<future>", "<shared_mutex>", "<semaphore>", "<barrier>",
+        "<latch>",  "<stop_token>"};
+    for (size_t Index = 0; Index < File.lineCount(); ++Index) {
+      std::string_view Raw = trim(File.rawLine(Index));
+      if (startsWith(Raw, "#include")) {
+        for (std::string_view Banned : BannedIncludes) {
+          if (Raw.find(Banned) == std::string_view::npos)
+            continue;
+          if (!File.isWaived(Index, id()))
+            Out.push_back({File.path(), unsigned(Index + 1),
+                           std::string(id()), std::string(name()),
+                           "include of " + std::string(Banned) +
+                               " outside mpsim/ and obs/; route "
+                               "concurrency through the communicator or "
+                               "the metrics registry"});
+          break;
+        }
+        continue;
+      }
+      std::string_view Line = File.scrubbedLine(Index);
+      for (std::string_view Banned : BannedTypes) {
+        if (findWordToken(Line, Banned) == std::string_view::npos)
+          continue;
+        if (!File.isWaived(Index, id()))
+          Out.push_back({File.path(), unsigned(Index + 1),
+                         std::string(id()), std::string(name()),
+                         "'" + std::string(Banned) +
+                             "' outside mpsim/ and obs/; cross-rank "
+                             "state must flow through the collector "
+                             "protocol"});
+        break;
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R4: include-hygiene
+//===----------------------------------------------------------------------===//
+
+class IncludeHygieneRule final : public Rule {
+public:
+  std::string_view id() const override { return "R4"; }
+  std::string_view name() const override { return "include-hygiene"; }
+  std::string_view summary() const override {
+    return "canonical header guards and include style";
+  }
+
+  void check(const SourceFile &File, const LintContext &,
+             std::vector<Diagnostic> &Out) const override {
+    checkIncludes(File, Out);
+    if (File.isHeader()) {
+      checkHeaderGuard(File, Out);
+      checkUsingNamespace(File, Out);
+    }
+  }
+
+private:
+  void diag(const SourceFile &File, size_t Index, std::string Message,
+            std::vector<Diagnostic> &Out) const {
+    if (File.isWaived(Index, id()))
+      return;
+    Out.push_back({File.path(), unsigned(Index + 1), std::string(id()),
+                   std::string(name()), std::move(Message)});
+  }
+
+  void checkIncludes(const SourceFile &File,
+                     std::vector<Diagnostic> &Out) const {
+    for (size_t Index = 0; Index < File.lineCount(); ++Index) {
+      std::string_view Raw = trim(File.rawLine(Index));
+      if (!startsWith(Raw, "#include"))
+        continue;
+      std::string_view Spec = trim(Raw.substr(8));
+      if (startsWith(Spec, "\"")) {
+        const size_t Close = Spec.find('"', 1);
+        std::string_view Target =
+            Close == std::string_view::npos ? Spec.substr(1)
+                                            : Spec.substr(1, Close - 1);
+        if (!startsWith(Target, "parmonc/"))
+          diag(File, Index,
+               "quoted include \"" + std::string(Target) +
+                   "\" is not a project header; use <...> for system "
+                   "headers and \"parmonc/...\" for project headers",
+               Out);
+      } else if (startsWith(Spec, "<")) {
+        const size_t Close = Spec.find('>', 1);
+        std::string_view Target =
+            Close == std::string_view::npos ? Spec.substr(1)
+                                            : Spec.substr(1, Close - 1);
+        if (startsWith(Target, "parmonc/"))
+          diag(File, Index,
+               "project header <" + std::string(Target) +
+                   "> must be included with quotes",
+               Out);
+        else if (startsWith(Target, "bits/"))
+          diag(File, Index,
+               "<" + std::string(Target) +
+                   "> is a libstdc++ internal header; include the "
+                   "standard header instead",
+               Out);
+      }
+    }
+  }
+
+  void checkHeaderGuard(const SourceFile &File,
+                        std::vector<Diagnostic> &Out) const {
+    // Find the first two preprocessor directives.
+    size_t IfndefLine = size_t(-1);
+    std::string IfndefMacro, DefineMacro;
+    for (size_t Index = 0; Index < File.lineCount(); ++Index) {
+      std::string_view Raw = trim(File.rawLine(Index));
+      if (Raw.empty() || !startsWith(Raw, "#"))
+        continue;
+      if (IfndefLine == size_t(-1)) {
+        if (startsWith(Raw, "#pragma") &&
+            Raw.find("once") != std::string_view::npos) {
+          diag(File, Index,
+               "use a PARMONC_* include guard instead of #pragma once",
+               Out);
+          return;
+        }
+        if (!startsWith(Raw, "#ifndef")) {
+          diag(File, Index, "header must open with an #ifndef guard", Out);
+          return;
+        }
+        IfndefLine = Index;
+        auto Fields = splitWhitespace(Raw);
+        if (Fields.size() >= 2)
+          IfndefMacro = std::string(Fields[1]);
+        continue;
+      }
+      if (!startsWith(Raw, "#define")) {
+        diag(File, IfndefLine,
+             "#ifndef guard is not followed by a matching #define", Out);
+        return;
+      }
+      auto Fields = splitWhitespace(Raw);
+      if (Fields.size() >= 2)
+        DefineMacro = std::string(Fields[1]);
+      break;
+    }
+    if (IfndefLine == size_t(-1)) {
+      diag(File, 0, "header has no include guard", Out);
+      return;
+    }
+    if (IfndefMacro != DefineMacro) {
+      diag(File, IfndefLine,
+           "guard macro '" + IfndefMacro +
+               "' is not matched by the #define ('" + DefineMacro + "')",
+           Out);
+      return;
+    }
+    const std::string Expected = expectedGuard(File.path());
+    if (!Expected.empty() && IfndefMacro != Expected) {
+      diag(File, IfndefLine,
+           "guard macro '" + IfndefMacro + "' should be '" + Expected + "'",
+           Out);
+      return;
+    }
+    if (Expected.empty() &&
+        (!startsWith(IfndefMacro, "PARMONC_") ||
+         !pathEndsWith(IfndefMacro, "_H")))
+      diag(File, IfndefLine,
+           "guard macro '" + IfndefMacro +
+               "' must have the form PARMONC_<PATH>_H",
+           Out);
+  }
+
+  /// Canonical guard for headers under an include/ root:
+  /// include/parmonc/rng/Lcg128.h -> PARMONC_RNG_LCG128_H. Empty when the
+  /// file is not under include/ (fixtures, tests): only the PARMONC_..._H
+  /// shape is enforced there.
+  static std::string expectedGuard(std::string_view Path) {
+    const std::string Normal = normalizedPath(Path);
+    const size_t Root = Normal.rfind("include/");
+    if (Root == std::string::npos)
+      return {};
+    std::string Guard;
+    for (char C : Normal.substr(Root + 8)) {
+      if (C == '/' || C == '.')
+        Guard.push_back('_');
+      else
+        Guard.push_back(
+            char(std::toupper(static_cast<unsigned char>(C))));
+    }
+    return Guard;
+  }
+
+  void checkUsingNamespace(const SourceFile &File,
+                           std::vector<Diagnostic> &Out) const {
+    for (size_t Index = 0; Index < File.lineCount(); ++Index) {
+      std::string_view Line = File.scrubbedLine(Index);
+      const size_t Pos = findWordToken(Line, "using");
+      if (Pos == std::string_view::npos)
+        continue;
+      std::string_view Rest = trim(Line.substr(Pos + 5));
+      if (startsWith(Rest, "namespace"))
+        diag(File, Index,
+             "using-namespace in a header leaks into every includer", Out);
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// R5: narrowing-estimator
+//===----------------------------------------------------------------------===//
+
+class NarrowingEstimatorRule final : public Rule {
+public:
+  std::string_view id() const override { return "R5"; }
+  std::string_view name() const override { return "narrowing-estimator"; }
+  std::string_view summary() const override {
+    return "no float in estimator code (stats/, core/)";
+  }
+
+  void check(const SourceFile &File, const LintContext &,
+             std::vector<Diagnostic> &Out) const override {
+    if (!pathContainsComponent(File.path(), "stats") &&
+        !pathContainsComponent(File.path(), "core"))
+      return;
+    for (size_t Index = 0; Index < File.lineCount(); ++Index) {
+      std::string_view Line = File.scrubbedLine(Index);
+      if (findWordToken(Line, "float") != std::string_view::npos) {
+        if (!File.isWaived(Index, id()))
+          Out.push_back({File.path(), unsigned(Index + 1),
+                         std::string(id()), std::string(name()),
+                         "'float' in estimator code; the eq. (5) moment "
+                         "sums must stay double end to end"});
+        continue;
+      }
+      if (hasFloatLiteral(Line) && !File.isWaived(Index, id()))
+        Out.push_back({File.path(), unsigned(Index + 1), std::string(id()),
+                       std::string(name()),
+                       "float literal in estimator code; use a double "
+                       "literal (no 'f' suffix)"});
+    }
+  }
+
+private:
+  /// Matches literals like 1.0f / 2e3f / 7f.
+  static bool hasFloatLiteral(std::string_view Line) {
+    for (size_t I = 0; I + 1 < Line.size(); ++I) {
+      if (!std::isdigit(static_cast<unsigned char>(Line[I])))
+        continue;
+      if (I > 0 && (isIdentChar(Line[I - 1]) || Line[I - 1] == '.'))
+        continue; // part of an identifier or already inside a number
+      size_t J = I;
+      bool SawDigit = false;
+      while (J < Line.size() &&
+             (std::isdigit(static_cast<unsigned char>(Line[J])) ||
+              Line[J] == '.' || Line[J] == 'e' || Line[J] == 'E' ||
+              ((Line[J] == '+' || Line[J] == '-') && J > I &&
+               (Line[J - 1] == 'e' || Line[J - 1] == 'E')))) {
+        SawDigit |= std::isdigit(static_cast<unsigned char>(Line[J])) != 0;
+        ++J;
+      }
+      if (SawDigit && J < Line.size() && (Line[J] == 'f' || Line[J] == 'F') &&
+          (J + 1 >= Line.size() || !isIdentChar(Line[J + 1])))
+        return true;
+      I = J;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Rule>> makeAllRules() {
+  std::vector<std::unique_ptr<Rule>> Rules;
+  Rules.push_back(std::make_unique<DiscardedStatusRule>());
+  Rules.push_back(std::make_unique<NondeterminismRule>());
+  Rules.push_back(std::make_unique<RawConcurrencyRule>());
+  Rules.push_back(std::make_unique<IncludeHygieneRule>());
+  Rules.push_back(std::make_unique<NarrowingEstimatorRule>());
+  return Rules;
+}
+
+std::set<std::string, std::less<>> builtinFallibleFunctions() {
+  // The project's fallible APIs, so R1 works even when the headers that
+  // declare them are outside the scanned roots (e.g. linting examples/
+  // alone). Kept in sync by LintRulesTest.BuiltinListMatchesHeaders.
+  return {
+      "appendExperimentLog", "choleskyFactor",   "clearPreviousRun",
+      "createDirectories",   "fromBytes",        "fromDecimalString",
+      "fromFileContents",    "fromHexString",    "fromRawSums",
+      "loadOrDefault",       "merge",            "parseDouble",
+      "parseInt64",          "parseUInt64",      "prepareDirectories",
+      "readDouble",          "readDoubleVector", "readFileToString",
+      "readI64",             "readMeans",        "readSnapshot",
+      "readString",          "readU32",          "readU64",
+      "runManualAverage",    "runSimulation",    "runVirtualCluster",
+      "validate",            "writeFileAtomic",  "writeResults",
+      "writeSnapshot",
+  };
+}
+
+void harvestNodiscardFunctions(const SourceFile &File,
+                               std::set<std::string, std::less<>> &Names) {
+  for (size_t Index = 0; Index < File.lineCount(); ++Index) {
+    std::string_view Line = File.scrubbedLine(Index);
+    size_t Pos = Line.find("[[nodiscard]]");
+    if (Pos == std::string_view::npos)
+      continue;
+    // Join the declaration across a few lines and take the identifier
+    // immediately preceding the first '(' — stopping at ';' or '{' so a
+    // class-level [[nodiscard]] never harvests a later function.
+    std::string Decl(Line.substr(Pos + 13));
+    for (size_t Extra = 1;
+         Extra <= 3 && Index + Extra < File.lineCount() &&
+         Decl.find('(') == std::string::npos &&
+         Decl.find(';') == std::string::npos &&
+         Decl.find('{') == std::string::npos;
+         ++Extra) {
+      Decl.push_back(' ');
+      Decl.append(File.scrubbedLine(Index + Extra));
+    }
+    const size_t Stop = Decl.find_first_of(";{");
+    const size_t Paren = Decl.find('(');
+    if (Paren == std::string::npos || (Stop != std::string::npos &&
+                                       Stop < Paren))
+      continue;
+    size_t End = Paren;
+    while (End > 0 && Decl[End - 1] == ' ')
+      --End;
+    size_t Begin = End;
+    while (Begin > 0 && isIdentChar(Decl[Begin - 1]))
+      --Begin;
+    if (Begin < End)
+      Names.insert(Decl.substr(Begin, End - Begin));
+  }
+}
+
+} // namespace lint
+} // namespace parmonc

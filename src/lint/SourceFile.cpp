@@ -1,0 +1,189 @@
+//===- lint/SourceFile.cpp - Lexed view of one source file ----------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/SourceFile.h"
+
+#include "parmonc/support/Text.h"
+
+namespace parmonc {
+namespace lint {
+
+namespace {
+
+/// Lexer states for the scrubbing pass.
+enum class LexState {
+  Code,
+  LineComment,
+  BlockComment,
+  String,
+  Char,
+  RawString,
+};
+
+bool isIdentChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_';
+}
+
+/// Extracts the rule ids from one waiver directive body, e.g. "R1,R3".
+std::vector<std::string> parseRuleList(std::string_view Body) {
+  std::vector<std::string> Ids;
+  for (std::string_view Field : splitChar(Body, ','))
+    if (std::string_view Id = trim(Field); !Id.empty())
+      Ids.emplace_back(Id);
+  return Ids;
+}
+
+} // namespace
+
+SourceFile::SourceFile(std::string Path, std::string_view Contents)
+    : Path(std::move(Path)) {
+  // Split into raw lines first (keeping empty trailing lines irrelevant).
+  for (std::string_view Line : splitChar(Contents, '\n')) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    RawLines.emplace_back(Line);
+  }
+  if (!RawLines.empty() && RawLines.back().empty())
+    RawLines.pop_back();
+
+  // Scrub comments and literals, collecting comment text per line so the
+  // waiver scan below only looks inside comments.
+  ScrubbedLines.reserve(RawLines.size());
+  LineWaivers.assign(RawLines.size(), {});
+  std::vector<std::string> CommentText(RawLines.size());
+
+  LexState State = LexState::Code;
+  std::string RawDelimiter; // for raw string literals: )delim"
+  for (size_t LineIndex = 0; LineIndex < RawLines.size(); ++LineIndex) {
+    const std::string &Raw = RawLines[LineIndex];
+    std::string Scrubbed(Raw.size(), ' ');
+    if (State == LexState::LineComment)
+      State = LexState::Code; // line comments never span lines
+    for (size_t I = 0; I < Raw.size(); ++I) {
+      const char C = Raw[I];
+      const char Next = I + 1 < Raw.size() ? Raw[I + 1] : '\0';
+      switch (State) {
+      case LexState::Code:
+        if (C == '/' && Next == '/') {
+          State = LexState::LineComment;
+          CommentText[LineIndex].append(Raw, I + 2, std::string::npos);
+          I = Raw.size(); // rest of the line is comment
+        } else if (C == '/' && Next == '*') {
+          State = LexState::BlockComment;
+          ++I;
+        } else if (C == '"') {
+          // Raw string literal? Look back for R (and not an identifier
+          // tail like xR"...).
+          if (I >= 1 && Raw[I - 1] == 'R' &&
+              (I == 1 || !isIdentChar(Raw[I - 2]))) {
+            size_t ParenPos = Raw.find('(', I + 1);
+            if (ParenPos != std::string::npos) {
+              RawDelimiter =
+                  ")" + Raw.substr(I + 1, ParenPos - I - 1) + "\"";
+              State = LexState::RawString;
+              Scrubbed[I] = '"';
+              I = ParenPos; // leave the prefix visible up to (
+              break;
+            }
+          }
+          State = LexState::String;
+          Scrubbed[I] = '"';
+        } else if (C == '\'' && I >= 1 && isIdentChar(Raw[I - 1]) &&
+                   I + 1 < Raw.size() && isIdentChar(Raw[I + 1])) {
+          // C++14 digit separator (1'000'000): not a char literal.
+          Scrubbed[I] = C;
+        } else if (C == '\'') {
+          State = LexState::Char;
+          Scrubbed[I] = '\'';
+        } else {
+          Scrubbed[I] = C;
+        }
+        break;
+      case LexState::LineComment:
+        break; // unreachable: handled by the I = Raw.size() above
+      case LexState::BlockComment:
+        if (C == '*' && Next == '/') {
+          State = LexState::Code;
+          ++I;
+        } else {
+          CommentText[LineIndex].push_back(C);
+        }
+        break;
+      case LexState::String:
+        if (C == '\\')
+          ++I;
+        else if (C == '"') {
+          State = LexState::Code;
+          Scrubbed[I] = '"';
+        }
+        break;
+      case LexState::Char:
+        if (C == '\\')
+          ++I;
+        else if (C == '\'') {
+          State = LexState::Code;
+          Scrubbed[I] = '\'';
+        }
+        break;
+      case LexState::RawString:
+        if (Raw.compare(I, RawDelimiter.size(), RawDelimiter) == 0) {
+          I += RawDelimiter.size() - 1;
+          Scrubbed[I] = '"';
+          State = LexState::Code;
+        }
+        break;
+      }
+    }
+    ScrubbedLines.push_back(std::move(Scrubbed));
+  }
+
+  // Waiver scan over the collected comment text.
+  for (size_t LineIndex = 0; LineIndex < CommentText.size(); ++LineIndex) {
+    std::string_view Comment = CommentText[LineIndex];
+    size_t Pos = Comment.find("mclint:");
+    if (Pos == std::string_view::npos)
+      continue;
+    std::string_view Directive = trim(Comment.substr(Pos + 7));
+    const bool FileScope = startsWith(Directive, "allow-file(");
+    const bool LineScope = !FileScope && startsWith(Directive, "allow(");
+    if (!FileScope && !LineScope)
+      continue;
+    const size_t Open = Directive.find('(');
+    const size_t Close = Directive.find(')', Open);
+    if (Close == std::string_view::npos)
+      continue;
+    for (std::string &Id :
+         parseRuleList(Directive.substr(Open + 1, Close - Open - 1))) {
+      if (FileScope) {
+        FileWaivers.insert(std::move(Id));
+        continue;
+      }
+      LineWaivers[LineIndex].insert(Id);
+      // A stand-alone comment line waives the line that follows it.
+      if (trim(ScrubbedLines[LineIndex]).empty() &&
+          LineIndex + 1 < LineWaivers.size())
+        LineWaivers[LineIndex + 1].insert(std::move(Id));
+    }
+  }
+}
+
+bool SourceFile::isHeader() const {
+  return Path.size() >= 2 && (Path.rfind(".h") == Path.size() - 2 ||
+                              (Path.size() >= 4 &&
+                               Path.rfind(".hpp") == Path.size() - 4));
+}
+
+bool SourceFile::isWaived(size_t Index, std::string_view RuleId) const {
+  if (FileWaivers.count(std::string(RuleId)))
+    return true;
+  if (Index >= LineWaivers.size())
+    return false;
+  return LineWaivers[Index].count(std::string(RuleId)) > 0;
+}
+
+} // namespace lint
+} // namespace parmonc

@@ -6,6 +6,7 @@
 
 #include "parmonc/rng/StreamHierarchy.h"
 
+#include "parmonc/support/Contract.h"
 #include "parmonc/support/Text.h"
 
 #include <algorithm>
@@ -36,13 +37,35 @@ Status LeapConfig::validate() const {
 
 LeapTable::LeapTable(UInt128 Multiplier, const LeapConfig &Config)
     : Config(Config), BaseMultiplier(Multiplier) {
-  assert(Config.validate().isOk() && "invalid leap configuration");
+  PARMONC_ASSERT(Config.validate().isOk(), "invalid leap configuration");
+  PARMONC_ASSERT(Multiplier.low() % 8 == 5,
+                 "base multiplier must be congruent to 5 mod 8");
   ExperimentLeap = UInt128::powModPow2(
       Multiplier, UInt128::powerOfTwo(Config.ExperimentLog2), 128);
   ProcessorLeap = UInt128::powModPow2(
       Multiplier, UInt128::powerOfTwo(Config.ProcessorLog2), 128);
   RealizationLeap = UInt128::powModPow2(
       Multiplier, UInt128::powerOfTwo(Config.RealizationLog2), 128);
+  // Leap composition (eq. 6–8): A(n) = A^n implies the processor leap is
+  // the realization leap raised to 2^(np-nr), and likewise one level up.
+  // If this ever fails, the three levels no longer nest and "disjoint"
+  // subsequences overlap.
+  PARMONC_DCHECK(
+      ProcessorLeap ==
+          UInt128::powModPow2(
+              RealizationLeap,
+              UInt128::powerOfTwo(Config.ProcessorLog2 -
+                                  Config.RealizationLog2),
+              128),
+      "leap composition broken: A(n_p) != A(n_r)^(n_p/n_r)");
+  PARMONC_DCHECK(
+      ExperimentLeap ==
+          UInt128::powModPow2(
+              ProcessorLeap,
+              UInt128::powerOfTwo(Config.ExperimentLog2 -
+                                  Config.ProcessorLog2),
+              128),
+      "leap composition broken: A(n_e) != A(n_p)^(n_e/n_p)");
 }
 
 std::string LeapTable::toFileContents() const {
@@ -131,16 +154,21 @@ Result<LeapTable> LeapTable::loadOrDefault(const std::string &Path) {
 
 UInt128 StreamHierarchy::initialNumber(const StreamCoordinates &Where) const {
   const LeapConfig &Config = Table.config();
-  assert(Where.Experiment < (uint64_t(1) << std::min(
-                                 Config.maxExperimentsLog2(), 63u)) &&
-         "experiment index exceeds hierarchy capacity");
-  assert(Where.Processor < (uint64_t(1) << std::min(
-                                Config.maxProcessorsLog2(), 63u)) &&
-         "processor index exceeds hierarchy capacity");
-  assert(Where.Realization < (uint64_t(1) << std::min(
-                                  Config.maxRealizationsLog2(), 63u)) &&
-         "realization index exceeds hierarchy capacity");
-  (void)Config;
+  // Out-of-capacity indices wrap into a *different* subsequence of the
+  // general sequence — results would be statistically valid-looking but
+  // correlated with another stream, so these are always-on contracts.
+  PARMONC_ASSERT(Where.Experiment <
+                     (uint64_t(1) << std::min(Config.maxExperimentsLog2(),
+                                              63u)),
+                 "experiment index exceeds hierarchy capacity");
+  PARMONC_ASSERT(Where.Processor <
+                     (uint64_t(1) << std::min(Config.maxProcessorsLog2(),
+                                              63u)),
+                 "processor index exceeds hierarchy capacity");
+  PARMONC_ASSERT(Where.Realization <
+                     (uint64_t(1) << std::min(Config.maxRealizationsLog2(),
+                                              63u)),
+                 "realization index exceeds hierarchy capacity");
 
   UInt128 State(1);
   State = State * UInt128::powModPow2(Table.experimentLeap(),

@@ -6,6 +6,8 @@
 
 #include "parmonc/stats/EstimatorMatrix.h"
 
+#include "parmonc/support/Contract.h"
+
 #include <cmath>
 #include <limits>
 
@@ -14,11 +16,12 @@ namespace parmonc {
 EstimatorMatrix::EstimatorMatrix(size_t Rows, size_t Columns)
     : Rows(Rows), Columns(Columns), SumValues(Rows * Columns, 0.0),
       SumSquares(Rows * Columns, 0.0) {
-  assert(Rows >= 1 && Columns >= 1 && "estimator matrix must be non-empty");
+  PARMONC_ASSERT(Rows >= 1 && Columns >= 1,
+                 "estimator matrix must be non-empty");
 }
 
 void EstimatorMatrix::accumulate(const double *Realization) {
-  assert(Realization && "null realization");
+  PARMONC_DCHECK(Realization, "null realization");
   const size_t Count = entryCount();
   for (size_t Index = 0; Index < Count; ++Index) {
     const double Value = Realization[Index];
@@ -40,6 +43,12 @@ Status EstimatorMatrix::merge(const EstimatorMatrix &Other) {
     SumValues[Index] += Other.SumValues[Index];
     SumSquares[Index] += Other.SumSquares[Index];
   }
+  // Eq. (5) adds subtotals; a negative contribution means a snapshot was
+  // corrupted upstream, and the merged average could silently go backwards.
+  PARMONC_ASSERT(Other.Volume >= 0,
+                 "merge contribution has negative sample volume");
+  PARMONC_ASSERT(Volume + Other.Volume >= Volume,
+                 "sample volume must stay monotone under the eq. (5) merge");
   Volume += Other.Volume;
   return Status::ok();
 }
@@ -68,8 +77,10 @@ Result<EstimatorMatrix> EstimatorMatrix::fromRawSums(
 
 EntryStatistics EstimatorMatrix::entryStatistics(
     size_t Row, size_t Column, double ErrorMultiplier) const {
-  assert(Row < Rows && Column < Columns && "entry index out of range");
-  assert(Volume > 0 && "statistics require at least one realization");
+  PARMONC_ASSERT(Row < Rows && Column < Columns,
+                 "entry index out of range");
+  PARMONC_ASSERT(Volume > 0,
+                 "statistics require at least one realization");
 
   const size_t Index = Row * Columns + Column;
   const double VolumeAsDouble = double(Volume);

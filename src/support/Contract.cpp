@@ -1,0 +1,24 @@
+//===- support/Contract.cpp - Contract violation reporting ----------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/support/Contract.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parmonc {
+namespace detail {
+
+void contractFailure(const char *File, int Line, const char *Condition,
+                     const char *Message) {
+  std::fprintf(stderr, "%s:%d: contract violated: %s (%s)\n", File, Line,
+               Condition, Message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace detail
+} // namespace parmonc

@@ -1,0 +1,327 @@
+//===- tests/lint/LintRulesTest.cpp - mclint engine tests -----------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the mclint analyzer against the fixture tree under
+// tests/lint/fixtures/ (each file deliberately violates exactly one rule,
+// plus a clean pair) and the SourceFile lexer against synthetic buffers.
+// The fixture tests assert exact (file, line, rule-id) triples so any
+// change to a rule's matching behavior is visible in review.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Analyzer.h"
+#include "parmonc/lint/Rules.h"
+#include "parmonc/lint/SourceFile.h"
+#include "parmonc/support/Text.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+namespace {
+
+std::string fixturePath(const std::string &Name) {
+  return std::string(PARMONC_LINT_FIXTURE_DIR) + "/" + Name;
+}
+
+/// Runs the analyzer over the given roots with the given rule subset and
+/// asserts environmental success.
+LintReport runOn(std::vector<std::string> Paths,
+                 std::vector<std::string> RuleIds = {}) {
+  AnalyzerOptions Options;
+  Options.Paths = std::move(Paths);
+  Options.RuleIds = std::move(RuleIds);
+  Result<LintReport> Report = runAnalyzer(Options);
+  EXPECT_TRUE(Report) << Report.status().message();
+  return Report ? Report.value() : LintReport{};
+}
+
+/// The (line, rule-id) pairs of a report, in output order.
+std::vector<std::pair<unsigned, std::string>>
+lineRulePairs(const LintReport &Report) {
+  std::vector<std::pair<unsigned, std::string>> Pairs;
+  for (const Diagnostic &Diag : Report.Diagnostics)
+    Pairs.emplace_back(Diag.Line, Diag.RuleId);
+  return Pairs;
+}
+
+using Pairs = std::vector<std::pair<unsigned, std::string>>;
+
+//===----------------------------------------------------------------------===//
+// Fixture tests: one file per rule, exact (file, line, rule-id) output.
+//===----------------------------------------------------------------------===//
+
+TEST(LintRulesTest, R1FlagsDiscardedFallibleCalls) {
+  const std::string Path = fixturePath("r1_discard.cpp");
+  LintReport Report = runOn({Path}, {"R1"});
+  ASSERT_EQ(Report.FileCount, 1u);
+  EXPECT_EQ(lineRulePairs(Report), (Pairs{{9, "R1"}, {10, "R1"}}));
+  for (const Diagnostic &Diag : Report.Diagnostics) {
+    EXPECT_EQ(Diag.Path, Path);
+    EXPECT_EQ(Diag.RuleName, "discarded-status");
+  }
+  // Line 9 discards a builtin fallible API; line 10 discards a function the
+  // analyzer harvested from the fixture's own [[nodiscard]] declaration.
+  ASSERT_EQ(Report.Diagnostics.size(), 2u);
+  EXPECT_NE(Report.Diagnostics[0].Message.find("writeFileAtomic"),
+            std::string::npos);
+  EXPECT_NE(Report.Diagnostics[1].Message.find("mightFail"),
+            std::string::npos);
+}
+
+TEST(LintRulesTest, R2FlagsNondeterminismSources) {
+  const std::string Path = fixturePath("r2_nondet.cpp");
+  LintReport Report = runOn({Path}, {"R2"});
+  EXPECT_EQ(lineRulePairs(Report),
+            (Pairs{{7, "R2"}, {8, "R2"}, {9, "R2"}}));
+  ASSERT_EQ(Report.Diagnostics.size(), 3u);
+  EXPECT_NE(Report.Diagnostics[0].Message.find("std::random_device"),
+            std::string::npos);
+  EXPECT_NE(Report.Diagnostics[1].Message.find("std::chrono::system_clock"),
+            std::string::npos);
+  EXPECT_NE(Report.Diagnostics[2].Message.find("'time()'"),
+            std::string::npos);
+}
+
+TEST(LintRulesTest, R3FlagsRawConcurrencyAndHonorsWaiver) {
+  const std::string Path = fixturePath("r3_thread.cpp");
+  LintReport Report = runOn({Path}, {"R3"});
+  // Line 2: banned include. Line 6: std::mutex member. Line 8 would be a
+  // std::atomic finding but is waived by the stand-alone comment above it.
+  EXPECT_EQ(lineRulePairs(Report), (Pairs{{2, "R3"}, {6, "R3"}}));
+  for (const Diagnostic &Diag : Report.Diagnostics)
+    EXPECT_EQ(Diag.RuleName, "raw-concurrency");
+}
+
+TEST(LintRulesTest, R4FlagsIncludeAndGuardViolations) {
+  const std::string Path = fixturePath("r4_bad_guard.h");
+  LintReport Report = runOn({Path}, {"R4"});
+  // 1: non-PARMONC guard macro; 4: quoted non-project include; 5: <bits/>;
+  // 6: project header via <>; 8: using-namespace in a header.
+  EXPECT_EQ(lineRulePairs(Report),
+            (Pairs{{1, "R4"}, {4, "R4"}, {5, "R4"}, {6, "R4"}, {8, "R4"}}));
+  ASSERT_EQ(Report.Diagnostics.size(), 5u);
+  EXPECT_NE(Report.Diagnostics[0].Message.find("WRONG_GUARD_H"),
+            std::string::npos);
+  EXPECT_NE(Report.Diagnostics[4].Message.find("using-namespace"),
+            std::string::npos);
+}
+
+TEST(LintRulesTest, R5FlagsFloatInEstimatorPaths) {
+  const std::string Path = fixturePath("stats/r5_float.cpp");
+  LintReport Report = runOn({Path}, {"R5"});
+  EXPECT_EQ(lineRulePairs(Report),
+            (Pairs{{3, "R5"}, {4, "R5"}, {7, "R5"}}));
+  ASSERT_EQ(Report.Diagnostics.size(), 3u);
+  // Line 7 has no 'float' token — only the 1.0f literal.
+  EXPECT_NE(Report.Diagnostics[2].Message.find("float literal"),
+            std::string::npos);
+}
+
+TEST(LintRulesTest, R5IgnoresFloatOutsideEstimatorPaths) {
+  // The same rule run against a non-stats/, non-core/ file stays silent.
+  LintReport Report = runOn({fixturePath("r2_nondet.cpp")}, {"R5"});
+  EXPECT_TRUE(Report.Diagnostics.empty());
+}
+
+TEST(LintRulesTest, CleanFixturesProduceNoFindings) {
+  LintReport Report =
+      runOn({fixturePath("clean.cpp"), fixturePath("clean.h")});
+  EXPECT_EQ(Report.FileCount, 2u);
+  EXPECT_TRUE(Report.Diagnostics.empty())
+      << formatDiagnostic(Report.Diagnostics.front(), false);
+}
+
+TEST(LintRulesTest, WholeFixtureTreeTotals) {
+  LintReport Report = runOn({std::string(PARMONC_LINT_FIXTURE_DIR)});
+  EXPECT_EQ(Report.FileCount, 7u);
+  EXPECT_EQ(Report.Diagnostics.size(), 15u);
+  // Deterministic ordering: sorted by (path, line, rule id).
+  EXPECT_TRUE(std::is_sorted(
+      Report.Diagnostics.begin(), Report.Diagnostics.end(),
+      [](const Diagnostic &A, const Diagnostic &B) {
+        return std::tie(A.Path, A.Line, A.RuleId) <
+               std::tie(B.Path, B.Line, B.RuleId);
+      }));
+}
+
+TEST(LintRulesTest, RulesSelectableByName) {
+  LintReport Report =
+      runOn({fixturePath("r2_nondet.cpp")}, {"nondeterminism"});
+  EXPECT_EQ(Report.Diagnostics.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostic rendering.
+//===----------------------------------------------------------------------===//
+
+TEST(LintRulesTest, FormatDiagnosticIsByteStable) {
+  Diagnostic Diag{"src/core/Runner.cpp", 42, "R3", "raw-concurrency",
+                  "'std::mutex' outside mpsim/ and obs/"};
+  EXPECT_EQ(formatDiagnostic(Diag, false),
+            "src/core/Runner.cpp:42: warning: 'std::mutex' outside mpsim/ "
+            "and obs/ [R3:raw-concurrency]");
+  EXPECT_EQ(formatDiagnostic(Diag, true),
+            "src/core/Runner.cpp:42: error: 'std::mutex' outside mpsim/ "
+            "and obs/ [R3:raw-concurrency]");
+}
+
+//===----------------------------------------------------------------------===//
+// SourceFile lexing: scrubbing and waivers on synthetic buffers.
+//===----------------------------------------------------------------------===//
+
+TEST(SourceFileTest, ScrubsCommentsAndLiterals) {
+  SourceFile File("x.cpp",
+                  "int A = 1; // std::thread in a comment\n"
+                  "const char *S = \"rand() in a string\";\n"
+                  "/* block\n"
+                  "   std::mutex */ int B = 2;\n"
+                  "char C = 'x';\n"
+                  "long D = 1'000'000; // digit separator survives\n");
+  ASSERT_EQ(File.lineCount(), 6u);
+  EXPECT_EQ(File.scrubbedLine(0).find("std::thread"),
+            std::string_view::npos);
+  EXPECT_EQ(File.scrubbedLine(1).find("rand"), std::string_view::npos);
+  EXPECT_NE(File.scrubbedLine(1).find("const char *S"),
+            std::string_view::npos);
+  EXPECT_EQ(File.scrubbedLine(3).find("std::mutex"),
+            std::string_view::npos);
+  EXPECT_NE(File.scrubbedLine(3).find("int B = 2;"),
+            std::string_view::npos);
+  EXPECT_EQ(File.scrubbedLine(4).find('x'), std::string_view::npos);
+  EXPECT_NE(File.scrubbedLine(5).find("1'000'000"),
+            std::string_view::npos);
+  // Columns are preserved: scrubbed lines are exactly as long as raw ones.
+  for (size_t I = 0; I < File.lineCount(); ++I)
+    EXPECT_EQ(File.scrubbedLine(I).size(), File.rawLine(I).size());
+}
+
+TEST(SourceFileTest, ScrubsRawStringLiterals) {
+  SourceFile File("x.cpp",
+                  "auto S = R\"(std::thread\n"
+                  "rand())\"; int After = 1;\n");
+  EXPECT_EQ(File.scrubbedLine(0).find("std::thread"),
+            std::string_view::npos);
+  EXPECT_EQ(File.scrubbedLine(1).find("rand"), std::string_view::npos);
+  EXPECT_NE(File.scrubbedLine(1).find("int After = 1;"),
+            std::string_view::npos);
+}
+
+TEST(SourceFileTest, WaiverScopes) {
+  SourceFile File("x.cpp",
+                  "std::mutex A; // mclint: allow(R3): reviewed\n"
+                  "// mclint: allow(R2,R3): next-line waiver\n"
+                  "std::mutex B;\n"
+                  "std::mutex C;\n");
+  EXPECT_TRUE(File.isWaived(0, "R3"));
+  EXPECT_FALSE(File.isWaived(0, "R2"));
+  EXPECT_TRUE(File.isWaived(2, "R3")); // from the stand-alone comment
+  EXPECT_TRUE(File.isWaived(2, "R2"));
+  EXPECT_FALSE(File.isWaived(3, "R3"));
+}
+
+TEST(SourceFileTest, FileWaiverCoversEveryLine) {
+  SourceFile File("x.cpp",
+                  "// mclint: allow-file(R3): engine-internal atomics\n"
+                  "std::mutex A;\n"
+                  "std::mutex B;\n");
+  EXPECT_TRUE(File.isWaived(1, "R3"));
+  EXPECT_TRUE(File.isWaived(2, "R3"));
+  EXPECT_FALSE(File.isWaived(1, "R1"));
+}
+
+TEST(SourceFileTest, HeaderDetection) {
+  EXPECT_TRUE(SourceFile("a/b.h", "").isHeader());
+  EXPECT_TRUE(SourceFile("a/b.hpp", "").isHeader());
+  EXPECT_FALSE(SourceFile("a/b.cpp", "").isHeader());
+}
+
+//===----------------------------------------------------------------------===//
+// Nodiscard harvesting.
+//===----------------------------------------------------------------------===//
+
+TEST(LintRulesTest, HarvestFindsAnnotatedFunctions) {
+  SourceFile File("x.h",
+                  "[[nodiscard]] Status saveAll(int X);\n"
+                  "[[nodiscard]] Result<int>\n"
+                  "parseThing(std::string_view Text);\n"
+                  "[[nodiscard]] class Status {\n"
+                  "public:\n"
+                  "  bool ok() const;\n"
+                  "};\n");
+  std::set<std::string, std::less<>> Names;
+  harvestNodiscardFunctions(File, Names);
+  EXPECT_TRUE(Names.count("saveAll"));
+  EXPECT_TRUE(Names.count("parseThing")); // declaration spans two lines
+  // The class-level [[nodiscard]] on Status must not harvest ok() or
+  // anything else.
+  EXPECT_FALSE(Names.count("ok"));
+  EXPECT_FALSE(Names.count("Status"));
+}
+
+TEST(LintRulesTest, BuiltinListMatchesHeaders) {
+  // Every name in the builtin fallible-function seed list must actually be
+  // declared [[nodiscard]] somewhere under include/ — otherwise the list
+  // has gone stale against an API rename.
+  std::set<std::string, std::less<>> Harvested;
+  namespace fs = std::filesystem;
+  for (const auto &Entry :
+       fs::recursive_directory_iterator(std::string(PARMONC_LINT_INCLUDE_DIR))) {
+    if (!Entry.is_regular_file())
+      continue;
+    const std::string Ext = Entry.path().extension().string();
+    if (Ext != ".h" && Ext != ".hpp")
+      continue;
+    Result<std::string> Contents =
+        readFileToString(Entry.path().generic_string());
+    ASSERT_TRUE(Contents) << Contents.status().message();
+    SourceFile File(Entry.path().generic_string(), Contents.value());
+    harvestNodiscardFunctions(File, Harvested);
+  }
+  for (const std::string &Name : builtinFallibleFunctions())
+    EXPECT_TRUE(Harvested.count(Name))
+        << "builtin fallible function '" << Name
+        << "' is not declared [[nodiscard]] under include/";
+}
+
+//===----------------------------------------------------------------------===//
+// Analyzer error handling.
+//===----------------------------------------------------------------------===//
+
+TEST(LintRulesTest, UnknownRuleIsAnError) {
+  AnalyzerOptions Options;
+  Options.Paths = {fixturePath("clean.cpp")};
+  Options.RuleIds = {"R9"};
+  Result<LintReport> Report = runAnalyzer(Options);
+  ASSERT_FALSE(Report);
+  EXPECT_NE(Report.status().message().find("unknown lint rule"),
+            std::string::npos);
+}
+
+TEST(LintRulesTest, MissingPathIsAnError) {
+  AnalyzerOptions Options;
+  Options.Paths = {fixturePath("no_such_file.cpp")};
+  Result<LintReport> Report = runAnalyzer(Options);
+  EXPECT_FALSE(Report);
+}
+
+TEST(LintRulesTest, EmptyPathListIsAnError) {
+  AnalyzerOptions Options;
+  Result<LintReport> Report = runAnalyzer(Options);
+  ASSERT_FALSE(Report);
+  EXPECT_NE(Report.status().message().find("no paths"), std::string::npos);
+}
+
+} // namespace
+} // namespace lint
+} // namespace parmonc

@@ -1,0 +1,19 @@
+// mclint fixture: R1 discarded-status. Never compiled — linted only.
+#include "parmonc/support/Text.h"
+
+[[nodiscard]] int mightFail();
+
+namespace parmonc {
+
+void fixtureBody() {
+  writeFileAtomic("ledger.dat", "x");
+  mightFail();
+  (void)writeFileAtomic("ledger.dat", "x");
+  Status Saved = writeFileAtomic("ledger.dat", "x");
+  if (!Saved)
+    return;
+  // mclint: allow(R1): fixture demonstrates the waiver escape hatch
+  writeFileAtomic("waived.dat", "x");
+}
+
+} // namespace parmonc

@@ -1,0 +1,12 @@
+// mclint fixture: R2 nondeterminism sources. Never compiled — linted only.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+double fixtureEntropy() {
+  std::random_device Device;
+  auto Now = std::chrono::system_clock::now();
+  long Stamp = time(nullptr);
+  return double(Device()) + double(Stamp) +
+         double(Now.time_since_epoch().count());
+}

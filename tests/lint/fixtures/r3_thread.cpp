@@ -1,0 +1,9 @@
+// mclint fixture: R3 raw concurrency. Never compiled — linted only.
+#include <mutex>
+#include <vector>
+
+struct FixtureQueue {
+  std::mutex Lock;
+  // mclint: allow(R3): fixture demonstrates the waiver escape hatch
+  std::atomic<int> Waived{0};
+};

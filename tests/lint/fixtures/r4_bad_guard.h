@@ -1,0 +1,10 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+#include "localheader.h"
+#include <bits/stdc++.h>
+#include <parmonc/support/Status.h>
+
+using namespace std;
+
+#endif // WRONG_GUARD_H

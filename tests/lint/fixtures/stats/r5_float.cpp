@@ -1,0 +1,8 @@
+// mclint fixture: R5 narrowing under a stats/ path. Never compiled.
+
+float meanOf(const float *Values, int Count) {
+  float Sum = 0.0f;
+  for (int I = 0; I < Count; ++I)
+    Sum += Values[I];
+  return Sum / 1.0f;
+}

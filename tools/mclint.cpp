@@ -1,0 +1,92 @@
+//===- tools/mclint.cpp - Project invariant linter ------------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage:
+//
+//   $ mclint [--werror] [--rule=R1[,R2...]] [--list-rules] <path>...
+//
+// Scans the given files/directories for violations of the project's
+// enforced invariants R1–R5 (see DESIGN.md, "Enforced invariants").
+// Without --werror, findings are warnings and the exit code is 0; with
+// --werror they are errors and any finding exits 1 — that is the CI gate:
+//
+//   $ mclint --werror src include tools examples
+//
+// Exit codes: 0 clean (or warnings only), 1 findings under --werror,
+// 2 usage or environmental error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Analyzer.h"
+#include "parmonc/lint/Rules.h"
+#include "parmonc/support/Text.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace parmonc;
+
+static int printUsage(const char *Program) {
+  std::fprintf(stderr,
+               "usage: %s [--werror] [--rule=IDS] [--list-rules] <path>...\n"
+               "  --werror      findings are errors: any finding exits 1\n"
+               "  --rule=IDS    run only the named rules, e.g. "
+               "--rule=R1,R3\n"
+               "  --list-rules  print the rule table and exit\n",
+               Program);
+  return 2;
+}
+
+static int listRules() {
+  for (const auto &RulePtr : lint::makeAllRules())
+    std::printf("%s  %-20s  %s\n", std::string(RulePtr->id()).c_str(),
+                std::string(RulePtr->name()).c_str(),
+                std::string(RulePtr->summary()).c_str());
+  return 0;
+}
+
+int main(int Argc, char **Argv) {
+  lint::AnalyzerOptions Options;
+  bool Werror = false;
+  for (int Index = 1; Index < Argc; ++Index) {
+    const char *Arg = Argv[Index];
+    if (std::strcmp(Arg, "--werror") == 0) {
+      Werror = true;
+    } else if (std::strcmp(Arg, "--list-rules") == 0) {
+      return listRules();
+    } else if (std::strncmp(Arg, "--rule=", 7) == 0) {
+      for (std::string_view Id : splitChar(Arg + 7, ','))
+        if (!trim(Id).empty())
+          Options.RuleIds.emplace_back(trim(Id));
+    } else if (Arg[0] == '-') {
+      return printUsage(Argv[0]);
+    } else {
+      Options.Paths.emplace_back(Arg);
+    }
+  }
+  if (Options.Paths.empty())
+    return printUsage(Argv[0]);
+
+  Result<lint::LintReport> Report = lint::runAnalyzer(Options);
+  if (!Report) {
+    std::fprintf(stderr, "mclint: %s\n", Report.status().toString().c_str());
+    return 2;
+  }
+
+  for (const lint::Diagnostic &Diag : Report.value().Diagnostics)
+    std::printf("%s\n", lint::formatDiagnostic(Diag, Werror).c_str());
+
+  const size_t Count = Report.value().Diagnostics.size();
+  if (Count == 0) {
+    std::fprintf(stderr, "mclint: %zu file(s) clean\n",
+                 Report.value().FileCount);
+    return 0;
+  }
+  std::fprintf(stderr, "mclint: %zu finding(s) in %zu file(s)%s\n", Count,
+               Report.value().FileCount,
+               Werror ? " (--werror: failing)" : "");
+  return Werror ? 1 : 0;
+}
