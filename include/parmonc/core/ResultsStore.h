@@ -41,6 +41,10 @@
 
 namespace parmonc {
 
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
 /// A set of moment sums together with its provenance — the unit of both
 /// checkpointing and worker-to-collector messages.
 struct MomentSnapshot {
@@ -85,6 +89,10 @@ struct RunLogInfo {
   int ProcessorCount = 0;
   uint64_t SequenceNumber = 0;
   bool Resumed = false;
+  bool Degraded = false;        ///< survivors-only results (dead workers
+                                ///< or permanently failed sends)
+  int DeadWorkerCount = 0;      ///< ranks declared dead during collection
+  bool ResumedFromBackup = false; ///< checkpoint.dat.prev was loaded
 };
 
 /// Owns the parmonc_data/ tree under one working directory.
@@ -112,6 +120,11 @@ public:
   /// parmonc_genparam.dat lives in the working directory itself (§3.5).
   std::string genparamPath() const;
 
+  /// The previous-generation sibling of a snapshot file ("<path>.prev"),
+  /// rotated into place on every write. Loads fall back to it when the
+  /// primary fails its CRC — a half-written checkpoint never loses a run.
+  static std::string backupPath(const std::string &Path);
+
   /// Attaches observability sinks: checkpoint/subtotal writes and reads
   /// get "store.snapshot_write"/"store.snapshot_read" spans and latency
   /// histograms plus snapshots-written/read and bytes counters. All three
@@ -119,12 +132,33 @@ public:
   void attachObservers(obs::MetricsRegistry *Metrics,
                        obs::TraceWriter *Trace, const Clock *TimeSource);
 
-  /// Writes one snapshot file atomically.
+  /// Installs a fault injector whose corruptWrite hook may damage snapshot
+  /// writes (testing only; the pointer must outlive the store's use).
+  void setFaultInjector(fault::FaultInjector *Injector);
+
+  /// Writes one snapshot file: the body is sealed with a CRC32 integrity
+  /// header, the previous generation is rotated to backupPath(Path), and
+  /// the new contents land via atomic rename — a crash mid-save leaves
+  /// either the old sealed file or the new one, never a torn mix.
   [[nodiscard]] Status writeSnapshot(const std::string &Path,
                        const MomentSnapshot &Snapshot) const;
 
-  /// Reads one snapshot file.
+  /// Reads one snapshot file, verifying the seal when present (files from
+  /// before the seal era still load). A corrupted file is an IoError and
+  /// is never parsed into moments.
   [[nodiscard]] Result<MomentSnapshot> readSnapshot(const std::string &Path) const;
+
+  /// readSnapshot result plus where the data actually came from.
+  struct RecoveredSnapshot {
+    MomentSnapshot Snapshot;
+    bool FromBackup = false; ///< the primary failed; .prev was loaded
+  };
+
+  /// Reads \p Path, falling back to backupPath(Path) when the primary is
+  /// missing or fails its integrity check. Reports the *primary's* error
+  /// when both generations are unreadable.
+  [[nodiscard]] Result<RecoveredSnapshot>
+  readSnapshotWithFallback(const std::string &Path) const;
 
   /// Writes func.dat, func_ci.dat and func_log.dat from the merged moments.
   [[nodiscard]] Status writeResults(const EstimatorMatrix &Merged, const RunLogInfo &Log,
@@ -151,6 +185,8 @@ private:
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceWriter *Trace = nullptr;
   const Clock *Time = nullptr;
+  // Fault injection (setFaultInjector); null = writes are never damaged.
+  fault::FaultInjector *Injector = nullptr;
 };
 
 /// Writes/reads the per-observable histogram files under results/
@@ -160,9 +196,12 @@ std::string histogramPath(const ResultsStore &Store, size_t Row,
 
 /// The manaver command's core (§3.4): rebuilds merged results from
 /// base.dat plus every subtotal file in the store and writes result files
-/// and a fresh checkpoint. Returns the merged snapshot.
-[[nodiscard]] Result<MomentSnapshot> runManualAverage(const ResultsStore &Store,
-                                        double ErrorMultiplier = 3.0);
+/// and a fresh checkpoint. Returns the merged snapshot. Corrupted inputs
+/// fall back to their .prev generation; when \p RecoveredPaths is non-null
+/// it receives the primary paths that needed the fallback.
+[[nodiscard]] Result<MomentSnapshot>
+runManualAverage(const ResultsStore &Store, double ErrorMultiplier = 3.0,
+                 std::vector<std::string> *RecoveredPaths = nullptr);
 
 } // namespace parmonc
 

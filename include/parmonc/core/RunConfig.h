@@ -29,6 +29,10 @@
 
 namespace parmonc {
 
+namespace fault {
+struct FaultPlan;
+} // namespace fault
+
 /// A save-point progress report, delivered to RunConfig::OnSavePoint.
 struct RunProgress {
   int64_t TotalSampleVolume = 0;           ///< merged volume so far
@@ -127,6 +131,33 @@ struct RunConfig {
   /// clock the emitted JSON is byte-identical across runs (tested).
   obs::TraceWriter *Trace = nullptr;
 
+  /// Optional fault-injection plan (testing only; null = no faults and
+  /// zero added cost). The plan must outlive the run. Because worker
+  /// subtotals are cumulative, every injected message fault is recoverable
+  /// and the recovery paths (§3.2 res=1, §3.4 manaver) reproduce the
+  /// unfailed moment sums bit-exactly — tested.
+  const fault::FaultPlan *Faults = nullptr;
+
+  /// When true, each rank simulates a fixed quota (MaxSampleVolume split
+  /// as evenly as ranks allow, earlier ranks taking the remainder) instead
+  /// of claiming work from a shared counter. Per-rank volumes — and hence
+  /// merged sums — become independent of thread scheduling, which the
+  /// byte-exact fault-recovery tests require.
+  bool DeterministicSchedule = false;
+
+  /// Attempts per subtotal send before the worker gives up on the message
+  /// (it keeps simulating; the next cumulative subtotal covers the loss).
+  int SendMaxAttempts = 4;
+
+  /// Backoff slept on the run clock between send retries.
+  int64_t SendRetryBackoffNanos = 1'000'000;
+
+  /// Collector-side liveness deadline: if no worker message arrives for
+  /// this long during final collection, the remaining workers are declared
+  /// dead and the run completes degraded over the survivors' subtotals
+  /// (eq. 5 over fewer ranks). 0 = wait forever (the pre-fault behavior).
+  int64_t WorkerDeadlineNanos = 0;
+
   /// Checks ranges and cross-field constraints.
   [[nodiscard]] Status validate() const;
 };
@@ -161,6 +192,26 @@ struct RunReport {
 
   /// True if the run stopped on the time limit.
   bool StoppedOnTimeLimit = false;
+
+  /// True if any worker died or any subtotal send was permanently lost:
+  /// the results cover the survivors per eq. (5) and manaver can rebuild
+  /// the full total from the on-disk subtotals (§3.4).
+  bool Degraded = false;
+
+  /// Ranks declared dead during final collection (deadline expiry or
+  /// injected crash), sorted.
+  std::vector<int> DeadWorkers;
+
+  /// Subtotal sends that failed even after retries.
+  int64_t FailedSends = 0;
+
+  /// True if the (injected) collector crash fired: the run ended without
+  /// final saves, exactly as a killed job would.
+  bool SimulatedCrash = false;
+
+  /// True if the checkpoint failed its integrity check on resume and the
+  /// previous generation (checkpoint.dat.prev) was loaded instead.
+  bool ResumedFromBackup = false;
 
   /// Final values of every engine metric (runner.*, rng.*, comm.*,
   /// store.*), also persisted to results/metrics.dat for mcstat.

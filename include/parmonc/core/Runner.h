@@ -32,6 +32,14 @@
 
 namespace parmonc {
 
+/// Message tags of the worker-to-collector protocol. Exposed so fault
+/// plans can exempt specific tags — e.g. keep final snapshots reliable
+/// while dropping periodic ones.
+enum ProtocolTag : int {
+  TagSubtotal = 1, ///< periodic cumulative snapshot
+  TagFinal = 2,    ///< last snapshot of a finished worker
+};
+
 /// A user routine computing one realization of the random object: fills
 /// \p Out (row-major, Rows x Columns doubles) using only randomness drawn
 /// from \p Source.

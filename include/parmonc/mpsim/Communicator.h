@@ -18,6 +18,8 @@
 #define PARMONC_MPSIM_COMMUNICATOR_H
 
 #include "parmonc/obs/Metrics.h"
+#include "parmonc/support/Clock.h"
+#include "parmonc/support/Status.h"
 
 #include <cassert>
 #include <condition_variable>
@@ -38,6 +40,25 @@ struct Message {
   std::vector<uint8_t> Payload;
 };
 
+/// Verdict of the fabric's fault hook for one send attempt. The fabric is
+/// deliberately ignorant of fault *policy* — parmonc::fault::FaultInjector
+/// adapts its plan onto this type, and production fabrics carry no hook at
+/// all (zero cost).
+struct SendFault {
+  enum class Action {
+    Deliver,   ///< normal delivery
+    Drop,      ///< lost in transit; the sender still sees success
+    Duplicate, ///< delivered twice
+    Delay,     ///< held back for DelayNanos of fabric-clock time
+    Fail,      ///< visible send failure (sendReliable may retry)
+  };
+  Action Act = Action::Deliver;
+  int64_t DelayNanos = 0;
+};
+
+/// Hook consulted on every send attempt: (source, destination, tag).
+using SendFaultHook = std::function<SendFault(int, int, int)>;
+
 /// One rank's incoming queue. Thread-safe multi-producer/single-consumer.
 class Mailbox {
 public:
@@ -49,8 +70,14 @@ public:
   /// nothing matches.
   std::optional<Message> tryPop(int Tag = -1);
 
-  /// Blocking variant with a deadline; empty optional on timeout.
-  std::optional<Message> popWait(int Tag, int64_t TimeoutNanos);
+  /// Blocking variant with a deadline; empty optional on timeout. The
+  /// predicate is rechecked after every wakeup, so spurious wakeups and
+  /// notifications for non-matching tags neither return early nor extend
+  /// the deadline. With \p TimeSource set the deadline is measured on that
+  /// clock (a ManualClock-driven waiter polls and returns as soon as the
+  /// injected time passes the deadline); null uses the steady clock.
+  std::optional<Message> popWait(int Tag, int64_t TimeoutNanos,
+                                 const Clock *TimeSource = nullptr);
 
   /// Number of queued messages (any tag).
   size_t pendingCount() const;
@@ -60,6 +87,9 @@ public:
   bool contains(int Tag = -1) const;
 
 private:
+  std::optional<Message> popMatchingLocked(int Tag);
+  bool containsLocked(int Tag) const;
+
   mutable std::mutex Mutex;
   std::condition_variable Available;
   std::deque<Message> Queue;
@@ -82,8 +112,31 @@ public:
   uint64_t bytesTransferred() const;
   void addBytesTransferred(uint64_t Bytes);
 
-  /// Rendezvous of all ranks; generation-counted so it is reusable.
+  /// Rendezvous of all ranks; generation-counted so it is reusable. Ranks
+  /// marked dead are excluded from the count, so the survivors of a
+  /// degraded run still rendezvous.
   void arriveAtBarrier();
+
+  /// Installs the fault hook consulted on every send, plus the clock that
+  /// times Delay verdicts and retry backoff. Call before any rank sends
+  /// (runThreadEngine's Setup callback runs at the right moment).
+  void setSendFaultHook(SendFaultHook Hook, const Clock *TimeSource);
+
+  /// Excludes \p Rank from the barrier count (a crashed rank never
+  /// arrives). Idempotent per rank; releases the barrier if the survivors
+  /// are already all waiting.
+  void markDead(int Rank);
+
+  /// Ranks not marked dead.
+  int aliveRankCount() const;
+
+  /// Moves every delayed message whose release time has passed into its
+  /// destination mailbox. Called from the communicator's send/receive
+  /// paths; harmless when no messages are delayed.
+  void pumpDelayedMessages();
+
+  /// Holds \p Held back until the fabric clock reaches \p ReleaseNanos.
+  void delayMessage(int Destination, int64_t ReleaseNanos, Message Held);
 
   /// Attaches observability counters ("comm.messages_sent",
   /// "comm.bytes_sent") and the "comm.collector_queue_depth" gauge
@@ -93,19 +146,38 @@ public:
 
   obs::Counter *messagesSentCounter() const { return MessagesSent; }
   obs::Counter *bytesSentCounter() const { return BytesSent; }
+  obs::Counter *sendRetriesCounter() const { return SendRetries; }
+  obs::Counter *sendsFailedCounter() const { return SendsFailed; }
   obs::Gauge *collectorQueueDepthGauge() const {
     return CollectorQueueDepth;
   }
+  const SendFaultHook &sendFaultHook() const { return FaultHook; }
+  const Clock *faultClock() const { return FaultTime; }
 
 private:
+  /// A message held back by a Delay verdict.
+  struct DelayedMessage {
+    int64_t ReleaseNanos = 0;
+    int Destination = 0;
+    Message Held;
+  };
+
   std::vector<std::unique_ptr<Mailbox>> Mailboxes;
   obs::Counter *MessagesSent = nullptr;
   obs::Counter *BytesSent = nullptr;
+  obs::Counter *SendRetries = nullptr;
+  obs::Counter *SendsFailed = nullptr;
   obs::Gauge *CollectorQueueDepth = nullptr;
-  std::mutex BarrierMutex;
+  SendFaultHook FaultHook;
+  const Clock *FaultTime = nullptr;
+  std::mutex DelayedMutex;
+  std::vector<DelayedMessage> Delayed;
+  mutable std::mutex BarrierMutex;
   std::condition_variable BarrierRelease;
   int BarrierWaiting = 0;
+  int DeadRanks = 0;
   uint64_t BarrierGeneration = 0;
+  std::vector<bool> DeadByRank;
   std::atomic<uint64_t> TotalBytes{0};
 };
 
@@ -121,14 +193,29 @@ public:
   int size() const { return SharedFabric.rankCount(); }
 
   /// Asynchronous send: enqueues into the destination mailbox and returns
-  /// immediately (the paper's workers never wait on the collector).
+  /// immediately (the paper's workers never wait on the collector). A
+  /// Fail verdict from the fault hook is swallowed — use sendReliable when
+  /// the caller needs to see failures.
   void send(int Destination, int Tag, std::vector<uint8_t> Payload);
+
+  /// Send with a bounded retry loop: a Fail verdict from the fault hook is
+  /// retried up to \p MaxAttempts times total, sleeping \p BackoffNanos on
+  /// \p TimeSource between attempts (a ManualClock backoff costs nothing).
+  /// Returns the final failure once the attempts are exhausted. Dropped
+  /// messages still count as success — a real network loses data without
+  /// telling the sender.
+  [[nodiscard]] Status sendReliable(int Destination, int Tag,
+                                    std::vector<uint8_t> Payload,
+                                    int MaxAttempts, int64_t BackoffNanos,
+                                    const Clock *TimeSource);
 
   /// Non-blocking receive of the oldest message with \p Tag (-1 = any).
   std::optional<Message> tryReceive(int Tag = -1);
 
-  /// Blocking receive with timeout; empty on timeout.
-  std::optional<Message> receiveWait(int Tag, int64_t TimeoutNanos);
+  /// Blocking receive with timeout; empty on timeout. \p TimeSource as in
+  /// Mailbox::popWait.
+  std::optional<Message> receiveWait(int Tag, int64_t TimeoutNanos,
+                                     const Clock *TimeSource = nullptr);
 
   /// True if a message with \p Tag is waiting.
   bool probe(int Tag = -1);
@@ -146,10 +233,12 @@ private:
 /// Runs \p RankCount copies of \p Body concurrently, one thread per rank,
 /// over a fresh fabric. Returns after every rank finishes. This is the
 /// "launch as an MPI job" substitute: rank 0 plays the collector role
-/// exactly as in §2.2.
+/// exactly as in §2.2. \p Setup, when set, runs on the launching thread
+/// before any rank starts — the race-free moment to install fabric hooks.
 void runThreadEngine(int RankCount,
                      const std::function<void(Communicator &)> &Body,
-                     obs::MetricsRegistry *Metrics = nullptr);
+                     obs::MetricsRegistry *Metrics = nullptr,
+                     const std::function<void(Fabric &)> &Setup = {});
 
 } // namespace parmonc
 

@@ -34,6 +34,16 @@
 
 namespace parmonc {
 
+/// A scheduled worker failure in the virtual cluster: \p Worker stops
+/// producing after completing \p AfterRealizations realizations. Its last
+/// subtotal message is still sent — in PARMONC terms, the subtotal file on
+/// disk is always at least as fresh as the collector's view (§3.4), so the
+/// crash loses no already-completed work.
+struct VirtualWorkerFailure {
+  int Worker = 0;
+  int64_t AfterRealizations = 1;
+};
+
 /// Calibration of the virtual cluster. Defaults reproduce the paper's
 /// setup: τ = 7.7 s, 120 KB messages, send after every realization, and
 /// interconnect/collector constants typical of a 2011 cluster.
@@ -77,6 +87,11 @@ struct VirtualClusterConfig {
   /// When non-empty, must have ProcessorCount positive entries.
   std::vector<double> SpeedFactors;
 
+  /// Scheduled worker failures (degraded-mode modelling). Each entry names
+  /// a distinct worker in [0, ProcessorCount); the survivors must be able
+  /// to cover the requested volume or the run fails.
+  std::vector<VirtualWorkerFailure> WorkerFailures;
+
   /// Optional observability sinks. Metrics receives the collector
   /// busy/queue-delay gauges and message/byte counters; Trace receives
   /// per-message collector-processing spans stamped in *virtual* time
@@ -111,6 +126,10 @@ struct VirtualClusterResult {
 
   /// Per-worker realization counts at the end (the l_m of eq. 4/5).
   std::vector<int64_t> PerWorkerVolumes;
+
+  /// Workers that failed during the run (sorted), per the configured
+  /// schedule. Their PerWorkerVolumes entries stop at the failure point.
+  std::vector<int> FailedWorkers;
 };
 
 /// Runs the discrete-event model until the collector has covered the

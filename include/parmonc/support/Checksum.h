@@ -1,0 +1,52 @@
+//===- parmonc/support/Checksum.h - CRC32 file seals ----------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe persistence support: every durable PARMONC file (checkpoint,
+/// base, rank subtotals, result files) carries a one-line versioned seal
+///
+///   #%parmonc-seal v1 crc32 <hex8> bytes <n>
+///
+/// ahead of its body. The seal makes two failure classes detectable that
+/// plain text files silently absorb: short reads (a crash or full disk
+/// truncated the file — `bytes` disagrees with what is actually there) and
+/// bit rot / hostile edits (the CRC32 disagrees). Loaders verify the seal
+/// before parsing and fall back to the previous file generation instead of
+/// resuming from garbage. The line starts with '#', so seal-unaware
+/// comment-skipping parsers of the legacy formats keep working.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_SUPPORT_CHECKSUM_H
+#define PARMONC_SUPPORT_CHECKSUM_H
+
+#include "parmonc/support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parmonc {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of \p Bytes.
+uint32_t crc32(std::string_view Bytes);
+
+/// Prepends the seal line for \p Body and returns the sealed file contents.
+std::string sealFileContents(std::string_view Body);
+
+/// True if \p Contents begins with a PARMONC seal line.
+bool hasFileSeal(std::string_view Contents);
+
+/// Verifies the seal of \p Contents (read from \p Path, used only for
+/// error messages) and returns the body. Fails with a descriptive Status
+/// on a malformed seal, a short read (declared vs. actual byte count) or a
+/// CRC mismatch.
+[[nodiscard]] Result<std::string> unsealFileContents(const std::string &Path,
+                                                     std::string_view Contents);
+
+} // namespace parmonc
+
+#endif // PARMONC_SUPPORT_CHECKSUM_H

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 namespace parmonc {
 
@@ -28,6 +29,12 @@ public:
 
   /// Current time in nanoseconds since the clock's epoch. Monotonic.
   virtual int64_t nowNanos() const = 0;
+
+  /// Blocks the calling thread for \p DurationNanos of this clock's time.
+  /// Retry backoff funnels through here so tests with a ManualClock never
+  /// really sleep: the manual implementation advances nothing and returns
+  /// immediately (virtual time only moves when the test advances it).
+  virtual void sleepNanos(int64_t DurationNanos) const = 0;
 
   /// Convenience: current time in (floating) seconds since the epoch.
   double nowSeconds() const { return double(nowNanos()) * 1e-9; }
@@ -40,6 +47,11 @@ public:
     auto Now = std::chrono::steady_clock::now().time_since_epoch();
     return std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count();
   }
+
+  void sleepNanos(int64_t DurationNanos) const override {
+    if (DurationNanos > 0)
+      std::this_thread::sleep_for(std::chrono::nanoseconds(DurationNanos));
+  }
 };
 
 /// A clock advanced explicitly by the caller. Thread-safe: readers may run
@@ -51,6 +63,10 @@ public:
   int64_t nowNanos() const override {
     return Nanos.load(std::memory_order_acquire);
   }
+
+  /// Manual time only moves via advanceNanos()/setNanos(); a sleeper must
+  /// not block waiting for it (single-threaded tests would deadlock).
+  void sleepNanos(int64_t) const override {}
 
   /// Moves the clock forward by \p DeltaNanos (>= 0).
   void advanceNanos(int64_t DeltaNanos) {

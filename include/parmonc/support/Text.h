@@ -57,9 +57,10 @@ bool startsWith(std::string_view Text, std::string_view Prefix);
 /// Reads a whole file into a string.
 [[nodiscard]] Result<std::string> readFileToString(const std::string &Path);
 
-/// Writes \p Contents to \p Path atomically (write to a sibling temp file,
-/// then rename). Used for save-points so a crash mid-write never corrupts
-/// previous results — a requirement for the paper's resumption feature.
+/// Writes \p Contents to \p Path atomically and durably (write to a
+/// sibling temp file, fsync, rename, fsync the directory). Used for
+/// save-points so a crash mid-write never corrupts previous results — a
+/// requirement for the paper's resumption feature.
 [[nodiscard]] Status writeFileAtomic(const std::string &Path, std::string_view Contents);
 
 /// Creates \p Path and any missing parents. Ok if it already exists.

@@ -6,8 +6,10 @@
 
 #include "parmonc/core/ResultsStore.h"
 
+#include "parmonc/fault/FaultPlan.h"
 #include "parmonc/mpsim/Serialize.h"
 #include "parmonc/obs/Stopwatch.h"
+#include "parmonc/support/Checksum.h"
 #include "parmonc/support/Text.h"
 
 #include <algorithm>
@@ -269,6 +271,9 @@ std::string ResultsStore::metricsPath() const {
 std::string ResultsStore::tracePath() const {
   return resultsDir() + "/trace.json";
 }
+std::string ResultsStore::backupPath(const std::string &Path) {
+  return Path + ".prev";
+}
 
 void ResultsStore::attachObservers(obs::MetricsRegistry *Metrics,
                                    obs::TraceWriter *Trace,
@@ -278,10 +283,26 @@ void ResultsStore::attachObservers(obs::MetricsRegistry *Metrics,
   this->Time = TimeSource;
 }
 
+void ResultsStore::setFaultInjector(fault::FaultInjector *Injector) {
+  this->Injector = Injector;
+}
+
 Status ResultsStore::writeSnapshot(const std::string &Path,
                                    const MomentSnapshot &Snapshot) const {
   const int64_t Start = Time ? Time->nowNanos() : 0;
-  std::string Contents = Snapshot.toFileContents();
+  std::string Contents = sealFileContents(Snapshot.toFileContents());
+  if (Injector)
+    if (std::optional<std::string> Damaged =
+            Injector->corruptWrite(Path, Contents))
+      Contents = std::move(*Damaged);
+  // Rotate the intact previous generation aside before the replace, so a
+  // corrupted new file (crash, bad disk, injected fault) still leaves a
+  // loadable checkpoint behind.
+  if (fileExists(Path)) {
+    std::error_code RotateError;
+    std::filesystem::rename(Path, backupPath(Path), RotateError);
+    // Best effort: an unrotatable backup must not block the save itself.
+  }
   Status Written = writeFileAtomic(Path, Contents);
   if (Metrics && Written) {
     Metrics->counter("store.snapshots_written").add();
@@ -302,8 +323,14 @@ Result<MomentSnapshot> ResultsStore::readSnapshot(
   Result<std::string> Contents = readFileToString(Path);
   if (!Contents)
     return Contents.status();
-  Result<MomentSnapshot> Parsed =
-      MomentSnapshot::fromFileContents(Contents.value());
+  std::string Body = std::move(Contents).value();
+  if (hasFileSeal(Body)) {
+    Result<std::string> Unsealed = unsealFileContents(Path, Body);
+    if (!Unsealed)
+      return Unsealed.status();
+    Body = std::move(Unsealed).value();
+  }
+  Result<MomentSnapshot> Parsed = MomentSnapshot::fromFileContents(Body);
   if (Parsed && Metrics) {
     Metrics->counter("store.snapshots_read").add();
     if (Time)
@@ -313,6 +340,24 @@ Result<MomentSnapshot> ResultsStore::readSnapshot(
   if (Trace && Time)
     Trace->completeSpan("store.snapshot_read", 0, Start, Time->nowNanos());
   return Parsed;
+}
+
+Result<ResultsStore::RecoveredSnapshot>
+ResultsStore::readSnapshotWithFallback(const std::string &Path) const {
+  Result<MomentSnapshot> Primary = readSnapshot(Path);
+  if (Primary)
+    return RecoveredSnapshot{std::move(Primary).value(), false};
+  const std::string Backup = backupPath(Path);
+  if (fileExists(Backup)) {
+    Result<MomentSnapshot> Previous = readSnapshot(Backup);
+    if (Previous) {
+      if (Metrics)
+        Metrics->counter("store.snapshot_fallbacks").add();
+      return RecoveredSnapshot{std::move(Previous).value(), true};
+    }
+  }
+  // Both generations unreadable: the primary's error is the useful one.
+  return Primary.status();
 }
 
 Status ResultsStore::writeResults(const EstimatorMatrix &Merged,
@@ -335,7 +380,9 @@ Status ResultsStore::writeResults(const EstimatorMatrix &Merged,
     }
     MeansText += "\n";
   }
-  if (Status Written = writeFileAtomic(meansPath(), MeansText); !Written)
+  if (Status Written =
+          writeFileAtomic(meansPath(), sealFileContents(MeansText));
+      !Written)
     return Written;
 
   // func_ci.dat: one entry per line with all four statistics.
@@ -352,7 +399,8 @@ Status ResultsStore::writeResults(const EstimatorMatrix &Merged,
                         formatScientific(Variances[Index]) + "\n";
     }
   }
-  if (Status Written = writeFileAtomic(confidencePath(), ConfidenceText);
+  if (Status Written = writeFileAtomic(confidencePath(),
+                                       sealFileContents(ConfidenceText));
       !Written)
     return Written;
 
@@ -374,7 +422,11 @@ Status ResultsStore::writeResults(const EstimatorMatrix &Merged,
   LogText += "processors " + std::to_string(Log.ProcessorCount) + "\n";
   LogText += "experiment " + std::to_string(Log.SequenceNumber) + "\n";
   LogText += std::string("resumed ") + (Log.Resumed ? "1" : "0") + "\n";
-  return writeFileAtomic(logPath(), LogText);
+  LogText += std::string("degraded ") + (Log.Degraded ? "1" : "0") + "\n";
+  LogText += "dead_workers " + std::to_string(Log.DeadWorkerCount) + "\n";
+  LogText += std::string("resumed_from_backup ") +
+             (Log.ResumedFromBackup ? "1" : "0") + "\n";
+  return writeFileAtomic(logPath(), sealFileContents(LogText));
 }
 
 Status ResultsStore::appendExperimentLog(const RunLogInfo &Log) const {
@@ -400,17 +452,29 @@ Result<std::vector<double>> ResultsStore::readMeans(size_t Rows,
   Result<std::string> Contents = readFileToString(meansPath());
   if (!Contents)
     return Contents.status();
+  std::string Body = std::move(Contents).value();
+  if (hasFileSeal(Body)) {
+    Result<std::string> Unsealed = unsealFileContents(meansPath(), Body);
+    if (!Unsealed)
+      return Unsealed.status();
+    Body = std::move(Unsealed).value();
+  }
   std::vector<double> Means;
   Means.reserve(Rows * Columns);
-  for (std::string_view Field : splitWhitespace(Contents.value())) {
-    Result<double> Value = parseDouble(Field);
-    if (!Value)
-      return Value.status();
-    Means.push_back(Value.value());
+  for (std::string_view Line : splitChar(Body, '\n')) {
+    std::string_view Stripped = trim(Line);
+    if (Stripped.empty() || Stripped[0] == '#')
+      continue;
+    for (std::string_view Field : splitWhitespace(Stripped)) {
+      Result<double> Value = parseDouble(Field);
+      if (!Value)
+        return Value.status();
+      Means.push_back(Value.value());
+    }
   }
   if (Means.size() != Rows * Columns)
-    return parseError("func.dat holds " + std::to_string(Means.size()) +
-                      " entries, expected " +
+    return parseError("'" + meansPath() + "' holds " +
+                      std::to_string(Means.size()) + " entries, expected " +
                       std::to_string(Rows * Columns));
   return Means;
 }
@@ -440,10 +504,14 @@ Status ResultsStore::clearPreviousRun() const {
   std::error_code Error;
   for (const std::string &Path :
        {checkpointPath(), basePath(), meansPath(), confidencePath(),
-        logPath(), metricsPath(), tracePath()})
+        logPath(), metricsPath(), tracePath()}) {
     std::filesystem::remove(Path, Error); // missing files are fine
-  for (const auto &[Rank, Path] : listSubtotalFiles())
+    std::filesystem::remove(backupPath(Path), Error);
+  }
+  for (const auto &[Rank, Path] : listSubtotalFiles()) {
     std::filesystem::remove(Path, Error);
+    std::filesystem::remove(backupPath(Path), Error);
+  }
   return Status::ok();
 }
 
@@ -454,7 +522,8 @@ std::string histogramPath(const ResultsStore &Store, size_t Row,
 }
 
 Result<MomentSnapshot> runManualAverage(const ResultsStore &Store,
-                                        double ErrorMultiplier) {
+                                        double ErrorMultiplier,
+                                        std::vector<std::string> *RecoveredPaths) {
   // Start from the base (resumed) moments if present, else from scratch
   // with the shape of the first subtotal.
   const auto SubtotalFiles = Store.listSubtotalFiles();
@@ -465,41 +534,47 @@ Result<MomentSnapshot> runManualAverage(const ResultsStore &Store,
   MomentSnapshot Merged;
   bool HaveShape = false;
   if (fileExists(Store.basePath())) {
-    Result<MomentSnapshot> Base = Store.readSnapshot(Store.basePath());
+    Result<ResultsStore::RecoveredSnapshot> Base =
+        Store.readSnapshotWithFallback(Store.basePath());
     if (!Base)
       return Base.status();
-    Merged = std::move(Base).value();
+    if (Base.value().FromBackup && RecoveredPaths)
+      RecoveredPaths->push_back(Store.basePath());
+    Merged = std::move(Base).value().Snapshot;
     HaveShape = true;
   }
 
   for (const auto &[Rank, Path] : SubtotalFiles) {
-    Result<MomentSnapshot> Part = Store.readSnapshot(Path);
-    if (!Part)
-      return Part.status();
+    Result<ResultsStore::RecoveredSnapshot> Recovered =
+        Store.readSnapshotWithFallback(Path);
+    if (!Recovered)
+      return Recovered.status();
+    if (Recovered.value().FromBackup && RecoveredPaths)
+      RecoveredPaths->push_back(Path);
+    const MomentSnapshot &Part = Recovered.value().Snapshot;
     if (!HaveShape) {
-      Merged.Moments = EstimatorMatrix(Part.value().Moments.rows(),
-                                       Part.value().Moments.columns());
-      Merged.SequenceNumber = Part.value().SequenceNumber;
+      Merged.Moments =
+          EstimatorMatrix(Part.Moments.rows(), Part.Moments.columns());
+      Merged.SequenceNumber = Part.SequenceNumber;
       HaveShape = true;
     }
-    if (Status MergedOk = Merged.Moments.merge(Part.value().Moments);
-        !MergedOk)
+    if (Status MergedOk = Merged.Moments.merge(Part.Moments); !MergedOk)
       return MergedOk;
-    if (Merged.Histograms.empty() && !Part.value().Histograms.empty() &&
-        Merged.Moments.sampleVolume() == Part.value().Moments.sampleVolume())
+    if (Merged.Histograms.empty() && !Part.Histograms.empty() &&
+        Merged.Moments.sampleVolume() == Part.Moments.sampleVolume())
       // First contribution defines the histogram set (no base file case).
-      Merged.Histograms = Part.value().Histograms;
-    else if (Part.value().Histograms.size() != Merged.Histograms.size())
+      Merged.Histograms = Part.Histograms;
+    else if (Part.Histograms.size() != Merged.Histograms.size())
       return failedPrecondition(
           "subtotal files disagree on histogram observables");
     else
       for (size_t Index = 0; Index < Merged.Histograms.size(); ++Index)
-        if (Status HistogramOk = Merged.Histograms[Index].merge(
-                Part.value().Histograms[Index]);
+        if (Status HistogramOk =
+                Merged.Histograms[Index].merge(Part.Histograms[Index]);
             !HistogramOk)
           return HistogramOk;
-    Merged.ComputeSeconds += Part.value().ComputeSeconds;
-    Merged.SequenceNumber = Part.value().SequenceNumber;
+    Merged.ComputeSeconds += Part.ComputeSeconds;
+    Merged.SequenceNumber = Part.SequenceNumber;
   }
 
   if (Merged.Moments.sampleVolume() <= 0)

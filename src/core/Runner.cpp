@@ -16,6 +16,7 @@
 
 #include "parmonc/core/Runner.h"
 
+#include "parmonc/fault/FaultPlan.h"
 #include "parmonc/mpsim/Communicator.h"
 #include "parmonc/obs/Stopwatch.h"
 #include "parmonc/rng/StreamHierarchy.h"
@@ -26,18 +27,14 @@
 // reviewed lock-free seam outside mpsim/ — workers and the collector share
 // them by reference inside a single runThreadEngine() invocation, and all
 // cross-rank *data* still flows through the communicator protocol.
+#include <algorithm>
 #include <atomic>
+#include <optional>
 #include <vector>
 
 namespace parmonc {
 
 namespace {
-
-/// Message tags of the collector protocol.
-enum ProtocolTag : int {
-  TagSubtotal = 1, ///< periodic cumulative snapshot
-  TagFinal = 2,    ///< last snapshot of a finished worker
-};
 
 /// Everything the worker/collector closures share. Plain atomics; the
 /// snapshot vectors are touched only by rank 0.
@@ -46,6 +43,10 @@ struct SharedRunState {
   std::atomic<bool> StopRequested{false};
   std::atomic<bool> StoppedOnTimeLimit{false};
   std::atomic<bool> StoppedOnErrorTarget{false};
+  /// The injected collector crash fired: the run ends exactly as a killed
+  /// job would — no further saves, no final collection.
+  std::atomic<bool> Killed{false};
+  std::atomic<int64_t> FailedSends{0};
 };
 
 /// Collector-side bookkeeping (rank 0 only).
@@ -53,6 +54,7 @@ struct CollectorState {
   std::vector<MomentSnapshot> LatestFromRank;
   std::vector<bool> HaveSnapshot;
   std::vector<bool> FinalReceived;
+  std::vector<int> DeadWorkers;
   int FinalsOutstanding = 0;
   int SavePointCount = 0;
   int64_t LastSaveNanos = 0;
@@ -121,6 +123,14 @@ Status RunConfig::validate() const {
     if (Spec.BinCount < 1)
       return invalidArgument("histogram needs at least one bin");
   }
+  if (SendMaxAttempts < 1)
+    return invalidArgument("send attempts must be >= 1");
+  if (SendRetryBackoffNanos < 0 || WorkerDeadlineNanos < 0)
+    return invalidArgument("retry backoff and worker deadline must be "
+                           "non-negative");
+  if (Faults)
+    if (Status PlanOk = Faults->validate(); !PlanOk)
+      return PlanOk;
   return Status::ok();
 }
 
@@ -158,6 +168,16 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   if (Status Prepared = Store.prepareDirectories(); !Prepared)
     return Prepared;
 
+  // Fault injection (testing only): a null or empty plan costs nothing.
+  std::optional<fault::FaultInjector> InjectorStorage;
+  fault::FaultInjector *Injector = nullptr;
+  if (Config.Faults && Config.Faults->enabled()) {
+    InjectorStorage.emplace(*Config.Faults);
+    Injector = &*InjectorStorage;
+    Injector->attachObservers(&Registry, Trace, &Time);
+    Store.setFaultInjector(Injector);
+  }
+
   // Leap table: an explicit parmonc_genparam.dat in the working directory
   // overrides the configured exponents (§3.5).
   const int64_t LeapSetupStart = Time.nowNanos();
@@ -182,29 +202,35 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   Base.Moments = EstimatorMatrix(Config.Rows, Config.Columns);
   Base.Histograms = makeHistograms(Config);
   Base.SequenceNumber = Config.SequenceNumber;
+  bool ResumedFromBackup = false;
   if (Config.Resume) {
-    if (!fileExists(Store.checkpointPath()))
+    if (!fileExists(Store.checkpointPath()) &&
+        !fileExists(ResultsStore::backupPath(Store.checkpointPath())))
       return failedPrecondition(
           "resume requested but no checkpoint exists at " +
           Store.checkpointPath());
-    Result<MomentSnapshot> Previous =
-        Store.readSnapshot(Store.checkpointPath());
-    if (!Previous)
-      return Previous.status();
-    if (Previous.value().Moments.rows() != Config.Rows ||
-        Previous.value().Moments.columns() != Config.Columns)
+    // A checkpoint that fails its CRC is never loaded; the previous
+    // generation (checkpoint.dat.prev) covers the torn-write case.
+    Result<ResultsStore::RecoveredSnapshot> Recovered =
+        Store.readSnapshotWithFallback(Store.checkpointPath());
+    if (!Recovered)
+      return Recovered.status();
+    ResumedFromBackup = Recovered.value().FromBackup;
+    MomentSnapshot Previous = std::move(Recovered).value().Snapshot;
+    if (Previous.Moments.rows() != Config.Rows ||
+        Previous.Moments.columns() != Config.Columns)
       return failedPrecondition(
           "checkpoint shape does not match the configured matrix shape");
-    if (Previous.value().SequenceNumber == Config.SequenceNumber)
+    if (Previous.SequenceNumber == Config.SequenceNumber)
       return failedPrecondition(
           "resumed run must use a different experiment subsequence number "
           "than the previous run (paper §3.2); previous used " +
-          std::to_string(Previous.value().SequenceNumber));
-    if (Previous.value().Histograms.size() != Config.Histograms.size())
+          std::to_string(Previous.SequenceNumber));
+    if (Previous.Histograms.size() != Config.Histograms.size())
       return failedPrecondition(
           "checkpoint histogram count does not match the configuration");
     for (size_t Index = 0; Index < Config.Histograms.size(); ++Index) {
-      const HistogramEstimator &Saved = Previous.value().Histograms[Index];
+      const HistogramEstimator &Saved = Previous.Histograms[Index];
       const HistogramSpec &Spec = Config.Histograms[Index];
       if (Saved.low() != Spec.Low || Saved.high() != Spec.High ||
           Saved.binCount() != Spec.BinCount)
@@ -212,7 +238,7 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
             "checkpoint histogram geometry does not match the "
             "configuration");
     }
-    Base = std::move(Previous).value();
+    Base = std::move(Previous);
     // The merged results of this run belong to the *new* experiment.
     Base.SequenceNumber = Config.SequenceNumber;
   } else {
@@ -256,6 +282,7 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
       Registry.latency("runner.subtotal_merge");
   obs::LatencyHistogram &SavePointLatency =
       Registry.latency("runner.save_point");
+  obs::Counter &DeadWorkersCounter = Registry.counter("runner.dead_workers");
   std::vector<obs::Counter *> RankRealizations;
   RankRealizations.reserve(size_t(RankCount));
   for (int Rank = 0; Rank < RankCount; ++Rank)
@@ -284,6 +311,11 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     Log.ProcessorCount = RankCount;
     Log.SequenceNumber = Config.SequenceNumber;
     Log.Resumed = Config.Resume;
+    Log.Degraded =
+        !Collector.DeadWorkers.empty() ||
+        Shared.FailedSends.load(std::memory_order_relaxed) > 0;
+    Log.DeadWorkerCount = int(Collector.DeadWorkers.size());
+    Log.ResumedFromBackup = ResumedFromBackup;
     if (Merged.Moments.sampleVolume() > 0) {
       const ErrorBounds Bounds =
           Merged.Moments.errorBounds(Config.ErrorMultiplier);
@@ -294,12 +326,24 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     return Log;
   };
 
-  auto savePoint = [&](int64_t NowNanos) {
+  auto savePoint = [&](int64_t NowNanos, bool IsFinal = false) {
     const int64_t MergeStart = Time.nowNanos();
     const MomentSnapshot Merged = Collector.mergeAll(Base);
     const int64_t MergeEnd = Time.nowNanos();
     if (Merged.Moments.sampleVolume() <= 0)
       return; // nothing to report yet
+    // Injected collector death: the save about to happen never does, and
+    // the whole run stops — exactly a job killed mid-save. On-disk state
+    // stays at the previous save-point plus whatever subtotals the workers
+    // persisted, which is what manaver (§3.4) recovers from.
+    if (Injector &&
+        Injector->takeCollectorCrash(Collector.SavePointCount + 1,
+                                     IsFinal)) {
+      Injector->noteCollectorCrashed();
+      Shared.Killed.store(true, std::memory_order_relaxed);
+      Shared.StopRequested.store(true, std::memory_order_relaxed);
+      return;
+    }
     MergeLatency.recordNanos(MergeEnd - MergeStart);
     if (Trace)
       Trace->completeSpan("runner.subtotal_merge", 0, MergeStart, MergeEnd);
@@ -403,25 +447,51 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
 
     auto sendSubtotal = [&](int Tag) {
       const int64_t SendStart = Trace ? Time.nowNanos() : 0;
-      Comm.send(0, Tag, Local.toBytes());
-      SubtotalsSent.add();
-      // The worker's own on-disk subtotal is what manaver recovers after a
-      // killed job (§3.4).
+      // Persist BEFORE sending, so the worker's on-disk subtotal is always
+      // at least as fresh as the collector's view of this rank — §3.4's
+      // precondition for manaver recovering results "fresher than the
+      // moment of the last saving".
       const int64_t Now = Time.nowNanos();
       if (Tag == TagFinal || Now - LastPersistNanos >= PersistPeriodNanos) {
         (void)Store.writeSnapshot(Store.subtotalPath(Rank), Local);
         LastPersistNanos = Now;
       }
+      if (Status Sent = Comm.sendReliable(0, Tag, Local.toBytes(),
+                                          Config.SendMaxAttempts,
+                                          Config.SendRetryBackoffNanos,
+                                          &Time);
+          !Sent)
+        // The message is gone, but subtotals are cumulative: the next
+        // successful send covers everything this one carried.
+        Shared.FailedSends.fetch_add(1, std::memory_order_relaxed);
+      SubtotalsSent.add();
       if (Trace)
         Trace->completeSpan("runner.subtotal_send", Rank, SendStart,
                             Time.nowNanos());
     };
 
+    // Deterministic scheduling splits maxsv into fixed per-rank quotas, so
+    // per-rank volumes never depend on thread interleaving; the default
+    // shared counter maximizes throughput instead.
+    const int64_t Quota =
+        Config.DeterministicSchedule
+            ? Config.MaxSampleVolume / RankCount +
+                  (Rank < int(Config.MaxSampleVolume % RankCount) ? 1 : 0)
+            : -1;
+    int64_t Completed = 0;
+    const fault::WorkerCrashSpec *Crash =
+        Injector ? Injector->workerCrash(Rank) : nullptr;
+
     while (!Shared.StopRequested.load(std::memory_order_relaxed)) {
-      const int64_t Claimed =
-          Shared.ClaimedVolume.fetch_add(1, std::memory_order_relaxed);
-      if (Claimed >= Config.MaxSampleVolume)
-        break;
+      if (Quota >= 0) {
+        if (Completed >= Quota)
+          break;
+      } else {
+        const int64_t Claimed =
+            Shared.ClaimedVolume.fetch_add(1, std::memory_order_relaxed);
+        if (Claimed >= Config.MaxSampleVolume)
+          break;
+      }
 
       Lcg128 Stream = Cursor.beginRealization();
       const int64_t ComputeStart = Time.nowNanos();
@@ -442,6 +512,19 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
         Local.Histograms[Index].add(
             Out[Spec.Row * Config.Columns + Spec.Column]);
       }
+      ++Completed;
+
+      // Injected worker death: the thread vanishes mid-run without a final
+      // send. PersistBeforeCrash models a node whose filesystem survives
+      // the process (the paper's cluster), so manaver can still recover
+      // every completed realization.
+      if (Crash && Completed >= Crash->AfterRealizations) {
+        if (Crash->PersistBeforeCrash)
+          (void)Store.writeSnapshot(Store.subtotalPath(Rank), Local);
+        Injector->noteWorkerCrashed(Rank);
+        Comm.fabric().markDead(Rank);
+        return;
+      }
 
       const int64_t Now = ComputeEnd;
       if (Config.TimeLimitNanos > 0 &&
@@ -460,21 +543,51 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
         collectorPoll(Comm, /*ForceSave=*/false);
     }
 
+    // A crashed collector kills the whole job: nobody finalizes.
+    if (Shared.Killed.load(std::memory_order_relaxed))
+      return;
+
     sendSubtotal(TagFinal);
 
     if (Rank == 0) {
-      // Keep collecting until every rank's final snapshot has arrived.
-      while (Collector.FinalsOutstanding > 0) {
+      // Keep collecting until every rank's final snapshot has arrived, or
+      // — with a worker deadline configured — until the silence lasts long
+      // enough to declare the stragglers dead and finish degraded over the
+      // survivors (still a correct eq. 5 average, just over fewer ranks).
+      int64_t LastProgressNanos = Time.nowNanos();
+      while (Collector.FinalsOutstanding > 0 &&
+             !Shared.Killed.load(std::memory_order_relaxed)) {
         if (std::optional<Message> Incoming =
-                Comm.receiveWait(-1, /*TimeoutNanos=*/2'000'000))
+                Comm.receiveWait(-1, /*TimeoutNanos=*/2'000'000, &Time)) {
           handleMessage(*Incoming);
+          LastProgressNanos = Time.nowNanos();
+        } else if (Config.WorkerDeadlineNanos > 0 &&
+                   Time.nowNanos() - LastProgressNanos >=
+                       Config.WorkerDeadlineNanos) {
+          for (int Straggler = 0; Straggler < RankCount; ++Straggler) {
+            if (Collector.FinalReceived[size_t(Straggler)])
+              continue;
+            Collector.FinalReceived[size_t(Straggler)] = true;
+            --Collector.FinalsOutstanding;
+            Collector.DeadWorkers.push_back(Straggler);
+            DeadWorkersCounter.add();
+            if (Trace)
+              Trace->instantAt("runner.dead_worker", Straggler,
+                               Time.nowNanos());
+            Comm.fabric().markDead(Straggler);
+          }
+        }
         // Periodic save-points continue while stragglers finish.
         const int64_t Now = Time.nowNanos();
         if (Config.AveragePeriodNanos > 0 &&
             Now - Collector.LastSaveNanos >= Config.AveragePeriodNanos)
           savePoint(Now);
       }
-      savePoint(Time.nowNanos()); // final save covers everything
+      if (Shared.Killed.load(std::memory_order_relaxed))
+        return;
+      savePoint(Time.nowNanos(), /*IsFinal=*/true); // covers everything
+      if (Shared.Killed.load(std::memory_order_relaxed))
+        return;
 
       const MomentSnapshot Merged = Collector.mergeAll(Base);
       const RunLogInfo Log = buildLog(Merged, Time.nowNanos());
@@ -485,7 +598,6 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
       Report.MaxAbsoluteError = Log.MaxAbsoluteError;
       Report.MaxRelativeErrorPercent = Log.MaxRelativeErrorPercent;
       Report.MaxVariance = Log.MaxVariance;
-      Report.SavePointCount = Collector.SavePointCount;
       Report.StoppedOnErrorTarget =
           Shared.StoppedOnErrorTarget.load(std::memory_order_relaxed);
       Report.StoppedOnTimeLimit =
@@ -499,7 +611,48 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     }
   };
 
-  runThreadEngine(RankCount, body, &Registry);
+  runThreadEngine(RankCount, body, &Registry, [&](Fabric &Net) {
+    if (!Injector)
+      return;
+    // The fabric knows nothing of fault policy: adapt the injector's
+    // verdicts onto the mpsim hook type here.
+    Net.setSendFaultHook(
+        [Injector](int Source, int Destination, int Tag) {
+          const fault::MessageDecision Decision =
+              Injector->onSendAttempt(Source, Destination, Tag);
+          SendFault Verdict;
+          switch (Decision.Action) {
+          case fault::MessageAction::Deliver:
+            Verdict.Act = SendFault::Action::Deliver;
+            break;
+          case fault::MessageAction::Drop:
+            Verdict.Act = SendFault::Action::Drop;
+            break;
+          case fault::MessageAction::Duplicate:
+            Verdict.Act = SendFault::Action::Duplicate;
+            break;
+          case fault::MessageAction::Delay:
+            Verdict.Act = SendFault::Action::Delay;
+            Verdict.DelayNanos = Decision.DelayNanos;
+            break;
+          case fault::MessageAction::FailSend:
+            Verdict.Act = SendFault::Action::Fail;
+            break;
+          }
+          return Verdict;
+        },
+        &Time);
+  });
+
+  // Filled here rather than in the rank-0 epilogue so a run killed by an
+  // injected crash still reports how many saves landed before it died.
+  Report.SavePointCount = Collector.SavePointCount;
+  Report.FailedSends = Shared.FailedSends.load(std::memory_order_relaxed);
+  Report.DeadWorkers = Collector.DeadWorkers;
+  std::sort(Report.DeadWorkers.begin(), Report.DeadWorkers.end());
+  Report.Degraded = !Report.DeadWorkers.empty() || Report.FailedSends > 0;
+  Report.SimulatedCrash = Shared.Killed.load(std::memory_order_relaxed);
+  Report.ResumedFromBackup = ResumedFromBackup;
 
   Registry.gauge("runner.elapsed_seconds").set(Report.ElapsedSeconds);
   Report.Metrics = Registry.snapshot();

@@ -626,17 +626,23 @@ std::set<std::string, std::less<>> builtinFallibleFunctions() {
   // declare them are outside the scanned roots (e.g. linting examples/
   // alone). Kept in sync by LintRulesTest.BuiltinListMatchesHeaders.
   return {
-      "appendExperimentLog", "choleskyFactor",   "clearPreviousRun",
-      "createDirectories",   "fromBytes",        "fromDecimalString",
-      "fromFileContents",    "fromHexString",    "fromRawSums",
-      "loadOrDefault",       "merge",            "parseDouble",
-      "parseInt64",          "parseUInt64",      "prepareDirectories",
-      "readDouble",          "readDoubleVector", "readFileToString",
-      "readI64",             "readMeans",        "readSnapshot",
-      "readString",          "readU32",          "readU64",
-      "runManualAverage",    "runSimulation",    "runVirtualCluster",
-      "validate",            "writeFileAtomic",  "writeResults",
-      "writeSnapshot",
+      "appendExperimentLog", "choleskyFactor",
+      "clearPreviousRun",    "createDirectories",
+      "fromBytes",           "fromDecimalString",
+      "fromFileContents",    "fromHexString",
+      "fromRawSums",         "loadOrDefault",
+      "merge",               "parseDouble",
+      "parseInt64",          "parseUInt64",
+      "prepareDirectories",  "readDouble",
+      "readDoubleVector",    "readFileToString",
+      "readI64",             "readMeans",
+      "readSnapshot",        "readSnapshotWithFallback",
+      "readString",          "readU32",
+      "readU64",             "runManualAverage",
+      "runSimulation",       "runVirtualCluster",
+      "sendReliable",        "unsealFileContents",
+      "validate",            "writeFileAtomic",
+      "writeResults",        "writeSnapshot",
   };
 }
 

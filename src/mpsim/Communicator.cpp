@@ -6,6 +6,7 @@
 
 #include "parmonc/mpsim/Communicator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -19,8 +20,7 @@ void Mailbox::push(Message Incoming) {
   Available.notify_all();
 }
 
-std::optional<Message> Mailbox::tryPop(int Tag) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+std::optional<Message> Mailbox::popMatchingLocked(int Tag) {
   for (auto Iterator = Queue.begin(); Iterator != Queue.end(); ++Iterator) {
     if (Tag < 0 || Iterator->Tag == Tag) {
       Message Found = std::move(*Iterator);
@@ -31,32 +31,47 @@ std::optional<Message> Mailbox::tryPop(int Tag) {
   return std::nullopt;
 }
 
-std::optional<Message> Mailbox::popWait(int Tag, int64_t TimeoutNanos) {
+bool Mailbox::containsLocked(int Tag) const {
+  for (const Message &Queued : Queue)
+    if (Tag < 0 || Queued.Tag == Tag)
+      return true;
+  return false;
+}
+
+std::optional<Message> Mailbox::tryPop(int Tag) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return popMatchingLocked(Tag);
+}
+
+std::optional<Message> Mailbox::popWait(int Tag, int64_t TimeoutNanos,
+                                        const Clock *TimeSource) {
+  if (TimeSource) {
+    // Injected-clock deadline: the condition variable cannot wait on a
+    // virtual clock, so poll in short real-time slices. The predicate is
+    // rechecked on every wakeup and the deadline is checked on the
+    // injected clock, so a frozen ManualClock waiter returns promptly
+    // once the test advances time past the deadline.
+    const int64_t Deadline = TimeSource->nowNanos() + TimeoutNanos;
+    std::unique_lock<std::mutex> Lock(Mutex);
+    for (;;) {
+      if (std::optional<Message> Found = popMatchingLocked(Tag))
+        return Found;
+      if (TimeSource->nowNanos() >= Deadline)
+        return std::nullopt;
+      Available.wait_for(Lock, std::chrono::microseconds(100));
+    }
+  }
   const auto Deadline = std::chrono::steady_clock::now() +
                         std::chrono::nanoseconds(TimeoutNanos);
   std::unique_lock<std::mutex> Lock(Mutex);
-  for (;;) {
-    for (auto Iterator = Queue.begin(); Iterator != Queue.end();
-         ++Iterator) {
-      if (Tag < 0 || Iterator->Tag == Tag) {
-        Message Found = std::move(*Iterator);
-        Queue.erase(Iterator);
-        return Found;
-      }
-    }
-    if (Available.wait_until(Lock, Deadline) == std::cv_status::timeout) {
-      // One final scan: a message may have arrived with the deadline.
-      for (auto Iterator = Queue.begin(); Iterator != Queue.end();
-           ++Iterator) {
-        if (Tag < 0 || Iterator->Tag == Tag) {
-          Message Found = std::move(*Iterator);
-          Queue.erase(Iterator);
-          return Found;
-        }
-      }
-      return std::nullopt;
-    }
-  }
+  // wait_until with a predicate rechecks after every wakeup: spurious
+  // wakeups and notifications for non-matching tags neither return early
+  // nor push the deadline out; false means the deadline passed with no
+  // matching message queued.
+  if (!Available.wait_until(Lock, Deadline,
+                            [this, Tag] { return containsLocked(Tag); }))
+    return std::nullopt;
+  return popMatchingLocked(Tag);
 }
 
 size_t Mailbox::pendingCount() const {
@@ -66,10 +81,7 @@ size_t Mailbox::pendingCount() const {
 
 bool Mailbox::contains(int Tag) const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  for (const Message &Queued : Queue)
-    if (Tag < 0 || Queued.Tag == Tag)
-      return true;
-  return false;
+  return containsLocked(Tag);
 }
 
 Fabric::Fabric(int RankCount) {
@@ -77,6 +89,7 @@ Fabric::Fabric(int RankCount) {
   Mailboxes.reserve(size_t(RankCount));
   for (int Rank = 0; Rank < RankCount; ++Rank)
     Mailboxes.push_back(std::make_unique<Mailbox>());
+  DeadByRank.assign(size_t(RankCount), false);
 }
 
 uint64_t Fabric::bytesTransferred() const {
@@ -90,13 +103,40 @@ void Fabric::addBytesTransferred(uint64_t Bytes) {
 void Fabric::attachMetrics(obs::MetricsRegistry &Registry) {
   MessagesSent = &Registry.counter("comm.messages_sent");
   BytesSent = &Registry.counter("comm.bytes_sent");
+  SendRetries = &Registry.counter("comm.send_retries");
+  SendsFailed = &Registry.counter("comm.sends_failed");
   CollectorQueueDepth = &Registry.gauge("comm.collector_queue_depth");
+}
+
+void Fabric::setSendFaultHook(SendFaultHook Hook, const Clock *TimeSource) {
+  FaultHook = std::move(Hook);
+  FaultTime = TimeSource;
+}
+
+void Fabric::markDead(int Rank) {
+  assert(Rank >= 0 && Rank < rankCount() && "rank out of range");
+  std::lock_guard<std::mutex> Lock(BarrierMutex);
+  if (DeadByRank[size_t(Rank)])
+    return;
+  DeadByRank[size_t(Rank)] = true;
+  ++DeadRanks;
+  // The death may have been the barrier's missing arrival.
+  if (BarrierWaiting > 0 && BarrierWaiting >= rankCount() - DeadRanks) {
+    BarrierWaiting = 0;
+    ++BarrierGeneration;
+    BarrierRelease.notify_all();
+  }
+}
+
+int Fabric::aliveRankCount() const {
+  std::lock_guard<std::mutex> Lock(BarrierMutex);
+  return rankCount() - DeadRanks;
 }
 
 void Fabric::arriveAtBarrier() {
   std::unique_lock<std::mutex> Lock(BarrierMutex);
   const uint64_t MyGeneration = BarrierGeneration;
-  if (++BarrierWaiting == rankCount()) {
+  if (++BarrierWaiting >= rankCount() - DeadRanks) {
     BarrierWaiting = 0;
     ++BarrierGeneration;
     BarrierRelease.notify_all();
@@ -107,47 +147,131 @@ void Fabric::arriveAtBarrier() {
   });
 }
 
+void Fabric::pumpDelayedMessages() {
+  if (!FaultTime)
+    return;
+  std::vector<DelayedMessage> Due;
+  {
+    std::lock_guard<std::mutex> Lock(DelayedMutex);
+    if (Delayed.empty())
+      return;
+    const int64_t Now = FaultTime->nowNanos();
+    auto FirstDue = std::partition(
+        Delayed.begin(), Delayed.end(),
+        [Now](const DelayedMessage &Held) { return Held.ReleaseNanos > Now; });
+    Due.assign(std::make_move_iterator(FirstDue),
+               std::make_move_iterator(Delayed.end()));
+    Delayed.erase(FirstDue, Delayed.end());
+  }
+  for (DelayedMessage &Release : Due)
+    mailboxOf(Release.Destination).push(std::move(Release.Held));
+}
+
+void Fabric::delayMessage(int Destination, int64_t ReleaseNanos,
+                          Message Held) {
+  std::lock_guard<std::mutex> Lock(DelayedMutex);
+  Delayed.push_back(DelayedMessage{ReleaseNanos, Destination, std::move(Held)});
+}
+
 void Communicator::send(int Destination, int Tag,
                         std::vector<uint8_t> Payload) {
+  // Fire-and-forget: the engine's periodic subtotals tolerate loss by
+  // design (cumulative sums), so a Fail verdict is absorbed here.
+  (void)sendReliable(Destination, Tag, std::move(Payload),
+                     /*MaxAttempts=*/1, /*BackoffNanos=*/0,
+                     /*TimeSource=*/nullptr);
+}
+
+Status Communicator::sendReliable(int Destination, int Tag,
+                                  std::vector<uint8_t> Payload,
+                                  int MaxAttempts, int64_t BackoffNanos,
+                                  const Clock *TimeSource) {
   assert(Destination >= 0 && Destination < size() &&
          "destination rank out of range");
-  SharedFabric.addBytesTransferred(Payload.size());
+  assert(MaxAttempts >= 1 && "need at least one send attempt");
+  SharedFabric.pumpDelayedMessages();
+
+  SendFault Verdict;
+  const SendFaultHook &Hook = SharedFabric.sendFaultHook();
+  for (int Attempt = 1;; ++Attempt) {
+    Verdict = Hook ? Hook(Rank, Destination, Tag) : SendFault{};
+    if (Verdict.Act != SendFault::Action::Fail)
+      break;
+    if (Attempt >= MaxAttempts) {
+      if (obs::Counter *Failed = SharedFabric.sendsFailedCounter())
+        Failed->add();
+      return ioError("send from rank " + std::to_string(Rank) +
+                     " to rank " + std::to_string(Destination) +
+                     " failed after " + std::to_string(MaxAttempts) +
+                     " attempts");
+    }
+    if (obs::Counter *Retries = SharedFabric.sendRetriesCounter())
+      Retries->add();
+    if (TimeSource)
+      TimeSource->sleepNanos(BackoffNanos);
+  }
+
   if (obs::Counter *Messages = SharedFabric.messagesSentCounter())
     Messages->add();
   if (obs::Counter *Bytes = SharedFabric.bytesSentCounter())
     Bytes->add(int64_t(Payload.size()));
+  if (Verdict.Act == SendFault::Action::Drop) {
+    // The network ate it; the sender has no way to know.
+    return Status::ok();
+  }
+  SharedFabric.addBytesTransferred(Payload.size());
+
   Message Outgoing;
   Outgoing.Source = Rank;
   Outgoing.Tag = Tag;
   Outgoing.Payload = std::move(Payload);
+  if (Verdict.Act == SendFault::Action::Delay &&
+      SharedFabric.faultClock()) {
+    SharedFabric.delayMessage(Destination,
+                              SharedFabric.faultClock()->nowNanos() +
+                                  Verdict.DelayNanos,
+                              std::move(Outgoing));
+    return Status::ok();
+  }
+  if (Verdict.Act == SendFault::Action::Duplicate)
+    SharedFabric.mailboxOf(Destination).push(Outgoing);
   SharedFabric.mailboxOf(Destination).push(std::move(Outgoing));
   // Queue-delay signal: depth of the collector's mailbox right after a
   // subtotal lands there. The §2.2 claim is that this stays near zero.
   if (Destination == 0)
     if (obs::Gauge *Depth = SharedFabric.collectorQueueDepthGauge())
       Depth->set(double(SharedFabric.mailboxOf(0).pendingCount()));
+  return Status::ok();
 }
 
 std::optional<Message> Communicator::tryReceive(int Tag) {
+  SharedFabric.pumpDelayedMessages();
   return SharedFabric.mailboxOf(Rank).tryPop(Tag);
 }
 
 std::optional<Message> Communicator::receiveWait(int Tag,
-                                                 int64_t TimeoutNanos) {
-  return SharedFabric.mailboxOf(Rank).popWait(Tag, TimeoutNanos);
+                                                 int64_t TimeoutNanos,
+                                                 const Clock *TimeSource) {
+  SharedFabric.pumpDelayedMessages();
+  return SharedFabric.mailboxOf(Rank).popWait(Tag, TimeoutNanos,
+                                              TimeSource);
 }
 
 bool Communicator::probe(int Tag) {
+  SharedFabric.pumpDelayedMessages();
   return SharedFabric.mailboxOf(Rank).contains(Tag);
 }
 
 void runThreadEngine(int RankCount,
                      const std::function<void(Communicator &)> &Body,
-                     obs::MetricsRegistry *Metrics) {
+                     obs::MetricsRegistry *Metrics,
+                     const std::function<void(Fabric &)> &Setup) {
   assert(RankCount >= 1 && "need at least one rank");
   Fabric SharedFabric(RankCount);
   if (Metrics)
     SharedFabric.attachMetrics(*Metrics);
+  if (Setup)
+    Setup(SharedFabric);
   std::vector<std::thread> Threads;
   Threads.reserve(size_t(RankCount));
   for (int Rank = 0; Rank < RankCount; ++Rank) {

@@ -39,6 +39,13 @@ Status VirtualClusterConfig::validate() const {
       if (Factor <= 0.0)
         return invalidArgument("speed factors must be positive");
   }
+  for (const VirtualWorkerFailure &Failure : WorkerFailures) {
+    if (Failure.Worker < 0 || Failure.Worker >= ProcessorCount)
+      return invalidArgument("failure worker index out of range");
+    if (Failure.AfterRealizations < 1)
+      return invalidArgument(
+          "failure must happen after at least one realization");
+  }
   return Status::ok();
 }
 
@@ -117,14 +124,28 @@ runVirtualCluster(const VirtualClusterConfig &Config,
   for (int Worker = 0; Worker < WorkerCount; ++Worker)
     Completions.push({drawRealizationSeconds(Worker), Worker});
 
+  // Failure schedule: per-worker realization count at which the worker
+  // dies; 0 = never. The smallest scheduled count wins if a worker is
+  // named twice.
+  std::vector<int64_t> FailsAfter(size_t(WorkerCount), 0);
+  for (const VirtualWorkerFailure &Failure : Config.WorkerFailures) {
+    int64_t &Slot = FailsAfter[size_t(Failure.Worker)];
+    if (Slot == 0 || Failure.AfterRealizations < Slot)
+      Slot = Failure.AfterRealizations;
+  }
+
   std::vector<int64_t> WorkerVolume(size_t(WorkerCount), 0);
   std::vector<int64_t> UnsentVolume(size_t(WorkerCount), 0);
   std::vector<SubtotalArrival> Arrivals;
   Arrivals.reserve(size_t(LargestTarget / Config.RealizationsPerSend +
                           WorkerCount + 1));
+  std::vector<int> FailedWorkers;
   int64_t ProducedTotal = 0;
 
   while (ProducedTotal < LargestTarget) {
+    if (Completions.empty())
+      return internalError(
+          "all virtual workers failed before the target volume was reached");
     WorkerCompletion Done = Completions.top();
     Completions.pop();
     const int Worker = Done.Worker;
@@ -133,11 +154,18 @@ runVirtualCluster(const VirtualClusterConfig &Config,
     ++ProducedTotal;
 
     const bool LastEverywhere = ProducedTotal == LargestTarget;
+    const bool Fails = FailsAfter[size_t(Worker)] > 0 &&
+                       WorkerVolume[size_t(Worker)] >=
+                           FailsAfter[size_t(Worker)];
     if (UnsentVolume[size_t(Worker)] >= Config.RealizationsPerSend ||
-        LastEverywhere) {
+        LastEverywhere || Fails) {
       Arrivals.push_back({Done.CompletionSeconds + TransferSeconds, Worker,
                           UnsentVolume[size_t(Worker)]});
       UnsentVolume[size_t(Worker)] = 0;
+    }
+    if (Fails) {
+      FailedWorkers.push_back(Worker);
+      continue; // Never requeued: the worker is gone.
     }
     if (!LastEverywhere)
       Completions.push(
@@ -236,6 +264,8 @@ runVirtualCluster(const VirtualClusterConfig &Config,
           ? QueueDelaySum / double(Outcome.MessagesProcessed)
           : 0.0;
   Outcome.PerWorkerVolumes = std::move(WorkerVolume);
+  std::sort(FailedWorkers.begin(), FailedWorkers.end());
+  Outcome.FailedWorkers = std::move(FailedWorkers);
 
   if (Config.Metrics) {
     obs::MetricsRegistry &Registry = *Config.Metrics;
@@ -247,6 +277,9 @@ runVirtualCluster(const VirtualClusterConfig &Config,
         .add(Outcome.MessagesProcessed);
     Registry.counter("vcluster.bytes_transferred")
         .add(int64_t(Outcome.BytesTransferred));
+    if (!Outcome.FailedWorkers.empty())
+      Registry.counter("vcluster.worker_failures")
+          .add(int64_t(Outcome.FailedWorkers.size()));
   }
   return Outcome;
 }

@@ -12,10 +12,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <unistd.h>
 
 namespace parmonc {
 
@@ -134,21 +136,52 @@ Result<std::string> readFileToString(const std::string &Path) {
 }
 
 Status writeFileAtomic(const std::string &Path, std::string_view Contents) {
+  // Crash-safe sequence: write a sibling temp file, fsync it, rename over
+  // the destination, then fsync the directory so the rename itself is
+  // durable. A crash at any point leaves either the old file or the new
+  // one — never a torn mixture (checkpoint resumption depends on this).
   const std::string TempPath = Path + ".tmp";
-  {
-    std::ofstream Stream(TempPath, std::ios::binary | std::ios::trunc);
-    if (!Stream)
-      return ioError("cannot open '" + TempPath + "' for writing");
-    Stream.write(Contents.data(), std::streamsize(Contents.size()));
-    Stream.flush();
-    if (!Stream)
-      return ioError("write failure on '" + TempPath + "'");
+  const int FileDescriptor =
+      ::open(TempPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (FileDescriptor < 0)
+    return ioError("cannot open '" + TempPath +
+                   "' for writing: " + std::strerror(errno));
+  size_t Written = 0;
+  while (Written < Contents.size()) {
+    const ssize_t Count = ::write(FileDescriptor, Contents.data() + Written,
+                                  Contents.size() - Written);
+    if (Count < 0) {
+      if (errno == EINTR)
+        continue;
+      const std::string Reason = std::strerror(errno);
+      ::close(FileDescriptor);
+      return ioError("write failure on '" + TempPath + "': " + Reason);
+    }
+    Written += size_t(Count);
   }
+  if (::fsync(FileDescriptor) != 0) {
+    const std::string Reason = std::strerror(errno);
+    ::close(FileDescriptor);
+    return ioError("fsync failure on '" + TempPath + "': " + Reason);
+  }
+  if (::close(FileDescriptor) != 0)
+    return ioError("close failure on '" + TempPath +
+                   "': " + std::strerror(errno));
   std::error_code Error;
   std::filesystem::rename(TempPath, Path, Error);
   if (Error)
     return ioError("cannot rename '" + TempPath + "' to '" + Path +
                    "': " + Error.message());
+  // Directory fsync: best effort (some filesystems reject O_RDONLY dirs);
+  // the rename above is already atomic with respect to readers.
+  const std::string Parent =
+      std::filesystem::path(Path).parent_path().string();
+  const int DirDescriptor =
+      ::open(Parent.empty() ? "." : Parent.c_str(), O_RDONLY);
+  if (DirDescriptor >= 0) {
+    (void)::fsync(DirDescriptor);
+    (void)::close(DirDescriptor);
+  }
   return Status::ok();
 }
 

@@ -51,11 +51,35 @@ RunConfig smallConfig(const std::string &WorkDir) {
   return Config;
 }
 
-TEST(FailureInjection, ResumeRejectsCorruptedCheckpoint) {
+TEST(FailureInjection, ResumeFallsBackToPreviousGenerationOnCorruption) {
+  // The run rotates every checkpoint generation to checkpoint.dat.prev, so
+  // overwriting the primary with garbage must NOT kill the resume — the
+  // fallback loads the previous generation and reports it.
   ScratchDir Dir("corrupt");
   ASSERT_TRUE(runSimulation(uniformRealization, smallConfig(Dir.path()))
                   .isOk());
   ResultsStore Store(Dir.path());
+  ASSERT_TRUE(fileExists(ResultsStore::backupPath(Store.checkpointPath())));
+  ASSERT_TRUE(
+      writeFileAtomic(Store.checkpointPath(), "not a snapshot\n").isOk());
+
+  RunConfig Resume = smallConfig(Dir.path());
+  Resume.Resume = true;
+  Resume.SequenceNumber = 1;
+  Result<RunReport> Report = runSimulation(uniformRealization, Resume);
+  ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+  EXPECT_TRUE(Report.value().ResumedFromBackup);
+}
+
+TEST(FailureInjection, ResumeRejectsCorruptedCheckpointWithoutBackup) {
+  // With the previous generation gone too, a checkpoint that fails its
+  // integrity check must never be loaded: the resume is refused with the
+  // primary's error.
+  ScratchDir Dir("corruptnoprev");
+  ASSERT_TRUE(runSimulation(uniformRealization, smallConfig(Dir.path()))
+                  .isOk());
+  ResultsStore Store(Dir.path());
+  std::filesystem::remove(ResultsStore::backupPath(Store.checkpointPath()));
   ASSERT_TRUE(
       writeFileAtomic(Store.checkpointPath(), "not a snapshot\n").isOk());
 
@@ -67,21 +91,31 @@ TEST(FailureInjection, ResumeRejectsCorruptedCheckpoint) {
   EXPECT_EQ(Report.status().code(), StatusCode::ParseError);
 }
 
-TEST(FailureInjection, ResumeRejectsTruncatedCheckpoint) {
+TEST(FailureInjection, ResumeRejectsTruncatedCheckpointWithoutBackup) {
+  // A short read of a sealed checkpoint is detected by the byte count in
+  // the seal line and reported as an IoError naming both sizes.
   ScratchDir Dir("truncated");
   ASSERT_TRUE(runSimulation(uniformRealization, smallConfig(Dir.path()))
                   .isOk());
   ResultsStore Store(Dir.path());
+  std::filesystem::remove(ResultsStore::backupPath(Store.checkpointPath()));
   std::string Contents =
       readFileToString(Store.checkpointPath()).value();
   ASSERT_TRUE(writeFileAtomic(Store.checkpointPath(),
                               Contents.substr(0, Contents.size() / 3))
                   .isOk());
 
-  RunConfig Resume = smallConfig(Dir.path());
-  Resume.Resume = true;
-  Resume.SequenceNumber = 1;
-  EXPECT_FALSE(runSimulation(uniformRealization, Resume).isOk());
+  Result<RunReport> Report = [&] {
+    RunConfig Resume = smallConfig(Dir.path());
+    Resume.Resume = true;
+    Resume.SequenceNumber = 1;
+    return runSimulation(uniformRealization, Resume);
+  }();
+  ASSERT_FALSE(Report.isOk());
+  EXPECT_EQ(Report.status().code(), StatusCode::IoError);
+  EXPECT_NE(Report.status().message().find("short read"),
+            std::string::npos)
+      << Report.status().toString();
 }
 
 TEST(FailureInjection, CheckpointWithNegativeVolumeIsRejected) {
@@ -126,17 +160,42 @@ TEST(FailureInjection, ManaverRecoversAKilledJob) {
   EXPECT_TRUE(fileExists(Store.checkpointPath()));
 }
 
-TEST(FailureInjection, ManaverSkipsCorruptedSubtotalGracefully) {
+TEST(FailureInjection, ManaverRefusesCorruptedSubtotalWithoutBackup) {
   ScratchDir Dir("badsubtotal");
   RunConfig Config = smallConfig(Dir.path());
   Config.ProcessorCount = 2;
   ASSERT_TRUE(runSimulation(uniformRealization, Config).isOk());
   ResultsStore Store(Dir.path());
+  std::filesystem::remove(ResultsStore::backupPath(Store.subtotalPath(1)));
   ASSERT_TRUE(
       writeFileAtomic(Store.subtotalPath(1), "garbage bytes\n").isOk());
-  // A corrupted subtotal is a hard error (silently dropping volume would
-  // corrupt the statistics); manaver must refuse.
+  // A corrupted subtotal with no previous generation is a hard error
+  // (silently dropping volume would corrupt the statistics); manaver must
+  // refuse.
   EXPECT_FALSE(runManualAverage(Store).isOk());
+}
+
+TEST(FailureInjection, ManaverRecoversCorruptedSubtotalFromBackup) {
+  // When the subtotal's previous generation survives, manaver uses it and
+  // reports which primaries needed the fallback.
+  ScratchDir Dir("badsubtotalprev");
+  RunConfig Config = smallConfig(Dir.path());
+  Config.ProcessorCount = 2;
+  // A 1 ns pass period persists the subtotal at every send, so each rank
+  // writes (and rotates) its file many times.
+  Config.PassPeriodNanos = 1;
+  ASSERT_TRUE(runSimulation(uniformRealization, Config).isOk());
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(fileExists(ResultsStore::backupPath(Store.subtotalPath(1))));
+  ASSERT_TRUE(
+      writeFileAtomic(Store.subtotalPath(1), "garbage bytes\n").isOk());
+  std::vector<std::string> RecoveredPaths;
+  Result<MomentSnapshot> Recovered =
+      runManualAverage(Store, 3.0, &RecoveredPaths);
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  ASSERT_EQ(RecoveredPaths.size(), 1u);
+  EXPECT_EQ(RecoveredPaths[0], Store.subtotalPath(1));
+  EXPECT_GT(Recovered.value().Moments.sampleVolume(), 0);
 }
 
 TEST(FailureInjection, ManaverRejectsMixedShapes) {

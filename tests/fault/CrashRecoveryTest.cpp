@@ -1,0 +1,257 @@
+//===- tests/fault/CrashRecoveryTest.cpp - Crash-safe recovery paths ------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The acceptance tests of the fault tentpole: a run killed by an injected
+// crash — collector dead at a save-point, worker dead mid-simulation —
+// must be recoverable *bit-exactly* through the paper's two mechanisms:
+// res=1 resumption from the surviving checkpoint (§3.2) and manaver's
+// rebuild from base.dat + the per-rank subtotal files (§3.4). Cumulative
+// subtotals plus deterministic per-(experiment, rank, index) streams make
+// the recovered sums identical to those of a run that never failed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/Runner.h"
+#include "parmonc/fault/FaultPlan.h"
+#include "parmonc/support/Text.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+
+namespace parmonc {
+namespace {
+
+class ScratchDir {
+public:
+  explicit ScratchDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("parmonc_crash_" + Name + "_" + std::to_string(Counter++)))
+               .string();
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+  const std::string &path() const { return Path; }
+
+private:
+  static inline int Counter = 0;
+  std::string Path;
+};
+
+void uniformRealization(RandomSource &Source, double *Out) {
+  Out[0] = Source.nextUniform();
+}
+
+std::string fileBytes(const std::string &Path) {
+  return readFileToString(Path).valueOr("<missing " + Path + ">");
+}
+
+TEST(CrashRecovery, GoldenResumeAfterCollectorCrashIsBitExact) {
+  // Kill the collector at its fifth save-point: the checkpoint on disk
+  // stays at save-point four (volume 4). Resuming with res=1 and a new
+  // seqnum must then be byte-for-byte indistinguishable from a reference
+  // experiment that simulated 4 realizations cleanly and resumed the same
+  // way — the interrupted history leaves no trace in the results.
+  ScratchDir Killed("golden"), Reference("golden_ref");
+
+  auto baseConfig = [](const std::string &WorkDir) {
+    RunConfig Config;
+    Config.MaxSampleVolume = 500;
+    Config.ProcessorCount = 1;
+    Config.WorkDir = WorkDir;
+    Config.AveragePeriodNanos = 0; // save at every collector poll
+    return Config;
+  };
+
+  fault::FaultPlan Plan;
+  Plan.CollectorCrash.AtSavePoint = 5;
+  {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = baseConfig(Killed.path());
+    Config.Faults = &Plan;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_TRUE(Report.value().SimulatedCrash);
+    EXPECT_EQ(Report.value().SavePointCount, 4);
+  }
+  {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = baseConfig(Reference.path());
+    Config.MaxSampleVolume = 4; // what the killed run's checkpoint covers
+    ASSERT_TRUE(
+        runSimulation(uniformRealization, Config, &Frozen).isOk());
+  }
+
+  ResultsStore KilledStore(Killed.path());
+  ResultsStore ReferenceStore(Reference.path());
+  // The surviving checkpoint is exactly the reference run's final one.
+  EXPECT_EQ(fileBytes(KilledStore.checkpointPath()),
+            fileBytes(ReferenceStore.checkpointPath()));
+
+  // Resume both with the mandatory new subsequence number.
+  for (const std::string &WorkDir : {Killed.path(), Reference.path()}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = baseConfig(WorkDir);
+    Config.MaxSampleVolume = 56;
+    Config.Resume = true;
+    Config.SequenceNumber = 1;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 60);
+    EXPECT_EQ(Report.value().NewSampleVolume, 56);
+    EXPECT_FALSE(Report.value().SimulatedCrash);
+  }
+  EXPECT_EQ(fileBytes(KilledStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(KilledStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+  EXPECT_EQ(fileBytes(KilledStore.checkpointPath()),
+            fileBytes(ReferenceStore.checkpointPath()));
+}
+
+TEST(CrashRecovery, DeadWorkerIsDetectedAndManaverRestoresTheFullTotal) {
+  // Worker 2 dies after its 30-realization quota but before its final
+  // send. The collector's deadline declares it dead and the run finishes
+  // degraded over 89 realizations (rank 2's last *message* covered 29);
+  // manaver then recovers all 90 from the subtotal files, byte-equal to a
+  // run that never lost the worker.
+  ScratchDir Faulted("deadworker"), Reference("deadworker_ref");
+
+  auto baseConfig = [](const std::string &WorkDir) {
+    RunConfig Config;
+    Config.MaxSampleVolume = 90;
+    Config.ProcessorCount = 3;
+    Config.DeterministicSchedule = true; // fixed 30/30/30 quotas
+    Config.WorkDir = WorkDir;
+    Config.AveragePeriodNanos = 3'600'000'000'000; // final save only
+    return Config;
+  };
+
+  fault::FaultPlan Plan;
+  Plan.WorkerCrashes.push_back(
+      {/*Rank=*/2, /*AfterRealizations=*/30, /*PersistBeforeCrash=*/true});
+  RunConfig Config = baseConfig(Faulted.path());
+  Config.Faults = &Plan;
+  Config.WorkerDeadlineNanos = 50'000'000; // 50 ms of silence = dead
+  Result<RunReport> Degraded = runSimulation(uniformRealization, Config);
+  ASSERT_TRUE(Degraded.isOk()) << Degraded.status().toString();
+  EXPECT_TRUE(Degraded.value().Degraded);
+  ASSERT_EQ(Degraded.value().DeadWorkers.size(), 1u);
+  EXPECT_EQ(Degraded.value().DeadWorkers[0], 2);
+  EXPECT_EQ(Degraded.value().TotalSampleVolume, 89);
+  const int64_t *CrashCount =
+      Degraded.value().Metrics.counterValue("fault.worker_crashes");
+  ASSERT_NE(CrashCount, nullptr);
+  EXPECT_EQ(*CrashCount, 1);
+  ResultsStore FaultedStore(Faulted.path());
+  EXPECT_NE(fileBytes(FaultedStore.logPath()).find("degraded 1"),
+            std::string::npos);
+
+  Result<RunReport> Clean =
+      runSimulation(uniformRealization, baseConfig(Reference.path()));
+  ASSERT_TRUE(Clean.isOk()) << Clean.status().toString();
+  ASSERT_EQ(Clean.value().TotalSampleVolume, 90);
+
+  // The crash persisted rank 2's full 30-realization subtotal before
+  // dying, so manaver closes the gap exactly.
+  Result<MomentSnapshot> Recovered = runManualAverage(FaultedStore);
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  EXPECT_EQ(Recovered.value().Moments.sampleVolume(), 90);
+  ResultsStore ReferenceStore(Reference.path());
+  EXPECT_EQ(fileBytes(FaultedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(FaultedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+}
+
+TEST(CrashRecovery, CollectorCrashAtFinalSaveIsRecoveredByManaver) {
+  // The collector dies at the closing save: no checkpoint, no result
+  // files — only base.dat and the subtotal files every rank persisted with
+  // its final send (§3.4's guaranteed freshness). manaver rebuilds the
+  // complete experiment from those alone.
+  ScratchDir Crashed("finalsave"), Reference("finalsave_ref");
+
+  auto baseConfig = [](const std::string &WorkDir) {
+    RunConfig Config;
+    Config.MaxSampleVolume = 60;
+    Config.ProcessorCount = 3;
+    Config.DeterministicSchedule = true;
+    Config.WorkDir = WorkDir;
+    Config.AveragePeriodNanos = 3'600'000'000'000;
+    return Config;
+  };
+
+  fault::FaultPlan Plan;
+  Plan.CollectorCrash.AtFinalSave = true;
+  {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = baseConfig(Crashed.path());
+    Config.Faults = &Plan;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_TRUE(Report.value().SimulatedCrash);
+    EXPECT_EQ(Report.value().SavePointCount, 0);
+  }
+  ResultsStore CrashedStore(Crashed.path());
+  EXPECT_FALSE(fileExists(CrashedStore.checkpointPath()));
+  EXPECT_FALSE(fileExists(CrashedStore.meansPath()));
+
+  {
+    ManualClock Frozen(1'000'000);
+    Result<RunReport> Report = runSimulation(
+        uniformRealization, baseConfig(Reference.path()), &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 60);
+  }
+
+  Result<MomentSnapshot> Recovered = runManualAverage(CrashedStore);
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  EXPECT_EQ(Recovered.value().Moments.sampleVolume(), 60);
+  ResultsStore ReferenceStore(Reference.path());
+  EXPECT_EQ(fileBytes(CrashedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(CrashedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+  EXPECT_TRUE(fileExists(CrashedStore.checkpointPath()));
+}
+
+TEST(CrashRecovery, WorkerCrashWithoutPersistLosesOnlyTheUnsentTail) {
+  // PersistBeforeCrash = false models a node whose disk dies with the
+  // process: manaver can then only recover what the rank's last periodic
+  // persist captured — here nothing, so the recovered total is the two
+  // survivors' quotas plus rank 2's realizations that reached the
+  // collector... which manaver cannot see either. The merge must still
+  // succeed over the surviving files rather than fail the whole rebuild.
+  ScratchDir Dir("nopersist");
+  RunConfig Config;
+  Config.MaxSampleVolume = 90;
+  Config.ProcessorCount = 3;
+  Config.DeterministicSchedule = true;
+  Config.WorkDir = Dir.path();
+  Config.AveragePeriodNanos = 3'600'000'000'000;
+  Config.WorkerDeadlineNanos = 50'000'000;
+  fault::FaultPlan Plan;
+  Plan.WorkerCrashes.push_back(
+      {/*Rank=*/2, /*AfterRealizations=*/30, /*PersistBeforeCrash=*/false});
+  Config.Faults = &Plan;
+  Result<RunReport> Report = runSimulation(uniformRealization, Config);
+  ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+  EXPECT_TRUE(Report.value().Degraded);
+  EXPECT_EQ(Report.value().TotalSampleVolume, 89);
+
+  ResultsStore Store(Dir.path());
+  EXPECT_FALSE(fileExists(Store.subtotalPath(2)));
+  Result<MomentSnapshot> Recovered = runManualAverage(Store);
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  EXPECT_EQ(Recovered.value().Moments.sampleVolume(), 60);
+}
+
+} // namespace
+} // namespace parmonc

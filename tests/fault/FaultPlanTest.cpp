@@ -1,0 +1,225 @@
+//===- tests/fault/FaultPlanTest.cpp - Fault schedule unit tests ----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The injector's decisions must be a pure function of the plan — never of
+// wall time or thread interleaving — because every recovery test in this
+// directory replays a faulted run and expects bit-identical results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/fault/FaultPlan.h"
+#include "parmonc/mpsim/VirtualCluster.h"
+
+#include "gtest/gtest.h"
+
+namespace parmonc {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::FileCorruptionSpec;
+using fault::MessageAction;
+using fault::MessageDecision;
+using fault::WorkerCrashSpec;
+
+TEST(FaultPlan, DefaultPlanIsInertAndValid) {
+  FaultPlan Plan;
+  EXPECT_FALSE(Plan.enabled());
+  EXPECT_TRUE(Plan.validate().isOk());
+}
+
+TEST(FaultPlan, RejectsProbabilitiesOutsideTheUnitInterval) {
+  FaultPlan Plan;
+  Plan.DropProbability = 1.5;
+  EXPECT_FALSE(Plan.validate().isOk());
+  Plan.DropProbability = -0.1;
+  EXPECT_FALSE(Plan.validate().isOk());
+}
+
+TEST(FaultPlan, RejectsProbabilitySumAboveOne) {
+  FaultPlan Plan;
+  Plan.DropProbability = 0.6;
+  Plan.SendFailProbability = 0.6;
+  EXPECT_FALSE(Plan.validate().isOk());
+}
+
+TEST(FaultPlan, RejectsRankZeroWorkerCrash) {
+  // Rank 0 is the collector; it dies via the collector crash schedule.
+  FaultPlan Plan;
+  Plan.WorkerCrashes.push_back({/*Rank=*/0, /*AfterRealizations=*/1, true});
+  EXPECT_FALSE(Plan.validate().isOk());
+  Plan.WorkerCrashes[0].Rank = 1;
+  Plan.WorkerCrashes[0].AfterRealizations = 0;
+  EXPECT_FALSE(Plan.validate().isOk());
+  Plan.WorkerCrashes[0].AfterRealizations = 1;
+  EXPECT_TRUE(Plan.validate().isOk());
+  EXPECT_TRUE(Plan.enabled());
+}
+
+TEST(FaultPlan, RejectsMalformedFileCorruptions) {
+  FaultPlan Plan;
+  Plan.FileCorruptions.push_back({});
+  EXPECT_FALSE(Plan.validate().isOk()); // empty path substring
+  Plan.FileCorruptions[0].PathSubstring = "checkpoint";
+  Plan.FileCorruptions[0].KeepFraction = 1.0;
+  EXPECT_FALSE(Plan.validate().isOk()); // keeping everything corrupts nothing
+  Plan.FileCorruptions[0].KeepFraction = 0.5;
+  EXPECT_TRUE(Plan.validate().isOk());
+}
+
+TEST(FaultInjector, DecisionsReplayIdenticallyAcrossInjectors) {
+  FaultPlan Plan;
+  Plan.Seed = 42;
+  Plan.DropProbability = 0.3;
+  Plan.DuplicateProbability = 0.2;
+  Plan.DelayProbability = 0.2;
+  Plan.SendFailProbability = 0.2;
+  FaultInjector First(Plan), Second(Plan);
+  for (int Index = 0; Index < 200; ++Index) {
+    const int Source = 1 + Index % 3;
+    const MessageDecision A = First.onSendAttempt(Source, 0, 1);
+    const MessageDecision B = Second.onSendAttempt(Source, 0, 1);
+    EXPECT_EQ(A.Action, B.Action) << "attempt " << Index;
+    EXPECT_EQ(A.DelayNanos, B.DelayNanos);
+  }
+}
+
+TEST(FaultInjector, SelfSendsAndExemptTagsAlwaysDeliver) {
+  FaultPlan Plan;
+  Plan.DropProbability = 1.0; // every eligible message is lost
+  Plan.ExemptTags = {2};
+  FaultInjector Injector(Plan);
+  for (int Index = 0; Index < 50; ++Index) {
+    EXPECT_EQ(Injector.onSendAttempt(0, 0, 1).Action,
+              MessageAction::Deliver);
+    EXPECT_EQ(Injector.onSendAttempt(1, 0, 2).Action,
+              MessageAction::Deliver);
+    EXPECT_EQ(Injector.onSendAttempt(1, 0, 1).Action, MessageAction::Drop);
+  }
+}
+
+TEST(FaultInjector, DelayVerdictCarriesTheConfiguredDelay) {
+  FaultPlan Plan;
+  Plan.DelayProbability = 1.0;
+  Plan.DelayNanos = 7'000;
+  FaultInjector Injector(Plan);
+  const MessageDecision Decision = Injector.onSendAttempt(1, 0, 1);
+  EXPECT_EQ(Decision.Action, MessageAction::Delay);
+  EXPECT_EQ(Decision.DelayNanos, 7'000);
+}
+
+TEST(FaultInjector, WorkerCrashLookupMatchesByRank) {
+  FaultPlan Plan;
+  Plan.WorkerCrashes.push_back({/*Rank=*/2, /*AfterRealizations=*/10, true});
+  FaultInjector Injector(Plan);
+  ASSERT_NE(Injector.workerCrash(2), nullptr);
+  EXPECT_EQ(Injector.workerCrash(2)->AfterRealizations, 10);
+  EXPECT_EQ(Injector.workerCrash(1), nullptr);
+  EXPECT_EQ(Injector.workerCrash(0), nullptr);
+}
+
+TEST(FaultInjector, CollectorCrashFiresExactlyOnce) {
+  FaultPlan Plan;
+  Plan.CollectorCrash.AtSavePoint = 3;
+  FaultInjector Injector(Plan);
+  EXPECT_FALSE(Injector.takeCollectorCrash(1, false));
+  EXPECT_FALSE(Injector.takeCollectorCrash(2, false));
+  EXPECT_TRUE(Injector.takeCollectorCrash(3, false));
+  EXPECT_FALSE(Injector.takeCollectorCrash(3, false)); // latched
+  EXPECT_FALSE(Injector.takeCollectorCrash(4, true));
+}
+
+TEST(FaultInjector, CorruptWriteTargetsOnlyTheScheduledWrite) {
+  FaultPlan Plan;
+  FileCorruptionSpec Spec;
+  Spec.PathSubstring = "checkpoint";
+  Spec.WriteIndex = 1; // damage the second matching write only
+  Spec.Action = FileCorruptionSpec::Mode::Truncate;
+  Spec.KeepFraction = 0.5;
+  Plan.FileCorruptions.push_back(Spec);
+  FaultInjector Injector(Plan);
+
+  const std::string Contents(100, 'x');
+  EXPECT_FALSE(Injector.corruptWrite("/a/subtotal.dat", Contents));
+  EXPECT_FALSE(Injector.corruptWrite("/a/checkpoint.dat", Contents));
+  std::optional<std::string> Damaged =
+      Injector.corruptWrite("/a/checkpoint.dat", Contents);
+  ASSERT_TRUE(Damaged.has_value());
+  EXPECT_EQ(Damaged->size(), 50u);
+  EXPECT_FALSE(Injector.corruptWrite("/a/checkpoint.dat", Contents));
+}
+
+TEST(FaultInjector, BitFlipDamagesExactlyOneByte) {
+  FaultPlan Plan;
+  FileCorruptionSpec Spec;
+  Spec.PathSubstring = "rank_1";
+  Spec.Action = FileCorruptionSpec::Mode::BitFlip;
+  Spec.FlipByteOffset = 4;
+  Plan.FileCorruptions.push_back(Spec);
+  FaultInjector Injector(Plan);
+
+  const std::string Contents = "abcdefgh";
+  std::optional<std::string> Damaged =
+      Injector.corruptWrite("/s/rank_1.dat", Contents);
+  ASSERT_TRUE(Damaged.has_value());
+  ASSERT_EQ(Damaged->size(), Contents.size());
+  int Diffs = 0;
+  for (size_t Index = 0; Index < Contents.size(); ++Index)
+    if ((*Damaged)[Index] != Contents[Index])
+      ++Diffs;
+  EXPECT_EQ(Diffs, 1);
+  EXPECT_NE((*Damaged)[4], Contents[4]);
+}
+
+TEST(VirtualClusterFaults, FailedWorkersAreReportedAndSurvivorsFinish) {
+  VirtualClusterConfig Config;
+  Config.ProcessorCount = 4;
+  Config.MeanRealizationSeconds = 1.0;
+  Config.WorkerFailures.push_back({/*Worker=*/2, /*AfterRealizations=*/5});
+  obs::MetricsRegistry Registry;
+  Config.Metrics = &Registry;
+
+  Result<VirtualClusterResult> Outcome =
+      runVirtualCluster(Config, {200});
+  ASSERT_TRUE(Outcome.isOk()) << Outcome.status().toString();
+  ASSERT_EQ(Outcome.value().FailedWorkers.size(), 1u);
+  EXPECT_EQ(Outcome.value().FailedWorkers[0], 2);
+  // The dead worker's volume froze at the failure point; survivors covered
+  // the rest of the target.
+  EXPECT_EQ(Outcome.value().PerWorkerVolumes[2], 5);
+  int64_t Total = 0;
+  for (int64_t Volume : Outcome.value().PerWorkerVolumes)
+    Total += Volume;
+  EXPECT_GE(Total, 200);
+  const obs::MetricsSnapshot Snapshot = Registry.snapshot();
+  const int64_t *Failures = Snapshot.counterValue("vcluster.worker_failures");
+  ASSERT_NE(Failures, nullptr);
+  EXPECT_EQ(*Failures, 1);
+}
+
+TEST(VirtualClusterFaults, AllWorkersDeadBeforeTargetIsAnError) {
+  VirtualClusterConfig Config;
+  Config.ProcessorCount = 2;
+  Config.MeanRealizationSeconds = 1.0;
+  Config.WorkerFailures.push_back({0, 3});
+  Config.WorkerFailures.push_back({1, 3});
+  Result<VirtualClusterResult> Outcome =
+      runVirtualCluster(Config, {100});
+  ASSERT_FALSE(Outcome.isOk());
+  EXPECT_EQ(Outcome.status().code(), StatusCode::Internal);
+}
+
+TEST(VirtualClusterFaults, RejectsFailureSpecOutOfRange) {
+  VirtualClusterConfig Config;
+  Config.ProcessorCount = 2;
+  Config.WorkerFailures.push_back({/*Worker=*/2, /*AfterRealizations=*/1});
+  EXPECT_FALSE(runVirtualCluster(Config, {10}).isOk());
+  Config.WorkerFailures[0] = {/*Worker=*/1, /*AfterRealizations=*/0};
+  EXPECT_FALSE(runVirtualCluster(Config, {10}).isOk());
+}
+
+} // namespace
+} // namespace parmonc

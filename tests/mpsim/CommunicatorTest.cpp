@@ -6,6 +6,8 @@
 
 #include "parmonc/mpsim/Communicator.h"
 
+#include "parmonc/support/Clock.h"
+
 #include "gtest/gtest.h"
 
 #include <atomic>
@@ -71,6 +73,67 @@ TEST(Mailbox, PopWaitWakesOnPush) {
   ASSERT_TRUE(Received);
   EXPECT_EQ(Received->Payload[0], 42);
   EXPECT_EQ(Received->Source, 1);
+}
+
+TEST(Mailbox, PopWaitIgnoresWrongTagPushesWithoutExtendingDeadline) {
+  // Regression: a stream of non-matching pushes used to restart the wait
+  // with the full timeout on every wakeup, so a waiter for a tag that
+  // never arrives could block far past its deadline. The predicate-based
+  // wait must return nullopt once the deadline passes, leaving the
+  // wrong-tag messages queued.
+  Mailbox Box;
+  std::atomic<bool> StopProducer{false};
+  std::thread Producer([&] {
+    while (!StopProducer.load()) {
+      Box.push({0, 1, bytesOf({7})});
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  const auto Start = std::chrono::steady_clock::now();
+  auto Nothing = Box.popWait(99, 30'000'000); // 30 ms, tag never sent
+  const auto Elapsed = std::chrono::steady_clock::now() - Start;
+  StopProducer.store(true);
+  Producer.join();
+  EXPECT_FALSE(Nothing.has_value());
+  // Generous bound: the old behavior blocked for as long as pushes kept
+  // arriving (seconds); the fix returns within ~one timeout.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
+                .count(),
+            500);
+  EXPECT_GT(Box.pendingCount(), 0u);
+}
+
+TEST(Mailbox, PopWaitOnManualClockReturnsWhenInjectedTimePasses) {
+  // With an injected clock the deadline is measured on *that* clock: a
+  // waiter polls, and returns promptly once the test advances manual time
+  // past the deadline — no real-time sleep of the full timeout.
+  ManualClock Time(0);
+  Mailbox Box;
+  std::thread Advancer([&Time] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Time.advanceNanos(2'000'000'000);
+  });
+  const auto Start = std::chrono::steady_clock::now();
+  auto Nothing = Box.popWait(1, 1'000'000'000, &Time); // 1 s of manual time
+  const auto Elapsed = std::chrono::steady_clock::now() - Start;
+  Advancer.join();
+  EXPECT_FALSE(Nothing.has_value());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
+                .count(),
+            500);
+}
+
+TEST(Mailbox, PopWaitOnManualClockStillDeliversMatches) {
+  ManualClock Time(0);
+  Mailbox Box;
+  std::thread Producer([&Box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Box.push({2, 8, bytesOf({11})});
+  });
+  auto Received = Box.popWait(8, 1'000'000'000, &Time);
+  Producer.join();
+  ASSERT_TRUE(Received);
+  EXPECT_EQ(Received->Payload[0], 11);
 }
 
 TEST(Fabric, TracksBytesTransferred) {

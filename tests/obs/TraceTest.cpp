@@ -22,6 +22,7 @@ public:
     ++Reads;
     return 0;
   }
+  void sleepNanos(int64_t) const override {}
   mutable int Reads = 0;
 };
 

@@ -31,12 +31,19 @@ int main(int Argc, char **Argv) {
   const std::string WorkDir = Argc == 2 ? Argv[1] : ".";
 
   ResultsStore Store(WorkDir);
-  Result<MomentSnapshot> Merged = runManualAverage(Store);
+  std::vector<std::string> RecoveredPaths;
+  Result<MomentSnapshot> Merged =
+      runManualAverage(Store, /*ErrorMultiplier=*/3.0, &RecoveredPaths);
   if (!Merged) {
     std::fprintf(stderr, "manaver: %s\n",
                  Merged.status().toString().c_str());
     return 1;
   }
+  for (const std::string &Path : RecoveredPaths)
+    std::fprintf(stderr,
+                 "manaver: warning: '%s' failed its integrity check; used "
+                 "the previous generation ('%s')\n",
+                 Path.c_str(), ResultsStore::backupPath(Path).c_str());
 
   const EstimatorMatrix &Moments = Merged.value().Moments;
   const ErrorBounds Bounds = Moments.errorBounds();
