@@ -145,6 +145,21 @@ struct RunConfig {
   /// byte-exact fault-recovery tests require.
   bool DeterministicSchedule = false;
 
+  /// Worker threads per simulated processor (>= 1). With N > 1 each rank
+  /// fans its realizations out over N threads: thread t of a rank runs the
+  /// rank's realization subsequences t, t + N, t + 2N, ... on a stride-N
+  /// RealizationCursor (one precomputed leap A(n_r)^N per realization)
+  /// with a private moment accumulator, and the rank merges the thread
+  /// partials in thread order before anything enters the §2.2 collector
+  /// protocol. The set of consumed substreams is exactly the serial (N=1)
+  /// assignment, so moment sums match the serial run whenever the
+  /// accumulated sums are exact (and are run-to-run deterministic under
+  /// DeterministicSchedule regardless). Default 1 = the paper's
+  /// one-thread-per-processor engine, byte-identical to before this knob
+  /// existed. Incompatible with injected worker crashes, which model
+  /// whole-rank death.
+  int WorkerThreadsPerRank = 1;
+
   /// Attempts per subtotal send before the worker gives up on the message
   /// (it keeps simulating; the next cumulative subtotal covers the loss).
   int SendMaxAttempts = 4;

@@ -11,9 +11,22 @@
 ///   u_{k+1} = u_k * A (mod 2^128),  A = 5^101 (mod 2^128)        (eq. 6)
 ///   A(n)    = A^n (mod 2^128)                                    (leaps)
 ///
-/// Implemented without compiler __int128 so the generator is portable and
-/// the arithmetic is auditable. Division and decimal conversion exist for
-/// the genparam/manaver file formats and for tests.
+/// Two multiply implementations coexist (see docs/NUMERICS.md):
+///
+/// - the **portable path** — 32-bit-halves schoolbook arithmetic with
+///   explicit carries, compiled unconditionally; it is the auditable
+///   reference semantics of the library, and what the genparam/manaver
+///   file formats and the spectral test were validated against;
+/// - the **fast path** — `unsigned __int128` compiler arithmetic, used by
+///   `operator*` / `mulWide64` when the compiler provides it (detected via
+///   `__SIZEOF_INT128__`), which lowers to two or three hardware multiply
+///   instructions on 64-bit targets.
+///
+/// The fast path is a pure strength reduction: tests/int128 pins both
+/// paths bit-equal over random and adversarial operands. Configure with
+/// `-DPARMONC_PORTABLE_INT128=ON` (which defines
+/// `PARMONC_FORCE_PORTABLE_INT128`) to force the portable path everywhere,
+/// e.g. to reproduce results from a compiler without `__int128`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +40,27 @@
 #include <string>
 #include <string_view>
 
+/// PARMONC_NATIVE_INT128 is 1 when the wrapping multiplies below lower to
+/// compiler `unsigned __int128` arithmetic, 0 when they run the portable
+/// 32-bit-halves reference. The portable functions are compiled either way.
+#if !defined(PARMONC_FORCE_PORTABLE_INT128) && defined(__SIZEOF_INT128__)
+#define PARMONC_NATIVE_INT128 1
+#else
+#define PARMONC_NATIVE_INT128 0
+#endif
+
 namespace parmonc {
+
+class UInt128;
+
+/// Portable 64x64 -> 128-bit multiply: 32-bit-halves schoolbook with
+/// explicit carries. The reference semantics of the fast path; exposed so
+/// differential tests (and forced-portable builds) can run it directly.
+UInt128 mulWide64Portable(uint64_t A, uint64_t B);
+
+/// Portable 128x128 -> low-128-bits multiply (the congruential-generator
+/// step, mod 2^128), built on mulWide64Portable. Reference for operator*.
+UInt128 mul128Portable(UInt128 A, UInt128 B);
 
 /// Unsigned 128-bit integer with wrapping (mod 2^128) arithmetic.
 class UInt128 {
@@ -79,7 +112,19 @@ public:
   }
 
   /// Wrapping product mod 2^128 (exactly the congruential-generator step).
-  friend UInt128 operator*(UInt128 A, UInt128 B);
+  /// Inline because this is the RNG hot loop: with the native fast path it
+  /// compiles to three 64-bit multiplies and two adds.
+  friend UInt128 operator*(UInt128 A, UInt128 B) {
+#if PARMONC_NATIVE_INT128
+    const unsigned __int128 Product =
+        ((static_cast<unsigned __int128>(A.Hi) << 64) | A.Lo) *
+        ((static_cast<unsigned __int128>(B.Hi) << 64) | B.Lo);
+    return UInt128(static_cast<uint64_t>(Product >> 64),
+                   static_cast<uint64_t>(Product));
+#else
+    return mul128Portable(A, B);
+#endif
+  }
 
   /// Truncating division. \p B must be nonzero.
   friend UInt128 operator/(UInt128 A, UInt128 B);
@@ -202,14 +247,30 @@ public:
   /// Parses a base-16 string with optional "0x" prefix.
   [[nodiscard]] static Result<UInt128> fromHexString(std::string_view Text);
 
+  /// True when this build's operator*/mulWide64 use compiler __int128
+  /// (the fast path); false when they run the portable reference. Useful
+  /// for benchmark labelling — the semantics are identical either way.
+  static constexpr bool hasNativeMultiply() {
+    return PARMONC_NATIVE_INT128 != 0;
+  }
+
 private:
   uint64_t Lo;
   uint64_t Hi;
 };
 
-/// Portable 64x64 -> 128-bit multiply (no __int128), exposed because the
-/// RNG's double conversion and the tests use it directly.
-UInt128 mulWide64(uint64_t A, uint64_t B);
+/// 64x64 -> 128-bit multiply, exposed because the RNG's double conversion
+/// and the tests use it directly. Dispatches to the native fast path when
+/// available, with bit-identical results to mulWide64Portable.
+inline UInt128 mulWide64(uint64_t A, uint64_t B) {
+#if PARMONC_NATIVE_INT128
+  const unsigned __int128 Product = static_cast<unsigned __int128>(A) * B;
+  return UInt128(static_cast<uint64_t>(Product >> 64),
+                 static_cast<uint64_t>(Product));
+#else
+  return mulWide64Portable(A, B);
+#endif
+}
 
 /// Full 128x128 -> 256-bit product, as {high 128 bits, low 128 bits}.
 struct WideProduct128 {

@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 namespace parmonc {
@@ -239,6 +240,34 @@ void runThreadEngine(int RankCount,
                      const std::function<void(Communicator &)> &Body,
                      obs::MetricsRegistry *Metrics = nullptr,
                      const std::function<void(Fabric &)> &Setup = {});
+
+/// A joinable group of worker threads; each runs \p Body with its worker
+/// index in [0, Count). This is the *intra-rank* fan-out primitive of the
+/// threaded realization engine (RunConfig::WorkerThreadsPerRank): worker
+/// threads inside one rank hand their results to the rank thread through a
+/// Mailbox, never by shared mutable state, so the thread primitive itself
+/// lives here in mpsim with the rest of the approved concurrency seam.
+/// The spawning thread stays free to service its own loop (rank 0 keeps
+/// collecting) and joins when the workers are done.
+class WorkerGroup {
+public:
+  /// Spawns \p Count threads immediately; each thread holds its own copy
+  /// of \p Body (state the workers share must be captured by reference and
+  /// outlive join()).
+  WorkerGroup(int Count, const std::function<void(int)> &Body);
+
+  /// Joins every worker; idempotent. The destructor calls it, so a
+  /// WorkerGroup can never outlive its workers' captured state.
+  void join();
+
+  ~WorkerGroup() { join(); }
+
+  WorkerGroup(const WorkerGroup &) = delete;
+  WorkerGroup &operator=(const WorkerGroup &) = delete;
+
+private:
+  std::vector<std::thread> Threads;
+};
 
 } // namespace parmonc
 

@@ -63,6 +63,37 @@ public:
 
   uint64_t nextBits64() override { return nextRaw().high(); }
 
+  /// Batched generation: fills \p Out[0..Count) with the next \p Count
+  /// uniforms, bit-equal to \p Count nextUniform() calls and leaving the
+  /// state at u_{k+Count}. The kernel runs the recurrence on four
+  /// interleaved lanes (lane j emits u_{k+1+j}, u_{k+5+j}, ... and steps by
+  /// the precomputed A^4), which breaks the serial multiply dependency
+  /// chain and lets the CPU overlap the 128-bit multiplies.
+  void fillBatch(double *Out, size_t Count);
+
+  /// Same batch kernel emitting the raw top-64-bit outputs (the
+  /// nextBits64() sequence) instead of unit-interval doubles.
+  void fillBatchBits64(uint64_t *Out, size_t Count);
+
+  /// Block-leap batched generation over the §2.4 auxiliary generator: for
+  /// each block b in [0, BlockCount), emits the first \p DrawsPerBlock
+  /// uniforms of the subsequence starting at u_k * LeapMultiplier^b into
+  /// Out[b*DrawsPerBlock ...]. Block starts advance by the auxiliary
+  /// recurrence û_{m+1} = û_m * A(n); on return the state is
+  /// u_k * LeapMultiplier^BlockCount — the start of block BlockCount —
+  /// mirroring RealizationCursor's abandon-the-tail semantics. With
+  /// \p LeapMultiplier = A(n_r) each block is the prefix of one
+  /// realization subsequence. \p Out must hold BlockCount*DrawsPerBlock
+  /// doubles.
+  void fillBlockLeap(double *Out, size_t BlockCount, size_t DrawsPerBlock,
+                     UInt128 LeapMultiplier);
+
+  /// RandomSource bulk interface, routed to the unrolled kernel: one
+  /// virtual call per batch, zero per draw.
+  void fillUniforms(double *Out, size_t Count) override {
+    fillBatch(Out, Count);
+  }
+
   const char *name() const override { return "lcg128"; }
 
   /// Jumps the stream forward by \p Steps positions in O(log Steps) limb

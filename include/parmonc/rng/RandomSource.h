@@ -16,6 +16,7 @@
 #ifndef PARMONC_RNG_RANDOMSOURCE_H
 #define PARMONC_RNG_RANDOMSOURCE_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace parmonc {
@@ -33,6 +34,18 @@ public:
   /// Next 64 uniformly distributed bits. Statistical tests operate on bits
   /// rather than doubles so that low-order behaviour is visible too.
   virtual uint64_t nextBits64() = 0;
+
+  /// Fills \p Out[0..Count) with the next \p Count uniforms — the bulk
+  /// shape realization routines should prefer for vectorizable draws: one
+  /// virtual dispatch per batch instead of one per number. The default
+  /// loops nextUniform(); generators with a faster kernel (Lcg128's
+  /// unrolled recurrence) override it. Overrides must produce exactly the
+  /// sequence \p Count nextUniform() calls would (bit-equal, same final
+  /// generator state), so batching never changes simulated results.
+  virtual void fillUniforms(double *Out, size_t Count) {
+    for (size_t Index = 0; Index < Count; ++Index)
+      Out[Index] = nextUniform();
+  }
 
   /// Stable identifier for reports and benches, e.g. "lcg128".
   virtual const char *name() const = 0;

@@ -66,11 +66,11 @@ private:
 
 /// Fills \p Out with \p Count uniforms from \p Source — the bulk
 /// generation shape that a GPU port (the paper's stated future work, §5)
-/// would specialize per backend; here it is the natural SIMD/cache-friendly
-/// call for host code too.
+/// would specialize per backend. Delegates to the virtual
+/// RandomSource::fillUniforms, so sources with a batched kernel (Lcg128)
+/// get their fast path; kept for source compatibility with older callers.
 inline void fillUniforms(RandomSource &Source, double *Out, size_t Count) {
-  for (size_t Index = 0; Index < Count; ++Index)
-    Out[Index] = Source.nextUniform();
+  Source.fillUniforms(Out, Count);
 }
 
 } // namespace parmonc

@@ -33,6 +33,7 @@
 #include "parmonc/rng/Lcg128.h"
 #include "parmonc/support/Status.h"
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -152,40 +153,60 @@ private:
 class RealizationCursor {
 public:
   /// Positions the cursor at realization \p Start.Realization of processor
-  /// \p Start.Processor in experiment \p Start.Experiment.
-  RealizationCursor(const StreamHierarchy &Hierarchy, StreamCoordinates Start)
+  /// \p Start.Processor in experiment \p Start.Experiment. \p Stride (>= 1)
+  /// makes successive beginRealization() calls visit realizations
+  /// Start.Realization, Start.Realization + Stride, ... — the leap-ahead
+  /// partition the threaded engine uses to give each of N worker threads
+  /// every N-th realization subsequence: thread t strides by N from start
+  /// index t, and the N cursors jointly cover exactly the serial stream
+  /// assignment. The stride leap A(n_r)^Stride is precomputed once here,
+  /// so striding costs the same one multiply per realization as stride 1.
+  RealizationCursor(const StreamHierarchy &Hierarchy, StreamCoordinates Start,
+                    uint64_t Stride = 1)
       : Table(Hierarchy.leapTable()),
         StartState(Hierarchy.initialNumber(Start)),
-        NextRealization(Start.Realization),
-        StreamsIssued(Hierarchy.streamsIssuedCounter()) {}
+        StrideLeap(Stride == 1
+                       ? Hierarchy.leapTable().realizationLeap()
+                       : UInt128::powModPow2(
+                             Hierarchy.leapTable().realizationLeap(),
+                             UInt128(Stride), 128)),
+        NextRealization(Start.Realization), Stride(Stride),
+        StreamsIssued(Hierarchy.streamsIssuedCounter()) {
+    assert(Stride >= 1 && "cursor stride must be at least 1");
+  }
 
   /// Index of the realization the next beginRealization() call will start.
   uint64_t nextRealizationIndex() const { return NextRealization; }
 
+  /// The stride between successive realization indices (1 = every one).
+  uint64_t stride() const { return Stride; }
+
   /// Returns a generator positioned at the start of the next realization
-  /// subsequence and advances the cursor past it.
+  /// subsequence and advances the cursor by the stride.
   Lcg128 beginRealization() {
     Lcg128 Stream(Table.baseMultiplier(), StartState);
-    StartState = StartState * Table.realizationLeap();
-    ++NextRealization;
+    StartState = StartState * StrideLeap;
+    NextRealization += Stride;
     if (StreamsIssued)
       StreamsIssued->add();
     return Stream;
   }
 
-  /// Skips \p Count realization subsequences without producing streams
-  /// (used when resuming a processor mid-run).
+  /// Skips \p Count *stride steps* (i.e. Count * stride() realization
+  /// subsequences) without producing streams — used when resuming a
+  /// processor mid-run.
   void skipRealizations(uint64_t Count) {
-    StartState =
-        StartState * UInt128::powModPow2(Table.realizationLeap(),
-                                         UInt128(Count), 128);
-    NextRealization += Count;
+    StartState = StartState *
+                 UInt128::powModPow2(StrideLeap, UInt128(Count), 128);
+    NextRealization += Count * Stride;
   }
 
 private:
   LeapTable Table;
   UInt128 StartState;
+  UInt128 StrideLeap;
   uint64_t NextRealization;
+  uint64_t Stride = 1;
   obs::Counter *StreamsIssued = nullptr;
 };
 

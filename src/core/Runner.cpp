@@ -49,6 +49,25 @@ struct SharedRunState {
   std::atomic<int64_t> FailedSends{0};
 };
 
+/// Merges \p From into \p Into: moment sums, compute seconds, histograms.
+/// Shape mismatches here mean a snapshot was deserialized from a different
+/// run configuration — merging it would corrupt the eq. (5) average, so
+/// these contracts stay on in release builds. Shared by the rank-0
+/// collector and the intra-rank thread merge, so both levels of the
+/// hierarchy combine partials with the exact same arithmetic.
+void mergeSnapshotInto(MomentSnapshot &Into, const MomentSnapshot &From) {
+  Status MergedOk = Into.Moments.merge(From.Moments);
+  PARMONC_ASSERT(MergedOk.isOk(), "snapshot shape mismatch");
+  Into.ComputeSeconds += From.ComputeSeconds;
+  PARMONC_ASSERT(Into.Histograms.size() == From.Histograms.size(),
+                 "snapshot histogram count mismatch");
+  for (size_t Index = 0; Index < Into.Histograms.size(); ++Index) {
+    Status HistogramOk =
+        Into.Histograms[Index].merge(From.Histograms[Index]);
+    PARMONC_ASSERT(HistogramOk.isOk(), "histogram geometry mismatch");
+  }
+}
+
 /// Collector-side bookkeeping (rank 0 only).
 struct CollectorState {
   std::vector<MomentSnapshot> LatestFromRank;
@@ -62,24 +81,9 @@ struct CollectorState {
   /// Merges base + every received rank snapshot (eq. 5).
   MomentSnapshot mergeAll(const MomentSnapshot &Base) const {
     MomentSnapshot Merged = Base;
-    for (size_t Rank = 0; Rank < LatestFromRank.size(); ++Rank) {
-      if (!HaveSnapshot[Rank])
-        continue;
-      // Shape mismatches here mean a rank deserialized a snapshot from a
-      // different run configuration — merging it would corrupt the eq. (5)
-      // average, so these contracts stay on in release builds.
-      Status MergedOk = Merged.Moments.merge(LatestFromRank[Rank].Moments);
-      PARMONC_ASSERT(MergedOk.isOk(), "rank snapshot shape mismatch");
-      Merged.ComputeSeconds += LatestFromRank[Rank].ComputeSeconds;
-      PARMONC_ASSERT(Merged.Histograms.size() ==
-                         LatestFromRank[Rank].Histograms.size(),
-                     "rank snapshot histogram count mismatch");
-      for (size_t Index = 0; Index < Merged.Histograms.size(); ++Index) {
-        Status HistogramOk = Merged.Histograms[Index].merge(
-            LatestFromRank[Rank].Histograms[Index]);
-        PARMONC_ASSERT(HistogramOk.isOk(), "histogram geometry mismatch");
-      }
-    }
+    for (size_t Rank = 0; Rank < LatestFromRank.size(); ++Rank)
+      if (HaveSnapshot[Rank])
+        mergeSnapshotInto(Merged, LatestFromRank[Rank]);
     return Merged;
   }
 };
@@ -128,6 +132,21 @@ Status RunConfig::validate() const {
   if (SendRetryBackoffNanos < 0 || WorkerDeadlineNanos < 0)
     return invalidArgument("retry backoff and worker deadline must be "
                            "non-negative");
+  if (WorkerThreadsPerRank < 1)
+    return invalidArgument("worker threads per rank must be >= 1");
+  if (WorkerThreadsPerRank > 1) {
+    const unsigned MaxRealizationsLog2 = Leaps.maxRealizationsLog2();
+    if (MaxRealizationsLog2 < 63 &&
+        uint64_t(WorkerThreadsPerRank) > (uint64_t(1) << MaxRealizationsLog2))
+      return invalidArgument(
+          "worker thread count exceeds the per-processor realization "
+          "capacity 2^" +
+          std::to_string(MaxRealizationsLog2));
+    if (Faults && !Faults->WorkerCrashes.empty())
+      return invalidArgument(
+          "injected worker crashes model whole-rank death and require "
+          "WorkerThreadsPerRank == 1");
+  }
   if (Faults)
     if (Status PlanOk = Faults->validate(); !PlanOk)
       return PlanOk;
@@ -426,9 +445,7 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
 
   auto body = [&](Communicator &Comm) {
     const int Rank = Comm.rank();
-    RealizationCursor Cursor(
-        Hierarchy,
-        StreamCoordinates{Config.SequenceNumber, uint64_t(Rank), 0});
+    const int ThreadsPerRank = Config.WorkerThreadsPerRank;
 
     MomentSnapshot Local;
     Local.SequenceNumber = Config.SequenceNumber;
@@ -478,6 +495,11 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
             ? Config.MaxSampleVolume / RankCount +
                   (Rank < int(Config.MaxSampleVolume % RankCount) ? 1 : 0)
             : -1;
+
+    if (ThreadsPerRank == 1) {
+    RealizationCursor Cursor(
+        Hierarchy,
+        StreamCoordinates{Config.SequenceNumber, uint64_t(Rank), 0});
     int64_t Completed = 0;
     const fault::WorkerCrashSpec *Crash =
         Injector ? Injector->workerCrash(Rank) : nullptr;
@@ -541,6 +563,135 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
       }
       if (Rank == 0)
         collectorPoll(Comm, /*ForceSave=*/false);
+    }
+    } else {
+    // --- Threaded fan-out: N worker threads inside this rank -------------
+    // Each thread owns a private accumulator and a stride-N cursor (thread
+    // t runs this rank's realizations t, t + N, ...), so the N threads
+    // jointly consume exactly the substreams the serial rank would. They
+    // hand *cumulative* snapshots to this rank thread through a mailbox —
+    // the same MPSC primitive the fabric uses — and only the rank thread
+    // talks to the collector, so the §2.2 protocol is untouched. Thread
+    // partials merge in thread-index order, making the merged rank
+    // snapshot independent of message arrival interleaving.
+    Mailbox IntraRank;
+    auto workerBody = [&](int Thread) {
+      RealizationCursor Cursor(
+          Hierarchy,
+          StreamCoordinates{Config.SequenceNumber, uint64_t(Rank),
+                            uint64_t(Thread)},
+          uint64_t(ThreadsPerRank));
+      MomentSnapshot Mine;
+      Mine.SequenceNumber = Config.SequenceNumber;
+      Mine.Moments = EstimatorMatrix(Config.Rows, Config.Columns);
+      Mine.Histograms = makeHistograms(Config);
+      std::vector<double> ThreadOut(EntryCount);
+      // Round-robin split of the rank quota: thread t owns the rank's
+      // realizations congruent to t modulo N.
+      const int64_t ThreadQuota =
+          Quota < 0 ? -1
+                    : (Quota > Thread ? (Quota - Thread + ThreadsPerRank - 1) /
+                                            ThreadsPerRank
+                                      : 0);
+      int64_t Done = 0;
+      int64_t LastThreadPassNanos = Time.nowNanos();
+
+      while (!Shared.StopRequested.load(std::memory_order_relaxed)) {
+        if (ThreadQuota >= 0) {
+          if (Done >= ThreadQuota)
+            break;
+        } else {
+          const int64_t Claimed =
+              Shared.ClaimedVolume.fetch_add(1, std::memory_order_relaxed);
+          if (Claimed >= Config.MaxSampleVolume)
+            break;
+        }
+
+        Lcg128 Stream = Cursor.beginRealization();
+        const int64_t ComputeStart = Time.nowNanos();
+        Realization(Stream, ThreadOut.data());
+        const int64_t ComputeEnd = Time.nowNanos();
+        Mine.ComputeSeconds += double(ComputeEnd - ComputeStart) * 1e-9;
+        RealizationsTotal.add();
+        RankRealizations[size_t(Rank)]->add();
+        RealizationLatency.recordNanos(ComputeEnd - ComputeStart);
+        if (Trace)
+          Trace->completeSpan("runner.realization", Rank, ComputeStart,
+                              ComputeEnd);
+        Mine.Moments.accumulate(ThreadOut.data());
+        for (size_t Index = 0; Index < Config.Histograms.size(); ++Index) {
+          const HistogramSpec &Spec = Config.Histograms[Index];
+          Mine.Histograms[Index].add(
+              ThreadOut[Spec.Row * Config.Columns + Spec.Column]);
+        }
+        ++Done;
+
+        const int64_t Now = ComputeEnd;
+        if (Config.TimeLimitNanos > 0 &&
+            Now - StartNanos >= Config.TimeLimitNanos) {
+          Shared.StoppedOnTimeLimit.store(true, std::memory_order_relaxed);
+          Shared.StopRequested.store(true, std::memory_order_relaxed);
+          if (Trace)
+            Trace->instantAt("runner.stop.time_limit", Rank, Now);
+        }
+        if (Config.PassPeriodNanos == 0 ||
+            Now - LastThreadPassNanos >= Config.PassPeriodNanos) {
+          IntraRank.push(Message{Thread, TagSubtotal, Mine.toBytes()});
+          LastThreadPassNanos = Now;
+        }
+      }
+      // Always hand in the final partial — even a zero-quota thread, so
+      // the rank loop's finals accounting stays exact.
+      IntraRank.push(Message{Thread, TagFinal, Mine.toBytes()});
+    };
+
+    WorkerGroup Workers(ThreadsPerRank, workerBody);
+
+    const size_t ThreadCount = size_t(ThreadsPerRank);
+    std::vector<MomentSnapshot> ThreadLatest(ThreadCount);
+    std::vector<bool> ThreadHave(ThreadCount, false);
+    int ThreadFinalsOutstanding = ThreadsPerRank;
+    auto mergeThreads = [&] {
+      MomentSnapshot Merged;
+      Merged.SequenceNumber = Config.SequenceNumber;
+      Merged.Moments = EstimatorMatrix(Config.Rows, Config.Columns);
+      Merged.Histograms = makeHistograms(Config);
+      for (int Thread = 0; Thread < ThreadsPerRank; ++Thread)
+        if (ThreadHave[size_t(Thread)])
+          mergeSnapshotInto(Merged, ThreadLatest[size_t(Thread)]);
+      return Merged;
+    };
+
+    while (ThreadFinalsOutstanding > 0) {
+      if (std::optional<Message> Incoming =
+              IntraRank.popWait(-1, /*TimeoutNanos=*/2'000'000, &Time)) {
+        Result<MomentSnapshot> Snapshot =
+            MomentSnapshot::fromBytes(Incoming->Payload);
+        // Same-process round trip: a decode failure here is a bug, not an
+        // IO hazard.
+        PARMONC_ASSERT(Snapshot.isOk(), "intra-rank snapshot decode failed");
+        const size_t Thread = size_t(Incoming->Source);
+        ThreadLatest[Thread] = std::move(Snapshot).value();
+        ThreadHave[Thread] = true;
+        if (Incoming->Tag == TagFinal)
+          --ThreadFinalsOutstanding;
+      }
+      const int64_t Now = Time.nowNanos();
+      if (Config.PassPeriodNanos == 0 ||
+          Now - LastPassNanos >= Config.PassPeriodNanos) {
+        Local = mergeThreads();
+        if (Local.Moments.sampleVolume() > 0) {
+          sendSubtotal(TagSubtotal);
+          LastPassNanos = Now;
+        }
+      }
+      if (Rank == 0)
+        collectorPoll(Comm, /*ForceSave=*/false);
+    }
+    Workers.join();
+    // Every thread's final partial, merged in thread order: the rank's
+    // definitive subtotal for the epilogue below.
+    Local = mergeThreads();
     }
 
     // A crashed collector kills the whole job: nobody finalizes.

@@ -49,7 +49,7 @@ unsigned UInt128::countTrailingZeros() const {
   return Lo != 0 ? countTrailingZeros64(Lo) : 64 + countTrailingZeros64(Hi);
 }
 
-UInt128 mulWide64(uint64_t A, uint64_t B) {
+UInt128 mulWide64Portable(uint64_t A, uint64_t B) {
   // Split into 32-bit halves; accumulate the four partial products with
   // explicit carries. Standard schoolbook multiply.
   const uint64_t AL = A & 0xffffffffu;
@@ -69,12 +69,12 @@ UInt128 mulWide64(uint64_t A, uint64_t B) {
   return UInt128(High, Low);
 }
 
-UInt128 operator*(UInt128 A, UInt128 B) {
+UInt128 mul128Portable(UInt128 A, UInt128 B) {
   // (AHi*2^64 + ALo) * (BHi*2^64 + BLo) mod 2^128:
   // only ALo*BLo contributes to both limbs; the cross terms land in the
   // high limb; AHi*BHi*2^128 vanishes.
-  UInt128 Product = mulWide64(A.Lo, B.Lo);
-  uint64_t HighExtra = A.Lo * B.Hi + A.Hi * B.Lo;
+  UInt128 Product = mulWide64Portable(A.low(), B.low());
+  uint64_t HighExtra = A.low() * B.high() + A.high() * B.low();
   return UInt128(Product.high() + HighExtra, Product.low());
 }
 

@@ -284,4 +284,20 @@ void runThreadEngine(int RankCount,
     Thread.join();
 }
 
+WorkerGroup::WorkerGroup(int Count, const std::function<void(int)> &Body) {
+  assert(Count >= 1 && "need at least one worker");
+  Threads.reserve(size_t(Count));
+  // Each thread owns a copy of the callable, so a temporary lambda passed
+  // by the caller cannot dangle once this constructor returns.
+  for (int Worker = 0; Worker < Count; ++Worker)
+    Threads.emplace_back([Body, Worker] { Body(Worker); });
+}
+
+void WorkerGroup::join() {
+  for (std::thread &Thread : Threads)
+    if (Thread.joinable())
+      Thread.join();
+  Threads.clear();
+}
+
 } // namespace parmonc

@@ -17,6 +17,86 @@ UInt128 Lcg128::defaultMultiplier() {
   return Multiplier;
 }
 
+namespace {
+
+/// The shared four-lane batch kernel. Emits u_{k+1} .. u_{k+Count} through
+/// \p Emit(index, state) and leaves \p State at u_{k+Count}. Lane j holds
+/// u_{k+1+4t+j} and steps by A^4, so the four 128-bit multiply chains are
+/// independent and overlap in the pipeline; outputs are emitted in
+/// sequence order, bit-equal to the scalar recurrence.
+template <typename EmitFn>
+void runBatchKernel(UInt128 &State, UInt128 Multiplier, size_t Count,
+                    EmitFn &&Emit) {
+  size_t Index = 0;
+  if (Count >= 4) {
+    const UInt128 MulSquared = Multiplier * Multiplier;
+    const UInt128 MulFourth = MulSquared * MulSquared;
+    UInt128 Lane0 = State * Multiplier;
+    UInt128 Lane1 = State * MulSquared;
+    UInt128 Lane2 = Lane0 * MulSquared;
+    UInt128 Lane3 = State * MulFourth;
+    for (;;) {
+      Emit(Index + 0, Lane0);
+      Emit(Index + 1, Lane1);
+      Emit(Index + 2, Lane2);
+      Emit(Index + 3, Lane3);
+      Index += 4;
+      if (Index + 4 > Count)
+        break;
+      Lane0 = Lane0 * MulFourth;
+      Lane1 = Lane1 * MulFourth;
+      Lane2 = Lane2 * MulFourth;
+      Lane3 = Lane3 * MulFourth;
+    }
+    State = Lane3; // u_{k+Index}: the last full-quad output
+  }
+  for (; Index < Count; ++Index) {
+    State = State * Multiplier;
+    Emit(Index, State);
+  }
+}
+
+} // namespace
+
+void Lcg128::fillBatch(double *Out, size_t Count) {
+  UInt128 Current = state();
+  runBatchKernel(Current, multiplier(), Count,
+                 [Out](size_t Index, UInt128 Value) {
+                   Out[Index] = bitsToUnitOpen(Value.high());
+                 });
+  setState(Current);
+}
+
+void Lcg128::fillBatchBits64(uint64_t *Out, size_t Count) {
+  UInt128 Current = state();
+  runBatchKernel(Current, multiplier(), Count,
+                 [Out](size_t Index, UInt128 Value) {
+                   Out[Index] = Value.high();
+                 });
+  setState(Current);
+}
+
+void Lcg128::fillBlockLeap(double *Out, size_t BlockCount,
+                           size_t DrawsPerBlock, UInt128 LeapMultiplier) {
+  // The auxiliary generator û_{m+1} = û_m * A(n) walks the block starts;
+  // each block then runs the base recurrence from its own start, exactly
+  // as a RealizationCursor + fillBatch pair would, without reloading the
+  // multiplier or re-entering per block.
+  PARMONC_ASSERT(LeapMultiplier.bit(0),
+                 "block-leap multiplier must be odd (a power of A)");
+  UInt128 BlockStart = state();
+  for (size_t Block = 0; Block < BlockCount; ++Block) {
+    UInt128 Current = BlockStart;
+    runBatchKernel(Current, multiplier(), DrawsPerBlock,
+                   [Out, Block, DrawsPerBlock](size_t Index, UInt128 Value) {
+                     Out[Block * DrawsPerBlock + Index] =
+                         bitsToUnitOpen(Value.high());
+                   });
+    BlockStart = BlockStart * LeapMultiplier;
+  }
+  setState(BlockStart);
+}
+
 LcgPow2 LcgPow2::makeClassic40() {
   return LcgPow2(40, UInt128::powModPow2(UInt128(5), UInt128(17), 40));
 }

@@ -1,0 +1,144 @@
+//===- tests/int128/UInt128FastPathTest.cpp - Fast vs portable multiply ---===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential tests pinning the native unsigned __int128 multiply fast
+// path bit-equal to the portable 32-bit-halves reference on random
+// operands, carry-heavy edge operands, and the A^n multiplier chains the
+// stream hierarchy is built from. On a portable-only build the two sides
+// are the same function and the tests degenerate to self-consistency —
+// they must still pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/int128/UInt128.h"
+#include "parmonc/rng/Lcg128.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parmonc {
+namespace {
+
+/// SplitMix64 step — a tiny local generator so the operand sampling does
+/// not depend on the code under test.
+uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Mixed = State;
+  Mixed = (Mixed ^ (Mixed >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Mixed = (Mixed ^ (Mixed >> 27)) * 0x94d049bb133111ebULL;
+  return Mixed ^ (Mixed >> 31);
+}
+
+void expectSameProduct(UInt128 A, UInt128 B) {
+  const UInt128 Fast = A * B;
+  const UInt128 Reference = mul128Portable(A, B);
+  EXPECT_EQ(Fast.high(), Reference.high())
+      << "high limb mismatch for " << A.toHexString() << " * "
+      << B.toHexString();
+  EXPECT_EQ(Fast.low(), Reference.low())
+      << "low limb mismatch for " << A.toHexString() << " * "
+      << B.toHexString();
+}
+
+TEST(UInt128FastPath, EdgeOperands) {
+  const uint64_t Max = ~uint64_t(0);
+  const std::vector<UInt128> Edges = {
+      UInt128(0),          UInt128(1),
+      UInt128(2),          UInt128(Max),
+      UInt128(1, 0),       // 2^64
+      UInt128(Max, 0),     UInt128(0, Max),
+      UInt128(Max, Max),   // 2^128 - 1
+      UInt128(1, 1),       UInt128(Max, 1),
+      UInt128(1, Max),     UInt128(uint64_t(1) << 63, 0),
+      UInt128(0, uint64_t(1) << 63),
+      UInt128(0x8000000000000001ULL, 0x8000000000000001ULL),
+  };
+  for (const UInt128 &A : Edges)
+    for (const UInt128 &B : Edges)
+      expectSameProduct(A, B);
+}
+
+TEST(UInt128FastPath, RandomOperands) {
+  uint64_t Seed = 0x1234'5678'9abc'def0ULL;
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    const UInt128 A(splitMix64(Seed), splitMix64(Seed));
+    const UInt128 B(splitMix64(Seed), splitMix64(Seed));
+    expectSameProduct(A, B);
+  }
+}
+
+TEST(UInt128FastPath, RandomCarryHeavyOperands) {
+  // Operands with long runs of set bits maximize cross-limb carries —
+  // the failure mode a broken schoolbook multiply would show first.
+  uint64_t Seed = 42;
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    const UInt128 A(~splitMix64(Seed) | splitMix64(Seed),
+                    ~uint64_t(0) << (splitMix64(Seed) % 64));
+    const UInt128 B(~uint64_t(0) >> (splitMix64(Seed) % 64),
+                    ~splitMix64(Seed) | splitMix64(Seed));
+    expectSameProduct(A, B);
+  }
+}
+
+TEST(UInt128FastPath, MulWide64MatchesPortable) {
+  uint64_t Seed = 7;
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    const uint64_t A = splitMix64(Seed);
+    const uint64_t B = splitMix64(Seed);
+    const UInt128 Fast = mulWide64(A, B);
+    const UInt128 Reference = mulWide64Portable(A, B);
+    EXPECT_EQ(Fast.high(), Reference.high());
+    EXPECT_EQ(Fast.low(), Reference.low());
+  }
+}
+
+TEST(UInt128FastPath, MultiplierPowerChainsAgree) {
+  // Walk u_{k+1} = u_k * A through both paths for the paper's multiplier
+  // A = 5^101 and compare every intermediate state: the exact arithmetic
+  // the generator, the leap tables, and the batch kernels perform.
+  const UInt128 Multiplier = Lcg128::defaultMultiplier();
+  UInt128 Fast(1), Reference(1);
+  for (int Step = 0; Step < 4096; ++Step) {
+    Fast = Fast * Multiplier;
+    Reference = mul128Portable(Reference, Multiplier);
+    ASSERT_EQ(Fast.high(), Reference.high()) << "diverged at step " << Step;
+    ASSERT_EQ(Fast.low(), Reference.low()) << "diverged at step " << Step;
+  }
+}
+
+TEST(UInt128FastPath, LeapMultiplierChainsAgree) {
+  // A(n) = A^n for the three default leap exponents, squared-chain style:
+  // powModPow2 internally uses operator*, so recompute the same powers by
+  // repeated portable squaring and compare.
+  const UInt128 Multiplier = Lcg128::defaultMultiplier();
+  for (unsigned Exponent : {43u, 98u, 115u}) {
+    UInt128 Fast = Multiplier;
+    UInt128 Reference = Multiplier;
+    for (unsigned Square = 0; Square < Exponent; ++Square) {
+      Fast = Fast * Fast;
+      Reference = mul128Portable(Reference, Reference);
+      ASSERT_EQ(Fast.high(), Reference.high())
+          << "2^" << Exponent << " chain diverged at squaring " << Square;
+      ASSERT_EQ(Fast.low(), Reference.low());
+    }
+    const UInt128 ViaPow =
+        UInt128::powModPow2(Multiplier, UInt128(uint64_t(1) << 20), 128);
+    (void)ViaPow; // powModPow2 itself is covered by UInt128Test
+  }
+}
+
+TEST(UInt128FastPath, ReportsConfiguredPath) {
+#if defined(PARMONC_FORCE_PORTABLE_INT128) || !defined(__SIZEOF_INT128__)
+  EXPECT_FALSE(UInt128::hasNativeMultiply());
+#else
+  EXPECT_TRUE(UInt128::hasNativeMultiply());
+#endif
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,177 @@
+//===- tests/rng/Lcg128BatchTest.cpp - Batch kernel bit-equality ----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The batched generation contract: fillBatch / fillBatchBits64 /
+// fillUniforms / fillBlockLeap must be *bit-equal* to the scalar
+// recurrence — same outputs, same final state — for every count,
+// including the tails the four-lane kernel handles scalar-style.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/rng/StreamHierarchy.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parmonc {
+namespace {
+
+/// Counts around every kernel boundary: empty, sub-quad tails, exact
+/// quads, quad+tail, and a large batch.
+const size_t Counts[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 31, 64, 1023, 1024};
+
+TEST(Lcg128Batch, FillBatchMatchesScalarSequence) {
+  for (size_t Count : Counts) {
+    Lcg128 Scalar, Batched;
+    std::vector<double> Expected(Count), Actual(Count);
+    for (size_t Index = 0; Index < Count; ++Index)
+      Expected[Index] = Scalar.nextUniform();
+    Batched.fillBatch(Actual.data(), Count);
+    for (size_t Index = 0; Index < Count; ++Index)
+      ASSERT_EQ(Expected[Index], Actual[Index])
+          << "count " << Count << ", draw " << Index;
+    EXPECT_EQ(Scalar.state().high(), Batched.state().high())
+        << "final state mismatch at count " << Count;
+    EXPECT_EQ(Scalar.state().low(), Batched.state().low());
+  }
+}
+
+TEST(Lcg128Batch, FillBatchBits64MatchesScalarSequence) {
+  for (size_t Count : Counts) {
+    Lcg128 Scalar, Batched;
+    std::vector<uint64_t> Expected(Count), Actual(Count);
+    for (size_t Index = 0; Index < Count; ++Index)
+      Expected[Index] = Scalar.nextBits64();
+    Batched.fillBatchBits64(Actual.data(), Count);
+    for (size_t Index = 0; Index < Count; ++Index)
+      ASSERT_EQ(Expected[Index], Actual[Index])
+          << "count " << Count << ", draw " << Index;
+    EXPECT_EQ(Scalar.state().high(), Batched.state().high());
+    EXPECT_EQ(Scalar.state().low(), Batched.state().low());
+  }
+}
+
+TEST(Lcg128Batch, FillBatchChunksComposeLikeOneStream) {
+  // Draining one generator in odd-sized chunks must be the same stream as
+  // one big batch: the state handoff between calls is part of the
+  // contract.
+  Lcg128 Whole, Chunked;
+  std::vector<double> Expected(1000), Actual(1000);
+  Whole.fillBatch(Expected.data(), Expected.size());
+  size_t Offset = 0;
+  for (size_t Chunk : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u, 144u,
+                       233u, 377u, 15u}) {
+    Chunked.fillBatch(Actual.data() + Offset, Chunk);
+    Offset += Chunk;
+  }
+  ASSERT_EQ(Offset, Actual.size());
+  EXPECT_EQ(Expected, Actual);
+  EXPECT_EQ(Whole.state().high(), Chunked.state().high());
+  EXPECT_EQ(Whole.state().low(), Chunked.state().low());
+}
+
+TEST(Lcg128Batch, FillUniformsOverrideUsesBatchKernel) {
+  // Through the RandomSource interface (what realization routines see),
+  // bulk generation must still be the scalar sequence.
+  Lcg128 Scalar, Bulk;
+  RandomSource &Source = Bulk;
+  std::vector<double> Expected(257), Actual(257);
+  for (double &Value : Expected)
+    Value = Scalar.nextUniform();
+  Source.fillUniforms(Actual.data(), Actual.size());
+  EXPECT_EQ(Expected, Actual);
+}
+
+TEST(Lcg128Batch, DefaultFillUniformsLoopsScalar) {
+  // A RandomSource that does NOT override fillUniforms gets the scalar
+  // loop — same sequence, no surprises for exotic sources.
+  class Counting final : public RandomSource {
+  public:
+    double nextUniform() override { return double(++Calls); }
+    uint64_t nextBits64() override { return ++Calls; }
+    const char *name() const override { return "counting"; }
+    uint64_t Calls = 0;
+  };
+  Counting Source;
+  double Out[5];
+  static_cast<RandomSource &>(Source).fillUniforms(Out, 5);
+  for (int Index = 0; Index < 5; ++Index)
+    EXPECT_EQ(Out[Index], double(Index + 1));
+}
+
+TEST(Lcg128Batch, FillBlockLeapMatchesRealizationCursor) {
+  // Block b of fillBlockLeap must equal the first DrawsPerBlock draws of
+  // realization subsequence b as the engine's cursor would produce them,
+  // and the final state must be the start of block BlockCount.
+  const StreamHierarchy Hierarchy{LeapTable()};
+  const size_t BlockCount = 5, DrawsPerBlock = 17;
+
+  RealizationCursor Cursor(Hierarchy, StreamCoordinates{0, 0, 0});
+  std::vector<double> Expected;
+  for (size_t Block = 0; Block < BlockCount; ++Block) {
+    Lcg128 Stream = Cursor.beginRealization();
+    for (size_t Draw = 0; Draw < DrawsPerBlock; ++Draw)
+      Expected.push_back(Stream.nextUniform());
+  }
+
+  Lcg128 Leaper = Hierarchy.makeStream(StreamCoordinates{0, 0, 0});
+  std::vector<double> Actual(BlockCount * DrawsPerBlock);
+  Leaper.fillBlockLeap(Actual.data(), BlockCount, DrawsPerBlock,
+                       Hierarchy.leapTable().realizationLeap());
+  EXPECT_EQ(Expected, Actual);
+
+  const Lcg128 NextBlockStart =
+      Hierarchy.makeStream(StreamCoordinates{0, 0, BlockCount});
+  EXPECT_EQ(NextBlockStart.state().high(), Leaper.state().high());
+  EXPECT_EQ(NextBlockStart.state().low(), Leaper.state().low());
+}
+
+TEST(Lcg128Batch, StridedCursorPartitionCoversSerialAssignment) {
+  // N stride-N cursors starting at offsets 0..N-1 must jointly visit the
+  // serial cursor's realization starts exactly once each — the invariant
+  // the threaded engine's stream assignment rests on.
+  const StreamHierarchy Hierarchy{LeapTable()};
+  const uint64_t Threads = 4, PerThread = 8;
+
+  RealizationCursor Serial(Hierarchy, StreamCoordinates{0, 3, 0});
+  std::vector<UInt128> SerialStarts;
+  for (uint64_t Index = 0; Index < Threads * PerThread; ++Index)
+    SerialStarts.push_back(Serial.beginRealization().state());
+
+  for (uint64_t Thread = 0; Thread < Threads; ++Thread) {
+    RealizationCursor Strided(Hierarchy, StreamCoordinates{0, 3, Thread},
+                              Threads);
+    EXPECT_EQ(Strided.stride(), Threads);
+    for (uint64_t Step = 0; Step < PerThread; ++Step) {
+      EXPECT_EQ(Strided.nextRealizationIndex(), Thread + Step * Threads);
+      const UInt128 Start = Strided.beginRealization().state();
+      const UInt128 Expected = SerialStarts[Thread + Step * Threads];
+      ASSERT_EQ(Expected.high(), Start.high())
+          << "thread " << Thread << ", step " << Step;
+      ASSERT_EQ(Expected.low(), Start.low());
+    }
+  }
+}
+
+TEST(Lcg128Batch, StridedCursorSkipMatchesStepping) {
+  const StreamHierarchy Hierarchy{LeapTable()};
+  RealizationCursor Stepped(Hierarchy, StreamCoordinates{0, 1, 2}, 3);
+  RealizationCursor Skipped(Hierarchy, StreamCoordinates{0, 1, 2}, 3);
+  for (int Step = 0; Step < 7; ++Step)
+    (void)Stepped.beginRealization();
+  Skipped.skipRealizations(7);
+  EXPECT_EQ(Stepped.nextRealizationIndex(), Skipped.nextRealizationIndex());
+  const UInt128 A = Stepped.beginRealization().state();
+  const UInt128 B = Skipped.beginRealization().state();
+  EXPECT_EQ(A.high(), B.high());
+  EXPECT_EQ(A.low(), B.low());
+}
+
+} // namespace
+} // namespace parmonc

@@ -1,0 +1,408 @@
+//===- tools/mcbench.cpp - Performance benchmark harness ------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage:
+//
+//   $ mcbench [--smoke] [--out DIR] [--rng-only] [--runner-only]
+//
+// Measures the performance layer end to end and records the numbers as
+// machine-readable JSON:
+//
+//   DIR/BENCH_rng.json     ns per 128-bit multiply (native vs portable),
+//                          ns per draw for scalar nextUniform(), the
+//                          four-lane fillBatch() kernel, fillBatchBits64()
+//                          and the block-leap kernel, plus the derived
+//                          speedup ratios.
+//   DIR/BENCH_runner.json  realizations/sec of the run engine at 1, 2 and
+//                          4 worker threads per rank, with speedup and
+//                          parallel efficiency relative to the serial
+//                          engine, for a latency-bound and a CPU-bound
+//                          workload.
+//
+// --smoke shrinks every size so the whole harness finishes in well under a
+// second — that is what the bench-smoke CI job and the ctest smoke test
+// run. Interpretation guidance lives in docs/PERFORMANCE.md.
+//
+// The engine runs write their parmonc_data/ tree under DIR/mcbench_work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/Runner.h"
+#include "parmonc/int128/UInt128.h"
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/rng/StreamHierarchy.h"
+#include "parmonc/support/Clock.h"
+#include "parmonc/support/Text.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace parmonc;
+
+namespace {
+
+/// All timing goes through the library's own clock abstraction.
+WallClock Timer;
+
+/// Folded into every benchmark result so the optimizer cannot delete the
+/// measured loops; reported in the JSON for reproducibility spot-checks.
+uint64_t Checksum = 0;
+
+struct Options {
+  bool Smoke = false;
+  bool RngOnly = false;
+  bool RunnerOnly = false;
+  std::string OutDir = ".";
+};
+
+double nsPerOp(int64_t Nanos, uint64_t Ops) {
+  return Ops > 0 ? double(Nanos) / double(Ops) : 0.0;
+}
+
+std::string formatDouble(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof Buffer, "%.4f", Value);
+  return Buffer;
+}
+
+// --- RNG suite -------------------------------------------------------------
+
+struct RngNumbers {
+  double FastMulNs = 0.0;
+  double PortableMulNs = 0.0;
+  double ScalarNs = 0.0;
+  double BatchNs = 0.0;
+  double BatchBitsNs = 0.0;
+  double BlockLeapNs = 0.0;
+  uint64_t Draws = 0;
+};
+
+RngNumbers runRngSuite(uint64_t Draws) {
+  RngNumbers Numbers;
+  Numbers.Draws = Draws;
+  const UInt128 Multiplier = Lcg128::defaultMultiplier();
+
+  // The generator recurrence is one dependent 128-bit multiply per draw, so
+  // "ns per multiply on a serial dependency chain" IS the generator's
+  // scalar speed limit. The same chain through the portable reference
+  // (mul128Portable) gives the honest cross-platform baseline — on this
+  // build the fast path is what operator* itself compiles to.
+  {
+    UInt128 State(1);
+    const int64_t Start = Timer.nowNanos();
+    for (uint64_t Step = 0; Step < Draws; ++Step)
+      State = State * Multiplier;
+    Numbers.FastMulNs = nsPerOp(Timer.nowNanos() - Start, Draws);
+    Checksum ^= State.high() ^ State.low();
+  }
+  {
+    UInt128 State(1);
+    const int64_t Start = Timer.nowNanos();
+    for (uint64_t Step = 0; Step < Draws; ++Step)
+      State = mul128Portable(State, Multiplier);
+    Numbers.PortableMulNs = nsPerOp(Timer.nowNanos() - Start, Draws);
+    Checksum ^= State.high() ^ State.low();
+  }
+
+  // Scalar virtual-call-free draw loop: what a realization routine pays
+  // when it calls nextUniform() directly on a concrete Lcg128.
+  {
+    Lcg128 Generator;
+    double Sink = 0.0;
+    const int64_t Start = Timer.nowNanos();
+    for (uint64_t Step = 0; Step < Draws; ++Step)
+      Sink += Generator.nextUniform();
+    Numbers.ScalarNs = nsPerOp(Timer.nowNanos() - Start, Draws);
+    Checksum ^= uint64_t(Sink) ^ Generator.state().high();
+  }
+
+  // Four-lane batch kernel, 4096 draws per refill.
+  {
+    Lcg128 Generator;
+    std::vector<double> Buffer(4096);
+    double Sink = 0.0;
+    const uint64_t Calls = Draws / Buffer.size();
+    const int64_t Start = Timer.nowNanos();
+    for (uint64_t Call = 0; Call < Calls; ++Call) {
+      Generator.fillBatch(Buffer.data(), Buffer.size());
+      Sink += Buffer.front() + Buffer.back();
+    }
+    Numbers.BatchNs =
+        nsPerOp(Timer.nowNanos() - Start, Calls * Buffer.size());
+    Checksum ^= uint64_t(Sink * 4096.0) ^ Generator.state().high();
+  }
+  {
+    Lcg128 Generator;
+    std::vector<uint64_t> Buffer(4096);
+    uint64_t Sink = 0;
+    const uint64_t Calls = Draws / Buffer.size();
+    const int64_t Start = Timer.nowNanos();
+    for (uint64_t Call = 0; Call < Calls; ++Call) {
+      Generator.fillBatchBits64(Buffer.data(), Buffer.size());
+      Sink ^= Buffer.front() ^ Buffer.back();
+    }
+    Numbers.BatchBitsNs =
+        nsPerOp(Timer.nowNanos() - Start, Calls * Buffer.size());
+    Checksum ^= Sink;
+  }
+
+  // Block-leap kernel: 64 realization-subsequence prefixes of 256 draws
+  // per call, block starts advanced by the §2.4 auxiliary generator.
+  {
+    const UInt128 Leap = LeapTable().realizationLeap();
+    Lcg128 Generator;
+    const size_t BlockCount = 64, DrawsPerBlock = 256;
+    std::vector<double> Buffer(BlockCount * DrawsPerBlock);
+    double Sink = 0.0;
+    const uint64_t Calls = Draws / Buffer.size();
+    const int64_t Start = Timer.nowNanos();
+    for (uint64_t Call = 0; Call < Calls; ++Call) {
+      Generator.fillBlockLeap(Buffer.data(), BlockCount, DrawsPerBlock, Leap);
+      Sink += Buffer.front() + Buffer.back();
+    }
+    Numbers.BlockLeapNs =
+        nsPerOp(Timer.nowNanos() - Start, Calls * Buffer.size());
+    Checksum ^= uint64_t(Sink * 4096.0) ^ Generator.state().high();
+  }
+  return Numbers;
+}
+
+std::string rngJson(const RngNumbers &Numbers, bool Smoke) {
+  std::string Json = "{\n";
+  Json += "  \"suite\": \"rng\",\n";
+  Json += std::string("  \"smoke\": ") + (Smoke ? "true" : "false") + ",\n";
+  Json += std::string("  \"native_int128\": ") +
+          (UInt128::hasNativeMultiply() ? "true" : "false") + ",\n";
+  Json += "  \"draws\": " + std::to_string(Numbers.Draws) + ",\n";
+  Json += "  \"results\": {\n";
+  Json += "    \"mul128_fast_ns_per_op\": " +
+          formatDouble(Numbers.FastMulNs) + ",\n";
+  Json += "    \"mul128_portable_ns_per_op\": " +
+          formatDouble(Numbers.PortableMulNs) + ",\n";
+  Json += "    \"next_uniform_ns_per_draw\": " +
+          formatDouble(Numbers.ScalarNs) + ",\n";
+  Json += "    \"fill_batch_ns_per_draw\": " +
+          formatDouble(Numbers.BatchNs) + ",\n";
+  Json += "    \"fill_batch_bits64_ns_per_draw\": " +
+          formatDouble(Numbers.BatchBitsNs) + ",\n";
+  Json += "    \"fill_block_leap_ns_per_draw\": " +
+          formatDouble(Numbers.BlockLeapNs) + "\n";
+  Json += "  },\n";
+  Json += "  \"speedups\": {\n";
+  Json += "    \"fast_vs_portable_multiply\": " +
+          formatDouble(Numbers.FastMulNs > 0.0
+                           ? Numbers.PortableMulNs / Numbers.FastMulNs
+                           : 0.0) +
+          ",\n";
+  Json += "    \"batch_vs_scalar_uniform\": " +
+          formatDouble(Numbers.BatchNs > 0.0
+                           ? Numbers.ScalarNs / Numbers.BatchNs
+                           : 0.0) +
+          "\n";
+  Json += "  },\n";
+  char Hex[32];
+  std::snprintf(Hex, sizeof Hex, "0x%016" PRIx64, Checksum);
+  Json += std::string("  \"checksum\": \"") + Hex + "\"\n";
+  Json += "}\n";
+  return Json;
+}
+
+// --- Runner suite ----------------------------------------------------------
+
+struct SeriesPoint {
+  int Threads = 1;
+  double Seconds = 0.0;
+  double RealizationsPerSec = 0.0;
+  double Mean = 0.0;
+  int64_t Volume = 0;
+};
+
+/// One engine run at \p Threads worker threads on one simulated processor.
+SeriesPoint runEngineOnce(const RealizationFn &Realization,
+                          int64_t Realizations, int Threads,
+                          const std::string &WorkDir) {
+  RunConfig Config;
+  Config.Rows = 1;
+  Config.Columns = 1;
+  Config.MaxSampleVolume = Realizations;
+  Config.ProcessorCount = 1;
+  Config.WorkerThreadsPerRank = Threads;
+  Config.DeterministicSchedule = true;
+  Config.PassPeriodNanos = 50'000'000;
+  Config.AveragePeriodNanos = 200'000'000;
+  Config.WorkDir = WorkDir;
+
+  Result<RunReport> Outcome = runSimulation(Realization, Config);
+  if (!Outcome) {
+    std::fprintf(stderr, "mcbench: engine run failed: %s\n",
+                 Outcome.status().toString().c_str());
+    std::exit(1);
+  }
+  SeriesPoint Point;
+  Point.Threads = Threads;
+  Point.Seconds = Outcome.value().ElapsedSeconds;
+  Point.Volume = Outcome.value().NewSampleVolume;
+  Point.RealizationsPerSec =
+      Point.Seconds > 0.0 ? double(Point.Volume) / Point.Seconds : 0.0;
+  ResultsStore Store(WorkDir);
+  if (Result<std::vector<double>> Means = Store.readMeans(1, 1))
+    Point.Mean = Means.value()[0];
+  return Point;
+}
+
+std::string seriesJson(const std::vector<SeriesPoint> &Series) {
+  const double SerialSeconds = Series.empty() ? 0.0 : Series.front().Seconds;
+  std::string Json = "[\n";
+  for (size_t Index = 0; Index < Series.size(); ++Index) {
+    const SeriesPoint &Point = Series[Index];
+    const double Speedup =
+        Point.Seconds > 0.0 ? SerialSeconds / Point.Seconds : 0.0;
+    Json += "      {\"threads\": " + std::to_string(Point.Threads) +
+            ", \"seconds\": " + formatDouble(Point.Seconds) +
+            ", \"realizations_per_sec\": " +
+            formatDouble(Point.RealizationsPerSec) +
+            ", \"speedup\": " + formatDouble(Speedup) +
+            ", \"efficiency\": " +
+            formatDouble(Speedup / double(Point.Threads)) +
+            ", \"volume\": " + std::to_string(Point.Volume) +
+            ", \"mean\": " + formatDouble(Point.Mean) + "}";
+    Json += Index + 1 < Series.size() ? ",\n" : "\n";
+  }
+  Json += "    ]";
+  return Json;
+}
+
+std::string runRunnerSuite(bool Smoke, const std::string &OutDir) {
+  const std::string WorkDir = OutDir + "/mcbench_work";
+  if (Status Created = createDirectories(WorkDir); !Created) {
+    std::fprintf(stderr, "mcbench: cannot create %s: %s\n", WorkDir.c_str(),
+                 Created.toString().c_str());
+    std::exit(1);
+  }
+  const std::vector<int> ThreadCounts = {1, 2, 4};
+
+  // Latency-bound workload: each realization is dominated by waiting (the
+  // shape of simulations bound by I/O, device latency or a co-model), so
+  // threads overlap wall-clock even on a single core. The observable is an
+  // integer-valued indicator, which keeps the moment sums exactly summable
+  // — so the per-thread-count means must agree exactly.
+  const int64_t SleepNanos = Smoke ? 50'000 : 200'000;
+  const int64_t LatencyRealizations = Smoke ? 64 : 2000;
+  RealizationFn LatencyBound = [SleepNanos](RandomSource &Source,
+                                            double *Out) {
+    const double Draw = Source.nextUniform();
+    Timer.sleepNanos(SleepNanos);
+    Out[0] = Draw < 0.5 ? 1.0 : 0.0;
+  };
+  std::vector<SeriesPoint> Latency;
+  for (int Threads : ThreadCounts)
+    Latency.push_back(runEngineOnce(LatencyBound, LatencyRealizations,
+                                    Threads, WorkDir));
+
+  // CPU-bound workload: pure arithmetic through the batched RNG kernel.
+  // On a single-core host this series cannot scale (documented in
+  // docs/PERFORMANCE.md); on a multi-core host it shows the compute
+  // speedup directly.
+  const size_t DrawsPerRealization = Smoke ? 256 : 2048;
+  const int64_t CpuRealizations = Smoke ? 128 : 20000;
+  RealizationFn CpuBound = [DrawsPerRealization](RandomSource &Source,
+                                                 double *Out) {
+    std::vector<double> Buffer(DrawsPerRealization);
+    Source.fillUniforms(Buffer.data(), Buffer.size());
+    double Below = 0.0;
+    for (double Draw : Buffer)
+      Below += Draw < 0.5 ? 1.0 : 0.0;
+    Out[0] = Below;
+  };
+  std::vector<SeriesPoint> Cpu;
+  for (int Threads : ThreadCounts)
+    Cpu.push_back(runEngineOnce(CpuBound, CpuRealizations, Threads, WorkDir));
+
+  std::string Json = "{\n";
+  Json += "  \"suite\": \"runner\",\n";
+  Json += std::string("  \"smoke\": ") + (Smoke ? "true" : "false") + ",\n";
+  Json += "  \"host_cpus\": " +
+          std::to_string(sysconf(_SC_NPROCESSORS_ONLN)) + ",\n";
+  Json += "  \"latency_bound\": {\n";
+  Json += "    \"realizations\": " + std::to_string(LatencyRealizations) +
+          ",\n";
+  Json += "    \"sleep_us_per_realization\": " +
+          std::to_string(SleepNanos / 1000) + ",\n";
+  Json += "    \"series\": " + seriesJson(Latency) + "\n";
+  Json += "  },\n";
+  Json += "  \"cpu_bound\": {\n";
+  Json += "    \"realizations\": " + std::to_string(CpuRealizations) + ",\n";
+  Json += "    \"draws_per_realization\": " +
+          std::to_string(DrawsPerRealization) + ",\n";
+  Json += "    \"series\": " + seriesJson(Cpu) + "\n";
+  Json += "  }\n";
+  Json += "}\n";
+  return Json;
+}
+
+int usage(const char *Program) {
+  std::fprintf(stderr,
+               "usage: %s [--smoke] [--out DIR] [--rng-only] "
+               "[--runner-only]\n",
+               Program);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int Index = 1; Index < Argc; ++Index) {
+    if (std::strcmp(Argv[Index], "--smoke") == 0) {
+      Opts.Smoke = true;
+    } else if (std::strcmp(Argv[Index], "--rng-only") == 0) {
+      Opts.RngOnly = true;
+    } else if (std::strcmp(Argv[Index], "--runner-only") == 0) {
+      Opts.RunnerOnly = true;
+    } else if (std::strcmp(Argv[Index], "--out") == 0 && Index + 1 < Argc) {
+      Opts.OutDir = Argv[++Index];
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (Opts.RngOnly && Opts.RunnerOnly)
+    return usage(Argv[0]);
+  if (Status Created = createDirectories(Opts.OutDir); !Created) {
+    std::fprintf(stderr, "mcbench: cannot create %s: %s\n",
+                 Opts.OutDir.c_str(), Created.toString().c_str());
+    return 1;
+  }
+
+  if (!Opts.RunnerOnly) {
+    const uint64_t Draws = Opts.Smoke ? (uint64_t(1) << 16)
+                                      : (uint64_t(1) << 24);
+    const RngNumbers Numbers = runRngSuite(Draws);
+    const std::string Path = Opts.OutDir + "/BENCH_rng.json";
+    if (Status Written = writeFileAtomic(Path, rngJson(Numbers, Opts.Smoke));
+        !Written) {
+      std::fprintf(stderr, "mcbench: %s\n", Written.toString().c_str());
+      return 1;
+    }
+    std::printf("mcbench: wrote %s (fast multiply %.2f ns, portable %.2f "
+                "ns, batch %.2f ns/draw)\n",
+                Path.c_str(), Numbers.FastMulNs, Numbers.PortableMulNs,
+                Numbers.BatchNs);
+  }
+  if (!Opts.RngOnly) {
+    const std::string Json = runRunnerSuite(Opts.Smoke, Opts.OutDir);
+    const std::string Path = Opts.OutDir + "/BENCH_runner.json";
+    if (Status Written = writeFileAtomic(Path, Json); !Written) {
+      std::fprintf(stderr, "mcbench: %s\n", Written.toString().c_str());
+      return 1;
+    }
+    std::printf("mcbench: wrote %s\n", Path.c_str());
+  }
+  return 0;
+}
