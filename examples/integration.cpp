@@ -96,7 +96,7 @@ int main(int Argc, char **Argv) {
   // fresh small pilot (the saved files keep only first/second moments, not
   // the cross-moment, so the example re-derives beta from a pilot run —
   // in production one would put the adjusted value in its own column).
-  Lcg128 Pilot;
+  Lcg128 Pilot; // mclint: allow(R6): pilot-run demo outside the engine
   double SumValueControl = 0.0, SumControl = 0.0, SumControl2 = 0.0,
          SumValue = 0.0;
   const int PilotDraws = 20000;

@@ -5,11 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The driver behind the mclint tool: collects source files under the
-/// given roots, builds the cross-file LintContext, runs the requested
-/// rules and returns deterministic, sorted diagnostics. The library form
-/// exists so the lint test suite can run the analyzer in-process against
-/// fixture trees and assert exact findings.
+/// The driver behind the mclint tool. One run is a pipeline:
+///
+///   collect files -> lex / extract facts (cache-aware) -> build the
+///   project index and cross-file context -> per-file rules (cache-aware)
+///   -> project-wide rules (R9) -> central waiver filtering -> stale-waiver
+///   synthesis (R10) -> baseline filtering -> sorted diagnostics.
+///
+/// Waivers are applied here, centrally, rather than inside each rule: the
+/// analyzer is the only place that can know a waiver suppressed nothing
+/// at all, which is exactly what R10 reports.
+///
+/// The library form exists so the lint test suite can run the analyzer
+/// in-process against fixture trees and assert exact findings.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,23 +36,47 @@ namespace lint {
 /// What to lint and how strictly.
 struct AnalyzerOptions {
   /// Files and/or directories; directories are walked recursively for
-  /// .h/.hpp/.cpp/.cc/.cxx files. Build trees (build*/) and dot
-  /// directories are skipped.
+  /// .h/.hpp/.cpp/.cc/.cxx files. Build trees (build*/), dot directories
+  /// and lint fixture trees (fixtures/) are skipped — fixtures are full
+  /// of deliberate violations and are linted by naming them as a root.
   std::vector<std::string> Paths;
 
-  /// Rule ids to run ("R1".."R5"); empty means all rules.
+  /// Rule ids or names to run ("R1".."R10", "stream-discipline");
+  /// empty means all rules.
   std::vector<std::string> RuleIds;
+
+  /// Incremental cache file (`--cache=<file>`); empty disables caching.
+  std::string CachePath;
+
+  /// Baseline to subtract from the findings (`--baseline=<file>`).
+  std::string BaselinePath;
+
+  /// Compute autofixes (R4, R10) and attach them to the diagnostics.
+  /// Bypasses cached diagnostics (cached entries carry no fix data).
+  bool ComputeFixes = false;
 };
 
 /// Outcome of one analyzer run.
 struct LintReport {
   std::vector<Diagnostic> Diagnostics;
-  size_t FileCount = 0; ///< Source files scanned.
+  size_t FileCount = 0;    ///< Source files scanned.
+  size_t CacheHits = 0;    ///< Files whose diagnostics came from the cache.
+  size_t CacheMisses = 0;  ///< Files analyzed from scratch.
+  size_t BaselineSuppressed = 0; ///< Findings subtracted by the baseline.
+  /// The raw text of the line each diagnostic points at, for baseline
+  /// writing and SARIF fingerprints; parallel to Diagnostics.
+  std::vector<std::string> DiagnosticLineText;
 };
 
 /// Runs the analyzer. Fails (as a Status) only on environmental errors —
-/// unknown rule id, unreadable path; rule findings are data, not errors.
+/// unknown rule id, unreadable path, malformed baseline; rule findings
+/// are data, not errors.
 [[nodiscard]] Result<LintReport> runAnalyzer(const AnalyzerOptions &Options);
+
+/// Applies the FixIts attached to \p Diags to the files on disk, editing
+/// bottom-up per file so line numbers stay valid, writing atomically.
+/// Returns the number of files rewritten (or the first write error).
+[[nodiscard]] Result<size_t> applyFixes(const std::vector<Diagnostic> &Diags);
 
 } // namespace lint
 } // namespace parmonc

@@ -1,0 +1,66 @@
+//===- parmonc/lint/Baseline.h - Accepted-findings baseline ---------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baselines let a tree adopt a new rule without a flag-day cleanup:
+/// `mclint --write-baseline=f` records today's findings, and subsequent
+/// `mclint --baseline=f` runs report only findings NOT in the record — new
+/// debt fails CI, existing debt is burned down at leisure.
+///
+/// An entry identifies a finding by rule id, file path and the crc32 of
+/// the trimmed source line text — deliberately not the line number, so
+/// unrelated edits above a baselined finding do not resurrect it. Matching
+/// consumes entries multiset-style: two identical findings need two
+/// entries, so fixing one of two duplicated violations still surfaces the
+/// survivor... the baseline shrinks monotonically with the debt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_LINT_BASELINE_H
+#define PARMONC_LINT_BASELINE_H
+
+#include "parmonc/lint/Diagnostic.h"
+#include "parmonc/support/Status.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+
+/// One accepted finding.
+struct BaselineEntry {
+  std::string RuleId;
+  std::string Path;     ///< Normalized (forward-slash) file path.
+  uint32_t LineCrc = 0; ///< crc32 of the trimmed source line text.
+};
+
+/// Parses a baseline file. Lines are `<ruleId> <hex8> <path>`; blank lines
+/// and `#` comments are ignored. Malformed records are an error — a
+/// silently half-read baseline would un-suppress accepted findings.
+[[nodiscard]] Result<std::vector<BaselineEntry>>
+loadBaseline(const std::string &Path);
+
+/// Serializes \p Diags as a baseline. \p LineTextOf must return the raw
+/// source line a diagnostic points at (for the content hash).
+std::string
+formatBaseline(const std::vector<Diagnostic> &Diags,
+               const std::function<std::string_view(const Diagnostic &)>
+                   &LineTextOf);
+
+/// Removes from \p Diags every finding matched (and consumed) by an entry.
+/// Returns the number of suppressed findings.
+size_t applyBaseline(std::vector<BaselineEntry> Entries,
+                     const std::function<std::string_view(const Diagnostic &)>
+                         &LineTextOf,
+                     std::vector<Diagnostic> &Diags);
+
+} // namespace lint
+} // namespace parmonc
+
+#endif // PARMONC_LINT_BASELINE_H

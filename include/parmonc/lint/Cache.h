@@ -1,0 +1,86 @@
+//===- parmonc/lint/Cache.h - Incremental analysis cache ------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk incremental cache behind `mclint --cache=<dir>`. One text
+/// file keyed by content hashes:
+///
+///   - per file, the serialized FileFacts under the file's content crc32,
+///     so unchanged files are never re-lexed when rebuilding the project
+///     index, and
+///   - per file, the raw per-file diagnostics (rules R1..R8, before waiver
+///     and baseline filtering) under the pair (content crc32, context
+///     crc32) — the context hash fingerprints the cross-file LintContext
+///     plus the active rule set, so a new [[nodiscard]] function or a new
+///     taint source anywhere in the project invalidates every cached
+///     diagnostic list, not just the file that changed.
+///
+/// Project-wide rules (R9) and the synthesized R10 are recomputed on every
+/// run from the (cached) facts; they are cheap once lexing is skipped.
+///
+/// The format is versioned and parsing is strict: any malformed or
+/// version-mismatched cache is silently discarded and rebuilt — a cache
+/// can only ever cost a cold run, never a wrong answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_LINT_CACHE_H
+#define PARMONC_LINT_CACHE_H
+
+#include "parmonc/lint/Diagnostic.h"
+#include "parmonc/support/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+
+/// Cached state for one source file.
+struct CacheEntry {
+  uint32_t ContentCrc = 0;
+  /// Serialized FileFacts (see serializeFileFacts), valid for ContentCrc.
+  std::string FactsBlock;
+  /// True when Diags below were stored (a facts-only entry is possible
+  /// when the diagnostic pass ran with --fix, which bypasses diag reuse).
+  bool HasDiags = false;
+  /// Context fingerprint the diagnostics were computed under.
+  uint32_t ContextCrc = 0;
+  /// Raw per-file diagnostics, pre-waiver and pre-baseline.
+  std::vector<Diagnostic> Diags;
+};
+
+/// The cache: path-addressed entries plus load/store.
+class LintCache {
+public:
+  /// Loads \p Path. A missing file yields an empty cache; a malformed or
+  /// version-mismatched file is discarded (never an error).
+  void load(const std::string &Path, std::string_view ExpectedConfig);
+
+  /// Writes the cache atomically.
+  [[nodiscard]] Status save(const std::string &Path,
+                            std::string_view Config) const;
+
+  const CacheEntry *lookup(std::string_view FilePath) const;
+  void update(std::string FilePath, CacheEntry Entry);
+
+  size_t size() const { return Entries.size(); }
+
+private:
+  std::map<std::string, CacheEntry, std::less<>> Entries;
+};
+
+/// The cache-format + configuration stamp: engine version and the active
+/// rule ids. Two runs with different configs never share cache state.
+std::string cacheConfigStamp(const std::vector<std::string> &ActiveRuleIds);
+
+} // namespace lint
+} // namespace parmonc
+
+#endif // PARMONC_LINT_CACHE_H

@@ -24,13 +24,23 @@
 namespace parmonc {
 namespace lint {
 
+/// A mechanically safe, line-granular repair attached to a diagnostic.
+/// Applied by `mclint --fix`: either the whole line is replaced by NewText
+/// or deleted outright.
+struct FixIt {
+  unsigned Line = 0;      ///< 1-based line to edit.
+  bool RemoveLine = false; ///< Delete the line instead of replacing it.
+  std::string NewText;    ///< Replacement text (without trailing newline).
+};
+
 /// One rule violation at a specific source location.
 struct Diagnostic {
   std::string Path;   ///< File path as given to the analyzer.
   unsigned Line = 0;  ///< 1-based line number.
-  std::string RuleId; ///< "R1".."R5".
+  std::string RuleId; ///< "R1".."R10".
   std::string RuleName; ///< e.g. "discarded-status".
   std::string Message;  ///< Human-readable explanation.
+  std::vector<FixIt> Fixes; ///< Optional autofix (R4, R10).
 };
 
 /// Renders one diagnostic. \p AsError selects "error:" over "warning:"

@@ -1,0 +1,84 @@
+//===- parmonc/lint/Lexer.h - C++-aware tokenizer for mclint --------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lexical front end of the mclint pipeline. Replaces the old
+/// scrub-to-spaces pass with a real tokenizer: the file is split into
+/// identifiers, numbers, string/character literals (including raw strings
+/// and encoding prefixes), comments and punctuation, with line splices
+/// (backslash-newline, C++ phase 2) removed before lexing so a spliced
+/// line comment is one Comment token spanning several physical lines and a
+/// spliced identifier is one Identifier token.
+///
+/// Every token records both its physical byte range in the original file
+/// (for column-preserving scrubbing) and its logical spelling with splices
+/// removed (for directive scanning). Rules and the project index consume
+/// tokens; nothing downstream re-parses raw text for lexical structure.
+///
+/// Deliberate simplifications (this is a project linter, not a compiler):
+/// splices are removed inside raw string bodies too (the standard reverts
+/// them; a raw-string delimiter split across a splice would mis-lex), and
+/// preprocessor lines are lexed as ordinary token soup — include/guard
+/// rules read the raw lines, which the lexer leaves untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_LINT_LEXER_H
+#define PARMONC_LINT_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+
+/// Lexical class of one token.
+enum class TokenKind : uint8_t {
+  Identifier,  ///< Identifiers and keywords (the lexer does not separate them).
+  Number,      ///< pp-number: integer/float literals incl. separators/suffixes.
+  String,      ///< Ordinary string literal, with any encoding prefix.
+  CharLiteral, ///< Character literal, with any encoding prefix.
+  RawString,   ///< Raw string literal R"delim(...)delim", with any prefix.
+  Comment,     ///< Line or block comment, markers included.
+  Punct,       ///< Any other non-whitespace character (operators, #, braces).
+};
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Punct;
+  /// Physical byte range [Begin, End) in the original file contents,
+  /// including any line splices the spelling spans.
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  /// 0-based physical lines of the first and last byte.
+  uint32_t Line = 0;
+  uint32_t EndLine = 0;
+  /// Logical spelling: the token's text with line splices removed. For
+  /// comments this includes the // or /* */ markers.
+  std::string Text;
+};
+
+/// Result of lexing one file.
+struct LexedFile {
+  std::vector<Token> Tokens;
+  /// Byte offset of the first character of each physical line.
+  std::vector<uint32_t> LineStarts;
+};
+
+/// Lexes \p Contents. Never fails: unterminated literals and comments are
+/// closed at end of file, and any byte the grammar does not recognize
+/// becomes a one-byte Punct token.
+LexedFile lexFile(std::string_view Contents);
+
+/// True for identifier characters [A-Za-z0-9_].
+bool isIdentifierChar(char C);
+
+} // namespace lint
+} // namespace parmonc
+
+#endif // PARMONC_LINT_LEXER_H

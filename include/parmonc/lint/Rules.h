@@ -7,23 +7,36 @@
 /// \file
 /// The machine-checkable invariants mclint enforces. Each rule guards one
 /// way a Monte Carlo run can go silently wrong (see DESIGN.md, "Enforced
-/// invariants"):
+/// invariants", and docs/LINT_RULES.md for rationale and examples):
 ///
-///   R1 discarded-status    — no fallible call may drop its Status/Result;
-///                            a swallowed save-point failure corrupts the
-///                            eq. (5) merged results undetectably.
-///   R2 nondeterminism      — no wall-clock/entropy sources outside the
-///                            support/Clock.h seam; reproducibility of the
-///                            §2.4 stream hierarchy depends on it.
-///   R3 raw-concurrency     — thread/mutex/atomic primitives only inside
-///                            mpsim/ and obs/ (and the Clock seam), so all
-///                            cross-rank communication flows through the
-///                            idempotent collector protocol.
-///   R4 include-hygiene     — canonical PARMONC_* header guards, quoted
-///                            includes only for project headers, no
-///                            <bits/...>, no using-namespace in headers.
-///   R5 narrowing-estimator — no float in stats/ and core/: the eq. (5)
-///                            moment sums must stay double end to end.
+///   R1  discarded-status     — no fallible call may drop its Status/Result;
+///                              a swallowed save-point failure corrupts the
+///                              eq. (5) merged results undetectably.
+///   R2  nondeterminism       — no wall-clock/entropy sources outside the
+///                              support/Clock.h seam; reproducibility of the
+///                              §2.4 stream hierarchy depends on it.
+///   R3  raw-concurrency      — thread/mutex/atomic primitives only inside
+///                              mpsim/, obs/ and core/ (where R8 applies the
+///                              stricter mailbox-discipline check instead).
+///   R4  include-hygiene      — canonical PARMONC_* header guards, quoted
+///                              includes only for project headers, no
+///                              <bits/...>, no using-namespace in headers.
+///   R5  narrowing-estimator  — no float in stats/ and core/: the eq. (5)
+///                              moment sums must stay double end to end.
+///   R6  stream-discipline    — no Lcg128/LcgPow2 seeding or raw-recurrence
+///                              stepping outside rng/; realization code must
+///                              obtain randomness from the cursor so the
+///                              eq. (8) leap partition is never bypassed.
+///   R7  unchecked-snapshot   — a sealed-checkpoint load must reach the
+///                              readSnapshotWithFallback/".prev" path.
+///   R8  mailbox-discipline   — core/ must not use raw std:: synchronization
+///                              directly nor call functions that do; all
+///                              cross-thread state flows through
+///                              mpsim::Mailbox / WorkerGroup.
+///   R9  include-layering     — no include cycles, no upward layer includes
+///                              (e.g. rng/ including core/).
+///   R10 stale-waiver         — a waiver whose rule no longer fires on its
+///                              lines is itself a diagnostic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +44,7 @@
 #define PARMONC_LINT_RULES_H
 
 #include "parmonc/lint/Diagnostic.h"
+#include "parmonc/lint/Index.h"
 #include "parmonc/lint/SourceFile.h"
 
 #include <memory>
@@ -42,21 +56,16 @@
 namespace parmonc {
 namespace lint {
 
-/// Cross-file facts rules may consult. Built by the analyzer in a pre-pass
-/// over every scanned file, before any rule runs.
-struct LintContext {
-  /// Names of functions whose return value must not be discarded: the
-  /// project's known fallible APIs plus every function declared
-  /// [[nodiscard]] in the scanned files.
-  std::set<std::string, std::less<>> NodiscardFunctions;
-};
-
 /// One enforced invariant.
+///
+/// Rules emit every violation they find; the analyzer applies waivers
+/// centrally (so it can also audit unused waivers for R10) and filters the
+/// diagnostics afterwards.
 class Rule {
 public:
   virtual ~Rule() = default;
 
-  /// Stable identifier, "R1".."R5".
+  /// Stable identifier, "R1".."R10".
   virtual std::string_view id() const = 0;
 
   /// Short kebab-case name, e.g. "discarded-status".
@@ -65,10 +74,37 @@ public:
   /// One-line description for `mclint --list-rules`.
   virtual std::string_view summary() const = 0;
 
+  /// A paragraph explaining why the rule exists (`mclint --explain R6`).
+  virtual std::string_view rationale() const = 0;
+
+  /// A short violating/compliant example pair (`mclint --explain R6`).
+  virtual std::string_view example() const = 0;
+
   /// Appends a diagnostic to \p Out for every violation in \p File.
-  /// Implementations must honour File.isWaived(line, id()).
   virtual void check(const SourceFile &File, const LintContext &Context,
-                     std::vector<Diagnostic> &Out) const = 0;
+                     std::vector<Diagnostic> &Out) const {
+    (void)File;
+    (void)Context;
+    (void)Out;
+  }
+
+  /// Project-wide pass over the index, for rules whose evidence spans
+  /// files (R9). Runs once per analysis, after every per-file check.
+  virtual void checkProject(const ProjectIndex &Index,
+                            const LintContext &Context,
+                            std::vector<Diagnostic> &Out) const {
+    (void)Index;
+    (void)Context;
+    (void)Out;
+  }
+
+  /// True when every diagnostic this rule emits depends only on the file
+  /// it names plus the LintContext (whose fingerprint is part of the
+  /// incremental cache key); such diagnostics are safe to reuse from the
+  /// cache when both the content hash and the context hash match. False
+  /// for rules that walk the whole project index (R9) or are synthesized
+  /// by the analyzer (R10).
+  virtual bool isPerFile() const { return true; }
 };
 
 /// All rules, in id order.
@@ -81,6 +117,17 @@ std::set<std::string, std::less<>> builtinFallibleFunctions();
 /// Adds every function \p File declares [[nodiscard]] to \p Names.
 void harvestNodiscardFunctions(const SourceFile &File,
                                std::set<std::string, std::less<>> &Names);
+
+/// True when \p Text contains \p Token bounded by non-identifier chars.
+/// Returns the offset of the first such occurrence, or npos.
+size_t findWordToken(std::string_view Text, std::string_view Token);
+
+/// The std:: synchronization type names R3/R8 ban and the project index
+/// uses as its taint evidence.
+const std::vector<std::string_view> &rawConcurrencyTypeNeedles();
+
+/// The concurrency headers R3/R8 ban (`<thread>`, `<mutex>`, ...).
+const std::vector<std::string_view> &rawConcurrencyIncludeNeedles();
 
 } // namespace lint
 } // namespace parmonc

@@ -1,0 +1,54 @@
+//===- parmonc/lint/Sarif.h - SARIF 2.1.0 output --------------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an analyzer run as a SARIF 2.1.0 log (`mclint --format=sarif`),
+/// the interchange format GitHub code scanning and most editors ingest.
+/// One run, one tool.driver carrying all rule metadata (id, name, summary,
+/// helpUri into docs/LINT_RULES.md), one result per diagnostic with a
+/// partialFingerprints entry (rule id + crc32 of the flagged line) so
+/// alert identity survives line-number churn.
+///
+/// The emitter is deliberately tiny: mclint produces a known-shape
+/// document, so a full JSON library would be dead weight. Strings are
+/// escaped per RFC 8259.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_LINT_SARIF_H
+#define PARMONC_LINT_SARIF_H
+
+#include "parmonc/lint/Diagnostic.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+
+class Rule;
+
+/// Escapes \p Text for embedding in a JSON string literal (quotes not
+/// included).
+std::string jsonEscape(std::string_view Text);
+
+/// Renders a complete SARIF 2.1.0 document. \p Rules supplies the
+/// tool.driver.rules metadata (typically makeAllRules()); \p LineTextOf
+/// returns the raw source line a diagnostic points at, for the stable
+/// fingerprint. \p AsError maps findings to SARIF level "error" rather
+/// than "warning" (mclint --werror).
+std::string
+formatSarif(const std::vector<Diagnostic> &Diags,
+            const std::vector<const Rule *> &Rules, bool AsError,
+            const std::function<std::string_view(const Diagnostic &)>
+                &LineTextOf);
+
+} // namespace lint
+} // namespace parmonc
+
+#endif // PARMONC_LINT_SARIF_H

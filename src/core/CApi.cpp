@@ -11,7 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <thread> // mclint: allow(R3): hardware_concurrency query only
+#include <thread> // mclint: allow(R8): hardware_concurrency query only
 
 namespace parmonc {
 
@@ -25,6 +25,8 @@ thread_local RandomSource *ThreadStream = nullptr;
 /// sequence, one instance per thread so standalone sequential programs
 /// behave like the paper's sequential example.
 Lcg128 &fallbackStream() {
+  // mclint: allow(R6): the documented sequential-mode escape hatch —
+  // one private stream per thread, never overlapping an engine run.
   thread_local Lcg128 Fallback;
   return Fallback;
 }
@@ -75,7 +77,7 @@ int parmoncc(parmonc_realization_fn realization, const int *nrow,
   // perpass/peraver are minutes in the paper's interface.
   Config.PassPeriodNanos = int64_t(*perpass) * 60'000'000'000;
   Config.AveragePeriodNanos = int64_t(*peraver) * 60'000'000'000;
-  // mclint: allow(R3): read-only core-count query, no threads are created
+  // mclint: allow(R8): read-only core-count query, no threads are created
   const unsigned HardwareThreads = std::thread::hardware_concurrency();
   Config.ProcessorCount = readEnvironmentInt(
       "PARMONC_NP", HardwareThreads > 0 ? int(HardwareThreads) : 1);

@@ -293,6 +293,8 @@ Status ResultsStore::writeSnapshot(const std::string &Path,
   std::string Contents = sealFileContents(Snapshot.toFileContents());
   if (Injector)
     if (std::optional<std::string> Damaged =
+            // mclint: allow(R8): fault-injection seam; the injector is
+            // plain data here, its raw-sync lives in the fault harness.
             Injector->corruptWrite(Path, Contents))
       Contents = std::move(*Damaged);
   // Rotate the intact previous generation aside before the replace, so a

@@ -23,7 +23,7 @@
 #include "parmonc/support/Contract.h"
 #include "parmonc/support/Text.h"
 
-// mclint: allow-file(R3): the engine's stop/claim flags are the one
+// mclint: allow-file(R8): the engine's stop/claim flags are the one
 // reviewed lock-free seam outside mpsim/ — workers and the collector share
 // them by reference inside a single runThreadEngine() invocation, and all
 // cross-rank *data* still flows through the communicator protocol.

@@ -1,0 +1,281 @@
+//===- lint/Lexer.cpp - C++-aware tokenizer for mclint --------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Lexer.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace parmonc {
+namespace lint {
+
+bool isIdentifierChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_';
+}
+
+namespace {
+
+bool isIdentifierStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+
+bool isDigit(char C) { return C >= '0' && C <= '9'; }
+
+/// Length of a line splice (backslash immediately followed by a newline)
+/// starting at \p I, or 0 if there is none.
+size_t spliceLengthAt(std::string_view S, size_t I) {
+  if (I >= S.size() || S[I] != '\\')
+    return 0;
+  if (I + 1 < S.size() && S[I + 1] == '\n')
+    return 2;
+  if (I + 2 < S.size() && S[I + 1] == '\r' && S[I + 2] == '\n')
+    return 3;
+  return 0;
+}
+
+/// The logical view of a file: contents with line splices removed, plus a
+/// map from each logical byte back to its physical offset.
+struct LogicalBuffer {
+  std::string Text;
+  std::vector<uint32_t> PhysOffset;
+};
+
+LogicalBuffer buildLogicalBuffer(std::string_view Contents) {
+  LogicalBuffer Buf;
+  Buf.Text.reserve(Contents.size());
+  Buf.PhysOffset.reserve(Contents.size());
+  size_t I = 0;
+  while (I < Contents.size()) {
+    if (size_t Len = spliceLengthAt(Contents, I)) {
+      I += Len;
+      continue;
+    }
+    Buf.Text.push_back(Contents[I]);
+    Buf.PhysOffset.push_back(static_cast<uint32_t>(I));
+    ++I;
+  }
+  return Buf;
+}
+
+std::vector<uint32_t> computeLineStarts(std::string_view Contents) {
+  std::vector<uint32_t> Starts;
+  Starts.push_back(0);
+  for (size_t I = 0; I < Contents.size(); ++I)
+    if (Contents[I] == '\n')
+      Starts.push_back(static_cast<uint32_t>(I + 1));
+  return Starts;
+}
+
+uint32_t lineOfOffset(const std::vector<uint32_t> &LineStarts,
+                      uint32_t Offset) {
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Offset);
+  return static_cast<uint32_t>(It - LineStarts.begin()) - 1;
+}
+
+/// True when the identifier \p Prefix is a valid encoding prefix for a
+/// string or character literal (u8, u, U, L) with an optional trailing R
+/// for raw strings.
+bool isRawStringPrefix(std::string_view Prefix) {
+  return Prefix == "R" || Prefix == "u8R" || Prefix == "uR" || Prefix == "UR" ||
+         Prefix == "LR";
+}
+
+bool isEncodingPrefix(std::string_view Prefix) {
+  return Prefix == "u8" || Prefix == "u" || Prefix == "U" || Prefix == "L";
+}
+
+class Lexer {
+public:
+  Lexer(const LogicalBuffer &Buf, const std::vector<uint32_t> &LineStarts)
+      : Text(Buf.Text), Phys(Buf.PhysOffset), LineStarts(LineStarts) {}
+
+  std::vector<Token> run() {
+    while (Pos < Text.size())
+      lexOne();
+    return std::move(Tokens);
+  }
+
+private:
+  std::string_view Text;
+  const std::vector<uint32_t> &Phys;
+  const std::vector<uint32_t> &LineStarts;
+  size_t Pos = 0;
+  std::vector<Token> Tokens;
+
+  char at(size_t I) const { return I < Text.size() ? Text[I] : '\0'; }
+
+  void emit(TokenKind Kind, size_t Begin, size_t End) {
+    Token T;
+    T.Kind = Kind;
+    T.Begin = Phys[Begin];
+    // End is exclusive in logical space; the physical end is one past the
+    // physical offset of the last logical byte.
+    T.End = Phys[End - 1] + 1;
+    T.Line = lineOfOffset(LineStarts, T.Begin);
+    T.EndLine = lineOfOffset(LineStarts, Phys[End - 1]);
+    T.Text.assign(Text.substr(Begin, End - Begin));
+    Tokens.push_back(std::move(T));
+  }
+
+  void lexOne() {
+    char C = Text[Pos];
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\f' ||
+        C == '\v') {
+      ++Pos;
+      return;
+    }
+    if (C == '/' && at(Pos + 1) == '/') {
+      lexLineComment();
+      return;
+    }
+    if (C == '/' && at(Pos + 1) == '*') {
+      lexBlockComment();
+      return;
+    }
+    if (C == '"') {
+      lexString(Pos);
+      return;
+    }
+    if (C == '\'') {
+      lexCharLiteral(Pos);
+      return;
+    }
+    if (isDigit(C) || (C == '.' && isDigit(at(Pos + 1)))) {
+      lexNumber();
+      return;
+    }
+    if (isIdentifierStart(C)) {
+      lexIdentifierOrLiteralPrefix();
+      return;
+    }
+    emit(TokenKind::Punct, Pos, Pos + 1);
+    ++Pos;
+  }
+
+  void lexLineComment() {
+    size_t Begin = Pos;
+    while (Pos < Text.size() && Text[Pos] != '\n')
+      ++Pos;
+    emit(TokenKind::Comment, Begin, Pos);
+  }
+
+  void lexBlockComment() {
+    size_t Begin = Pos;
+    Pos += 2;
+    while (Pos < Text.size() &&
+           !(Text[Pos] == '*' && at(Pos + 1) == '/'))
+      ++Pos;
+    if (Pos < Text.size())
+      Pos += 2;
+    emit(TokenKind::Comment, Begin, Pos);
+  }
+
+  /// Lexes a quoted literal body starting at the opening quote; \p Begin is
+  /// the token start (possibly an encoding prefix before the quote).
+  void lexQuoted(TokenKind Kind, size_t Begin, char Quote) {
+    ++Pos; // opening quote
+    while (Pos < Text.size() && Text[Pos] != Quote && Text[Pos] != '\n') {
+      if (Text[Pos] == '\\' && Pos + 1 < Text.size())
+        ++Pos;
+      ++Pos;
+    }
+    if (Pos < Text.size() && Text[Pos] == Quote)
+      ++Pos;
+    emit(Kind, Begin, Pos);
+  }
+
+  void lexString(size_t Begin) { lexQuoted(TokenKind::String, Begin, '"'); }
+
+  void lexCharLiteral(size_t Begin) {
+    lexQuoted(TokenKind::CharLiteral, Begin, '\'');
+  }
+
+  void lexRawString(size_t Begin) {
+    // Pos is at the opening quote of R"delim( ... )delim".
+    ++Pos;
+    size_t DelimBegin = Pos;
+    while (Pos < Text.size() && Text[Pos] != '(' && Text[Pos] != '\n' &&
+           Pos - DelimBegin < 16)
+      ++Pos;
+    if (at(Pos) != '(') {
+      // Malformed raw string; treat as an ordinary string from the quote.
+      Pos = DelimBegin - 1;
+      lexQuoted(TokenKind::RawString, Begin, '"');
+      return;
+    }
+    std::string Closer = ")";
+    Closer.append(Text.substr(DelimBegin, Pos - DelimBegin));
+    Closer.push_back('"');
+    ++Pos; // consume '('
+    size_t CloseAt = Text.find(Closer, Pos);
+    Pos = (CloseAt == std::string_view::npos) ? Text.size()
+                                              : CloseAt + Closer.size();
+    emit(TokenKind::RawString, Begin, Pos);
+  }
+
+  void lexNumber() {
+    size_t Begin = Pos;
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (isIdentifierChar(C) || C == '.') {
+        ++Pos;
+        continue;
+      }
+      // Digit separator: ' between identifier characters.
+      if (C == '\'' && Pos > Begin && isIdentifierChar(Text[Pos - 1]) &&
+          isIdentifierChar(at(Pos + 1))) {
+        Pos += 2;
+        continue;
+      }
+      // Exponent sign: e+, e-, p+, p-.
+      if ((C == '+' || C == '-') && Pos > Begin &&
+          (Text[Pos - 1] == 'e' || Text[Pos - 1] == 'E' ||
+           Text[Pos - 1] == 'p' || Text[Pos - 1] == 'P')) {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    emit(TokenKind::Number, Begin, Pos);
+  }
+
+  void lexIdentifierOrLiteralPrefix() {
+    size_t Begin = Pos;
+    while (Pos < Text.size() && isIdentifierChar(Text[Pos]))
+      ++Pos;
+    std::string_view Ident = Text.substr(Begin, Pos - Begin);
+    if (at(Pos) == '"') {
+      if (isRawStringPrefix(Ident)) {
+        lexRawString(Begin);
+        return;
+      }
+      if (isEncodingPrefix(Ident)) {
+        lexString(Begin);
+        return;
+      }
+    } else if (at(Pos) == '\'' && isEncodingPrefix(Ident)) {
+      lexCharLiteral(Begin);
+      return;
+    }
+    emit(TokenKind::Identifier, Begin, Pos);
+  }
+};
+
+} // namespace
+
+LexedFile lexFile(std::string_view Contents) {
+  LexedFile Result;
+  Result.LineStarts = computeLineStarts(Contents);
+  LogicalBuffer Buf = buildLogicalBuffer(Contents);
+  Lexer Lex(Buf, Result.LineStarts);
+  Result.Tokens = Lex.run();
+  return Result;
+}
+
+} // namespace lint
+} // namespace parmonc

@@ -1,0 +1,148 @@
+//===- lint/Sarif.cpp - SARIF 2.1.0 output --------------------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Sarif.h"
+
+#include "parmonc/lint/Index.h"
+#include "parmonc/lint/Rules.h"
+#include "parmonc/support/Checksum.h"
+#include "parmonc/support/Text.h"
+
+#include <cctype>
+
+namespace parmonc {
+namespace lint {
+
+namespace {
+
+constexpr std::string_view SchemaUri =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json";
+
+constexpr std::string_view RuleDocBase =
+    "https://github.com/parmonc/parmonc/blob/main/docs/LINT_RULES.md";
+
+void appendHex32(std::string &Out, uint32_t Value) {
+  static const char Digits[] = "0123456789abcdef";
+  for (int Shift = 28; Shift >= 0; Shift -= 4)
+    Out.push_back(Digits[(Value >> Shift) & 0xF]);
+}
+
+/// The LINT_RULES.md anchor for a rule: "#r6-stream-discipline".
+std::string ruleAnchor(const Rule &R) {
+  std::string Anchor = "#";
+  for (char C : R.id())
+    Anchor.push_back(char(std::tolower(static_cast<unsigned char>(C))));
+  Anchor.push_back('-');
+  Anchor.append(R.name());
+  return Anchor;
+}
+
+} // namespace
+
+std::string jsonEscape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Digits[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out.push_back(Digits[(C >> 4) & 0xF]);
+        Out.push_back(Digits[C & 0xF]);
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string
+formatSarif(const std::vector<Diagnostic> &Diags,
+            const std::vector<const Rule *> &Rules, bool AsError,
+            const std::function<std::string_view(const Diagnostic &)>
+                &LineTextOf) {
+  const std::string_view Level = AsError ? "error" : "warning";
+  std::string Out;
+  Out += "{\n";
+  Out += "  \"$schema\": \"" + std::string(SchemaUri) + "\",\n";
+  Out += "  \"version\": \"2.1.0\",\n";
+  Out += "  \"runs\": [\n";
+  Out += "    {\n";
+  Out += "      \"tool\": {\n";
+  Out += "        \"driver\": {\n";
+  Out += "          \"name\": \"mclint\",\n";
+  Out += "          \"informationUri\": \"" + std::string(RuleDocBase) +
+         "\",\n";
+  Out += "          \"rules\": [\n";
+  for (size_t I = 0; I < Rules.size(); ++I) {
+    const Rule &R = *Rules[I];
+    Out += "            {\n";
+    Out += "              \"id\": \"" + std::string(R.id()) + "\",\n";
+    Out += "              \"name\": \"" + jsonEscape(R.name()) + "\",\n";
+    Out += "              \"shortDescription\": { \"text\": \"" +
+           jsonEscape(R.summary()) + "\" },\n";
+    Out += "              \"fullDescription\": { \"text\": \"" +
+           jsonEscape(R.rationale()) + "\" },\n";
+    Out += "              \"helpUri\": \"" + std::string(RuleDocBase) +
+           ruleAnchor(R) + "\",\n";
+    Out += "              \"defaultConfiguration\": { \"level\": \"" +
+           std::string(Level) + "\" }\n";
+    Out += I + 1 < Rules.size() ? "            },\n" : "            }\n";
+  }
+  Out += "          ]\n";
+  Out += "        }\n";
+  Out += "      },\n";
+  Out += "      \"results\": [\n";
+  for (size_t I = 0; I < Diags.size(); ++I) {
+    const Diagnostic &Diag = Diags[I];
+    std::string Fingerprint = Diag.RuleId + ":";
+    appendHex32(Fingerprint, crc32(trim(LineTextOf(Diag))));
+    Out += "        {\n";
+    Out += "          \"ruleId\": \"" + Diag.RuleId + "\",\n";
+    Out += "          \"level\": \"" + std::string(Level) + "\",\n";
+    Out += "          \"message\": { \"text\": \"" +
+           jsonEscape(Diag.Message) + "\" },\n";
+    Out += "          \"locations\": [\n";
+    Out += "            {\n";
+    Out += "              \"physicalLocation\": {\n";
+    Out += "                \"artifactLocation\": { \"uri\": \"" +
+           jsonEscape(normalizedPath(Diag.Path)) + "\" },\n";
+    Out += "                \"region\": { \"startLine\": " +
+           std::to_string(Diag.Line) + " }\n";
+    Out += "              }\n";
+    Out += "            }\n";
+    Out += "          ],\n";
+    Out += "          \"partialFingerprints\": { \"mclintLine/v1\": \"" +
+           Fingerprint + "\" }\n";
+    Out += I + 1 < Diags.size() ? "        },\n" : "        }\n";
+  }
+  Out += "      ]\n";
+  Out += "    }\n";
+  Out += "  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+} // namespace lint
+} // namespace parmonc

@@ -8,25 +8,12 @@
 
 #include "parmonc/support/Text.h"
 
+#include <algorithm>
+
 namespace parmonc {
 namespace lint {
 
 namespace {
-
-/// Lexer states for the scrubbing pass.
-enum class LexState {
-  Code,
-  LineComment,
-  BlockComment,
-  String,
-  Char,
-  RawString,
-};
-
-bool isIdentChar(char C) {
-  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
-         (C >= '0' && C <= '9') || C == '_';
-}
 
 /// Extracts the rule ids from one waiver directive body, e.g. "R1,R3".
 std::vector<std::string> parseRuleList(std::string_view Body) {
@@ -35,6 +22,17 @@ std::vector<std::string> parseRuleList(std::string_view Body) {
     if (std::string_view Id = trim(Field); !Id.empty())
       Ids.emplace_back(Id);
   return Ids;
+}
+
+/// Length of a line splice (backslash + newline) at \p I, or 0.
+size_t spliceLengthAt(std::string_view S, size_t I) {
+  if (I >= S.size() || S[I] != '\\')
+    return 0;
+  if (I + 1 < S.size() && S[I + 1] == '\n')
+    return 2;
+  if (I + 2 < S.size() && S[I + 1] == '\r' && S[I + 2] == '\n')
+    return 3;
+  return 0;
 }
 
 } // namespace
@@ -50,100 +48,74 @@ SourceFile::SourceFile(std::string Path, std::string_view Contents)
   if (!RawLines.empty() && RawLines.back().empty())
     RawLines.pop_back();
 
-  // Scrub comments and literals, collecting comment text per line so the
-  // waiver scan below only looks inside comments.
-  ScrubbedLines.reserve(RawLines.size());
-  LineWaivers.assign(RawLines.size(), {});
-  std::vector<std::string> CommentText(RawLines.size());
+  LexedFile Lexed = lexFile(Contents);
+  Tokens = std::move(Lexed.Tokens);
+  const std::vector<uint32_t> &LineStarts = Lexed.LineStarts;
 
-  LexState State = LexState::Code;
-  std::string RawDelimiter; // for raw string literals: )delim"
-  for (size_t LineIndex = 0; LineIndex < RawLines.size(); ++LineIndex) {
-    const std::string &Raw = RawLines[LineIndex];
-    std::string Scrubbed(Raw.size(), ' ');
-    if (State == LexState::LineComment)
-      State = LexState::Code; // line comments never span lines
-    for (size_t I = 0; I < Raw.size(); ++I) {
-      const char C = Raw[I];
-      const char Next = I + 1 < Raw.size() ? Raw[I + 1] : '\0';
-      switch (State) {
-      case LexState::Code:
-        if (C == '/' && Next == '/') {
-          State = LexState::LineComment;
-          CommentText[LineIndex].append(Raw, I + 2, std::string::npos);
-          I = Raw.size(); // rest of the line is comment
-        } else if (C == '/' && Next == '*') {
-          State = LexState::BlockComment;
-          ++I;
-        } else if (C == '"') {
-          // Raw string literal? Look back for R (and not an identifier
-          // tail like xR"...).
-          if (I >= 1 && Raw[I - 1] == 'R' &&
-              (I == 1 || !isIdentChar(Raw[I - 2]))) {
-            size_t ParenPos = Raw.find('(', I + 1);
-            if (ParenPos != std::string::npos) {
-              RawDelimiter =
-                  ")" + Raw.substr(I + 1, ParenPos - I - 1) + "\"";
-              State = LexState::RawString;
-              Scrubbed[I] = '"';
-              I = ParenPos; // leave the prefix visible up to (
-              break;
-            }
-          }
-          State = LexState::String;
-          Scrubbed[I] = '"';
-        } else if (C == '\'' && I >= 1 && isIdentChar(Raw[I - 1]) &&
-                   I + 1 < Raw.size() && isIdentChar(Raw[I + 1])) {
-          // C++14 digit separator (1'000'000): not a char literal.
-          Scrubbed[I] = C;
-        } else if (C == '\'') {
-          State = LexState::Char;
-          Scrubbed[I] = '\'';
-        } else {
-          Scrubbed[I] = C;
-        }
-        break;
-      case LexState::LineComment:
-        break; // unreachable: handled by the I = Raw.size() above
-      case LexState::BlockComment:
-        if (C == '*' && Next == '/') {
-          State = LexState::Code;
-          ++I;
-        } else {
-          CommentText[LineIndex].push_back(C);
-        }
-        break;
-      case LexState::String:
-        if (C == '\\')
-          ++I;
-        else if (C == '"') {
-          State = LexState::Code;
-          Scrubbed[I] = '"';
-        }
-        break;
-      case LexState::Char:
-        if (C == '\\')
-          ++I;
-        else if (C == '\'') {
-          State = LexState::Code;
-          Scrubbed[I] = '\'';
-        }
-        break;
-      case LexState::RawString:
-        if (Raw.compare(I, RawDelimiter.size(), RawDelimiter) == 0) {
-          I += RawDelimiter.size() - 1;
-          Scrubbed[I] = '"';
-          State = LexState::Code;
-        }
-        break;
-      }
+  // Scrubbed lines start as all spaces; code tokens copy their bytes back
+  // at the original (line, column), literals contribute only their quote
+  // characters (and any encoding prefix), comments contribute nothing.
+  ScrubbedLines.reserve(RawLines.size());
+  for (const std::string &Raw : RawLines)
+    ScrubbedLines.emplace_back(Raw.size(), ' ');
+
+  auto PlaceByte = [&](uint32_t Offset, char C) {
+    auto It =
+        std::upper_bound(LineStarts.begin(), LineStarts.end(), Offset);
+    size_t Line = static_cast<size_t>(It - LineStarts.begin()) - 1;
+    if (Line >= ScrubbedLines.size())
+      return;
+    size_t Column = Offset - LineStarts[Line];
+    if (Column < ScrubbedLines[Line].size())
+      ScrubbedLines[Line][Column] = C;
+  };
+
+  auto CopyCodeRange = [&](uint32_t Begin, uint32_t End) {
+    for (uint32_t P = Begin; P < End; ++P) {
+      char C = Contents[P];
+      if (C == '\n' || C == '\r')
+        continue;
+      if (spliceLengthAt(Contents, P))
+        continue; // splice backslash
+      PlaceByte(P, C);
     }
-    ScrubbedLines.push_back(std::move(Scrubbed));
+  };
+
+  for (const Token &T : Tokens) {
+    switch (T.Kind) {
+    case TokenKind::Identifier:
+    case TokenKind::Number:
+    case TokenKind::Punct:
+      CopyCodeRange(T.Begin, T.End);
+      break;
+    case TokenKind::String:
+    case TokenKind::CharLiteral:
+    case TokenKind::RawString: {
+      const char Quote = T.Kind == TokenKind::CharLiteral ? '\'' : '"';
+      uint32_t P = T.Begin;
+      while (P < T.End && Contents[P] != Quote) {
+        PlaceByte(P, Contents[P]); // encoding prefix (R, u8, L, ...)
+        ++P;
+      }
+      if (P < T.End)
+        PlaceByte(P, Quote);
+      if (T.End > P + 1 && Contents[T.End - 1] == Quote)
+        PlaceByte(T.End - 1, Quote);
+      break;
+    }
+    case TokenKind::Comment:
+      break;
+    }
   }
 
-  // Waiver scan over the collected comment text.
-  for (size_t LineIndex = 0; LineIndex < CommentText.size(); ++LineIndex) {
-    std::string_view Comment = CommentText[LineIndex];
+  // Waiver scan over comment tokens only: directives inside string or raw
+  // string literals are never honored.
+  LineWaivers.assign(RawLines.size(), {});
+  uint32_t DirectiveIndex = 0;
+  for (const Token &T : Tokens) {
+    if (T.Kind != TokenKind::Comment)
+      continue;
+    std::string_view Comment = T.Text;
     size_t Pos = Comment.find("mclint:");
     if (Pos == std::string_view::npos)
       continue;
@@ -156,18 +128,49 @@ SourceFile::SourceFile(std::string Path, std::string_view Contents)
     const size_t Close = Directive.find(')', Open);
     if (Close == std::string_view::npos)
       continue;
+
+    // A stand-alone directive has no code on any line the comment spans;
+    // it then also covers the next code line — skipping any further
+    // comment-only or blank lines, so a directive may sit on top of its
+    // prose explanation without losing the code it was written for.
+    bool Standalone = true;
+    for (uint32_t Line = T.Line;
+         Line <= T.EndLine && Line < ScrubbedLines.size(); ++Line)
+      if (!trim(ScrubbedLines[Line]).empty())
+        Standalone = false;
+
+    uint32_t CoverBegin = T.Line;
+    uint32_t CoverEnd = T.EndLine;
+    if (Standalone) {
+      uint32_t Next = CoverEnd + 1;
+      while (Next < RawLines.size() && trim(ScrubbedLines[Next]).empty())
+        ++Next;
+      if (Next < RawLines.size())
+        CoverEnd = Next;
+    }
+
     for (std::string &Id :
          parseRuleList(Directive.substr(Open + 1, Close - Open - 1))) {
-      if (FileScope) {
-        FileWaivers.insert(std::move(Id));
-        continue;
-      }
-      LineWaivers[LineIndex].insert(Id);
-      // A stand-alone comment line waives the line that follows it.
-      if (trim(ScrubbedLines[LineIndex]).empty() &&
-          LineIndex + 1 < LineWaivers.size())
-        LineWaivers[LineIndex + 1].insert(std::move(Id));
+      Waiver W;
+      W.RuleId = Id;
+      W.DirectiveIndex = DirectiveIndex;
+      W.DirectiveLine = T.Line;
+      W.DirectiveEndLine = T.EndLine;
+      W.DirectiveColumn =
+          T.Begin - LineStarts[std::min<size_t>(T.Line, LineStarts.size() - 1)];
+      W.FileScope = FileScope;
+      W.Standalone = Standalone;
+      W.CoverBegin = CoverBegin;
+      W.CoverEnd = CoverEnd;
+      if (FileScope)
+        FileWaivers.insert(Id);
+      else
+        for (uint32_t Line = CoverBegin;
+             Line <= CoverEnd && Line < LineWaivers.size(); ++Line)
+          LineWaivers[Line].insert(Id);
+      Waivers.push_back(std::move(W));
     }
+    ++DirectiveIndex;
   }
 }
 

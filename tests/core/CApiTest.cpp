@@ -9,7 +9,10 @@
 #include "parmonc/core/ResultsStore.h"
 #include "parmonc/rng/Lcg128.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
+
+// mclint: allow-file(R6): these tests exercise the raw generator
+// deliberately, validating the stream algebra itself.
 
 #include <cstdlib>
 #include <filesystem>
@@ -125,7 +128,7 @@ TEST(CApi, ParmonccMatrixAndResumeFlow) {
 
   ResultsStore Store(Dir.path());
   Result<MomentSnapshot> Checkpoint =
-      Store.readSnapshot(Store.checkpointPath());
+      Store.readSnapshot(Store.checkpointPath()); // mclint: allow(R7): asserting on the sealed generation directly
   ASSERT_TRUE(Checkpoint.isOk());
   EXPECT_EQ(Checkpoint.value().Moments.sampleVolume(), 4000);
   Result<std::vector<double>> Means = Store.readMeans(1, 2);

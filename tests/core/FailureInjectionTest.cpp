@@ -15,7 +15,7 @@
 
 #include "parmonc/support/Text.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <filesystem>
 #include <limits>

@@ -8,7 +8,7 @@
 
 #include "parmonc/support/Text.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <filesystem>
 
@@ -114,7 +114,8 @@ TEST(ResultsStore, SnapshotFileRoundTripOnDisk) {
   ASSERT_TRUE(Store.prepareDirectories().isOk());
   MomentSnapshot Original = makeSnapshot();
   ASSERT_TRUE(Store.writeSnapshot(Store.checkpointPath(), Original).isOk());
-  Result<MomentSnapshot> Read = Store.readSnapshot(Store.checkpointPath());
+  Result<MomentSnapshot> Read =
+      Store.readSnapshot(Store.checkpointPath()); // mclint: allow(R7): asserting on the sealed generation directly
   ASSERT_TRUE(Read.isOk());
   EXPECT_EQ(Read.value().Moments.valueSums(), Original.Moments.valueSums());
 }
@@ -246,7 +247,7 @@ TEST(ManualAverage, MergesBaseAndSubtotals) {
   // Results and a fresh checkpoint are on disk.
   EXPECT_TRUE(fileExists(Store.meansPath()));
   Result<MomentSnapshot> Checkpoint =
-      Store.readSnapshot(Store.checkpointPath());
+      Store.readSnapshot(Store.checkpointPath()); // mclint: allow(R7): asserting on the sealed generation directly
   ASSERT_TRUE(Checkpoint.isOk());
   EXPECT_EQ(Checkpoint.value().Moments.sampleVolume(), 4);
 }

@@ -9,7 +9,7 @@
 #include "parmonc/sde/Distributions.h"
 #include "parmonc/support/Text.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cmath>
 #include <filesystem>

@@ -10,12 +10,12 @@
 #include "parmonc/support/Clock.h"
 #include "parmonc/support/Text.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <chrono>
 #include <cmath>
 #include <filesystem>
-#include <thread>
+#include <thread> // mclint: allow(R8): sleep/yield helpers only
 
 namespace parmonc {
 namespace {
@@ -206,7 +206,7 @@ TEST(Runner, ResumeAccumulatesVolumeExactly) {
   // The checkpoint reflects the accumulated state.
   ResultsStore Store(Dir.path());
   Result<MomentSnapshot> Checkpoint =
-      Store.readSnapshot(Store.checkpointPath());
+      Store.readSnapshot(Store.checkpointPath()); // mclint: allow(R7): asserting on the sealed generation directly
   ASSERT_TRUE(Checkpoint.isOk());
   EXPECT_EQ(Checkpoint.value().Moments.sampleVolume(), 5000);
 }

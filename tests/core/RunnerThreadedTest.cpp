@@ -17,7 +17,7 @@
 
 #include "parmonc/fault/FaultPlan.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cmath>
 #include <filesystem>
@@ -75,7 +75,8 @@ MomentSnapshot runAndLoad(const RunConfig &Config, RunReport *ReportOut) {
   if (ReportOut)
     *ReportOut = Outcome.value();
   ResultsStore Store(Config.WorkDir);
-  Result<MomentSnapshot> Snapshot = Store.readSnapshot(Store.checkpointPath());
+  Result<MomentSnapshot> Snapshot =
+      Store.readSnapshot(Store.checkpointPath()); // mclint: allow(R7): asserting on the sealed generation directly
   EXPECT_TRUE(Snapshot.isOk()) << Snapshot.status().toString();
   return std::move(Snapshot).value();
 }

@@ -6,7 +6,10 @@
 
 #include "parmonc/parmonc.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
+
+// mclint: allow-file(R6): these tests exercise the raw generator
+// deliberately, validating the stream algebra itself.
 
 namespace parmonc {
 namespace {

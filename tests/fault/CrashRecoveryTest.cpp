@@ -18,7 +18,7 @@
 #include "parmonc/fault/FaultPlan.h"
 #include "parmonc/support/Text.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <filesystem>
 

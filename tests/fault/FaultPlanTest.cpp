@@ -13,7 +13,7 @@
 #include "parmonc/fault/FaultPlan.h"
 #include "parmonc/mpsim/VirtualCluster.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 namespace parmonc {
 namespace {

@@ -16,7 +16,7 @@
 #include "parmonc/fault/FaultPlan.h"
 #include "parmonc/support/Text.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <filesystem>
 
@@ -135,7 +135,8 @@ TEST(FaultTrace, CorruptedCheckpointWriteIsHealedByTheNextRotation) {
   EXPECT_FALSE(Run.Report.SimulatedCrash);
   EXPECT_EQ(Run.Report.TotalSampleVolume, 40);
   ResultsStore Store(Dir.path());
-  Result<MomentSnapshot> Final = Store.readSnapshot(Store.checkpointPath());
+  Result<MomentSnapshot> Final =
+      Store.readSnapshot(Store.checkpointPath()); // mclint: allow(R7): asserting on the sealed generation directly
   ASSERT_TRUE(Final.isOk()) << Final.status().toString();
   EXPECT_EQ(Final.value().Moments.sampleVolume(), 40);
 }

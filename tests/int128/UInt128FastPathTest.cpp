@@ -16,7 +16,7 @@
 #include "parmonc/int128/UInt128.h"
 #include "parmonc/rng/Lcg128.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cstdint>
 #include <vector>

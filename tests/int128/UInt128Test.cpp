@@ -6,7 +6,7 @@
 
 #include "parmonc/int128/UInt128.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cstdint>
 #include <random>

@@ -1,0 +1,97 @@
+//===- tests/lint/CachePerfTest.cpp - warm-cache speedup gate -------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The point of the incremental cache is to make `mclint` cheap enough to
+// run on every build: a warm run re-lexes nothing and re-runs no per-file
+// rule. This test generates a synthetic tree large enough that lexing and
+// rule matching dominate, then requires the warm run to be at least 5x
+// faster than the cold one. Labelled `perf` (with the other
+// timing-sensitive tests) so sanitizer presets can exclude it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Analyzer.h"
+#include "parmonc/support/Text.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+namespace parmonc {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One synthetic TU: enough identifiers, literals and call sites that the
+/// lexer and the token-walking rules do real work.
+std::string syntheticSource(int FileIndex) {
+  std::string Out = "namespace parmonc {\n\n";
+  for (int F = 0; F < 24; ++F) {
+    const std::string Id =
+        "fixtureWork" + std::to_string(FileIndex) + "_" + std::to_string(F);
+    Out += "int " + Id + "(int Seed) {\n";
+    Out += "  int Total = Seed * " + std::to_string(F + 3) + ";\n";
+    Out += "  const char *Note = \"synthetic body " + Id + "\";\n";
+    Out += "  for (int I = 0; I < 64; ++I)\n";
+    Out += "    Total += I ^ (Total >> 3); // mixing step\n";
+    Out += "  (void)Note;\n";
+    Out += "  return Total;\n";
+    Out += "}\n\n";
+  }
+  Out += "} // namespace parmonc\n";
+  return Out;
+}
+
+double runSeconds(const AnalyzerOptions &Options) {
+  const auto Begin = std::chrono::steady_clock::now();
+  Result<LintReport> Report = runAnalyzer(Options);
+  const auto End = std::chrono::steady_clock::now();
+  EXPECT_TRUE(Report) << Report.status().message();
+  return std::chrono::duration<double>(End - Begin).count();
+}
+
+TEST(LintCachePerfTest, WarmRunIsAtLeastFiveTimesFaster) {
+  const fs::path Root =
+      fs::path(::testing::TempDir()) / "mclint_cache_perf";
+  fs::remove_all(Root);
+  fs::create_directories(Root);
+  for (int I = 0; I < 48; ++I) {
+    Status Written = writeFileAtomic(
+        (Root / ("gen_" + std::to_string(I) + ".cpp")).generic_string(),
+        syntheticSource(I));
+    ASSERT_TRUE(Written) << Written.message();
+  }
+
+  AnalyzerOptions Options;
+  Options.Paths = {Root.generic_string()};
+  Options.CachePath = (Root / "cache.txt").generic_string();
+
+  const double Cold = runSeconds(Options);
+  // Best of three warm runs, to keep scheduler noise out of the ratio.
+  double Warm = runSeconds(Options);
+  for (int I = 0; I < 2; ++I) {
+    const double Again = runSeconds(Options);
+    Warm = Again < Warm ? Again : Warm;
+  }
+
+  // Sanity: the warm run actually hit the cache for every file.
+  Result<LintReport> Check = runAnalyzer(Options);
+  ASSERT_TRUE(Check) << Check.status().message();
+  EXPECT_EQ(Check.value().FileCount, 48u);
+  EXPECT_EQ(Check.value().CacheHits, 48u);
+  EXPECT_EQ(Check.value().CacheMisses, 0u);
+
+  EXPECT_GE(Cold, Warm * 5.0)
+      << "cold=" << Cold << "s warm=" << Warm
+      << "s — warm cache is not at least 5x faster";
+}
+
+} // namespace
+} // namespace lint
+} // namespace parmonc

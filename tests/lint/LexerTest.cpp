@@ -1,0 +1,151 @@
+//===- tests/lint/LexerTest.cpp - mclint tokenizer tests ------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the lexical front end of the mclint pipeline on synthetic
+// buffers: token classification, physical-vs-logical spelling across line
+// splices, raw string delimiters, and the never-fails contract on
+// malformed input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+namespace {
+
+/// The (kind, text) pairs of a lexed buffer, skipping nothing.
+std::vector<std::pair<TokenKind, std::string>> lexed(std::string_view S) {
+  std::vector<std::pair<TokenKind, std::string>> Out;
+  for (const Token &T : lexFile(S).Tokens)
+    Out.emplace_back(T.Kind, T.Text);
+  return Out;
+}
+
+/// The first token of \p Kind, or a default Token when absent.
+Token firstOfKind(std::string_view S, TokenKind Kind) {
+  for (const Token &T : lexFile(S).Tokens)
+    if (T.Kind == Kind)
+      return T;
+  return {};
+}
+
+TEST(LexerTest, ClassifiesBasicTokens) {
+  const auto Tokens = lexed("int A = 42; // note\n");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[0], std::make_pair(TokenKind::Identifier,
+                                      std::string("int")));
+  EXPECT_EQ(Tokens[1], std::make_pair(TokenKind::Identifier,
+                                      std::string("A")));
+  EXPECT_EQ(Tokens[2], std::make_pair(TokenKind::Punct, std::string("=")));
+  EXPECT_EQ(Tokens[3], std::make_pair(TokenKind::Number,
+                                      std::string("42")));
+  EXPECT_EQ(Tokens[4], std::make_pair(TokenKind::Punct, std::string(";")));
+  EXPECT_EQ(Tokens[5], std::make_pair(TokenKind::Comment,
+                                      std::string("// note")));
+}
+
+TEST(LexerTest, NumbersKeepSeparatorsAndSuffixes) {
+  EXPECT_EQ(firstOfKind("auto N = 1'000'000ull;", TokenKind::Number).Text,
+            "1'000'000ull");
+  EXPECT_EQ(firstOfKind("auto F = 1.5e-3f;", TokenKind::Number).Text,
+            "1.5e-3f");
+}
+
+TEST(LexerTest, StringAndCharPrefixes) {
+  EXPECT_EQ(firstOfKind("auto S = u8\"x\";", TokenKind::String).Text,
+            "u8\"x\"");
+  EXPECT_EQ(firstOfKind("auto C = L'y';", TokenKind::CharLiteral).Text,
+            "L'y'");
+  // An escaped quote does not terminate the literal.
+  EXPECT_EQ(firstOfKind("auto S = \"a\\\"b\";", TokenKind::String).Text,
+            "\"a\\\"b\"");
+}
+
+TEST(LexerTest, RawStringDelimitersRespected) {
+  // The body may contain )" — only the matching )delim" closes it.
+  const Token T = firstOfKind("auto S = R\"xx(a)\" b)xx\"; int Z;",
+                              TokenKind::RawString);
+  EXPECT_EQ(T.Text, "R\"xx(a)\" b)xx\"");
+  // Code after the literal still lexes.
+  const auto Tokens = lexed("auto S = R\"xx(a)\" b)xx\"; int Z;");
+  bool SawZ = false;
+  for (const auto &[Kind, Text] : Tokens)
+    SawZ = SawZ || (Kind == TokenKind::Identifier && Text == "Z");
+  EXPECT_TRUE(SawZ);
+}
+
+TEST(LexerTest, BlockCommentSpansLines) {
+  const Token T = firstOfKind("int A; /* one\ntwo */ int B;",
+                              TokenKind::Comment);
+  EXPECT_EQ(T.Text, "/* one\ntwo */");
+  EXPECT_EQ(T.Line, 0u);
+  EXPECT_EQ(T.EndLine, 1u);
+}
+
+TEST(LexerTest, SplicedIdentifierIsOneToken) {
+  // A backslash-newline splice inside an identifier: one token, logical
+  // spelling with the splice removed, physical range spanning both lines.
+  const Token T = firstOfKind("long some\\\nThing = 1;",
+                              TokenKind::Identifier);
+  EXPECT_EQ(T.Text, "long");
+  const auto Tokens = lexFile("long some\\\nThing = 1;").Tokens;
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[1].Text, "someThing");
+  EXPECT_EQ(Tokens[1].Line, 0u);
+  EXPECT_EQ(Tokens[1].EndLine, 1u);
+}
+
+TEST(LexerTest, SplicedLineCommentIsOneToken) {
+  const Token T = firstOfKind("// first \\\nsecond\nint A;",
+                              TokenKind::Comment);
+  EXPECT_EQ(T.Text, "// first second");
+  EXPECT_EQ(T.Line, 0u);
+  EXPECT_EQ(T.EndLine, 1u);
+  // The code on line 2 is not swallowed.
+  bool SawA = false;
+  for (const Token &Tok : lexFile("// first \\\nsecond\nint A;").Tokens)
+    SawA = SawA || (Tok.Kind == TokenKind::Identifier && Tok.Text == "A");
+  EXPECT_TRUE(SawA);
+}
+
+TEST(LexerTest, LineStartsIndexPhysicalLines) {
+  const LexedFile File = lexFile("ab\ncd\n\nef");
+  const std::vector<uint32_t> Expected = {0, 3, 6, 7};
+  EXPECT_EQ(File.LineStarts, Expected);
+}
+
+TEST(LexerTest, NeverFailsOnMalformedInput) {
+  // Unterminated constructs close at end of file instead of looping or
+  // crashing; every byte lands in some token.
+  for (const char *Bad :
+       {"\"unterminated", "'x", "/* open", "R\"(open", "R\"verylongdelim",
+        "R\"d(body)e\""}) {
+    const LexedFile File = lexFile(Bad);
+    size_t Covered = 0;
+    for (const Token &T : File.Tokens)
+      Covered += T.End - T.Begin;
+    EXPECT_EQ(Covered, std::string_view(Bad).size()) << Bad;
+  }
+}
+
+TEST(LexerTest, IdentifierCharPredicate) {
+  EXPECT_TRUE(isIdentifierChar('a'));
+  EXPECT_TRUE(isIdentifierChar('Z'));
+  EXPECT_TRUE(isIdentifierChar('_'));
+  EXPECT_TRUE(isIdentifierChar('7'));
+  EXPECT_FALSE(isIdentifierChar(' '));
+  EXPECT_FALSE(isIdentifierChar(':'));
+}
+
+} // namespace
+} // namespace lint
+} // namespace parmonc

@@ -1,0 +1,264 @@
+//===- tests/lint/SarifTest.cpp - SARIF emitter tests ---------------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the hand-rolled SARIF 2.1.0 emitter: RFC 8259 string escaping,
+// JSON well-formedness (a small recursive-descent parser — no JSON library
+// is available, and the emitter must not depend on one), and the
+// structural shape the 2.1.0 schema requires of a code-scanning upload:
+// $schema/version, tool.driver with rule metadata, one result per finding
+// with location and stable fingerprint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Rules.h"
+#include "parmonc/lint/Sarif.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON well-formedness checker (values are not materialized).
+//===----------------------------------------------------------------------===//
+
+class JsonScanner {
+public:
+  explicit JsonScanner(std::string_view Text) : Text(Text) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  bool valid() {
+    skipSpace();
+    if (!value())
+      return false;
+    skipSpace();
+    return Pos == Text.size();
+  }
+
+private:
+  bool value() {
+    if (Pos >= Text.size())
+      return false;
+    switch (Text[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipSpace();
+    if (peek() == '}')
+      return ++Pos, true;
+    while (true) {
+      skipSpace();
+      if (!string())
+        return false;
+      skipSpace();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipSpace();
+      if (!value())
+        return false;
+      skipSpace();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}')
+        return ++Pos, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipSpace();
+    if (peek() == ']')
+      return ++Pos, true;
+    while (true) {
+      skipSpace();
+      if (!value())
+        return false;
+      skipSpace();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']')
+        return ++Pos, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"')
+      return false;
+    ++Pos;
+    while (Pos < Text.size()) {
+      const char C = Text[Pos];
+      if (C == '"')
+        return ++Pos, true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false; // raw control character — must be escaped
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return false;
+        const char E = Text[Pos];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I)
+            if (++Pos >= Text.size() || !std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+              return false;
+        } else if (std::string_view("\"\\/bfnrt").find(E) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++Pos;
+    }
+    return false;
+  }
+
+  bool number() {
+    const size_t Begin = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            std::string_view(".eE+-").find(Text[Pos]) !=
+                std::string_view::npos))
+      ++Pos;
+    return Pos > Begin;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Fixtures: a two-finding report rendered through the real rule set.
+//===----------------------------------------------------------------------===//
+
+std::vector<Diagnostic> sampleDiags() {
+  return {{"src/core/Runner.cpp", 42, "R3", "raw-concurrency",
+           "'std::mutex' outside mpsim/ and obs/", {}},
+          {"include/parmonc/rng/Lcg128.h", 7, "R6", "stream-discipline",
+           "'Lcg128' default-seeds a raw stream \"quoted\"", {}}};
+}
+
+std::string renderSample(bool AsError) {
+  const std::vector<std::unique_ptr<Rule>> Rules = makeAllRules();
+  std::vector<const Rule *> RulePtrs;
+  for (const auto &R : Rules)
+    RulePtrs.push_back(R.get());
+  return formatSarif(sampleDiags(), RulePtrs, AsError,
+                     [](const Diagnostic &) -> std::string_view {
+                       return "  std::mutex M;";
+                     });
+}
+
+TEST(SarifTest, EscapesJsonStrings) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(SarifTest, DocumentIsWellFormedJson) {
+  const std::string Doc = renderSample(false);
+  EXPECT_TRUE(JsonScanner(Doc).valid()) << Doc;
+}
+
+TEST(SarifTest, MatchesSchemaShape) {
+  // The structural requirements of the sarif-schema-2.1.0 contract for a
+  // code-scanning upload, asserted as mandatory substrings of a document
+  // we already know is well-formed JSON.
+  const std::string Doc = renderSample(false);
+  for (const char *Required :
+       {"\"$schema\": "
+        "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+        "Schemata/sarif-schema-2.1.0.json\"",
+        "\"version\": \"2.1.0\"", "\"runs\": [", "\"tool\": {",
+        "\"driver\": {", "\"name\": \"mclint\"", "\"rules\": [",
+        "\"results\": [", "\"ruleId\": \"R3\"", "\"ruleId\": \"R6\"",
+        "\"level\": \"warning\"", "\"message\": {",
+        "\"locations\": [", "\"physicalLocation\": {",
+        "\"artifactLocation\": {", "\"uri\": \"src/core/Runner.cpp\"",
+        "\"region\": { \"startLine\": 42 }",
+        "\"partialFingerprints\": {", "\"mclintLine/v1\": \"R3:"})
+    EXPECT_NE(Doc.find(Required), std::string::npos)
+        << "missing: " << Required;
+}
+
+TEST(SarifTest, RuleMetadataCarriesHelpUris) {
+  const std::string Doc = renderSample(false);
+  // Every rule in the driver metadata links into docs/LINT_RULES.md at
+  // its own anchor.
+  for (const char *Anchor :
+       {"docs/LINT_RULES.md#r1-discarded-status",
+        "docs/LINT_RULES.md#r6-stream-discipline",
+        "docs/LINT_RULES.md#r10-stale-waiver"})
+    EXPECT_NE(Doc.find(Anchor), std::string::npos) << Anchor;
+}
+
+TEST(SarifTest, WerrorMapsToErrorLevel) {
+  const std::string Doc = renderSample(true);
+  EXPECT_NE(Doc.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_EQ(Doc.find("\"level\": \"warning\""), std::string::npos);
+}
+
+TEST(SarifTest, EmptyReportIsStillAValidRun) {
+  const std::vector<std::unique_ptr<Rule>> Rules = makeAllRules();
+  std::vector<const Rule *> RulePtrs;
+  for (const auto &R : Rules)
+    RulePtrs.push_back(R.get());
+  const std::string Doc =
+      formatSarif({}, RulePtrs, false,
+                  [](const Diagnostic &) -> std::string_view { return ""; });
+  EXPECT_TRUE(JsonScanner(Doc).valid()) << Doc;
+  EXPECT_NE(Doc.find("\"results\": [\n      ]"), std::string::npos);
+}
+
+} // namespace
+} // namespace lint
+} // namespace parmonc

@@ -1,0 +1,8 @@
+// mclint fixture: R10 — a file-scope waiver the file no longer earns.
+// mclint: allow-file(R8): legacy sweep, nothing left - expect: R10
+
+namespace parmonc {
+
+int fixtureIdleEngine() { return 0; }
+
+} // namespace parmonc

@@ -1,0 +1,12 @@
+// mclint fixture: R6 fires inside core/ too — the engine itself may not
+// hand-roll streams around the cursor protocol.
+
+namespace parmonc {
+
+void fixtureRunnerScratch() {
+  LcgPow2 Scratch;  // expect: R6
+  LcgPow2 Jump(9u); // expect: R6
+  UInt128 Mult = Lcg128::defaultMultiplier();
+}
+
+} // namespace parmonc

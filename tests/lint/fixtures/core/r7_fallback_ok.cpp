@@ -1,0 +1,14 @@
+// mclint fixture (negative): a TU that reaches the fallback API may also
+// call the direct loader for its fast path.
+
+namespace parmonc {
+
+int fixtureResumeSafely(ResultsStore &Store) {
+  auto Loaded = Store.readSnapshotWithFallback("run.mcs");
+  if (!Loaded)
+    return 0;
+  auto Direct = Store.readSnapshot("run.mcs");
+  return 1;
+}
+
+} // namespace parmonc

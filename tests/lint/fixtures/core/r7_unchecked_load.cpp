@@ -1,0 +1,11 @@
+// mclint fixture: R7 — resume code loading a snapshot with no error
+// branch for a torn seal.
+
+namespace parmonc {
+
+int fixtureResume(ResultsStore &Store) {
+  auto Loaded = Store.readSnapshot("run.mcs"); // expect: R7
+  return Loaded ? 1 : 0;
+}
+
+} // namespace parmonc

@@ -1,0 +1,12 @@
+// mclint fixture: R8 direct raw synchronization inside core/ (the rule
+// supersedes R3 there).
+#include <condition_variable> // expect: R8
+
+namespace parmonc {
+
+struct FixtureGate {
+  std::condition_variable Ready; // expect: R8
+  int Guarded = 0;
+};
+
+} // namespace parmonc

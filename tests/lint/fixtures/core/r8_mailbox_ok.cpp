@@ -1,0 +1,11 @@
+// mclint fixture (negative): core/ drives workers through the blessed
+// mpsim::WorkerGroup / Mailbox layer; no raw primitives, no taint.
+
+namespace parmonc {
+
+void fixtureDispatchJobs(WorkerGroup &Group, Mailbox &Box) {
+  Group.dispatch(7);
+  Box.post(9);
+}
+
+} // namespace parmonc

@@ -1,0 +1,10 @@
+// mclint fixture: R8 call-graph taint — core/ calling into a TU that
+// uses raw synchronization internally (see ../r8_sync_helper.cpp).
+
+namespace parmonc {
+
+void fixtureEngineTick(int *Flag) {
+  fixtureSpinHelper(Flag); // expect: R8
+}
+
+} // namespace parmonc

@@ -1,0 +1,14 @@
+// mclint fixture: waiver text inside a raw string literal is data, not a
+// directive — the R2 finding below must survive.
+
+namespace parmonc {
+
+const char *fixtureDocText() {
+  return R"(write // mclint: allow-file(R2) to waive a whole file)";
+}
+
+long fixtureWallClock() {
+  return time(nullptr); // expect: R2
+}
+
+} // namespace parmonc

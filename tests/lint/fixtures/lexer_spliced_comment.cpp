@@ -1,0 +1,3 @@
+// mclint fixture (negative): a directive on the spliced continuation of \
+   a line comment still counts: mclint: allow(R2): spliced waiver
+long fixtureSplicedStamp() { return time(nullptr); }

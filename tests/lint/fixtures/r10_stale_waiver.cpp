@@ -1,0 +1,10 @@
+// mclint fixture: R10 — a trailing waiver with nothing left to waive.
+
+namespace parmonc {
+
+int fixtureComputeTotal(int Count) {
+  int Total = Count * 2; // mclint: allow(R2): stale - expect: R10
+  return Total;
+}
+
+} // namespace parmonc

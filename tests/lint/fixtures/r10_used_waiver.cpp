@@ -1,0 +1,11 @@
+// mclint fixture (negative): a waiver that still suppresses a live
+// finding is not stale.
+#include <ctime>
+
+namespace parmonc {
+
+long fixtureWallStamp() {
+  return time(nullptr); // mclint: allow(R2): deliberate wall-clock read
+}
+
+} // namespace parmonc

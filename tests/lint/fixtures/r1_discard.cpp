@@ -6,8 +6,8 @@
 namespace parmonc {
 
 void fixtureBody() {
-  writeFileAtomic("ledger.dat", "x");
-  mightFail();
+  writeFileAtomic("ledger.dat", "x"); // expect: R1
+  mightFail();                        // expect: R1
   (void)writeFileAtomic("ledger.dat", "x");
   Status Saved = writeFileAtomic("ledger.dat", "x");
   if (!Saved)

@@ -4,9 +4,9 @@
 #include <random>
 
 double fixtureEntropy() {
-  std::random_device Device;
-  auto Now = std::chrono::system_clock::now();
-  long Stamp = time(nullptr);
+  std::random_device Device;                   // expect: R2
+  auto Now = std::chrono::system_clock::now(); // expect: R2
+  long Stamp = time(nullptr);                  // expect: R2
   return double(Device()) + double(Stamp) +
          double(Now.time_since_epoch().count());
 }

@@ -1,9 +1,9 @@
 // mclint fixture: R3 raw concurrency. Never compiled — linted only.
-#include <mutex>
+#include <mutex> // expect: R3
 #include <vector>
 
 struct FixtureQueue {
-  std::mutex Lock;
+  std::mutex Lock; // expect: R3
   // mclint: allow(R3): fixture demonstrates the waiver escape hatch
   std::atomic<int> Waived{0};
 };

@@ -1,10 +1,10 @@
-#ifndef WRONG_GUARD_H
+#ifndef WRONG_GUARD_H // expect: R4
 #define WRONG_GUARD_H
 
-#include "localheader.h"
-#include <bits/stdc++.h>
-#include <parmonc/support/Status.h>
+#include "localheader.h"          // expect: R4
+#include <bits/stdc++.h>          // expect: R4
+#include <parmonc/support/Status.h> // expect: R4
 
-using namespace std;
+using namespace std; // expect: R4
 
 #endif // WRONG_GUARD_H

@@ -1,0 +1,11 @@
+// mclint fixture (negative): the sanctioned way to obtain a stream is
+// RealizationCursor::beginRealization(); assignment from a call is fine.
+
+namespace parmonc {
+
+void fixtureRealizationBody(RealizationCursor &Cursor) {
+  Lcg128 Stream = Cursor.beginRealization();
+  fixtureConsume(Stream);
+}
+
+} // namespace parmonc

@@ -1,0 +1,12 @@
+// mclint fixture: R6 stream discipline. Never compiled — linted only.
+
+namespace parmonc {
+
+double fixtureDraw(Lcg128 &Existing) {
+  Lcg128 Fresh;                            // expect: R6
+  Lcg128 Seeded(0x9a, 0x3c);               // expect: R6
+  Lcg128 Copy = Existing;                  // expect: R6
+  return double(Existing.nextRaw() >> 64); // expect: R6
+}
+
+} // namespace parmonc

@@ -1,0 +1,11 @@
+// mclint fixture: R7 applies wherever resume code lives, not only in
+// core/; both call sites are flagged.
+
+namespace parmonc {
+
+void fixtureReloadTwice(ResultsStore &Store) {
+  auto First = Store.readSnapshot("a.mcs"); // expect: R7
+  auto Again = Store.readSnapshot("b.mcs"); // expect: R7
+}
+
+} // namespace parmonc

@@ -1,0 +1,13 @@
+// mclint fixture: a helper TU hiding raw synchronization behind a
+// function boundary. Its definitions taint calls made from core/ (R8);
+// outside core/ the raw primitives themselves are R3 findings.
+#include <mutex> // expect: R3
+
+namespace parmonc {
+
+void fixtureSpinHelper(int *Flag) {
+  std::mutex FixtureLock; // expect: R3
+  *Flag = 1;
+}
+
+} // namespace parmonc

@@ -1,0 +1,10 @@
+#ifndef PARMONC_LINT_FIXTURE_R9_CYCLE_A_H
+#define PARMONC_LINT_FIXTURE_R9_CYCLE_A_H
+
+#include "r9_cycle_b.h" // expect: R4 R9
+
+struct FixtureCycleA {
+  int Value;
+};
+
+#endif // PARMONC_LINT_FIXTURE_R9_CYCLE_A_H

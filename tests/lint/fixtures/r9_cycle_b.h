@@ -1,0 +1,10 @@
+#ifndef PARMONC_LINT_FIXTURE_R9_CYCLE_B_H
+#define PARMONC_LINT_FIXTURE_R9_CYCLE_B_H
+
+#include "r9_cycle_a.h" // expect: R4
+
+struct FixtureCycleB {
+  int Value;
+};
+
+#endif // PARMONC_LINT_FIXTURE_R9_CYCLE_B_H

@@ -1,0 +1,13 @@
+// mclint fixture (negative): rng/ owns the stream algebra — R6 does not
+// apply inside it.
+
+namespace parmonc {
+
+UInt128 fixtureStreamAlgebra() {
+  Lcg128 Gen;
+  LcgPow2 Aux(1u, 2u);
+  Lcg128 Dup = Gen;
+  return Gen.nextRaw();
+}
+
+} // namespace parmonc

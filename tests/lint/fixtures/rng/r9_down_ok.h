@@ -1,0 +1,11 @@
+#ifndef PARMONC_LINT_FIXTURE_RNG_R9_DOWN_OK_H
+#define PARMONC_LINT_FIXTURE_RNG_R9_DOWN_OK_H
+
+#include "parmonc/int128/UInt128.h"
+#include "parmonc/support/Status.h"
+
+struct FixtureDownward {
+  int Value;
+};
+
+#endif // PARMONC_LINT_FIXTURE_RNG_R9_DOWN_OK_H

@@ -1,0 +1,10 @@
+#ifndef PARMONC_LINT_FIXTURE_RNG_R9_UPWARD_H
+#define PARMONC_LINT_FIXTURE_RNG_R9_UPWARD_H
+
+#include "parmonc/core/Runner.h" // expect: R9
+
+struct FixtureUpward {
+  int Value;
+};
+
+#endif // PARMONC_LINT_FIXTURE_RNG_R9_UPWARD_H

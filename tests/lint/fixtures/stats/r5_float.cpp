@@ -1,8 +1,8 @@
 // mclint fixture: R5 narrowing under a stats/ path. Never compiled.
 
-float meanOf(const float *Values, int Count) {
-  float Sum = 0.0f;
+float meanOf(const float *Values, int Count) { // expect: R5
+  float Sum = 0.0f;                            // expect: R5
   for (int I = 0; I < Count; ++I)
     Sum += Values[I];
-  return Sum / 1.0f;
+  return Sum / 1.0f;                           // expect: R5
 }

@@ -6,7 +6,7 @@
 
 #include "parmonc/mpsim/Collectives.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <atomic>
 #include <mutex>

@@ -8,7 +8,7 @@
 
 #include "parmonc/support/Clock.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>

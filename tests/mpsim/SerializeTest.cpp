@@ -6,7 +6,7 @@
 
 #include "parmonc/mpsim/Serialize.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>

@@ -6,7 +6,7 @@
 
 #include "parmonc/mpsim/VirtualCluster.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <numeric>
 

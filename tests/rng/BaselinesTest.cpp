@@ -6,7 +6,7 @@
 
 #include "parmonc/rng/Baselines.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cmath>
 #include <memory>

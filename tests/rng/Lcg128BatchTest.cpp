@@ -14,7 +14,7 @@
 #include "parmonc/rng/Lcg128.h"
 #include "parmonc/rng/StreamHierarchy.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cstdint>
 #include <vector>

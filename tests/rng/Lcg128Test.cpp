@@ -7,7 +7,7 @@
 #include "parmonc/rng/Lcg128.h"
 #include "parmonc/rng/LcgPow2.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>

@@ -12,7 +12,7 @@
 
 #include "parmonc/rng/LcgPow2.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 namespace parmonc {
 namespace {

@@ -9,7 +9,7 @@
 #include "parmonc/rng/Lcg128.h"
 #include "parmonc/stats/RunningStat.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <algorithm>
 #include <numeric>

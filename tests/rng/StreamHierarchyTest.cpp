@@ -8,7 +8,7 @@
 
 #include "parmonc/support/Text.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <filesystem>
 #include <set>

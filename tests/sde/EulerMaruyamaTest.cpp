@@ -9,7 +9,10 @@
 #include "parmonc/rng/Lcg128.h"
 #include "parmonc/stats/EstimatorMatrix.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
+
+// mclint: allow-file(R6): these tests exercise the raw generator
+// deliberately, validating the stream algebra itself.
 
 #include <cmath>
 

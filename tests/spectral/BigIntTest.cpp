@@ -6,7 +6,7 @@
 
 #include "parmonc/spectral/BigInt.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <limits>
 #include <random>

@@ -8,7 +8,7 @@
 
 #include "parmonc/rng/Lcg128.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cmath>
 #include <random>

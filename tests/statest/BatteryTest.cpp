@@ -18,7 +18,10 @@
 #include "parmonc/rng/LcgPow2.h"
 #include "parmonc/rng/StreamHierarchy.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
+
+// mclint: allow-file(R6): these tests exercise the raw generator
+// deliberately, validating the stream algebra itself.
 
 #include <algorithm>
 

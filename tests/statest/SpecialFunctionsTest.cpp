@@ -6,7 +6,7 @@
 
 #include "parmonc/statest/SpecialFunctions.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cmath>
 

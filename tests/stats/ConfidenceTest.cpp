@@ -6,7 +6,7 @@
 
 #include "parmonc/stats/Confidence.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cmath>
 

@@ -8,7 +8,7 @@
 
 #include "parmonc/stats/RunningStat.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <cmath>
 #include <random>

@@ -6,7 +6,7 @@
 
 #include "parmonc/support/Checksum.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 namespace parmonc {
 namespace {

@@ -9,7 +9,7 @@
 #include "parmonc/support/Clock.h"
 #include "parmonc/support/Status.h"
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
 
 #include <filesystem>
 
