@@ -13,7 +13,12 @@
 // simulated processors, eq. (5) averaging, error reporting and result
 // files. This mirrors the paper's §2.3 sequential-code-to-parallel story.
 //
-// Run:  ./quickstart [processors]
+// Run:  ./quickstart [processors] [--transport=threads|processes]
+//
+// With --transport=processes the simulated processors run as forked OS
+// processes talking CRC-framed messages over Unix-domain sockets — the
+// paper's cluster deployment in miniature — and produce the same results
+// as the thread transport (the differential suite proves byte-identity).
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +26,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace parmonc;
 
@@ -37,14 +43,35 @@ int main(int Argc, char **Argv) {
   Config.Columns = 1;
   Config.MaxSampleVolume = 50'000'000;        // "endless" upper bound
   Config.TargetMaxRelativeErrorPercent = 0.1; // stop at 0.1 % (3-sigma)
-  Config.ProcessorCount = Argc > 1 ? std::atoi(Argv[1]) : 4;
+  Config.ProcessorCount = 4;
   Config.AveragePeriodNanos = 100'000'000; // save every 100 ms
   Config.PassPeriodNanos = 5'000'000;     // pass subtotals every 5 ms
   Config.WorkDir = ".";
 
-  std::printf("estimating pi on %d simulated processors "
-              "(target: 0.1%% relative error at 3 sigma)...\n",
-              Config.ProcessorCount);
+  for (int Index = 1; Index < Argc; ++Index) {
+    if (std::strncmp(Argv[Index], "--transport=", 12) == 0) {
+      std::optional<TransportKind> Parsed = parseTransport(Argv[Index] + 12);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "quickstart: unknown transport '%s' "
+                     "(threads|processes)\n",
+                     Argv[Index] + 12);
+        return 2;
+      }
+      Config.Transport = *Parsed;
+    } else {
+      Config.ProcessorCount = std::atoi(Argv[Index]);
+    }
+  }
+  // The process transport has no cross-process work counter, so each rank
+  // owns a fixed quota; the early-stop broadcast still ends the run at the
+  // error target.
+  if (Config.Transport == TransportKind::Processes)
+    Config.DeterministicSchedule = true;
+
+  std::printf("estimating pi on %d simulated processors over the %s "
+              "transport (target: 0.1%% relative error at 3 sigma)...\n",
+              Config.ProcessorCount, transportName(Config.Transport));
 
   Result<RunReport> Outcome = runSimulation(piRealization, Config);
   if (!Outcome) {

@@ -17,6 +17,7 @@
 #ifndef PARMONC_CORE_RUNCONFIG_H
 #define PARMONC_CORE_RUNCONFIG_H
 
+#include "parmonc/mpsim/Transport.h"
 #include "parmonc/obs/Metrics.h"
 #include "parmonc/obs/Trace.h"
 #include "parmonc/rng/StreamHierarchy.h"
@@ -75,6 +76,15 @@ struct RunConfig {
   /// Number of simulated processors M. Rank 0 both simulates and collects,
   /// as in the paper's performance test.
   int ProcessorCount = 1;
+
+  /// How the ranks are hosted: Threads = one thread per rank inside this
+  /// process (the differential oracle), Processes = forked worker
+  /// processes exchanging CRC-framed messages over Unix-domain socket
+  /// pairs (mpsim/SocketTransport.h). Rank 0 runs in the calling process
+  /// either way, so reports and result files are identical. Processes
+  /// requires DeterministicSchedule (there is no cross-process shared
+  /// work counter) — enforced by validate().
+  TransportKind Transport = TransportKind::Threads;
 
   /// Period with which each worker passes its subtotal to rank 0
   /// (perpass). The paper expresses this in minutes; the engine takes
@@ -231,6 +241,11 @@ struct RunReport {
   /// Final values of every engine metric (runner.*, rng.*, comm.*,
   /// store.*), also persisted to results/metrics.dat for mcstat.
   obs::MetricsSnapshot Metrics;
+
+  /// Process transport only: per-worker exit diagnostics (exit code or
+  /// terminating signal, whether the orderly GOODBYE arrived, send
+  /// counters). Empty under the thread transport.
+  std::vector<ProcessRankStatus> ProcessRanks;
 };
 
 } // namespace parmonc

@@ -65,6 +65,12 @@ struct WorkerCrashSpec {
   int Rank = 1;
   int64_t AfterRealizations = 1;
   bool PersistBeforeCrash = true;
+  /// Process transport only (enforced by RunConfig::validate): instead of
+  /// silently returning from the rank body, the worker raises SIGKILL on
+  /// itself — no goodbye, no flush, no destructors. The supervisor sees
+  /// EOF-without-GOODBYE and reports the terminating signal, the harshest
+  /// crash the suite can stage.
+  bool RaiseKillSignal = false;
 };
 
 /// Kills the collector at a save-point, before anything is written: the

@@ -129,6 +129,13 @@ const std::vector<std::string_view> &rawConcurrencyTypeNeedles();
 /// The concurrency headers R3/R8 ban (`<thread>`, `<mutex>`, ...).
 const std::vector<std::string_view> &rawConcurrencyIncludeNeedles();
 
+/// The raw socket identifiers R8 bans outside mpsim/ (`socketpair`,
+/// `AF_UNIX`, ...): wire I/O belongs to the transport layer.
+const std::vector<std::string_view> &rawSocketTokenNeedles();
+
+/// The socket headers R8 bans outside mpsim/ (`<sys/socket.h>`, ...).
+const std::vector<std::string_view> &rawSocketIncludeNeedles();
+
 } // namespace lint
 } // namespace parmonc
 

@@ -9,18 +9,23 @@
 /// tagged, asynchronous point-to-point messages. This is deliberately the
 /// subset PARMONC's parallelization technique needs — asynchronous send,
 /// non-blocking probe/receive, a barrier — nothing more. The run engine is
-/// written against Communicator exactly the way PARMONC is written against
-/// MPI, and user code never sees either.
+/// written against the abstract Communicator exactly the way PARMONC is
+/// written against MPI, and user code never sees either. Two backends
+/// implement it: FabricCommunicator (threads-as-ranks over this file's
+/// Fabric) and the socket-pair process transport in SocketTransport.cpp,
+/// selected through mpsim/Engine.h.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARMONC_MPSIM_COMMUNICATOR_H
 #define PARMONC_MPSIM_COMMUNICATOR_H
 
+#include "parmonc/mpsim/Transport.h"
 #include "parmonc/obs/Metrics.h"
 #include "parmonc/support/Clock.h"
 #include "parmonc/support/Status.h"
 
+#include <atomic>
 #include <cassert>
 #include <condition_variable>
 #include <cstdint>
@@ -57,18 +62,22 @@ struct SendFault {
   int64_t DelayNanos = 0;
 };
 
-/// Hook consulted on every send attempt: (source, destination, tag).
+/// Hook consulted on every send attempt: (source, destination, tag). Both
+/// transports consult it at the same points, so a deterministic injector
+/// produces the same per-source fault sequence over threads and sockets.
 using SendFaultHook = std::function<SendFault(int, int, int)>;
 
 /// One rank's incoming queue. Thread-safe multi-producer/single-consumer.
 class Mailbox {
 public:
-  /// Enqueues a message (called by any sender thread).
+  /// Enqueues a message (called by any sender thread). Messages pushed
+  /// after close() are dropped — the backend is tearing down and nobody
+  /// will ever pop them.
   void push(Message Incoming);
 
   /// Removes and returns the oldest message whose tag matches \p Tag, or
   /// any message when \p Tag is negative. Non-blocking; empty optional if
-  /// nothing matches.
+  /// nothing matches. Draining an already-closed mailbox is allowed.
   std::optional<Message> tryPop(int Tag = -1);
 
   /// Blocking variant with a deadline; empty optional on timeout. The
@@ -77,8 +86,21 @@ public:
   /// the deadline. With \p TimeSource set the deadline is measured on that
   /// clock (a ManualClock-driven waiter polls and returns as soon as the
   /// injected time passes the deadline); null uses the steady clock.
+  /// Returns immediately (with a match if one is queued, empty otherwise)
+  /// once the mailbox is closed — a teardown must never leave a waiter
+  /// blocked for its full timeout.
   std::optional<Message> popWait(int Tag, int64_t TimeoutNanos,
                                  const Clock *TimeSource = nullptr);
+
+  /// Closes the mailbox: wakes every blocked popWait immediately and
+  /// makes further waits return without blocking. Queued messages stay
+  /// drainable through tryPop. Idempotent; safe to call concurrently with
+  /// waiters and pushers — this is the shutdown-ordering seam that lets a
+  /// backend be torn down while peers still hold queued messages.
+  void close();
+
+  /// True once close() has been called.
+  bool isClosed() const;
 
   /// Number of queued messages (any tag).
   size_t pendingCount() const;
@@ -94,9 +116,10 @@ private:
   mutable std::mutex Mutex;
   std::condition_variable Available;
   std::deque<Message> Queue;
+  bool Closed = false;
 };
 
-/// The shared state connecting all ranks of one run.
+/// The shared state connecting all ranks of one thread-backed run.
 class Fabric {
 public:
   explicit Fabric(int RankCount);
@@ -130,6 +153,24 @@ public:
 
   /// Ranks not marked dead.
   int aliveRankCount() const;
+
+  /// Asks every rank to stop (cooperative; ranks poll stopRequested()).
+  void requestStop(StopReason Reason);
+  bool stopRequested() const;
+  /// OR of every StopReason broadcast so far.
+  uint8_t stopReasonBits() const;
+
+  /// Marks the run aborted: the collector died, ranks must skip
+  /// finalization. Implies requestStop.
+  void requestAbort();
+  bool abortRequested() const;
+
+  /// Tears the fabric down while peers may still hold queued messages:
+  /// closes every mailbox (waking all blocked receivers) and releases any
+  /// barrier waiters. After shutdown the rank threads can be joined in
+  /// any order without deadlocking — the shutdown-ordering contract the
+  /// adversarial-join regression tests pin down.
+  void shutdown();
 
   /// Moves every delayed message whose release time has passed into its
   /// destination mailbox. Called from the communicator's send/receive
@@ -180,24 +221,32 @@ private:
   uint64_t BarrierGeneration = 0;
   std::vector<bool> DeadByRank;
   std::atomic<uint64_t> TotalBytes{0};
+  std::atomic<bool> StopFlag{false};
+  std::atomic<uint8_t> StopBits{0};
+  std::atomic<bool> AbortFlag{false};
 };
 
-/// A rank's handle to the fabric: the MPI-communicator equivalent.
+/// A rank's handle to its run: the MPI-communicator equivalent. Abstract
+/// so the engine and the collectives are transport-agnostic — the same
+/// collector/checkpoint code runs over threads (FabricCommunicator) and
+/// over forked processes (the socket transport), and the differential
+/// suite holds the two backends byte-identical on estimator output.
 class Communicator {
 public:
-  Communicator(Fabric &SharedFabric, int Rank)
-      : SharedFabric(SharedFabric), Rank(Rank) {
-    assert(Rank >= 0 && Rank < SharedFabric.rankCount());
-  }
+  virtual ~Communicator() = default;
 
-  int rank() const { return Rank; }
-  int size() const { return SharedFabric.rankCount(); }
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
 
-  /// Asynchronous send: enqueues into the destination mailbox and returns
+  /// Asynchronous send: enqueues toward the destination and returns
   /// immediately (the paper's workers never wait on the collector). A
   /// Fail verdict from the fault hook is swallowed — use sendReliable when
   /// the caller needs to see failures.
-  void send(int Destination, int Tag, std::vector<uint8_t> Payload);
+  void send(int Destination, int Tag, std::vector<uint8_t> Payload) {
+    (void)sendReliable(Destination, Tag, std::move(Payload),
+                       /*MaxAttempts=*/1, /*BackoffNanos=*/0,
+                       /*TimeSource=*/nullptr);
+  }
 
   /// Send with a bounded retry loop: a Fail verdict from the fault hook is
   /// retried up to \p MaxAttempts times total, sleeping \p BackoffNanos on
@@ -205,24 +254,81 @@ public:
   /// Returns the final failure once the attempts are exhausted. Dropped
   /// messages still count as success — a real network loses data without
   /// telling the sender.
-  [[nodiscard]] Status sendReliable(int Destination, int Tag,
-                                    std::vector<uint8_t> Payload,
-                                    int MaxAttempts, int64_t BackoffNanos,
-                                    const Clock *TimeSource);
+  [[nodiscard]] virtual Status sendReliable(int Destination, int Tag,
+                                            std::vector<uint8_t> Payload,
+                                            int MaxAttempts,
+                                            int64_t BackoffNanos,
+                                            const Clock *TimeSource) = 0;
 
   /// Non-blocking receive of the oldest message with \p Tag (-1 = any).
-  std::optional<Message> tryReceive(int Tag = -1);
+  virtual std::optional<Message> tryReceive(int Tag = -1) = 0;
 
   /// Blocking receive with timeout; empty on timeout. \p TimeSource as in
   /// Mailbox::popWait.
-  std::optional<Message> receiveWait(int Tag, int64_t TimeoutNanos,
-                                     const Clock *TimeSource = nullptr);
+  virtual std::optional<Message> receiveWait(
+      int Tag, int64_t TimeoutNanos, const Clock *TimeSource = nullptr) = 0;
 
   /// True if a message with \p Tag is waiting.
-  bool probe(int Tag = -1);
+  virtual bool probe(int Tag = -1) = 0;
 
-  /// Blocks until every rank has arrived.
-  void barrier() { SharedFabric.arriveAtBarrier(); }
+  /// Blocks until every live rank has arrived.
+  virtual void barrier() = 0;
+
+  /// Declares \p Rank dead: it is dropped from barrier rendezvous and
+  /// liveness accounting (the collector's straggler declaration, and a
+  /// crashing rank's own last act).
+  virtual void markDead(int Rank) = 0;
+
+  /// Broadcasts a cooperative stop to every rank of the run, crossing
+  /// address spaces under the process transport.
+  virtual void requestStop(StopReason Reason) = 0;
+  virtual bool stopRequested() const = 0;
+
+  /// Broadcasts "the collector is dead; skip finalization" — the injected
+  /// collector crash turning into a whole-job kill.
+  virtual void requestAbort() = 0;
+  virtual bool abortRequested() const = 0;
+
+  /// Kills the calling rank's host immediately and unrecoverably — under
+  /// the process transport, raise(SIGKILL) on the worker process, the
+  /// harshest crash the fault suite injects. Not supported (asserts) on
+  /// the thread transport, where ranks share the test runner's process.
+  [[noreturn]] virtual void crashHard();
+};
+
+/// The thread-backed rank handle over a shared Fabric.
+class FabricCommunicator final : public Communicator {
+public:
+  FabricCommunicator(Fabric &SharedFabric, int Rank)
+      : SharedFabric(SharedFabric), Rank(Rank) {
+    assert(Rank >= 0 && Rank < SharedFabric.rankCount());
+  }
+
+  int rank() const override { return Rank; }
+  int size() const override { return SharedFabric.rankCount(); }
+
+  [[nodiscard]] Status sendReliable(int Destination, int Tag,
+                                    std::vector<uint8_t> Payload,
+                                    int MaxAttempts, int64_t BackoffNanos,
+                                    const Clock *TimeSource) override;
+
+  std::optional<Message> tryReceive(int Tag = -1) override;
+  std::optional<Message> receiveWait(int Tag, int64_t TimeoutNanos,
+                                     const Clock *TimeSource = nullptr)
+      override;
+  bool probe(int Tag = -1) override;
+  void barrier() override { SharedFabric.arriveAtBarrier(); }
+  void markDead(int DeadRank) override { SharedFabric.markDead(DeadRank); }
+  void requestStop(StopReason Reason) override {
+    SharedFabric.requestStop(Reason);
+  }
+  bool stopRequested() const override {
+    return SharedFabric.stopRequested();
+  }
+  void requestAbort() override { SharedFabric.requestAbort(); }
+  bool abortRequested() const override {
+    return SharedFabric.abortRequested();
+  }
 
   Fabric &fabric() { return SharedFabric; }
 

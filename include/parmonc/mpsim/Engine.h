@@ -1,0 +1,60 @@
+//===- parmonc/mpsim/Engine.h - Transport-selecting rank engine -----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// runEngine() is the transport-agnostic "launch as an MPI job"
+/// substitute: it hosts RankCount copies of a rank body — as threads over
+/// the in-process fabric, or as forked worker processes over CRC-framed
+/// socket pairs — and hands each one a Communicator. Rank 0 always runs
+/// on the calling thread's side of the fence (in the calling process under
+/// both transports), so collector state, run reports and result files
+/// written by rank 0 stay visible to the caller either way. That is what
+/// lets the same Runner/collector/checkpoint code run unchanged across
+/// backends, with the thread engine as the differential oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_MPSIM_ENGINE_H
+#define PARMONC_MPSIM_ENGINE_H
+
+#include "parmonc/mpsim/Communicator.h"
+#include "parmonc/mpsim/Transport.h"
+
+#include <functional>
+
+namespace parmonc {
+
+/// Cross-cutting knobs of a run, shared by both transports.
+struct EngineOptions {
+  /// Observability sink; the thread engine registers comm.* on its fabric,
+  /// the process engine adds transport.* router counters.
+  obs::MetricsRegistry *Metrics = nullptr;
+
+  /// Fault hook consulted on every send attempt, in both transports at
+  /// the same protocol points — deterministic injectors therefore replay
+  /// the same per-source fault sequence over threads and sockets.
+  SendFaultHook FaultHook;
+
+  /// Clock timing Delay verdicts and retry backoff.
+  const Clock *FaultClock = nullptr;
+
+  /// Process transport only: how long the supervisor waits for worker
+  /// processes to exit after rank 0 finishes before escalating to
+  /// SIGKILL. Keeps a wedged worker from hanging the run forever.
+  int64_t TeardownGraceNanos = 10'000'000'000;
+};
+
+/// Hosts \p RankCount ranks of \p Body under \p Kind and returns the
+/// engine-level diagnostics. Blocking; returns once rank 0 finished and —
+/// under the process transport — every worker process was reaped.
+[[nodiscard]] Result<EngineReport>
+runEngine(TransportKind Kind, int RankCount,
+          const std::function<void(Communicator &)> &Body,
+          const EngineOptions &Options = {});
+
+} // namespace parmonc
+
+#endif // PARMONC_MPSIM_ENGINE_H

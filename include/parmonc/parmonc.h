@@ -21,8 +21,12 @@
 #include "parmonc/int128/UInt128.h"
 #include "parmonc/mpsim/Collectives.h"
 #include "parmonc/mpsim/Communicator.h"
+#include "parmonc/mpsim/Engine.h"
 #include "parmonc/mpsim/Serialize.h"
+#include "parmonc/mpsim/SocketTransport.h"
+#include "parmonc/mpsim/Transport.h"
 #include "parmonc/mpsim/VirtualCluster.h"
+#include "parmonc/mpsim/Wire.h"
 #include "parmonc/obs/Metrics.h"
 #include "parmonc/obs/Stopwatch.h"
 #include "parmonc/obs/Trace.h"

@@ -18,6 +18,7 @@
 
 #include "parmonc/fault/FaultPlan.h"
 #include "parmonc/mpsim/Communicator.h"
+#include "parmonc/mpsim/Engine.h"
 #include "parmonc/obs/Stopwatch.h"
 #include "parmonc/rng/StreamHierarchy.h"
 #include "parmonc/support/Contract.h"
@@ -25,7 +26,7 @@
 
 // mclint: allow-file(R8): the engine's stop/claim flags are the one
 // reviewed lock-free seam outside mpsim/ — workers and the collector share
-// them by reference inside a single runThreadEngine() invocation, and all
+// them by reference inside a single runEngine() invocation, and all
 // cross-rank *data* still flows through the communicator protocol.
 #include <algorithm>
 #include <atomic>
@@ -147,6 +148,17 @@ Status RunConfig::validate() const {
           "injected worker crashes model whole-rank death and require "
           "WorkerThreadsPerRank == 1");
   }
+  if (Transport == TransportKind::Processes && !DeterministicSchedule)
+    return invalidArgument(
+        "the process transport has no cross-process work counter; "
+        "DeterministicSchedule must be on so every rank owns a fixed "
+        "quota");
+  if (Faults && Transport != TransportKind::Processes)
+    for (const fault::WorkerCrashSpec &Crash : Faults->WorkerCrashes)
+      if (Crash.RaiseKillSignal)
+        return invalidArgument(
+            "RaiseKillSignal kills a worker with SIGKILL and requires "
+            "Transport == TransportKind::Processes");
   if (Faults)
     if (Status PlanOk = Faults->validate(); !PlanOk)
       return PlanOk;
@@ -290,6 +302,12 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   Status CollectorFailure; // first IO failure seen by rank 0
   RunReport Report;
 
+  // Rank 0's communicator, captured at body entry: the collector-side
+  // helpers broadcast stop/abort through it so the decision crosses
+  // address spaces under the process transport (Shared's atomics only
+  // reach threads of this process).
+  Communicator *RootComm = nullptr;
+
   // Pre-register every hot-path metric on the cold path: workers then only
   // touch relaxed atomics through stable references.
   obs::Counter &RealizationsTotal = Registry.counter("runner.realizations");
@@ -361,6 +379,8 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
       Injector->noteCollectorCrashed();
       Shared.Killed.store(true, std::memory_order_relaxed);
       Shared.StopRequested.store(true, std::memory_order_relaxed);
+      if (RootComm)
+        RootComm->requestAbort();
       return;
     }
     MergeLatency.recordNanos(MergeEnd - MergeStart);
@@ -410,6 +430,8 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     if (AbsoluteMet || RelativeMet) {
       Shared.StoppedOnErrorTarget.store(true, std::memory_order_relaxed);
       Shared.StopRequested.store(true, std::memory_order_relaxed);
+      if (RootComm)
+        RootComm->requestStop(StopReason::ErrorTarget);
       if (Trace)
         Trace->instantAt("runner.stop.error_target", 0, SaveEnd);
     }
@@ -445,6 +467,8 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
 
   auto body = [&](Communicator &Comm) {
     const int Rank = Comm.rank();
+    if (Rank == 0)
+      RootComm = &Comm;
     const int ThreadsPerRank = Config.WorkerThreadsPerRank;
 
     MomentSnapshot Local;
@@ -504,7 +528,10 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     const fault::WorkerCrashSpec *Crash =
         Injector ? Injector->workerCrash(Rank) : nullptr;
 
-    while (!Shared.StopRequested.load(std::memory_order_relaxed)) {
+    // Shared covers threads of this process; stopRequested() additionally
+    // hears wire broadcasts when this rank is a forked worker.
+    while (!Shared.StopRequested.load(std::memory_order_relaxed) &&
+           !Comm.stopRequested()) {
       if (Quota >= 0) {
         if (Completed >= Quota)
           break;
@@ -544,7 +571,9 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
         if (Crash->PersistBeforeCrash)
           (void)Store.writeSnapshot(Store.subtotalPath(Rank), Local);
         Injector->noteWorkerCrashed(Rank);
-        Comm.fabric().markDead(Rank);
+        if (Crash->RaiseKillSignal)
+          Comm.crashHard(); // SIGKILL the worker process: a real node loss
+        Comm.markDead(Rank);
         return;
       }
 
@@ -553,6 +582,7 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
           Now - StartNanos >= Config.TimeLimitNanos) {
         Shared.StoppedOnTimeLimit.store(true, std::memory_order_relaxed);
         Shared.StopRequested.store(true, std::memory_order_relaxed);
+        Comm.requestStop(StopReason::TimeLimit);
         if (Trace)
           Trace->instantAt("runner.stop.time_limit", Rank, Now);
       }
@@ -662,7 +692,18 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
       return Merged;
     };
 
+    bool StopRelayed = false;
     while (ThreadFinalsOutstanding > 0) {
+      // Relay stop both ways: wire broadcasts into this process's Shared
+      // flags (so the worker threads wind down), and a locally detected
+      // time limit out onto the wire (so the other ranks hear it too).
+      if (!StopRelayed &&
+          Shared.StoppedOnTimeLimit.load(std::memory_order_relaxed)) {
+        Comm.requestStop(StopReason::TimeLimit);
+        StopRelayed = true;
+      }
+      if (Comm.stopRequested())
+        Shared.StopRequested.store(true, std::memory_order_relaxed);
       if (std::optional<Message> Incoming =
               IntraRank.popWait(-1, /*TimeoutNanos=*/2'000'000, &Time)) {
         Result<MomentSnapshot> Snapshot =
@@ -694,8 +735,10 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     Local = mergeThreads();
     }
 
-    // A crashed collector kills the whole job: nobody finalizes.
-    if (Shared.Killed.load(std::memory_order_relaxed))
+    // A crashed collector kills the whole job: nobody finalizes. Forked
+    // workers learn of the death from the abort broadcast.
+    if (Shared.Killed.load(std::memory_order_relaxed) ||
+        Comm.abortRequested())
       return;
 
     sendSubtotal(TagFinal);
@@ -725,7 +768,7 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
             if (Trace)
               Trace->instantAt("runner.dead_worker", Straggler,
                                Time.nowNanos());
-            Comm.fabric().markDead(Straggler);
+            Comm.markDead(Straggler);
           }
         }
         // Periodic save-points continue while stragglers finish.
@@ -762,43 +805,55 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     }
   };
 
-  runThreadEngine(RankCount, body, &Registry, [&](Fabric &Net) {
-    if (!Injector)
-      return;
-    // The fabric knows nothing of fault policy: adapt the injector's
-    // verdicts onto the mpsim hook type here.
-    Net.setSendFaultHook(
-        [Injector](int Source, int Destination, int Tag) {
-          const fault::MessageDecision Decision =
-              Injector->onSendAttempt(Source, Destination, Tag);
-          SendFault Verdict;
-          switch (Decision.Action) {
-          case fault::MessageAction::Deliver:
-            Verdict.Act = SendFault::Action::Deliver;
-            break;
-          case fault::MessageAction::Drop:
-            Verdict.Act = SendFault::Action::Drop;
-            break;
-          case fault::MessageAction::Duplicate:
-            Verdict.Act = SendFault::Action::Duplicate;
-            break;
-          case fault::MessageAction::Delay:
-            Verdict.Act = SendFault::Action::Delay;
-            Verdict.DelayNanos = Decision.DelayNanos;
-            break;
-          case fault::MessageAction::FailSend:
-            Verdict.Act = SendFault::Action::Fail;
-            break;
-          }
-          return Verdict;
-        },
-        &Time);
-  });
+  EngineOptions Hosting;
+  Hosting.Metrics = &Registry;
+  if (Injector) {
+    // The transports know nothing of fault policy: adapt the injector's
+    // verdicts onto the mpsim hook type here. Both backends consult the
+    // hook at the same protocol points, so a deterministic plan replays
+    // the same per-source fault sequence over threads and sockets.
+    Hosting.FaultHook = [Injector](int Source, int Destination, int Tag) {
+      const fault::MessageDecision Decision =
+          Injector->onSendAttempt(Source, Destination, Tag);
+      SendFault Verdict;
+      switch (Decision.Action) {
+      case fault::MessageAction::Deliver:
+        Verdict.Act = SendFault::Action::Deliver;
+        break;
+      case fault::MessageAction::Drop:
+        Verdict.Act = SendFault::Action::Drop;
+        break;
+      case fault::MessageAction::Duplicate:
+        Verdict.Act = SendFault::Action::Duplicate;
+        break;
+      case fault::MessageAction::Delay:
+        Verdict.Act = SendFault::Action::Delay;
+        Verdict.DelayNanos = Decision.DelayNanos;
+        break;
+      case fault::MessageAction::FailSend:
+        Verdict.Act = SendFault::Action::Fail;
+        break;
+      }
+      return Verdict;
+    };
+    Hosting.FaultClock = &Time;
+  }
+  Result<EngineReport> Hosted =
+      runEngine(Config.Transport, RankCount, body, Hosting);
+  if (!Hosted)
+    return Hosted.status();
+  const EngineReport &Fleet = Hosted.value();
 
   // Filled here rather than in the rank-0 epilogue so a run killed by an
   // injected crash still reports how many saves landed before it died.
+  // Stop flags and failed-send counts OR/sum in the engine's view: forked
+  // workers report over the wire what thread ranks wrote into Shared.
   Report.SavePointCount = Collector.SavePointCount;
-  Report.FailedSends = Shared.FailedSends.load(std::memory_order_relaxed);
+  Report.FailedSends = Shared.FailedSends.load(std::memory_order_relaxed) +
+                       Fleet.ChildFailedSends;
+  Report.StoppedOnTimeLimit |= Fleet.StopOnTimeLimit;
+  Report.StoppedOnErrorTarget |= Fleet.StopOnErrorTarget;
+  Report.ProcessRanks = Fleet.Ranks;
   Report.DeadWorkers = Collector.DeadWorkers;
   std::sort(Report.DeadWorkers.begin(), Report.DeadWorkers.end());
   Report.Degraded = !Report.DeadWorkers.empty() || Report.FailedSends > 0;

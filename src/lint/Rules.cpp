@@ -863,7 +863,7 @@ public:
   std::string_view id() const override { return "R8"; }
   std::string_view name() const override { return "mailbox-discipline"; }
   std::string_view summary() const override {
-    return "core/ concurrency flows through mpsim Mailbox/WorkerGroup";
+    return "core/ concurrency and all socket I/O flow through mpsim";
   }
   std::string_view rationale() const override {
     return "PR 4 widened the engine: core/ drives worker threads, but "
@@ -875,18 +875,26 @@ public:
            "This rule supersedes R3 inside core/: it applies the same "
            "needle set plus call-graph taint from the project index "
            "(functions defined in raw-synchronization TUs outside "
-           "mpsim/ and obs/).";
+           "mpsim/ and obs/). PR 6 added the process transport, and with "
+           "it a second discipline: raw socket calls (socketpair, "
+           "sendmsg, AF_UNIX, ...) are banned everywhere outside mpsim/ — "
+           "wire I/O belongs to the transport layer, where the frame "
+           "codec guarantees CRC framing and the supervisor owns the "
+           "file descriptors.";
   }
   std::string_view example() const override {
     return "  // in src/core/Runner.cpp:\n"
            "  std::mutex M;            // flagged (direct)\n"
            "  spinOnFlag(Done);        // flagged if spinOnFlag() is\n"
            "                           // defined in a raw-sync TU\n"
+           "  socketpair(AF_UNIX, ...) // flagged: sockets only in mpsim/\n"
            "  Group.dispatch(Job);     // ok: the blessed layer";
   }
 
   void check(const SourceFile &File, const LintContext &Context,
              std::vector<Diagnostic> &Out) const override {
+    if (!pathContainsComponent(File.path(), "mpsim"))
+      checkRawSockets(File, Out);
     if (!pathContainsComponent(File.path(), "core"))
       return;
     checkDirectSync(File, Out);
@@ -894,6 +902,39 @@ public:
   }
 
 private:
+  void checkRawSockets(const SourceFile &File,
+                       std::vector<Diagnostic> &Out) const {
+    for (size_t Index = 0; Index < File.lineCount(); ++Index) {
+      std::string_view Raw = trim(File.rawLine(Index));
+      if (startsWith(Raw, "#include")) {
+        for (std::string_view Banned : rawSocketIncludeNeedles()) {
+          if (Raw.find(Banned) == std::string_view::npos)
+            continue;
+          Out.push_back({File.path(), unsigned(Index + 1),
+                         std::string(id()), std::string(name()),
+                         "include of " + std::string(Banned) +
+                             " outside mpsim/; socket I/O belongs to the "
+                             "transport layer",
+                         {}});
+          break;
+        }
+        continue;
+      }
+      std::string_view Line = File.scrubbedLine(Index);
+      for (std::string_view Banned : rawSocketTokenNeedles()) {
+        if (findWordToken(Line, Banned) == std::string_view::npos)
+          continue;
+        Out.push_back({File.path(), unsigned(Index + 1),
+                       std::string(id()), std::string(name()),
+                       "'" + std::string(Banned) +
+                           "' outside mpsim/; socket I/O belongs to the "
+                           "transport layer",
+                       {}});
+        break;
+      }
+    }
+  }
+
   void checkDirectSync(const SourceFile &File,
                        std::vector<Diagnostic> &Out) const {
     for (size_t Index = 0; Index < File.lineCount(); ++Index) {
@@ -1228,6 +1269,22 @@ const std::vector<std::string_view> &rawConcurrencyIncludeNeedles() {
       "<thread>", "<mutex>",     "<atomic>", "<condition_variable>",
       "<future>", "<shared_mutex>", "<semaphore>", "<barrier>",
       "<latch>",  "<stop_token>"};
+  return Needles;
+}
+
+const std::vector<std::string_view> &rawSocketTokenNeedles() {
+  // Word tokens only (findWordToken): deliberately no bare "send"/"recv",
+  // which would collide with the Communicator API itself.
+  static const std::vector<std::string_view> Needles = {
+      "socketpair", "AF_UNIX",     "AF_INET",    "SOCK_STREAM",
+      "SOCK_DGRAM", "sendmsg",     "recvmsg",    "accept4",
+      "getsockopt", "setsockopt"};
+  return Needles;
+}
+
+const std::vector<std::string_view> &rawSocketIncludeNeedles() {
+  static const std::vector<std::string_view> Needles = {
+      "<sys/socket.h>", "<sys/un.h>", "<netinet/", "<arpa/inet.h>"};
   return Needles;
 }
 

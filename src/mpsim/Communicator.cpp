@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 namespace parmonc {
@@ -15,6 +16,8 @@ namespace parmonc {
 void Mailbox::push(Message Incoming) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
+    if (Closed)
+      return; // the backend is tearing down; nobody will pop this
     Queue.push_back(std::move(Incoming));
   }
   Available.notify_all();
@@ -56,7 +59,7 @@ std::optional<Message> Mailbox::popWait(int Tag, int64_t TimeoutNanos,
     for (;;) {
       if (std::optional<Message> Found = popMatchingLocked(Tag))
         return Found;
-      if (TimeSource->nowNanos() >= Deadline)
+      if (Closed || TimeSource->nowNanos() >= Deadline)
         return std::nullopt;
       Available.wait_for(Lock, std::chrono::microseconds(100));
     }
@@ -66,12 +69,24 @@ std::optional<Message> Mailbox::popWait(int Tag, int64_t TimeoutNanos,
   std::unique_lock<std::mutex> Lock(Mutex);
   // wait_until with a predicate rechecks after every wakeup: spurious
   // wakeups and notifications for non-matching tags neither return early
-  // nor push the deadline out; false means the deadline passed with no
-  // matching message queued.
-  if (!Available.wait_until(Lock, Deadline,
-                            [this, Tag] { return containsLocked(Tag); }))
-    return std::nullopt;
+  // nor push the deadline out; false means the deadline passed (or the
+  // mailbox closed) with no matching message queued.
+  Available.wait_until(Lock, Deadline,
+                       [this, Tag] { return Closed || containsLocked(Tag); });
   return popMatchingLocked(Tag);
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+  }
+  Available.notify_all();
+}
+
+bool Mailbox::isClosed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Closed;
 }
 
 size_t Mailbox::pendingCount() const {
@@ -133,6 +148,40 @@ int Fabric::aliveRankCount() const {
   return rankCount() - DeadRanks;
 }
 
+void Fabric::requestStop(StopReason Reason) {
+  StopBits.fetch_or(uint8_t(Reason), std::memory_order_relaxed);
+  StopFlag.store(true, std::memory_order_relaxed);
+}
+
+bool Fabric::stopRequested() const {
+  return StopFlag.load(std::memory_order_relaxed);
+}
+
+uint8_t Fabric::stopReasonBits() const {
+  return StopBits.load(std::memory_order_relaxed);
+}
+
+void Fabric::requestAbort() {
+  AbortFlag.store(true, std::memory_order_relaxed);
+  StopFlag.store(true, std::memory_order_relaxed);
+}
+
+bool Fabric::abortRequested() const {
+  return AbortFlag.load(std::memory_order_relaxed);
+}
+
+void Fabric::shutdown() {
+  requestStop(StopReason::None);
+  for (std::unique_ptr<Mailbox> &Box : Mailboxes)
+    Box->close();
+  // Release any rank parked at the barrier: a shutdown must leave every
+  // rank joinable in whatever order the caller picks.
+  std::lock_guard<std::mutex> Lock(BarrierMutex);
+  BarrierWaiting = 0;
+  ++BarrierGeneration;
+  BarrierRelease.notify_all();
+}
+
 void Fabric::arriveAtBarrier() {
   std::unique_lock<std::mutex> Lock(BarrierMutex);
   const uint64_t MyGeneration = BarrierGeneration;
@@ -173,19 +222,17 @@ void Fabric::delayMessage(int Destination, int64_t ReleaseNanos,
   Delayed.push_back(DelayedMessage{ReleaseNanos, Destination, std::move(Held)});
 }
 
-void Communicator::send(int Destination, int Tag,
-                        std::vector<uint8_t> Payload) {
-  // Fire-and-forget: the engine's periodic subtotals tolerate loss by
-  // design (cumulative sums), so a Fail verdict is absorbed here.
-  (void)sendReliable(Destination, Tag, std::move(Payload),
-                     /*MaxAttempts=*/1, /*BackoffNanos=*/0,
-                     /*TimeSource=*/nullptr);
+void Communicator::crashHard() {
+  // Only the process transport can kill a single rank; a thread-backed
+  // rank shares the host process with every other rank and the caller.
+  assert(false && "crashHard() requires the process transport");
+  std::abort();
 }
 
-Status Communicator::sendReliable(int Destination, int Tag,
-                                  std::vector<uint8_t> Payload,
-                                  int MaxAttempts, int64_t BackoffNanos,
-                                  const Clock *TimeSource) {
+Status FabricCommunicator::sendReliable(int Destination, int Tag,
+                                        std::vector<uint8_t> Payload,
+                                        int MaxAttempts, int64_t BackoffNanos,
+                                        const Clock *TimeSource) {
   assert(Destination >= 0 && Destination < size() &&
          "destination rank out of range");
   assert(MaxAttempts >= 1 && "need at least one send attempt");
@@ -244,20 +291,19 @@ Status Communicator::sendReliable(int Destination, int Tag,
   return Status::ok();
 }
 
-std::optional<Message> Communicator::tryReceive(int Tag) {
+std::optional<Message> FabricCommunicator::tryReceive(int Tag) {
   SharedFabric.pumpDelayedMessages();
   return SharedFabric.mailboxOf(Rank).tryPop(Tag);
 }
 
-std::optional<Message> Communicator::receiveWait(int Tag,
-                                                 int64_t TimeoutNanos,
-                                                 const Clock *TimeSource) {
+std::optional<Message> FabricCommunicator::receiveWait(
+    int Tag, int64_t TimeoutNanos, const Clock *TimeSource) {
   SharedFabric.pumpDelayedMessages();
   return SharedFabric.mailboxOf(Rank).popWait(Tag, TimeoutNanos,
                                               TimeSource);
 }
 
-bool Communicator::probe(int Tag) {
+bool FabricCommunicator::probe(int Tag) {
   SharedFabric.pumpDelayedMessages();
   return SharedFabric.mailboxOf(Rank).contains(Tag);
 }
@@ -276,7 +322,7 @@ void runThreadEngine(int RankCount,
   Threads.reserve(size_t(RankCount));
   for (int Rank = 0; Rank < RankCount; ++Rank) {
     Threads.emplace_back([&SharedFabric, &Body, Rank] {
-      Communicator Self(SharedFabric, Rank);
+      FabricCommunicator Self(SharedFabric, Rank);
       Body(Self);
     });
   }

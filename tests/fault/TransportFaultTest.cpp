@@ -1,0 +1,251 @@
+//===- tests/fault/TransportFaultTest.cpp - Faults over real sockets ------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The fault suite crossed with the process transport: every recovery
+// guarantee the thread-backed tests establish must hold when the workers
+// are real OS processes — including the one crash the thread engine
+// cannot stage at all, SIGKILL of a live worker. The child dies with no
+// goodbye, no flush and no destructors; the supervisor decodes the
+// terminating signal from waitpid, the collector's deadline declares the
+// rank dead, and manaver rebuilds the full total from the subtotal files
+// the worker persisted before dying (§3.4) — byte-equal to a thread run
+// that never lost anybody.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/Runner.h"
+#include "parmonc/fault/FaultPlan.h"
+#include "parmonc/support/Text.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+
+namespace parmonc {
+namespace {
+
+class ScratchDir {
+public:
+  explicit ScratchDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("parmonc_xpfault_" + Name + "_" + std::to_string(Counter++)))
+               .string();
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+  const std::string &path() const { return Path; }
+
+private:
+  static inline int Counter = 0;
+  std::string Path;
+};
+
+void uniformRealization(RandomSource &Source, double *Out) {
+  Out[0] = Source.nextUniform();
+}
+
+std::string fileBytes(const std::string &Path) {
+  return readFileToString(Path).valueOr("<missing " + Path + ">");
+}
+
+RunConfig processConfig(const std::string &WorkDir) {
+  RunConfig Config;
+  Config.MaxSampleVolume = 90;
+  Config.ProcessorCount = 3;
+  Config.DeterministicSchedule = true; // fixed 30/30/30 quotas
+  Config.Transport = TransportKind::Processes;
+  Config.WorkDir = WorkDir;
+  Config.AveragePeriodNanos = 3'600'000'000'000; // final save only
+  return Config;
+}
+
+TEST(TransportFault, SigkilledWorkerIsReportedAndManaverRestoresTheTotal) {
+  // Rank 2 SIGKILLs itself after its 30-realization quota, right before
+  // its final send. Runs on the real clock: the frozen test clock never
+  // advances past the collector's liveness deadline.
+  ScratchDir Faulted("sigkill"), Reference("sigkill_ref");
+
+  fault::FaultPlan Plan;
+  Plan.WorkerCrashes.push_back({/*Rank=*/2, /*AfterRealizations=*/30,
+                                /*PersistBeforeCrash=*/true,
+                                /*RaiseKillSignal=*/true});
+  RunConfig Config = processConfig(Faulted.path());
+  Config.Faults = &Plan;
+  Config.WorkerDeadlineNanos = 50'000'000; // 50 ms of silence = dead
+  Result<RunReport> Degraded = runSimulation(uniformRealization, Config);
+  ASSERT_TRUE(Degraded.isOk()) << Degraded.status().toString();
+
+  // The run survives the node loss, degraded over the survivors.
+  EXPECT_TRUE(Degraded.value().Degraded);
+  ASSERT_EQ(Degraded.value().DeadWorkers.size(), 1u);
+  EXPECT_EQ(Degraded.value().DeadWorkers[0], 2);
+  EXPECT_EQ(Degraded.value().TotalSampleVolume, 89);
+
+  // The supervisor's post-mortem names the exact signal; the healthy
+  // worker said an orderly goodbye.
+  ASSERT_EQ(Degraded.value().ProcessRanks.size(), 2u);
+  const ProcessRankStatus &Killed = Degraded.value().ProcessRanks[1];
+  EXPECT_EQ(Killed.Rank, 2);
+  EXPECT_TRUE(Killed.Signaled);
+  EXPECT_EQ(Killed.Signal, SIGKILL);
+  EXPECT_FALSE(Killed.GoodbyeReceived);
+  EXPECT_FALSE(Killed.ExitedCleanly);
+  const ProcessRankStatus &Survivor = Degraded.value().ProcessRanks[0];
+  EXPECT_EQ(Survivor.Rank, 1);
+  EXPECT_TRUE(Survivor.ExitedCleanly);
+  EXPECT_TRUE(Survivor.GoodbyeReceived);
+
+  // The worker persisted its full subtotal before dying (its filesystem
+  // outlived its process), so manaver closes the gap exactly — against a
+  // THREAD-transport reference, doubling as a cross-backend check.
+  RunConfig CleanConfig = processConfig(Reference.path());
+  CleanConfig.Transport = TransportKind::Threads;
+  Result<RunReport> Clean = runSimulation(uniformRealization, CleanConfig);
+  ASSERT_TRUE(Clean.isOk()) << Clean.status().toString();
+  ASSERT_EQ(Clean.value().TotalSampleVolume, 90);
+
+  ResultsStore FaultedStore(Faulted.path());
+  Result<MomentSnapshot> Recovered = runManualAverage(FaultedStore);
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  EXPECT_EQ(Recovered.value().Moments.sampleVolume(), 90);
+  ResultsStore ReferenceStore(Reference.path());
+  EXPECT_EQ(fileBytes(FaultedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(FaultedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+}
+
+TEST(TransportFault, QuietWorkerDeathOverSocketsMatchesTheThreadSuite) {
+  // The non-signal variant of the thread suite's dead-worker scenario:
+  // the child returns from its body early without a final send. Same
+  // detection (deadline), same degradation, same manaver recovery — but
+  // across a process boundary.
+  ScratchDir Faulted("quiet");
+
+  fault::FaultPlan Plan;
+  Plan.WorkerCrashes.push_back(
+      {/*Rank=*/2, /*AfterRealizations=*/30, /*PersistBeforeCrash=*/true});
+  RunConfig Config = processConfig(Faulted.path());
+  Config.Faults = &Plan;
+  Config.WorkerDeadlineNanos = 50'000'000;
+  Result<RunReport> Report = runSimulation(uniformRealization, Config);
+  ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+  EXPECT_TRUE(Report.value().Degraded);
+  EXPECT_EQ(Report.value().TotalSampleVolume, 89);
+  ASSERT_EQ(Report.value().DeadWorkers.size(), 1u);
+  EXPECT_EQ(Report.value().DeadWorkers[0], 2);
+  // No signal involved: the child still exits its process cleanly.
+  ASSERT_EQ(Report.value().ProcessRanks.size(), 2u);
+  EXPECT_TRUE(Report.value().ProcessRanks[1].ExitedCleanly);
+
+  Result<MomentSnapshot> Recovered =
+      runManualAverage(ResultsStore(Faulted.path()));
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  EXPECT_EQ(Recovered.value().Moments.sampleVolume(), 90);
+}
+
+TEST(TransportFault, FailedSendsCrossTheProcessBoundaryIntoTheReport) {
+  // A worker process that exhausts its send retries counts the loss
+  // locally — in an address space the parent cannot see. The GOODBYE
+  // frame carries the counter home, and the report aggregates it exactly
+  // as the thread engine's shared counter would have.
+  ScratchDir Faulted("sendfail"), Clean("sendfail_ref");
+
+  ManualClock Frozen(1'000'000);
+  RunConfig CleanConfig = processConfig(Clean.path());
+  ASSERT_TRUE(
+      runSimulation(uniformRealization, CleanConfig, &Frozen).isOk());
+
+  fault::FaultPlan Plan;
+  Plan.SendFailProbability = 0.7;
+  Plan.ExemptTags = {TagFinal};
+  ManualClock FrozenToo(1'000'000);
+  RunConfig Config = processConfig(Faulted.path());
+  Config.Faults = &Plan;
+  Config.SendMaxAttempts = 2;
+  Config.SendRetryBackoffNanos = 1'000;
+  Result<RunReport> Report =
+      runSimulation(uniformRealization, Config, &FrozenToo);
+  ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+
+  // Losses happened in the children, crossed the wire, degraded the run —
+  // and the cumulative protocol still delivered exact results.
+  EXPECT_GT(Report.value().FailedSends, 0);
+  EXPECT_TRUE(Report.value().Degraded);
+  EXPECT_EQ(Report.value().TotalSampleVolume, 90);
+  int64_t ReportedByChildren = 0;
+  for (const ProcessRankStatus &Rank : Report.value().ProcessRanks)
+    ReportedByChildren += Rank.FailedSends;
+  EXPECT_GT(ReportedByChildren, 0);
+  ResultsStore FaultedStore(Faulted.path()), CleanStore(Clean.path());
+  EXPECT_EQ(fileBytes(FaultedStore.meansPath()),
+            fileBytes(CleanStore.meansPath()));
+}
+
+TEST(TransportFault, CollectorCrashUnderSocketsIsRecoveredByManaver) {
+  // The parent-side collector dies at the closing save; the abort crosses
+  // the wire so the children stop too, and their final persisted
+  // subtotals — written from separate processes onto the shared
+  // filesystem — are exactly what manaver needs (§3.4).
+  ScratchDir Crashed("collector"), Reference("collector_ref");
+
+  fault::FaultPlan Plan;
+  Plan.CollectorCrash.AtFinalSave = true;
+  {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = processConfig(Crashed.path());
+    Config.MaxSampleVolume = 60;
+    Config.Faults = &Plan;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_TRUE(Report.value().SimulatedCrash);
+    EXPECT_EQ(Report.value().SavePointCount, 0);
+  }
+  ResultsStore CrashedStore(Crashed.path());
+  EXPECT_FALSE(fileExists(CrashedStore.checkpointPath()));
+  EXPECT_FALSE(fileExists(CrashedStore.meansPath()));
+
+  {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = processConfig(Reference.path());
+    Config.MaxSampleVolume = 60;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 60);
+  }
+
+  Result<MomentSnapshot> Recovered = runManualAverage(CrashedStore);
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  EXPECT_EQ(Recovered.value().Moments.sampleVolume(), 60);
+  ResultsStore ReferenceStore(Reference.path());
+  EXPECT_EQ(fileBytes(CrashedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(CrashedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+}
+
+TEST(TransportFault, KillSignalCrashIsRejectedOnTheThreadTransport) {
+  // SIGKILLing a rank THREAD would kill the whole test process;
+  // validate() must refuse the combination instead of trying.
+  ScratchDir Dir("reject");
+  fault::FaultPlan Plan;
+  Plan.WorkerCrashes.push_back({/*Rank=*/1, /*AfterRealizations=*/1,
+                                /*PersistBeforeCrash=*/true,
+                                /*RaiseKillSignal=*/true});
+  RunConfig Config = processConfig(Dir.path());
+  Config.Transport = TransportKind::Threads;
+  Config.Faults = &Plan;
+  Result<RunReport> Report = runSimulation(uniformRealization, Config);
+  ASSERT_FALSE(Report.isOk());
+  EXPECT_NE(Report.status().message().find("SIGKILL"), std::string::npos);
+}
+
+} // namespace
+} // namespace parmonc

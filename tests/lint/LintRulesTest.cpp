@@ -195,11 +195,18 @@ TEST(LintRulesTest, R8FlagsDirectSyncAndTaintedCalls) {
     Got.push_back(fixtureRel(Diag.Path) + ":" + std::to_string(Diag.Line));
   EXPECT_EQ(Got, (std::vector<std::string>{"core/r8_direct_sync.cpp:3",
                                            "core/r8_direct_sync.cpp:8",
+                                           "core/r8_raw_socket.cpp:3",
+                                           "core/r8_raw_socket.cpp:9",
                                            "core/r8_tainted_call.cpp:7"}));
-  ASSERT_EQ(Report.Diagnostics.size(), 3u);
-  EXPECT_NE(Report.Diagnostics[2].Message.find("fixtureSpinHelper"),
+  ASSERT_EQ(Report.Diagnostics.size(), 5u);
+  EXPECT_NE(Report.Diagnostics[2].Message.find("<sys/socket.h>"),
             std::string::npos);
-  // core/r8_mailbox_ok.cpp (blessed-layer calls) contributed nothing.
+  EXPECT_NE(Report.Diagnostics[3].Message.find("socketpair"),
+            std::string::npos);
+  EXPECT_NE(Report.Diagnostics[4].Message.find("fixtureSpinHelper"),
+            std::string::npos);
+  // core/r8_mailbox_ok.cpp (blessed-layer calls) and the mpsim/ socket
+  // fixture (the blessed home of the wire) contributed nothing.
 }
 
 TEST(LintRulesTest, R9FlagsUpwardIncludesAndCycles) {

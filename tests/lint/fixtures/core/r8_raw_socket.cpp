@@ -1,0 +1,12 @@
+// mclint fixture: R8 raw socket I/O outside mpsim/ — the wire belongs to
+// the transport layer, behind the CRC frame codec and the supervisor.
+#include <sys/socket.h> // expect: R8
+
+namespace parmonc {
+
+int fixtureOpenChannel() {
+  int Fds[2];
+  return socketpair(AF_UNIX, SOCK_STREAM, 0, Fds); // expect: R8
+}
+
+} // namespace parmonc

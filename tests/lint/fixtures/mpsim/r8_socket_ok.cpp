@@ -1,0 +1,12 @@
+// mclint fixture (negative): socket calls inside mpsim/ are the blessed
+// home of the wire — R8's socket discipline must not fire here.
+#include <sys/socket.h>
+
+namespace parmonc {
+
+int fixtureTransportChannel() {
+  int Fds[2];
+  return socketpair(AF_UNIX, SOCK_STREAM, 0, Fds);
+}
+
+} // namespace parmonc

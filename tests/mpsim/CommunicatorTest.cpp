@@ -109,13 +109,21 @@ TEST(Mailbox, PopWaitOnManualClockReturnsWhenInjectedTimePasses) {
   // past the deadline — no real-time sleep of the full timeout.
   ManualClock Time(0);
   Mailbox Box;
-  std::thread Advancer([&Time] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    Time.advanceNanos(2'000'000'000);
+  // popWait snapshots its deadline from the injected clock on entry, so a
+  // single advance could land before the snapshot on a loaded machine and
+  // leave the deadline forever unreachable — keep advancing until the
+  // waiter has actually returned.
+  std::atomic<bool> Returned{false};
+  std::thread Advancer([&Time, &Returned] {
+    while (!Returned.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Time.advanceNanos(2'000'000'000);
+    }
   });
   const auto Start = std::chrono::steady_clock::now();
   auto Nothing = Box.popWait(1, 1'000'000'000, &Time); // 1 s of manual time
   const auto Elapsed = std::chrono::steady_clock::now() - Start;
+  Returned.store(true);
   Advancer.join();
   EXPECT_FALSE(Nothing.has_value());
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
@@ -138,7 +146,7 @@ TEST(Mailbox, PopWaitOnManualClockStillDeliversMatches) {
 
 TEST(Fabric, TracksBytesTransferred) {
   Fabric Net(2);
-  Communicator Sender(Net, 1);
+  FabricCommunicator Sender(Net, 1);
   Sender.send(0, 1, std::vector<uint8_t>(100));
   Sender.send(0, 1, std::vector<uint8_t>(20));
   EXPECT_EQ(Net.bytesTransferred(), 120u);
@@ -146,7 +154,7 @@ TEST(Fabric, TracksBytesTransferred) {
 
 TEST(Communicator, SendDeliversToDestinationOnly) {
   Fabric Net(3);
-  Communicator Rank0(Net, 0), Rank1(Net, 1), Rank2(Net, 2);
+  FabricCommunicator Rank0(Net, 0), Rank1(Net, 1), Rank2(Net, 2);
   Rank0.send(2, 5, bytesOf({9}));
   EXPECT_FALSE(Rank1.probe());
   ASSERT_TRUE(Rank2.probe(5));
@@ -158,7 +166,7 @@ TEST(Communicator, SendDeliversToDestinationOnly) {
 
 TEST(Communicator, RankAndSize) {
   Fabric Net(4);
-  Communicator Comm(Net, 2);
+  FabricCommunicator Comm(Net, 2);
   EXPECT_EQ(Comm.rank(), 2);
   EXPECT_EQ(Comm.size(), 4);
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //   $ mcbench [--smoke] [--out DIR] [--rng-only] [--runner-only]
+//             [--transport threads|processes]
 //
 // Measures the performance layer end to end and records the numbers as
 // machine-readable JSON:
@@ -20,7 +21,10 @@
 //                          4 worker threads per rank, with speedup and
 //                          parallel efficiency relative to the serial
 //                          engine, for a latency-bound and a CPU-bound
-//                          workload.
+//                          workload. With --transport processes the sweep
+//                          scales forked worker PROCESSES over the socket
+//                          transport instead of threads, measuring the
+//                          wire's overhead against the in-process fabric.
 //
 // --smoke shrinks every size so the whole harness finishes in well under a
 // second — that is what the bench-smoke CI job and the ctest smoke test
@@ -62,6 +66,7 @@ struct Options {
   bool RngOnly = false;
   bool RunnerOnly = false;
   std::string OutDir = ".";
+  TransportKind Transport = TransportKind::Threads;
 };
 
 double nsPerOp(int64_t Nanos, uint64_t Ops) {
@@ -226,16 +231,25 @@ struct SeriesPoint {
   int64_t Volume = 0;
 };
 
-/// One engine run at \p Threads worker threads on one simulated processor.
+/// One engine run at \p Threads parallel lanes: worker threads on one
+/// simulated processor under the thread transport, or that many forked
+/// rank processes over the socket transport.
 SeriesPoint runEngineOnce(const RealizationFn &Realization,
                           int64_t Realizations, int Threads,
+                          TransportKind Transport,
                           const std::string &WorkDir) {
   RunConfig Config;
   Config.Rows = 1;
   Config.Columns = 1;
   Config.MaxSampleVolume = Realizations;
-  Config.ProcessorCount = 1;
-  Config.WorkerThreadsPerRank = Threads;
+  Config.Transport = Transport;
+  if (Transport == TransportKind::Processes) {
+    Config.ProcessorCount = Threads;
+    Config.WorkerThreadsPerRank = 1;
+  } else {
+    Config.ProcessorCount = 1;
+    Config.WorkerThreadsPerRank = Threads;
+  }
   Config.DeterministicSchedule = true;
   Config.PassPeriodNanos = 50'000'000;
   Config.AveragePeriodNanos = 200'000'000;
@@ -281,7 +295,8 @@ std::string seriesJson(const std::vector<SeriesPoint> &Series) {
   return Json;
 }
 
-std::string runRunnerSuite(bool Smoke, const std::string &OutDir) {
+std::string runRunnerSuite(bool Smoke, const std::string &OutDir,
+                           TransportKind Transport) {
   const std::string WorkDir = OutDir + "/mcbench_work";
   if (Status Created = createDirectories(WorkDir); !Created) {
     std::fprintf(stderr, "mcbench: cannot create %s: %s\n", WorkDir.c_str(),
@@ -306,7 +321,7 @@ std::string runRunnerSuite(bool Smoke, const std::string &OutDir) {
   std::vector<SeriesPoint> Latency;
   for (int Threads : ThreadCounts)
     Latency.push_back(runEngineOnce(LatencyBound, LatencyRealizations,
-                                    Threads, WorkDir));
+                                    Threads, Transport, WorkDir));
 
   // CPU-bound workload: pure arithmetic through the batched RNG kernel.
   // On a single-core host this series cannot scale (documented in
@@ -325,10 +340,13 @@ std::string runRunnerSuite(bool Smoke, const std::string &OutDir) {
   };
   std::vector<SeriesPoint> Cpu;
   for (int Threads : ThreadCounts)
-    Cpu.push_back(runEngineOnce(CpuBound, CpuRealizations, Threads, WorkDir));
+    Cpu.push_back(
+        runEngineOnce(CpuBound, CpuRealizations, Threads, Transport, WorkDir));
 
   std::string Json = "{\n";
   Json += "  \"suite\": \"runner\",\n";
+  Json += std::string("  \"transport\": \"") + transportName(Transport) +
+          "\",\n";
   Json += std::string("  \"smoke\": ") + (Smoke ? "true" : "false") + ",\n";
   Json += "  \"host_cpus\": " +
           std::to_string(sysconf(_SC_NPROCESSORS_ONLN)) + ",\n";
@@ -352,7 +370,7 @@ std::string runRunnerSuite(bool Smoke, const std::string &OutDir) {
 int usage(const char *Program) {
   std::fprintf(stderr,
                "usage: %s [--smoke] [--out DIR] [--rng-only] "
-               "[--runner-only]\n",
+               "[--runner-only] [--transport threads|processes]\n",
                Program);
   return 2;
 }
@@ -370,6 +388,12 @@ int main(int Argc, char **Argv) {
       Opts.RunnerOnly = true;
     } else if (std::strcmp(Argv[Index], "--out") == 0 && Index + 1 < Argc) {
       Opts.OutDir = Argv[++Index];
+    } else if (std::strcmp(Argv[Index], "--transport") == 0 &&
+               Index + 1 < Argc) {
+      std::optional<TransportKind> Parsed = parseTransport(Argv[++Index]);
+      if (!Parsed)
+        return usage(Argv[0]);
+      Opts.Transport = *Parsed;
     } else {
       return usage(Argv[0]);
     }
@@ -398,7 +422,8 @@ int main(int Argc, char **Argv) {
                 Numbers.BatchNs);
   }
   if (!Opts.RngOnly) {
-    const std::string Json = runRunnerSuite(Opts.Smoke, Opts.OutDir);
+    const std::string Json =
+        runRunnerSuite(Opts.Smoke, Opts.OutDir, Opts.Transport);
     const std::string Path = Opts.OutDir + "/BENCH_runner.json";
     if (Status Written = writeFileAtomic(Path, Json); !Written) {
       std::fprintf(stderr, "mcbench: %s\n", Written.toString().c_str());
