@@ -41,7 +41,7 @@ struct AnalyzerOptions {
   /// of deliberate violations and are linted by naming them as a root.
   std::vector<std::string> Paths;
 
-  /// Rule ids or names to run ("R1".."R10", "stream-discipline");
+  /// Rule ids or names to run ("R1".."R13", "stream-discipline");
   /// empty means all rules.
   std::vector<std::string> RuleIds;
 
@@ -54,6 +54,12 @@ struct AnalyzerOptions {
   /// Compute autofixes (R4, R10) and attach them to the diagnostics.
   /// Bypasses cached diagnostics (cached entries carry no fix data).
   bool ComputeFixes = false;
+
+  /// Worker threads for the per-file passes (`--jobs=N`); 0 and 1 both
+  /// mean serial. Only the embarrassingly parallel per-file work fans
+  /// out; index construction, project rules, filtering and output order
+  /// are unchanged, so results are byte-identical at any job count.
+  unsigned Jobs = 1;
 };
 
 /// Outcome of one analyzer run.

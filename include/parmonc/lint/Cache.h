@@ -11,12 +11,16 @@
 ///   - per file, the serialized FileFacts under the file's content crc32,
 ///     so unchanged files are never re-lexed when rebuilding the project
 ///     index, and
-///   - per file, the raw per-file diagnostics (rules R1..R8, before waiver
-///     and baseline filtering) under the pair (content crc32, context
-///     crc32) — the context hash fingerprints the cross-file LintContext
-///     plus the active rule set, so a new [[nodiscard]] function or a new
-///     taint source anywhere in the project invalidates every cached
-///     diagnostic list, not just the file that changed.
+///   - per file, the raw per-file diagnostics (the per-file rules,
+///     including the flow-sensitive R11-R13 with their column and witness
+///     path, before waiver and baseline filtering) under the pair
+///     (content crc32, context crc32) — the context hash fingerprints the
+///     cross-file LintContext plus the active rule set, so a new
+///     [[nodiscard]] function or a new taint source anywhere in the
+///     project invalidates every cached diagnostic list, not just the
+///     file that changed. The per-file facts also carry a CFG shape crc,
+///     and the config stamp carries the engine generation, so changes to
+///     the CFG/dataflow stage invalidate cached dataflow findings.
 ///
 /// Project-wide rules (R9) and the synthesized R10 are recomputed on every
 /// run from the (cached) facts; they are cheap once lexing is skipped.

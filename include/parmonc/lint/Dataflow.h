@@ -1,0 +1,76 @@
+//===- parmonc/lint/Dataflow.h - Forward dataflow over function CFGs ------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small forward-dataflow framework over FunctionCfg graphs. Clients
+/// implement DataflowClient: a fixed number of tracked facts, each a
+/// one-byte lattice element, with a join for merge points and a transfer
+/// function applied statement by statement. runForwardDataflow computes
+/// the fixed point — reverse postorder with a worklist, so back edges
+/// (loops) iterate until block-entry states stop changing — and returns
+/// the state at every block boundary. Rules then walk individual blocks,
+/// re-applying transfer from the block-entry state, to locate the exact
+/// statement a finding anchors to.
+///
+/// Lattice elements are plain uint8_t by design: the hosted analyses
+/// (must-check, stream-lifecycle, wire-protocol) all need only a handful
+/// of states per tracked fact, and a byte-vector state makes join and
+/// change detection trivially cheap, which keeps the fixed point fast
+/// enough to run on every file in the tree on every lint invocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_LINT_DATAFLOW_H
+#define PARMONC_LINT_DATAFLOW_H
+
+#include "parmonc/lint/Cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parmonc {
+namespace lint {
+
+/// The analysis-specific half of a dataflow problem.
+class DataflowClient {
+public:
+  virtual ~DataflowClient() = default;
+
+  /// Number of tracked facts; every state vector has this length. The
+  /// initial state at function entry is all zeros.
+  virtual size_t factCount() const = 0;
+
+  /// Lattice join of two elements of one fact, applied elementwise at
+  /// control-flow merge points. Must be commutative, associative and
+  /// idempotent, or the fixed point may not terminate.
+  virtual uint8_t join(uint8_t A, uint8_t B) const = 0;
+
+  /// Applies one statement's effect to \p State in place.
+  virtual void transfer(const CfgStatement &Stmt,
+                        std::vector<uint8_t> &State) const = 0;
+};
+
+/// Fixed-point result: the dataflow state at each block's entry and exit.
+/// Blocks unreachable from Entry never had their Reached flag set; their
+/// states stay all-zero (the initial value), which is the safe answer for
+/// the must-analyses hosted here.
+struct DataflowResult {
+  std::vector<std::vector<uint8_t>> In;
+  std::vector<std::vector<uint8_t>> Out;
+  std::vector<uint8_t> Reached; ///< 1 when the block is reachable.
+};
+
+/// Runs \p Client to a fixed point over \p Cfg. The iteration order is
+/// reverse postorder with a change-driven worklist; each edge propagates
+/// the source's Out into the target's In (copied on first arrival, joined
+/// elementwise after), and a block whose In changed is re-queued.
+DataflowResult runForwardDataflow(const FunctionCfg &Cfg,
+                                  const DataflowClient &Client);
+
+} // namespace lint
+} // namespace parmonc
+
+#endif // PARMONC_LINT_DATAFLOW_H

@@ -33,14 +33,41 @@ struct FixIt {
   std::string NewText;    ///< Replacement text (without trailing newline).
 };
 
+/// One step of a flow-sensitive finding's witness path, in source order.
+/// All steps are in the diagnostic's own file (mclint CFGs are
+/// per-function, so a flow never crosses a translation unit).
+struct FlowStep {
+  unsigned Line = 0;   ///< 1-based line number.
+  unsigned Column = 0; ///< 1-based column, 0 when unknown.
+  std::string Message; ///< What happens at this step.
+};
+
 /// One rule violation at a specific source location.
 struct Diagnostic {
+  Diagnostic() = default;
+  /// The token-level rules' one-liner: location + identity + message,
+  /// optionally with an autofix. Flow and Column stay at their defaults;
+  /// the flow rules (R11-R13) fill those in member-by-member.
+  Diagnostic(std::string Path, unsigned Line, std::string RuleId,
+             std::string RuleName, std::string Message,
+             std::vector<FixIt> Fixes = {})
+      : Path(std::move(Path)), Line(Line), RuleId(std::move(RuleId)),
+        RuleName(std::move(RuleName)), Message(std::move(Message)),
+        Fixes(std::move(Fixes)) {}
+
   std::string Path;   ///< File path as given to the analyzer.
   unsigned Line = 0;  ///< 1-based line number.
-  std::string RuleId; ///< "R1".."R10".
+  std::string RuleId; ///< "R1".."R13".
   std::string RuleName; ///< e.g. "discarded-status".
   std::string Message;  ///< Human-readable explanation.
   std::vector<FixIt> Fixes; ///< Optional autofix (R4, R10).
+  /// Witness path for flow-sensitive findings (R11-R13), rendered as a
+  /// SARIF codeFlow. Empty for token-level findings.
+  std::vector<FlowStep> Flow;
+  /// 1-based column, 0 when unknown. Token-level rules leave this 0 and
+  /// nothing downstream renders it; the flow rules set it so SARIF regions
+  /// and code-flow steps point at the exact token.
+  unsigned Column = 0;
 };
 
 /// Renders one diagnostic. \p AsError selects "error:" over "warning:"

@@ -81,6 +81,11 @@ struct FileFacts {
   bool ConstructsCursor = false;
   /// Waiver directives parsed from comments.
   std::vector<Waiver> Waivers;
+  /// Structural fingerprint of the file's function CFGs (cfgShapeCrc).
+  /// Stored in the facts so the incremental cache observes the CFG stage:
+  /// a builder change that reshapes any graph changes the serialized facts
+  /// and therefore the cached dataflow diagnostics' validity.
+  uint32_t CfgShapeCrc = 0;
 };
 
 /// Extracts facts from one lexed file.
@@ -137,6 +142,12 @@ struct LintContext {
   /// Functions also defined in some synchronization-free file; an
   /// ambiguous name appearing in both sets is silenced.
   std::set<std::string, std::less<>> CleanFunctions;
+  /// True when the flow-sensitive rules (R11-R13) are part of this run.
+  /// R1 consults it to demote itself to declarations-only territory:
+  /// inside analyzable function bodies the path-sensitive R11 supersedes
+  /// the token-level heuristic, and double-reporting would force users to
+  /// waive the same line twice.
+  bool FlowRulesActive = false;
 };
 
 /// Derives the cross-file rule context from the index: the union of

@@ -58,6 +58,11 @@ struct Token {
   /// 0-based physical lines of the first and last byte.
   uint32_t Line = 0;
   uint32_t EndLine = 0;
+  /// 0-based physical column of the first byte on Line. Computed from the
+  /// physical offset, not the logical one, so a token that follows a line
+  /// splice still points at its true source column (a logical-offset
+  /// mapping would drift left by the removed backslash-newline bytes).
+  uint32_t Column = 0;
   /// Logical spelling: the token's text with line splices removed. For
   /// comments this includes the // or /* */ markers.
   std::string Text;

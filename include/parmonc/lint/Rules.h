@@ -38,6 +38,23 @@
 ///   R10 stale-waiver         — a waiver whose rule no longer fires on its
 ///                              lines is itself a diagnostic.
 ///
+/// The flow-sensitive rules run a forward dataflow over per-function CFGs
+/// (Cfg.h, Dataflow.h) and attach step-by-step witness paths to their
+/// findings (SARIF code flows):
+///
+///   R11 must-check           — a Status/Result local must be consumed on
+///                              every path before scope exit; inside
+///                              analyzable bodies it supersedes R1, which
+///                              stands down there (see
+///                              LintContext::FlowRulesActive).
+///   R12 stream-lifecycle     — a stream handle must not be copied, escape
+///                              by reference into a lambda, or be touched
+///                              after std::move handoff to a worker.
+///   R13 wire-protocol        — frame sends follow the session state
+///                              machine (no sends after Goodbye/Abort, one
+///                              Hello) and FrameDecoder results are
+///                              checked before their value is consumed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARMONC_LINT_RULES_H
@@ -65,7 +82,7 @@ class Rule {
 public:
   virtual ~Rule() = default;
 
-  /// Stable identifier, "R1".."R10".
+  /// Stable identifier, "R1".."R13".
   virtual std::string_view id() const = 0;
 
   /// Short kebab-case name, e.g. "discarded-status".
@@ -109,6 +126,11 @@ public:
 
 /// All rules, in id order.
 std::vector<std::unique_ptr<Rule>> makeAllRules();
+
+/// The flow-sensitive rules, defined in FlowRules.cpp.
+std::unique_ptr<Rule> makeMustCheckRule();       ///< R11
+std::unique_ptr<Rule> makeStreamLifecycleRule(); ///< R12
+std::unique_ptr<Rule> makeWireProtocolRule();    ///< R13
 
 /// The project's fallible APIs that R1 knows about even when their headers
 /// are outside the scanned roots.

@@ -27,8 +27,10 @@
 #ifndef PARMONC_LINT_SOURCEFILE_H
 #define PARMONC_LINT_SOURCEFILE_H
 
+#include "parmonc/lint/Cfg.h"
 #include "parmonc/lint/Lexer.h"
 
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -90,6 +92,12 @@ public:
   /// All waiver entries parsed from comments, in source order.
   const std::vector<Waiver> &waivers() const { return Waivers; }
 
+  /// Control-flow graphs of every function defined in this file, built
+  /// lazily on first use and cached. Only the flow-sensitive rules pay for
+  /// CFG construction; token-level rules never touch it. Not synchronized:
+  /// each file is analyzed by exactly one worker at a time.
+  const std::vector<FunctionCfg> &functions() const;
+
   /// True when \p RuleId is waived on 0-based line \p Index (line waiver,
   /// stand-alone-comment waiver on the preceding line, or file waiver).
   bool isWaived(size_t Index, std::string_view RuleId) const;
@@ -104,6 +112,8 @@ private:
   std::vector<std::set<std::string>> LineWaivers;
   /// Rule ids waived for the entire file.
   std::set<std::string> FileWaivers;
+  /// Lazily built per-function CFGs; null until functions() is called.
+  mutable std::unique_ptr<std::vector<FunctionCfg>> Cfgs;
 };
 
 } // namespace lint

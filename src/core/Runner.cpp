@@ -465,6 +465,8 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
 
   // --- Worker body (every rank, including 0) ------------------------------
 
+  // mclint: allow(R12): every rank lambda joins before this scope exits,
+  // so the by-reference capture of the stream hierarchy cannot outlive it.
   auto body = [&](Communicator &Comm) {
     const int Rank = Comm.rank();
     if (Rank == 0)

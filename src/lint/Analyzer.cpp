@@ -26,10 +26,12 @@
 #include "parmonc/support/Text.h"
 
 #include <algorithm>
+#include <atomic>   // mclint: allow(R3): the --jobs worker pool lives here
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <set>
+#include <thread>   // mclint: allow(R3): the --jobs worker pool lives here
 
 namespace parmonc {
 namespace lint {
@@ -205,14 +207,16 @@ void synthesizeStaleWaiverDiags(
     if (!AllStale || Members.empty())
       continue;
     const Waiver &First = Waivers[Members.front()];
-    Diagnostic Diag{File.Path, First.DirectiveLine + 1, "R10",
-                    "stale-waiver",
-                    "waiver 'allow" +
-                        std::string(First.FileScope ? "-file" : "") + "(" +
-                        RuleList +
-                        ")' suppresses no finding; the covered code is "
-                        "clean — remove the directive",
-                    {}};
+    Diagnostic Diag;
+    Diag.Path = File.Path;
+    Diag.Line = First.DirectiveLine + 1;
+    Diag.RuleId = "R10";
+    Diag.RuleName = "stale-waiver";
+    Diag.Message = "waiver 'allow" +
+                   std::string(First.FileScope ? "-file" : "") + "(" +
+                   RuleList +
+                   ")' suppresses no finding; the covered code is "
+                   "clean — remove the directive";
     if (ComputeFixes) {
       if (First.Standalone) {
         // The comment is the whole line (possibly several): delete them.
@@ -278,14 +282,46 @@ Result<LintReport> runAnalyzer(const AnalyzerOptions &Options) {
   if (!Options.CachePath.empty())
     Cache.load(Options.CachePath, ConfigStamp);
 
-  // Pass one: contents, hashes and facts — cached facts skip the lex.
+  // The per-file passes are embarrassingly parallel: every worker owns
+  // whole FileState slots (claimed through one shared counter), the cache
+  // and context are only read, and results land in the slot their file
+  // index names — so merged output is byte-identical at any job count.
   std::vector<FileState> Files(Paths.size());
-  for (size_t I = 0; I < Paths.size(); ++I) {
+  const unsigned Jobs = std::max(1u, Options.Jobs);
+  const auto ForEachFile = [&](auto &&Body) {
+    if (Jobs <= 1 || Files.size() <= 1) {
+      for (size_t I = 0; I < Files.size(); ++I)
+        Body(I);
+      return;
+    }
+    std::atomic<size_t> NextIndex{0}; // mclint: allow(R3): worker pool
+    const auto Work = [&] {
+      for (size_t I = NextIndex.fetch_add(1); I < Files.size();
+           I = NextIndex.fetch_add(1))
+        Body(I);
+    };
+    std::vector<std::thread> Workers; // mclint: allow(R3): worker pool
+    const unsigned Spawned =
+        std::min<unsigned>(Jobs, static_cast<unsigned>(Files.size())) - 1;
+    for (unsigned T = 0; T < Spawned; ++T)
+      Workers.emplace_back(Work);
+    Work();
+    for (auto &Worker : Workers)
+      Worker.join();
+  };
+
+  // Pass one: contents, hashes and facts — cached facts skip the lex.
+  // I/O errors are collected per file and the first (in path order) is
+  // reported, matching the serial behavior.
+  std::vector<Status> PassOneErrors(Paths.size(), Status::ok());
+  ForEachFile([&](size_t I) {
     FileState &File = Files[I];
     File.Path = Paths[I];
     Result<std::string> Contents = readFileToString(File.Path);
-    if (!Contents)
-      return Contents.status();
+    if (!Contents) {
+      PassOneErrors[I] = Contents.status();
+      return;
+    }
     File.Contents = std::move(Contents.value());
     File.ContentCrc = crc32(File.Contents);
     const CacheEntry *Cached = Cache.lookup(File.Path);
@@ -303,7 +339,10 @@ Result<LintReport> runAnalyzer(const AnalyzerOptions &Options) {
       File.FactsBlock = serializeFileFacts(File.Facts);
     }
     File.WaiverUsed.assign(File.Facts.Waivers.size(), false);
-  }
+  });
+  for (Status &Error : PassOneErrors)
+    if (!Error)
+      return Error;
 
   // The project index and the cross-file context.
   ProjectIndex Index;
@@ -311,25 +350,33 @@ Result<LintReport> runAnalyzer(const AnalyzerOptions &Options) {
     Index.add(File.Path, File.Facts);
   LintContext Context;
   populateContextFromIndex(Index, Context);
+  // R1 stands down inside bodies the dataflow stage covers — but only
+  // when R11 is actually part of this run.
+  Context.FlowRulesActive = ActiveIds.count("R11") != 0;
   const uint32_t ContextCrc = contextFingerprint(ConfigStamp, Context);
 
   // Pass two: raw per-file diagnostics, cache-aware.
   LintReport Report;
   Report.FileCount = Files.size();
-  for (FileState &File : Files) {
+  ForEachFile([&](size_t I) {
+    FileState &File = Files[I];
     const CacheEntry *Cached = Cache.lookup(File.Path);
     if (!Options.ComputeFixes && Cached &&
         Cached->ContentCrc == File.ContentCrc && Cached->HasDiags &&
         Cached->ContextCrc == ContextCrc) {
       File.RawDiags = Cached->Diags;
       File.DiagsFromCache = true;
-      ++Report.CacheHits;
-      continue;
+      return;
     }
-    ++Report.CacheMisses;
     for (const Rule *ActiveRule : Active)
       if (ActiveRule->isPerFile())
         ActiveRule->check(File.source(), Context, File.RawDiags);
+  });
+  for (const FileState &File : Files) {
+    if (File.DiagsFromCache)
+      ++Report.CacheHits;
+    else
+      ++Report.CacheMisses;
   }
 
   // Project-wide rules (R9) run over the index every time — they are

@@ -15,7 +15,7 @@ namespace lint {
 
 namespace {
 
-constexpr std::string_view MagicLine = "mclint-cache 3";
+constexpr std::string_view MagicLine = "mclint-cache 4";
 
 bool parseU32(std::string_view Field, uint32_t &Out) {
   const auto [Ptr, Ec] =
@@ -72,7 +72,8 @@ void LintCache::load(const std::string &Path,
   //   facts <line-count>
   //   ...facts lines...
   //   diags none | diags <hex8-context> <count>
-  //   D <line> <ruleId> <ruleName> <message>   (count times)
+  //   D <line> <col> <nflow> <ruleId> <ruleName> <message>  (count times)
+  //   F <line> <col> <message>                  (nflow times, after its D)
   std::map<std::string, CacheEntry, std::less<>> Parsed;
   while (nextLine(Rest, Line)) {
     if (Line.empty())
@@ -112,21 +113,43 @@ void LintCache::load(const std::string &Path,
         if (!nextLine(Rest, Line) || !startsWith(Line, "D "))
           return;
         auto Fields = splitWhitespace(Line);
-        if (Fields.size() < 4)
+        if (Fields.size() < 6)
           return;
         Diagnostic Diag;
-        uint32_t DiagLine = 0;
-        if (!parseU32(Fields[1], DiagLine))
+        uint32_t DiagLine = 0, DiagColumn = 0, FlowCount = 0;
+        if (!parseU32(Fields[1], DiagLine) ||
+            !parseU32(Fields[2], DiagColumn) ||
+            !parseU32(Fields[3], FlowCount))
           return;
         Diag.Path = FilePath;
         Diag.Line = DiagLine;
-        Diag.RuleId = std::string(Fields[2]);
-        Diag.RuleName = std::string(Fields[3]);
-        // The message is everything after the fourth field.
+        Diag.Column = DiagColumn;
+        Diag.RuleId = std::string(Fields[4]);
+        Diag.RuleName = std::string(Fields[5]);
+        // The message is everything after the sixth field.
         const size_t MessageAt =
-            size_t(Fields[3].data() + Fields[3].size() - Line.data());
+            size_t(Fields[5].data() + Fields[5].size() - Line.data());
         if (MessageAt < Line.size())
           Diag.Message = std::string(trim(Line.substr(MessageAt)));
+        for (uint32_t Step = 0; Step < FlowCount; ++Step) {
+          if (!nextLine(Rest, Line) || !startsWith(Line, "F "))
+            return;
+          auto FlowFields = splitWhitespace(Line);
+          if (FlowFields.size() < 3)
+            return;
+          FlowStep Flow;
+          uint32_t FlowLine = 0, FlowColumn = 0;
+          if (!parseU32(FlowFields[1], FlowLine) ||
+              !parseU32(FlowFields[2], FlowColumn))
+            return;
+          Flow.Line = FlowLine;
+          Flow.Column = FlowColumn;
+          const size_t FlowMessageAt = size_t(
+              FlowFields[2].data() + FlowFields[2].size() - Line.data());
+          if (FlowMessageAt < Line.size())
+            Flow.Message = std::string(trim(Line.substr(FlowMessageAt)));
+          Diag.Flow.push_back(std::move(Flow));
+        }
         Entry.Diags.push_back(std::move(Diag));
       }
     }
@@ -164,10 +187,22 @@ Status LintCache::save(const std::string &Path,
     for (const Diagnostic &Diag : Entry.Diags) {
       Out.append("D ").append(std::to_string(Diag.Line));
       Out.push_back(' ');
+      Out.append(std::to_string(Diag.Column));
+      Out.push_back(' ');
+      Out.append(std::to_string(Diag.Flow.size()));
+      Out.push_back(' ');
       Out.append(Diag.RuleId).push_back(' ');
       Out.append(Diag.RuleName).push_back(' ');
       Out.append(Diag.Message);
       Out.push_back('\n');
+      for (const FlowStep &Step : Diag.Flow) {
+        Out.append("F ").append(std::to_string(Step.Line));
+        Out.push_back(' ');
+        Out.append(std::to_string(Step.Column));
+        Out.push_back(' ');
+        Out.append(Step.Message);
+        Out.push_back('\n');
+      }
     }
   }
   return writeFileAtomic(Path, Out);
@@ -183,7 +218,7 @@ void LintCache::update(std::string FilePath, CacheEntry Entry) {
 }
 
 std::string cacheConfigStamp(const std::vector<std::string> &ActiveRuleIds) {
-  std::string Stamp = "config engine=2 rules=";
+  std::string Stamp = "config engine=3 cfg=1 rules=";
   for (size_t I = 0; I < ActiveRuleIds.size(); ++I) {
     if (I)
       Stamp.push_back(',');

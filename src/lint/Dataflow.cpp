@@ -1,0 +1,82 @@
+//===- lint/Dataflow.cpp - Forward dataflow over function CFGs ------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/lint/Dataflow.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace parmonc {
+namespace lint {
+
+DataflowResult runForwardDataflow(const FunctionCfg &Cfg,
+                                  const DataflowClient &Client) {
+  DataflowResult Result;
+  const size_t NumBlocks = Cfg.Blocks.size();
+  const size_t NumFacts = Client.factCount();
+  Result.In.assign(NumBlocks, std::vector<uint8_t>(NumFacts, 0));
+  Result.Out.assign(NumBlocks, std::vector<uint8_t>(NumFacts, 0));
+  Result.Reached.assign(NumBlocks, 0);
+  if (NumBlocks == 0)
+    return Result;
+
+  // Process in reverse postorder; a worklist flag per block avoids
+  // duplicate queue entries. Loops converge because join is monotone over
+  // a finite lattice.
+  const std::vector<uint32_t> Order = reversePostorder(Cfg);
+  std::vector<uint32_t> RpoIndex(NumBlocks, 0);
+  for (size_t I = 0; I < Order.size(); ++I)
+    RpoIndex[Order[I]] = static_cast<uint32_t>(I);
+
+  std::deque<uint32_t> Worklist;
+  std::vector<uint8_t> InWorklist(NumBlocks, 0);
+  Result.Reached[Cfg.Entry] = 1;
+  Worklist.push_back(Cfg.Entry);
+  InWorklist[Cfg.Entry] = 1;
+
+  std::vector<uint8_t> State;
+  while (!Worklist.empty()) {
+    // Pop the block earliest in RPO — close to priority order without a
+    // heap; graph sizes here are tiny.
+    auto Best = std::min_element(
+        Worklist.begin(), Worklist.end(),
+        [&](uint32_t A, uint32_t B) { return RpoIndex[A] < RpoIndex[B]; });
+    const uint32_t Block = *Best;
+    Worklist.erase(Best);
+    InWorklist[Block] = 0;
+
+    State = Result.In[Block];
+    for (uint32_t StmtIndex : Cfg.Blocks[Block].Statements)
+      Client.transfer(Cfg.Statements[StmtIndex], State);
+    Result.Out[Block] = State;
+
+    for (uint32_t Succ : Cfg.Blocks[Block].Successors) {
+      bool Changed = false;
+      if (!Result.Reached[Succ]) {
+        Result.Reached[Succ] = 1;
+        Result.In[Succ] = State;
+        Changed = true;
+      } else {
+        std::vector<uint8_t> &Target = Result.In[Succ];
+        for (size_t F = 0; F < NumFacts; ++F) {
+          const uint8_t Joined = Client.join(Target[F], State[F]);
+          if (Joined != Target[F]) {
+            Target[F] = Joined;
+            Changed = true;
+          }
+        }
+      }
+      if (Changed && !InWorklist[Succ]) {
+        Worklist.push_back(Succ);
+        InWorklist[Succ] = 1;
+      }
+    }
+  }
+  return Result;
+}
+
+} // namespace lint
+} // namespace parmonc

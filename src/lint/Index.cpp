@@ -206,6 +206,7 @@ FileFacts extractFileFacts(const SourceFile &File) {
   Facts.ConstructsCursor = constructsType(Tokens, "RealizationCursor");
 
   Facts.Waivers = File.waivers();
+  Facts.CfgShapeCrc = cfgShapeCrc(File.functions());
   return Facts;
 }
 
@@ -244,6 +245,15 @@ std::string serializeFileFacts(const FileFacts &Facts) {
     appendField(Out, W.Standalone ? "1" : "0");
     appendField(Out, std::to_string(W.CoverBegin));
     appendField(Out, std::to_string(W.CoverEnd));
+    Out.push_back('\n');
+  }
+  if (Facts.CfgShapeCrc != 0) {
+    char Hex[9];
+    for (int I = 7; I >= 0; --I)
+      Hex[7 - I] = "0123456789abcdef"[(Facts.CfgShapeCrc >> (I * 4)) & 0xF];
+    Hex[8] = '\0';
+    Out += "X ";
+    Out += Hex;
     Out.push_back('\n');
   }
   return Out;
@@ -290,6 +300,19 @@ Result<FileFacts> parseFileFacts(std::string_view Block) {
         Facts.ConstructsStreamHierarchy = true;
       else if (Fields[1] == "C")
         Facts.ConstructsCursor = true;
+    } else if (Tag == "X" && Fields.size() == 2) {
+      uint32_t Crc = 0;
+      for (char C : Fields[1]) {
+        uint32_t Digit = 0;
+        if (C >= '0' && C <= '9')
+          Digit = static_cast<uint32_t>(C - '0');
+        else if (C >= 'a' && C <= 'f')
+          Digit = static_cast<uint32_t>(C - 'a') + 10;
+        else
+          return invalidArgument("bad cfg shape crc in facts block");
+        Crc = (Crc << 4) | Digit;
+      }
+      Facts.CfgShapeCrc = Crc;
     } else if (Tag == "W" && Fields.size() == 10) {
       Waiver W;
       W.RuleId = std::string(Fields[1]);

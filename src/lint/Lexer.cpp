@@ -117,6 +117,7 @@ private:
     T.End = Phys[End - 1] + 1;
     T.Line = lineOfOffset(LineStarts, T.Begin);
     T.EndLine = lineOfOffset(LineStarts, Phys[End - 1]);
+    T.Column = T.Begin - LineStarts[T.Line];
     T.Text.assign(Text.substr(Begin, End - Begin));
     Tokens.push_back(std::move(T));
   }

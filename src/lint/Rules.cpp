@@ -195,7 +195,20 @@ public:
 
   void check(const SourceFile &File, const LintContext &Context,
              std::vector<Diagnostic> &Out) const override {
+    // When the flow-sensitive R11 is part of the run, it owns discarded
+    // calls inside bodies it can analyze (with path witnesses attached);
+    // this rule stands down there so one violation is never reported
+    // twice. Bodies the CFG builder could not model, declarations and
+    // file-scope statements stay R1 territory.
+    std::vector<std::pair<uint32_t, uint32_t>> FlowCovered;
+    if (Context.FlowRulesActive)
+      for (const FunctionCfg &Cfg : File.functions())
+        if (Cfg.analyzable())
+          FlowCovered.emplace_back(Cfg.BodyFirstLine, Cfg.BodyLastLine);
     forEachStatement(File, [&](const Statement &Stmt) {
+      for (const auto &[Begin, End] : FlowCovered)
+        if (Stmt.FirstLine >= Begin && Stmt.FirstLine <= End)
+          return; // R11 supersedes inside this body
       std::string_view Text = trim(Stmt.Text);
       if (Text.empty() || Text.back() != ';')
         return; // only expression statements can discard
@@ -1300,6 +1313,9 @@ std::vector<std::unique_ptr<Rule>> makeAllRules() {
   Rules.push_back(std::make_unique<MailboxDisciplineRule>());
   Rules.push_back(std::make_unique<IncludeLayeringRule>());
   Rules.push_back(std::make_unique<StaleWaiverRule>());
+  Rules.push_back(makeMustCheckRule());
+  Rules.push_back(makeStreamLifecycleRule());
+  Rules.push_back(makeWireProtocolRule());
   return Rules;
 }
 

@@ -129,10 +129,49 @@ formatSarif(const std::vector<Diagnostic> &Diags,
     Out += "                \"artifactLocation\": { \"uri\": \"" +
            jsonEscape(normalizedPath(Diag.Path)) + "\" },\n";
     Out += "                \"region\": { \"startLine\": " +
-           std::to_string(Diag.Line) + " }\n";
+           std::to_string(Diag.Line) +
+           (Diag.Column > 0
+                ? ", \"startColumn\": " + std::to_string(Diag.Column)
+                : std::string()) +
+           " }\n";
     Out += "              }\n";
     Out += "            }\n";
     Out += "          ],\n";
+    // Dataflow findings (R11-R13) carry the witness path as a SARIF code
+    // flow: one threadFlow whose steps walk decl -> transfer -> failure.
+    if (!Diag.Flow.empty()) {
+      Out += "          \"codeFlows\": [\n";
+      Out += "            {\n";
+      Out += "              \"threadFlows\": [\n";
+      Out += "                {\n";
+      Out += "                  \"locations\": [\n";
+      for (size_t Step = 0; Step < Diag.Flow.size(); ++Step) {
+        const FlowStep &Flow = Diag.Flow[Step];
+        Out += "                    {\n";
+        Out += "                      \"location\": {\n";
+        Out += "                        \"physicalLocation\": {\n";
+        Out += "                          \"artifactLocation\": { \"uri\": "
+               "\"" +
+               jsonEscape(normalizedPath(Diag.Path)) + "\" },\n";
+        Out += "                          \"region\": { \"startLine\": " +
+               std::to_string(Flow.Line) +
+               (Flow.Column > 0 ? ", \"startColumn\": " +
+                                      std::to_string(Flow.Column)
+                                : std::string()) +
+               " }\n";
+        Out += "                        },\n";
+        Out += "                        \"message\": { \"text\": \"" +
+               jsonEscape(Flow.Message) + "\" }\n";
+        Out += "                      }\n";
+        Out += Step + 1 < Diag.Flow.size() ? "                    },\n"
+                                           : "                    }\n";
+      }
+      Out += "                  ]\n";
+      Out += "                }\n";
+      Out += "              ]\n";
+      Out += "            }\n";
+      Out += "          ],\n";
+    }
     Out += "          \"partialFingerprints\": { \"mclintLine/v1\": \"" +
            Fingerprint + "\" }\n";
     Out += I + 1 < Diags.size() ? "        },\n" : "        }\n";

@@ -180,6 +180,13 @@ bool SourceFile::isHeader() const {
                                Path.rfind(".hpp") == Path.size() - 4));
 }
 
+const std::vector<FunctionCfg> &SourceFile::functions() const {
+  if (!Cfgs)
+    Cfgs = std::make_unique<std::vector<FunctionCfg>>(
+        buildFunctionCfgs(Tokens));
+  return *Cfgs;
+}
+
 bool SourceFile::isWaived(size_t Index, std::string_view RuleId) const {
   if (FileWaivers.count(std::string(RuleId)))
     return true;

@@ -92,6 +92,56 @@ TEST(LintCachePerfTest, WarmRunIsAtLeastFiveTimesFaster) {
       << "s — warm cache is not at least 5x faster";
 }
 
+TEST(LintCachePerfTest, ParallelWarmRunHitsCacheAndMatchesSerial) {
+  // --jobs must not change what the cache sees: a parallel warm run still
+  // hits for every file, and its findings are byte-identical to the
+  // serial run's (the whole point of the deterministic fan-out).
+  const fs::path Root =
+      fs::path(::testing::TempDir()) / "mclint_cache_perf_jobs";
+  fs::remove_all(Root);
+  fs::create_directories(Root);
+  for (int I = 0; I < 16; ++I) {
+    Status Written = writeFileAtomic(
+        (Root / ("gen_" + std::to_string(I) + ".cpp")).generic_string(),
+        syntheticSource(I));
+    ASSERT_TRUE(Written) << Written.message();
+  }
+
+  AnalyzerOptions Options;
+  Options.Paths = {Root.generic_string()};
+  Options.CachePath = (Root / "cache.txt").generic_string();
+  Options.Jobs = 4;
+
+  // Cold parallel run populates the cache.
+  Result<LintReport> Cold = runAnalyzer(Options);
+  ASSERT_TRUE(Cold) << Cold.status().message();
+  EXPECT_EQ(Cold.value().FileCount, 16u);
+  EXPECT_EQ(Cold.value().CacheMisses, 16u);
+
+  // Warm parallel run hits for every file.
+  Result<LintReport> Warm = runAnalyzer(Options);
+  ASSERT_TRUE(Warm) << Warm.status().message();
+  EXPECT_EQ(Warm.value().CacheHits, 16u);
+  EXPECT_EQ(Warm.value().CacheMisses, 0u);
+
+  // And agrees with a serial warm run, diagnostic by diagnostic.
+  AnalyzerOptions Serial = Options;
+  Serial.Jobs = 1;
+  Result<LintReport> Ref = runAnalyzer(Serial);
+  ASSERT_TRUE(Ref) << Ref.status().message();
+  ASSERT_EQ(Warm.value().Diagnostics.size(),
+            Ref.value().Diagnostics.size());
+  for (size_t I = 0; I < Ref.value().Diagnostics.size(); ++I) {
+    const Diagnostic &A = Warm.value().Diagnostics[I];
+    const Diagnostic &B = Ref.value().Diagnostics[I];
+    EXPECT_EQ(A.Path, B.Path);
+    EXPECT_EQ(A.Line, B.Line);
+    EXPECT_EQ(A.RuleId, B.RuleId);
+    EXPECT_EQ(A.Message, B.Message);
+  }
+  EXPECT_EQ(Warm.value().DiagnosticLineText, Ref.value().DiagnosticLineText);
+}
+
 } // namespace
 } // namespace lint
 } // namespace parmonc

@@ -117,6 +117,31 @@ TEST(LexerTest, SplicedLineCommentIsOneToken) {
   EXPECT_TRUE(SawA);
 }
 
+TEST(LexerTest, ColumnsArePhysicalAcrossSplices) {
+  // A token's Column counts bytes from the start of the physical line its
+  // first character sits on. A backslash-newline splice mid-token must not
+  // shift the columns of anything after it: the next token starts on the
+  // continuation line and its column is measured from THAT line's start,
+  // not from where the logical line began.
+  const auto Tokens = lexFile("long some\\\nThing = 1;\nint A;").Tokens;
+  ASSERT_GE(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].Text, "long");
+  EXPECT_EQ(Tokens[0].Column, 0u);
+  // "someThing" begins at column 5 of line 0 and spans the splice.
+  EXPECT_EQ(Tokens[1].Text, "someThing");
+  EXPECT_EQ(Tokens[1].Line, 0u);
+  EXPECT_EQ(Tokens[1].EndLine, 1u);
+  EXPECT_EQ(Tokens[1].Column, 5u);
+  // '=' sits on the continuation line after "Thing " — physical column 6.
+  EXPECT_EQ(Tokens[2].Text, "=");
+  EXPECT_EQ(Tokens[2].Line, 1u);
+  EXPECT_EQ(Tokens[2].Column, 6u);
+  // The line after the spliced statement is unaffected.
+  EXPECT_EQ(Tokens[5].Text, "int");
+  EXPECT_EQ(Tokens[5].Line, 2u);
+  EXPECT_EQ(Tokens[5].Column, 0u);
+}
+
 TEST(LexerTest, LineStartsIndexPhysicalLines) {
   const LexedFile File = lexFile("ab\ncd\n\nef");
   const std::vector<uint32_t> Expected = {0, 3, 6, 7};

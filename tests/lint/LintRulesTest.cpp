@@ -73,13 +73,13 @@ TEST(LintRulesTest, R1FlagsDiscardedFallibleCalls) {
   const std::string Path = fixturePath("r1_discard.cpp");
   LintReport Report = runOn({Path}, {"R1"});
   ASSERT_EQ(Report.FileCount, 1u);
-  EXPECT_EQ(lineRulePairs(Report), (Pairs{{9, "R1"}, {10, "R1"}}));
+  EXPECT_EQ(lineRulePairs(Report), (Pairs{{11, "R1"}, {12, "R1"}}));
   for (const Diagnostic &Diag : Report.Diagnostics) {
     EXPECT_EQ(Diag.Path, Path);
     EXPECT_EQ(Diag.RuleName, "discarded-status");
   }
-  // Line 9 discards a builtin fallible API; line 10 discards a function the
-  // analyzer harvested from the fixture's own [[nodiscard]] declaration.
+  // Line 11 discards a builtin fallible API; line 12 discards a function
+  // the analyzer harvested from the fixture's own [[nodiscard]] declaration.
   ASSERT_EQ(Report.Diagnostics.size(), 2u);
   EXPECT_NE(Report.Diagnostics[0].Message.find("writeFileAtomic"),
             std::string::npos);
@@ -315,8 +315,12 @@ TEST(LintRulesTest, RulesSelectableByName) {
 //===----------------------------------------------------------------------===//
 
 TEST(LintRulesTest, FormatDiagnosticIsByteStable) {
-  Diagnostic Diag{"src/core/Runner.cpp", 42, "R3", "raw-concurrency",
-                  "'std::mutex' outside mpsim/ and obs/", {}};
+  Diagnostic Diag;
+  Diag.Path = "src/core/Runner.cpp";
+  Diag.Line = 42;
+  Diag.RuleId = "R3";
+  Diag.RuleName = "raw-concurrency";
+  Diag.Message = "'std::mutex' outside mpsim/ and obs/";
   EXPECT_EQ(formatDiagnostic(Diag, false),
             "src/core/Runner.cpp:42: warning: 'std::mutex' outside mpsim/ "
             "and obs/ [R3:raw-concurrency]");

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "parmonc/lint/Analyzer.h"
 #include "parmonc/lint/Rules.h"
 #include "parmonc/lint/Sarif.h"
 
@@ -237,7 +238,10 @@ TEST(SarifTest, RuleMetadataCarriesHelpUris) {
   for (const char *Anchor :
        {"docs/LINT_RULES.md#r1-discarded-status",
         "docs/LINT_RULES.md#r6-stream-discipline",
-        "docs/LINT_RULES.md#r10-stale-waiver"})
+        "docs/LINT_RULES.md#r10-stale-waiver",
+        "docs/LINT_RULES.md#r11-must-check",
+        "docs/LINT_RULES.md#r12-stream-lifecycle",
+        "docs/LINT_RULES.md#r13-wire-protocol"})
     EXPECT_NE(Doc.find(Anchor), std::string::npos) << Anchor;
 }
 
@@ -245,6 +249,93 @@ TEST(SarifTest, WerrorMapsToErrorLevel) {
   const std::string Doc = renderSample(true);
   EXPECT_NE(Doc.find("\"level\": \"error\""), std::string::npos);
   EXPECT_EQ(Doc.find("\"level\": \"warning\""), std::string::npos);
+}
+
+TEST(SarifTest, CodeFlowRendersEveryStepInOrder) {
+  // A synthetic flow-sensitive finding: the region gains a startColumn and
+  // the witness path renders as one codeFlow/threadFlow with a location
+  // and message per step.
+  Diagnostic Diag;
+  Diag.Path = "src/core/Runner.cpp";
+  Diag.Line = 12;
+  Diag.Column = 3;
+  Diag.RuleId = "R11";
+  Diag.RuleName = "must-check";
+  Diag.Message = "fallible value 'Saved' is not checked on every path";
+  Diag.Flow = {{10, 3, "'Saved' declared here"},
+               {11, 7, "the else path skips the check"},
+               {13, 1, "scope exits with 'Saved' unchecked"}};
+  const std::vector<std::unique_ptr<Rule>> Rules = makeAllRules();
+  std::vector<const Rule *> RulePtrs;
+  for (const auto &R : Rules)
+    RulePtrs.push_back(R.get());
+  const std::string Doc =
+      formatSarif({Diag}, RulePtrs, false,
+                  [](const Diagnostic &) -> std::string_view {
+                    return "  Status Saved = save();";
+                  });
+  EXPECT_TRUE(JsonScanner(Doc).valid()) << Doc;
+  EXPECT_NE(Doc.find("\"region\": { \"startLine\": 12, \"startColumn\": 3 }"),
+            std::string::npos);
+  EXPECT_NE(Doc.find("\"codeFlows\": ["), std::string::npos);
+  EXPECT_NE(Doc.find("\"threadFlows\": ["), std::string::npos);
+  // Steps appear in witness order.
+  const size_t Step1 = Doc.find("'Saved' declared here");
+  const size_t Step2 = Doc.find("the else path skips the check");
+  const size_t Step3 = Doc.find("scope exits with 'Saved' unchecked");
+  ASSERT_NE(Step1, std::string::npos);
+  ASSERT_NE(Step2, std::string::npos);
+  ASSERT_NE(Step3, std::string::npos);
+  EXPECT_LT(Step1, Step2);
+  EXPECT_LT(Step2, Step3);
+  EXPECT_NE(Doc.find("\"startLine\": 11, \"startColumn\": 7"),
+            std::string::npos);
+}
+
+TEST(SarifTest, TokenLevelRegionIsUnchangedWithoutColumn) {
+  // Token-level findings (Column 0) must keep the exact pre-flow region
+  // spelling — downstream fingerprint consumers diff on it.
+  const std::string Doc = renderSample(false);
+  EXPECT_NE(Doc.find("\"region\": { \"startLine\": 42 }"),
+            std::string::npos);
+  EXPECT_EQ(Doc.find("codeFlows"), std::string::npos);
+  EXPECT_EQ(Doc.find("startColumn"), std::string::npos);
+}
+
+TEST(SarifTest, AnalyzerDataflowFindingHasMultiStepCodeFlow) {
+  // End to end: run the real analyzer over the R11 fixture and render its
+  // findings — at least one must carry a multi-step witness path that
+  // survives into the SARIF codeFlow.
+  AnalyzerOptions Options;
+  Options.Paths = {std::string(PARMONC_LINT_FIXTURE_DIR) + "/r11_flow.cpp"};
+  Result<LintReport> Report = runAnalyzer(Options);
+  ASSERT_TRUE(Report) << Report.status().message();
+  const LintReport &R = Report.value();
+  ASSERT_FALSE(R.Diagnostics.empty());
+  size_t FlowSteps = 0;
+  for (const Diagnostic &Diag : R.Diagnostics)
+    if (Diag.RuleId == "R11")
+      FlowSteps = std::max(FlowSteps, Diag.Flow.size());
+  EXPECT_GE(FlowSteps, 2u);
+
+  const std::vector<std::unique_ptr<Rule>> Rules = makeAllRules();
+  std::vector<const Rule *> RulePtrs;
+  for (const auto &R2 : Rules)
+    RulePtrs.push_back(R2.get());
+  const auto LineTextOf =
+      [&](const Diagnostic &Diag) -> std::string_view {
+    for (size_t I = 0; I < R.Diagnostics.size(); ++I)
+      if (&R.Diagnostics[I] == &Diag)
+        return R.DiagnosticLineText[I];
+    return {};
+  };
+  const std::string Doc =
+      formatSarif(R.Diagnostics, RulePtrs, true, LineTextOf);
+  EXPECT_TRUE(JsonScanner(Doc).valid()) << Doc;
+  EXPECT_NE(Doc.find("\"codeFlows\": ["), std::string::npos);
+  EXPECT_NE(Doc.find("\"threadFlows\": ["), std::string::npos);
+  EXPECT_NE(Doc.find("docs/LINT_RULES.md#r11-must-check"),
+            std::string::npos);
 }
 
 TEST(SarifTest, EmptyReportIsStillAValidRun) {

@@ -8,7 +8,7 @@ int fixtureResumeSafely(ResultsStore &Store) {
   if (!Loaded)
     return 0;
   auto Direct = Store.readSnapshot("run.mcs");
-  return 1;
+  return Direct ? 1 : 0;
 }
 
 } // namespace parmonc

@@ -1,0 +1,56 @@
+// mclint fixture: R13 wire-protocol. The §2.2 frame protocol is a state
+// machine: exactly one Hello opens a session, Goodbye/Abort close it and
+// nothing may be sent afterwards, and a decoded frame must be checked
+// before its value is used (FrameDecoder poisons permanently on a bad
+// frame). Never compiled — linted only.
+
+namespace parmonc {
+
+void sendFrame(Socket &Peer, FrameKind Kind);
+void consumeFrame(Frame Decoded);
+
+// Positive: Data after Goodbye — the session is already closed.
+void fixtureSendAfterGoodbye(Socket &Peer) {
+  sendFrame(Peer, FrameKind::Hello);
+  sendFrame(Peer, FrameKind::Goodbye);
+  sendFrame(Peer, FrameKind::Data); // expect: R13
+}
+
+// Positive: the merge joins {open, closed} to closed — out-of-order
+// Goodbye on the Flag path poisons the fall-through send.
+void fixtureBranchGoodbye(Socket &Peer, bool Flag) {
+  sendFrame(Peer, FrameKind::Hello);
+  if (Flag)
+    sendFrame(Peer, FrameKind::Goodbye);
+  sendFrame(Peer, FrameKind::Data); // expect: R13
+}
+
+// Positive: a second Hello on an already-open session.
+void fixtureDuplicateHello(Socket &Peer) {
+  sendFrame(Peer, FrameKind::Hello);
+  sendFrame(Peer, FrameKind::Hello); // expect: R13
+}
+
+// Positive: the decode result's value is used before anyone checked it.
+void fixtureDecodeUnchecked(FrameDecoder &Decoder) {
+  auto Incoming = Decoder.next();
+  consumeFrame(*Incoming); // expect: R13
+}
+
+// Positive: inline .next().value() can never be checked.
+void fixtureInlineDecode(FrameDecoder &Decoder) {
+  consumeFrame(Decoder.next().value()); // expect: R13
+}
+
+// Negative: the full handshake in order, decode checked before use.
+void fixtureCleanSession(Socket &Peer, FrameDecoder &Decoder) {
+  sendFrame(Peer, FrameKind::Hello);
+  sendFrame(Peer, FrameKind::Data);
+  auto Incoming = Decoder.next();
+  if (!Incoming)
+    return;
+  consumeFrame(*Incoming);
+  sendFrame(Peer, FrameKind::Goodbye);
+}
+
+} // namespace parmonc

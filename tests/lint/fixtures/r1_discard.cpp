@@ -1,4 +1,6 @@
-// mclint fixture: R1 discarded-status. Never compiled — linted only.
+// mclint fixture: R1/R11 discarded-status. Inside a function body the
+// flow-sensitive R11 supersedes R1; a rule-filtered R1-only run still
+// reports these lines as R1. Never compiled — linted only.
 #include "parmonc/support/Text.h"
 
 [[nodiscard]] int mightFail();
@@ -6,13 +8,15 @@
 namespace parmonc {
 
 void fixtureBody() {
-  writeFileAtomic("ledger.dat", "x"); // expect: R1
-  mightFail();                        // expect: R1
+  writeFileAtomic("ledger.dat", "x"); // expect: R11
+  mightFail();                        // expect: R11
   (void)writeFileAtomic("ledger.dat", "x");
   Status Saved = writeFileAtomic("ledger.dat", "x");
   if (!Saved)
     return;
-  // mclint: allow(R1): fixture demonstrates the waiver escape hatch
+  // mclint: allow(R1, R11): fixture demonstrates the waiver escape hatch
+  // (R1 for rule-filtered runs where the flow engine is off, R11 for the
+  // full-rule run where it supersedes R1 inside bodies).
   writeFileAtomic("waived.dat", "x");
 }
 

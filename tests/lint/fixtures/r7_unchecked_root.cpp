@@ -4,8 +4,8 @@
 namespace parmonc {
 
 void fixtureReloadTwice(ResultsStore &Store) {
-  auto First = Store.readSnapshot("a.mcs"); // expect: R7
-  auto Again = Store.readSnapshot("b.mcs"); // expect: R7
+  auto First = Store.readSnapshot("a.mcs"); // expect: R7 R11
+  auto Again = Store.readSnapshot("b.mcs"); // expect: R7 R11
 }
 
 } // namespace parmonc

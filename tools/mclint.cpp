@@ -9,7 +9,7 @@
 //   $ mclint [options] <path>...
 //
 // Scans the given files/directories for violations of the project's
-// enforced invariants R1–R10 (see docs/LINT_RULES.md). Without --werror,
+// enforced invariants R1–R13 (see docs/LINT_RULES.md). Without --werror,
 // findings are warnings and the exit code is 0; with --werror they are
 // errors and any finding exits 1 — that is the CI gate:
 //
@@ -27,6 +27,7 @@
 #include "parmonc/support/Text.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -43,6 +44,7 @@ static int printUsage(const char *Program) {
       "  --write-baseline=FILE  record current findings to FILE and exit\n"
       "  --fix                  apply safe autofixes (R4, R10) in place\n"
       "  --cache=FILE           incremental analysis cache\n"
+      "  --jobs=N               analyze files on N worker threads\n"
       "  --list-rules           print the rule table and exit\n"
       "  --explain RULE         print a rule's rationale and example\n",
       Program);
@@ -112,6 +114,12 @@ int main(int Argc, char **Argv) {
       WriteBaselinePath = Arg + 17;
     } else if (std::strncmp(Arg, "--cache=", 8) == 0) {
       Options.CachePath = Arg + 8;
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0) {
+      char *End = nullptr;
+      const unsigned long Jobs = std::strtoul(Arg + 7, &End, 10);
+      if (End == Arg + 7 || *End != '\0' || Jobs > 256)
+        return printUsage(Argv[0]);
+      Options.Jobs = static_cast<unsigned>(Jobs);
     } else if (Arg[0] == '-') {
       return printUsage(Argv[0]);
     } else {
