@@ -1,0 +1,184 @@
+//===- parmonc/ckpt/CheckpointStore.h - Sharded checkpoint store ----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk side of sharded checkpointing. The store owns one directory
+/// tree:
+///
+///   <root>/
+///     staging/                    – shards are written here first
+///     shards/                     – published, immutable sealed shards
+///       rank<m>_s<seq>_k<K>.dat   – rank m's K-th cumulative shard
+///       base_s<seq>_g<G>.dat      – merged base of generation G
+///     manifest.dat                – the current committed generation
+///     manifest.dat.prev           – the previous generation (rotation)
+///
+/// Two-phase commit: every shard of a generation is staged, fsynced and
+/// renamed into shards/ first; only then is the sealed manifest renamed
+/// into place (rotating the old one to .prev). A crash between the phases
+/// leaves the previous manifest fully intact with all of its shards still
+/// on disk — the restore ladder (manifest.dat, then manifest.dat.prev)
+/// always finds a self-consistent generation. Shard files are never
+/// overwritten: filenames carry the run's sequence number and a per-rank
+/// write index, so a live manifest's references stay valid while newer
+/// shards accumulate; commit-time pruning rotates out files no manifest
+/// references anymore.
+///
+/// The store knows nothing about moment snapshots — shard payloads are
+/// opaque bodies sealed with the standard CRC-32 file seal. core glues
+/// MomentSnapshot serialization on top (core/CheckpointBridge.h), which
+/// keeps this module below core in the layering DAG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_CKPT_CHECKPOINTSTORE_H
+#define PARMONC_CKPT_CHECKPOINTSTORE_H
+
+#include "parmonc/ckpt/Manifest.h"
+#include "parmonc/obs/Metrics.h"
+#include "parmonc/support/Status.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+namespace ckpt {
+
+/// Fault-injection seam: may replace the bytes about to land at \p Path.
+/// The store computes manifest CRCs over the *intended* contents before
+/// consulting the hook, which models a disk corrupting data after the
+/// writer believed the write succeeded — exactly what restores must catch.
+using WriteInterceptor = std::function<std::optional<std::string>(
+    const std::string &Path, std::string_view Contents)>;
+
+/// Owns one sharded-checkpoint directory tree.
+class CheckpointStore {
+public:
+  /// \p RootDir is created lazily by prepareDirectories().
+  explicit CheckpointStore(std::string RootDir);
+
+  const std::string &rootDir() const { return Root; }
+  std::string stagingDir() const;
+  std::string shardsDir() const;
+  std::string manifestPath() const;
+  std::string prevManifestPath() const;
+
+  /// "rank<m>_s<seq>_k<K>.dat": immutable per write index, collision-free
+  /// across resumed runs (resume enforces a fresh sequence number).
+  static std::string shardFileName(int Rank, uint64_t SequenceNumber,
+                                   int64_t WriteIndex);
+  /// "base_s<seq>_g<G>.dat": one merged-base shard per generation.
+  static std::string baseFileName(uint64_t SequenceNumber,
+                                  int64_t Generation);
+
+  /// Installs the fault-injection hook (testing only; empty = never).
+  void setWriteInterceptor(WriteInterceptor Hook);
+
+  /// Attaches ckpt.* counters and latencies; null detaches.
+  void attachMetrics(obs::MetricsRegistry *Registry);
+
+  /// Creates root/, staging/ and shards/. Idempotent.
+  [[nodiscard]] Status prepareDirectories() const;
+
+  /// Seals \p Body, stages it, fsyncs and publishes it under shards/ as
+  /// shardFileName(Rank, SequenceNumber, WriteIndex). Returns the entry a
+  /// manifest needs to reference it. Safe to call concurrently from many
+  /// ranks (threads or forked processes): every writer owns its own
+  /// filename. Durability of the publish rename is deferred to the next
+  /// commit's directory fsync — a shard is meaningless until a manifest
+  /// references it, and the manifest only commits after that fsync.
+  [[nodiscard]] Result<ShardEntry> writeShard(int Rank,
+                                              uint64_t SequenceNumber,
+                                              int64_t WriteIndex,
+                                              std::string_view Body,
+                                              int64_t Volume) const;
+
+  /// Everything one commit needs. The base body is carried by value so a
+  /// background writer can own the request outright.
+  struct CommitRequest {
+    int64_t Generation = 0;
+    uint64_t SequenceNumber = 0;
+    int RankCount = 0;
+    /// Unsealed body of the merged-base shard.
+    std::string BaseBody;
+    int64_t BaseVolume = 0;
+    /// Latest published shard per contributing rank (any order).
+    std::vector<ShardEntry> Shards;
+    /// Rotation: per-rank shard files retained beyond the manifest-
+    /// referenced ones (>= 1).
+    int KeepShards = 2;
+  };
+
+  /// Commits one generation: writes the base shard, fsyncs the shards
+  /// directory (making every rank's published shards durable), rotates
+  /// manifest.dat to .prev, writes the sealed manifest atomically, then
+  /// prunes files no live manifest references. Pruning is best-effort;
+  /// its failures never fail the commit.
+  [[nodiscard]] Status commit(const CommitRequest &Request) const;
+
+  /// Reads and unseals one manifest file. No fallback: callers outside
+  /// ckpt/ must use restoreWithFallback() (or spell their own .prev
+  /// ladder) — enforced by mclint rule R7.
+  [[nodiscard]] Result<Manifest>
+  readManifest(const std::string &Path) const;
+
+  /// One shard's unsealed payload as recovered by a restore.
+  struct RestoredShard {
+    int Rank = -1;
+    std::string Body;
+    int64_t Volume = 0;
+  };
+
+  /// A fully validated checkpoint generation.
+  struct RestoredGeneration {
+    Manifest Source;
+    std::string BaseBody;
+    /// Ascending rank order.
+    std::vector<RestoredShard> Shards;
+    /// True when manifest.dat was rejected and .prev was restored.
+    bool FromBackup = false;
+    /// Why the primary generation was rejected (empty when !FromBackup).
+    std::string PrimaryError;
+  };
+
+  /// Validates and loads the generation \p ManifestPath describes: the
+  /// manifest must unseal and parse, and every referenced shard must
+  /// exist with exactly the recorded byte count and CRC-32 before it is
+  /// unsealed. Any failure rejects the whole generation.
+  [[nodiscard]] Result<RestoredGeneration>
+  restoreGeneration(const std::string &ManifestPath) const;
+
+  /// The recovery ladder: restoreGeneration(manifest.dat), falling back
+  /// to manifest.dat.prev when the current generation is missing or fails
+  /// any validation. Reports the primary's error when both fail.
+  [[nodiscard]] Result<RestoredGeneration> restoreWithFallback() const;
+
+  /// True if manifest.dat or manifest.dat.prev exists (i.e. a sharded
+  /// checkpoint has ever been committed here).
+  bool hasAnyManifest() const;
+
+  /// Removes the whole checkpoint tree (the res=0 fresh-start behaviour).
+  [[nodiscard]] Status removeAll() const;
+
+private:
+  [[nodiscard]] Result<ShardEntry>
+  publishSealed(const std::string &FileName, std::string_view Body,
+                int Rank, int64_t Volume) const;
+  void pruneCommitted(const Manifest &Current, int KeepShards) const;
+
+  std::string Root;
+  WriteInterceptor Interceptor;
+  obs::MetricsRegistry *Metrics = nullptr;
+};
+
+} // namespace ckpt
+} // namespace parmonc
+
+#endif // PARMONC_CKPT_CHECKPOINTSTORE_H

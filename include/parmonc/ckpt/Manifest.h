@@ -1,0 +1,92 @@
+//===- parmonc/ckpt/Manifest.h - Checkpoint generation manifest -----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The commit record of one sharded checkpoint generation. A generation is
+/// a set of immutable, CRC-sealed shard files (one merged base plus one
+/// cumulative shard per contributing rank) plus this manifest, which lists
+/// every shard with its CRC-32 and byte count. The manifest is the *commit
+/// point*: shards land first, the sealed manifest is renamed into place
+/// last, so an interrupted save can never make a half-written generation
+/// visible — a reader either sees the previous manifest or a fully
+/// described new one. The format is line-oriented text (like every other
+/// PARMONC durable file) and is strict on purpose: any unknown directive,
+/// duplicate rank, count mismatch or missing `end` terminator is a parse
+/// error, because a manifest that fails validation must route the restore
+/// to the previous generation, never be "partially" trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_CKPT_MANIFEST_H
+#define PARMONC_CKPT_MANIFEST_H
+
+#include "parmonc/support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parmonc {
+namespace ckpt {
+
+/// One shard referenced by a manifest. \p File is a bare filename inside
+/// the store's shards directory — never a path — so a hostile or corrupted
+/// manifest cannot direct reads outside the checkpoint tree.
+struct ShardEntry {
+  /// Contributing rank; -1 for the merged-base shard.
+  int Rank = -1;
+
+  /// Filename of the sealed shard inside the shards directory.
+  std::string File;
+
+  /// CRC-32 over the full sealed file bytes as the writer intended them.
+  /// Restores verify the on-disk bytes against this before unsealing, so
+  /// a shard that was silently swapped, truncated or bit-rotted after its
+  /// own write is still caught at the manifest level.
+  uint32_t Crc = 0;
+
+  /// Exact size of the sealed file in bytes (short-read detection).
+  uint64_t Bytes = 0;
+
+  /// Sample volume the shard carries (diagnostics and recovery reports).
+  int64_t Volume = 0;
+};
+
+/// A parsed (or to-be-written) checkpoint manifest.
+struct Manifest {
+  /// Save-point index that produced this generation (1-based per run).
+  int64_t Generation = 0;
+
+  /// Experiment subsequence number of the run that committed it.
+  uint64_t SequenceNumber = 0;
+
+  /// Rank count of the committing run; shard ranks must lie below it.
+  int RankCount = 0;
+
+  /// The merged-base shard (resumed volume at run start).
+  ShardEntry Base;
+
+  /// Per-rank cumulative shards, sorted by ascending rank. Ranks that had
+  /// not reported a shard by commit time are simply absent — cumulative
+  /// subtotals make a missing rank a freshness loss, never corruption.
+  std::vector<ShardEntry> Shards;
+
+  /// Serializes to the manifest text format (the body that gets sealed).
+  /// Shard lines are emitted in ascending rank order regardless of the
+  /// vector's order, so equal manifests serialize byte-identically.
+  std::string toFileContents() const;
+
+  /// Strict parser for the manifest text format. \p Path is used only for
+  /// error messages.
+  [[nodiscard]] static Result<Manifest>
+  fromFileContents(const std::string &Path, std::string_view Contents);
+};
+
+} // namespace ckpt
+} // namespace parmonc
+
+#endif // PARMONC_CKPT_MANIFEST_H

@@ -1,0 +1,50 @@
+//===- parmonc/core/CheckpointBridge.h - Shard <-> snapshot glue ----------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glues the opaque-payload ckpt store to core's MomentSnapshot world. The
+/// store neither parses nor merges moments (it lives below core in the
+/// layering DAG); this bridge restores a committed generation and rebuilds
+/// the merged collector snapshot from it — base first, then every rank
+/// shard in ascending rank order, through MomentSnapshot::mergeFrom. That
+/// is the collector's own save-time arithmetic replayed in the same order,
+/// which makes a sharded restore bit-identical to loading the legacy
+/// single-file checkpoint.dat the same run would have written.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_CORE_CHECKPOINTBRIDGE_H
+#define PARMONC_CORE_CHECKPOINTBRIDGE_H
+
+#include "parmonc/ckpt/CheckpointStore.h"
+#include "parmonc/core/ResultsStore.h"
+#include "parmonc/support/Status.h"
+
+#include <cstdint>
+
+namespace parmonc {
+
+/// A merged snapshot recovered from a sharded checkpoint generation.
+struct RecoveredCheckpoint {
+  /// Base plus every rank shard, merged in ascending rank order.
+  MomentSnapshot Merged;
+  /// True when manifest.dat was rejected (CRC, short read, missing shard,
+  /// torn write, unparsable payload) and the .prev generation was used.
+  bool FromBackupManifest = false;
+  /// The generation number of the manifest that was actually restored.
+  int64_t Generation = 0;
+};
+
+/// Restores the newest loadable generation from \p Store and rebuilds the
+/// merged snapshot. Walks the full recovery ladder: a generation whose
+/// manifest, shard bytes or shard *payloads* fail validation is rejected
+/// and the previous generation is tried before giving up.
+[[nodiscard]] Result<RecoveredCheckpoint>
+restoreShardedCheckpoint(const ckpt::CheckpointStore &Store);
+
+} // namespace parmonc
+
+#endif // PARMONC_CORE_CHECKPOINTBRIDGE_H

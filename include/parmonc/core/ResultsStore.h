@@ -75,6 +75,14 @@ struct MomentSnapshot {
 
   /// Parses the binary message form.
   [[nodiscard]] static Result<MomentSnapshot> fromBytes(const std::vector<uint8_t> &Bytes);
+
+  /// Accumulates \p Other into this snapshot: moment sums, histogram
+  /// counts and compute seconds add; the sequence number stays. Fails when
+  /// the shapes or histogram geometries disagree — discard *this then, it
+  /// may be partially merged. This is the collector's merge (paper eq. 5);
+  /// the sharded-checkpoint restore path goes through the same arithmetic
+  /// in the same rank order, which is what makes recovery bit-identical.
+  [[nodiscard]] Status mergeFrom(const MomentSnapshot &Other);
 };
 
 /// The per-run log block written to func_log.dat.
@@ -108,6 +116,8 @@ public:
   std::string dataDir() const;
   std::string resultsDir() const;
   std::string subtotalsDir() const;
+  /// Root of the sharded checkpoint tree (ckpt::CheckpointStore home).
+  std::string checkpointDir() const;
   std::string checkpointPath() const;
   std::string basePath() const;
   std::string subtotalPath(int Rank) const;
@@ -165,7 +175,31 @@ public:
                       double ErrorMultiplier) const;
 
   /// Appends one line to parmonc_exp.dat describing a started experiment.
+  /// The append is durable (O_APPEND + fsync) and each line carries its own
+  /// CRC32 suffix so a torn trailing line from a crash is detectable.
   [[nodiscard]] Status appendExperimentLog(const RunLogInfo &Log) const;
+
+  /// One parsed parmonc_exp.dat line.
+  struct ExperimentLogEntry {
+    uint64_t SequenceNumber = 0;
+    bool Resumed = false;
+    int ProcessorCount = 0;
+    int64_t StartVolume = 0;
+  };
+
+  /// Everything readExperimentLog learned, including damage it skipped.
+  struct ExperimentLogContents {
+    std::vector<ExperimentLogEntry> Entries;
+    /// 1-based line numbers that failed their CRC or would not parse and
+    /// were skipped (a torn trailing line from a crashed append lands
+    /// here — the registry before it is still fully usable).
+    std::vector<int> SkippedLines;
+  };
+
+  /// Reads parmonc_exp.dat, verifying each line's CRC suffix when present
+  /// (pre-CRC-era lines still load). Damaged lines are skipped and
+  /// reported, never fatal; a missing file yields an empty registry.
+  [[nodiscard]] Result<ExperimentLogContents> readExperimentLog() const;
 
   /// Reads the means matrix back from func.dat (tests, manaver, tools).
   [[nodiscard]] Result<std::vector<double>> readMeans(size_t Rows, size_t Columns) const;

@@ -183,6 +183,35 @@ struct RunConfig {
   /// (eq. 5 over fewer ranks). 0 = wait forever (the pre-fault behavior).
   int64_t WorkerDeadlineNanos = 0;
 
+  /// Sharded checkpointing: every rank publishes its own CRC-sealed
+  /// cumulative shard (at subtotal-persist cadence) and rank 0 commits a
+  /// manifest referencing the latest shard of every rank instead of
+  /// writing the monolithic checkpoint.dat. Restore merges base + shards
+  /// in rank order, bit-identical to the single-file path, and falls back
+  /// to the previous manifest generation on any validation failure.
+  /// Default off: the legacy checkpoint.dat path, byte-identical to
+  /// before this knob existed. Either kind of checkpoint can be resumed
+  /// regardless of the flag's value in the resuming run; when both a
+  /// manifest and a checkpoint.dat exist (e.g. after a manaver rebuild),
+  /// the loadable state with the larger sample volume is restored —
+  /// snapshots are cumulative, so larger means fresher.
+  bool CheckpointShards = false;
+
+  /// Hands manifest commits to a background writer thread on rank 0 so
+  /// save-points return after a queue push instead of stalling on
+  /// checkpoint I/O. Queue overflow coalesces (newest request wins —
+  /// always safe, snapshots are cumulative) and is counted in
+  /// RunReport::CoalescedCheckpoints and "ckpt.coalesced_saves".
+  /// Requires CheckpointShards.
+  bool CheckpointAsync = false;
+
+  /// Bound of the background writer's commit queue (>= 1).
+  int CheckpointQueueDepth = 2;
+
+  /// Shard files retained per rank beyond the manifest-referenced ones
+  /// when commits prune the shard directory (>= 1).
+  int CheckpointKeepShards = 2;
+
   /// Checks ranges and cross-field constraints.
   [[nodiscard]] Status validate() const;
 };
@@ -235,8 +264,18 @@ struct RunReport {
   bool SimulatedCrash = false;
 
   /// True if the checkpoint failed its integrity check on resume and the
-  /// previous generation (checkpoint.dat.prev) was loaded instead.
+  /// previous generation (checkpoint.dat.prev, or the .prev manifest when
+  /// sharded) was loaded instead.
   bool ResumedFromBackup = false;
+
+  /// True when the resume state came from a sharded checkpoint manifest
+  /// rather than the legacy checkpoint.dat.
+  bool RestoredFromShards = false;
+
+  /// Sharded async checkpointing only: save-point commits that were
+  /// coalesced away by queue backpressure (each one subsumed by a newer
+  /// commit; never a silent loss).
+  int64_t CoalescedCheckpoints = 0;
 
   /// Final values of every engine metric (runner.*, rng.*, comm.*,
   /// store.*), also persisted to results/metrics.dat for mcstat.

@@ -36,8 +36,11 @@ namespace parmonc {
 /// plans can exempt specific tags — e.g. keep final snapshots reliable
 /// while dropping periodic ones.
 enum ProtocolTag : int {
-  TagSubtotal = 1, ///< periodic cumulative snapshot
-  TagFinal = 2,    ///< last snapshot of a finished worker
+  TagSubtotal = 1,    ///< periodic cumulative snapshot
+  TagFinal = 2,       ///< last snapshot of a finished worker
+  TagShardReport = 3, ///< sharded checkpointing: a rank published a new
+                      ///< cumulative shard file; payload references it
+                      ///< (write index, filename, CRC, bytes, volume)
 };
 
 /// A user routine computing one realization of the random object: fills

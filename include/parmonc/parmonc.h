@@ -14,7 +14,11 @@
 #ifndef PARMONC_PARMONC_H
 #define PARMONC_PARMONC_H
 
+#include "parmonc/ckpt/BackgroundWriter.h"
+#include "parmonc/ckpt/CheckpointStore.h"
+#include "parmonc/ckpt/Manifest.h"
 #include "parmonc/core/CApi.h"
+#include "parmonc/core/CheckpointBridge.h"
 #include "parmonc/core/ResultsStore.h"
 #include "parmonc/core/RunConfig.h"
 #include "parmonc/core/Runner.h"

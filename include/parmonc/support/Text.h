@@ -63,6 +63,25 @@ bool startsWith(std::string_view Text, std::string_view Prefix);
 /// requirement for the paper's resumption feature.
 [[nodiscard]] Status writeFileAtomic(const std::string &Path, std::string_view Contents);
 
+/// Fsyncs the regular file at \p Path (platform-guarded; a no-op where
+/// the platform offers no fsync). Used to make an already-renamed file's
+/// contents durable before a dependent commit record is written.
+[[nodiscard]] Status fsyncFile(const std::string &Path);
+
+/// Fsyncs the directory at \p Path so completed renames and creates
+/// inside it survive power loss. Best effort where directories cannot be
+/// opened for reading; never fails the caller for that — returns a Status
+/// only for a genuinely missing directory.
+[[nodiscard]] Status fsyncDirectory(const std::string &Path);
+
+/// Appends \p Line to \p Path durably: O_APPEND write of the whole line
+/// in one call, then fsync. Unlike writeFileAtomic this never rewrites
+/// existing content, so concurrent appenders and crash-interrupted
+/// appends can at worst leave one torn *trailing* line — which per-line
+/// checksums (see ResultsStore::appendExperimentLog) make detectable.
+[[nodiscard]] Status appendLineDurable(const std::string &Path,
+                                       std::string_view Line);
+
 /// Creates \p Path and any missing parents. Ok if it already exists.
 [[nodiscard]] Status createDirectories(const std::string &Path);
 

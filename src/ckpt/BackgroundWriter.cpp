@@ -1,0 +1,249 @@
+//===- ckpt/BackgroundWriter.cpp - Non-blocking commit queue --------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/ckpt/BackgroundWriter.h"
+
+#include "parmonc/mpsim/Serialize.h"
+#include "parmonc/support/Contract.h"
+
+namespace parmonc {
+namespace ckpt {
+
+namespace {
+
+/// Tags of the owner<->writer protocol.
+enum WriterTag : int {
+  TagCommit = 1,     ///< owner -> writer: one serialized CommitRequest
+  TagStop = 2,       ///< owner -> writer: finish queued work and exit
+  TagBarrier = 3,    ///< owner -> writer: echo the token when reached
+  TagResult = 4,     ///< writer -> owner: one commit's outcome
+  TagBarrierAck = 5, ///< writer -> owner: barrier echo
+};
+
+std::vector<uint8_t> encodeRequest(
+    const CheckpointStore::CommitRequest &Request) {
+  ByteWriter Writer;
+  Writer.writeI64(Request.Generation);
+  Writer.writeU64(Request.SequenceNumber);
+  Writer.writeI64(Request.RankCount);
+  Writer.writeI64(Request.KeepShards);
+  Writer.writeI64(Request.BaseVolume);
+  Writer.writeString(Request.BaseBody);
+  Writer.writeU64(Request.Shards.size());
+  for (const ShardEntry &Entry : Request.Shards) {
+    Writer.writeI64(Entry.Rank);
+    Writer.writeString(Entry.File);
+    Writer.writeU32(Entry.Crc);
+    Writer.writeU64(Entry.Bytes);
+    Writer.writeI64(Entry.Volume);
+  }
+  return Writer.takeBytes();
+}
+
+Result<CheckpointStore::CommitRequest> decodeRequest(
+    const std::vector<uint8_t> &Payload) {
+  ByteReader Reader(Payload);
+  CheckpointStore::CommitRequest Request;
+  Result<int64_t> Generation = Reader.readI64();
+  Result<uint64_t> SequenceNumber = Reader.readU64();
+  Result<int64_t> RankCount = Reader.readI64();
+  Result<int64_t> KeepShards = Reader.readI64();
+  Result<int64_t> BaseVolume = Reader.readI64();
+  if (!Generation || !SequenceNumber || !RankCount || !KeepShards ||
+      !BaseVolume)
+    return parseError("truncated commit-request header");
+  Request.Generation = Generation.value();
+  Request.SequenceNumber = SequenceNumber.value();
+  Request.RankCount = int(RankCount.value());
+  Request.KeepShards = int(KeepShards.value());
+  Request.BaseVolume = BaseVolume.value();
+  Result<std::string> BaseBody = Reader.readString();
+  if (!BaseBody)
+    return BaseBody.status();
+  Request.BaseBody = std::move(BaseBody).value();
+  Result<uint64_t> ShardCount = Reader.readU64();
+  if (!ShardCount)
+    return ShardCount.status();
+  for (uint64_t Index = 0; Index < ShardCount.value(); ++Index) {
+    ShardEntry Entry;
+    Result<int64_t> Rank = Reader.readI64();
+    if (!Rank)
+      return Rank.status();
+    Entry.Rank = int(Rank.value());
+    Result<std::string> File = Reader.readString();
+    if (!File)
+      return File.status();
+    Entry.File = std::move(File).value();
+    Result<uint32_t> Crc = Reader.readU32();
+    Result<uint64_t> Bytes = Reader.readU64();
+    Result<int64_t> Volume = Reader.readI64();
+    if (!Crc || !Bytes || !Volume)
+      return parseError("truncated commit-request shard entry");
+    Entry.Crc = Crc.value();
+    Entry.Bytes = Bytes.value();
+    Entry.Volume = Volume.value();
+    Request.Shards.push_back(std::move(Entry));
+  }
+  if (!Reader.atEnd())
+    return parseError("trailing bytes in commit request");
+  return Request;
+}
+
+std::vector<uint8_t> encodeResult(int64_t Generation,
+                                  const Status &Outcome) {
+  ByteWriter Writer;
+  Writer.writeI64(Generation);
+  Writer.writeU64(uint64_t(Outcome.code()));
+  Writer.writeString(Outcome.isOk() ? std::string() : Outcome.message());
+  return Writer.takeBytes();
+}
+
+} // namespace
+
+BackgroundWriter::BackgroundWriter(const CheckpointStore &Store,
+                                   int QueueDepth,
+                                   obs::MetricsRegistry *Registry)
+    : Store(Store), QueueDepth(QueueDepth < 1 ? 1 : QueueDepth),
+      Metrics(Registry) {
+  Writer = std::make_unique<WorkerGroup>(1, [this](int) { writerLoop(); });
+}
+
+BackgroundWriter::~BackgroundWriter() { (void)stop(); }
+
+void BackgroundWriter::writerLoop() {
+  for (;;) {
+    std::optional<Message> Item = Work.popWait(-1, /*TimeoutNanos=*/
+                                               100'000'000);
+    if (!Item) {
+      if (Work.isClosed())
+        break;
+      continue;
+    }
+    // abandon() closes the work mailbox with requests still queued: a
+    // simulated process death. Discard them — exactly the state a killed
+    // collector leaves behind.
+    if (Work.isClosed())
+      break;
+    if (Item->Tag == TagStop)
+      break;
+    if (Item->Tag == TagBarrier) {
+      Done.push(Message{0, TagBarrierAck, Item->Payload});
+      continue;
+    }
+    Result<CheckpointStore::CommitRequest> Request =
+        decodeRequest(Item->Payload);
+    // Same-process round trip: a decode failure here is a bug, not an IO
+    // hazard.
+    PARMONC_ASSERT(Request.isOk(), "commit-request decode failed");
+    const Status Outcome = Store.commit(Request.value());
+    if (Metrics) {
+      if (Outcome)
+        Metrics->counter("ckpt.async_commits").add();
+      else
+        Metrics->counter("ckpt.async_commit_failures").add();
+    }
+    Done.push(
+        Message{0, TagResult, encodeResult(Request.value().Generation,
+                                           Outcome)});
+  }
+  // Wake any drain() blocked on the result mailbox after this exit.
+  Done.close();
+}
+
+void BackgroundWriter::recordResult(const Message &Response) {
+  ByteReader Reader(Response.Payload);
+  Result<int64_t> Generation = Reader.readI64();
+  Result<uint64_t> Code = Reader.readU64();
+  Result<std::string> Text = Reader.readString();
+  PARMONC_ASSERT(Generation.isOk() && Code.isOk() && Text.isOk(),
+                 "commit-result decode failed");
+  if (StatusCode(Code.value()) == StatusCode::Ok) {
+    ++Committed;
+    return;
+  }
+  if (FirstError.isOk())
+    FirstError = Status(StatusCode(Code.value()),
+                        "background checkpoint commit (generation " +
+                            std::to_string(Generation.value()) +
+                            "): " + Text.value());
+}
+
+void BackgroundWriter::drainResponses() {
+  while (std::optional<Message> Response = Done.tryPop(TagResult))
+    recordResult(*Response);
+}
+
+bool BackgroundWriter::enqueue(CheckpointStore::CommitRequest Request) {
+  PARMONC_ASSERT(!Stopped, "enqueue on a stopped background writer");
+  drainResponses();
+  bool DidCoalesce = false;
+  while (Work.pendingCount() >= size_t(QueueDepth)) {
+    // Newest wins: retire the oldest still-pending request. Cumulative
+    // snapshots make this lossless for correctness, lossy for history.
+    if (!Work.tryPop(TagCommit))
+      break; // only control messages pending
+    DidCoalesce = true;
+    ++Coalesced;
+    if (Metrics)
+      Metrics->counter("ckpt.coalesced_saves").add();
+  }
+  Work.push(Message{0, TagCommit, encodeRequest(Request)});
+  if (Metrics)
+    Metrics->gauge("ckpt.queue_depth").set(double(Work.pendingCount()));
+  return !DidCoalesce;
+}
+
+Status BackgroundWriter::drain() {
+  if (Stopped) {
+    drainResponses();
+    return FirstError;
+  }
+  ++BarrierToken;
+  ByteWriter Token;
+  Token.writeU64(BarrierToken);
+  Work.push(Message{0, TagBarrier, Token.takeBytes()});
+  for (;;) {
+    std::optional<Message> Response =
+        Done.popWait(-1, /*TimeoutNanos=*/250'000'000);
+    if (!Response) {
+      if (Done.isClosed())
+        break; // writer exited underneath us (stop raced a drain)
+      continue;
+    }
+    if (Response->Tag == TagResult) {
+      recordResult(*Response);
+      continue;
+    }
+    ByteReader Reader(Response->Payload);
+    Result<uint64_t> Echoed = Reader.readU64();
+    if (Echoed && Echoed.value() == BarrierToken)
+      break;
+  }
+  return FirstError;
+}
+
+Status BackgroundWriter::stop() {
+  if (Stopped)
+    return FirstError;
+  Work.push(Message{0, TagStop, {}});
+  Writer->join();
+  Stopped = true;
+  drainResponses();
+  return FirstError;
+}
+
+void BackgroundWriter::abandon() {
+  if (Stopped)
+    return;
+  Work.close();
+  Writer->join();
+  Stopped = true;
+  // Results of commits that finished before the close are deliberately
+  // not folded into FirstError: the simulated death discards them.
+}
+
+} // namespace ckpt
+} // namespace parmonc

@@ -1,0 +1,87 @@
+//===- core/CheckpointBridge.cpp - Shard <-> snapshot glue ----------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/CheckpointBridge.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace parmonc {
+
+/// Parses and merges one fully loaded generation. Payload parse or merge
+/// failures reject the generation as a whole, exactly like a CRC failure.
+static Result<RecoveredCheckpoint>
+mergeGeneration(ckpt::CheckpointStore::RestoredGeneration Generation) {
+  Result<MomentSnapshot> Base =
+      MomentSnapshot::fromFileContents(Generation.BaseBody);
+  if (!Base)
+    return Status(Base.status().code(),
+                  "base shard of checkpoint generation " +
+                      std::to_string(Generation.Source.Generation) + ": " +
+                      Base.status().message());
+  MomentSnapshot Merged = std::move(Base).value();
+
+  // The store hands shards back in ascending rank order already; sort
+  // defensively so the merge order — and with it the floating-point
+  // result — never depends on manifest line order.
+  std::sort(Generation.Shards.begin(), Generation.Shards.end(),
+            [](const ckpt::CheckpointStore::RestoredShard &Left,
+               const ckpt::CheckpointStore::RestoredShard &Right) {
+              return Left.Rank < Right.Rank;
+            });
+  for (const ckpt::CheckpointStore::RestoredShard &Shard : Generation.Shards) {
+    Result<MomentSnapshot> Part = MomentSnapshot::fromFileContents(Shard.Body);
+    if (!Part)
+      return Status(Part.status().code(),
+                    "shard of rank " + std::to_string(Shard.Rank) +
+                        ", checkpoint generation " +
+                        std::to_string(Generation.Source.Generation) + ": " +
+                        Part.status().message());
+    if (Status MergedOk = Merged.mergeFrom(Part.value()); !MergedOk)
+      return Status(MergedOk.code(),
+                    "merging shard of rank " + std::to_string(Shard.Rank) +
+                        ": " + MergedOk.message());
+  }
+
+  // The manifest records the sequence number of the run that committed it
+  // — the same number the legacy checkpoint.dat would carry.
+  Merged.SequenceNumber = Generation.Source.SequenceNumber;
+
+  RecoveredCheckpoint Recovered;
+  Recovered.Merged = std::move(Merged);
+  Recovered.FromBackupManifest = Generation.FromBackup;
+  Recovered.Generation = Generation.Source.Generation;
+  return Recovered;
+}
+
+Result<RecoveredCheckpoint>
+restoreShardedCheckpoint(const ckpt::CheckpointStore &Store) {
+  Result<ckpt::CheckpointStore::RestoredGeneration> Loaded =
+      Store.restoreWithFallback();
+  if (!Loaded)
+    return Loaded.status();
+  const bool PrimaryLoaded = !Loaded.value().FromBackup;
+  Result<RecoveredCheckpoint> Merged =
+      mergeGeneration(std::move(Loaded).value());
+  if (Merged || !PrimaryLoaded)
+    return Merged;
+  // The primary generation's bytes all passed their CRCs yet a payload
+  // refused to parse or merge (e.g. an interceptor rewrote a shard into a
+  // different well-formed file, or shapes disagree). One more rung on the
+  // ladder: the previous generation.
+  Result<ckpt::CheckpointStore::RestoredGeneration> Previous =
+      Store.restoreGeneration(Store.prevManifestPath());
+  if (!Previous)
+    return Merged; // the primary's error is the useful one
+  Result<RecoveredCheckpoint> PreviousMerged =
+      mergeGeneration(std::move(Previous).value());
+  if (!PreviousMerged)
+    return Merged;
+  PreviousMerged.value().FromBackupManifest = true;
+  return PreviousMerged;
+}
+
+} // namespace parmonc

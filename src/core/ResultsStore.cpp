@@ -223,6 +223,19 @@ Result<MomentSnapshot> MomentSnapshot::fromBytes(
   return Snapshot;
 }
 
+Status MomentSnapshot::mergeFrom(const MomentSnapshot &Other) {
+  if (Status MergedOk = Moments.merge(Other.Moments); !MergedOk)
+    return MergedOk;
+  ComputeSeconds += Other.ComputeSeconds;
+  if (Histograms.size() != Other.Histograms.size())
+    return failedPrecondition("snapshot histogram count mismatch");
+  for (size_t Index = 0; Index < Histograms.size(); ++Index)
+    if (Status HistogramOk = Histograms[Index].merge(Other.Histograms[Index]);
+        !HistogramOk)
+      return HistogramOk;
+  return Status::ok();
+}
+
 ResultsStore::ResultsStore(std::string WorkDir)
     : WorkDir(std::move(WorkDir)) {
   assert(!this->WorkDir.empty() && "work directory must not be empty");
@@ -242,6 +255,9 @@ std::string ResultsStore::resultsDir() const {
 }
 std::string ResultsStore::subtotalsDir() const {
   return dataDir() + "/subtotals";
+}
+std::string ResultsStore::checkpointDir() const {
+  return dataDir() + "/ckpt";
 }
 std::string ResultsStore::checkpointPath() const {
   return dataDir() + "/checkpoint.dat";
@@ -304,6 +320,14 @@ Status ResultsStore::writeSnapshot(const std::string &Path,
     std::error_code RotateError;
     std::filesystem::rename(Path, backupPath(Path), RotateError);
     // Best effort: an unrotatable backup must not block the save itself.
+    if (!RotateError) {
+      // Persist the rotation before the replace lands: after a power cut
+      // mid-save the .prev generation must actually be on disk, or the
+      // fallback ladder has nothing to stand on.
+      const std::string Parent =
+          std::filesystem::path(Path).parent_path().string();
+      (void)fsyncDirectory(Parent.empty() ? "." : Parent);
+    }
   }
   Status Written = writeFileAtomic(Path, Contents);
   if (Metrics && Written) {
@@ -431,22 +455,101 @@ Status ResultsStore::writeResults(const EstimatorMatrix &Merged,
   return writeFileAtomic(logPath(), sealFileContents(LogText));
 }
 
+/// Eight lowercase hex digits, the same rendering the file seals use.
+static std::string formatCrc32(uint32_t Value) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Text(8, '0');
+  for (int Index = 7; Index >= 0; --Index) {
+    Text[Index] = Digits[Value & 0xF];
+    Value >>= 4;
+  }
+  return Text;
+}
+
+/// Parses exactly eight lowercase/uppercase hex digits.
+static Result<uint32_t> parseCrc32(std::string_view Hex) {
+  if (Hex.size() != 8)
+    return parseError("CRC suffix must be eight hex digits");
+  uint32_t Value = 0;
+  for (char Digit : Hex) {
+    Value <<= 4;
+    if (Digit >= '0' && Digit <= '9')
+      Value |= uint32_t(Digit - '0');
+    else if (Digit >= 'a' && Digit <= 'f')
+      Value |= uint32_t(Digit - 'a' + 10);
+    else if (Digit >= 'A' && Digit <= 'F')
+      Value |= uint32_t(Digit - 'A' + 10);
+    else
+      return parseError("CRC suffix holds a non-hex digit");
+  }
+  return Value;
+}
+
 Status ResultsStore::appendExperimentLog(const RunLogInfo &Log) const {
   std::string Line = "experiment " + std::to_string(Log.SequenceNumber) +
                      " resumed " + (Log.Resumed ? "1" : "0") +
                      " processors " + std::to_string(Log.ProcessorCount) +
                      " start_volume " +
-                     std::to_string(Log.TotalSampleVolume) + "\n";
-  // Append (not atomic-replace): the registry accumulates one line per
-  // started experiment across the directory's lifetime.
-  std::string Existing;
-  if (fileExists(experimentLogPath())) {
-    Result<std::string> Current = readFileToString(experimentLogPath());
-    if (!Current)
-      return Current.status();
-    Existing = Current.value();
+                     std::to_string(Log.TotalSampleVolume);
+  // Per-line CRC over everything before the suffix: the whole-file seal
+  // does not fit an append-only registry, but a torn or rotted line must
+  // still be detectable on load.
+  Line += " crc " + formatCrc32(crc32(Line));
+  // Durable O_APPEND write: the registry accumulates one line per started
+  // experiment across the directory's lifetime, and a crash mid-append can
+  // tear at most the line being written — which the CRC then catches.
+  return appendLineDurable(experimentLogPath(), Line + "\n");
+}
+
+Result<ResultsStore::ExperimentLogContents>
+ResultsStore::readExperimentLog() const {
+  ExperimentLogContents Registry;
+  if (!fileExists(experimentLogPath()))
+    return Registry; // no experiments started yet
+  Result<std::string> Contents = readFileToString(experimentLogPath());
+  if (!Contents)
+    return Contents.status();
+  int LineNumber = 0;
+  for (std::string_view Line : splitChar(Contents.value(), '\n')) {
+    ++LineNumber;
+    std::string_view Stripped = trim(Line);
+    if (Stripped.empty() || Stripped[0] == '#')
+      continue;
+    // Verify the CRC suffix when present (pre-CRC-era lines have none).
+    std::string_view Body = Stripped;
+    const size_t CrcAt = Stripped.rfind(" crc ");
+    if (CrcAt != std::string_view::npos) {
+      Result<uint32_t> Declared = parseCrc32(trim(Stripped.substr(CrcAt + 5)));
+      Body = Stripped.substr(0, CrcAt);
+      if (!Declared || Declared.value() != crc32(Body)) {
+        Registry.SkippedLines.push_back(LineNumber);
+        continue;
+      }
+    }
+    auto Fields = splitWhitespace(Body);
+    ExperimentLogEntry Entry;
+    bool Parsed = false;
+    if (Fields.size() == 8 && Fields[0] == "experiment" &&
+        Fields[2] == "resumed" && Fields[4] == "processors" &&
+        Fields[6] == "start_volume") {
+      Result<uint64_t> Sequence = parseUInt64(Fields[1]);
+      Result<int64_t> Resumed = parseInt64(Fields[3]);
+      Result<int64_t> Processors = parseInt64(Fields[5]);
+      Result<int64_t> Volume = parseInt64(Fields[7]);
+      if (Sequence && Resumed && Processors && Volume) {
+        Entry.SequenceNumber = Sequence.value();
+        Entry.Resumed = Resumed.value() != 0;
+        Entry.ProcessorCount = int(Processors.value());
+        Entry.StartVolume = Volume.value();
+        Parsed = true;
+      }
+    }
+    if (Parsed)
+      Registry.Entries.push_back(Entry);
+    else
+      Registry.SkippedLines.push_back(LineNumber);
   }
-  return writeFileAtomic(experimentLogPath(), Existing + Line);
+  return Registry;
 }
 
 Result<std::vector<double>> ResultsStore::readMeans(size_t Rows,
@@ -514,6 +617,9 @@ Status ResultsStore::clearPreviousRun() const {
     std::filesystem::remove(Path, Error);
     std::filesystem::remove(backupPath(Path), Error);
   }
+  // The sharded checkpoint tree (manifest + shards) belongs to the run
+  // being discarded as well.
+  std::filesystem::remove_all(checkpointDir(), Error);
   return Status::ok();
 }
 

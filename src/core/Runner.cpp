@@ -16,9 +16,12 @@
 
 #include "parmonc/core/Runner.h"
 
+#include "parmonc/ckpt/BackgroundWriter.h"
+#include "parmonc/core/CheckpointBridge.h"
 #include "parmonc/fault/FaultPlan.h"
 #include "parmonc/mpsim/Communicator.h"
 #include "parmonc/mpsim/Engine.h"
+#include "parmonc/mpsim/Serialize.h"
 #include "parmonc/obs/Stopwatch.h"
 #include "parmonc/rng/StreamHierarchy.h"
 #include "parmonc/support/Contract.h"
@@ -57,16 +60,8 @@ struct SharedRunState {
 /// collector and the intra-rank thread merge, so both levels of the
 /// hierarchy combine partials with the exact same arithmetic.
 void mergeSnapshotInto(MomentSnapshot &Into, const MomentSnapshot &From) {
-  Status MergedOk = Into.Moments.merge(From.Moments);
-  PARMONC_ASSERT(MergedOk.isOk(), "snapshot shape mismatch");
-  Into.ComputeSeconds += From.ComputeSeconds;
-  PARMONC_ASSERT(Into.Histograms.size() == From.Histograms.size(),
-                 "snapshot histogram count mismatch");
-  for (size_t Index = 0; Index < Into.Histograms.size(); ++Index) {
-    Status HistogramOk =
-        Into.Histograms[Index].merge(From.Histograms[Index]);
-    PARMONC_ASSERT(HistogramOk.isOk(), "histogram geometry mismatch");
-  }
+  Status MergedOk = Into.mergeFrom(From);
+  PARMONC_ASSERT(MergedOk.isOk(), "snapshot shape/geometry mismatch");
 }
 
 /// Collector-side bookkeeping (rank 0 only).
@@ -78,6 +73,13 @@ struct CollectorState {
   int FinalsOutstanding = 0;
   int SavePointCount = 0;
   int64_t LastSaveNanos = 0;
+
+  // Sharded checkpointing: the latest shard file each rank reported, keyed
+  // by the rank's own monotone write index so duplicated or reordered
+  // reports (injected faults) can never roll a reference backwards.
+  std::vector<ckpt::ShardEntry> ShardRef;
+  std::vector<bool> HaveShardRef;
+  std::vector<int64_t> ShardIndexSeen;
 
   /// Merges base + every received rank snapshot (eq. 5).
   MomentSnapshot mergeAll(const MomentSnapshot &Base) const {
@@ -133,6 +135,13 @@ Status RunConfig::validate() const {
   if (SendRetryBackoffNanos < 0 || WorkerDeadlineNanos < 0)
     return invalidArgument("retry backoff and worker deadline must be "
                            "non-negative");
+  if (CheckpointAsync && !CheckpointShards)
+    return invalidArgument(
+        "asynchronous checkpointing requires CheckpointShards");
+  if (CheckpointQueueDepth < 1)
+    return invalidArgument("checkpoint queue depth must be >= 1");
+  if (CheckpointKeepShards < 1)
+    return invalidArgument("checkpoint shard retention must be >= 1");
   if (WorkerThreadsPerRank < 1)
     return invalidArgument("worker threads per rank must be >= 1");
   if (WorkerThreadsPerRank > 1) {
@@ -209,6 +218,18 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     Store.setFaultInjector(Injector);
   }
 
+  // Sharded checkpoint store. Always constructed (resume must be able to
+  // read a manifest a previous sharded run left behind); the directories
+  // are only created when this run itself writes shards.
+  ckpt::CheckpointStore Ckpt(Store.checkpointDir());
+  Ckpt.attachMetrics(&Registry);
+  if (Injector)
+    Ckpt.setWriteInterceptor(
+        [Injector](const std::string &Path, std::string_view Contents) {
+          // mclint: allow(R8): fault-injection seam, same as the results
+          // store's — the injector is plain data here.
+          return Injector->corruptWrite(Path, Contents);
+        });
   // Leap table: an explicit parmonc_genparam.dat in the working directory
   // overrides the configured exponents (§3.5).
   const int64_t LeapSetupStart = Time.nowNanos();
@@ -234,20 +255,74 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   Base.Histograms = makeHistograms(Config);
   Base.SequenceNumber = Config.SequenceNumber;
   bool ResumedFromBackup = false;
+  bool RestoredFromShards = false;
   if (Config.Resume) {
-    if (!fileExists(Store.checkpointPath()) &&
-        !fileExists(ResultsStore::backupPath(Store.checkpointPath())))
+    // The full recovery ladder. A sharded manifest and a legacy
+    // checkpoint.dat can coexist — manaver rebuilds checkpoint.dat from
+    // the subtotal files after a crash that left mid-run manifests behind
+    // — and snapshots are cumulative, so whichever loadable state carries
+    // the larger sample volume is the fresher one and wins. Each side
+    // falls back to its own .prev generation before the comparison.
+    const bool HaveManifest = Ckpt.hasAnyManifest();
+    const bool HaveLegacy =
+        fileExists(Store.checkpointPath()) ||
+        fileExists(ResultsStore::backupPath(Store.checkpointPath()));
+    if (!HaveManifest && !HaveLegacy)
       return failedPrecondition(
           "resume requested but no checkpoint exists at " +
           Store.checkpointPath());
-    // A checkpoint that fails its CRC is never loaded; the previous
-    // generation (checkpoint.dat.prev) covers the torn-write case.
-    Result<ResultsStore::RecoveredSnapshot> Recovered =
-        Store.readSnapshotWithFallback(Store.checkpointPath());
-    if (!Recovered)
-      return Recovered.status();
-    ResumedFromBackup = Recovered.value().FromBackup;
-    MomentSnapshot Previous = std::move(Recovered).value().Snapshot;
+    bool HaveSharded = false;
+    bool HaveSingle = false;
+    bool ShardedBackup = false;
+    bool SingleBackup = false;
+    MomentSnapshot Sharded;
+    MomentSnapshot Single;
+    Status FirstError;
+    if (HaveManifest) {
+      // Rebuild the merged state from base + rank shards (bit-identical
+      // to the single-file path), falling back to the previous manifest
+      // generation on any CRC, short-read, missing-shard or payload
+      // failure.
+      Result<RecoveredCheckpoint> Recovered = restoreShardedCheckpoint(Ckpt);
+      if (Recovered) {
+        HaveSharded = true;
+        ShardedBackup = Recovered.value().FromBackupManifest;
+        Sharded = std::move(Recovered).value().Merged;
+      } else {
+        FirstError = Recovered.status();
+      }
+    }
+    if (HaveLegacy) {
+      // A checkpoint that fails its CRC is never loaded; the previous
+      // generation (checkpoint.dat.prev) covers the torn-write case.
+      Result<ResultsStore::RecoveredSnapshot> Recovered =
+          Store.readSnapshotWithFallback(Store.checkpointPath());
+      if (Recovered) {
+        HaveSingle = true;
+        SingleBackup = Recovered.value().FromBackup;
+        Single = std::move(Recovered).value().Snapshot;
+      } else if (FirstError.isOk()) {
+        FirstError = Recovered.status();
+      }
+    }
+    if (!HaveSharded && !HaveSingle)
+      return FirstError;
+    MomentSnapshot Previous;
+    const bool UseSharded =
+        HaveSharded &&
+        (!HaveSingle ||
+         Sharded.Moments.sampleVolume() >= Single.Moments.sampleVolume());
+    if (UseSharded) {
+      ResumedFromBackup = ShardedBackup;
+      RestoredFromShards = true;
+      Previous = std::move(Sharded);
+    } else {
+      // Either a legacy-only tree, every manifest generation was rejected
+      // (one more rung down the ladder — flagged as a backup resume), or
+      // checkpoint.dat is strictly fresher than the best manifest.
+      ResumedFromBackup = SingleBackup || (HaveManifest && !HaveSharded);
+      Previous = std::move(Single);
+    }
     if (Previous.Moments.rows() != Config.Rows ||
         Previous.Moments.columns() != Config.Columns)
       return failedPrecondition(
@@ -276,6 +351,11 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     if (Status Cleared = Store.clearPreviousRun(); !Cleared)
       return Cleared;
   }
+  // After the res=0 clear (which removes the whole ckpt tree along with
+  // the other per-run files), so the staging/shards directories survive.
+  if (Config.CheckpointShards)
+    if (Status Prepared = Ckpt.prepareDirectories(); !Prepared)
+      return Prepared;
   if (Status Written = Store.writeSnapshot(Store.basePath(), Base); !Written)
     return Written;
 
@@ -298,9 +378,23 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   Collector.FinalReceived.assign(size_t(RankCount), false);
   Collector.FinalsOutstanding = RankCount;
   Collector.LastSaveNanos = StartNanos;
+  Collector.ShardRef.assign(size_t(RankCount), ckpt::ShardEntry{});
+  Collector.HaveShardRef.assign(size_t(RankCount), false);
+  Collector.ShardIndexSeen.assign(size_t(RankCount), 0);
 
   Status CollectorFailure; // first IO failure seen by rank 0
   RunReport Report;
+
+  // The merged-base shard every sharded commit references. Base is frozen
+  // after the resume block, so serialize it once.
+  const std::string BaseFileBody =
+      Config.CheckpointShards ? Base.toFileContents() : std::string();
+
+  // Background checkpoint writer (rank 0, parent process only): created
+  // lazily at body entry, wound down after the engine returns so every
+  // exit path — including a simulated collector death — is covered.
+  std::optional<ckpt::BackgroundWriter> AsyncWriterStorage;
+  ckpt::BackgroundWriter *AsyncWriter = nullptr;
 
   // Rank 0's communicator, captured at body entry: the collector-side
   // helpers broadcast stop/abort through it so the decision crosses
@@ -391,9 +485,39 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
             Store.writeResults(Merged.Moments, Log, Config.ErrorMultiplier);
         !Written && CollectorFailure.isOk())
       CollectorFailure = Written;
-    if (Status Written = Store.writeSnapshot(Store.checkpointPath(), Merged);
-        !Written && CollectorFailure.isOk())
-      CollectorFailure = Written;
+    if (!Config.CheckpointShards) {
+      if (Status Written =
+              Store.writeSnapshot(Store.checkpointPath(), Merged);
+          !Written && CollectorFailure.isOk())
+        CollectorFailure = Written;
+    } else {
+      // Sharded commit: the manifest references the latest shard every
+      // rank has published so far. Worker shards carry this run's
+      // contributions only; the base shard carries everything inherited,
+      // so base + shards reconstructs the merged state exactly.
+      ckpt::CheckpointStore::CommitRequest Request;
+      Request.Generation = Collector.SavePointCount + 1;
+      Request.SequenceNumber = Config.SequenceNumber;
+      Request.RankCount = RankCount;
+      Request.BaseBody = BaseFileBody;
+      Request.BaseVolume = Base.Moments.sampleVolume();
+      Request.KeepShards = Config.CheckpointKeepShards;
+      for (size_t Rank = 0; Rank < size_t(RankCount); ++Rank)
+        if (Collector.HaveShardRef[Rank])
+          Request.Shards.push_back(Collector.ShardRef[Rank]);
+      // The stall this save-point spends on checkpointing: the full
+      // commit when synchronous, a queue hand-off when asynchronous —
+      // the contrast BENCH_ckpt.json quantifies.
+      const int64_t HandoffStart = Time.nowNanos();
+      if (AsyncWriter) {
+        (void)AsyncWriter->enqueue(std::move(Request));
+      } else if (Status Committed = Ckpt.commit(Request);
+                 !Committed && CollectorFailure.isOk()) {
+        CollectorFailure = Committed;
+      }
+      Registry.latency("ckpt.save_stall")
+          .recordNanos(Time.nowNanos() - HandoffStart);
+    }
     for (size_t Index = 0; Index < Config.Histograms.size(); ++Index) {
       const HistogramSpec &Spec = Config.Histograms[Index];
       if (Status Written = writeFileAtomic(
@@ -438,6 +562,35 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   };
 
   auto handleMessage = [&](const Message &Incoming) {
+    if (Incoming.Tag == TagShardReport) {
+      ByteReader Reader(Incoming.Payload);
+      Result<int64_t> WriteIndex = Reader.readI64();
+      Result<std::string> File = Reader.readString();
+      Result<uint32_t> Crc = Reader.readU32();
+      Result<uint64_t> Bytes = Reader.readU64();
+      Result<int64_t> Volume = Reader.readI64();
+      if (!WriteIndex || !File || !Crc || !Bytes || !Volume ||
+          !Reader.atEnd()) {
+        if (CollectorFailure.isOk())
+          CollectorFailure = parseError("malformed shard report from rank " +
+                                        std::to_string(Incoming.Source));
+        return;
+      }
+      const size_t Source = size_t(Incoming.Source);
+      // Duplicated or delayed reports (injected faults) must never roll a
+      // manifest reference back to an older shard.
+      if (WriteIndex.value() <= Collector.ShardIndexSeen[Source])
+        return;
+      Collector.ShardIndexSeen[Source] = WriteIndex.value();
+      ckpt::ShardEntry &Entry = Collector.ShardRef[Source];
+      Entry.Rank = Incoming.Source;
+      Entry.File = std::move(File).value();
+      Entry.Crc = Crc.value();
+      Entry.Bytes = Bytes.value();
+      Entry.Volume = Volume.value();
+      Collector.HaveShardRef[Source] = true;
+      return;
+    }
     Result<MomentSnapshot> Snapshot =
         MomentSnapshot::fromBytes(Incoming.Payload);
     if (!Snapshot) {
@@ -469,8 +622,16 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   // so the by-reference capture of the stream hierarchy cannot outlive it.
   auto body = [&](Communicator &Comm) {
     const int Rank = Comm.rank();
-    if (Rank == 0)
+    if (Rank == 0) {
       RootComm = &Comm;
+      // Rank 0 always runs in the calling process (both transports), so
+      // the writer thread spawned here never crosses a fork.
+      if (Config.CheckpointAsync) {
+        AsyncWriterStorage.emplace(Ckpt, Config.CheckpointQueueDepth,
+                                   &Registry);
+        AsyncWriter = &*AsyncWriterStorage;
+      }
+    }
     const int ThreadsPerRank = Config.WorkerThreadsPerRank;
 
     MomentSnapshot Local;
@@ -488,6 +649,7 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
     const int64_t PersistPeriodNanos =
         Config.PassPeriodNanos > 0 ? Config.PassPeriodNanos : 250'000'000;
 
+    int64_t ShardWriteIndex = 0;
     auto sendSubtotal = [&](int Tag) {
       const int64_t SendStart = Trace ? Time.nowNanos() : 0;
       // Persist BEFORE sending, so the worker's on-disk subtotal is always
@@ -497,6 +659,41 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
       const int64_t Now = Time.nowNanos();
       if (Tag == TagFinal || Now - LastPersistNanos >= PersistPeriodNanos) {
         (void)Store.writeSnapshot(Store.subtotalPath(Rank), Local);
+        if (Config.CheckpointShards) {
+          // Publish this rank's cumulative shard at subtotal-persist
+          // cadence and tell rank 0 where it landed. Shard freshness thus
+          // equals §3.4 subtotal freshness; at the final send the shard
+          // body IS the final subtotal, which makes the committed
+          // generation reconstruct the collector's merged state exactly.
+          Result<ckpt::ShardEntry> Written =
+              Ckpt.writeShard(Rank, Config.SequenceNumber, ++ShardWriteIndex,
+                              Local.toFileContents(),
+                              Local.Moments.sampleVolume());
+          if (Written) {
+            ByteWriter ShardMsg;
+            ShardMsg.writeI64(ShardWriteIndex);
+            ShardMsg.writeString(Written.value().File);
+            ShardMsg.writeU32(Written.value().Crc);
+            ShardMsg.writeU64(Written.value().Bytes);
+            ShardMsg.writeI64(Written.value().Volume);
+            if (Status Sent = Comm.sendReliable(0, TagShardReport,
+                                                ShardMsg.takeBytes(),
+                                                Config.SendMaxAttempts,
+                                                Config.SendRetryBackoffNanos,
+                                                &Time);
+                !Sent)
+              // Cumulative shards: the next report covers this one.
+              Shared.FailedSends.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // A rank that cannot publish keeps simulating — the manifest
+            // just references its previous shard — but the failure is
+            // never silent, and on rank 0 it fails the run like any other
+            // collector-side IO error.
+            Registry.counter("ckpt.shard_write_failures").add();
+            if (Rank == 0 && CollectorFailure.isOk())
+              CollectorFailure = Written.status();
+          }
+        }
         LastPersistNanos = Now;
       }
       if (Status Sent = Comm.sendReliable(0, Tag, Local.toBytes(),
@@ -842,6 +1039,21 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   }
   Result<EngineReport> Hosted =
       runEngine(Config.Transport, RankCount, body, Hosting);
+
+  // Wind the background checkpoint writer down on every path. A simulated
+  // collector death abandons the queue — whatever was still queued is
+  // lost, exactly as a SIGKILL would lose it — while a normal finish
+  // drains it and surfaces the first commit error.
+  if (AsyncWriter) {
+    if (Shared.Killed.load(std::memory_order_relaxed)) {
+      AsyncWriter->abandon();
+    } else if (Status Stopped = AsyncWriter->stop();
+               !Stopped && CollectorFailure.isOk()) {
+      CollectorFailure = Stopped;
+    }
+    Report.CoalescedCheckpoints = AsyncWriter->coalescedCount();
+  }
+
   if (!Hosted)
     return Hosted.status();
   const EngineReport &Fleet = Hosted.value();
@@ -861,6 +1073,7 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   Report.Degraded = !Report.DeadWorkers.empty() || Report.FailedSends > 0;
   Report.SimulatedCrash = Shared.Killed.load(std::memory_order_relaxed);
   Report.ResumedFromBackup = ResumedFromBackup;
+  Report.RestoredFromShards = RestoredFromShards;
 
   Registry.gauge("runner.elapsed_seconds").set(Report.ElapsedSeconds);
   Report.Metrics = Registry.snapshot();

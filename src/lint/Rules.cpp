@@ -827,27 +827,44 @@ public:
            "TU that calls readSnapshot() but never touches "
            "readSnapshotWithFallback() or the '.prev' generation has no "
            "error branch for a bad seal — the failure either crashes the "
-           "resume or, worse, restarts statistics from scratch.";
+           "resume or, worse, restarts statistics from scratch. Sharded "
+           "checkpoint manifests have the same two-generation contract: "
+           "readManifest() loads one generation with no ladder, so "
+           "outside the ckpt/ module itself (which implements the "
+           "ladder) manifest loads must show the same fallback evidence "
+           "— restoreWithFallback() or an explicit '.prev' branch.";
   }
   std::string_view example() const override {
     return "  Result<Snapshot> S = readSnapshot(P);          // flagged\n"
-           "  Result<Snapshot> S = readSnapshotWithFallback(P); // ok";
+           "  Result<Snapshot> S = readSnapshotWithFallback(P); // ok\n"
+           "  auto M = Store.readManifest(P);                // flagged\n"
+           "  auto G = Store.restoreWithFallback();          // ok";
   }
 
   void check(const SourceFile &File, const LintContext &,
              std::vector<Diagnostic> &Out) const override {
     const std::vector<Token> &Tokens = File.tokens();
+    // The ckpt module implements the manifest fallback ladder; its own
+    // readManifest() plumbing (and its tests') is the mechanism, not a
+    // violation.
+    const bool InCkptModule = pathContainsComponent(File.path(), "ckpt");
     bool HasFallback = false;
     std::vector<uint32_t> CallLines;
+    std::vector<uint32_t> ManifestCallLines;
     for (size_t I = 0; I < Tokens.size(); ++I) {
       const Token &T = Tokens[I];
       if (T.Kind == TokenKind::Identifier) {
-        if (T.Text == "readSnapshotWithFallback")
+        if (T.Text == "readSnapshotWithFallback" ||
+            T.Text == "restoreWithFallback")
           HasFallback = true;
         else if (T.Text == "readSnapshot") {
           const size_t Next = nextCodeToken(Tokens, I);
           if (Next < Tokens.size() && isPunctToken(Tokens[Next], '('))
             CallLines.push_back(T.Line);
+        } else if (T.Text == "readManifest" && !InCkptModule) {
+          const size_t Next = nextCodeToken(Tokens, I);
+          if (Next < Tokens.size() && isPunctToken(Tokens[Next], '('))
+            ManifestCallLines.push_back(T.Line);
         }
       } else if ((T.Kind == TokenKind::String ||
                   T.Kind == TokenKind::RawString) &&
@@ -863,6 +880,13 @@ public:
                      "snapshot loaded without a fallback path; use "
                      "readSnapshotWithFallback() or handle the sealed "
                      "'.prev' generation on the error branch",
+                     {}});
+    for (uint32_t Line : ManifestCallLines)
+      Out.push_back({File.path(), unsigned(Line + 1), std::string(id()),
+                     std::string(name()),
+                     "checkpoint manifest loaded without a fallback path; "
+                     "use restoreWithFallback() or handle the '.prev' "
+                     "manifest generation on the error branch",
                      {}});
   }
 };
@@ -1069,7 +1093,8 @@ private:
             {"statest", {"rng"}},
             {"vr", {"stats", "rng"}},
             {"mpsim", {"obs", "sde", "rng"}},
-            {"core", {"obs", "rng", "stats", "mpsim", "fault"}},
+            {"ckpt", {"obs", "mpsim"}},
+            {"core", {"obs", "rng", "stats", "mpsim", "ckpt", "fault"}},
         };
     return Deps;
   }
@@ -1329,18 +1354,21 @@ std::set<std::string, std::less<>> builtinFallibleFunctions() {
       "fromBytes",           "fromDecimalString",
       "fromFileContents",    "fromHexString",
       "fromRawSums",         "loadOrDefault",
-      "merge",               "parseDouble",
-      "parseInt64",          "parseUInt64",
-      "prepareDirectories",  "readDouble",
-      "readDoubleVector",    "readFileToString",
-      "readI64",             "readMeans",
-      "readSnapshot",        "readSnapshotWithFallback",
-      "readString",          "readU32",
-      "readU64",             "runManualAverage",
-      "runSimulation",       "runVirtualCluster",
-      "sendReliable",        "unsealFileContents",
-      "validate",            "writeFileAtomic",
-      "writeResults",        "writeSnapshot",
+      "merge",               "mergeFrom",
+      "parseDouble",         "parseInt64",
+      "parseUInt64",         "prepareDirectories",
+      "readDouble",          "readDoubleVector",
+      "readExperimentLog",   "readFileToString",
+      "readI64",             "readManifest",
+      "readMeans",           "readSnapshot",
+      "readSnapshotWithFallback", "readString",
+      "readU32",             "readU64",
+      "restoreGeneration",   "restoreWithFallback",
+      "runManualAverage",    "runSimulation",
+      "runVirtualCluster",   "sendReliable",
+      "unsealFileContents",  "validate",
+      "writeFileAtomic",     "writeResults",
+      "writeShard",          "writeSnapshot",
   };
 }
 

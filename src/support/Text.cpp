@@ -176,11 +176,83 @@ Status writeFileAtomic(const std::string &Path, std::string_view Contents) {
   // the rename above is already atomic with respect to readers.
   const std::string Parent =
       std::filesystem::path(Path).parent_path().string();
-  const int DirDescriptor =
-      ::open(Parent.empty() ? "." : Parent.c_str(), O_RDONLY);
-  if (DirDescriptor >= 0) {
-    (void)::fsync(DirDescriptor);
-    (void)::close(DirDescriptor);
+  (void)fsyncDirectory(Parent.empty() ? "." : Parent);
+  return Status::ok();
+}
+
+Status fsyncFile(const std::string &Path) {
+#if defined(_WIN32)
+  // No POSIX fsync; rely on the OS write-back. The checkpoint commit
+  // protocol stays correct (rename ordering), only power-loss durability
+  // weakens — documented in DESIGN.md.
+  (void)Path;
+  return Status::ok();
+#else
+  const int FileDescriptor = ::open(Path.c_str(), O_RDONLY);
+  if (FileDescriptor < 0)
+    return ioError("cannot open '" + Path +
+                   "' for fsync: " + std::strerror(errno));
+  Status Synced = Status::ok();
+  if (::fsync(FileDescriptor) != 0)
+    Synced = ioError("fsync failure on '" + Path +
+                     "': " + std::strerror(errno));
+  (void)::close(FileDescriptor);
+  return Synced;
+#endif
+}
+
+Status fsyncDirectory(const std::string &Path) {
+#if defined(_WIN32)
+  (void)Path;
+  return Status::ok();
+#else
+  const int DirDescriptor = ::open(Path.c_str(), O_RDONLY);
+  if (DirDescriptor < 0)
+    return ioError("cannot open directory '" + Path +
+                   "' for fsync: " + std::strerror(errno));
+  // Some filesystems reject fsync on directory descriptors; the open
+  // succeeding is the signal the directory exists, so treat that fsync
+  // failure as best-effort rather than a caller-visible error.
+  (void)::fsync(DirDescriptor);
+  (void)::close(DirDescriptor);
+  return Status::ok();
+#endif
+}
+
+Status appendLineDurable(const std::string &Path, std::string_view Line) {
+  const bool Existed = fileExists(Path);
+  const int FileDescriptor =
+      ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (FileDescriptor < 0)
+    return ioError("cannot open '" + Path +
+                   "' for append: " + std::strerror(errno));
+  size_t Written = 0;
+  while (Written < Line.size()) {
+    const ssize_t Count = ::write(FileDescriptor, Line.data() + Written,
+                                  Line.size() - Written);
+    if (Count < 0) {
+      if (errno == EINTR)
+        continue;
+      const std::string Reason = std::strerror(errno);
+      (void)::close(FileDescriptor);
+      return ioError("append failure on '" + Path + "': " + Reason);
+    }
+    Written += size_t(Count);
+  }
+#if !defined(_WIN32)
+  if (::fsync(FileDescriptor) != 0) {
+    const std::string Reason = std::strerror(errno);
+    (void)::close(FileDescriptor);
+    return ioError("fsync failure on '" + Path + "': " + Reason);
+  }
+#endif
+  if (::close(FileDescriptor) != 0)
+    return ioError("close failure on '" + Path +
+                   "': " + std::strerror(errno));
+  if (!Existed) {
+    const std::string Parent =
+        std::filesystem::path(Path).parent_path().string();
+    (void)fsyncDirectory(Parent.empty() ? "." : Parent);
   }
   return Status::ok();
 }

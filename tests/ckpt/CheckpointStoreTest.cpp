@@ -1,0 +1,572 @@
+//===- tests/ckpt/CheckpointStoreTest.cpp - Sharded checkpoint store ------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The on-disk contract of sharded checkpointing: shards publish atomically
+// and immutably, commit is two-phase (shards + directory fsync, then the
+// sealed manifest rename), and the restore ladder rejects any generation
+// with a damaged manifest or shard and falls back to the previous one. The
+// headline scale test writes 2^10 rank shards concurrently — one writer
+// thread per rank, as in the engine — and proves byte-exact restore plus
+// byte-exact fallback after single-shard corruption at that width. The
+// BackgroundWriter section pins the writer thread's lifecycle: deterministic
+// skip-and-coalesce under backpressure, drain/stop error folding, and
+// abandon() leaving a restorable prefix like a killed process would.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/ckpt/BackgroundWriter.h"
+#include "parmonc/ckpt/CheckpointStore.h"
+#include "parmonc/support/Checksum.h"
+#include "parmonc/support/Text.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace parmonc {
+namespace ckpt {
+namespace {
+
+class ScratchDir {
+public:
+  explicit ScratchDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("parmonc_ckpt_" + Name + "_" + std::to_string(Counter++)))
+               .string();
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+  std::string root() const { return Path + "/ckpt"; }
+
+private:
+  static inline int Counter = 0;
+  std::string Path;
+};
+
+/// Rewrites the file at \p Path through \p Damage (read-modify-write).
+void damageFile(const std::string &Path,
+                const std::function<std::string(std::string)> &Damage) {
+  Result<std::string> Contents = readFileToString(Path);
+  ASSERT_TRUE(Contents.isOk()) << Contents.status().toString();
+  Status Written = writeFileAtomic(Path, Damage(std::move(Contents).value()));
+  ASSERT_TRUE(Written.isOk()) << Written.toString();
+}
+
+std::string flipOneBodyByte(std::string Text) {
+  // Flip a byte well past the seal line so the seal itself stays parsable.
+  EXPECT_GT(Text.size(), 60u);
+  Text[Text.size() - 2] = char(Text[Text.size() - 2] ^ 0x20);
+  return Text;
+}
+
+/// One committed generation: base plus one shard per rank, bodies derived
+/// from (rank, generation) so restores can be checked byte-for-byte.
+std::string shardBody(int Rank, int64_t Generation) {
+  return "payload of rank " + std::to_string(Rank) + " generation " +
+         std::to_string(Generation) + "\n";
+}
+
+CheckpointStore::CommitRequest
+commitGeneration(const CheckpointStore &Store, int64_t Generation,
+                 int RankCount, uint64_t SequenceNumber = 1) {
+  CheckpointStore::CommitRequest Request;
+  Request.Generation = Generation;
+  Request.SequenceNumber = SequenceNumber;
+  Request.RankCount = RankCount;
+  Request.BaseBody = "base body for generation " +
+                     std::to_string(Generation) + "\n";
+  Request.BaseVolume = 100 * Generation;
+  for (int Rank = 0; Rank < RankCount; ++Rank) {
+    Result<ShardEntry> Entry =
+        Store.writeShard(Rank, SequenceNumber, /*WriteIndex=*/Generation,
+                         shardBody(Rank, Generation), 10 * Generation);
+    EXPECT_TRUE(Entry.isOk()) << Entry.status().toString();
+    Request.Shards.push_back(std::move(Entry).value());
+  }
+  return Request;
+}
+
+TEST(CheckpointStore, WriteShardPublishesAnImmutableSealedFile) {
+  ScratchDir Dir("writeshard");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+
+  Result<ShardEntry> Entry =
+      Store.writeShard(3, /*SequenceNumber=*/7, /*WriteIndex=*/2,
+                       "hello shard\n", /*Volume=*/42);
+  ASSERT_TRUE(Entry.isOk()) << Entry.status().toString();
+  EXPECT_EQ(Entry.value().Rank, 3);
+  EXPECT_EQ(Entry.value().File, "rank3_s7_k2.dat");
+  EXPECT_EQ(Entry.value().Volume, 42);
+
+  const std::string Path = Store.shardsDir() + "/rank3_s7_k2.dat";
+  Result<std::string> OnDisk = readFileToString(Path);
+  ASSERT_TRUE(OnDisk.isOk());
+  // The manifest entry describes the exact sealed bytes on disk.
+  EXPECT_EQ(OnDisk.value().size(), Entry.value().Bytes);
+  EXPECT_EQ(crc32(OnDisk.value()), Entry.value().Crc);
+  Result<std::string> Body = unsealFileContents(Path, OnDisk.value());
+  ASSERT_TRUE(Body.isOk()) << Body.status().toString();
+  EXPECT_EQ(Body.value(), "hello shard\n");
+  // Nothing lingers in staging after a publish.
+  EXPECT_TRUE(std::filesystem::is_empty(Store.stagingDir()));
+
+  EXPECT_FALSE(Store.writeShard(-1, 7, 1, "x", 0).isOk());
+}
+
+TEST(CheckpointStore, CommitRotatesManifestGenerations) {
+  ScratchDir Dir("rotate");
+  CheckpointStore Store(Dir.root());
+  obs::MetricsRegistry Registry;
+  Store.attachMetrics(&Registry);
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  EXPECT_FALSE(Store.hasAnyManifest());
+
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 1, 2)).isOk());
+  EXPECT_TRUE(Store.hasAnyManifest());
+  EXPECT_FALSE(fileExists(Store.prevManifestPath()));
+
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 2, 2)).isOk());
+  ASSERT_TRUE(fileExists(Store.prevManifestPath()));
+
+  Result<Manifest> Current = Store.readManifest(Store.manifestPath());
+  Result<Manifest> Previous = Store.readManifest(Store.prevManifestPath());
+  ASSERT_TRUE(Current.isOk() && Previous.isOk());
+  EXPECT_EQ(Current.value().Generation, 2);
+  EXPECT_EQ(Previous.value().Generation, 1);
+
+  const obs::MetricsSnapshot Metrics = Registry.snapshot();
+  const int64_t *Commits = Metrics.counterValue("ckpt.commits");
+  const int64_t *Shards = Metrics.counterValue("ckpt.shards_written");
+  ASSERT_NE(Commits, nullptr);
+  ASSERT_NE(Shards, nullptr);
+  EXPECT_EQ(*Commits, 2);
+  EXPECT_EQ(*Shards, 6); // 2 ranks x 2 generations + 2 base shards
+}
+
+TEST(CheckpointStore, RestoreReturnsShardsInRankOrderByteExact) {
+  ScratchDir Dir("restore");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 1, 3)).isOk());
+
+  Result<CheckpointStore::RestoredGeneration> Restored =
+      Store.restoreWithFallback();
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_FALSE(Restored.value().FromBackup);
+  EXPECT_TRUE(Restored.value().PrimaryError.empty());
+  EXPECT_EQ(Restored.value().Source.Generation, 1);
+  EXPECT_EQ(Restored.value().BaseBody, "base body for generation 1\n");
+  ASSERT_EQ(Restored.value().Shards.size(), 3u);
+  for (int Rank = 0; Rank < 3; ++Rank) {
+    EXPECT_EQ(Restored.value().Shards[size_t(Rank)].Rank, Rank);
+    EXPECT_EQ(Restored.value().Shards[size_t(Rank)].Body,
+              shardBody(Rank, 1));
+  }
+}
+
+TEST(CheckpointStore, CorruptShardFallsBackToPreviousGeneration) {
+  ScratchDir Dir("corruptshard");
+  CheckpointStore Store(Dir.root());
+  obs::MetricsRegistry Registry;
+  Store.attachMetrics(&Registry);
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 1, 2)).isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 2, 2)).isOk());
+
+  // Bit-rot generation 2's rank-1 shard after its write "succeeded".
+  damageFile(Store.shardsDir() + "/rank1_s1_k2.dat", flipOneBodyByte);
+
+  Result<CheckpointStore::RestoredGeneration> Restored =
+      Store.restoreWithFallback();
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_TRUE(Restored.value().FromBackup);
+  EXPECT_EQ(Restored.value().Source.Generation, 1);
+  EXPECT_NE(Restored.value().PrimaryError.find("manifest CRC"),
+            std::string::npos)
+      << Restored.value().PrimaryError;
+  ASSERT_EQ(Restored.value().Shards.size(), 2u);
+  EXPECT_EQ(Restored.value().Shards[1].Body, shardBody(1, 1));
+
+  const obs::MetricsSnapshot Metrics = Registry.snapshot();
+  const int64_t *Fallbacks = Metrics.counterValue("ckpt.restore_fallbacks");
+  ASSERT_NE(Fallbacks, nullptr);
+  EXPECT_EQ(*Fallbacks, 1);
+}
+
+TEST(CheckpointStore, TruncatedShardIsAShortReadNotAParse) {
+  ScratchDir Dir("shortshard");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 1, 2)).isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 2, 2)).isOk());
+
+  damageFile(Store.shardsDir() + "/rank0_s1_k2.dat",
+             [](std::string Text) { return Text.substr(0, 10); });
+
+  Result<CheckpointStore::RestoredGeneration> Restored =
+      Store.restoreWithFallback();
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_TRUE(Restored.value().FromBackup);
+  EXPECT_NE(Restored.value().PrimaryError.find("manifest recorded"),
+            std::string::npos)
+      << Restored.value().PrimaryError;
+}
+
+TEST(CheckpointStore, MissingShardFallsBack) {
+  ScratchDir Dir("missingshard");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 1, 2)).isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 2, 2)).isOk());
+  ASSERT_TRUE(std::filesystem::remove(Store.shardsDir() + "/rank0_s1_k2.dat"));
+
+  Result<CheckpointStore::RestoredGeneration> Restored =
+      Store.restoreWithFallback();
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_TRUE(Restored.value().FromBackup);
+  EXPECT_NE(Restored.value().PrimaryError.find("missing"),
+            std::string::npos);
+}
+
+TEST(CheckpointStore, TornManifestFallsBackAndBothTornFailsWithPrimaryError) {
+  ScratchDir Dir("tornmanifest");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 1, 2)).isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 2, 2)).isOk());
+
+  // A torn manifest write: the seal's declared byte count disagrees.
+  damageFile(Store.manifestPath(), [](std::string Text) {
+    return Text.substr(0, Text.size() - 25);
+  });
+  Result<CheckpointStore::RestoredGeneration> Restored =
+      Store.restoreWithFallback();
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_TRUE(Restored.value().FromBackup);
+  EXPECT_EQ(Restored.value().Source.Generation, 1);
+
+  // Now tear .prev as well: restore must fail, reporting the primary's
+  // error (the useful one for an operator staring at manifest.dat).
+  damageFile(Store.prevManifestPath(), [](std::string Text) {
+    return Text.substr(0, Text.size() - 25);
+  });
+  Result<CheckpointStore::RestoredGeneration> Failed =
+      Store.restoreWithFallback();
+  ASSERT_FALSE(Failed.isOk());
+  EXPECT_NE(Failed.status().message().find("manifest.dat"),
+            std::string::npos);
+}
+
+TEST(CheckpointStore, InterceptedWriteIsCaughtByTheManifestCrc) {
+  // The interceptor damages bytes *after* the store computed the manifest
+  // CRC — the model of a disk lying about a completed write. The commit
+  // itself succeeds; the restore must reject the generation.
+  ScratchDir Dir("interceptor");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 1, 2)).isOk());
+
+  Store.setWriteInterceptor(
+      [](const std::string &Path,
+         std::string_view Contents) -> std::optional<std::string> {
+        if (Path.find("rank1_s1_k2") == std::string::npos)
+          return std::nullopt;
+        return flipOneBodyByte(std::string(Contents));
+      });
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 2, 2)).isOk());
+
+  Result<CheckpointStore::RestoredGeneration> Restored =
+      Store.restoreWithFallback();
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_TRUE(Restored.value().FromBackup);
+  EXPECT_EQ(Restored.value().Source.Generation, 1);
+}
+
+TEST(CheckpointStore, PruneKeepsReferencedAndNewestShards) {
+  ScratchDir Dir("prune");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+
+  // Five write indices for rank 0, then a commit referencing index 5 with
+  // KeepShards=1: indices protected are 5 (referenced + newest); 1..4 go.
+  for (int64_t Index = 1; Index <= 5; ++Index)
+    ASSERT_TRUE(
+        Store.writeShard(0, 1, Index, shardBody(0, Index), Index).isOk());
+  CheckpointStore::CommitRequest Request;
+  Request.Generation = 1;
+  Request.SequenceNumber = 1;
+  Request.RankCount = 1;
+  Request.BaseBody = "base\n";
+  Request.KeepShards = 1;
+  Result<ShardEntry> Latest =
+      Store.writeShard(0, 1, 5, shardBody(0, 5), 5);
+  ASSERT_TRUE(Latest.isOk());
+  Request.Shards.push_back(Latest.value());
+  ASSERT_TRUE(Store.commit(Request).isOk());
+
+  EXPECT_TRUE(fileExists(Store.shardsDir() + "/rank0_s1_k5.dat"));
+  for (int64_t Index = 1; Index <= 4; ++Index)
+    EXPECT_FALSE(fileExists(Store.shardsDir() + "/rank0_s1_k" +
+                            std::to_string(Index) + ".dat"))
+        << "index " << Index << " should have been pruned";
+
+  // The committed generation still restores after pruning.
+  EXPECT_TRUE(Store.restoreWithFallback().isOk());
+}
+
+TEST(CheckpointStore, RemoveAllForgetsEveryGeneration) {
+  ScratchDir Dir("removeall");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  ASSERT_TRUE(Store.commit(commitGeneration(Store, 1, 1)).isOk());
+  ASSERT_TRUE(Store.hasAnyManifest());
+  ASSERT_TRUE(Store.removeAll().isOk());
+  EXPECT_FALSE(Store.hasAnyManifest());
+  EXPECT_FALSE(std::filesystem::exists(Store.rootDir()));
+  EXPECT_FALSE(Store.restoreWithFallback().isOk());
+}
+
+//===----------------------------------------------------------------------===//
+// The 2^10-rank scale proof (store level).
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointStoreScale, ThousandRankCommitRestoresByteExact) {
+  constexpr int RankCount = 1024;
+  ScratchDir Dir("kilo");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+
+  // Two generations, each written by 1024 concurrent rank writers — the
+  // engine's geometry, one thread per rank, all publishing into the same
+  // shards directory at once.
+  std::vector<ShardEntry> Entries[2];
+  for (int64_t Generation = 1; Generation <= 2; ++Generation) {
+    std::vector<ShardEntry> &Batch = Entries[Generation - 1];
+    Batch.assign(RankCount, ShardEntry{});
+    std::vector<Status> Outcomes(RankCount, Status::ok());
+    {
+      WorkerGroup Writers(RankCount, [&](int Rank) {
+        Result<ShardEntry> Entry = Store.writeShard(
+            Rank, /*SequenceNumber=*/1, /*WriteIndex=*/Generation,
+            shardBody(Rank, Generation), Generation);
+        if (Entry)
+          Batch[size_t(Rank)] = std::move(Entry).value();
+        else
+          Outcomes[size_t(Rank)] = Entry.status();
+      });
+    }
+    for (int Rank = 0; Rank < RankCount; ++Rank)
+      ASSERT_TRUE(Outcomes[size_t(Rank)].isOk())
+          << "rank " << Rank << ": " << Outcomes[size_t(Rank)].toString();
+
+    CheckpointStore::CommitRequest Request;
+    Request.Generation = Generation;
+    Request.SequenceNumber = 1;
+    Request.RankCount = RankCount;
+    Request.BaseBody = "base of generation " + std::to_string(Generation);
+    Request.Shards = Batch;
+    ASSERT_TRUE(Store.commit(Request).isOk());
+  }
+
+  Result<CheckpointStore::RestoredGeneration> Restored =
+      Store.restoreWithFallback();
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_FALSE(Restored.value().FromBackup);
+  EXPECT_EQ(Restored.value().Source.Generation, 2);
+  ASSERT_EQ(Restored.value().Shards.size(), size_t(RankCount));
+  for (int Rank = 0; Rank < RankCount; ++Rank) {
+    ASSERT_EQ(Restored.value().Shards[size_t(Rank)].Rank, Rank);
+    ASSERT_EQ(Restored.value().Shards[size_t(Rank)].Body,
+              shardBody(Rank, 2))
+        << "rank " << Rank;
+  }
+
+  // Corrupt exactly one of the 1024 generation-2 shards: the whole
+  // generation is rejected and the 1024-shard generation 1 restores
+  // byte-exactly instead.
+  damageFile(Store.shardsDir() + "/rank717_s1_k2.dat", flipOneBodyByte);
+  Result<CheckpointStore::RestoredGeneration> Fallback =
+      Store.restoreWithFallback();
+  ASSERT_TRUE(Fallback.isOk()) << Fallback.status().toString();
+  EXPECT_TRUE(Fallback.value().FromBackup);
+  EXPECT_EQ(Fallback.value().Source.Generation, 1);
+  ASSERT_EQ(Fallback.value().Shards.size(), size_t(RankCount));
+  for (int Rank = 0; Rank < RankCount; ++Rank)
+    ASSERT_EQ(Fallback.value().Shards[size_t(Rank)].Body,
+              shardBody(Rank, 1))
+        << "rank " << Rank;
+}
+
+//===----------------------------------------------------------------------===//
+// BackgroundWriter lifecycle.
+//===----------------------------------------------------------------------===//
+
+TEST(BackgroundWriter, CommitsLandAfterDrain) {
+  ScratchDir Dir("bgcommit");
+  CheckpointStore Store(Dir.root());
+  obs::MetricsRegistry Registry;
+  Store.attachMetrics(&Registry);
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+
+  BackgroundWriter Writer(Store, /*QueueDepth=*/4, &Registry);
+  EXPECT_TRUE(Writer.enqueue(commitGeneration(Store, 1, 2)));
+  EXPECT_TRUE(Writer.enqueue(commitGeneration(Store, 2, 2)));
+  ASSERT_TRUE(Writer.drain().isOk());
+  EXPECT_EQ(Writer.committedCount(), 2);
+  EXPECT_EQ(Writer.coalescedCount(), 0);
+
+  Result<Manifest> Current = Store.readManifest(Store.manifestPath());
+  ASSERT_TRUE(Current.isOk());
+  EXPECT_EQ(Current.value().Generation, 2);
+  ASSERT_TRUE(Writer.stop().isOk());
+  ASSERT_TRUE(Writer.stop().isOk()); // idempotent
+
+  const obs::MetricsSnapshot Metrics = Registry.snapshot();
+  const int64_t *Commits = Metrics.counterValue("ckpt.async_commits");
+  ASSERT_NE(Commits, nullptr);
+  EXPECT_EQ(*Commits, 2);
+}
+
+TEST(BackgroundWriter, BackpressureCoalescesOldestDeterministically) {
+  ScratchDir Dir("bgcoalesce");
+  CheckpointStore Store(Dir.root());
+  obs::MetricsRegistry Registry;
+  Store.attachMetrics(&Registry);
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+
+  // Gate the writer inside its first commit so the owner fully controls
+  // the queue: Started/Release are mailboxes, so the handshake stays
+  // within the blessed message-passing primitives.
+  // Gate on the generation's *base* write: base shards are written by the
+  // commit itself (writer thread), while the owner thread only publishes
+  // rank shards — so the counter below is writer-thread state.
+  Mailbox Started, Release;
+  int BaseWritesOnWriterThread = 0;
+  Store.setWriteInterceptor(
+      [&](const std::string &Path,
+          std::string_view) -> std::optional<std::string> {
+        if (Path.find("/base_") == std::string::npos)
+          return std::nullopt;
+        if (BaseWritesOnWriterThread++ == 0) {
+          Started.push(Message{0, 1, {}});
+          while (!Release.popWait(-1, 1'000'000'000) && !Release.isClosed()) {
+          }
+        }
+        return std::nullopt;
+      });
+
+  BackgroundWriter Writer(Store, /*QueueDepth=*/1, &Registry);
+  EXPECT_TRUE(Writer.enqueue(commitGeneration(Store, 1, 3)));
+  // The writer is now provably mid-commit-1 (it signalled Started), so
+  // generation 2 sits alone in the queue...
+  ASSERT_TRUE(Started.popWait(-1, 30'000'000'000).has_value());
+  EXPECT_TRUE(Writer.enqueue(commitGeneration(Store, 2, 3)));
+  // ...and generation 3 must displace it: newest wins, enqueue says so.
+  EXPECT_FALSE(Writer.enqueue(commitGeneration(Store, 3, 3)));
+  EXPECT_EQ(Writer.coalescedCount(), 1);
+
+  Release.push(Message{0, 1, {}});
+  ASSERT_TRUE(Writer.drain().isOk());
+  EXPECT_EQ(Writer.committedCount(), 2); // generations 1 and 3
+  EXPECT_EQ(Writer.coalescedCount(), 1);
+
+  Result<Manifest> Current = Store.readManifest(Store.manifestPath());
+  Result<Manifest> Previous = Store.readManifest(Store.prevManifestPath());
+  ASSERT_TRUE(Current.isOk() && Previous.isOk());
+  EXPECT_EQ(Current.value().Generation, 3);
+  EXPECT_EQ(Previous.value().Generation, 1); // generation 2 never landed
+
+  ASSERT_TRUE(Writer.stop().isOk());
+  const obs::MetricsSnapshot Metrics = Registry.snapshot();
+  const int64_t *Coalesced = Metrics.counterValue("ckpt.coalesced_saves");
+  ASSERT_NE(Coalesced, nullptr);
+  EXPECT_EQ(*Coalesced, 1);
+}
+
+TEST(BackgroundWriter, StopFoldsTheFirstCommitError) {
+  // Rooting the store at an uncreatable path makes every commit fail; the
+  // failure must surface at stop() with the generation in the message,
+  // not vanish into the writer thread.
+  ScratchDir Dir("bgerror");
+  const std::string FilePath = Dir.root();
+  ASSERT_TRUE(writeFileAtomic(FilePath, "a file, not a directory").isOk());
+  CheckpointStore Store(FilePath + "/impossible");
+  obs::MetricsRegistry Registry;
+
+  BackgroundWriter Writer(Store, /*QueueDepth=*/2, &Registry);
+  CheckpointStore::CommitRequest Request;
+  Request.Generation = 1;
+  Request.SequenceNumber = 1;
+  Request.RankCount = 1;
+  Request.BaseBody = "base";
+  EXPECT_TRUE(Writer.enqueue(Request));
+  Status Stopped = Writer.stop();
+  ASSERT_FALSE(Stopped.isOk());
+  EXPECT_NE(Stopped.message().find("background checkpoint commit"),
+            std::string::npos);
+  EXPECT_NE(Stopped.message().find("generation 1"), std::string::npos);
+  EXPECT_EQ(Writer.committedCount(), 0);
+
+  const obs::MetricsSnapshot Metrics = Registry.snapshot();
+  const int64_t *Failures =
+      Metrics.counterValue("ckpt.async_commit_failures");
+  ASSERT_NE(Failures, nullptr);
+  EXPECT_EQ(*Failures, 1);
+}
+
+TEST(BackgroundWriter, AbandonLeavesARestorableCommittedPrefix) {
+  // abandon() models the collector dying with commits still queued: the
+  // queued tail is discarded, and whatever prefix of generations reached
+  // the disk must restore cleanly — the exact guarantee a killed job
+  // relies on.
+  ScratchDir Dir("bgabandon");
+  CheckpointStore Store(Dir.root());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+
+  Mailbox Started, Release;
+  int BaseWritesOnWriterThread = 0;
+  Store.setWriteInterceptor(
+      [&](const std::string &Path,
+          std::string_view) -> std::optional<std::string> {
+        if (Path.find("/base_") == std::string::npos)
+          return std::nullopt;
+        if (BaseWritesOnWriterThread++ == 0) {
+          Started.push(Message{0, 1, {}});
+          while (!Release.popWait(-1, 1'000'000'000) && !Release.isClosed()) {
+          }
+        }
+        return std::nullopt;
+      });
+
+  BackgroundWriter Writer(Store, /*QueueDepth=*/4, /*Registry=*/nullptr);
+  EXPECT_TRUE(Writer.enqueue(commitGeneration(Store, 1, 2)));
+  ASSERT_TRUE(Started.popWait(-1, 30'000'000'000).has_value());
+  EXPECT_TRUE(Writer.enqueue(commitGeneration(Store, 2, 2)));
+  Release.push(Message{0, 1, {}});
+  Writer.abandon();
+  Writer.abandon(); // idempotent
+
+  // Generation 1 always finished (abandon joins the in-flight commit);
+  // generation 2 may or may not have been discarded before the close won
+  // the race — either prefix is legal, and both must restore.
+  Result<CheckpointStore::RestoredGeneration> Restored =
+      Store.restoreWithFallback();
+  ASSERT_TRUE(Restored.isOk()) << Restored.status().toString();
+  EXPECT_FALSE(Restored.value().FromBackup);
+  EXPECT_GE(Restored.value().Source.Generation, 1);
+  EXPECT_LE(Restored.value().Source.Generation, 2);
+  ASSERT_EQ(Restored.value().Shards.size(), 2u);
+  const int64_t Generation = Restored.value().Source.Generation;
+  for (int Rank = 0; Rank < 2; ++Rank)
+    EXPECT_EQ(Restored.value().Shards[size_t(Rank)].Body,
+              shardBody(Rank, Generation));
+}
+
+} // namespace
+} // namespace ckpt
+} // namespace parmonc

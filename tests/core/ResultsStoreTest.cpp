@@ -6,11 +6,13 @@
 
 #include "parmonc/core/ResultsStore.h"
 
+#include "parmonc/support/Checksum.h"
 #include "parmonc/support/Text.h"
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 namespace parmonc {
 namespace {
@@ -180,6 +182,131 @@ TEST(ResultsStore, ExperimentLogAccumulates) {
       readFileToString(Store.experimentLogPath()).value();
   EXPECT_NE(Contents.find("experiment 1 resumed 0"), std::string::npos);
   EXPECT_NE(Contents.find("experiment 2 resumed 1"), std::string::npos);
+}
+
+/// Eight lowercase hex digits, matching the registry's CRC rendering.
+std::string hex8(uint32_t Value) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Text(8, '0');
+  for (int Index = 7; Index >= 0; --Index) {
+    Text[Index] = Digits[Value & 0xF];
+    Value >>= 4;
+  }
+  return Text;
+}
+
+TEST(ResultsStore, ExperimentLogLinesCarrySelfVerifyingCrcSuffixes) {
+  ScratchDir Dir("explogcrc");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  RunLogInfo First;
+  First.SequenceNumber = 1;
+  First.ProcessorCount = 4;
+  RunLogInfo Second;
+  Second.SequenceNumber = 2;
+  Second.Resumed = true;
+  Second.ProcessorCount = 4;
+  Second.TotalSampleVolume = 120;
+  ASSERT_TRUE(Store.appendExperimentLog(First).isOk());
+  ASSERT_TRUE(Store.appendExperimentLog(Second).isOk());
+
+  // The whole-file seal cannot protect an append-only registry, so every
+  // line carries its own " crc <hex8>" computed over the body before it.
+  const std::string Contents =
+      readFileToString(Store.experimentLogPath()).value();
+  int Lines = 0;
+  size_t Start = 0;
+  while (Start < Contents.size()) {
+    size_t End = Contents.find('\n', Start);
+    if (End == std::string::npos)
+      End = Contents.size();
+    const std::string Line = Contents.substr(Start, End - Start);
+    Start = End + 1;
+    if (Line.empty())
+      continue;
+    ++Lines;
+    const size_t CrcAt = Line.rfind(" crc ");
+    ASSERT_NE(CrcAt, std::string::npos) << Line;
+    EXPECT_EQ(Line.substr(CrcAt + 5), hex8(crc32(Line.substr(0, CrcAt))))
+        << Line;
+  }
+  EXPECT_EQ(Lines, 2);
+
+  // And the loader agrees: both entries parse, nothing is skipped.
+  Result<ResultsStore::ExperimentLogContents> Registry =
+      Store.readExperimentLog();
+  ASSERT_TRUE(Registry.isOk()) << Registry.status().toString();
+  ASSERT_EQ(Registry.value().Entries.size(), 2u);
+  EXPECT_TRUE(Registry.value().SkippedLines.empty());
+  EXPECT_EQ(Registry.value().Entries[1].SequenceNumber, 2u);
+  EXPECT_TRUE(Registry.value().Entries[1].Resumed);
+  EXPECT_EQ(Registry.value().Entries[1].StartVolume, 120);
+}
+
+TEST(ResultsStore, ExperimentLogSkipsDamagedLinesAndKeepsTheRest) {
+  ScratchDir Dir("explogdmg");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  RunLogInfo First;
+  First.SequenceNumber = 1;
+  First.ProcessorCount = 3;
+  ASSERT_TRUE(Store.appendExperimentLog(First).isOk());
+  {
+    std::ofstream Out(Store.experimentLogPath(), std::ios::app);
+    // Line 2: a pre-CRC-era line with no suffix — still loadable.
+    Out << "experiment 7 resumed 0 processors 4 start_volume 99\n";
+    // Line 3: bit rot — the body was edited after its CRC was written.
+    Out << "experiment 8 resumed 0 processors 4 start_volume 99"
+           " crc deadbeef\n";
+    // Line 4: not an experiment record at all.
+    Out << "lorem ipsum\n";
+  }
+  RunLogInfo Last;
+  Last.SequenceNumber = 9;
+  Last.Resumed = true;
+  Last.ProcessorCount = 3;
+  Last.TotalSampleVolume = 30;
+  ASSERT_TRUE(Store.appendExperimentLog(Last).isOk());
+
+  // Damage is reported line by line, never fatal: the registry around it
+  // — including the legacy line and the append AFTER the damage — loads.
+  Result<ResultsStore::ExperimentLogContents> Registry =
+      Store.readExperimentLog();
+  ASSERT_TRUE(Registry.isOk()) << Registry.status().toString();
+  ASSERT_EQ(Registry.value().Entries.size(), 3u);
+  EXPECT_EQ(Registry.value().Entries[0].SequenceNumber, 1u);
+  EXPECT_EQ(Registry.value().Entries[1].SequenceNumber, 7u);
+  EXPECT_EQ(Registry.value().Entries[2].SequenceNumber, 9u);
+  EXPECT_EQ(Registry.value().SkippedLines, (std::vector<int>{3, 4}));
+}
+
+TEST(ResultsStore, ExperimentLogTornTrailingAppendIsSkippedNotFatal) {
+  ScratchDir Dir("explogtorn");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  RunLogInfo First;
+  First.SequenceNumber = 1;
+  RunLogInfo Second;
+  Second.SequenceNumber = 2;
+  ASSERT_TRUE(Store.appendExperimentLog(First).isOk());
+  ASSERT_TRUE(Store.appendExperimentLog(Second).isOk());
+
+  // A crash mid-append tears at most the line being written: chop the
+  // file inside the final line's CRC suffix, exactly what a torn durable
+  // append leaves behind.
+  std::string Contents =
+      readFileToString(Store.experimentLogPath()).value();
+  ASSERT_GT(Contents.size(), 7u);
+  Contents.resize(Contents.size() - 7);
+  ASSERT_TRUE(
+      writeFileAtomic(Store.experimentLogPath(), Contents).isOk());
+
+  Result<ResultsStore::ExperimentLogContents> Registry =
+      Store.readExperimentLog();
+  ASSERT_TRUE(Registry.isOk()) << Registry.status().toString();
+  ASSERT_EQ(Registry.value().Entries.size(), 1u);
+  EXPECT_EQ(Registry.value().Entries[0].SequenceNumber, 1u);
+  EXPECT_EQ(Registry.value().SkippedLines, (std::vector<int>{2}));
 }
 
 TEST(ResultsStore, ListSubtotalFilesFindsAndSortsRanks) {

@@ -1,0 +1,495 @@
+//===- tests/fault/CkptRecoveryTest.cpp - Sharded checkpoint recovery -----===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The acceptance tests of the sharded-checkpointing tentpole at the engine
+// level: a run that checkpoints through per-rank shards and a manifest
+// commit must survive every staged disaster — a collector killed at the
+// closing save, a shard whose bytes rot after the CRC was computed, a
+// manifest torn mid-write, an abandoned background writer — and recover
+// *bit-exactly* to the results of a chain that never failed. Cumulative
+// subtotals (§2.2) plus the two-generation manifest rotation make each
+// recovery a pure replay of the collector's own merge arithmetic. The
+// scale test runs the full engine at 2^10 ranks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/ckpt/CheckpointStore.h"
+#include "parmonc/core/Runner.h"
+#include "parmonc/fault/FaultPlan.h"
+#include "parmonc/support/Text.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace parmonc {
+namespace {
+
+class ScratchDir {
+public:
+  explicit ScratchDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("parmonc_ckptrec_" + Name + "_" + std::to_string(Counter++)))
+               .string();
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+  const std::string &path() const { return Path; }
+
+private:
+  static inline int Counter = 0;
+  std::string Path;
+};
+
+void uniformRealization(RandomSource &Source, double *Out) {
+  Out[0] = Source.nextUniform();
+}
+
+std::string fileBytes(const std::string &Path) {
+  return readFileToString(Path).valueOr("<missing " + Path + ">");
+}
+
+/// The deterministic sharded baseline every test starts from: fixed rank
+/// quotas, frozen clock (so rank shards publish exactly once, at the
+/// final send), and a single closing save-point that commits generation 1.
+RunConfig shardedConfig(const std::string &WorkDir, int64_t MaxVolume,
+                        int Processors) {
+  RunConfig Config;
+  Config.MaxSampleVolume = MaxVolume;
+  Config.ProcessorCount = Processors;
+  Config.DeterministicSchedule = true;
+  Config.WorkDir = WorkDir;
+  Config.AveragePeriodNanos = 3'600'000'000'000; // final save only
+  Config.CheckpointShards = true;
+  return Config;
+}
+
+TEST(CkptRecovery, ShardedFinalCheckpointResumeMatchesLegacyBitExact) {
+  // The same experiment run twice — once through the legacy monolithic
+  // checkpoint.dat, once through shards + manifest — must produce
+  // byte-identical result files, and both trees must resume into
+  // byte-identical results again. The sharded restore is the collector's
+  // save-time merge replayed, so no bit may differ.
+  ScratchDir Legacy("legacy"), Sharded("sharded");
+
+  for (bool UseShards : {false, true}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(
+        UseShards ? Sharded.path() : Legacy.path(), 60, 3);
+    Config.CheckpointShards = UseShards;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 60);
+    EXPECT_EQ(Report.value().SavePointCount, 1);
+  }
+
+  ResultsStore LegacyStore(Legacy.path());
+  ResultsStore ShardedStore(Sharded.path());
+  EXPECT_EQ(fileBytes(LegacyStore.meansPath()),
+            fileBytes(ShardedStore.meansPath()));
+  EXPECT_EQ(fileBytes(LegacyStore.confidencePath()),
+            fileBytes(ShardedStore.confidencePath()));
+
+  // Each mode writes only its own checkpoint artifact.
+  EXPECT_TRUE(fileExists(LegacyStore.checkpointPath()));
+  EXPECT_FALSE(fileExists(ShardedStore.checkpointPath()));
+  ckpt::CheckpointStore LegacyProbe(LegacyStore.checkpointDir());
+  EXPECT_FALSE(LegacyProbe.hasAnyManifest());
+  ckpt::CheckpointStore ShardedProbe(ShardedStore.checkpointDir());
+  Result<ckpt::CheckpointStore::RestoredGeneration> Committed =
+      ShardedProbe.restoreWithFallback();
+  ASSERT_TRUE(Committed.isOk()) << Committed.status().toString();
+  EXPECT_EQ(Committed.value().Shards.size(), 3u);
+  EXPECT_FALSE(Committed.value().FromBackup);
+
+  for (bool UseShards : {false, true}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(
+        UseShards ? Sharded.path() : Legacy.path(), 60, 3);
+    Config.CheckpointShards = UseShards;
+    Config.Resume = true;
+    Config.SequenceNumber = 1;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 120);
+    EXPECT_EQ(Report.value().NewSampleVolume, 60);
+    EXPECT_EQ(Report.value().RestoredFromShards, UseShards);
+    EXPECT_FALSE(Report.value().ResumedFromBackup);
+  }
+  EXPECT_EQ(fileBytes(LegacyStore.meansPath()),
+            fileBytes(ShardedStore.meansPath()));
+  EXPECT_EQ(fileBytes(LegacyStore.confidencePath()),
+            fileBytes(ShardedStore.confidencePath()));
+}
+
+TEST(CkptRecovery, FinalSaveCrashCommitsNoManifestAndManaverRebuilds) {
+  // The collector dies at the closing save of a sharded run: the crash
+  // check precedes every write, so no manifest generation is ever
+  // committed — the two-phase protocol leaves nothing half-trusted. The
+  // rank shards and subtotal files published with the final sends are all
+  // on disk, and manaver rebuilds the complete experiment from the
+  // subtotals, byte-equal to a run that never crashed. The rebuilt
+  // checkpoint.dat then resumes cleanly even though the tree was sharded.
+  ScratchDir Crashed("finalcrash"), Reference("finalcrash_ref");
+
+  fault::FaultPlan Plan;
+  Plan.CollectorCrash.AtFinalSave = true;
+  {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(Crashed.path(), 60, 3);
+    Config.Faults = &Plan;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_TRUE(Report.value().SimulatedCrash);
+    EXPECT_EQ(Report.value().SavePointCount, 0);
+  }
+  ResultsStore CrashedStore(Crashed.path());
+  ckpt::CheckpointStore Probe(CrashedStore.checkpointDir());
+  EXPECT_FALSE(Probe.hasAnyManifest());
+  EXPECT_FALSE(fileExists(CrashedStore.checkpointPath()));
+  EXPECT_FALSE(fileExists(CrashedStore.meansPath()));
+
+  {
+    ManualClock Frozen(1'000'000);
+    Result<RunReport> Report = runSimulation(
+        uniformRealization, shardedConfig(Reference.path(), 60, 3), &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 60);
+  }
+
+  Result<MomentSnapshot> Recovered = runManualAverage(CrashedStore);
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  EXPECT_EQ(Recovered.value().Moments.sampleVolume(), 60);
+  ResultsStore ReferenceStore(Reference.path());
+  EXPECT_EQ(fileBytes(CrashedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(CrashedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+
+  // Resume both: the crashed tree through manaver's legacy rebuild, the
+  // reference through its manifest — same state, same bytes out.
+  for (const std::string &WorkDir : {Crashed.path(), Reference.path()}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(WorkDir, 60, 3);
+    Config.Resume = true;
+    Config.SequenceNumber = 1;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 120);
+    EXPECT_EQ(Report.value().RestoredFromShards,
+              WorkDir == Reference.path());
+  }
+  EXPECT_EQ(fileBytes(CrashedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(CrashedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+}
+
+/// A three-run resume chain whose middle run's checkpoint is damaged on
+/// disk behind the CRC layer (the writing run cannot see it), compared
+/// byte-for-byte against a reference chain that skips the damaged run:
+/// run 1 commits generation 1; run 2 resumes and commits a generation
+/// whose bytes \p Damage corrupts; run 3 resumes, must reject the damaged
+/// generation, restore the rotated .prev manifest, and finish identical
+/// to a reference that resumed straight from run 1's state.
+void runDamagedResumeChain(const fault::FileCorruptionSpec &Damage,
+                           const std::string &Name) {
+  ScratchDir Faulted(Name), Reference(Name + "_ref");
+
+  for (const std::string &WorkDir : {Faulted.path(), Reference.path()}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(WorkDir, 30, 3);
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+  }
+
+  // Middle run, faulted chain only: completes believing its commit is
+  // good — the corruption models the disk rotting the bytes afterwards.
+  {
+    ManualClock Frozen(1'000'000);
+    fault::FaultPlan Plan;
+    Plan.FileCorruptions.push_back(Damage);
+    RunConfig Config = shardedConfig(Faulted.path(), 30, 3);
+    Config.Resume = true;
+    Config.SequenceNumber = 1;
+    Config.Faults = &Plan;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 60);
+    EXPECT_FALSE(Report.value().SimulatedCrash);
+  }
+
+  // Final runs: the faulted chain falls back to run 1's generation
+  // (volume 30) and must be indistinguishable from the reference chain
+  // resuming run 1's state directly.
+  for (const std::string &WorkDir : {Faulted.path(), Reference.path()}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(WorkDir, 60, 3);
+    Config.Resume = true;
+    Config.SequenceNumber = 2;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 90);
+    EXPECT_EQ(Report.value().NewSampleVolume, 60);
+    EXPECT_TRUE(Report.value().RestoredFromShards);
+    EXPECT_EQ(Report.value().ResumedFromBackup, WorkDir == Faulted.path());
+  }
+
+  ResultsStore FaultedStore(Faulted.path());
+  ResultsStore ReferenceStore(Reference.path());
+  EXPECT_EQ(fileBytes(FaultedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(FaultedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+  // Both chains committed the same final generation: manifests match to
+  // the byte (same shard names, CRCs, volumes — seqnum 2, generation 1).
+  ckpt::CheckpointStore FaultedProbe(FaultedStore.checkpointDir());
+  ckpt::CheckpointStore ReferenceProbe(ReferenceStore.checkpointDir());
+  EXPECT_EQ(fileBytes(FaultedProbe.manifestPath()),
+            fileBytes(ReferenceProbe.manifestPath()));
+}
+
+TEST(CkptRecovery, CorruptShardFallsBackToPreviousGenerationBitExact) {
+  // One flipped bit in rank 1's shard, caught by the manifest CRC at
+  // restore time: the whole generation is rejected, never half-merged.
+  fault::FileCorruptionSpec Damage;
+  Damage.PathSubstring = "rank1_s1_";
+  Damage.WriteIndex = 0;
+  Damage.Action = fault::FileCorruptionSpec::Mode::BitFlip;
+  Damage.FlipByteOffset = 64;
+  ASSERT_NO_FATAL_FAILURE(runDamagedResumeChain(Damage, "corruptshard"));
+}
+
+TEST(CkptRecovery, TornManifestFallsBackToPreviousGenerationBitExact) {
+  // The manifest itself torn mid-write: the seal fails to verify and the
+  // rotation's .prev generation takes over. The substring is anchored to
+  // the file name ("/manifest.dat") so it can only ever match the commit
+  // record, not a directory component.
+  fault::FileCorruptionSpec Damage;
+  Damage.PathSubstring = "/manifest.dat";
+  Damage.WriteIndex = 0;
+  Damage.Action = fault::FileCorruptionSpec::Mode::Truncate;
+  Damage.KeepFraction = 0.5;
+  ASSERT_NO_FATAL_FAILURE(runDamagedResumeChain(Damage, "torncommit"));
+}
+
+TEST(CkptRecovery, AsyncCrashPrefixIsRestorableAndFresherStateWinsResume) {
+  // A background-writer run killed at the closing save: the abandoned
+  // queue may discard pending commits, but everything already committed
+  // is a self-consistent restorable prefix. manaver then rebuilds the
+  // full state into checkpoint.dat — and the resume ladder must prefer
+  // that fresher state over the stale committed manifest (cumulative
+  // snapshots: larger volume wins).
+  ScratchDir Crashed("asynccrash"), Reference("asynccrash_ref");
+
+  fault::FaultPlan Plan;
+  Plan.CollectorCrash.AtFinalSave = true;
+  {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(Crashed.path(), 60, 3);
+    Config.AveragePeriodNanos = 0; // save at every poll: many commits
+    Config.CheckpointAsync = true;
+    Config.CheckpointQueueDepth = 1; // maximal backpressure
+    Config.Faults = &Plan;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_TRUE(Report.value().SimulatedCrash);
+    EXPECT_GT(Report.value().SavePointCount, 0);
+  }
+  ResultsStore CrashedStore(Crashed.path());
+  ckpt::CheckpointStore Probe(CrashedStore.checkpointDir());
+  EXPECT_TRUE(Probe.hasAnyManifest());
+  // The abandon guarantee: whatever prefix the writer committed before
+  // the kill restores without error.
+  Result<ckpt::CheckpointStore::RestoredGeneration> Prefix =
+      Probe.restoreWithFallback();
+  ASSERT_TRUE(Prefix.isOk()) << Prefix.status().toString();
+
+  {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(Reference.path(), 60, 3);
+    Config.AveragePeriodNanos = 0;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 60);
+  }
+
+  Result<MomentSnapshot> Recovered = runManualAverage(CrashedStore);
+  ASSERT_TRUE(Recovered.isOk()) << Recovered.status().toString();
+  EXPECT_EQ(Recovered.value().Moments.sampleVolume(), 60);
+  ResultsStore ReferenceStore(Reference.path());
+  EXPECT_EQ(fileBytes(CrashedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(CrashedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+
+  // The crashed tree now holds BOTH a mid-run manifest (volume below 60)
+  // and manaver's rebuilt checkpoint.dat (volume 60): resuming must pick
+  // the rebuilt state and land byte-identical to the reference chain.
+  for (const std::string &WorkDir : {Crashed.path(), Reference.path()}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(WorkDir, 60, 3);
+    Config.Resume = true;
+    Config.SequenceNumber = 1;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 120);
+    EXPECT_EQ(Report.value().RestoredFromShards,
+              WorkDir == Reference.path());
+    EXPECT_FALSE(Report.value().ResumedFromBackup);
+  }
+  EXPECT_EQ(fileBytes(CrashedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(CrashedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+}
+
+TEST(CkptRecovery, AsyncCommitsMatchSyncBitExact) {
+  // Sync and async checkpointing differ only in *when* commits execute:
+  // with one rank (fully deterministic poll/save sequence) the final
+  // committed manifest, the result files, and a subsequent resume are all
+  // byte-identical — coalescing drops intermediate generations, never
+  // state. The save-point accounting must balance exactly: executed
+  // background commits plus coalesced requests equal save-points.
+  ScratchDir Sync("sync"), Async("async");
+
+  for (bool UseAsync : {false, true}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config =
+        shardedConfig(UseAsync ? Async.path() : Sync.path(), 20, 1);
+    Config.AveragePeriodNanos = 0; // save at every poll
+    Config.CheckpointAsync = UseAsync;
+    Config.CheckpointQueueDepth = 2;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 20);
+    if (UseAsync) {
+      const int64_t *Executed =
+          Report.value().Metrics.counterValue("ckpt.async_commits");
+      ASSERT_NE(Executed, nullptr);
+      EXPECT_EQ(*Executed + Report.value().CoalescedCheckpoints,
+                Report.value().SavePointCount);
+      const int64_t *Coalesced =
+          Report.value().Metrics.counterValue("ckpt.coalesced_saves");
+      if (Report.value().CoalescedCheckpoints > 0) {
+        ASSERT_NE(Coalesced, nullptr);
+        EXPECT_EQ(*Coalesced, Report.value().CoalescedCheckpoints);
+      }
+    } else {
+      EXPECT_EQ(Report.value().CoalescedCheckpoints, 0);
+    }
+  }
+
+  ResultsStore SyncStore(Sync.path());
+  ResultsStore AsyncStore(Async.path());
+  ckpt::CheckpointStore SyncProbe(SyncStore.checkpointDir());
+  ckpt::CheckpointStore AsyncProbe(AsyncStore.checkpointDir());
+  EXPECT_EQ(fileBytes(SyncProbe.manifestPath()),
+            fileBytes(AsyncProbe.manifestPath()));
+  EXPECT_EQ(fileBytes(SyncStore.meansPath()),
+            fileBytes(AsyncStore.meansPath()));
+
+  for (const std::string &WorkDir : {Sync.path(), Async.path()}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(WorkDir, 20, 1);
+    Config.Resume = true;
+    Config.SequenceNumber = 1;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 40);
+    EXPECT_TRUE(Report.value().RestoredFromShards);
+  }
+  EXPECT_EQ(fileBytes(SyncStore.meansPath()),
+            fileBytes(AsyncStore.meansPath()));
+  EXPECT_EQ(fileBytes(SyncStore.confidencePath()),
+            fileBytes(AsyncStore.confidencePath()));
+}
+
+TEST(CkptRecoveryScale, ThousandRankCrashRecoveryIsBitExact) {
+  // The 2^10 proof at full engine scale: 1024 ranks each publish their
+  // own shard, one manifest commits them all, a resumed run is killed at
+  // its closing save (committing nothing — the prior generation survives
+  // untouched to the byte), and the next resume restores all 1024 shards
+  // into results byte-identical to a reference chain that never saw the
+  // kill.
+  constexpr int RankCount = 1024;
+  ScratchDir Faulted("scale"), Reference("scale_ref");
+
+  for (const std::string &WorkDir : {Faulted.path(), Reference.path()}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(WorkDir, RankCount, RankCount);
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, RankCount);
+  }
+  ResultsStore FaultedStore(Faulted.path());
+  ckpt::CheckpointStore FaultedProbe(FaultedStore.checkpointDir());
+  {
+    Result<ckpt::CheckpointStore::RestoredGeneration> Gen =
+        FaultedProbe.restoreWithFallback();
+    ASSERT_TRUE(Gen.isOk()) << Gen.status().toString();
+    EXPECT_EQ(Gen.value().Shards.size(), size_t(RankCount));
+  }
+  const std::string ManifestBeforeKill =
+      fileBytes(FaultedProbe.manifestPath());
+
+  // The middle run resumes and dies at its final save: the crash check
+  // precedes every write, so the surviving manifest is bit-untouched.
+  {
+    ManualClock Frozen(1'000'000);
+    fault::FaultPlan Plan;
+    Plan.CollectorCrash.AtFinalSave = true;
+    RunConfig Config = shardedConfig(Faulted.path(), RankCount, RankCount);
+    Config.Resume = true;
+    Config.SequenceNumber = 1;
+    Config.Faults = &Plan;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_TRUE(Report.value().SimulatedCrash);
+    EXPECT_EQ(Report.value().SavePointCount, 0);
+  }
+  EXPECT_EQ(fileBytes(FaultedProbe.manifestPath()), ManifestBeforeKill);
+
+  for (const std::string &WorkDir : {Faulted.path(), Reference.path()}) {
+    ManualClock Frozen(1'000'000);
+    RunConfig Config = shardedConfig(WorkDir, RankCount, RankCount);
+    Config.Resume = true;
+    Config.SequenceNumber = 2;
+    Result<RunReport> Report =
+        runSimulation(uniformRealization, Config, &Frozen);
+    ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+    EXPECT_EQ(Report.value().TotalSampleVolume, 2 * RankCount);
+    EXPECT_EQ(Report.value().NewSampleVolume, RankCount);
+    EXPECT_TRUE(Report.value().RestoredFromShards);
+    EXPECT_FALSE(Report.value().ResumedFromBackup);
+  }
+  ResultsStore ReferenceStore(Reference.path());
+  ckpt::CheckpointStore ReferenceProbe(ReferenceStore.checkpointDir());
+  EXPECT_EQ(fileBytes(FaultedStore.meansPath()),
+            fileBytes(ReferenceStore.meansPath()));
+  EXPECT_EQ(fileBytes(FaultedStore.confidencePath()),
+            fileBytes(ReferenceStore.confidencePath()));
+  EXPECT_EQ(fileBytes(FaultedProbe.manifestPath()),
+            fileBytes(ReferenceProbe.manifestPath()));
+}
+
+} // namespace
+} // namespace parmonc

@@ -184,6 +184,28 @@ TEST(LintRulesTest, R7SilencedByFallbackEvidence) {
   EXPECT_TRUE(Report.Diagnostics.empty());
 }
 
+TEST(LintRulesTest, R7FlagsUncheckedManifestLoads) {
+  LintReport Report =
+      runOn({fixturePath("core/r7_manifest_unchecked.cpp")}, {"R7"});
+  EXPECT_EQ(lineRulePairs(Report), (Pairs{{7, "R7"}}));
+  ASSERT_EQ(Report.Diagnostics.size(), 1u);
+  EXPECT_NE(Report.Diagnostics[0].Message.find("manifest"),
+            std::string::npos);
+  EXPECT_NE(Report.Diagnostics[0].Message.find(".prev"), std::string::npos);
+}
+
+TEST(LintRulesTest, R7ManifestLoadsSilencedByLadderEvidence) {
+  // restoreWithFallback() in the TU is evidence the fallback ladder is
+  // reachable; and inside the ckpt component — the ladder's implementation
+  // — direct manifest reads are exempt entirely.
+  LintReport Report =
+      runOn({fixturePath("core/r7_manifest_fallback_ok.cpp"),
+             fixturePath("ckpt/r7_manifest_inside_ckpt.cpp")},
+            {"R7"});
+  EXPECT_EQ(Report.FileCount, 2u);
+  EXPECT_TRUE(Report.Diagnostics.empty());
+}
+
 TEST(LintRulesTest, R8FlagsDirectSyncAndTaintedCalls) {
   // The taint set comes from the project index, so R8 runs over the whole
   // fixture tree: the raw-sync helper at the root taints its definition,

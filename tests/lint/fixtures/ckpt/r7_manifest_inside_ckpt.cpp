@@ -1,0 +1,11 @@
+// mclint fixture (negative): the ckpt component implements the recovery
+// ladder itself, so direct manifest reads inside it are exempt from R7.
+
+namespace parmonc {
+
+int fixtureLadderRung(CheckpointStore &Store) {
+  auto Loaded = Store.readManifest("manifest.dat");
+  return Loaded ? 1 : 0;
+}
+
+} // namespace parmonc

@@ -1,0 +1,14 @@
+// mclint fixture (negative): a TU on the recovery ladder may also read a
+// manifest directly for its fast path.
+
+namespace parmonc {
+
+int fixtureResumeShardedSafely(CheckpointStore &Store) {
+  auto Loaded = Store.restoreWithFallback();
+  if (!Loaded)
+    return 0;
+  auto Direct = Store.readManifest("manifest.dat");
+  return Direct ? 1 : 0;
+}
+
+} // namespace parmonc

@@ -1,0 +1,11 @@
+// mclint fixture: R7 — resume code loading a checkpoint manifest directly,
+// with no fallback to the previous generation.
+
+namespace parmonc {
+
+int fixtureResumeSharded(CheckpointStore &Store) {
+  auto Loaded = Store.readManifest("manifest.dat"); // expect: R7
+  return Loaded ? 1 : 0;
+}
+
+} // namespace parmonc

@@ -7,7 +7,7 @@
 // Usage:
 //
 //   $ mcbench [--smoke] [--out DIR] [--rng-only] [--runner-only]
-//             [--transport threads|processes]
+//             [--ckpt-only] [--transport threads|processes]
 //
 // Measures the performance layer end to end and records the numbers as
 // machine-readable JSON:
@@ -25,6 +25,14 @@
 //                          scales forked worker PROCESSES over the socket
 //                          transport instead of threads, measuring the
 //                          wire's overhead against the in-process fabric.
+//   DIR/BENCH_ckpt.json    save-point stall (the collector time spent
+//                          inside its checkpoint save) for the sharded
+//                          synchronous commit path versus the background
+//                          writer, at an aggressive save-every-poll
+//                          cadence — plus the coalescing count and a
+//                          bit-equality check of the final means, since
+//                          the writer may drop generations but must never
+//                          change results.
 //
 // --smoke shrinks every size so the whole harness finishes in well under a
 // second — that is what the bench-smoke CI job and the ctest smoke test
@@ -65,6 +73,7 @@ struct Options {
   bool Smoke = false;
   bool RngOnly = false;
   bool RunnerOnly = false;
+  bool CkptOnly = false;
   std::string OutDir = ".";
   TransportKind Transport = TransportKind::Threads;
 };
@@ -367,10 +376,117 @@ std::string runRunnerSuite(bool Smoke, const std::string &OutDir,
   return Json;
 }
 
+// --- Checkpoint suite ------------------------------------------------------
+
+struct CkptPoint {
+  double Seconds = 0.0;
+  int64_t SavePoints = 0;
+  int64_t Commits = 0;
+  int64_t Coalesced = 0;
+  double StallMeanUs = 0.0;
+  double StallP90Us = 0.0;
+  double StallMaxUs = 0.0;
+  double Mean = 0.0;
+};
+
+/// One sharded-checkpoint engine run on the real clock, saving at every
+/// collector poll — the cadence that makes save-point stall dominate, so
+/// the synchronous commit and the background writer separate cleanly.
+CkptPoint runCkptOnce(bool Async, int64_t Realizations,
+                      const std::string &WorkDir) {
+  RunConfig Config;
+  Config.Rows = 1;
+  Config.Columns = 1;
+  Config.MaxSampleVolume = Realizations;
+  Config.ProcessorCount = 2;
+  Config.DeterministicSchedule = true;
+  Config.AveragePeriodNanos = 0; // a save point at every collector poll
+  Config.WorkDir = WorkDir;
+  Config.CheckpointShards = true;
+  Config.CheckpointAsync = Async;
+  Config.CheckpointQueueDepth = 4;
+  RealizationFn Indicator = [](RandomSource &Source, double *Out) {
+    Out[0] = Source.nextUniform() < 0.5 ? 1.0 : 0.0;
+  };
+  Result<RunReport> Outcome = runSimulation(Indicator, Config);
+  if (!Outcome) {
+    std::fprintf(stderr, "mcbench: ckpt run failed: %s\n",
+                 Outcome.status().toString().c_str());
+    std::exit(1);
+  }
+  const RunReport &Report = Outcome.value();
+  CkptPoint Point;
+  Point.Seconds = Report.ElapsedSeconds;
+  Point.SavePoints = Report.SavePointCount;
+  Point.Coalesced = Report.CoalescedCheckpoints;
+  if (const int64_t *Commits = Report.Metrics.counterValue("ckpt.commits"))
+    Point.Commits = *Commits;
+  if (const obs::LatencySummary *Stall =
+          Report.Metrics.latencySummary("ckpt.save_stall")) {
+    Point.StallMeanUs = Stall->meanNanos() / 1000.0;
+    Point.StallP90Us = double(Stall->quantileUpperNanos(0.9)) / 1000.0;
+    Point.StallMaxUs = double(Stall->MaxNanos) / 1000.0;
+  }
+  ResultsStore Store(WorkDir);
+  if (Result<std::vector<double>> Means = Store.readMeans(1, 1))
+    Point.Mean = Means.value()[0];
+  Checksum ^= uint64_t(Point.SavePoints) ^ uint64_t(Point.Commits);
+  return Point;
+}
+
+std::string ckptPointJson(const CkptPoint &Point) {
+  std::string Json = "{\n";
+  Json += "    \"seconds\": " + formatDouble(Point.Seconds) + ",\n";
+  Json += "    \"save_points\": " + std::to_string(Point.SavePoints) + ",\n";
+  Json += "    \"committed_generations\": " + std::to_string(Point.Commits) +
+          ",\n";
+  Json += "    \"coalesced_saves\": " + std::to_string(Point.Coalesced) +
+          ",\n";
+  Json += "    \"save_stall_mean_us\": " + formatDouble(Point.StallMeanUs) +
+          ",\n";
+  Json += "    \"save_stall_p90_us\": " + formatDouble(Point.StallP90Us) +
+          ",\n";
+  Json += "    \"save_stall_max_us\": " + formatDouble(Point.StallMaxUs) +
+          ",\n";
+  Json += "    \"mean\": " + formatDouble(Point.Mean) + "\n";
+  Json += "  }";
+  return Json;
+}
+
+std::string runCkptSuite(bool Smoke, const std::string &OutDir) {
+  const std::string WorkRoot = OutDir + "/mcbench_work";
+  const int64_t Realizations = Smoke ? 128 : 1024;
+  const CkptPoint Sync =
+      runCkptOnce(/*Async=*/false, Realizations, WorkRoot + "/ckpt_sync");
+  const CkptPoint Async =
+      runCkptOnce(/*Async=*/true, Realizations, WorkRoot + "/ckpt_async");
+
+  std::string Json = "{\n";
+  Json += "  \"suite\": \"ckpt\",\n";
+  Json += std::string("  \"smoke\": ") + (Smoke ? "true" : "false") + ",\n";
+  Json += "  \"ranks\": 2,\n";
+  Json += "  \"realizations\": " + std::to_string(Realizations) + ",\n";
+  Json += "  \"queue_depth\": 4,\n";
+  Json += "  \"sync\": " + ckptPointJson(Sync) + ",\n";
+  Json += "  \"async\": " + ckptPointJson(Async) + ",\n";
+  Json += "  \"stall_reduction_mean\": " +
+          formatDouble(Async.StallMeanUs > 0.0
+                           ? Sync.StallMeanUs / Async.StallMeanUs
+                           : 0.0) +
+          ",\n";
+  // The background writer buys latency by SKIPPING generations, never by
+  // changing state: the two runs must land on bit-identical estimates.
+  Json += std::string("  \"means_bit_equal\": ") +
+          (Sync.Mean == Async.Mean ? "true" : "false") + "\n";
+  Json += "}\n";
+  return Json;
+}
+
 int usage(const char *Program) {
   std::fprintf(stderr,
                "usage: %s [--smoke] [--out DIR] [--rng-only] "
-               "[--runner-only] [--transport threads|processes]\n",
+               "[--runner-only] [--ckpt-only] "
+               "[--transport threads|processes]\n",
                Program);
   return 2;
 }
@@ -386,6 +502,8 @@ int main(int Argc, char **Argv) {
       Opts.RngOnly = true;
     } else if (std::strcmp(Argv[Index], "--runner-only") == 0) {
       Opts.RunnerOnly = true;
+    } else if (std::strcmp(Argv[Index], "--ckpt-only") == 0) {
+      Opts.CkptOnly = true;
     } else if (std::strcmp(Argv[Index], "--out") == 0 && Index + 1 < Argc) {
       Opts.OutDir = Argv[++Index];
     } else if (std::strcmp(Argv[Index], "--transport") == 0 &&
@@ -398,7 +516,7 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     }
   }
-  if (Opts.RngOnly && Opts.RunnerOnly)
+  if (int(Opts.RngOnly) + int(Opts.RunnerOnly) + int(Opts.CkptOnly) > 1)
     return usage(Argv[0]);
   if (Status Created = createDirectories(Opts.OutDir); !Created) {
     std::fprintf(stderr, "mcbench: cannot create %s: %s\n",
@@ -406,7 +524,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  if (!Opts.RunnerOnly) {
+  if (!Opts.RunnerOnly && !Opts.CkptOnly) {
     const uint64_t Draws = Opts.Smoke ? (uint64_t(1) << 16)
                                       : (uint64_t(1) << 24);
     const RngNumbers Numbers = runRngSuite(Draws);
@@ -421,10 +539,19 @@ int main(int Argc, char **Argv) {
                 Path.c_str(), Numbers.FastMulNs, Numbers.PortableMulNs,
                 Numbers.BatchNs);
   }
-  if (!Opts.RngOnly) {
+  if (!Opts.RngOnly && !Opts.CkptOnly) {
     const std::string Json =
         runRunnerSuite(Opts.Smoke, Opts.OutDir, Opts.Transport);
     const std::string Path = Opts.OutDir + "/BENCH_runner.json";
+    if (Status Written = writeFileAtomic(Path, Json); !Written) {
+      std::fprintf(stderr, "mcbench: %s\n", Written.toString().c_str());
+      return 1;
+    }
+    std::printf("mcbench: wrote %s\n", Path.c_str());
+  }
+  if (!Opts.RngOnly && !Opts.RunnerOnly) {
+    const std::string Json = runCkptSuite(Opts.Smoke, Opts.OutDir);
+    const std::string Path = Opts.OutDir + "/BENCH_ckpt.json";
     if (Status Written = writeFileAtomic(Path, Json); !Written) {
       std::fprintf(stderr, "mcbench: %s\n", Written.toString().c_str());
       return 1;
