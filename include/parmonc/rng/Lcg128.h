@@ -65,13 +65,15 @@ public:
 
   /// Batched generation: fills \p Out[0..Count) with the next \p Count
   /// uniforms, bit-equal to \p Count nextUniform() calls and leaving the
-  /// state at u_{k+Count}. The kernel runs the recurrence on four
-  /// interleaved lanes (lane j emits u_{k+1+j}, u_{k+5+j}, ... and steps by
-  /// the precomputed A^4), which breaks the serial multiply dependency
-  /// chain and lets the CPU overlap the 128-bit multiplies.
+  /// state at u_{k+Count}. Dispatches to the wide 8-lane kernel
+  /// (rng/SimdKernels.h — AVX2/AVX-512/portable, selected by the
+  /// `PARMONC_SIMD` configure option and a runtime CPU-support probe) when
+  /// the batch is large enough, and to the four-lane interleave otherwise.
+  /// Every path emits the identical byte stream; see
+  /// docs/RNG.md#kernel-paths.
   void fillBatch(double *Out, size_t Count);
 
-  /// Same batch kernel emitting the raw top-64-bit outputs (the
+  /// Same batch dispatch emitting the raw top-64-bit outputs (the
   /// nextBits64() sequence) instead of unit-interval doubles.
   void fillBatchBits64(uint64_t *Out, size_t Count);
 
@@ -84,9 +86,30 @@ public:
   /// mirroring RealizationCursor's abandon-the-tail semantics. With
   /// \p LeapMultiplier = A(n_r) each block is the prefix of one
   /// realization subsequence. \p Out must hold BlockCount*DrawsPerBlock
-  /// doubles.
+  /// doubles. The wide kernel assigns whole blocks to lanes, so block
+  /// generation pays no per-block re-interleave setup.
   void fillBlockLeap(double *Out, size_t BlockCount, size_t DrawsPerBlock,
                      UInt128 LeapMultiplier);
+
+  /// The four-lane interleaved batch kernel (lane j emits u_{k+1+4t+j} and
+  /// steps by the precomputed A^4). Kept callable as the differential
+  /// oracle for the wide SIMD kernels — the same role `mul128Portable`
+  /// plays for the `__int128` fast path — and used as the small-batch and
+  /// no-CPU-support fallback.
+  void fillBatchFourLane(double *Out, size_t Count);
+
+  /// Four-lane oracle for fillBatchBits64.
+  void fillBatchBits64FourLane(uint64_t *Out, size_t Count);
+
+  /// Four-lane oracle for fillBlockLeap. Derives the interleave constants
+  /// once and reuses them across blocks.
+  void fillBlockLeapFourLane(double *Out, size_t BlockCount,
+                             size_t DrawsPerBlock, UInt128 LeapMultiplier);
+
+  /// Stable name of the batch kernel fillBatch will actually run on this
+  /// host ("avx512", "avx2", "scalar-wide", or "four-lane" when the
+  /// compiled backend is not executable here). For bench labelling.
+  static const char *batchKernelName();
 
   /// RandomSource bulk interface, routed to the unrolled kernel: one
   /// virtual call per batch, zero per draw.
@@ -96,11 +119,12 @@ public:
 
   const char *name() const override { return "lcg128"; }
 
-  /// Jumps the stream forward by \p Steps positions in O(log Steps) limb
-  /// multiplies: u <- u * A^Steps (mod 2^128).
-  void skip(UInt128 Steps) {
-    State = State * UInt128::powModPow2(Multiplier, Steps, 128);
-  }
+  /// Jumps the stream forward by \p Steps positions: u <- u * A^Steps
+  /// (mod 2^128). For the default multiplier A = 5^101 this reads A^Steps
+  /// out of a shared windowed power table (at most 31 multiplies, no
+  /// squaring chain — see rng/LeapWindow.h); other multipliers fall back
+  /// to square-and-multiply. Both paths are bit-identical.
+  void skip(UInt128 Steps);
 
   /// Jumps forward by a precomputed leap multiplier A(n): u <- u * LeapA.
   /// This is the per-realization fast path of the stream hierarchy.

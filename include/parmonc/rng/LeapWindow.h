@@ -1,0 +1,72 @@
+//===- parmonc/rng/LeapWindow.h - Windowed leap-ahead power table ---------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precomputed windowed powers for O(log n) leap-ahead. The paper's
+/// subsequencing machinery keeps asking for A^n (mod 2^128) — leap
+/// multipliers A(n) = A^(2^j) at genparam time, A(n_e)^e·A(n_p)^p·A(n_r)^k
+/// at stream-creation time, A(n_r)^Stride at cursor-construction time.
+/// Square-and-multiply (`UInt128::powModPow2`) answers each query with a
+/// fresh 127-squaring chain; a `PowerWindow` spends those multiplies once,
+/// building a radix-16 digit table for a fixed base, after which any
+/// 128-bit exponent costs at most 31 table multiplies and zero squarings.
+/// See docs/RNG.md#windowed-leap for the capacity math this accelerates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARMONC_RNG_LEAPWINDOW_H
+#define PARMONC_RNG_LEAPWINDOW_H
+
+#include "parmonc/int128/UInt128.h"
+
+#include <array>
+
+namespace parmonc {
+
+/// Windowed power table for a fixed base: Table[k][d] = Base^(d·16^k)
+/// (mod 2^Bits), one row per radix-16 digit of a 128-bit exponent.
+///
+/// Construction performs 16·32 - 1 = 511 multiplies and holds 8 KiB of
+/// table; each `pow()` afterwards is at most `DigitCount - 1` = 31
+/// multiplies (one per nonzero exponent digit — a power-of-two exponent,
+/// the leap-multiplier shape, needs exactly one). `powModPow2` by
+/// comparison walks all 128 exponent bits with a squaring each, so the
+/// window pays for itself after a handful of queries and every query
+/// after that is ~4x cheaper. Results are bit-identical to `powModPow2`
+/// for every base/exponent/modulus.
+class PowerWindow {
+public:
+  /// Radix-16 windows: 4 exponent bits per table row.
+  static constexpr unsigned WindowBits = 4;
+  /// Rows: one per base-16 digit of a 128-bit exponent.
+  static constexpr unsigned DigitCount = 128 / WindowBits;
+  /// Entries per row: one per digit value.
+  static constexpr unsigned DigitRange = 1u << WindowBits;
+
+  /// Builds the table for \p Base mod 2^ModulusBits. \p ModulusBits must
+  /// be in [1, 128].
+  explicit PowerWindow(UInt128 Base, unsigned ModulusBits = 128);
+
+  /// Base^Exponent (mod 2^ModulusBits): the product of Table[k][digit_k]
+  /// over the nonzero radix-16 digits of \p Exponent. Exponent zero
+  /// yields one.
+  UInt128 pow(UInt128 Exponent) const;
+
+  /// The base this table was built for.
+  UInt128 base() const { return BaseValue; }
+
+  /// The modulus exponent: results are reduced mod 2^modulusBits().
+  unsigned modulusBits() const { return Bits; }
+
+private:
+  UInt128 BaseValue;
+  unsigned Bits;
+  std::array<std::array<UInt128, DigitRange>, DigitCount> Table;
+};
+
+} // namespace parmonc
+
+#endif // PARMONC_RNG_LEAPWINDOW_H

@@ -31,10 +31,12 @@
 #include "parmonc/int128/UInt128.h"
 #include "parmonc/obs/Metrics.h"
 #include "parmonc/rng/Lcg128.h"
+#include "parmonc/rng/LeapWindow.h"
 #include "parmonc/support/Status.h"
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace parmonc {
@@ -69,11 +71,14 @@ struct LeapConfig {
   }
 };
 
-/// Precomputed leap multipliers A(n_e), A(n_p), A(n_r) for a multiplier A.
+/// Precomputed leap multipliers A(n_e), A(n_p), A(n_r) for a multiplier A,
+/// plus the windowed power table of A that makes every later A^n query
+/// O(log n) (see LeapWindow.h and docs/RNG.md#windowed-leap).
 class LeapTable {
 public:
-  /// Computes the three multipliers A(2^Config.*Log2) mod 2^128 for the
-  /// base multiplier \p Multiplier. \p Config must validate().
+  /// Builds the windowed power table of \p Multiplier and reads the three
+  /// leap multipliers A(2^Config.*Log2) mod 2^128 out of it. \p Config
+  /// must validate().
   LeapTable(UInt128 Multiplier, const LeapConfig &Config);
 
   /// Default table: A = 5^101, default exponents.
@@ -84,6 +89,18 @@ public:
   UInt128 realizationLeap() const { return RealizationLeap; }
   UInt128 baseMultiplier() const { return BaseMultiplier; }
   const LeapConfig &config() const { return Config; }
+
+  /// A^Exponent (mod 2^128) through the windowed table: at most 31
+  /// multiplies for any 128-bit exponent, bit-identical to
+  /// UInt128::powModPow2 on the same inputs.
+  UInt128 powerOfBase(UInt128 Exponent) const {
+    return BaseWindow->pow(Exponent);
+  }
+
+  /// The underlying windowed table of the base multiplier. Shared (and
+  /// immutable) across every copy of this LeapTable — copying a table
+  /// into a RealizationCursor does not re-derive the 8 KiB of windows.
+  const PowerWindow &baseWindow() const { return *BaseWindow; }
 
   /// Serializes to the parmonc_genparam.dat format (§3.5).
   std::string toFileContents() const;
@@ -103,6 +120,7 @@ private:
   UInt128 ExperimentLeap;
   UInt128 ProcessorLeap;
   UInt128 RealizationLeap;
+  std::shared_ptr<const PowerWindow> BaseWindow;
 };
 
 /// Identifies one realization subsequence inside the hierarchy.
@@ -159,17 +177,19 @@ public:
   /// partition the threaded engine uses to give each of N worker threads
   /// every N-th realization subsequence: thread t strides by N from start
   /// index t, and the N cursors jointly cover exactly the serial stream
-  /// assignment. The stride leap A(n_r)^Stride is precomputed once here,
-  /// so striding costs the same one multiply per realization as stride 1.
+  /// assignment. The stride leap A(n_r)^Stride = A^(Stride·2^nr) is read
+  /// from the table's power window (O(log n) multiplies, no squaring
+  /// chain), so striding costs the same one multiply per realization as
+  /// stride 1.
   RealizationCursor(const StreamHierarchy &Hierarchy, StreamCoordinates Start,
                     uint64_t Stride = 1)
       : Table(Hierarchy.leapTable()),
         StartState(Hierarchy.initialNumber(Start)),
         StrideLeap(Stride == 1
-                       ? Hierarchy.leapTable().realizationLeap()
-                       : UInt128::powModPow2(
-                             Hierarchy.leapTable().realizationLeap(),
-                             UInt128(Stride), 128)),
+                       ? Table.realizationLeap()
+                       : Table.powerOfBase(
+                             UInt128(Stride)
+                             << Table.config().RealizationLog2)),
         NextRealization(Start.Realization), Stride(Stride),
         StreamsIssued(Hierarchy.streamsIssuedCounter()) {
     assert(Stride >= 1 && "cursor stride must be at least 1");

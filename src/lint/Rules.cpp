@@ -710,7 +710,7 @@ public:
   std::string_view id() const override { return "R6"; }
   std::string_view name() const override { return "stream-discipline"; }
   std::string_view summary() const override {
-    return "no Lcg128 seeding or raw stepping outside rng/";
+    return "no Lcg128/Philox seeding or raw stepping outside rng/";
   }
   std::string_view rationale() const override {
     return "The leap partition (eq. 8) assigns each realization a disjoint "
@@ -718,16 +718,23 @@ public:
            "Lcg128/LcgPow2 outside rng/ creates a stream the partition "
            "knows nothing about — its draws silently overlap another "
            "realization's subsequence and correlate the eq. (5) averages. "
-           "Realization code must obtain its stream from "
-           "RealizationCursor::beginRealization() (or accept a "
-           "RandomSource), and may never step the raw recurrence with "
-           "nextRaw(). Static accesses like Lcg128::defaultMultiplier() "
-           "stay legal: they read constants, not stream state.";
+           "The counter-based Philox backend has the same discipline: its "
+           "hierarchy is a partition of counter positions, so a "
+           "hand-seeded or copied Philox lands inside some realization's "
+           "interval just as silently. Realization code must obtain its "
+           "stream from RealizationCursor::beginRealization() or "
+           "Philox::streamFor() (or accept a RandomSource), and may never "
+           "step the raw recurrence with nextRaw(). Static accesses like "
+           "Lcg128::defaultMultiplier() stay legal: they read constants, "
+           "not stream state.";
   }
   std::string_view example() const override {
     return "  Lcg128 G;                                // flagged\n"
            "  Lcg128 G(Mult, Seed);                    // flagged\n"
+           "  Philox P(Key);                           // flagged\n"
+           "  Philox Q = P;                            // flagged\n"
            "  Lcg128 S = Cursor.beginRealization();    // ok\n"
+           "  Philox S = Philox::streamFor(Where);     // ok\n"
            "  UInt128 A = Lcg128::defaultMultiplier(); // ok";
   }
 
@@ -755,7 +762,7 @@ public:
                          {}});
         continue;
       }
-      if (T.Text != "Lcg128" && T.Text != "LcgPow2")
+      if (T.Text != "Lcg128" && T.Text != "LcgPow2" && T.Text != "Philox")
         continue;
       const size_t Next = nextCodeToken(Tokens, I);
       if (Next >= Tokens.size() ||
@@ -774,7 +781,13 @@ public:
         if (Rhs >= Tokens.size())
           continue;
         if (Tokens[Rhs].Kind == TokenKind::Identifier &&
-            (Tokens[Rhs].Text == "Lcg128" || Tokens[Rhs].Text == "LcgPow2")) {
+            (Tokens[Rhs].Text == "Lcg128" || Tokens[Rhs].Text == "LcgPow2" ||
+             Tokens[Rhs].Text == "Philox")) {
+          // `Philox S = Philox::streamFor(...)` is the sanctioned form —
+          // a qualified static access, not a hand-seeded temporary.
+          const size_t Qual = nextCodeToken(Tokens, Rhs);
+          if (Qual < Tokens.size() && isPunctToken(Tokens[Qual], ':'))
+            continue;
           diagSeed(File, T, "hand-seeds", Out);
           continue;
         }

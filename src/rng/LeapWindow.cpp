@@ -1,0 +1,40 @@
+//===- rng/LeapWindow.cpp - Windowed leap-ahead power table ---------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/LeapWindow.h"
+
+#include "parmonc/support/Contract.h"
+
+namespace parmonc {
+
+PowerWindow::PowerWindow(UInt128 Base, unsigned ModulusBits)
+    : BaseValue(Base), Bits(ModulusBits) {
+  PARMONC_ASSERT(ModulusBits >= 1 && ModulusBits <= 128,
+                 "power-window modulus must be 2^1 .. 2^128");
+  // Row k is the geometric progression of Radix = Base^(16^k); the last
+  // entry times Radix rolls the radix forward to the next row.
+  UInt128 Radix = UInt128::truncateToBits(Base, Bits);
+  for (unsigned Row = 0; Row < DigitCount; ++Row) {
+    Table[Row][0] = UInt128(1);
+    for (unsigned Digit = 1; Digit < DigitRange; ++Digit)
+      Table[Row][Digit] =
+          UInt128::truncateToBits(Table[Row][Digit - 1] * Radix, Bits);
+    Radix = UInt128::truncateToBits(Table[Row][DigitRange - 1] * Radix, Bits);
+  }
+}
+
+UInt128 PowerWindow::pow(UInt128 Exponent) const {
+  UInt128 Result(1);
+  for (unsigned Row = 0; Row < DigitCount; ++Row) {
+    const unsigned Digit =
+        unsigned((Exponent >> (Row * WindowBits)).low()) & (DigitRange - 1);
+    if (Digit != 0)
+      Result = UInt128::truncateToBits(Result * Table[Row][Digit], Bits);
+  }
+  return Result;
+}
+
+} // namespace parmonc

@@ -1,0 +1,111 @@
+//===- rng/Philox.cpp - Counter-based production generator ----------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/Philox.h"
+
+#include "parmonc/support/Contract.h"
+
+#include <algorithm>
+
+namespace parmonc {
+
+namespace {
+
+inline uint32_t mulHi32(uint32_t A, uint32_t B) {
+  return uint32_t((uint64_t(A) * uint64_t(B)) >> 32);
+}
+
+} // namespace
+
+void Philox::computeBlock(UInt128 BlockIndex) {
+  // Round constants from Salmon et al., SC'11 (the Random123 reference).
+  constexpr uint32_t MultiplierA = 0xD2511F53u;
+  constexpr uint32_t MultiplierB = 0xCD9E8D57u;
+  constexpr uint32_t KeyBumpA = 0x9E3779B9u; // golden ratio
+  constexpr uint32_t KeyBumpB = 0xBB67AE85u; // sqrt(3) - 1
+
+  uint32_t X0 = uint32_t(BlockIndex.low());
+  uint32_t X1 = uint32_t(BlockIndex.low() >> 32);
+  uint32_t X2 = uint32_t(BlockIndex.high());
+  uint32_t X3 = uint32_t(BlockIndex.high() >> 32);
+  uint32_t K0 = KeyLo, K1 = KeyHi;
+  for (unsigned Round = 0; Round < 10; ++Round) {
+    const uint32_t HighA = mulHi32(MultiplierA, X0);
+    const uint32_t LowA = MultiplierA * X0;
+    const uint32_t HighB = mulHi32(MultiplierB, X2);
+    const uint32_t LowB = MultiplierB * X2;
+    X0 = HighB ^ X1 ^ K0;
+    X1 = LowB;
+    X2 = HighA ^ X3 ^ K1;
+    X3 = LowA;
+    K0 += KeyBumpA;
+    K1 += KeyBumpB;
+  }
+  Cached[0] = (uint64_t(X1) << 32) | X0;
+  Cached[1] = (uint64_t(X3) << 32) | X2;
+  CachedBlock = BlockIndex;
+  CacheValid = true;
+}
+
+uint64_t Philox::nextBits64() {
+  const UInt128 Block = Position >> 1;
+  const unsigned Word = unsigned(Position.low() & 1);
+  if (!CacheValid || CachedBlock != Block)
+    computeBlock(Block);
+  Position += UInt128(1);
+  return Cached[Word];
+}
+
+void Philox::fillUniforms(double *Out, size_t Count) {
+  size_t Index = 0;
+  // Enter at a block boundary: at most one scalar draw.
+  while (Index < Count && (Position.low() & 1) != 0)
+    Out[Index++] = nextUniform();
+  // Whole blocks straight into the output. The block function is the same
+  // bijection the scalar path runs, so the stream is bit-identical.
+  while (Index + DrawsPerBlock <= Count) {
+    computeBlock(Position >> 1);
+    Out[Index + 0] = bitsToUnitOpen(Cached[0]);
+    Out[Index + 1] = bitsToUnitOpen(Cached[1]);
+    Position += UInt128(DrawsPerBlock);
+    Index += DrawsPerBlock;
+  }
+  while (Index < Count)
+    Out[Index++] = nextUniform();
+}
+
+void Philox::seek(UInt128 DrawIndex) {
+  Position = DrawIndex;
+  // The cache stays valid: nextBits64 re-derives block/word from the
+  // position and recomputes on mismatch.
+}
+
+Philox Philox::streamFor(const StreamCoordinates &Where,
+                         const LeapConfig &Config, uint64_t Key) {
+  PARMONC_ASSERT(Config.validate().isOk(), "invalid leap configuration");
+  // The same always-on capacity contracts as StreamHierarchy: an index
+  // past its level's capacity would land inside a sibling's counter
+  // interval, silently correlating "independent" streams.
+  PARMONC_ASSERT(Where.Experiment <
+                     (uint64_t(1)
+                      << std::min(Config.maxExperimentsLog2(), 63u)),
+                 "experiment index exceeds hierarchy capacity");
+  PARMONC_ASSERT(Where.Processor <
+                     (uint64_t(1)
+                      << std::min(Config.maxProcessorsLog2(), 63u)),
+                 "processor index exceeds hierarchy capacity");
+  PARMONC_ASSERT(Where.Realization <
+                     (uint64_t(1)
+                      << std::min(Config.maxRealizationsLog2(), 63u)),
+                 "realization index exceeds hierarchy capacity");
+  Philox Stream(Key);
+  Stream.seek((UInt128(Where.Experiment) << Config.ExperimentLog2) +
+              (UInt128(Where.Processor) << Config.ProcessorLog2) +
+              (UInt128(Where.Realization) << Config.RealizationLog2));
+  return Stream;
+}
+
+} // namespace parmonc

@@ -36,16 +36,18 @@ Status LeapConfig::validate() const {
 }
 
 LeapTable::LeapTable(UInt128 Multiplier, const LeapConfig &Config)
-    : Config(Config), BaseMultiplier(Multiplier) {
+    : Config(Config), BaseMultiplier(Multiplier),
+      BaseWindow(std::make_shared<const PowerWindow>(Multiplier, 128)) {
   PARMONC_ASSERT(Config.validate().isOk(), "invalid leap configuration");
   PARMONC_ASSERT(Multiplier.low() % 8 == 5,
                  "base multiplier must be congruent to 5 mod 8");
-  ExperimentLeap = UInt128::powModPow2(
-      Multiplier, UInt128::powerOfTwo(Config.ExperimentLog2), 128);
-  ProcessorLeap = UInt128::powModPow2(
-      Multiplier, UInt128::powerOfTwo(Config.ProcessorLog2), 128);
-  RealizationLeap = UInt128::powModPow2(
-      Multiplier, UInt128::powerOfTwo(Config.RealizationLog2), 128);
+  // A power-of-two exponent has one nonzero radix-16 digit, so each leap
+  // multiplier is a single table lookup once the window exists.
+  ExperimentLeap =
+      BaseWindow->pow(UInt128::powerOfTwo(Config.ExperimentLog2));
+  ProcessorLeap = BaseWindow->pow(UInt128::powerOfTwo(Config.ProcessorLog2));
+  RealizationLeap =
+      BaseWindow->pow(UInt128::powerOfTwo(Config.RealizationLog2));
   // Leap composition (eq. 6–8): A(n) = A^n implies the processor leap is
   // the realization leap raised to 2^(np-nr), and likewise one level up.
   // If this ever fails, the three levels no longer nest and "disjoint"
@@ -170,14 +172,17 @@ UInt128 StreamHierarchy::initialNumber(const StreamCoordinates &Where) const {
                                               63u)),
                  "realization index exceeds hierarchy capacity");
 
-  UInt128 State(1);
-  State = State * UInt128::powModPow2(Table.experimentLeap(),
-                                      UInt128(Where.Experiment), 128);
-  State = State * UInt128::powModPow2(Table.processorLeap(),
-                                      UInt128(Where.Processor), 128);
-  State = State * UInt128::powModPow2(Table.realizationLeap(),
-                                      UInt128(Where.Realization), 128);
-  return State;
+  // The three per-level powers collapse into one window query:
+  //   A(n_e)^e · A(n_p)^p · A(n_r)^k = A^(e·2^ne + p·2^np + k·2^nr),
+  // and the combined exponent is the stream's position in the general
+  // sequence, which the capacity contracts above keep below 2^126 — no
+  // wraparound, so the single windowed power is exactly the old triple
+  // square-and-multiply product at a fraction of the multiplies.
+  const UInt128 Position =
+      (UInt128(Where.Experiment) << Config.ExperimentLog2) +
+      (UInt128(Where.Processor) << Config.ProcessorLog2) +
+      (UInt128(Where.Realization) << Config.RealizationLog2);
+  return Table.powerOfBase(Position);
 }
 
 Lcg128 StreamHierarchy::makeStream(const StreamCoordinates &Where) const {

@@ -1,0 +1,14 @@
+// mclint fixture: R6 stream discipline for the counter-based backend.
+// Never compiled — linted only.
+
+namespace parmonc {
+
+double fixturePhiloxDraw(Philox &Existing) {
+  Philox Fresh;                       // expect: R6
+  Philox Keyed(0x9e3779b9u);          // expect: R6
+  Philox Copy = Existing;             // expect: R6
+  Philox Placed = Philox::streamFor(makeCoordinates()); // sanctioned
+  return Placed.nextUniform() + Existing.nextUniform();
+}
+
+} // namespace parmonc

@@ -1,0 +1,12 @@
+// mclint fixture (negative): inside an rng/ path the backend may seed and
+// copy its own streams — R6 only polices code outside rng/.
+
+namespace parmonc {
+
+Philox fixtureMakeBackend(unsigned long long Key) {
+  Philox Fresh(Key);
+  Philox Copy = Fresh;
+  return Copy;
+}
+
+} // namespace parmonc

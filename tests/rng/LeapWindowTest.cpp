@@ -1,0 +1,191 @@
+//===- tests/rng/LeapWindowTest.cpp - Windowed leap-ahead correctness -----===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// PowerWindow (docs/RNG.md#windowed-leap) must be bit-identical to the
+// square-and-multiply oracle UInt128::powModPow2 for every exponent — the
+// table only changes how many multiplies a query costs, never the result.
+// Covered here: the issue's edge cases (A^(2^0), the capacity-boundary
+// exponent 2^115 + 2^98 + 2^55), the checked-in golden leap constants,
+// randomized differentials across moduli widths, and the three call sites
+// that now route through the window (LeapTable, initialNumber,
+// RealizationCursor striding, Lcg128::skip).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/rng/LeapWindow.h"
+
+#include "parmonc/rng/Lcg128.h"
+#include "parmonc/rng/StreamHierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace parmonc {
+namespace {
+
+// Independently recomputed leap multipliers (see LeapGoldenTest.cpp).
+constexpr UInt128 GoldenA115(0x7760000000000000ull, 0x0000000000000001ull);
+constexpr UInt128 GoldenA98(0xb424bbb000000000ull, 0x0000000000000001ull);
+constexpr UInt128 GoldenA43(0x402b44410f553568ull, 0x4977600000000001ull);
+
+TEST(PowerWindow, TrivialExponents) {
+  const PowerWindow Window(Lcg128::defaultMultiplier());
+  EXPECT_EQ(Window.pow(UInt128(0)), UInt128(1));
+  // A^(2^0) = A^1: the smallest power-of-two exponent is a bare table
+  // lookup and must return the base itself.
+  EXPECT_EQ(Window.pow(UInt128(1)), Lcg128::defaultMultiplier());
+  EXPECT_EQ(Window.pow(UInt128(2)),
+            Lcg128::defaultMultiplier() * Lcg128::defaultMultiplier());
+}
+
+TEST(PowerWindow, GoldenLeapConstants) {
+  const PowerWindow Window(Lcg128::defaultMultiplier());
+  EXPECT_EQ(Window.pow(UInt128::powerOfTwo(115)), GoldenA115);
+  EXPECT_EQ(Window.pow(UInt128::powerOfTwo(98)), GoldenA98);
+  EXPECT_EQ(Window.pow(UInt128::powerOfTwo(43)), GoldenA43);
+}
+
+TEST(PowerWindow, CapacityBoundaryExponent) {
+  // The largest draw index the default hierarchy can address: the last
+  // realization of the last processor of the last experiment starts at
+  // exponent 2^115·(2^10-1) + ... but the issue's representative boundary
+  // composite 2^115 + 2^98 + 2^55 exercises one digit in three distinct
+  // window rows at once.
+  const UInt128 Exponent = UInt128::powerOfTwo(115) + UInt128::powerOfTwo(98) +
+                           UInt128::powerOfTwo(55);
+  const UInt128 A = Lcg128::defaultMultiplier();
+  const PowerWindow Window(A);
+  EXPECT_EQ(Window.pow(Exponent), UInt128::powModPow2(A, Exponent, 128));
+  // And the algebraic identity: A^(2^115 + 2^98 + 2^55) is the product of
+  // the three power-of-two leaps.
+  EXPECT_EQ(Window.pow(Exponent),
+            GoldenA115 * GoldenA98 *
+                UInt128::powModPow2(A, UInt128::powerOfTwo(55), 128));
+}
+
+TEST(PowerWindow, MatchesPowModPow2OnRandomizedExponents) {
+  Lcg128 Entropy;
+  const UInt128 Bases[] = {
+      Lcg128::defaultMultiplier(),
+      UInt128(5),
+      UInt128(0x123456789abcdefull, 0xfedcba9876543211ull),
+      UInt128(0, 3),
+  };
+  for (const UInt128 &Base : Bases) {
+    const PowerWindow Window(Base);
+    for (int Trial = 0; Trial < 64; ++Trial) {
+      const UInt128 Exponent(Entropy.nextBits64(), Entropy.nextBits64());
+      EXPECT_EQ(Window.pow(Exponent),
+                UInt128::powModPow2(Base, Exponent, 128))
+          << "trial " << Trial;
+    }
+  }
+}
+
+TEST(PowerWindow, RespectsNarrowModuli) {
+  // LcgPow2-style generators live in narrower rings; the window must
+  // truncate exactly as the oracle does at every width.
+  Lcg128 Entropy(Lcg128::defaultMultiplier(), UInt128(0, 12345));
+  for (unsigned Bits : {1u, 7u, 40u, 63u, 64u, 65u, 127u}) {
+    const UInt128 Base(0, 0x5deece66dull);
+    const PowerWindow Window(Base, Bits);
+    EXPECT_EQ(Window.modulusBits(), Bits);
+    for (int Trial = 0; Trial < 16; ++Trial) {
+      const UInt128 Exponent(Entropy.nextBits64(), Entropy.nextBits64());
+      EXPECT_EQ(Window.pow(Exponent),
+                UInt128::powModPow2(Base, Exponent, Bits))
+          << "bits " << Bits << " trial " << Trial;
+    }
+  }
+}
+
+TEST(PowerWindow, LeapTableRoutesThroughWindow) {
+  const LeapTable Table;
+  EXPECT_EQ(Table.experimentLeap(), GoldenA115);
+  EXPECT_EQ(Table.processorLeap(), GoldenA98);
+  EXPECT_EQ(Table.realizationLeap(), GoldenA43);
+  EXPECT_EQ(&Table.baseWindow(), &Table.baseWindow());
+  // powerOfBase is the public window query used by cursors and hierarchy
+  // positioning; it must agree with the oracle for composite exponents.
+  const UInt128 Exponent = (UInt128(37) << 43) + UInt128(11);
+  EXPECT_EQ(Table.powerOfBase(Exponent),
+            UInt128::powModPow2(Table.baseMultiplier(), Exponent, 128));
+}
+
+TEST(PowerWindow, InitialNumberMatchesTripleProductOracle) {
+  // initialNumber now computes A^(e·2^ne + p·2^np + k·2^nr) in one window
+  // query; the pre-window formulation was the explicit triple product.
+  const StreamHierarchy Hierarchy;
+  const LeapConfig Config;
+  const UInt128 A = Lcg128::defaultMultiplier();
+  const StreamCoordinates Cases[] = {
+      {0, 0, 0}, {1, 0, 0},     {0, 1, 0},
+      {0, 0, 1}, {3, 129, 977}, {1023, 4321, 0xffffffffull},
+  };
+  for (const StreamCoordinates &Where : Cases) {
+    const UInt128 Oracle =
+        UInt128::powModPow2(A, UInt128(Where.Experiment)
+                                   << Config.ExperimentLog2,
+                            128) *
+        UInt128::powModPow2(A, UInt128(Where.Processor)
+                                   << Config.ProcessorLog2,
+                            128) *
+        UInt128::powModPow2(A, UInt128(Where.Realization)
+                                   << Config.RealizationLog2,
+                            128);
+    EXPECT_EQ(Hierarchy.initialNumber(Where), Oracle)
+        << "e=" << Where.Experiment << " p=" << Where.Processor
+        << " k=" << Where.Realization;
+  }
+}
+
+TEST(PowerWindow, StrideLeapMatchesOracle) {
+  // RealizationCursor's strided leap is powerOfBase(Stride << nr); the
+  // oracle is the stride-th power of the checked-in realization leap.
+  const LeapTable Table;
+  for (uint64_t Stride : {1ull, 2ull, 16ull, 255ull, 100003ull}) {
+    EXPECT_EQ(
+        Table.powerOfBase(UInt128(Stride) << Table.config().RealizationLog2),
+        UInt128::powModPow2(Table.realizationLeap(), UInt128(Stride), 128))
+        << "stride " << Stride;
+  }
+}
+
+TEST(PowerWindow, Lcg128SkipMatchesStepping) {
+  // skip() routes default-multiplier generators through a shared window;
+  // non-default multipliers take the powModPow2 fallback. Both must equal
+  // literal stepping.
+  for (const UInt128 &Multiplier :
+       {Lcg128::defaultMultiplier(), UInt128(0, 5)}) {
+    Lcg128 Skipped(Multiplier, UInt128(0x1234, 0x5679ull));
+    Lcg128 Stepped(Multiplier, UInt128(0x1234, 0x5679ull));
+    Skipped.skip(UInt128(1000));
+    for (int Draw = 0; Draw < 1000; ++Draw)
+      Stepped.nextBits64();
+    EXPECT_EQ(Skipped.state(), Stepped.state());
+    // A huge skip: only reachable through the power table.
+    Skipped.skip(UInt128::powerOfTwo(115) + UInt128::powerOfTwo(98));
+    Stepped.setState(Stepped.state() *
+                     UInt128::powModPow2(Multiplier,
+                                         UInt128::powerOfTwo(115) +
+                                             UInt128::powerOfTwo(98),
+                                         128));
+    EXPECT_EQ(Skipped.state(), Stepped.state());
+  }
+}
+
+TEST(PowerWindow, RebuildsConsistentlyForArbitraryBases) {
+  // Two windows over the same base are interchangeable (pure function of
+  // the base), and a window base() round-trips.
+  const UInt128 Base(0xdeadbeefcafef00dull, 0x0123456789abcdefull);
+  const PowerWindow First(Base);
+  const PowerWindow Second(Base);
+  EXPECT_EQ(First.base(), Base);
+  const UInt128 Exponent(0x42ull, 0x424242ull);
+  EXPECT_EQ(First.pow(Exponent), Second.pow(Exponent));
+}
+
+} // namespace
+} // namespace parmonc

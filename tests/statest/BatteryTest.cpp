@@ -16,6 +16,7 @@
 #include "parmonc/rng/Baselines.h"
 #include "parmonc/rng/Lcg128.h"
 #include "parmonc/rng/LcgPow2.h"
+#include "parmonc/rng/Philox.h"
 #include "parmonc/rng/StreamHierarchy.h"
 
 #include <gtest/gtest.h>
@@ -44,6 +45,38 @@ TEST(Battery, Lcg128PassesFromADeepStream) {
   // Statistical quality must hold inside the hierarchy, not only from u0.
   StreamHierarchy Hierarchy{LeapTable()};
   Lcg128 Generator = Hierarchy.makeStream({5, 1000, 12345});
+  std::vector<TestResult> Results = runBattery(Generator, Sample);
+  EXPECT_TRUE(allPass(Results));
+}
+
+TEST(Battery, ProductionPhiloxPassesEveryTest) {
+  // The counter-based production backend (docs/RNG.md#philox-backend) must
+  // clear the full battery like the LCG does. The lattice-sensitive tests
+  // (serial pairs/triples, birthday spacings) stand in for the spectral
+  // test, which measures LCG lattice structure and does not apply to a
+  // counter-based bijection.
+  Philox Generator;
+  std::vector<TestResult> Results = runBattery(Generator, Sample);
+  ASSERT_EQ(Results.size(), 12u);
+  for (const TestResult &Result : Results)
+    EXPECT_TRUE(Result.passesAt(1e-4))
+        << Result.Name << " p=" << Result.PValue;
+  EXPECT_TRUE(allPass(Results));
+}
+
+TEST(Battery, ProductionPhiloxPassesInsideTheHierarchyPartition) {
+  // Quality must hold from a hierarchy stream's counter interval, not only
+  // from position 0 — the analogue of the deep-stream LCG check above.
+  Philox Generator = Philox::streamFor({5, 1000, 12345});
+  std::vector<TestResult> Results = runBattery(Generator, Sample);
+  EXPECT_TRUE(allPass(Results));
+}
+
+TEST(Battery, ProductionPhiloxPassesAtDeepCounterPositions) {
+  // Past 2^64 the high counter limb drives the block input; the battery
+  // must not notice the limb crossing.
+  Philox Generator;
+  Generator.seek(UInt128::powerOfTwo(64) - UInt128(Sample / 2));
   std::vector<TestResult> Results = runBattery(Generator, Sample);
   EXPECT_TRUE(allPass(Results));
 }

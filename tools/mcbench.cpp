@@ -45,6 +45,9 @@
 #include "parmonc/core/Runner.h"
 #include "parmonc/int128/UInt128.h"
 #include "parmonc/rng/Lcg128.h"
+#include "parmonc/rng/LeapWindow.h"
+#include "parmonc/rng/Philox.h"
+#include "parmonc/rng/SimdKernels.h"
 #include "parmonc/rng/StreamHierarchy.h"
 #include "parmonc/support/Clock.h"
 #include "parmonc/support/Text.h"
@@ -95,8 +98,14 @@ struct RngNumbers {
   double PortableMulNs = 0.0;
   double ScalarNs = 0.0;
   double BatchNs = 0.0;
+  double FourLaneNs = 0.0;
   double BatchBitsNs = 0.0;
   double BlockLeapNs = 0.0;
+  double PhiloxScalarNs = 0.0;
+  double PhiloxBatchNs = 0.0;
+  double LeapWindowNs = 0.0;
+  double LeapSquareMultiplyNs = 0.0;
+  bool SimdBitEqual = false;
   uint64_t Draws = 0;
 };
 
@@ -154,6 +163,39 @@ RngNumbers runRngSuite(uint64_t Draws) {
         nsPerOp(Timer.nowNanos() - Start, Calls * Buffer.size());
     Checksum ^= uint64_t(Sink * 4096.0) ^ Generator.state().high();
   }
+  // The four-lane differential oracle on the same shape, so the JSON shows
+  // what the wide SIMD dispatch buys over the portable interleave.
+  {
+    Lcg128 Generator;
+    std::vector<double> Buffer(4096);
+    double Sink = 0.0;
+    const uint64_t Calls = Draws / Buffer.size();
+    const int64_t Start = Timer.nowNanos();
+    for (uint64_t Call = 0; Call < Calls; ++Call) {
+      Generator.fillBatchFourLane(Buffer.data(), Buffer.size());
+      Sink += Buffer.front() + Buffer.back();
+    }
+    Numbers.FourLaneNs =
+        nsPerOp(Timer.nowNanos() - Start, Calls * Buffer.size());
+    Checksum ^= uint64_t(Sink * 4096.0) ^ Generator.state().high();
+  }
+
+  // In-bench bit-equality oracle: the dispatched batch path must emit the
+  // four-lane kernel's exact bytes and final state at an awkward length.
+  // Reported as "simd_bit_equal" so a checked-in BENCH_rng.json certifies
+  // the speedup was measured on a correct kernel.
+  {
+    constexpr size_t Count = 4096 + 17;
+    Lcg128 Dispatched;
+    Lcg128 Oracle;
+    std::vector<double> Got(Count), Want(Count);
+    Dispatched.fillBatch(Got.data(), Count);
+    Oracle.fillBatchFourLane(Want.data(), Count);
+    Numbers.SimdBitEqual =
+        std::memcmp(Got.data(), Want.data(), Count * sizeof(double)) == 0 &&
+        Dispatched.state() == Oracle.state();
+  }
+
   {
     Lcg128 Generator;
     std::vector<uint64_t> Buffer(4096);
@@ -187,6 +229,57 @@ RngNumbers runRngSuite(uint64_t Draws) {
         nsPerOp(Timer.nowNanos() - Start, Calls * Buffer.size());
     Checksum ^= uint64_t(Sink * 4096.0) ^ Generator.state().high();
   }
+
+  // The counter-based Philox backend, scalar and batched, on the same
+  // shapes as the LCG loops above so the columns are directly comparable.
+  {
+    Philox Generator;
+    double Sink = 0.0;
+    const int64_t Start = Timer.nowNanos();
+    for (uint64_t Step = 0; Step < Draws; ++Step)
+      Sink += Generator.nextUniform();
+    Numbers.PhiloxScalarNs = nsPerOp(Timer.nowNanos() - Start, Draws);
+    Checksum ^= uint64_t(Sink) ^ Generator.position().low();
+  }
+  {
+    Philox Generator;
+    std::vector<double> Buffer(4096);
+    double Sink = 0.0;
+    const uint64_t Calls = Draws / Buffer.size();
+    const int64_t Start = Timer.nowNanos();
+    for (uint64_t Call = 0; Call < Calls; ++Call) {
+      Generator.fillUniforms(Buffer.data(), Buffer.size());
+      Sink += Buffer.front() + Buffer.back();
+    }
+    Numbers.PhiloxBatchNs =
+        nsPerOp(Timer.nowNanos() - Start, Calls * Buffer.size());
+    Checksum ^= uint64_t(Sink * 4096.0) ^ Generator.position().low();
+  }
+
+  // Leap-ahead: the windowed power table against square-and-multiply, over
+  // a spread of hierarchy-scale exponents. Stream creation and cursor
+  // striding pay exactly this cost per leap.
+  {
+    const uint64_t Leaps = Draws / 1024 > 0 ? Draws / 1024 : 1;
+    const PowerWindow Window(Multiplier);
+    Lcg128 Entropy;
+    std::vector<UInt128> Exponents(256);
+    for (UInt128 &Exponent : Exponents)
+      Exponent = UInt128(Entropy.nextBits64(), Entropy.nextBits64());
+    UInt128 Sink(0);
+    int64_t Start = Timer.nowNanos();
+    for (uint64_t Leap = 0; Leap < Leaps; ++Leap)
+      Sink += Window.pow(Exponents[Leap % Exponents.size()]);
+    Numbers.LeapWindowNs = nsPerOp(Timer.nowNanos() - Start, Leaps);
+    Checksum ^= Sink.low();
+    Sink = UInt128(0);
+    Start = Timer.nowNanos();
+    for (uint64_t Leap = 0; Leap < Leaps; ++Leap)
+      Sink += UInt128::powModPow2(Multiplier,
+                                  Exponents[Leap % Exponents.size()], 128);
+    Numbers.LeapSquareMultiplyNs = nsPerOp(Timer.nowNanos() - Start, Leaps);
+    Checksum ^= Sink.low();
+  }
   return Numbers;
 }
 
@@ -196,6 +289,12 @@ std::string rngJson(const RngNumbers &Numbers, bool Smoke) {
   Json += std::string("  \"smoke\": ") + (Smoke ? "true" : "false") + ",\n";
   Json += std::string("  \"native_int128\": ") +
           (UInt128::hasNativeMultiply() ? "true" : "false") + ",\n";
+  Json += std::string("  \"simd_backend\": \"") +
+          rngsimd::backendName(rngsimd::CompiledBackend) + "\",\n";
+  Json += std::string("  \"batch_kernel\": \"") + Lcg128::batchKernelName() +
+          "\",\n";
+  Json += std::string("  \"simd_bit_equal\": ") +
+          (Numbers.SimdBitEqual ? "true" : "false") + ",\n";
   Json += "  \"draws\": " + std::to_string(Numbers.Draws) + ",\n";
   Json += "  \"results\": {\n";
   Json += "    \"mul128_fast_ns_per_op\": " +
@@ -206,10 +305,20 @@ std::string rngJson(const RngNumbers &Numbers, bool Smoke) {
           formatDouble(Numbers.ScalarNs) + ",\n";
   Json += "    \"fill_batch_ns_per_draw\": " +
           formatDouble(Numbers.BatchNs) + ",\n";
+  Json += "    \"fill_batch_four_lane_ns_per_draw\": " +
+          formatDouble(Numbers.FourLaneNs) + ",\n";
   Json += "    \"fill_batch_bits64_ns_per_draw\": " +
           formatDouble(Numbers.BatchBitsNs) + ",\n";
   Json += "    \"fill_block_leap_ns_per_draw\": " +
-          formatDouble(Numbers.BlockLeapNs) + "\n";
+          formatDouble(Numbers.BlockLeapNs) + ",\n";
+  Json += "    \"philox_next_uniform_ns_per_draw\": " +
+          formatDouble(Numbers.PhiloxScalarNs) + ",\n";
+  Json += "    \"philox_fill_ns_per_draw\": " +
+          formatDouble(Numbers.PhiloxBatchNs) + ",\n";
+  Json += "    \"leap_window_ns_per_leap\": " +
+          formatDouble(Numbers.LeapWindowNs) + ",\n";
+  Json += "    \"leap_square_multiply_ns_per_leap\": " +
+          formatDouble(Numbers.LeapSquareMultiplyNs) + "\n";
   Json += "  },\n";
   Json += "  \"speedups\": {\n";
   Json += "    \"fast_vs_portable_multiply\": " +
@@ -220,6 +329,22 @@ std::string rngJson(const RngNumbers &Numbers, bool Smoke) {
   Json += "    \"batch_vs_scalar_uniform\": " +
           formatDouble(Numbers.BatchNs > 0.0
                            ? Numbers.ScalarNs / Numbers.BatchNs
+                           : 0.0) +
+          ",\n";
+  Json += "    \"wide_vs_four_lane_batch\": " +
+          formatDouble(Numbers.BatchNs > 0.0
+                           ? Numbers.FourLaneNs / Numbers.BatchNs
+                           : 0.0) +
+          ",\n";
+  Json += "    \"philox_batch_vs_scalar\": " +
+          formatDouble(Numbers.PhiloxBatchNs > 0.0
+                           ? Numbers.PhiloxScalarNs / Numbers.PhiloxBatchNs
+                           : 0.0) +
+          ",\n";
+  Json += "    \"window_vs_square_multiply_leap\": " +
+          formatDouble(Numbers.LeapWindowNs > 0.0
+                           ? Numbers.LeapSquareMultiplyNs /
+                                 Numbers.LeapWindowNs
                            : 0.0) +
           "\n";
   Json += "  },\n";
@@ -484,7 +609,7 @@ std::string runCkptSuite(bool Smoke, const std::string &OutDir) {
 
 int usage(const char *Program) {
   std::fprintf(stderr,
-               "usage: %s [--smoke] [--out DIR] [--rng-only] "
+               "usage: %s [--smoke] [--out DIR] [--rng | --rng-only] "
                "[--runner-only] [--ckpt-only] "
                "[--transport threads|processes]\n",
                Program);
@@ -498,7 +623,8 @@ int main(int Argc, char **Argv) {
   for (int Index = 1; Index < Argc; ++Index) {
     if (std::strcmp(Argv[Index], "--smoke") == 0) {
       Opts.Smoke = true;
-    } else if (std::strcmp(Argv[Index], "--rng-only") == 0) {
+    } else if (std::strcmp(Argv[Index], "--rng-only") == 0 ||
+               std::strcmp(Argv[Index], "--rng") == 0) {
       Opts.RngOnly = true;
     } else if (std::strcmp(Argv[Index], "--runner-only") == 0) {
       Opts.RunnerOnly = true;
