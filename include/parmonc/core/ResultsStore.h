@@ -101,6 +101,9 @@ struct RunLogInfo {
                                 ///< or permanently failed sends)
   int DeadWorkerCount = 0;      ///< ranks declared dead during collection
   bool ResumedFromBackup = false; ///< checkpoint.dat.prev was loaded
+  /// Generator backend token ("lcg128", "philox"); empty omits the
+  /// parmonc_exp.dat "rng" field, matching pre-backend-era lines.
+  std::string RngBackend;
 };
 
 /// Owns the parmonc_data/ tree under one working directory.
@@ -185,6 +188,9 @@ public:
     bool Resumed = false;
     int ProcessorCount = 0;
     int64_t StartVolume = 0;
+    /// Generator backend token; empty for lines from before the backend
+    /// field existed (which implicitly ran the LCG).
+    std::string RngBackend;
   };
 
   /// Everything readExperimentLog learned, including damage it skipped.

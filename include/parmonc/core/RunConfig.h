@@ -43,6 +43,24 @@ struct RunProgress {
   int SavePointCount = 0;                  ///< 1-based index of this save
 };
 
+/// Which production generator realizes the three-level stream hierarchy.
+/// Both backends share the exact same StreamCoordinates discipline, so a
+/// realization routine sees the identical RandomSource seam either way.
+enum class RngBackendKind {
+  /// The paper's rnd128: 128-bit LCG with windowed leap multiplies.
+  Lcg128,
+  /// Philox4x32-10 counter partitioning (rng/Philox.h): the hierarchy is
+  /// realized by counter intervals instead of leap multiplies, so jumping
+  /// to any stream position is constant time with no power table.
+  Philox,
+};
+
+/// The stable lower-case token for a backend, as recorded in
+/// parmonc_exp.dat and RunReport.
+inline const char *rngBackendName(RngBackendKind Kind) {
+  return Kind == RngBackendKind::Philox ? "philox" : "lcg128";
+}
+
 /// Requests a distribution estimate (fixed-grid histogram) of one entry
 /// of the realization matrix, accumulated alongside the moments with the
 /// same exact merge/resume semantics.
@@ -103,6 +121,16 @@ struct RunConfig {
   /// the default; the engine overrides it from parmonc_genparam.dat when
   /// that file exists in WorkDir (§3.5).
   LeapConfig Leaps;
+
+  /// Which generator backs every realization stream. Default Lcg128 is
+  /// byte-identical to before this knob existed. Philox draws from the
+  /// same (experiment, processor, realization) coordinates, so per-rank
+  /// stream assignment, merge order and resume semantics are unchanged —
+  /// only the pseudorandom numbers themselves differ. A
+  /// parmonc_genparam.dat that overrides the LCG *multiplier* is
+  /// rejected under Philox (the multiplier has no counter-based
+  /// equivalent); its exponent overrides apply to both backends.
+  RngBackendKind RngBackend = RngBackendKind::Lcg128;
 
   /// Error multiplier γ for reported absolute errors (§2.1; 3 ≙ λ=0.997).
   double ErrorMultiplier = 3.0;
@@ -276,6 +304,11 @@ struct RunReport {
   /// coalesced away by queue backpressure (each one subsumed by a newer
   /// commit; never a silent loss).
   int64_t CoalescedCheckpoints = 0;
+
+  /// The generator backend that produced every draw of this run
+  /// (rngBackendName of RunConfig::RngBackend), as also recorded in the
+  /// run's parmonc_exp.dat line.
+  std::string RngBackendName;
 
   /// Final values of every engine metric (runner.*, rng.*, comm.*,
   /// store.*), also persisted to results/metrics.dat for mcstat.

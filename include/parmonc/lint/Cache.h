@@ -56,6 +56,11 @@ struct CacheEntry {
   bool HasDiags = false;
   /// Context fingerprint the diagnostics were computed under.
   uint32_t ContextCrc = 0;
+  /// Dependency fingerprint: the fold of the summaries of every function
+  /// this file's calls can transitively reach (Summary.h). A change to a
+  /// callee's summary anywhere in the project invalidates exactly the
+  /// files that depend on it — not the whole cache.
+  uint32_t DepsCrc = 0;
   /// Raw per-file diagnostics, pre-waiver and pre-baseline.
   std::vector<Diagnostic> Diags;
 };

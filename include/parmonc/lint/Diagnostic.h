@@ -34,12 +34,22 @@ struct FixIt {
 };
 
 /// One step of a flow-sensitive finding's witness path, in source order.
-/// All steps are in the diagnostic's own file (mclint CFGs are
-/// per-function, so a flow never crosses a translation unit).
+/// A step defaults to the diagnostic's own file (the CFG rules R11-R13
+/// never leave it); the interprocedural rules (R14-R16) set Path on steps
+/// that land in another translation unit, and SARIF renders each step at
+/// its own location.
 struct FlowStep {
+  FlowStep() = default;
+  FlowStep(unsigned Line, unsigned Column, std::string Message,
+           std::string Path = {})
+      : Line(Line), Column(Column), Message(std::move(Message)),
+        Path(std::move(Path)) {}
+
   unsigned Line = 0;   ///< 1-based line number.
   unsigned Column = 0; ///< 1-based column, 0 when unknown.
   std::string Message; ///< What happens at this step.
+  /// File the step points into; empty means the diagnostic's own file.
+  std::string Path;
 };
 
 /// One rule violation at a specific source location.
@@ -74,8 +84,9 @@ struct Diagnostic {
 /// (mclint --werror).
 std::string formatDiagnostic(const Diagnostic &Diag, bool AsError);
 
-/// Sorts by (path, line, rule id) so output order is deterministic
-/// regardless of rule execution order.
+/// Sorts by (path, line, rule id, column, message) — a total order, so
+/// output is byte-identical regardless of rule execution order or --jobs
+/// count.
 void sortDiagnostics(std::vector<Diagnostic> &Diags);
 
 } // namespace lint

@@ -27,6 +27,7 @@
 #define PARMONC_LINT_INDEX_H
 
 #include "parmonc/lint/SourceFile.h"
+#include "parmonc/lint/Summary.h"
 #include "parmonc/support/Status.h"
 
 #include <cstdint>
@@ -81,6 +82,11 @@ struct FileFacts {
   bool ConstructsCursor = false;
   /// Waiver directives parsed from comments.
   std::vector<Waiver> Waivers;
+  /// Per-function interprocedural evidence (call sites, taint sources,
+  /// lock operations, field writes — see Summary.h), in source order. The
+  /// call-graph/summary stage runs entirely off this, so warm runs rebuild
+  /// every summary from cached facts without re-lexing.
+  std::vector<FunctionEvidence> Functions;
   /// Structural fingerprint of the file's function CFGs (cfgShapeCrc).
   /// Stored in the facts so the incremental cache observes the CFG stage:
   /// a builder change that reshapes any graph changes the serialized facts
@@ -148,6 +154,14 @@ struct LintContext {
   /// the token-level heuristic, and double-reporting would force users to
   /// waive the same line twice.
   bool FlowRulesActive = false;
+  /// The project-wide function summaries (null when the interprocedural
+  /// stage did not run). The interprocedural rules (R14-R16) consult this
+  /// to follow call chains across translation units; the per-file
+  /// dependency fingerprint derived from it keys their cached findings.
+  const SummaryStore *Summaries = nullptr;
+  /// The call graph the summaries were propagated over (null with
+  /// Summaries). Used to reconstruct cross-file witness paths.
+  const CallGraph *Graph = nullptr;
 };
 
 /// Derives the cross-file rule context from the index: the union of

@@ -55,6 +55,29 @@
 ///                              Hello) and FrameDecoder results are
 ///                              checked before their value is consumed.
 ///
+/// The interprocedural rules follow call chains across translation units
+/// through the project call graph and the bottom-up function summaries
+/// (CallGraph.h, Summary.h); their witness paths span files:
+///
+///   R14 determinism-taint    — wall-clock/entropy/environment reads,
+///                              unordered iteration order and pointer
+///                              hashing must not flow through any call
+///                              chain into estimator accumulation,
+///                              snapshot payloads or the parmonc_exp.dat
+///                              registry; obs/ and support/Clock.h are the
+///                              sanctioned carriers.
+///   R15 lock-discipline      — a field written under a lock somewhere
+///                              must be locked everywhere, including in
+///                              helpers only ever called with the lock
+///                              held; double-acquires through a callee and
+///                              raw locks leaked on early return are
+///                              flagged.
+///   R16 deep-must-check      — a Status/Result forwarded up a call chain
+///                              (e.g. through `auto` wrappers returning a
+///                              fallible callee's result) must be consumed
+///                              by some frame; extends R11 past the
+///                              declared-type heuristic.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARMONC_LINT_RULES_H
@@ -82,7 +105,7 @@ class Rule {
 public:
   virtual ~Rule() = default;
 
-  /// Stable identifier, "R1".."R13".
+  /// Stable identifier, "R1".."R16".
   virtual std::string_view id() const = 0;
 
   /// Short kebab-case name, e.g. "discarded-status".
@@ -131,6 +154,13 @@ std::vector<std::unique_ptr<Rule>> makeAllRules();
 std::unique_ptr<Rule> makeMustCheckRule();       ///< R11
 std::unique_ptr<Rule> makeStreamLifecycleRule(); ///< R12
 std::unique_ptr<Rule> makeWireProtocolRule();    ///< R13
+
+/// The interprocedural rules, defined in InterRules.cpp. They consult
+/// LintContext::Summaries / Graph and stand down when the summary stage
+/// did not run.
+std::unique_ptr<Rule> makeDeterminismTaintRule(); ///< R14
+std::unique_ptr<Rule> makeLockDisciplineRule();   ///< R15
+std::unique_ptr<Rule> makeDeepMustCheckRule();    ///< R16
 
 /// The project's fallible APIs that R1 knows about even when their headers
 /// are outside the scanned roots.

@@ -212,6 +212,15 @@ public:
     return Stream;
   }
 
+  /// Advances the cursor by one stride and counts the stream without
+  /// touching the LCG state — for backends (Philox) that position by the
+  /// cursor's *coordinates* rather than by its leap-multiplied state.
+  void noteRealizationIssued() {
+    NextRealization += Stride;
+    if (StreamsIssued)
+      StreamsIssued->add();
+  }
+
   /// Skips \p Count *stride steps* (i.e. Count * stride() realization
   /// subsequences) without producing streams — used when resuming a
   /// processor mid-run.

@@ -491,6 +491,10 @@ Status ResultsStore::appendExperimentLog(const RunLogInfo &Log) const {
                      " processors " + std::to_string(Log.ProcessorCount) +
                      " start_volume " +
                      std::to_string(Log.TotalSampleVolume);
+  // The backend field is appended only when known, so registries written
+  // by older engines and new ones interleave in one file.
+  if (!Log.RngBackend.empty())
+    Line += " rng " + Log.RngBackend;
   // Per-line CRC over everything before the suffix: the whole-file seal
   // does not fit an append-only registry, but a torn or rotted line must
   // still be detectable on load.
@@ -529,9 +533,13 @@ ResultsStore::readExperimentLog() const {
     auto Fields = splitWhitespace(Body);
     ExperimentLogEntry Entry;
     bool Parsed = false;
-    if (Fields.size() == 8 && Fields[0] == "experiment" &&
-        Fields[2] == "resumed" && Fields[4] == "processors" &&
-        Fields[6] == "start_volume") {
+    // Eight fields is the pre-backend-era line; ten adds "rng <token>".
+    const bool Shape =
+        (Fields.size() == 8 ||
+         (Fields.size() == 10 && Fields[8] == "rng")) &&
+        Fields[0] == "experiment" && Fields[2] == "resumed" &&
+        Fields[4] == "processors" && Fields[6] == "start_volume";
+    if (Shape) {
       Result<uint64_t> Sequence = parseUInt64(Fields[1]);
       Result<int64_t> Resumed = parseInt64(Fields[3]);
       Result<int64_t> Processors = parseInt64(Fields[5]);
@@ -541,6 +549,8 @@ ResultsStore::readExperimentLog() const {
         Entry.Resumed = Resumed.value() != 0;
         Entry.ProcessorCount = int(Processors.value());
         Entry.StartVolume = Volume.value();
+        if (Fields.size() == 10)
+          Entry.RngBackend = std::string(Fields[9]);
         Parsed = true;
       }
     }

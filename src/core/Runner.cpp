@@ -23,6 +23,7 @@
 #include "parmonc/mpsim/Engine.h"
 #include "parmonc/mpsim/Serialize.h"
 #include "parmonc/obs/Stopwatch.h"
+#include "parmonc/rng/Philox.h"
 #include "parmonc/rng/StreamHierarchy.h"
 #include "parmonc/support/Contract.h"
 #include "parmonc/support/Text.h"
@@ -240,6 +241,17 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
       return Loaded.status();
     Table = std::move(Loaded).value();
   }
+  // Backend dispatch: Philox partitions the same (e, p, k) coordinates by
+  // counter intervals, using the table's (possibly genparam-overridden)
+  // exponents. A genparam *multiplier* override is LCG arithmetic with no
+  // counter-based equivalent — silently ignoring it would ship different
+  // numbers than the operator asked for, so it is rejected instead.
+  const bool UsePhilox = Config.RngBackend == RngBackendKind::Philox;
+  if (UsePhilox && Table.baseMultiplier() != Lcg128::defaultMultiplier())
+    return failedPrecondition(
+        "parmonc_genparam.dat overrides the LCG multiplier, which has no "
+        "counter-based equivalent; remove the override or run the lcg128 "
+        "backend");
   StreamHierarchy Hierarchy(Table);
   Hierarchy.attachMetrics(Registry);
   Registry.latency("rng.leap_setup")
@@ -364,6 +376,7 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   StartLog.Resumed = Config.Resume;
   StartLog.ProcessorCount = Config.ProcessorCount;
   StartLog.TotalSampleVolume = Base.Moments.sampleVolume();
+  StartLog.RngBackend = rngBackendName(Config.RngBackend);
   if (Status Logged = Store.appendExperimentLog(StartLog); !Logged)
     return Logged;
 
@@ -741,10 +754,25 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
           break;
       }
 
-      Lcg128 Stream = Cursor.beginRealization();
-      const int64_t ComputeStart = Time.nowNanos();
-      Realization(Stream, Out.data());
-      const int64_t ComputeEnd = Time.nowNanos();
+      int64_t ComputeStart = 0;
+      int64_t ComputeEnd = 0;
+      if (UsePhilox) {
+        // Counter partitioning: realization k of this rank owns draw
+        // interval k·2^nr — the same coordinates the cursor would leap to.
+        Philox Stream = Philox::streamFor(
+            StreamCoordinates{Config.SequenceNumber, uint64_t(Rank),
+                              Cursor.nextRealizationIndex()},
+            Table.config());
+        Cursor.noteRealizationIssued();
+        ComputeStart = Time.nowNanos();
+        Realization(Stream, Out.data());
+        ComputeEnd = Time.nowNanos();
+      } else {
+        Lcg128 Stream = Cursor.beginRealization();
+        ComputeStart = Time.nowNanos();
+        Realization(Stream, Out.data());
+        ComputeEnd = Time.nowNanos();
+      }
       Local.ComputeSeconds += double(ComputeEnd - ComputeStart) * 1e-9;
       // Reuses the ComputeStart/ComputeEnd reads the engine takes anyway,
       // so per-realization metrics cost two relaxed atomic updates.
@@ -836,10 +864,25 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
             break;
         }
 
-        Lcg128 Stream = Cursor.beginRealization();
-        const int64_t ComputeStart = Time.nowNanos();
-        Realization(Stream, ThreadOut.data());
-        const int64_t ComputeEnd = Time.nowNanos();
+        int64_t ComputeStart = 0;
+        int64_t ComputeEnd = 0;
+        if (UsePhilox) {
+          // Thread t draws from realization intervals t, t + N, ... — the
+          // identical stride-N partition the LCG cursor leaps through.
+          Philox Stream = Philox::streamFor(
+              StreamCoordinates{Config.SequenceNumber, uint64_t(Rank),
+                                Cursor.nextRealizationIndex()},
+              Table.config());
+          Cursor.noteRealizationIssued();
+          ComputeStart = Time.nowNanos();
+          Realization(Stream, ThreadOut.data());
+          ComputeEnd = Time.nowNanos();
+        } else {
+          Lcg128 Stream = Cursor.beginRealization();
+          ComputeStart = Time.nowNanos();
+          Realization(Stream, ThreadOut.data());
+          ComputeEnd = Time.nowNanos();
+        }
         Mine.ComputeSeconds += double(ComputeEnd - ComputeStart) * 1e-9;
         RealizationsTotal.add();
         RankRealizations[size_t(Rank)]->add();
@@ -1074,6 +1117,7 @@ Result<RunReport> runSimulation(const RealizationFn &Realization,
   Report.SimulatedCrash = Shared.Killed.load(std::memory_order_relaxed);
   Report.ResumedFromBackup = ResumedFromBackup;
   Report.RestoredFromShards = RestoredFromShards;
+  Report.RngBackendName = rngBackendName(Config.RngBackend);
 
   Registry.gauge("runner.elapsed_seconds").set(Report.ElapsedSeconds);
   Report.Metrics = Registry.snapshot();

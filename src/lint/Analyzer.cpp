@@ -19,9 +19,11 @@
 
 #include "parmonc/lint/Baseline.h"
 #include "parmonc/lint/Cache.h"
+#include "parmonc/lint/CallGraph.h"
 #include "parmonc/lint/Index.h"
 #include "parmonc/lint/Rules.h"
 #include "parmonc/lint/SourceFile.h"
+#include "parmonc/lint/Summary.h"
 #include "parmonc/support/Checksum.h"
 #include "parmonc/support/Text.h"
 
@@ -355,6 +357,17 @@ Result<LintReport> runAnalyzer(const AnalyzerOptions &Options) {
   Context.FlowRulesActive = ActiveIds.count("R11") != 0;
   const uint32_t ContextCrc = contextFingerprint(ConfigStamp, Context);
 
+  // The interprocedural stage: call graph and bottom-up summaries, built
+  // from the (possibly cached) per-function evidence — no lexing here.
+  // The per-file dependency fingerprints key pass two's cached findings:
+  // a changed summary re-analyzes exactly the files that can reach it.
+  const CallGraph Graph = CallGraph::build(Index);
+  const SummaryStore Summaries = computeSummaries(Index, Graph);
+  Context.Summaries = &Summaries;
+  Context.Graph = &Graph;
+  const std::vector<uint32_t> DepsCrcs =
+      dependencyFingerprints(Index, Graph, Summaries);
+
   // Pass two: raw per-file diagnostics, cache-aware.
   LintReport Report;
   Report.FileCount = Files.size();
@@ -363,7 +376,8 @@ Result<LintReport> runAnalyzer(const AnalyzerOptions &Options) {
     const CacheEntry *Cached = Cache.lookup(File.Path);
     if (!Options.ComputeFixes && Cached &&
         Cached->ContentCrc == File.ContentCrc && Cached->HasDiags &&
-        Cached->ContextCrc == ContextCrc) {
+        Cached->ContextCrc == ContextCrc &&
+        Cached->DepsCrc == DepsCrcs[I]) {
       File.RawDiags = Cached->Diags;
       File.DiagsFromCache = true;
       return;
@@ -464,12 +478,14 @@ Result<LintReport> runAnalyzer(const AnalyzerOptions &Options) {
   // computed them raw (a --fix run's diags carry fixes, which the cache
   // drops anyway, so they are stored too — minus the fix data).
   if (!Options.CachePath.empty()) {
-    for (FileState &File : Files) {
+    for (size_t I = 0; I < Files.size(); ++I) {
+      FileState &File = Files[I];
       CacheEntry Entry;
       Entry.ContentCrc = File.ContentCrc;
       Entry.FactsBlock = File.FactsBlock;
       Entry.HasDiags = true;
       Entry.ContextCrc = ContextCrc;
+      Entry.DepsCrc = DepsCrcs[I];
       Entry.Diags = File.RawDiags;
       for (Diagnostic &Diag : Entry.Diags)
         Diag.Fixes.clear();

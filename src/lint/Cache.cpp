@@ -15,7 +15,7 @@ namespace lint {
 
 namespace {
 
-constexpr std::string_view MagicLine = "mclint-cache 4";
+constexpr std::string_view MagicLine = "mclint-cache 5";
 
 bool parseU32(std::string_view Field, uint32_t &Out) {
   const auto [Ptr, Ec] =
@@ -71,9 +71,9 @@ void LintCache::load(const std::string &Path,
   //   crc <hex8>
   //   facts <line-count>
   //   ...facts lines...
-  //   diags none | diags <hex8-context> <count>
+  //   diags none | diags <hex8-context> <hex8-deps> <count>
   //   D <line> <col> <nflow> <ruleId> <ruleName> <message>  (count times)
-  //   F <line> <col> <message>                  (nflow times, after its D)
+  //   F <line> <col> <path|-> <message>         (nflow times, after its D)
   std::map<std::string, CacheEntry, std::less<>> Parsed;
   while (nextLine(Rest, Line)) {
     if (Line.empty())
@@ -102,11 +102,12 @@ void LintCache::load(const std::string &Path,
       return;
     std::string_view DiagsSpec = Line.substr(6);
     if (DiagsSpec != "none") {
-      const size_t Space = DiagsSpec.find(' ');
+      const auto SpecFields = splitWhitespace(DiagsSpec);
       uint32_t Count = 0;
-      if (Space == std::string_view::npos ||
-          !parseHex32(DiagsSpec.substr(0, Space), Entry.ContextCrc) ||
-          !parseU32(DiagsSpec.substr(Space + 1), Count))
+      if (SpecFields.size() != 3 ||
+          !parseHex32(SpecFields[0], Entry.ContextCrc) ||
+          !parseHex32(SpecFields[1], Entry.DepsCrc) ||
+          !parseU32(SpecFields[2], Count))
         return;
       Entry.HasDiags = true;
       for (uint32_t I = 0; I < Count; ++I) {
@@ -135,7 +136,7 @@ void LintCache::load(const std::string &Path,
           if (!nextLine(Rest, Line) || !startsWith(Line, "F "))
             return;
           auto FlowFields = splitWhitespace(Line);
-          if (FlowFields.size() < 3)
+          if (FlowFields.size() < 4)
             return;
           FlowStep Flow;
           uint32_t FlowLine = 0, FlowColumn = 0;
@@ -144,8 +145,10 @@ void LintCache::load(const std::string &Path,
             return;
           Flow.Line = FlowLine;
           Flow.Column = FlowColumn;
+          if (FlowFields[3] != "-")
+            Flow.Path = std::string(FlowFields[3]);
           const size_t FlowMessageAt = size_t(
-              FlowFields[2].data() + FlowFields[2].size() - Line.data());
+              FlowFields[3].data() + FlowFields[3].size() - Line.data());
           if (FlowMessageAt < Line.size())
             Flow.Message = std::string(trim(Line.substr(FlowMessageAt)));
           Diag.Flow.push_back(std::move(Flow));
@@ -182,6 +185,8 @@ Status LintCache::save(const std::string &Path,
     Out.append("diags ");
     appendHex32(Out, Entry.ContextCrc);
     Out.push_back(' ');
+    appendHex32(Out, Entry.DepsCrc);
+    Out.push_back(' ');
     Out.append(std::to_string(Entry.Diags.size()));
     Out.push_back('\n');
     for (const Diagnostic &Diag : Entry.Diags) {
@@ -199,6 +204,8 @@ Status LintCache::save(const std::string &Path,
         Out.append("F ").append(std::to_string(Step.Line));
         Out.push_back(' ');
         Out.append(std::to_string(Step.Column));
+        Out.push_back(' ');
+        Out.append(Step.Path.empty() ? "-" : Step.Path);
         Out.push_back(' ');
         Out.append(Step.Message);
         Out.push_back('\n');
@@ -218,7 +225,7 @@ void LintCache::update(std::string FilePath, CacheEntry Entry) {
 }
 
 std::string cacheConfigStamp(const std::vector<std::string> &ActiveRuleIds) {
-  std::string Stamp = "config engine=3 cfg=1 rules=";
+  std::string Stamp = "config engine=4 cfg=1 rules=";
   for (size_t I = 0; I < ActiveRuleIds.size(); ++I) {
     if (I)
       Stamp.push_back(',');

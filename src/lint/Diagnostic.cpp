@@ -27,11 +27,15 @@ std::string formatDiagnostic(const Diagnostic &Diag, bool AsError) {
 }
 
 void sortDiagnostics(std::vector<Diagnostic> &Diags) {
-  std::stable_sort(Diags.begin(), Diags.end(),
-                   [](const Diagnostic &A, const Diagnostic &B) {
-                     return std::tie(A.Path, A.Line, A.RuleId) <
-                            std::tie(B.Path, B.Line, B.RuleId);
-                   });
+  // A total order — column and message break (path, line, rule) ties — so
+  // the output (and through it `--fix` edit application) is byte-identical
+  // at any --jobs count and across rule registration order changes.
+  std::stable_sort(
+      Diags.begin(), Diags.end(),
+      [](const Diagnostic &A, const Diagnostic &B) {
+        return std::tie(A.Path, A.Line, A.RuleId, A.Column, A.Message) <
+               std::tie(B.Path, B.Line, B.RuleId, B.Column, B.Message);
+      });
 }
 
 } // namespace lint

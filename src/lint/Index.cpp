@@ -207,6 +207,7 @@ FileFacts extractFileFacts(const SourceFile &File) {
 
   Facts.Waivers = File.waivers();
   Facts.CfgShapeCrc = cfgShapeCrc(File.functions());
+  Facts.Functions = extractFunctionEvidence(File);
   return Facts;
 }
 
@@ -255,6 +256,37 @@ std::string serializeFileFacts(const FileFacts &Facts) {
     Out += "X ";
     Out += Hex;
     Out.push_back('\n');
+  }
+  for (const FunctionEvidence &Fn : Facts.Functions) {
+    Out += "U " + Fn.Name;
+    appendField(Out, std::to_string(Fn.Line));
+    appendField(Out, Fn.ReturnsFallibleType ? "1" : "0");
+    appendField(Out, Fn.ConsumesStatusParam ? "1" : "0");
+    Out.push_back('\n');
+    for (const ReturnCallRecord &Ret : Fn.ReturnCalls)
+      Out += "V r " + Ret.Callee + " " + std::to_string(Ret.Line) + "\n";
+    for (const CallSiteRecord &Call : Fn.Calls) {
+      Out += "V c " + Call.Callee + " " + std::to_string(Call.Line) + " " +
+             (Call.UnderLock ? "1" : "0");
+      for (const std::string &Mutex : Call.HeldMutexes)
+        Out += " " + Mutex;
+      Out.push_back('\n');
+    }
+    for (const TaintSiteRecord &Taint : Fn.TaintSources)
+      Out += "V t " + std::string(1, "wevup"[unsigned(Taint.Kind)]) + " " +
+             std::to_string(Taint.Line) + "\n";
+    for (const SinkSiteRecord &Sink : Fn.Sinks)
+      Out += "V s " + std::string(1, "anx"[unsigned(Sink.Kind)]) + " " +
+             std::to_string(Sink.Line) + "\n";
+    for (const LockOpRecord &Op : Fn.LockOps)
+      Out += "V l " +
+             std::string(1, Op.Kind == LockOpRecord::Op::Scoped    ? 's'
+                            : Op.Kind == LockOpRecord::Op::Acquire ? 'a'
+                                                                   : 'r') +
+             " " + Op.Mutex + " " + std::to_string(Op.Line) + "\n";
+    for (const FieldWriteRecord &Write : Fn.FieldWrites)
+      Out += "V w " + Write.Field + " " + (Write.UnderLock ? "1" : "0") +
+             " " + std::to_string(Write.Line) + "\n";
   }
   return Out;
 }
@@ -313,6 +345,66 @@ Result<FileFacts> parseFileFacts(std::string_view Block) {
         Crc = (Crc << 4) | Digit;
       }
       Facts.CfgShapeCrc = Crc;
+    } else if (Tag == "U" && Fields.size() == 5) {
+      FunctionEvidence Fn;
+      Fn.Name = std::string(Fields[1]);
+      if (!ParseU32(Fields[2], Fn.Line))
+        return invalidArgument("bad function record in facts block");
+      Fn.ReturnsFallibleType = Fields[3] == "1";
+      Fn.ConsumesStatusParam = Fields[4] == "1";
+      Facts.Functions.push_back(std::move(Fn));
+    } else if (Tag == "V" && Fields.size() >= 4) {
+      if (Facts.Functions.empty())
+        return invalidArgument("function evidence before function record");
+      FunctionEvidence &Fn = Facts.Functions.back();
+      const std::string_view Kind = Fields[1];
+      uint32_t RecLine = 0;
+      if (Kind == "r" && Fields.size() == 4) {
+        if (!ParseU32(Fields[3], RecLine))
+          return invalidArgument("bad return-call record in facts block");
+        Fn.ReturnCalls.push_back({std::string(Fields[2]), RecLine});
+      } else if (Kind == "c" && Fields.size() >= 5) {
+        if (!ParseU32(Fields[3], RecLine))
+          return invalidArgument("bad call record in facts block");
+        CallSiteRecord Call{std::string(Fields[2]), RecLine,
+                            Fields[4] == "1", {}};
+        for (size_t I = 5; I < Fields.size(); ++I)
+          Call.HeldMutexes.emplace_back(Fields[I]);
+        Fn.Calls.push_back(std::move(Call));
+      } else if (Kind == "t" && Fields.size() == 4) {
+        const size_t TaintIndex = std::string_view("wevup").find(Fields[2]);
+        if (TaintIndex == std::string_view::npos || Fields[2].size() != 1 ||
+            !ParseU32(Fields[3], RecLine))
+          return invalidArgument("bad taint record in facts block");
+        Fn.TaintSources.push_back({TaintKind(TaintIndex), RecLine});
+      } else if (Kind == "s" && Fields.size() == 4) {
+        const size_t SinkIndex = std::string_view("anx").find(Fields[2]);
+        if (SinkIndex == std::string_view::npos || Fields[2].size() != 1 ||
+            !ParseU32(Fields[3], RecLine))
+          return invalidArgument("bad sink record in facts block");
+        Fn.Sinks.push_back({SinkKind(SinkIndex), RecLine});
+      } else if (Kind == "l" && Fields.size() == 5) {
+        LockOpRecord Op;
+        if (Fields[2] == "s")
+          Op.Kind = LockOpRecord::Op::Scoped;
+        else if (Fields[2] == "a")
+          Op.Kind = LockOpRecord::Op::Acquire;
+        else if (Fields[2] == "r")
+          Op.Kind = LockOpRecord::Op::Release;
+        else
+          return invalidArgument("bad lock record in facts block");
+        Op.Mutex = std::string(Fields[3]);
+        if (!ParseU32(Fields[4], Op.Line))
+          return invalidArgument("bad lock record in facts block");
+        Fn.LockOps.push_back(std::move(Op));
+      } else if (Kind == "w" && Fields.size() == 5) {
+        if (!ParseU32(Fields[4], RecLine))
+          return invalidArgument("bad field-write record in facts block");
+        Fn.FieldWrites.push_back(
+            {std::string(Fields[2]), Fields[3] == "1", RecLine});
+      } else {
+        return invalidArgument("unrecognized evidence record");
+      }
     } else if (Tag == "W" && Fields.size() == 10) {
       Waiver W;
       W.RuleId = std::string(Fields[1]);

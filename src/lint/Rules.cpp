@@ -1354,6 +1354,9 @@ std::vector<std::unique_ptr<Rule>> makeAllRules() {
   Rules.push_back(makeMustCheckRule());
   Rules.push_back(makeStreamLifecycleRule());
   Rules.push_back(makeWireProtocolRule());
+  Rules.push_back(makeDeterminismTaintRule());
+  Rules.push_back(makeLockDisciplineRule());
+  Rules.push_back(makeDeepMustCheckRule());
   return Rules;
 }
 

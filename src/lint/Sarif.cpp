@@ -139,6 +139,8 @@ formatSarif(const std::vector<Diagnostic> &Diags,
     Out += "          ],\n";
     // Dataflow findings (R11-R13) carry the witness path as a SARIF code
     // flow: one threadFlow whose steps walk decl -> transfer -> failure.
+    // Interprocedural findings (R14-R16) set FlowStep::Path on steps in
+    // other translation units, so a single code flow spans files.
     if (!Diag.Flow.empty()) {
       Out += "          \"codeFlows\": [\n";
       Out += "            {\n";
@@ -147,12 +149,14 @@ formatSarif(const std::vector<Diagnostic> &Diags,
       Out += "                  \"locations\": [\n";
       for (size_t Step = 0; Step < Diag.Flow.size(); ++Step) {
         const FlowStep &Flow = Diag.Flow[Step];
+        const std::string &StepPath =
+            Flow.Path.empty() ? Diag.Path : Flow.Path;
         Out += "                    {\n";
         Out += "                      \"location\": {\n";
         Out += "                        \"physicalLocation\": {\n";
         Out += "                          \"artifactLocation\": { \"uri\": "
                "\"" +
-               jsonEscape(normalizedPath(Diag.Path)) + "\" },\n";
+               jsonEscape(normalizedPath(StepPath)) + "\" },\n";
         Out += "                          \"region\": { \"startLine\": " +
                std::to_string(Flow.Line) +
                (Flow.Column > 0 ? ", \"startColumn\": " +

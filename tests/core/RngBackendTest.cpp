@@ -1,0 +1,199 @@
+//===- tests/core/RngBackendTest.cpp - Backend selection tests ------------===//
+//
+// Part of the PARMONC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+//
+// The RngBackend knob: a Philox run must flow the backend through the
+// engine (draw sites, report, experiment registry) while keeping every
+// hierarchy invariant — reproducibility, thread partitioning, genparam
+// exponent overrides — and must reject the one genparam field that has no
+// counter-based meaning, the custom LCG multiplier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parmonc/core/Runner.h"
+
+#include "parmonc/support/Text.h"
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace parmonc {
+namespace {
+
+class ScratchDir {
+public:
+  explicit ScratchDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("parmonc_rngbackend_" + Name + "_" + std::to_string(Counter++)))
+               .string();
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(Path); }
+  const std::string &path() const { return Path; }
+
+private:
+  static inline int Counter = 0;
+  std::string Path;
+};
+
+void uniformRealization(RandomSource &Source, double *Out) {
+  Out[0] = Source.nextUniform();
+}
+
+RunConfig baseConfig(const std::string &WorkDir) {
+  RunConfig Config;
+  Config.MaxSampleVolume = 1200;
+  Config.WorkDir = WorkDir;
+  return Config;
+}
+
+TEST(RngBackend, PhiloxRunStampsReportAndRegistry) {
+  ScratchDir Dir("stamp");
+  RunConfig Config = baseConfig(Dir.path());
+  Config.RngBackend = RngBackendKind::Philox;
+  Result<RunReport> Report = runSimulation(uniformRealization, Config);
+  ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+  EXPECT_EQ(Report.value().RngBackendName, "philox");
+  EXPECT_EQ(Report.value().TotalSampleVolume, 1200);
+  // The estimate is still a U(0,1) mean with honest error bars.
+  ResultsStore Store(Dir.path());
+  const double Mean = Store.readMeans(1, 1).value()[0];
+  EXPECT_NEAR(Mean, 0.5, Report.value().MaxAbsoluteError);
+  // parmonc_exp.dat records which generator produced the run.
+  Result<ResultsStore::ExperimentLogContents> Registry =
+      Store.readExperimentLog();
+  ASSERT_TRUE(Registry.isOk());
+  ASSERT_EQ(Registry.value().Entries.size(), 1u);
+  EXPECT_EQ(Registry.value().Entries[0].RngBackend, "philox");
+  EXPECT_TRUE(Registry.value().SkippedLines.empty());
+}
+
+TEST(RngBackend, DefaultBackendStampsLcg) {
+  ScratchDir Dir("lcgstamp");
+  RunConfig Config = baseConfig(Dir.path());
+  Config.MaxSampleVolume = 200;
+  Result<RunReport> Report = runSimulation(uniformRealization, Config);
+  ASSERT_TRUE(Report.isOk());
+  EXPECT_EQ(Report.value().RngBackendName, "lcg128");
+  Result<ResultsStore::ExperimentLogContents> Registry =
+      ResultsStore(Dir.path()).readExperimentLog();
+  ASSERT_TRUE(Registry.isOk());
+  ASSERT_EQ(Registry.value().Entries.size(), 1u);
+  EXPECT_EQ(Registry.value().Entries[0].RngBackend, "lcg128");
+}
+
+TEST(RngBackend, PhiloxRunsAreReproducibleAndDifferFromLcg) {
+  ScratchDir DirA("phlxA"), DirB("phlxB"), DirC("lcgC");
+  RunConfig ConfigA = baseConfig(DirA.path());
+  ConfigA.RngBackend = RngBackendKind::Philox;
+  RunConfig ConfigB = baseConfig(DirB.path());
+  ConfigB.RngBackend = RngBackendKind::Philox;
+  RunConfig ConfigC = baseConfig(DirC.path());
+  ASSERT_TRUE(runSimulation(uniformRealization, ConfigA).isOk());
+  ASSERT_TRUE(runSimulation(uniformRealization, ConfigB).isOk());
+  ASSERT_TRUE(runSimulation(uniformRealization, ConfigC).isOk());
+  // Same backend, same coordinates: byte-identical result files.
+  EXPECT_EQ(readFileToString(ResultsStore(DirA.path()).meansPath()).value(),
+            readFileToString(ResultsStore(DirB.path()).meansPath()).value());
+  // Different generator, same coordinates: different samples.
+  EXPECT_NE(readFileToString(ResultsStore(DirA.path()).meansPath()).value(),
+            readFileToString(ResultsStore(DirC.path()).meansPath()).value());
+}
+
+TEST(RngBackend, PhiloxThreadedRankAgreesWithSerial) {
+  // The stride-N partition hands thread t realizations t, t + N, ...
+  // regardless of backend; under Philox both engines must consume the
+  // exact same counter intervals and land on the same volume and a
+  // statistically identical mean.
+  ScratchDir DirSerial("thserial"), DirThreaded("ththreads");
+  RunConfig Serial = baseConfig(DirSerial.path());
+  Serial.RngBackend = RngBackendKind::Philox;
+  Serial.DeterministicSchedule = true;
+  RunConfig Threaded = Serial;
+  Threaded.WorkDir = DirThreaded.path();
+  Threaded.WorkerThreadsPerRank = 4;
+  Result<RunReport> SerialReport = runSimulation(uniformRealization, Serial);
+  Result<RunReport> ThreadedReport =
+      runSimulation(uniformRealization, Threaded);
+  ASSERT_TRUE(SerialReport.isOk()) << SerialReport.status().toString();
+  ASSERT_TRUE(ThreadedReport.isOk()) << ThreadedReport.status().toString();
+  EXPECT_EQ(SerialReport.value().TotalSampleVolume,
+            ThreadedReport.value().TotalSampleVolume);
+  const double SerialMean =
+      ResultsStore(DirSerial.path()).readMeans(1, 1).value()[0];
+  const double ThreadedMean =
+      ResultsStore(DirThreaded.path()).readMeans(1, 1).value()[0];
+  // Same multiset of samples; only the floating-point summation order may
+  // differ between the two engines.
+  EXPECT_NEAR(SerialMean, ThreadedMean, 1e-12);
+}
+
+TEST(RngBackend, PhiloxAcceptsGenparamExponentsButRejectsMultiplier) {
+  // Exponent overrides retune the counter partition exactly like they
+  // retune the leap hierarchy — allowed.
+  ScratchDir Dir("genparam");
+  LeapConfig Custom;
+  Custom.ExperimentLog2 = 60;
+  Custom.ProcessorLog2 = 40;
+  Custom.RealizationLog2 = 20;
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(writeFileAtomic(Store.genparamPath(),
+                              LeapTable(Lcg128::defaultMultiplier(), Custom)
+                                  .toFileContents())
+                  .isOk());
+  RunConfig Config = baseConfig(Dir.path());
+  Config.MaxSampleVolume = 100;
+  Config.RngBackend = RngBackendKind::Philox;
+  EXPECT_TRUE(runSimulation(uniformRealization, Config).isOk());
+
+  // A custom multiplier is LCG arithmetic with no counter equivalent:
+  // running Philox under it must fail loudly, not silently ignore it.
+  const UInt128 CustomMultiplier = Lcg128::defaultMultiplier() + UInt128(8);
+  ASSERT_TRUE(writeFileAtomic(Store.genparamPath(),
+                              LeapTable(CustomMultiplier, Custom)
+                                  .toFileContents())
+                  .isOk());
+  Config.SequenceNumber = 1; // fresh run either way
+  Result<RunReport> Rejected = runSimulation(uniformRealization, Config);
+  EXPECT_FALSE(Rejected.isOk());
+  // The LCG backend still honors the same override.
+  Config.RngBackend = RngBackendKind::Lcg128;
+  EXPECT_TRUE(runSimulation(uniformRealization, Config).isOk());
+}
+
+TEST(RngBackend, ExperimentLogKeepsLegacyLinesReadable) {
+  // A registry mixing pre-backend-era lines (8 fields, with or without a
+  // CRC) and new 10-field lines must parse fully: old entries read back
+  // with an empty backend, new ones carry the token.
+  ScratchDir Dir("legacy");
+  ResultsStore Store(Dir.path());
+  ASSERT_TRUE(Store.prepareDirectories().isOk());
+  RunLogInfo Legacy;
+  Legacy.SequenceNumber = 3;
+  Legacy.ProcessorCount = 2;
+  Legacy.TotalSampleVolume = 50;
+  ASSERT_TRUE(Store.appendExperimentLog(Legacy).isOk()); // no backend field
+  RunLogInfo Tagged = Legacy;
+  Tagged.SequenceNumber = 4;
+  Tagged.RngBackend = "philox";
+  ASSERT_TRUE(Store.appendExperimentLog(Tagged).isOk());
+
+  Result<ResultsStore::ExperimentLogContents> Registry =
+      Store.readExperimentLog();
+  ASSERT_TRUE(Registry.isOk());
+  ASSERT_EQ(Registry.value().Entries.size(), 2u);
+  EXPECT_TRUE(Registry.value().SkippedLines.empty());
+  EXPECT_EQ(Registry.value().Entries[0].SequenceNumber, 3u);
+  EXPECT_TRUE(Registry.value().Entries[0].RngBackend.empty());
+  EXPECT_EQ(Registry.value().Entries[1].SequenceNumber, 4u);
+  EXPECT_EQ(Registry.value().Entries[1].RngBackend, "philox");
+}
+
+} // namespace
+} // namespace parmonc

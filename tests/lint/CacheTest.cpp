@@ -163,6 +163,59 @@ TEST(LintCacheTest, CrossFileContextChangeInvalidatesCachedDiags) {
   EXPECT_EQ(Report.CacheMisses, 3u);
 }
 
+TEST(LintCacheTest, CalleeSummaryChangeInvalidatesOnlyDependents) {
+  // The cache-v5 dependency fingerprint: a semantic change to a leaf
+  // function re-analyzes exactly the files whose summaries can see it
+  // through the call graph — the unrelated file stays cached.
+  const std::string Root = scratchTree("deps");
+  const std::string CachePath = Root + "/cache.txt";
+  writeAt(Root, "leaf.cpp",
+          "namespace parmonc {\n"
+          "double fixtureLeafKnob() {\n"
+          "  return 1.0;\n"
+          "}\n"
+          "} // namespace parmonc\n");
+  writeAt(Root, "mid.cpp",
+          "namespace parmonc {\n"
+          "double fixtureMidRelay() {\n"
+          "  return fixtureLeafKnob();\n"
+          "}\n"
+          "} // namespace parmonc\n");
+  writeAt(Root, "user.cpp",
+          "namespace parmonc {\n"
+          "void fixtureUserFold(EstimatorMatrix &Est) {\n"
+          "  const double V = fixtureMidRelay();\n"
+          "  Est.accumulate(&V);\n"
+          "}\n"
+          "} // namespace parmonc\n");
+  writeAt(Root, "other.cpp", quietSource("Other"));
+
+  LintReport Cold = runTree(Root, CachePath);
+  EXPECT_EQ(Cold.FileCount, 4u);
+  EXPECT_EQ(Cold.CacheMisses, 4u);
+  EXPECT_TRUE(Cold.Diagnostics.empty());
+
+  // The leaf turns into an environment read: its summary fingerprint
+  // changes, so mid.cpp and user.cpp (transitive dependents) go stale
+  // alongside the edited file itself — but other.cpp does not.
+  writeAt(Root, "leaf.cpp",
+          "namespace parmonc {\n"
+          "double fixtureLeafKnob() {\n"
+          "  return getenv(\"PARMONC_KNOB\") ? 2.0 : 1.0;\n"
+          "}\n"
+          "} // namespace parmonc\n");
+  LintReport Warm = runTree(Root, CachePath);
+  EXPECT_EQ(Warm.CacheHits, 1u);
+  EXPECT_EQ(Warm.CacheMisses, 3u);
+  // The re-analysis surfaces the new cross-file R14 finding, identical to
+  // a from-scratch run.
+  LintReport Fresh = runTree(Root, Root + "/fresh-cache.txt");
+  EXPECT_EQ(renderedDiags(Warm), renderedDiags(Fresh));
+  ASSERT_EQ(Warm.Diagnostics.size(), 1u);
+  EXPECT_EQ(Warm.Diagnostics[0].RuleId, "R14");
+  EXPECT_NE(Warm.Diagnostics[0].Path.find("user.cpp"), std::string::npos);
+}
+
 TEST(LintCacheTest, MalformedCacheIsDiscardedAndRebuilt) {
   const std::string Root = scratchTree("malformed");
   const std::string CachePath = Root + "/cache.txt";
@@ -321,6 +374,105 @@ TEST(LintFixTest, RemovesStaleWaivers) {
   EXPECT_NE(After.value().find("  return 7;\n"), std::string::npos);
 
   LintReport Clean = runTree(Root, "");
+  EXPECT_TRUE(Clean.Diagnostics.empty());
+}
+
+TEST(LintFixTest, FixesAreByteIdenticalAtAnyJobCount) {
+  // Two copies of the same fixable tree: several headers with wrong guards
+  // and angle includes, plus TUs with stale waivers, so the fix set spans
+  // many files and many edits per file.
+  const auto Populate = [](const std::string &Root) {
+    for (char Letter : {'a', 'b', 'c', 'd'}) {
+      const std::string Name(1, Letter);
+      const std::string Upper(1, char(Letter - 'a' + 'A'));
+      writeAt(Root, "include/parmonc/fix/" + Upper + ".h",
+              "#ifndef WRONG_" + Upper +
+                  "_H\n"
+                  "#define WRONG_" +
+                  Upper +
+                  "_H\n"
+                  "\n"
+                  "#include <parmonc/support/Status.h>\n"
+                  "#include <parmonc/support/Text.h>\n"
+                  "\n"
+                  "struct Fixture" +
+                  Upper +
+                  " {\n"
+                  "  int Value;\n"
+                  "};\n"
+                  "\n"
+                  "#endif // WRONG_" +
+                  Upper + "_H\n");
+      writeAt(Root, "src/" + Name + ".cpp",
+              "namespace parmonc {\n"
+              "\n"
+              "long fixtureWaived" +
+                  Upper +
+                  "() {\n"
+                  "  // mclint: allow(R2): stale standalone\n"
+                  "  return 7;\n"
+                  "}\n"
+                  "\n"
+                  "long fixtureTail" +
+                  Upper + "() { return 8; } // mclint: allow(R2): stale\n"
+                          "\n"
+                          "} // namespace parmonc\n");
+    }
+  };
+
+  const std::string Serial = scratchTree("fix_jobs1");
+  const std::string Parallel = scratchTree("fix_jobs8");
+  Populate(Serial);
+  Populate(Parallel);
+
+  const auto FixTree = [](const std::string &Root, unsigned Jobs) {
+    AnalyzerOptions Options;
+    Options.Paths = {Root};
+    Options.ComputeFixes = true;
+    Options.Jobs = Jobs;
+    Result<LintReport> Report = runAnalyzer(Options);
+    EXPECT_TRUE(Report) << Report.status().message();
+    std::vector<std::string> Rendered;
+    if (Report) {
+      for (const Diagnostic &Diag : Report.value().Diagnostics) {
+        std::string Line = formatDiagnostic(Diag, false);
+        // Strip the tree root so the two transcripts are comparable.
+        const size_t At = Line.find(Root);
+        if (At != std::string::npos)
+          Line.erase(At, Root.size());
+        Rendered.push_back(Line);
+      }
+      Result<size_t> Fixed = applyFixes(Report.value().Diagnostics);
+      EXPECT_TRUE(Fixed) << Fixed.status().message();
+      EXPECT_EQ(Fixed.value(), 8u);
+    }
+    return Rendered;
+  };
+
+  const std::vector<std::string> SerialDiags = FixTree(Serial, 1);
+  const std::vector<std::string> ParallelDiags = FixTree(Parallel, 8);
+  ASSERT_FALSE(SerialDiags.empty());
+  EXPECT_EQ(SerialDiags, ParallelDiags);
+
+  // Every rewritten file must be byte-for-byte identical across job counts.
+  size_t Compared = 0;
+  for (const auto &Entry : fs::recursive_directory_iterator(Serial)) {
+    if (!Entry.is_regular_file())
+      continue;
+    const std::string Rel =
+        fs::relative(Entry.path(), Serial).generic_string();
+    Result<std::string> Ours = readFileToString(Entry.path().generic_string());
+    Result<std::string> Theirs =
+        readFileToString((fs::path(Parallel) / Rel).generic_string());
+    ASSERT_TRUE(Ours) << Ours.status().message();
+    ASSERT_TRUE(Theirs) << Rel << ": " << Theirs.status().message();
+    EXPECT_EQ(Ours.value(), Theirs.value()) << Rel;
+    ++Compared;
+  }
+  EXPECT_EQ(Compared, 8u);
+
+  // And the serial tree must actually be clean after the rewrite.
+  LintReport Clean = runTree(Serial, "");
   EXPECT_TRUE(Clean.Diagnostics.empty());
 }
 

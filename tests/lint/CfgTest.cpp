@@ -173,6 +173,71 @@ TEST(CfgTest, SwitchSectionsFallThrough) {
   EXPECT_TRUE(hasEdge(Cfg, Sec0, Sec1));
 }
 
+TEST(CfgTest, NestedSwitchInsideLoopKeepsFallThroughAndBackEdge) {
+  const FunctionCfg Cfg = buildOne("void f(int N) {\n"
+                                   "  while (N > 0) {\n"
+                                   "    switch (N) {\n"
+                                   "    case 0:\n"
+                                   "      N = 1;\n"
+                                   "    case 1:\n"
+                                   "      N = 2;\n"
+                                   "      break;\n"
+                                   "    }\n"
+                                   "    N = N - 1;\n"
+                                   "  }\n"
+                                   "  int A = 0;\n"
+                                   "}\n");
+  const uint32_t Head = blockOnLine(Cfg, 1);
+  const uint32_t Dispatch = blockOnLine(Cfg, 2);
+  const uint32_t Sec0 = blockOnLine(Cfg, 4);
+  const uint32_t Sec1 = blockOnLine(Cfg, 6);
+  const uint32_t Tail = blockOnLine(Cfg, 9);
+  const uint32_t After = blockOnLine(Cfg, 11);
+  ASSERT_NE(Head, UINT32_MAX);
+  ASSERT_NE(Dispatch, UINT32_MAX);
+  ASSERT_NE(Sec0, UINT32_MAX);
+  ASSERT_NE(Sec1, UINT32_MAX);
+  ASSERT_NE(Tail, UINT32_MAX);
+  ASSERT_NE(After, UINT32_MAX);
+  // The switch keeps its shape inside the loop body ...
+  EXPECT_TRUE(hasEdge(Cfg, Dispatch, Sec0));
+  EXPECT_TRUE(hasEdge(Cfg, Dispatch, Sec1));
+  EXPECT_TRUE(hasEdge(Cfg, Sec0, Sec1));
+  // ... the break targets the statement after the switch, not the loop
+  // exit, and the loop's own back edge survives the nesting.
+  EXPECT_TRUE(hasEdge(Cfg, Sec1, Tail));
+  EXPECT_TRUE(hasEdge(Cfg, Tail, Head));
+  EXPECT_TRUE(hasEdge(Cfg, Head, After));
+  EXPECT_FALSE(hasEdge(Cfg, Sec1, After));
+}
+
+TEST(CfgTest, GotoDisablesOnlyTheFunctionThatContainsIt) {
+  const LexedFile File = lexFile("void bad() {\n"
+                                 "  goto out;\n"
+                                 "out:\n"
+                                 "  return;\n"
+                                 "}\n"
+                                 "\n"
+                                 "void good(bool C) {\n"
+                                 "  if (C)\n"
+                                 "    return;\n"
+                                 "  int A = 1;\n"
+                                 "}\n");
+  std::vector<FunctionCfg> Cfgs = buildFunctionCfgs(File.Tokens);
+  ASSERT_EQ(Cfgs.size(), 2u);
+  EXPECT_EQ(Cfgs[0].Name, "bad");
+  EXPECT_TRUE(Cfgs[0].HasGoto);
+  EXPECT_FALSE(Cfgs[0].analyzable());
+  // The sibling is untouched by the bail-out and still runs to a fixed
+  // point.
+  EXPECT_EQ(Cfgs[1].Name, "good");
+  EXPECT_FALSE(Cfgs[1].HasGoto);
+  ASSERT_TRUE(Cfgs[1].analyzable());
+  const DataflowResult May = runForwardDataflow(Cfgs[1], ReachClient(false));
+  EXPECT_TRUE(May.Reached[Cfgs[1].Exit]);
+  EXPECT_EQ(May.In[Cfgs[1].Exit][0], 1u);
+}
+
 TEST(CfgTest, GotoAndDirectivesDisableAnalysis) {
   const FunctionCfg WithGoto = buildOne("void f() {\n"
                                         "  goto out;\n"
@@ -286,6 +351,38 @@ TEST(CfgTest, DataflowConvergesAcrossLoopBackEdge) {
   const uint32_t Head = blockOnLine(Cfg, 1);
   ASSERT_NE(Head, UINT32_MAX);
   EXPECT_EQ(May.In[Head][0], 1u);
+}
+
+TEST(CfgTest, DataflowConvergesAcrossNestedBackEdges) {
+  // Two nested loops, the only marking statement in the innermost body:
+  // the fixed point must terminate with both back edges live, and the
+  // zero-iteration paths keep the must-join at 0 everywhere.
+  const FunctionCfg Cfg = buildOne("void f(int N, int M) {\n"
+                                   "  while (N > 0) {\n"
+                                   "    while (M > 0) {\n"
+                                   "      M = M - 1;\n"
+                                   "    }\n"
+                                   "    N = N - 1;\n"
+                                   "  }\n"
+                                   "}\n");
+  const uint32_t Outer = blockOnLine(Cfg, 1);
+  const uint32_t Inner = blockOnLine(Cfg, 2);
+  const uint32_t InnerBody = blockOnLine(Cfg, 3);
+  const uint32_t OuterTail = blockOnLine(Cfg, 5);
+  ASSERT_NE(Outer, UINT32_MAX);
+  ASSERT_NE(Inner, UINT32_MAX);
+  ASSERT_NE(InnerBody, UINT32_MAX);
+  ASSERT_NE(OuterTail, UINT32_MAX);
+  EXPECT_TRUE(hasEdge(Cfg, InnerBody, Inner)); // inner back edge
+  EXPECT_TRUE(hasEdge(Cfg, OuterTail, Outer)); // outer back edge
+  const DataflowResult Must = runForwardDataflow(Cfg, ReachClient(true));
+  const DataflowResult May = runForwardDataflow(Cfg, ReachClient(false));
+  EXPECT_EQ(Must.In[Cfg.Exit][0], 0u);
+  EXPECT_EQ(May.In[Cfg.Exit][0], 1u);
+  // The mark escapes the inner loop and rides the outer back edge all
+  // the way around to both loop heads.
+  EXPECT_EQ(May.In[Outer][0], 1u);
+  EXPECT_EQ(May.In[Inner][0], 1u);
 }
 
 TEST(CfgTest, DataflowLeavesUnreachableBlocksAtZero) {

@@ -326,6 +326,85 @@ TEST(LintRulesTest, FixtureExpectationsMatch) {
   EXPECT_EQ(Expected, Actual);
 }
 
+//===----------------------------------------------------------------------===//
+// Interprocedural rules (R14-R16): the witness path follows the call
+// chain across translation units, so these run over the multi-file
+// fixture set under inter/ and assert the cross-file steps explicitly.
+//===----------------------------------------------------------------------===//
+
+TEST(LintRulesTest, R14WitnessWalksTheTaintChainAcrossFiles) {
+  LintReport Report = runOn({fixturePath("inter/r14_source.cpp"),
+                             fixturePath("inter/r14_relay.cpp"),
+                             fixturePath("inter/r14_sink.cpp")},
+                            {"R14"});
+  ASSERT_EQ(Report.Diagnostics.size(), 1u);
+  const Diagnostic &Diag = Report.Diagnostics.front();
+  EXPECT_EQ(Diag.Path, fixturePath("inter/r14_sink.cpp"));
+  EXPECT_EQ(Diag.Line, 10u);
+  EXPECT_NE(Diag.Message.find("environment variable read"),
+            std::string::npos);
+  EXPECT_NE(Diag.Message.find("estimator accumulation"), std::string::npos);
+  // Bind step (own file), one step per chain hop, then the sink step.
+  ASSERT_EQ(Diag.Flow.size(), 4u);
+  EXPECT_TRUE(Diag.Flow[0].Path.empty());
+  EXPECT_NE(Diag.Flow[0].Message.find("'Noisy' is bound here"),
+            std::string::npos);
+  EXPECT_EQ(Diag.Flow[1].Path, fixturePath("inter/r14_relay.cpp"));
+  EXPECT_EQ(Diag.Flow[1].Line, 8u);
+  EXPECT_NE(
+      Diag.Flow[1].Message.find("'fixtureRelayKnob' carries it through"),
+      std::string::npos);
+  EXPECT_EQ(Diag.Flow[2].Path, fixturePath("inter/r14_source.cpp"));
+  EXPECT_EQ(Diag.Flow[2].Line, 8u);
+  EXPECT_NE(Diag.Flow[2].Message.find(
+                "originates in 'fixtureReadTuningKnob' here"),
+            std::string::npos);
+  EXPECT_TRUE(Diag.Flow[3].Path.empty());
+  EXPECT_EQ(Diag.Flow[3].Line, 10u);
+}
+
+TEST(LintRulesTest, R14StandsDownWithoutTheChain) {
+  // The sink file alone: fixtureRelayKnob has no definition in the index,
+  // so no taint reaches the sink and R14 stays quiet.
+  LintReport Report = runOn({fixturePath("inter/r14_sink.cpp")}, {"R14"});
+  EXPECT_TRUE(Report.Diagnostics.empty());
+}
+
+TEST(LintRulesTest, R15SummariesDecideLockConsistency) {
+  LintReport Report =
+      runOn({fixturePath("inter/mpsim/r15_field.cpp")}, {"R15"});
+  // fixtureBareBump's bare write is flagged; fixtureCountDrainLocked's is
+  // not, because every call site holds the lock (CalledUnderLock closure).
+  ASSERT_EQ(Report.Diagnostics.size(), 1u);
+  EXPECT_EQ(Report.Diagnostics[0].Line, 21u);
+  EXPECT_NE(Report.Diagnostics[0].Message.find("'Pending'"),
+            std::string::npos);
+  ASSERT_EQ(Report.Diagnostics[0].Flow.size(), 2u);
+}
+
+TEST(LintRulesTest, R16WitnessWalksTheForwardingChainAcrossFiles) {
+  LintReport Report = runOn({fixturePath("inter/r16_deep.cpp"),
+                             fixturePath("inter/r16_relay.cpp"),
+                             fixturePath("inter/r16_caller.cpp")},
+                            {"R16"});
+  ASSERT_EQ(Report.Diagnostics.size(), 1u);
+  const Diagnostic &Diag = Report.Diagnostics.front();
+  EXPECT_EQ(Diag.Path, fixturePath("inter/r16_caller.cpp"));
+  EXPECT_EQ(Diag.Line, 9u);
+  EXPECT_NE(Diag.Message.find("forwarded from 'fixtureDeepSave'"),
+            std::string::npos);
+  ASSERT_EQ(Diag.Flow.size(), 3u);
+  EXPECT_TRUE(Diag.Flow[0].Path.empty());
+  EXPECT_EQ(Diag.Flow[1].Path, fixturePath("inter/r16_relay.cpp"));
+  EXPECT_EQ(Diag.Flow[1].Line, 8u);
+  EXPECT_NE(Diag.Flow[1].Message.find("forwards the result of"),
+            std::string::npos);
+  EXPECT_EQ(Diag.Flow[2].Path, fixturePath("inter/r16_deep.cpp"));
+  EXPECT_EQ(Diag.Flow[2].Line, 6u);
+  EXPECT_NE(Diag.Flow[2].Message.find("declared fallible"),
+            std::string::npos);
+}
+
 TEST(LintRulesTest, RulesSelectableByName) {
   LintReport Report =
       runOn({fixturePath("r2_nondet.cpp")}, {"nondeterminism"});

@@ -241,7 +241,10 @@ TEST(SarifTest, RuleMetadataCarriesHelpUris) {
         "docs/LINT_RULES.md#r10-stale-waiver",
         "docs/LINT_RULES.md#r11-must-check",
         "docs/LINT_RULES.md#r12-stream-lifecycle",
-        "docs/LINT_RULES.md#r13-wire-protocol"})
+        "docs/LINT_RULES.md#r13-wire-protocol",
+        "docs/LINT_RULES.md#r14-determinism-taint",
+        "docs/LINT_RULES.md#r15-lock-discipline",
+        "docs/LINT_RULES.md#r16-deep-must-check"})
     EXPECT_NE(Doc.find(Anchor), std::string::npos) << Anchor;
 }
 
@@ -336,6 +339,48 @@ TEST(SarifTest, AnalyzerDataflowFindingHasMultiStepCodeFlow) {
   EXPECT_NE(Doc.find("\"threadFlows\": ["), std::string::npos);
   EXPECT_NE(Doc.find("docs/LINT_RULES.md#r11-must-check"),
             std::string::npos);
+}
+
+TEST(SarifTest, InterproceduralCodeFlowSpansFiles) {
+  // End to end over the R16 chain fixtures: the one finding's witness
+  // path crosses three translation units, and each SARIF code-flow step
+  // must carry its own artifact uri — the caller, the forwarding relay
+  // and the declaring file all appear inside the codeFlows block.
+  const std::string Base = std::string(PARMONC_LINT_FIXTURE_DIR) + "/inter";
+  AnalyzerOptions Options;
+  Options.Paths = {Base + "/r16_deep.cpp", Base + "/r16_relay.cpp",
+                   Base + "/r16_caller.cpp"};
+  Options.RuleIds = {"R16"};
+  Result<LintReport> Report = runAnalyzer(Options);
+  ASSERT_TRUE(Report) << Report.status().message();
+  ASSERT_EQ(Report.value().Diagnostics.size(), 1u);
+
+  const std::vector<std::unique_ptr<Rule>> Rules = makeAllRules();
+  std::vector<const Rule *> RulePtrs;
+  for (const auto &R : Rules)
+    RulePtrs.push_back(R.get());
+  const std::string Doc =
+      formatSarif(Report.value().Diagnostics, RulePtrs, false,
+                  [](const Diagnostic &) -> std::string_view {
+                    return "  fixtureRelaySave(Path);";
+                  });
+  EXPECT_TRUE(JsonScanner(Doc).valid()) << Doc;
+  const size_t Flows = Doc.find("\"codeFlows\": [");
+  ASSERT_NE(Flows, std::string::npos);
+  for (const char *Uri :
+       {"inter/r16_caller.cpp", "inter/r16_relay.cpp",
+        "inter/r16_deep.cpp"})
+    EXPECT_NE(Doc.find(Uri, Flows), std::string::npos)
+        << "step uri missing from code flow: " << Uri;
+  // Step order mirrors the chain: discard, forward, declaration.
+  const size_t Discard = Doc.find("is discarded here", Flows);
+  const size_t Forward = Doc.find("forwards the result of", Flows);
+  const size_t Declared = Doc.find("declared fallible", Flows);
+  ASSERT_NE(Discard, std::string::npos);
+  ASSERT_NE(Forward, std::string::npos);
+  ASSERT_NE(Declared, std::string::npos);
+  EXPECT_LT(Discard, Forward);
+  EXPECT_LT(Forward, Declared);
 }
 
 TEST(SarifTest, EmptyReportIsStillAValidRun) {

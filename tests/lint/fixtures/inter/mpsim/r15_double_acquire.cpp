@@ -1,0 +1,24 @@
+// mclint fixture: R15 double-acquire — fixtureFlush holds SendMutex and
+// calls a helper whose summary says it acquires SendMutex again;
+// std::mutex is non-recursive, so that is a self-deadlock. Never
+// compiled — linted only.
+#include <mutex>
+
+namespace parmonc {
+
+struct FixtureChannel {
+  std::mutex SendMutex;
+  int Queued = 0;
+
+  void fixtureDrainAll() {
+    std::lock_guard<std::mutex> Guard(SendMutex);
+    Queued = 0;
+  }
+
+  void fixtureFlush() {
+    std::lock_guard<std::mutex> Guard(SendMutex);
+    fixtureDrainAll(); // expect: R15
+  }
+};
+
+} // namespace parmonc

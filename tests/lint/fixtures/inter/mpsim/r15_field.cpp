@@ -1,0 +1,31 @@
+// mclint fixture: R15 field consistency — `Pending` is guarded in one
+// writer and bare in another, and nobody only-calls the bare writer with
+// the lock held. The helper that IS always called under the lock stays
+// clean. Never compiled — linted only.
+#include <mutex>
+
+namespace parmonc {
+
+struct FixtureQueue {
+  std::mutex QueueMutex;
+  int Pending = 0;
+  int Drained = 0;
+
+  void fixtureLockedEnqueue() {
+    std::lock_guard<std::mutex> Guard(QueueMutex);
+    Pending += 1;
+    fixtureCountDrainLocked();
+  }
+
+  void fixtureBareBump() {
+    Pending += 1; // expect: R15
+  }
+
+  // Negative: written bare here, but every call site holds QueueMutex —
+  // the summaries' called-under-lock closure clears it.
+  void fixtureCountDrainLocked() {
+    Drained += 1;
+  }
+};
+
+} // namespace parmonc

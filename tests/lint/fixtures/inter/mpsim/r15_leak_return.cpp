@@ -1,0 +1,20 @@
+// mclint fixture: R15 leak-on-return — the fast path returns while the
+// raw .lock() is still held; every later acquirer deadlocks. The slow
+// path unlocks and is clean. Never compiled — linted only.
+#include <mutex>
+
+namespace parmonc {
+
+struct FixtureGate {
+  std::mutex GateMutex;
+
+  bool fixtureTryPass(bool Fast) {
+    GateMutex.lock();
+    if (Fast)
+      return true; // expect: R15
+    GateMutex.unlock();
+    return false;
+  }
+};
+
+} // namespace parmonc

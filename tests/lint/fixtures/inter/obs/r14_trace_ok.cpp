@@ -1,0 +1,11 @@
+// mclint fixture (negative): the obs/ trace layer is a sanctioned
+// determinism-taint carrier — telemetry is supposed to differ between
+// runs, so R14 must stay quiet here. Never compiled — linted only.
+
+namespace parmonc {
+
+void fixtureTraceFlush(TraceSink &Sink) {
+  Sink.commit(getenv("PARMONC_TRACE_TAG")); // ok: obs/ is sanctioned
+}
+
+} // namespace parmonc

@@ -1,0 +1,13 @@
+// mclint fixture: R14 single-file variant — an environment read is bound
+// to a local and the local lands in a snapshot payload. The Status is
+// consumed, so this is R14's finding alone. Never compiled — linted only.
+
+namespace parmonc {
+
+int fixtureStampResults(SnapshotWriter &Writer) {
+  const int Tag = getenv("PARMONC_TAG") ? 1 : 0;
+  Status Wrote = Writer.writeSnapshot(&Tag); // expect: R14
+  return Wrote.isOk() ? 1 : 0;
+}
+
+} // namespace parmonc

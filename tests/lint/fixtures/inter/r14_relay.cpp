@@ -1,0 +1,11 @@
+// mclint fixture: R14 chain hop 2 — an innocent-looking carrier. The
+// summary stage marks it tainted because it calls the getenv reader in
+// r14_source.cpp. Never compiled — linted only.
+
+namespace parmonc {
+
+double fixtureRelayKnob() {
+  return fixtureReadTuningKnob() * 2.0;
+}
+
+} // namespace parmonc

@@ -1,0 +1,13 @@
+// mclint fixture: R14 chain hop 3 — the sink. The tainted value crossed
+// two translation units before landing in estimator accumulation; the
+// witness path walks back to the getenv call in r14_source.cpp. Never
+// compiled — linted only.
+
+namespace parmonc {
+
+void fixtureFoldSample(EstimatorMatrix &Est) {
+  const double Noisy = fixtureRelayKnob();
+  Est.accumulate(&Noisy); // expect: R14
+}
+
+} // namespace parmonc

@@ -1,0 +1,12 @@
+// mclint fixture: R14 chain hop 1 — the environment read. Nothing is
+// flagged here; the taint only matters once it reaches a sink two calls
+// away (r14_relay.cpp -> r14_sink.cpp). Never compiled — linted only.
+
+namespace parmonc {
+
+double fixtureReadTuningKnob() {
+  const char *Raw = getenv("PARMONC_TUNE");
+  return Raw ? 1.5 : 1.0;
+}
+
+} // namespace parmonc

@@ -1,0 +1,18 @@
+// mclint fixture: R16 chain hop 3 — the discard. No frame between here
+// and fixtureDeepSave consumes the Status; the witness path walks the
+// forwarding chain down to the declaration. The spelled discard and the
+// consuming caller are clean. Never compiled — linted only.
+
+namespace parmonc {
+
+void fixtureAutosave(const char *Path) {
+  fixtureRelaySave(Path); // expect: R16
+  (void)fixtureRelaySave(Path);
+}
+
+int fixtureAutosaveChecked(const char *Path) {
+  Status Saved = fixtureRelaySave(Path);
+  return Saved.isOk() ? 1 : 0;
+}
+
+} // namespace parmonc

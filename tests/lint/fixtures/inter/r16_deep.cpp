@@ -1,0 +1,10 @@
+// mclint fixture: R16 chain hop 1 — the function whose declaration makes
+// the whole chain fallible. Never compiled — linted only.
+
+namespace parmonc {
+
+Status fixtureDeepSave(const char *Path) {
+  return writeFileAtomic(Path, "payload");
+}
+
+} // namespace parmonc

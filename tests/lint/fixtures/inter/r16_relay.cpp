@@ -1,0 +1,11 @@
+// mclint fixture: R16 chain hop 2 — an `auto` wrapper that forwards the
+// Status without spelling it, which is exactly what R1/R11 cannot see
+// through. Never compiled — linted only.
+
+namespace parmonc {
+
+auto fixtureRelaySave(const char *Path) {
+  return fixtureDeepSave(Path);
+}
+
+} // namespace parmonc

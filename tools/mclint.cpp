@@ -9,7 +9,7 @@
 //   $ mclint [options] <path>...
 //
 // Scans the given files/directories for violations of the project's
-// enforced invariants R1–R13 (see docs/LINT_RULES.md). Without --werror,
+// enforced invariants R1–R16 (see docs/LINT_RULES.md). Without --werror,
 // findings are warnings and the exit code is 0; with --werror they are
 // errors and any finding exits 1 — that is the CI gate:
 //
